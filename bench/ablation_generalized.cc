@@ -1,0 +1,119 @@
+// Ablation A2: the generalized OSSM of footnote 3 — also storing per-
+// segment supports of 2-itemsets over the hottest items — versus the plain
+// singleton OSSM, at equal segment count.
+//
+// Expected shape: the pair-augmented map prunes strictly more candidates
+// (its bound is never looser) at a memory cost that grows with the square
+// of the tracked-item count — the structure stops being "light-weight"
+// long before the pruning stops improving, which is the trade-off behind
+// the paper keeping the base structure singleton-only (footnote 3).
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "core/generalized_ossm.h"
+#include "core/ossm_builder.h"
+#include "mining/candidate_pruner.h"
+
+namespace ossm {
+namespace {
+
+int Run(int argc, char** argv) {
+  bench::Flags flags(argc, argv,
+                     {"scale", "seed", "transactions", "items", "repeats"});
+  bool paper = flags.PaperScale();
+  uint64_t num_transactions =
+      flags.GetInt("transactions", paper ? 100000 : 20000);
+  uint32_t num_items =
+      static_cast<uint32_t>(flags.GetInt("items", paper ? 1000 : 300));
+  uint64_t seed = flags.GetInt("seed", 1);
+  int repeats = static_cast<int>(flags.GetInt("repeats", 2));
+
+  std::printf(
+      "Ablation — generalized OSSM (footnote 3): tracked pairs vs none\n"
+      "regular synthetic, %llu transactions, %u items, threshold 1%%,\n"
+      "n_user = 40 segments (Greedy)\n\n",
+      static_cast<unsigned long long>(num_transactions), num_items);
+
+  TransactionDatabase db =
+      bench::RegularSynthetic(num_transactions, num_items, seed);
+
+  AprioriConfig base_config;
+  base_config.min_support_fraction = 0.01;
+  bench::MiningMeasurement baseline =
+      bench::MeasureApriori(db, base_config, repeats);
+  uint64_t baseline_counted = baseline.result.stats.TotalCandidatesCounted();
+
+  OssmBuildOptions build_options;
+  build_options.algorithm = SegmentationAlgorithm::kGreedy;
+  build_options.target_segments = 40;
+  build_options.transactions_per_page = 100;
+  build_options.bubble_fraction = 0.25;
+  build_options.bubble_threshold = 0.01;
+  build_options.seed = seed;
+  StatusOr<OssmBuildResult> build = BuildOssm(db, build_options);
+  OSSM_CHECK(build.ok()) << build.status().ToString();
+
+  TablePrinter table({"tracked items", "memory (KB)", "counted candidates",
+                      "vs no OSSM", "speedup"});
+
+  // Row 0: the plain singleton OSSM.
+  {
+    OssmPruner pruner(&build->map);
+    AprioriConfig config = base_config;
+    config.pruner = &pruner;
+    bench::MiningMeasurement with =
+        bench::MeasureApriori(db, config, repeats);
+    uint64_t counted = with.result.stats.TotalCandidatesCounted();
+    table.AddRow(
+        {"0 (singletons only)",
+         TablePrinter::FormatCount(build->map.MemoryFootprintBytes() / 1024),
+         TablePrinter::FormatCount(counted),
+         TablePrinter::FormatDouble(
+             static_cast<double>(counted) /
+                 static_cast<double>(baseline_counted),
+             3),
+         TablePrinter::FormatDouble(baseline.seconds / with.seconds, 2)});
+  }
+
+  for (uint32_t tracked : {num_items / 16, num_items / 8, num_items / 4,
+                           num_items / 2}) {
+    if (tracked < 2) continue;
+    StatusOr<GeneralizedOssm> generalized = GeneralizedOssm::Build(
+        db, build->map, build->layout, build->page_to_segment, tracked);
+    OSSM_CHECK(generalized.ok()) << generalized.status().ToString();
+
+    GeneralizedOssmPruner pruner(&*generalized);
+    AprioriConfig config = base_config;
+    config.pruner = &pruner;
+    bench::MiningMeasurement with =
+        bench::MeasureApriori(db, config, repeats);
+    uint64_t counted = with.result.stats.TotalCandidatesCounted();
+    table.AddRow(
+        {std::to_string(tracked),
+         TablePrinter::FormatCount(generalized->MemoryFootprintBytes() /
+                                   1024),
+         TablePrinter::FormatCount(counted),
+         TablePrinter::FormatDouble(
+             static_cast<double>(counted) /
+                 static_cast<double>(baseline_counted),
+             3),
+         TablePrinter::FormatDouble(baseline.seconds / with.seconds, 2)});
+  }
+
+  table.Print(std::cout);
+  std::printf(
+      "\nexpected shape: counted candidates fall monotonically as more"
+      "\npairs are tracked, but memory grows ~quadratically in tracked"
+      "\nitems — the structure stops being light-weight long before the"
+      "\npruning stops improving, the paper's rationale for keeping the"
+      "\nbase OSSM singleton-only.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace ossm
+
+int main(int argc, char** argv) { return ossm::Run(argc, argv); }

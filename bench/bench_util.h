@@ -1,0 +1,180 @@
+#ifndef OSSM_BENCH_BENCH_UTIL_H_
+#define OSSM_BENCH_BENCH_UTIL_H_
+
+// Shared plumbing for the paper-figure harnesses: a tiny flag parser and the
+// standard workloads. Every harness defaults to laptop-scale parameters that
+// regenerate the paper's *shape* in seconds-to-minutes; pass --scale=paper
+// to restore the paper's sizes (slow on one core, exactly as it was in
+// 2002).
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "data/transaction_database.h"
+#include "datagen/quest_generator.h"
+#include "datagen/skewed_generator.h"
+#include "mining/apriori.h"
+
+namespace ossm {
+namespace bench {
+
+// Minimal --key=value parser. Unknown flags abort with a message listing
+// what the harness accepts.
+class Flags {
+ public:
+  Flags(int argc, char** argv, std::vector<std::string> known) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+        std::exit(2);
+      }
+      size_t eq = arg.find('=');
+      std::string key = arg.substr(2, eq == std::string::npos
+                                          ? std::string::npos
+                                          : eq - 2);
+      std::string value =
+          eq == std::string::npos ? "" : arg.substr(eq + 1);
+      bool ok = false;
+      for (const std::string& k : known) {
+        if (k == key) ok = true;
+      }
+      if (!ok) {
+        std::fprintf(stderr, "unknown flag --%s; known:", key.c_str());
+        for (const std::string& k : known) {
+          std::fprintf(stderr, " --%s", k.c_str());
+        }
+        std::fprintf(stderr, "\n");
+        std::exit(2);
+      }
+      values_.emplace_back(key, value);
+    }
+  }
+
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const {
+    for (const auto& [k, v] : values_) {
+      if (k == key) return v;
+    }
+    return fallback;
+  }
+
+  uint64_t GetInt(const std::string& key, uint64_t fallback) const {
+    for (const auto& [k, v] : values_) {
+      if (k == key) return std::strtoull(v.c_str(), nullptr, 10);
+    }
+    return fallback;
+  }
+
+  bool PaperScale() const { return GetString("scale", "laptop") == "paper"; }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> values_;
+};
+
+// The "regular-synthetic" workload (Section 6.1): Quest data whose mean
+// item frequency sits at the 1% mining threshold, which is what makes the
+// OSSM's bound bite (items hover around the threshold, as with the paper's
+// m = 1000, |T| = 10 setup).
+inline TransactionDatabase RegularSynthetic(uint64_t num_transactions,
+                                            uint32_t num_items,
+                                            uint64_t seed = 1) {
+  QuestConfig config;
+  config.num_items = num_items;
+  config.num_transactions = num_transactions;
+  config.avg_transaction_size = num_items / 100.0;  // mean support ~1%
+  config.avg_pattern_size = 3.0;
+  // One pattern per item on average: enough pattern mass that the top
+  // patterns yield genuinely frequent 2- and 3-itemsets (multi-level
+  // mining), while item supports still hover around the 1% threshold —
+  // the regime in which the OSSM's bound decides candidates.
+  config.num_patterns = num_items;
+  config.corruption_mean = 0.25;
+  config.seed = seed;
+  StatusOr<TransactionDatabase> db = GenerateQuest(config);
+  OSSM_CHECK(db.ok()) << db.status().ToString();
+  return std::move(db).value();
+}
+
+// The "skewed-synthetic" workload: items in-season in one phase of the
+// collection. The boost controls how seasonal; 1.0 degenerates to uniform.
+inline TransactionDatabase SkewedSynthetic(uint64_t num_transactions,
+                                           uint32_t num_items,
+                                           uint64_t seed = 1,
+                                           double boost = 8.0,
+                                           uint32_t seasons = 2) {
+  SkewedConfig config;
+  config.num_items = num_items;
+  config.num_transactions = num_transactions;
+  config.avg_transaction_size = num_items / 100.0;
+  config.num_seasons = seasons;
+  config.in_season_boost = boost;
+  config.seed = seed;
+  StatusOr<TransactionDatabase> db = GenerateSkewed(config);
+  OSSM_CHECK(db.ok()) << db.status().ToString();
+  return std::move(db).value();
+}
+
+// Quest data with seasonal drift: the same patterns and item pool as
+// RegularSynthetic, but pattern popularity shifts over the collection. On
+// an exactly-i.i.d. collection, per-segment supports concentrate as N grows
+// and NO segmentation — however clever — can tighten equation (1) at
+// multi-million-transaction scale (verified by ablation_skew's boost=1
+// row). The paper's premise is the opposite: "real life data sets are not
+// random". Mild pattern drift stands in for that reality and keeps the
+// cost/quality trade-off measurable at laptop scale; harnesses that default
+// to it accept --data=regular to see the i.i.d. washout.
+inline TransactionDatabase DriftingSynthetic(uint64_t num_transactions,
+                                             uint32_t num_items,
+                                             uint64_t seed = 1) {
+  QuestConfig config;
+  config.num_items = num_items;
+  config.num_transactions = num_transactions;
+  config.avg_transaction_size = num_items / 100.0;
+  config.avg_pattern_size = 3.0;
+  config.num_patterns = num_items;
+  config.corruption_mean = 0.25;
+  config.num_seasons = 8;
+  config.in_season_boost = 6.0;
+  config.seed = seed;
+  StatusOr<TransactionDatabase> db = GenerateQuest(config);
+  OSSM_CHECK(db.ok()) << db.status().ToString();
+  return std::move(db).value();
+}
+
+// Runs Apriori and reports wall time; repeated `repeats` times, best-of to
+// damp scheduler noise ("the reported figures are based on the average of
+// multiple runs" — we report min, the stabler statistic on busy machines).
+struct MiningMeasurement {
+  double seconds = 0.0;
+  MiningResult result;
+};
+
+inline MiningMeasurement MeasureApriori(const TransactionDatabase& db,
+                                        const AprioriConfig& config,
+                                        int repeats = 2) {
+  MiningMeasurement measurement;
+  measurement.seconds = 1e100;
+  for (int r = 0; r < repeats; ++r) {
+    WallTimer timer;
+    StatusOr<MiningResult> result = MineApriori(db, config);
+    double elapsed = timer.ElapsedSeconds();
+    OSSM_CHECK(result.ok()) << result.status().ToString();
+    if (elapsed < measurement.seconds) {
+      measurement.seconds = elapsed;
+      measurement.result = std::move(*result);
+    }
+  }
+  return measurement;
+}
+
+}  // namespace bench
+}  // namespace ossm
+
+#endif  // OSSM_BENCH_BENCH_UTIL_H_

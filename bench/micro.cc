@@ -1,0 +1,159 @@
+// Micro-benchmarks (google-benchmark) for the kernels everything else is
+// built from: the equation-(1) upper bound, the pairwise ossub loss, the
+// configuration comparison, and hash-tree candidate counting.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "core/configuration.h"
+#include "core/ossub.h"
+#include "core/segment_support_map.h"
+#include "datagen/quest_generator.h"
+#include "mining/hash_tree.h"
+
+namespace ossm {
+namespace {
+
+SegmentSupportMap MakeMap(uint32_t num_items, uint32_t num_segments,
+                          uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Segment> segments(num_segments);
+  for (Segment& seg : segments) {
+    seg.counts.resize(num_items);
+    for (auto& c : seg.counts) c = rng.UniformInt(1000);
+  }
+  return SegmentSupportMap::FromSegments(std::span<const Segment>(segments));
+}
+
+void BM_UpperBoundPair(benchmark::State& state) {
+  uint32_t segments = static_cast<uint32_t>(state.range(0));
+  SegmentSupportMap map = MakeMap(1000, segments, 1);
+  Rng rng(2);
+  uint64_t sink = 0;
+  for (auto _ : state) {
+    ItemId a = static_cast<ItemId>(rng.UniformInt(1000));
+    ItemId b = static_cast<ItemId>(rng.UniformInt(999));
+    if (b >= a) ++b;
+    sink += map.UpperBoundPair(a, b);
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UpperBoundPair)->Arg(20)->Arg(40)->Arg(160)->Arg(640);
+
+void BM_UpperBoundKItemset(benchmark::State& state) {
+  size_t k = static_cast<size_t>(state.range(0));
+  SegmentSupportMap map = MakeMap(1000, 100, 1);
+  Rng rng(3);
+  Itemset items(k);
+  uint64_t sink = 0;
+  for (auto _ : state) {
+    for (size_t i = 0; i < k; ++i) {
+      items[i] = static_cast<ItemId>(rng.UniformInt(1000 - k) + i);
+    }
+    std::sort(items.begin(), items.end());
+    sink += map.UpperBound(items);
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UpperBoundKItemset)->Arg(3)->Arg(5)->Arg(10);
+
+void BM_PairwiseOssub(benchmark::State& state) {
+  uint32_t num_items = static_cast<uint32_t>(state.range(0));
+  Rng rng(4);
+  Segment a;
+  Segment b;
+  a.counts.resize(num_items);
+  b.counts.resize(num_items);
+  for (uint32_t i = 0; i < num_items; ++i) {
+    a.counts[i] = rng.UniformInt(500);
+    b.counts[i] = rng.UniformInt(500);
+  }
+  uint64_t sink = 0;
+  for (auto _ : state) {
+    sink += PairwiseOssub(a, b);
+  }
+  benchmark::DoNotOptimize(sink);
+  // Work is m^2/2 pair evaluations per call.
+  state.SetItemsProcessed(state.iterations() * num_items * (num_items - 1) /
+                          2);
+}
+BENCHMARK(BM_PairwiseOssub)->Arg(100)->Arg(300)->Arg(1000);
+
+void BM_PairwiseOssubBubble(benchmark::State& state) {
+  uint32_t bubble_size = static_cast<uint32_t>(state.range(0));
+  constexpr uint32_t kItems = 1000;
+  Rng rng(5);
+  Segment a;
+  Segment b;
+  a.counts.resize(kItems);
+  b.counts.resize(kItems);
+  for (uint32_t i = 0; i < kItems; ++i) {
+    a.counts[i] = rng.UniformInt(500);
+    b.counts[i] = rng.UniformInt(500);
+  }
+  std::vector<ItemId> bubble(bubble_size);
+  for (uint32_t i = 0; i < bubble_size; ++i) {
+    bubble[i] = i * (kItems / bubble_size);
+  }
+  uint64_t sink = 0;
+  for (auto _ : state) {
+    sink += PairwiseOssub(a, b, bubble);
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * bubble_size *
+                          (bubble_size - 1) / 2);
+}
+BENCHMARK(BM_PairwiseOssubBubble)->Arg(25)->Arg(100)->Arg(400);
+
+void BM_ConfigurationFromCounts(benchmark::State& state) {
+  uint32_t num_items = static_cast<uint32_t>(state.range(0));
+  Rng rng(6);
+  std::vector<uint64_t> counts(num_items);
+  for (auto& c : counts) c = rng.UniformInt(1000);
+  for (auto _ : state) {
+    Configuration config =
+        Configuration::FromCounts(std::span<const uint64_t>(counts));
+    benchmark::DoNotOptimize(config);
+  }
+}
+BENCHMARK(BM_ConfigurationFromCounts)->Arg(100)->Arg(1000);
+
+void BM_HashTreeCounting(benchmark::State& state) {
+  uint32_t num_candidates = static_cast<uint32_t>(state.range(0));
+  QuestConfig gen;
+  gen.num_items = 300;
+  gen.num_transactions = 2000;
+  gen.avg_transaction_size = 8;
+  gen.num_patterns = 40;
+  StatusOr<TransactionDatabase> db = GenerateQuest(gen);
+  OSSM_CHECK(db.ok());
+
+  Rng rng(7);
+  std::vector<Itemset> candidates;
+  while (candidates.size() < num_candidates) {
+    ItemId a = static_cast<ItemId>(rng.UniformInt(300));
+    ItemId b = static_cast<ItemId>(rng.UniformInt(299));
+    if (b >= a) ++b;
+    candidates.push_back({std::min(a, b), std::max(a, b)});
+  }
+
+  for (auto _ : state) {
+    HashTree tree(candidates);
+    for (uint64_t t = 0; t < db->num_transactions(); ++t) {
+      tree.CountTransaction(db->transaction(t));
+    }
+    benchmark::DoNotOptimize(tree.counts().data());
+  }
+  // The quantity Figure 4 links to runtime: candidates counted per scan.
+  state.SetItemsProcessed(state.iterations() * num_candidates);
+}
+BENCHMARK(BM_HashTreeCounting)->Arg(100)->Arg(1000)->Arg(10000);
+
+}  // namespace
+}  // namespace ossm
+
+BENCHMARK_MAIN();

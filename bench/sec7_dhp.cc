@@ -1,0 +1,121 @@
+// Reproduces the Section 7 table: the DHP algorithm with and without the
+// OSSM. The OSSM (built with Random-RC, n_user = 40 segments) prunes
+// candidate 2-itemsets before they ever reach DHP's 32768-bucket hash
+// filter; the two filters compose.
+//
+// Paper's result: |C2| drops 292 -> 142 (about half) and runtime roughly
+// halves. Expected shape here: |C2| and runtime both drop when the OSSM is
+// added; mined patterns identical.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "core/ossm_builder.h"
+#include "mining/candidate_pruner.h"
+#include "mining/dhp.h"
+
+namespace ossm {
+namespace {
+
+struct DhpOutcome {
+  double seconds = 0.0;
+  uint64_t c2 = 0;
+  MiningResult result;
+};
+
+DhpOutcome MeasureDhp(const TransactionDatabase& db, const DhpConfig& config,
+                      int repeats) {
+  DhpOutcome outcome;
+  outcome.seconds = 1e100;
+  for (int r = 0; r < repeats; ++r) {
+    WallTimer timer;
+    StatusOr<MiningResult> result = MineDhp(db, config);
+    double elapsed = timer.ElapsedSeconds();
+    OSSM_CHECK(result.ok()) << result.status().ToString();
+    if (elapsed < outcome.seconds) {
+      outcome.seconds = elapsed;
+      outcome.c2 = result->stats.CountedAtLevel(2);
+      outcome.result = std::move(*result);
+    }
+  }
+  return outcome;
+}
+
+int Run(int argc, char** argv) {
+  bench::Flags flags(argc, argv, {"scale", "seed", "transactions", "items",
+                                  "repeats", "buckets"});
+  bool paper = flags.PaperScale();
+  uint64_t num_transactions =
+      flags.GetInt("transactions", paper ? 100000 : 30000);
+  uint32_t num_items =
+      static_cast<uint32_t>(flags.GetInt("items", paper ? 1000 : 400));
+  uint64_t seed = flags.GetInt("seed", 1);
+  int repeats = static_cast<int>(flags.GetInt("repeats", 2));
+  // The paper pairs 32768 buckets with a ~125k-pair candidate space; the
+  // laptop default keeps the bucket-to-candidate ratio comparable so that
+  // hash collisions — the artifact the OSSM removes on top of DHP — occur
+  // at a similar rate.
+  uint32_t num_buckets = static_cast<uint32_t>(
+      flags.GetInt("buckets", paper ? 32768 : 2048));
+
+  std::printf(
+      "Section 7 — DHP with and without the OSSM\n"
+      "drifting synthetic, %llu transactions, %u items, threshold 1%%,\n"
+      "%u buckets; OSSM: Random-RC, n_user = 40 segments\n\n",
+      static_cast<unsigned long long>(num_transactions), num_items,
+      num_buckets);
+
+  // DHP's bucket filter already removes pairs that never co-occur; what it
+  // cannot catch are pairs whose bucket was inflated by collisions or whose
+  // co-occurrence shifted over time. Drifting Quest data (patterns plus
+  // seasonality) exercises exactly the regime where the two filters
+  // compose, as in the paper's preliminary table.
+  TransactionDatabase db =
+      bench::DriftingSynthetic(num_transactions, num_items, seed);
+
+  OssmBuildOptions build_options;
+  build_options.algorithm = SegmentationAlgorithm::kRandomRc;
+  build_options.target_segments = 40;
+  build_options.intermediate_segments = 200;
+  build_options.transactions_per_page = 100;
+  build_options.seed = seed;
+  StatusOr<OssmBuildResult> build = BuildOssm(db, build_options);
+  OSSM_CHECK(build.ok()) << build.status().ToString();
+  OssmPruner pruner(&build->map);
+
+  DhpConfig without;
+  without.min_support_fraction = 0.01;
+  without.num_buckets = num_buckets;
+  DhpConfig with = without;
+  with.pruner = &pruner;
+
+  DhpOutcome plain = MeasureDhp(db, without, repeats);
+  DhpOutcome assisted = MeasureDhp(db, with, repeats);
+  OSSM_CHECK(plain.result.SamePatternsAs(assisted.result))
+      << "OSSM pruning must be lossless";
+
+  TablePrinter table({"algorithm", "runtime (s)", "no. of C2"});
+  table.AddRow({"DHP without the OSSM",
+                TablePrinter::FormatDouble(plain.seconds, 3),
+                TablePrinter::FormatCount(plain.c2)});
+  table.AddRow({"DHP with the OSSM",
+                TablePrinter::FormatDouble(assisted.seconds, 3),
+                TablePrinter::FormatCount(assisted.c2)});
+  table.Print(std::cout);
+
+  std::printf(
+      "\nspeedup: %.2fx, C2 reduction: %.2fx (paper: ~2x and ~2x)\n"
+      "patterns identical with and without the OSSM: yes\n",
+      plain.seconds / assisted.seconds,
+      assisted.c2 == 0 ? 0.0
+                       : static_cast<double>(plain.c2) /
+                             static_cast<double>(assisted.c2));
+  return 0;
+}
+
+}  // namespace
+}  // namespace ossm
+
+int main(int argc, char** argv) { return ossm::Run(argc, argv); }

@@ -1,0 +1,121 @@
+// Telecom alarm correlation — the paper's Nokia scenario. Windows of a
+// network alarm stream become transactions; frequent itemsets over alarm
+// types reveal cascades (alarms that fire together), the raw material for
+// episode rules ("if LINK_DOWN and BER_HIGH in one window, expect
+// SWITCH_OVER"). The OSSM accelerates the mining, and — because alarm
+// streams are bursty — its per-segment supports also localize *when* each
+// cascade was active.
+//
+// Build & run:  ./build/examples/alarm_correlation
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/ossm_builder.h"
+#include "datagen/alarm_generator.h"
+#include "mining/apriori.h"
+#include "mining/candidate_pruner.h"
+
+int main() {
+  using namespace ossm;
+
+  // ~5000 windows over ~200 alarm types — the shape of the paper's
+  // (proprietary) Nokia data set.
+  AlarmConfig stream_config;
+  stream_config.num_alarm_types = 200;
+  stream_config.num_windows = 5000;
+  stream_config.background_rate = 3.0;
+  stream_config.num_episode_kinds = 25;
+  stream_config.episode_start_prob = 0.1;
+  stream_config.seed = 3;
+  StatusOr<TransactionDatabase> db = GenerateAlarms(stream_config);
+  if (!db.ok()) {
+    std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("alarm stream: %llu windows, %u alarm types\n",
+              static_cast<unsigned long long>(db->num_transactions()),
+              db->num_items());
+
+  // Alarm streams are temporally clustered, so contiguous segmentation
+  // captures real structure; Greedy is affordable at this size.
+  OssmBuildOptions build_options;
+  build_options.algorithm = SegmentationAlgorithm::kGreedy;
+  build_options.target_segments = 24;
+  build_options.transactions_per_page = 50;
+  StatusOr<OssmBuildResult> build = BuildOssm(*db, build_options);
+  if (!build.ok()) {
+    std::fprintf(stderr, "%s\n", build.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("OSSM: %u segments built in %.3f s\n\n",
+              build->map.num_segments(), build->stats.seconds);
+
+  OssmPruner pruner(&build->map);
+  AprioriConfig mine_config;
+  mine_config.min_support_fraction = 0.02;
+  mine_config.pruner = &pruner;
+  StatusOr<MiningResult> result = MineApriori(*db, mine_config);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  // Report the strongest multi-alarm correlations.
+  std::vector<const FrequentItemset*> cascades;
+  for (const FrequentItemset& f : result->itemsets) {
+    if (f.items.size() >= 2) cascades.push_back(&f);
+  }
+  std::sort(cascades.begin(), cascades.end(),
+            [](const FrequentItemset* a, const FrequentItemset* b) {
+              if (a->items.size() != b->items.size()) {
+                return a->items.size() > b->items.size();
+              }
+              return a->support > b->support;
+            });
+
+  std::printf("largest correlated alarm groups (candidates for cascade "
+              "rules):\n");
+  int shown = 0;
+  for (const FrequentItemset* f : cascades) {
+    if (shown++ >= 8) break;
+    std::printf("  [");
+    for (size_t i = 0; i < f->items.size(); ++i) {
+      std::printf("%sALM-%03u", i ? " " : "", f->items[i]);
+    }
+    std::printf("]  in %llu windows\n",
+                static_cast<unsigned long long>(f->support));
+  }
+
+  // The "variability" bonus from the conclusions: per-segment supports show
+  // when an alarm type was active. Profile the burstiest alarm.
+  ItemId burstiest = 0;
+  double best_ratio = 0.0;
+  for (ItemId a = 0; a < db->num_items(); ++a) {
+    std::span<const uint64_t> row = build->map.item_row(a);
+    uint64_t peak = *std::max_element(row.begin(), row.end());
+    uint64_t total = build->map.Support(a);
+    if (total < 50) continue;
+    double ratio = static_cast<double>(peak) /
+                   (static_cast<double>(total) / row.size());
+    if (ratio > best_ratio) {
+      best_ratio = ratio;
+      burstiest = a;
+    }
+  }
+  std::printf(
+      "\nburstiest alarm: ALM-%03u (peak segment %.1fx its average rate)\n"
+      "per-segment activity:",
+      burstiest, best_ratio);
+  for (uint64_t c : build->map.item_row(burstiest)) {
+    std::printf(" %llu", static_cast<unsigned long long>(c));
+  }
+  std::printf("\n\n%llu of %llu candidate groups were discarded by the "
+              "OSSM before counting.\n",
+              static_cast<unsigned long long>(
+                  result->stats.TotalPrunedByBound()),
+              static_cast<unsigned long long>(
+                  result->stats.TotalCandidatesGenerated()));
+  return 0;
+}

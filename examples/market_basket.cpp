@@ -1,0 +1,114 @@
+// Market-basket exploration: the iterative knowledge-discovery loop from
+// Section 3. An analyst repeatedly re-mines the same collection at
+// different support thresholds; the OSSM is built ONCE (query-independent)
+// and accelerates every query regardless of its threshold — unlike
+// query-dependent structures (hash tables, FP-trees) that must be rebuilt
+// per threshold.
+//
+// Build & run:  ./build/examples/market_basket [dataset.txt]
+// With a path argument, loads a FIMI-format file instead of generating.
+
+#include <cstdio>
+#include <string>
+
+#include "core/ossm_builder.h"
+#include "core/ossm_io.h"
+#include "data/dataset_io.h"
+#include "datagen/quest_generator.h"
+#include "mining/apriori.h"
+#include "mining/candidate_pruner.h"
+
+namespace {
+
+ossm::StatusOr<ossm::TransactionDatabase> LoadOrGenerate(int argc,
+                                                         char** argv) {
+  if (argc > 1) {
+    std::printf("loading FIMI dataset from %s\n", argv[1]);
+    return ossm::DatasetIo::LoadText(argv[1]);
+  }
+  ossm::QuestConfig config;
+  config.num_items = 400;
+  config.num_transactions = 40000;
+  config.avg_transaction_size = 4.0;  // mean item frequency ~1%
+  config.avg_pattern_size = 3.0;
+  config.num_patterns = 400;
+  config.corruption_mean = 0.25;
+  config.num_seasons = 8;
+  config.in_season_boost = 6.0;
+  config.seed = 11;
+  std::printf("no dataset given; generating Quest-style baskets\n");
+  return ossm::GenerateQuest(config);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ossm;
+
+  StatusOr<TransactionDatabase> db = LoadOrGenerate(argc, argv);
+  if (!db.ok()) {
+    std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("collection: %llu transactions, %u items\n\n",
+              static_cast<unsigned long long>(db->num_transactions()),
+              db->num_items());
+
+  // Compile time: build the OSSM once and persist it next to the data,
+  // like an index.
+  OssmBuildOptions build_options;
+  build_options.algorithm = SegmentationAlgorithm::kRandomGreedy;
+  build_options.target_segments = 60;
+  build_options.intermediate_segments = 150;
+  build_options.transactions_per_page = 100;
+  build_options.bubble_fraction = 0.2;
+  build_options.bubble_threshold = 0.005;
+  StatusOr<OssmBuildResult> build = BuildOssm(*db, build_options);
+  if (!build.ok()) {
+    std::fprintf(stderr, "%s\n", build.status().ToString().c_str());
+    return 1;
+  }
+  const std::string map_path = "market_basket.ossm";
+  if (Status save = OssmIo::Save(build->map, map_path); !save.ok()) {
+    std::fprintf(stderr, "%s\n", save.ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "OSSM built in %.3f s (%u segments, %.1f KB), persisted to %s\n\n",
+      build->stats.seconds, build->map.num_segments(),
+      build->map.MemoryFootprintBytes() / 1024.0, map_path.c_str());
+
+  // Exploration time: reload the persisted map and sweep thresholds, as an
+  // analyst hunting for the interesting support level would.
+  StatusOr<SegmentSupportMap> map = OssmIo::Load(map_path);
+  if (!map.ok()) {
+    std::fprintf(stderr, "%s\n", map.status().ToString().c_str());
+    return 1;
+  }
+  OssmPruner pruner(&*map);
+
+  std::printf("%-12s %-10s %-14s %-14s %-9s\n", "threshold", "patterns",
+              "counted", "pruned", "time (s)");
+  for (double threshold : {0.05, 0.02, 0.01, 0.005, 0.0025}) {
+    AprioriConfig config;
+    config.min_support_fraction = threshold;
+    config.pruner = &pruner;
+    StatusOr<MiningResult> result = MineApriori(*db, config);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-12.4f %-10zu %-14llu %-14llu %-9.3f\n", threshold,
+                result->itemsets.size(),
+                static_cast<unsigned long long>(
+                    result->stats.TotalCandidatesCounted()),
+                static_cast<unsigned long long>(
+                    result->stats.TotalPrunedByBound()),
+                result->stats.total_seconds);
+  }
+  std::printf(
+      "\nOne structure served every threshold — no rebuilds between "
+      "queries.\n");
+  std::remove(map_path.c_str());
+  return 0;
+}

@@ -1,0 +1,50 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ossm {
+
+namespace {
+std::atomic<LogSeverity> g_min_severity{LogSeverity::kWarning};
+
+const char* SeverityTag(LogSeverity s) {
+  switch (s) {
+    case LogSeverity::kInfo:
+      return "I";
+    case LogSeverity::kWarning:
+      return "W";
+    case LogSeverity::kError:
+      return "E";
+    case LogSeverity::kFatal:
+      return "F";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetMinLogSeverity(LogSeverity severity) { g_min_severity = severity; }
+LogSeverity MinLogSeverity() { return g_min_severity; }
+
+namespace internal_logging {
+
+LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
+    : severity_(severity) {
+  stream_ << "[" << SeverityTag(severity) << " " << file << ":" << line
+          << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (severity_ >= MinLogSeverity() || severity_ == LogSeverity::kFatal) {
+    std::string line = stream_.str();
+    std::fprintf(stderr, "%s\n", line.c_str());
+    std::fflush(stderr);
+  }
+  if (severity_ == LogSeverity::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace internal_logging
+}  // namespace ossm

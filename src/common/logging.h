@@ -1,0 +1,73 @@
+#ifndef OSSM_COMMON_LOGGING_H_
+#define OSSM_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace ossm {
+
+enum class LogSeverity { kInfo = 0, kWarning = 1, kError = 2, kFatal = 3 };
+
+namespace internal_logging {
+
+// Accumulates a single log line and emits it (to stderr) on destruction.
+// Fatal messages abort the process after emission.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when a check passes; keeps the ternary in
+// OSSM_CHECK well-typed.
+struct Voidify {
+  void operator&&(const LogMessage&) const {}
+};
+
+}  // namespace internal_logging
+
+// Minimum severity that is actually emitted (default kWarning so library
+// internals stay quiet in tests and benches). Fatal is always emitted.
+void SetMinLogSeverity(LogSeverity severity);
+LogSeverity MinLogSeverity();
+
+}  // namespace ossm
+
+#define OSSM_LOG(severity)                                      \
+  ::ossm::internal_logging::LogMessage(                         \
+      ::ossm::LogSeverity::k##severity, __FILE__, __LINE__)
+
+// Fatal-on-failure invariant check, enabled in all build modes. Use for
+// programming errors (violated preconditions), not for user input.
+#define OSSM_CHECK(condition)                                   \
+  (condition) ? (void)0                                         \
+              : ::ossm::internal_logging::Voidify() &&          \
+                    OSSM_LOG(Fatal) << "Check failed: " #condition " "
+
+#define OSSM_CHECK_EQ(a, b) OSSM_CHECK((a) == (b))
+#define OSSM_CHECK_NE(a, b) OSSM_CHECK((a) != (b))
+#define OSSM_CHECK_LT(a, b) OSSM_CHECK((a) < (b))
+#define OSSM_CHECK_LE(a, b) OSSM_CHECK((a) <= (b))
+#define OSSM_CHECK_GT(a, b) OSSM_CHECK((a) > (b))
+#define OSSM_CHECK_GE(a, b) OSSM_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define OSSM_DCHECK(condition) OSSM_CHECK(true || (condition))
+#else
+#define OSSM_DCHECK(condition) OSSM_CHECK(condition)
+#endif
+
+#endif  // OSSM_COMMON_LOGGING_H_

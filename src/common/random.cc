@@ -1,0 +1,126 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace ossm {
+
+namespace {
+
+// SplitMix64, used only to expand the user seed into xoshiro state.
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (uint64_t& s : state_) s = SplitMix64(sm);
+  // All-zero state is invalid for xoshiro; SplitMix64 cannot produce four
+  // zeros from any seed, but keep the guard explicit.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+}
+
+uint64_t Rng::Next() {
+  uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::UniformInt(uint64_t bound) {
+  OSSM_CHECK_GT(bound, 0u);
+  // Lemire's nearly-divisionless unbiased bounded generation.
+  uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < bound) {
+    uint64_t threshold = -bound % bound;
+    while (l < threshold) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::UniformIntRange(int64_t lo, int64_t hi) {
+  OSSM_CHECK_LE(lo, hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  // span == 0 means the full 64-bit range [INT64_MIN, INT64_MAX].
+  uint64_t draw = (span == 0) ? Next() : UniformInt(span);
+  return lo + static_cast<int64_t>(draw);
+}
+
+double Rng::UniformDouble() {
+  // 53 high bits -> [0, 1) with full double precision.
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+uint64_t Rng::Poisson(double mean) {
+  OSSM_CHECK_GT(mean, 0.0);
+  if (mean < 60.0) {
+    // Knuth: multiply uniforms until the product drops below e^-mean.
+    double limit = std::exp(-mean);
+    double product = 1.0;
+    uint64_t count = 0;
+    for (;;) {
+      product *= UniformDouble();
+      if (product <= limit) return count;
+      ++count;
+    }
+  }
+  // Normal approximation with continuity correction; adequate for the data
+  // generators, which only use large means for sizing.
+  double draw = Gaussian(mean, std::sqrt(mean));
+  if (draw < 0.0) return 0;
+  return static_cast<uint64_t>(draw + 0.5);
+}
+
+double Rng::Exponential(double mean) {
+  OSSM_CHECK_GT(mean, 0.0);
+  double u = UniformDouble();
+  // 1 - u is in (0, 1], so the log is finite.
+  return -mean * std::log(1.0 - u);
+}
+
+double Rng::Gaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  // Box-Muller. u1 in (0, 1] so log(u1) is finite.
+  double u1 = 1.0 - UniformDouble();
+  double u2 = UniformDouble();
+  double radius = std::sqrt(-2.0 * std::log(u1));
+  double angle = 2.0 * 3.14159265358979323846 * u2;
+  cached_gaussian_ = radius * std::sin(angle);
+  has_cached_gaussian_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  return mean + stddev * Gaussian();
+}
+
+Rng Rng::Fork() { return Rng(Next() ^ 0xa02bdbf7bb3c0a7ULL); }
+
+}  // namespace ossm

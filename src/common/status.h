@@ -1,0 +1,136 @@
+#ifndef OSSM_COMMON_STATUS_H_
+#define OSSM_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace ossm {
+
+// Error categories used across the library. Mirrors the usual database-style
+// status taxonomy (RocksDB/Abseil): a small closed enum plus a free-form
+// message for humans.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kCorruption,
+  kIOError,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+};
+
+// Returns a stable human-readable name, e.g. "InvalidArgument".
+std::string_view StatusCodeToString(StatusCode code);
+
+// Value-semantic result of a fallible operation. The library does not throw:
+// every operation that can fail on user input or I/O returns a Status (or a
+// StatusOr<T> below). Programming errors are handled with OSSM_CHECK instead.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+// Holds either a value of type T or a non-OK Status. Accessing the value of
+// an errored StatusOr is a checked fatal error.
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit, so `return value;` and `return SomeStatus();`
+  // both work from functions returning StatusOr<T>.
+  StatusOr(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {      // NOLINT
+    OSSM_CHECK(!status_.ok()) << "StatusOr constructed from OK without value";
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    OSSM_CHECK(ok()) << "value() on errored StatusOr: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    OSSM_CHECK(ok()) << "value() on errored StatusOr: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    OSSM_CHECK(ok()) << "value() on errored StatusOr: " << status_.ToString();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagates a non-OK status to the caller.
+#define OSSM_RETURN_IF_ERROR(expr)            \
+  do {                                        \
+    ::ossm::Status _ossm_status = (expr);     \
+    if (!_ossm_status.ok()) return _ossm_status; \
+  } while (false)
+
+}  // namespace ossm
+
+#endif  // OSSM_COMMON_STATUS_H_

@@ -1,0 +1,39 @@
+#ifndef OSSM_COMMON_TABLE_PRINTER_H_
+#define OSSM_COMMON_TABLE_PRINTER_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ossm {
+
+// Renders the paper-style result tables the bench harnesses print: a header
+// row, aligned columns, and a rule under the header.
+//
+//   TablePrinter t({"algorithm", "time (s)", "speedup"});
+//   t.AddRow({"Greedy", "12.3", "5.9"});
+//   t.Print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  // Cells are pre-formatted strings; convenience Format* helpers below.
+  void AddRow(std::vector<std::string> row);
+
+  void Print(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+  // "%.3g"-style fixed formatting helpers used throughout benches.
+  static std::string FormatDouble(double value, int precision = 3);
+  static std::string FormatCount(uint64_t value);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ossm
+
+#endif  // OSSM_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,38 @@
+#include "core/bubble_list.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ossm {
+
+std::vector<ItemId> SelectBubbleList(std::span<const uint64_t> item_supports,
+                                     uint64_t min_support_count,
+                                     uint32_t size) {
+  std::vector<ItemId> items(item_supports.size());
+  std::iota(items.begin(), items.end(), 0);
+
+  auto distance = [&](ItemId i) {
+    uint64_t s = item_supports[i];
+    return s >= min_support_count ? s - min_support_count
+                                  : min_support_count - s;
+  };
+  auto satisfies = [&](ItemId i) {
+    return item_supports[i] >= min_support_count;
+  };
+
+  std::stable_sort(items.begin(), items.end(), [&](ItemId a, ItemId b) {
+    uint64_t da = distance(a);
+    uint64_t db = distance(b);
+    if (da != db) return da < db;
+    bool sa = satisfies(a);
+    bool sb = satisfies(b);
+    if (sa != sb) return sa;  // prefer "barely satisfies" over "barely misses"
+    return a < b;
+  });
+
+  if (items.size() > size) items.resize(size);
+  std::sort(items.begin(), items.end());
+  return items;
+}
+
+}  // namespace ossm

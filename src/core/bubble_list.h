@@ -1,0 +1,33 @@
+#ifndef OSSM_CORE_BUBBLE_LIST_H_
+#define OSSM_CORE_BUBBLE_LIST_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/item.h"
+
+namespace ossm {
+
+// The bubble-list optimization (Section 5.3). Segmentation quality only
+// matters for items whose support is near the mining threshold — the ones
+// "on the bubble" — because pruning decisions for items far above or far
+// below the threshold do not depend on how tight the bound is. Restricting
+// the ossub summation of equation (2) to pairs of bubble items removes the
+// m^2 factor from Greedy and RC.
+//
+// The list is built against one support threshold but the resulting OSSM
+// remains usable at any threshold (evaluated in Figure 6, where segmentation
+// uses 0.25% and queries use 1%).
+//
+// Selection rule: the `size` items whose global support is closest to the
+// threshold, preferring (on distance ties) the items that satisfy it — a
+// direct reading of "items whose frequencies barely satisfy, and are the
+// closest to, the support threshold".
+std::vector<ItemId> SelectBubbleList(std::span<const uint64_t> item_supports,
+                                     uint64_t min_support_count,
+                                     uint32_t size);
+
+}  // namespace ossm
+
+#endif  // OSSM_CORE_BUBBLE_LIST_H_

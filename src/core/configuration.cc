@@ -1,0 +1,54 @@
+#include "core/configuration.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace ossm {
+
+namespace {
+
+// Canonical ordering key: support descending, item id ascending on ties.
+std::vector<ItemId> SortOrder(std::span<const uint64_t> counts) {
+  std::vector<ItemId> order(counts.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](ItemId a, ItemId b) {
+    return counts[a] > counts[b];
+  });
+  return order;
+}
+
+}  // namespace
+
+Configuration Configuration::FromCounts(std::span<const uint64_t> counts) {
+  Configuration config;
+  config.order_ = SortOrder(counts);
+  return config;
+}
+
+size_t Configuration::Hash() const {
+  size_t hash = 14695981039346656037ULL;
+  for (ItemId item : order_) {
+    hash ^= item;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+bool SameConfiguration(std::span<const uint64_t> a,
+                       std::span<const uint64_t> b) {
+  OSSM_CHECK_EQ(a.size(), b.size());
+  std::vector<ItemId> order = SortOrder(a);
+  // `order` is b's canonical configuration iff it is sorted by b's key:
+  // count strictly decreasing, or equal counts with ascending item ids.
+  for (size_t j = 0; j + 1 < order.size(); ++j) {
+    ItemId x = order[j];
+    ItemId y = order[j + 1];
+    if (b[x] < b[y]) return false;
+    if (b[x] == b[y] && x > y) return false;
+  }
+  return true;
+}
+
+}  // namespace ossm

@@ -1,0 +1,54 @@
+#ifndef OSSM_CORE_CONFIGURATION_H_
+#define OSSM_CORE_CONFIGURATION_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/item.h"
+
+namespace ossm {
+
+// The configuration of a segment (Section 4): the descriptor
+// <x_{i1} >= x_{i2} >= ... >= x_{im}> listing the items by non-increasing
+// segment support. Ties are broken by the canonical item enumeration
+// (footnote 4 of the paper), so every count vector has exactly one
+// configuration and configurations compare by plain permutation equality.
+//
+// Lemma 1: merging two segments of equal configuration changes no upper
+// bound, because for any itemset the minimum is attained at the same
+// (lowest-ranked) item in both segments. This is the engine behind both the
+// exact construction of Theorem 1 and the "merge equal configurations first"
+// preprocessing of Section 5.1.
+class Configuration {
+ public:
+  // Builds the configuration of a count vector. O(m log m).
+  static Configuration FromCounts(std::span<const uint64_t> counts);
+
+  std::span<const ItemId> order() const { return order_; }
+
+  friend bool operator==(const Configuration& a, const Configuration& b) {
+    return a.order_ == b.order_;
+  }
+
+  // FNV-style hash for use as an unordered_map key.
+  size_t Hash() const;
+
+ private:
+  std::vector<ItemId> order_;
+};
+
+struct ConfigurationHasher {
+  size_t operator()(const Configuration& c) const { return c.Hash(); }
+};
+
+// True iff the two count vectors have the same configuration. Equivalent to
+// Configuration::FromCounts(a) == FromCounts(b) but avoids materializing the
+// permutations: it checks that `b` is non-increasing along `a`'s sort order
+// with tie-order consistency. O(m log m).
+bool SameConfiguration(std::span<const uint64_t> a,
+                       std::span<const uint64_t> b);
+
+}  // namespace ossm
+
+#endif  // OSSM_CORE_CONFIGURATION_H_

@@ -1,0 +1,147 @@
+#include "core/generalized_ossm.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ossm {
+
+namespace {
+
+// Index of the unordered pair {ra, rb} (ra < rb) in an upper-triangular
+// layout over `tracked` ranks.
+inline size_t TriIndex(uint32_t ra, uint32_t rb, uint32_t tracked) {
+  // Row ra starts after sum_{r<ra} (tracked - 1 - r) cells.
+  size_t row_offset = static_cast<size_t>(ra) * (tracked - 1) -
+                      static_cast<size_t>(ra) * (ra - 1) / 2;
+  return row_offset + (rb - ra - 1);
+}
+
+}  // namespace
+
+StatusOr<GeneralizedOssm> GeneralizedOssm::Build(
+    const TransactionDatabase& db, const SegmentSupportMap& base,
+    const PageLayout& layout, const std::vector<uint32_t>& page_to_segment,
+    uint32_t tracked_items) {
+  if (tracked_items < 2 || tracked_items > db.num_items()) {
+    return Status::InvalidArgument(
+        "tracked_items must be in [2, num_items]");
+  }
+  if (base.num_items() != db.num_items()) {
+    return Status::InvalidArgument("map/database item domains differ");
+  }
+  if (page_to_segment.size() != layout.num_pages()) {
+    return Status::InvalidArgument(
+        "page_to_segment size does not match the page layout");
+  }
+  for (uint32_t seg : page_to_segment) {
+    if (seg >= base.num_segments()) {
+      return Status::InvalidArgument("page assigned to nonexistent segment");
+    }
+  }
+
+  GeneralizedOssm g;
+  g.base_ = base;
+  g.tracked_ = tracked_items;
+
+  // Track the globally hottest items: they form the densest candidate pairs.
+  std::vector<ItemId> by_support(db.num_items());
+  std::iota(by_support.begin(), by_support.end(), 0);
+  std::stable_sort(by_support.begin(), by_support.end(),
+                   [&](ItemId a, ItemId b) {
+                     return base.Support(a) > base.Support(b);
+                   });
+  by_support.resize(tracked_items);
+  std::sort(by_support.begin(), by_support.end());
+  g.ranked_items_ = by_support;
+  g.item_rank_.assign(db.num_items(), kUntracked);
+  for (uint32_t r = 0; r < tracked_items; ++r) {
+    g.item_rank_[g.ranked_items_[r]] = r;
+  }
+
+  uint32_t num_segments = base.num_segments();
+  size_t num_pairs =
+      static_cast<size_t>(tracked_items) * (tracked_items - 1) / 2;
+  g.pair_data_.assign(num_pairs * num_segments, 0);
+
+  // One scan: for each transaction, bump the cells of every tracked pair it
+  // contains, in its page's segment.
+  std::vector<uint32_t> present_ranks;
+  for (uint64_t p = 0; p < layout.num_pages(); ++p) {
+    uint32_t segment = page_to_segment[p];
+    for (uint64_t t = layout.page_begin[p]; t < layout.page_begin[p + 1];
+         ++t) {
+      present_ranks.clear();
+      for (ItemId item : db.transaction(t)) {
+        uint32_t rank = g.item_rank_[item];
+        if (rank != kUntracked) present_ranks.push_back(rank);
+      }
+      std::sort(present_ranks.begin(), present_ranks.end());
+      for (size_t i = 0; i < present_ranks.size(); ++i) {
+        for (size_t j = i + 1; j < present_ranks.size(); ++j) {
+          size_t idx =
+              TriIndex(present_ranks[i], present_ranks[j], tracked_items);
+          ++g.pair_data_[idx * num_segments + segment];
+        }
+      }
+    }
+  }
+  return g;
+}
+
+uint64_t GeneralizedOssm::PairCell(uint32_t rank_a, uint32_t rank_b,
+                                   uint32_t segment) const {
+  size_t idx = TriIndex(rank_a, rank_b, tracked_);
+  return pair_data_[idx * base_.num_segments() + segment];
+}
+
+uint64_t GeneralizedOssm::PairSupport(ItemId a, ItemId b) const {
+  OSSM_CHECK_NE(a, b);
+  uint32_t ra = item_rank_[a];
+  uint32_t rb = item_rank_[b];
+  if (ra == kUntracked || rb == kUntracked) return UINT64_MAX;
+  if (ra > rb) std::swap(ra, rb);
+  uint64_t total = 0;
+  for (uint32_t s = 0; s < base_.num_segments(); ++s) {
+    total += PairCell(ra, rb, s);
+  }
+  return total;
+}
+
+uint64_t GeneralizedOssm::UpperBound(std::span<const ItemId> itemset) const {
+  OSSM_CHECK(!itemset.empty());
+  if (itemset.size() == 1) return base_.Support(itemset[0]);
+
+  // Tracked ranks present in the itemset.
+  uint32_t ranks[64];
+  size_t num_ranks = 0;
+  for (ItemId item : itemset) {
+    uint32_t rank = item_rank_[item];
+    if (rank != kUntracked && num_ranks < 64) ranks[num_ranks++] = rank;
+  }
+  std::sort(ranks, ranks + num_ranks);
+
+  uint64_t bound = 0;
+  uint32_t num_segments = base_.num_segments();
+  for (uint32_t s = 0; s < num_segments; ++s) {
+    // Singleton part of the per-segment minimum.
+    uint64_t min_count = UINT64_MAX;
+    for (ItemId item : itemset) {
+      uint64_t c = base_.item_row(item)[s];
+      min_count = std::min(min_count, c);
+      if (min_count == 0) break;
+    }
+    // Tighten with tracked pairs.
+    if (min_count > 0) {
+      for (size_t i = 0; i < num_ranks && min_count > 0; ++i) {
+        for (size_t j = i + 1; j < num_ranks; ++j) {
+          min_count = std::min(min_count, PairCell(ranks[i], ranks[j], s));
+          if (min_count == 0) break;
+        }
+      }
+    }
+    bound += min_count;
+  }
+  return bound;
+}
+
+}  // namespace ossm

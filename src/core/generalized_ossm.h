@@ -1,0 +1,69 @@
+#ifndef OSSM_CORE_GENERALIZED_OSSM_H_
+#define OSSM_CORE_GENERALIZED_OSSM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/segment_support_map.h"
+#include "data/page_layout.h"
+#include "data/transaction_database.h"
+
+namespace ossm {
+
+// The generalization sketched in footnote 3 of the paper: besides singleton
+// segment supports, also store the per-segment supports of selected
+// 2-itemsets, which tightens the bound of equation (1) to
+//
+//   sup_hat(X) = sum_i min( min_{x in X} sup_i({x}),
+//                           min_{{x,y} subset X, tracked} sup_i({x,y}) )
+//
+// Tracking all m^2/2 pairs would defeat the structure's light weight, so
+// only pairs among the `tracked_items` hottest items (by global support) are
+// stored — those are the pairs that generate the most candidates. Memory
+// grows by num_segments * tracked^2/2 counts.
+class GeneralizedOssm {
+ public:
+  GeneralizedOssm() = default;
+
+  // Builds on top of an existing singleton map and its partition. Requires
+  // one extra scan of the database. `tracked_items` must be >= 2 and
+  // <= num_items.
+  static StatusOr<GeneralizedOssm> Build(const TransactionDatabase& db,
+                                         const SegmentSupportMap& base,
+                                         const PageLayout& layout,
+                                         const std::vector<uint32_t>& page_to_segment,
+                                         uint32_t tracked_items);
+
+  const SegmentSupportMap& base() const { return base_; }
+  uint32_t tracked_items() const { return tracked_; }
+
+  // Tightened equation (1). Never larger than base().UpperBound(itemset),
+  // never smaller than the true support.
+  uint64_t UpperBound(std::span<const ItemId> itemset) const;
+
+  // Exact support of a tracked pair, or UINT64_MAX if untracked.
+  uint64_t PairSupport(ItemId a, ItemId b) const;
+
+  uint64_t MemoryFootprintBytes() const {
+    return base_.MemoryFootprintBytes() + pair_data_.size() * sizeof(uint64_t);
+  }
+
+ private:
+  // Dense rank of a tracked item, or kUntracked.
+  static constexpr uint32_t kUntracked = UINT32_MAX;
+
+  uint64_t PairCell(uint32_t rank_a, uint32_t rank_b, uint32_t segment) const;
+
+  SegmentSupportMap base_;
+  uint32_t tracked_ = 0;
+  std::vector<uint32_t> item_rank_;   // item -> dense rank or kUntracked
+  std::vector<ItemId> ranked_items_;  // rank -> item
+  // Upper-triangular pair counts per segment:
+  // pair_data_[(TriIndex(ra, rb)) * num_segments + s].
+  std::vector<uint64_t> pair_data_;
+};
+
+}  // namespace ossm
+
+#endif  // OSSM_CORE_GENERALIZED_OSSM_H_

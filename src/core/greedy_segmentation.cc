@@ -1,0 +1,102 @@
+#include "core/greedy_segmentation.h"
+
+#include <queue>
+#include <vector>
+
+#include "common/timer.h"
+#include "core/ossub.h"
+
+namespace ossm {
+
+namespace {
+
+// Heap entry for the candidate merge of two segments. `version_*` pins the
+// states of the segments at evaluation time; an entry is stale (and skipped
+// on pop) if either segment has since been merged away or grown.
+struct MergeCandidate {
+  uint64_t loss;
+  uint32_t seg_a;
+  uint32_t seg_b;
+  uint32_t version_a;
+  uint32_t version_b;
+};
+
+struct MergeCandidateGreater {
+  bool operator()(const MergeCandidate& x, const MergeCandidate& y) const {
+    return x.loss > y.loss;
+  }
+};
+
+}  // namespace
+
+StatusOr<std::vector<Segment>> GreedySegmenter::Run(
+    std::vector<Segment> initial, const SegmentationOptions& options,
+    SegmentationStats* stats) {
+  OSSM_RETURN_IF_ERROR(
+      internal_segmentation::ValidateInput(initial, options));
+  WallTimer timer;
+  uint64_t evaluations = 0;
+
+  std::span<const ItemId> bubble(options.bubble);
+
+  std::vector<Segment> segments = std::move(initial);
+  size_t alive = segments.size();
+  std::vector<uint32_t> version(segments.size(), 0);
+  std::vector<char> dead(segments.size(), 0);
+
+  std::priority_queue<MergeCandidate, std::vector<MergeCandidate>,
+                      MergeCandidateGreater>
+      queue;
+
+  // Step 1 of Figure 2: all initial pairs.
+  for (uint32_t a = 0; a < segments.size(); ++a) {
+    for (uint32_t b = a + 1; b < segments.size(); ++b) {
+      uint64_t loss = PairwiseOssub(segments[a], segments[b], bubble);
+      ++evaluations;
+      queue.push({loss, a, b, 0, 0});
+    }
+  }
+
+  // Step 2: merge down to the target.
+  while (alive > options.target_segments) {
+    OSSM_CHECK(!queue.empty());
+    MergeCandidate top = queue.top();
+    queue.pop();
+    if (dead[top.seg_a] || dead[top.seg_b] ||
+        version[top.seg_a] != top.version_a ||
+        version[top.seg_b] != top.version_b) {
+      continue;  // lazy deletion
+    }
+
+    // Merge b into a; a's version bumps (its counts changed), b dies.
+    MergeSegmentInto(segments[top.seg_a], std::move(segments[top.seg_b]));
+    dead[top.seg_b] = 1;
+    ++version[top.seg_a];
+    --alive;
+    if (alive <= options.target_segments) break;
+
+    // Step 6: fresh losses between the merged segment and every survivor.
+    for (uint32_t other = 0; other < segments.size(); ++other) {
+      if (dead[other] || other == top.seg_a) continue;
+      uint64_t loss =
+          PairwiseOssub(segments[top.seg_a], segments[other], bubble);
+      ++evaluations;
+      queue.push({loss, top.seg_a, other, version[top.seg_a],
+                  version[other]});
+    }
+  }
+
+  std::vector<Segment> result;
+  result.reserve(alive);
+  for (size_t s = 0; s < segments.size(); ++s) {
+    if (!dead[s]) result.push_back(std::move(segments[s]));
+  }
+
+  if (stats != nullptr) {
+    stats->seconds = timer.ElapsedSeconds();
+    stats->ossub_evaluations = evaluations;
+  }
+  return result;
+}
+
+}  // namespace ossm

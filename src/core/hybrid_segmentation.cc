@@ -1,0 +1,51 @@
+#include "core/hybrid_segmentation.h"
+
+#include "common/timer.h"
+#include "core/random_segmentation.h"
+
+namespace ossm {
+
+HybridSegmenter::HybridSegmenter(std::unique_ptr<Segmenter> final_phase,
+                                 uint64_t intermediate_segments)
+    : final_phase_(std::move(final_phase)),
+      intermediate_segments_(intermediate_segments) {
+  OSSM_CHECK(final_phase_ != nullptr);
+  OSSM_CHECK_GT(intermediate_segments_, 0u);
+  name_ = "Random-";
+  name_ += final_phase_->name();
+}
+
+StatusOr<std::vector<Segment>> HybridSegmenter::Run(
+    std::vector<Segment> initial, const SegmentationOptions& options,
+    SegmentationStats* stats) {
+  OSSM_RETURN_IF_ERROR(
+      internal_segmentation::ValidateInput(initial, options));
+  if (intermediate_segments_ < options.target_segments) {
+    return Status::InvalidArgument(
+        "intermediate segment count must be >= target_segments");
+  }
+  WallTimer timer;
+
+  SegmentationOptions random_options = options;
+  random_options.target_segments = intermediate_segments_;
+
+  RandomSegmenter random_phase;
+  SegmentationStats random_stats;
+  StatusOr<std::vector<Segment>> reduced =
+      random_phase.Run(std::move(initial), random_options, &random_stats);
+  if (!reduced.ok()) return reduced.status();
+
+  SegmentationStats final_stats;
+  StatusOr<std::vector<Segment>> result = final_phase_->Run(
+      std::move(reduced).value(), options, &final_stats);
+  if (!result.ok()) return result.status();
+
+  if (stats != nullptr) {
+    stats->seconds = timer.ElapsedSeconds();
+    stats->ossub_evaluations =
+        random_stats.ossub_evaluations + final_stats.ossub_evaluations;
+  }
+  return result;
+}
+
+}  // namespace ossm

@@ -1,0 +1,37 @@
+#ifndef OSSM_CORE_HYBRID_SEGMENTATION_H_
+#define OSSM_CORE_HYBRID_SEGMENTATION_H_
+
+#include <memory>
+#include <string>
+
+#include "core/segmentation.h"
+
+namespace ossm {
+
+// The hybrid strategies of Section 5.4 (Random-RC and Random-Greedy): for a
+// large initial page count P, first run the Random algorithm down to an
+// intermediate n_mid segments (n_user < n_mid << P), then finish with an
+// elaborate algorithm. This removes the P^2 factor: the expensive phase only
+// ever sees n_mid segments. The paper recommends n_mid between 100 and 500.
+class HybridSegmenter : public Segmenter {
+ public:
+  // Takes ownership of the final-phase segmenter (RcSegmenter or
+  // GreedySegmenter). `intermediate_segments` is n_mid.
+  HybridSegmenter(std::unique_ptr<Segmenter> final_phase,
+                  uint64_t intermediate_segments);
+
+  std::string_view name() const override { return name_; }
+
+  StatusOr<std::vector<Segment>> Run(std::vector<Segment> initial,
+                                     const SegmentationOptions& options,
+                                     SegmentationStats* stats) override;
+
+ private:
+  std::unique_ptr<Segmenter> final_phase_;
+  uint64_t intermediate_segments_;
+  std::string name_;
+};
+
+}  // namespace ossm
+
+#endif  // OSSM_CORE_HYBRID_SEGMENTATION_H_

@@ -1,0 +1,77 @@
+#ifndef OSSM_CORE_OSSM_BUILDER_H_
+#define OSSM_CORE_OSSM_BUILDER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/segment_support_map.h"
+#include "core/segmentation.h"
+#include "data/page_layout.h"
+#include "data/transaction_database.h"
+
+namespace ossm {
+
+// The segmentation strategies evaluated in Section 6, plus the degenerate
+// per-page map used as the accuracy reference in Definition 2.
+enum class SegmentationAlgorithm {
+  kRandom,
+  kRc,
+  kGreedy,
+  kRandomRc,      // hybrid of Section 5.4
+  kRandomGreedy,  // hybrid of Section 5.4
+};
+
+std::string_view SegmentationAlgorithmName(SegmentationAlgorithm algorithm);
+
+// Instantiates a segmenter for the given strategy. `intermediate_segments`
+// (n_mid) only applies to the hybrids; the paper recommends 100..500.
+std::unique_ptr<Segmenter> MakeSegmenter(SegmentationAlgorithm algorithm,
+                                         uint64_t intermediate_segments = 200);
+
+// Everything needed to build an OSSM from a database in one call.
+struct OssmBuildOptions {
+  SegmentationAlgorithm algorithm = SegmentationAlgorithm::kGreedy;
+  uint64_t target_segments = 40;          // n_user
+  uint64_t transactions_per_page = 100;   // the paper's 4KB-page rule
+  uint64_t intermediate_segments = 200;   // n_mid for hybrids
+
+  // Bubble list (Section 5.3): if bubble_fraction > 0, restrict ossub to
+  // the bubble_fraction * num_items items nearest this support threshold
+  // (a *fraction of transactions*, e.g. 0.0025 for the paper's 0.25%).
+  double bubble_fraction = 0.0;
+  double bubble_threshold = 0.0025;
+
+  uint64_t seed = 1;
+};
+
+// The built OSSM plus how it was made. `page_to_segment` records the final
+// partition (needed e.g. to build a generalized OSSM over the same
+// segments); `stats` carries segmentation cost for the benches.
+struct OssmBuildResult {
+  SegmentSupportMap map;
+  std::vector<uint32_t> page_to_segment;
+  PageLayout layout;
+  SegmentationStats stats;
+};
+
+// Paginates `db`, runs the chosen segmentation heuristic, and assembles the
+// map. This is the "compile-time, query-independent" operation of Section 3:
+// build once here, then reuse the map for any number of mining queries at
+// any support threshold.
+StatusOr<OssmBuildResult> BuildOssm(const TransactionDatabase& db,
+                                    const OssmBuildOptions& options);
+
+// The recommended recipe of Figure 7. Inputs mirror the decision diamonds:
+// is n_user large and the data skewed? is segmentation cost an issue? is the
+// initial page count very large?
+SegmentationAlgorithm RecommendStrategy(bool large_target_and_skewed,
+                                        bool segmentation_cost_an_issue,
+                                        bool very_many_pages,
+                                        bool prefer_greedy_quality = true);
+
+}  // namespace ossm
+
+#endif  // OSSM_CORE_OSSM_BUILDER_H_

@@ -1,0 +1,104 @@
+#include "core/ossm_io.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+namespace ossm {
+
+namespace {
+
+constexpr char kMagic[8] = {'O', 'S', 'S', 'M', 'S', 'M', '1', '\n'};
+constexpr uint64_t kFnvOffset = 14695981039346656037ULL;
+
+uint64_t Fnv1a(const void* data, size_t size, uint64_t seed) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  uint64_t hash = seed;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using UniqueFile = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+Status OssmIo::Save(const SegmentSupportMap& map, const std::string& path) {
+  UniqueFile file(std::fopen(path.c_str(), "wb"));
+  if (file == nullptr) {
+    return Status::IOError("cannot open " + path + " for writing");
+  }
+  if (std::fwrite(kMagic, 1, sizeof(kMagic), file.get()) != sizeof(kMagic)) {
+    return Status::IOError("short write to " + path);
+  }
+  uint64_t header[2] = {map.num_items(), map.num_segments()};
+  if (std::fwrite(header, 1, sizeof(header), file.get()) != sizeof(header)) {
+    return Status::IOError("short write to " + path);
+  }
+  uint64_t checksum = Fnv1a(header, sizeof(header), kFnvOffset);
+  size_t payload = map.data_.size() * sizeof(uint64_t);
+  if (payload != 0 &&
+      std::fwrite(map.data_.data(), 1, payload, file.get()) != payload) {
+    return Status::IOError("short write to " + path);
+  }
+  checksum = Fnv1a(map.data_.data(), payload, checksum);
+  if (std::fwrite(&checksum, 1, sizeof(checksum), file.get()) !=
+      sizeof(checksum)) {
+    return Status::IOError("short write to " + path);
+  }
+  if (std::fflush(file.get()) != 0) {
+    return Status::IOError("flush failed for " + path);
+  }
+  return Status::OK();
+}
+
+StatusOr<SegmentSupportMap> OssmIo::Load(const std::string& path) {
+  UniqueFile file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) {
+    return Status::IOError("cannot open " + path + " for reading");
+  }
+  char magic[sizeof(kMagic)];
+  if (std::fread(magic, 1, sizeof(magic), file.get()) != sizeof(magic) ||
+      !std::equal(magic, magic + sizeof(magic), kMagic)) {
+    return Status::Corruption(path + " is not an OSSM map file");
+  }
+  uint64_t header[2];
+  if (std::fread(header, 1, sizeof(header), file.get()) != sizeof(header)) {
+    return Status::Corruption("unexpected end of file in " + path);
+  }
+  if (header[0] > 0xFFFFFFFFULL || header[1] > 0xFFFFFFFFULL ||
+      header[1] == 0) {
+    return Status::Corruption("implausible dimensions in " + path);
+  }
+  uint64_t checksum = Fnv1a(header, sizeof(header), kFnvOffset);
+
+  SegmentSupportMap map;
+  map.num_items_ = static_cast<uint32_t>(header[0]);
+  map.num_segments_ = static_cast<uint32_t>(header[1]);
+  map.data_.assign(static_cast<size_t>(header[0]) * header[1], 0);
+  size_t payload = map.data_.size() * sizeof(uint64_t);
+  if (payload != 0 &&
+      std::fread(map.data_.data(), 1, payload, file.get()) != payload) {
+    return Status::Corruption("unexpected end of file in " + path);
+  }
+  checksum = Fnv1a(map.data_.data(), payload, checksum);
+
+  uint64_t stored = 0;
+  if (std::fread(&stored, 1, sizeof(stored), file.get()) != sizeof(stored)) {
+    return Status::Corruption("unexpected end of file in " + path);
+  }
+  if (stored != checksum) {
+    return Status::Corruption("checksum mismatch in " + path);
+  }
+  map.RecomputeTotals();
+  return map;
+}
+
+}  // namespace ossm

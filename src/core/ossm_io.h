@@ -1,0 +1,24 @@
+#ifndef OSSM_CORE_OSSM_IO_H_
+#define OSSM_CORE_OSSM_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/segment_support_map.h"
+
+namespace ossm {
+
+// Persistence for segment support maps. The OSSM is a compile-time artifact
+// meant to be built once and reused across mining sessions (Section 3), so
+// it needs a durable on-disk form. Binary little-endian with a magic header
+// and an end-of-file checksum; corruption and truncation surface as
+// Status::Corruption.
+class OssmIo {
+ public:
+  static Status Save(const SegmentSupportMap& map, const std::string& path);
+  static StatusOr<SegmentSupportMap> Load(const std::string& path);
+};
+
+}  // namespace ossm
+
+#endif  // OSSM_CORE_OSSM_IO_H_

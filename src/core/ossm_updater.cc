@@ -1,0 +1,65 @@
+#include "core/ossm_updater.h"
+
+#include <string>
+#include <vector>
+
+#include "core/ossub.h"
+
+namespace ossm {
+
+OssmUpdater::OssmUpdater(SegmentSupportMap* map) : map_(map) {
+  OSSM_CHECK(map_ != nullptr);
+  OSSM_CHECK_GT(map_->num_segments(), 0u);
+}
+
+StatusOr<uint32_t> OssmUpdater::AppendPage(std::span<const uint64_t> counts,
+                                           AppendPolicy policy) {
+  if (counts.size() != map_->num_items()) {
+    return Status::InvalidArgument(
+        "page item domain (" + std::to_string(counts.size()) +
+        ") does not match the map (" + std::to_string(map_->num_items()) +
+        ")");
+  }
+
+  uint32_t target = 0;
+  switch (policy) {
+    case AppendPolicy::kRoundRobin: {
+      target =
+          static_cast<uint32_t>(round_robin_next_ % map_->num_segments());
+      ++round_robin_next_;
+      break;
+    }
+    case AppendPolicy::kClosestFit: {
+      // The segment whose merge with this page loses the least accuracy —
+      // the same pairwise-ossub criterion the RC algorithm uses.
+      uint64_t best_loss = UINT64_MAX;
+      std::vector<uint64_t> segment_counts;
+      for (uint32_t s = 0; s < map_->num_segments(); ++s) {
+        map_->ExtractSegment(s, &segment_counts);
+        uint64_t loss = PairwiseOssub(
+            std::span<const uint64_t>(segment_counts), counts);
+        if (loss < best_loss) {
+          best_loss = loss;
+          target = s;
+        }
+      }
+      break;
+    }
+  }
+  map_->AccumulateSegment(target, counts);
+  return target;
+}
+
+StatusOr<std::vector<uint32_t>> OssmUpdater::AppendPages(
+    const PageItemCounts& pages, AppendPolicy policy) {
+  std::vector<uint32_t> assignment;
+  assignment.reserve(pages.num_pages());
+  for (uint64_t p = 0; p < pages.num_pages(); ++p) {
+    StatusOr<uint32_t> segment = AppendPage(pages.counts(p), policy);
+    if (!segment.ok()) return segment.status();
+    assignment.push_back(*segment);
+  }
+  return assignment;
+}
+
+}  // namespace ossm

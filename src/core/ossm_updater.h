@@ -1,0 +1,50 @@
+#ifndef OSSM_CORE_OSSM_UPDATER_H_
+#define OSSM_CORE_OSSM_UPDATER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/segment_support_map.h"
+#include "data/page_layout.h"
+
+namespace ossm {
+
+// Incremental maintenance of an OSSM as the collection grows. The OSSM is
+// advertised as a compile-once, query-independent structure (Section 3);
+// for that story to survive an append-mostly workload, new pages must fold
+// into the existing map without a rebuild. Each incoming page is either
+//  * merged into the existing segment that it degrades least (minimum
+//    pairwise ossub against the incoming page — the same criterion RC and
+//    Greedy optimize), or
+//  * merged round-robin (the Random-algorithm analogue, O(1) per page).
+// Appending never changes the segment count, so the map's footprint stays
+// fixed while its counts stay exact for singletons.
+enum class AppendPolicy {
+  kRoundRobin,   // O(1) per page; the Random analogue
+  kClosestFit,   // O(n m^2) per page; the RC/Greedy analogue
+};
+
+class OssmUpdater {
+ public:
+  // Operates on a map in place. The map must be non-empty.
+  explicit OssmUpdater(SegmentSupportMap* map);
+
+  // Folds every page of `pages` into the map under the chosen policy.
+  // Returns the segment each page was assigned to. Fails if the page item
+  // domain does not match the map's.
+  StatusOr<std::vector<uint32_t>> AppendPages(const PageItemCounts& pages,
+                                              AppendPolicy policy);
+
+  // Folds a single page (count vector over the map's item domain).
+  StatusOr<uint32_t> AppendPage(std::span<const uint64_t> counts,
+                                AppendPolicy policy);
+
+ private:
+  SegmentSupportMap* map_;
+  uint64_t round_robin_next_ = 0;
+};
+
+}  // namespace ossm
+
+#endif  // OSSM_CORE_OSSM_UPDATER_H_

@@ -1,0 +1,87 @@
+#include "core/ossub.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace ossm {
+
+namespace {
+
+// loss for one item pair across two segments:
+//   min(ax+bx, ay+by) - min(ax, ay) - min(bx, by)
+// Non-negative by the triangle-like property shown in Section 4.2.
+inline uint64_t PairLoss(uint64_t ax, uint64_t bx, uint64_t ay, uint64_t by) {
+  uint64_t merged = std::min(ax + bx, ay + by);
+  uint64_t kept = std::min(ax, ay) + std::min(bx, by);
+  return merged - kept;
+}
+
+}  // namespace
+
+uint64_t PairwiseOssub(std::span<const uint64_t> a,
+                       std::span<const uint64_t> b,
+                       std::span<const ItemId> bubble) {
+  OSSM_CHECK_EQ(a.size(), b.size());
+  uint64_t total = 0;
+  if (bubble.empty()) {
+    size_t m = a.size();
+    for (size_t x = 0; x < m; ++x) {
+      uint64_t ax = a[x];
+      uint64_t bx = b[x];
+      for (size_t y = x + 1; y < m; ++y) {
+        total += PairLoss(ax, bx, a[y], b[y]);
+      }
+    }
+  } else {
+    for (size_t i = 0; i < bubble.size(); ++i) {
+      ItemId x = bubble[i];
+      uint64_t ax = a[x];
+      uint64_t bx = b[x];
+      for (size_t j = i + 1; j < bubble.size(); ++j) {
+        ItemId y = bubble[j];
+        total += PairLoss(ax, bx, a[y], b[y]);
+      }
+    }
+  }
+  return total;
+}
+
+uint64_t Ossub(std::span<const Segment> segments,
+               std::span<const ItemId> bubble) {
+  OSSM_CHECK_GE(segments.size(), 2u);
+  size_t m = segments[0].counts.size();
+
+  // Merged totals per item.
+  std::vector<uint64_t> merged(m, 0);
+  for (const Segment& seg : segments) {
+    OSSM_CHECK_EQ(seg.counts.size(), m);
+    for (size_t i = 0; i < m; ++i) merged[i] += seg.counts[i];
+  }
+
+  auto loss_for_pair = [&](ItemId x, ItemId y) {
+    uint64_t merged_bound = std::min(merged[x], merged[y]);
+    uint64_t kept_bound = 0;
+    for (const Segment& seg : segments) {
+      kept_bound += std::min(seg.counts[x], seg.counts[y]);
+    }
+    return merged_bound - kept_bound;
+  };
+
+  uint64_t total = 0;
+  if (bubble.empty()) {
+    for (ItemId x = 0; x < m; ++x) {
+      for (ItemId y = x + 1; y < m; ++y) total += loss_for_pair(x, y);
+    }
+  } else {
+    for (size_t i = 0; i < bubble.size(); ++i) {
+      for (size_t j = i + 1; j < bubble.size(); ++j) {
+        total += loss_for_pair(bubble[i], bubble[j]);
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace ossm

@@ -1,0 +1,44 @@
+#ifndef OSSM_CORE_OSSUB_H_
+#define OSSM_CORE_OSSUB_H_
+
+#include <cstdint>
+#include <span>
+
+#include "core/segment.h"
+#include "data/item.h"
+
+namespace ossm {
+
+// The loss-of-accuracy quantity of equation (2), Section 5.1. For a set A of
+// segments, ossub(A) sums, over all pairs of items {x, y}, the gap between
+// the pair's upper bound after merging A into one segment and its upper
+// bound with A kept apart:
+//
+//   ossub(A) = sum_{x<y} [ sup_hat({x,y}, SSM_1(A)) - sup_hat({x,y}, SSM_k(A)) ]
+//
+// Lemma 2: ossub is zero iff all segments share a configuration, is strictly
+// positive otherwise, and is monotone under taking supersets of A.
+//
+// If `bubble` is non-empty, the summation is restricted to pairs of items in
+// the bubble list (Section 5.3), cutting the m^2 factor down to |bubble|^2.
+
+// Pairwise ossub between two segments — the kernel both Greedy and RC spend
+// all their time in. O(m^2), or O(|bubble|^2) with a bubble list.
+uint64_t PairwiseOssub(std::span<const uint64_t> a,
+                       std::span<const uint64_t> b,
+                       std::span<const ItemId> bubble = {});
+
+inline uint64_t PairwiseOssub(const Segment& a, const Segment& b,
+                              std::span<const ItemId> bubble = {}) {
+  return PairwiseOssub(std::span<const uint64_t>(a.counts),
+                       std::span<const uint64_t>(b.counts), bubble);
+}
+
+// General form over k >= 2 segments (used by tests and the theory module;
+// the heuristics only ever need the pairwise kernel).
+uint64_t Ossub(std::span<const Segment> segments,
+               std::span<const ItemId> bubble = {});
+
+}  // namespace ossm
+
+#endif  // OSSM_CORE_OSSUB_H_

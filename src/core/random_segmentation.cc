@@ -1,0 +1,50 @@
+#include "core/random_segmentation.h"
+
+#include <numeric>
+
+#include "common/random.h"
+#include "common/timer.h"
+
+namespace ossm {
+
+StatusOr<std::vector<Segment>> RandomSegmenter::Run(
+    std::vector<Segment> initial, const SegmentationOptions& options,
+    SegmentationStats* stats) {
+  OSSM_RETURN_IF_ERROR(
+      internal_segmentation::ValidateInput(initial, options));
+  WallTimer timer;
+
+  uint64_t target = options.target_segments;
+  if (initial.size() <= target) {
+    if (stats != nullptr) {
+      stats->seconds = timer.ElapsedSeconds();
+      stats->ossub_evaluations = 0;
+    }
+    return initial;
+  }
+
+  // Shuffle the input order, seed the first `target` result slots with one
+  // input segment each (so no result segment is empty), and fold the rest in
+  // round-robin. One pass, no ossub evaluations.
+  Rng rng(options.seed);
+  std::vector<size_t> order(initial.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+
+  std::vector<Segment> result;
+  result.reserve(target);
+  for (uint64_t s = 0; s < target; ++s) {
+    result.push_back(std::move(initial[order[s]]));
+  }
+  for (size_t k = target; k < order.size(); ++k) {
+    MergeSegmentInto(result[k % target], std::move(initial[order[k]]));
+  }
+
+  if (stats != nullptr) {
+    stats->seconds = timer.ElapsedSeconds();
+    stats->ossub_evaluations = 0;
+  }
+  return result;
+}
+
+}  // namespace ossm

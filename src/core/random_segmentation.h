@@ -1,0 +1,25 @@
+#ifndef OSSM_CORE_RANDOM_SEGMENTATION_H_
+#define OSSM_CORE_RANDOM_SEGMENTATION_H_
+
+#include "core/segmentation.h"
+
+namespace ossm {
+
+// The Random algorithm (Section 5.2, footnote 5): arbitrarily/randomly
+// partitions the initial pages into the target number of segments, never
+// evaluating ossub. O(P) — the same construction as the original SSM
+// structure of reference [10]. It is both the baseline against which the
+// elaborate heuristics are judged and the first phase of the hybrid
+// strategies of Section 5.4.
+class RandomSegmenter : public Segmenter {
+ public:
+  std::string_view name() const override { return "Random"; }
+
+  StatusOr<std::vector<Segment>> Run(std::vector<Segment> initial,
+                                     const SegmentationOptions& options,
+                                     SegmentationStats* stats) override;
+};
+
+}  // namespace ossm
+
+#endif  // OSSM_CORE_RANDOM_SEGMENTATION_H_

@@ -1,0 +1,43 @@
+#include "core/segment.h"
+
+#include "common/logging.h"
+
+namespace ossm {
+
+void MergeSegmentInto(Segment& dst, Segment&& src) {
+  OSSM_CHECK_EQ(dst.counts.size(), src.counts.size());
+  for (size_t i = 0; i < dst.counts.size(); ++i) {
+    dst.counts[i] += src.counts[i];
+  }
+  dst.num_transactions += src.num_transactions;
+  dst.pages.insert(dst.pages.end(), src.pages.begin(), src.pages.end());
+  src.counts.clear();
+  src.pages.clear();
+  src.num_transactions = 0;
+}
+
+std::vector<Segment> SegmentsFromPages(const PageItemCounts& pages) {
+  std::vector<Segment> segments(pages.num_pages());
+  for (uint64_t p = 0; p < pages.num_pages(); ++p) {
+    Segment& seg = segments[p];
+    std::span<const uint64_t> row = pages.counts(p);
+    seg.counts.assign(row.begin(), row.end());
+    seg.num_transactions = pages.page_transactions(p);
+    seg.pages.push_back(static_cast<uint32_t>(p));
+  }
+  return segments;
+}
+
+std::vector<Segment> SegmentsFromTransactions(const TransactionDatabase& db) {
+  std::vector<Segment> segments(db.num_transactions());
+  for (uint64_t t = 0; t < db.num_transactions(); ++t) {
+    Segment& seg = segments[t];
+    seg.counts.assign(db.num_items(), 0);
+    for (ItemId item : db.transaction(t)) seg.counts[item] = 1;
+    seg.num_transactions = 1;
+    seg.pages.push_back(static_cast<uint32_t>(t));
+  }
+  return segments;
+}
+
+}  // namespace ossm

@@ -1,0 +1,39 @@
+#ifndef OSSM_CORE_SEGMENT_H_
+#define OSSM_CORE_SEGMENT_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/item.h"
+#include "data/page_layout.h"
+
+namespace ossm {
+
+// One segment of the collection during segmentation: its aggregate singleton
+// supports plus the pages it was assembled from. Segments start out as
+// single pages (the initial knowledge of Definition 2) and are merged down
+// to the user-specified count.
+struct Segment {
+  std::vector<uint64_t> counts;  // counts[i] = sup_seg({i})
+  uint64_t num_transactions = 0;
+  std::vector<uint32_t> pages;   // source page ids, unordered
+
+  uint32_t num_items() const { return static_cast<uint32_t>(counts.size()); }
+};
+
+// Folds `src` into `dst`: counts add, page lists concatenate. `src` is left
+// empty. Both must be over the same item domain.
+void MergeSegmentInto(Segment& dst, Segment&& src);
+
+// One segment per page, in page order — the starting point of every
+// segmentation algorithm.
+std::vector<Segment> SegmentsFromPages(const PageItemCounts& pages);
+
+// One segment per transaction (used by the exact construction of Theorem 1
+// and by tests; impractical at scale, as the paper notes in Example 2).
+std::vector<Segment> SegmentsFromTransactions(const TransactionDatabase& db);
+
+}  // namespace ossm
+
+#endif  // OSSM_CORE_SEGMENT_H_

@@ -1,0 +1,87 @@
+#include "core/segment_support_map.h"
+
+#include <algorithm>
+
+namespace ossm {
+
+SegmentSupportMap SegmentSupportMap::FromSegments(
+    std::span<const Segment> segments) {
+  OSSM_CHECK(!segments.empty());
+  uint32_t num_items = segments[0].num_items();
+  SegmentSupportMap map;
+  map.num_items_ = num_items;
+  map.num_segments_ = static_cast<uint32_t>(segments.size());
+  map.data_.assign(static_cast<size_t>(num_items) * segments.size(), 0);
+  for (uint32_t s = 0; s < segments.size(); ++s) {
+    OSSM_CHECK_EQ(segments[s].num_items(), num_items);
+    for (uint32_t i = 0; i < num_items; ++i) {
+      map.data_[static_cast<size_t>(i) * map.num_segments_ + s] =
+          segments[s].counts[i];
+    }
+  }
+  map.RecomputeTotals();
+  return map;
+}
+
+SegmentSupportMap SegmentSupportMap::SingleSegment(
+    std::vector<uint64_t> item_supports) {
+  SegmentSupportMap map;
+  map.num_items_ = static_cast<uint32_t>(item_supports.size());
+  map.num_segments_ = 1;
+  map.data_ = std::move(item_supports);
+  map.RecomputeTotals();
+  return map;
+}
+
+void SegmentSupportMap::RecomputeTotals() {
+  totals_.assign(num_items_, 0);
+  for (uint32_t i = 0; i < num_items_; ++i) {
+    const uint64_t* row = data_.data() + static_cast<size_t>(i) * num_segments_;
+    uint64_t total = 0;
+    for (uint32_t s = 0; s < num_segments_; ++s) total += row[s];
+    totals_[i] = total;
+  }
+}
+
+void SegmentSupportMap::AccumulateSegment(uint32_t segment,
+                                          std::span<const uint64_t> delta) {
+  OSSM_CHECK_LT(segment, num_segments_);
+  OSSM_CHECK_EQ(delta.size(), num_items_);
+  for (uint32_t i = 0; i < num_items_; ++i) {
+    data_[static_cast<size_t>(i) * num_segments_ + segment] += delta[i];
+    totals_[i] += delta[i];
+  }
+}
+
+void SegmentSupportMap::ExtractSegment(uint32_t segment,
+                                       std::vector<uint64_t>* out) const {
+  OSSM_CHECK_LT(segment, num_segments_);
+  out->resize(num_items_);
+  for (uint32_t i = 0; i < num_items_; ++i) {
+    (*out)[i] = data_[static_cast<size_t>(i) * num_segments_ + segment];
+  }
+}
+
+uint64_t SegmentSupportMap::UpperBound(
+    std::span<const ItemId> itemset) const {
+  OSSM_CHECK(!itemset.empty());
+  if (itemset.size() == 1) return Support(itemset[0]);
+  if (itemset.size() == 2) return UpperBoundPair(itemset[0], itemset[1]);
+
+  const uint64_t* first =
+      data_.data() + static_cast<size_t>(itemset[0]) * num_segments_;
+  uint64_t bound = 0;
+  for (uint32_t s = 0; s < num_segments_; ++s) {
+    uint64_t min_count = first[s];
+    for (size_t k = 1; k < itemset.size(); ++k) {
+      uint64_t c =
+          data_[static_cast<size_t>(itemset[k]) * num_segments_ + s];
+      min_count = std::min(min_count, c);
+      if (min_count == 0) break;
+    }
+    bound += min_count;
+  }
+  return bound;
+}
+
+}  // namespace ossm

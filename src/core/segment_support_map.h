@@ -1,0 +1,105 @@
+#ifndef OSSM_CORE_SEGMENT_SUPPORT_MAP_H_
+#define OSSM_CORE_SEGMENT_SUPPORT_MAP_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/logging.h"
+#include "core/segment.h"
+#include "data/item.h"
+
+namespace ossm {
+
+// The (optimized) segment support map of Section 3: for a partition of the
+// collection into n segments, the support of every singleton itemset in
+// every segment. For an arbitrary itemset X it yields the upper bound of
+// equation (1):
+//
+//   sup_hat(X) = sum_{i=1..n} min_{x in X} sup_i({x})
+//
+// and, as a by-product, the exact support of every singleton (the row sum),
+// which lets miners skip their first counting pass entirely.
+//
+// Storage is item-major (one contiguous run of n segment counts per item) so
+// that equation (1) walks contiguous memory per item — the "direct
+// addressing" property the paper highlights: no item column is stored and no
+// searching happens.
+class SegmentSupportMap {
+ public:
+  // An empty map (0 items, 0 segments); assign from a factory result.
+  SegmentSupportMap() = default;
+
+  // Builds the map from finished segments (all over the same item domain,
+  // at least one segment).
+  static SegmentSupportMap FromSegments(std::span<const Segment> segments);
+
+  // Builds the degenerate single-segment map, equivalent to having no OSSM
+  // at all (its bound collapses to min of global supports).
+  static SegmentSupportMap SingleSegment(std::vector<uint64_t> item_supports);
+
+  uint32_t num_items() const { return num_items_; }
+  uint32_t num_segments() const { return num_segments_; }
+
+  // Per-segment support run of one item: counts(i)[s] = sup_s({i}).
+  std::span<const uint64_t> item_row(ItemId item) const {
+    OSSM_DCHECK(item < num_items_);
+    return std::span<const uint64_t>(data_.data() + item * num_segments_,
+                                     num_segments_);
+  }
+
+  // Exact support of a singleton (row sum, precomputed).
+  uint64_t Support(ItemId item) const {
+    OSSM_DCHECK(item < num_items_);
+    return totals_[item];
+  }
+  std::span<const uint64_t> item_supports() const { return totals_; }
+
+  // Equation (1) for an arbitrary non-empty sorted itemset.
+  uint64_t UpperBound(std::span<const ItemId> itemset) const;
+
+  // Specialized two-item bound — the hot path of candidate-2 pruning.
+  uint64_t UpperBoundPair(ItemId a, ItemId b) const {
+    const uint64_t* ra = data_.data() + a * num_segments_;
+    const uint64_t* rb = data_.data() + b * num_segments_;
+    uint64_t bound = 0;
+    for (uint32_t s = 0; s < num_segments_; ++s) {
+      bound += ra[s] < rb[s] ? ra[s] : rb[s];
+    }
+    return bound;
+  }
+
+  // Size of the count matrix — the paper's "0.2 megabytes for 100 segments
+  // and 1000 items" accounting.
+  uint64_t MemoryFootprintBytes() const {
+    return data_.size() * sizeof(uint64_t);
+  }
+
+  // Adds `delta` (a per-item count vector) into one segment's column and
+  // refreshes the totals. Used by OssmUpdater to fold new pages into an
+  // existing map without a rebuild.
+  void AccumulateSegment(uint32_t segment, std::span<const uint64_t> delta);
+
+  // Copies one segment's per-item count vector into *out.
+  void ExtractSegment(uint32_t segment, std::vector<uint64_t>* out) const;
+
+  friend bool operator==(const SegmentSupportMap& a,
+                         const SegmentSupportMap& b) {
+    return a.num_items_ == b.num_items_ &&
+           a.num_segments_ == b.num_segments_ && a.data_ == b.data_;
+  }
+
+ private:
+  friend class OssmIo;
+
+  uint32_t num_items_ = 0;
+  uint32_t num_segments_ = 0;
+  std::vector<uint64_t> data_;    // item-major: data_[i * n + s]
+  std::vector<uint64_t> totals_;  // per-item exact supports
+
+  void RecomputeTotals();
+};
+
+}  // namespace ossm
+
+#endif  // OSSM_CORE_SEGMENT_SUPPORT_MAP_H_

@@ -1,0 +1,35 @@
+#include "core/segmentation.h"
+
+#include <string>
+
+namespace ossm {
+namespace internal_segmentation {
+
+Status ValidateInput(const std::vector<Segment>& initial,
+                     const SegmentationOptions& options) {
+  if (initial.empty()) {
+    return Status::InvalidArgument("no initial segments");
+  }
+  if (options.target_segments == 0) {
+    return Status::InvalidArgument("target_segments must be >= 1");
+  }
+  uint32_t num_items = initial[0].num_items();
+  for (const Segment& seg : initial) {
+    if (seg.num_items() != num_items) {
+      return Status::InvalidArgument("segments span different item domains");
+    }
+  }
+  for (size_t i = 0; i < options.bubble.size(); ++i) {
+    if (options.bubble[i] >= num_items) {
+      return Status::InvalidArgument("bubble item out of domain");
+    }
+    if (i > 0 && options.bubble[i] <= options.bubble[i - 1]) {
+      return Status::InvalidArgument(
+          "bubble list must be strictly increasing");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace internal_segmentation
+}  // namespace ossm

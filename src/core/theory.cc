@@ -1,0 +1,85 @@
+#include "core/theory.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+#include "core/configuration.h"
+
+namespace ossm {
+
+uint64_t ConfigurationSpaceSize(uint32_t num_items) {
+  if (num_items >= 64) return UINT64_MAX;
+  if (num_items == 0) return 0;
+  // 2^m - m (the 2^m - 1 non-empty contents, m of which share the canonical
+  // configuration — Section 4.2).
+  return (uint64_t{1} << num_items) - num_items;
+}
+
+namespace {
+
+// Groups arbitrary segments by configuration and merges each group.
+std::vector<Segment> GroupByConfiguration(std::vector<Segment> segments) {
+  std::unordered_map<Configuration, size_t, ConfigurationHasher> groups;
+  std::vector<Segment> merged;
+  merged.reserve(segments.size());
+  for (Segment& seg : segments) {
+    Configuration config =
+        Configuration::FromCounts(std::span<const uint64_t>(seg.counts));
+    auto [it, inserted] = groups.emplace(std::move(config), merged.size());
+    if (inserted) {
+      merged.push_back(std::move(seg));
+    } else {
+      MergeSegmentInto(merged[it->second], std::move(seg));
+    }
+  }
+  return merged;
+}
+
+}  // namespace
+
+std::vector<Segment> MergeSameConfiguration(std::vector<Segment> segments) {
+  return GroupByConfiguration(std::move(segments));
+}
+
+std::vector<Segment> BuildExactSegments(const TransactionDatabase& db) {
+  return GroupByConfiguration(SegmentsFromTransactions(db));
+}
+
+uint64_t MinimumSegments(const TransactionDatabase& db) {
+  return BuildExactSegments(db).size();
+}
+
+uint64_t MinimumSegmentsForPages(const PageItemCounts& pages) {
+  std::unordered_map<Configuration, int, ConfigurationHasher> distinct;
+  std::vector<uint64_t> row;
+  for (uint64_t p = 0; p < pages.num_pages(); ++p) {
+    distinct.emplace(Configuration::FromCounts(pages.counts(p)), 0);
+  }
+  return distinct.size();
+}
+
+uint64_t CountSegmentations(uint32_t pages, uint32_t segments) {
+  if (segments == 0 || segments > pages) return 0;
+  // Stirling numbers of the second kind via the triangular recurrence
+  // S(p, s) = s * S(p-1, s) + S(p-1, s-1), with saturating arithmetic.
+  std::vector<uint64_t> row(segments + 1, 0);
+  row[0] = 1;  // S(0, 0)
+  auto saturating_add = [](uint64_t a, uint64_t b) {
+    return (a > UINT64_MAX - b) ? UINT64_MAX : a + b;
+  };
+  auto saturating_mul = [](uint64_t a, uint64_t b) {
+    if (a == 0 || b == 0) return uint64_t{0};
+    if (a > UINT64_MAX / b) return UINT64_MAX;
+    return a * b;
+  };
+  for (uint32_t p = 1; p <= pages; ++p) {
+    for (uint32_t s = std::min(p, segments); s >= 1; --s) {
+      row[s] = saturating_add(saturating_mul(s, row[s]), row[s - 1]);
+    }
+    row[0] = 0;  // S(p, 0) = 0 for p >= 1
+  }
+  return row[segments];
+}
+
+}  // namespace ossm

@@ -1,0 +1,51 @@
+#ifndef OSSM_CORE_THEORY_H_
+#define OSSM_CORE_THEORY_H_
+
+#include <cstdint>
+
+#include "core/segment.h"
+#include "data/page_layout.h"
+#include "data/transaction_database.h"
+
+namespace ossm {
+
+// The segment minimization problem (Section 4): the smallest number of
+// segments n_min for which the OSSM's upper bound equals the actual support
+// of every itemset (Definition 1), and its page-granularity relaxation
+// (Definition 2).
+
+// The general-case bound of Theorem 1: 2^m - m possible distinct
+// configurations for m items, saturating at UINT64_MAX for m >= 64.
+uint64_t ConfigurationSpaceSize(uint32_t num_items);
+
+// n_min for a concrete collection: the number of distinct transaction
+// configurations (Theorem 1 instantiated on the data — at most
+// min(N, 2^m - m)). O(N * m log m).
+uint64_t MinimumSegments(const TransactionDatabase& db);
+
+// n_min for the page version (Corollary 1): the number of distinct page
+// configurations. The resulting OSSM matches the all-pages OSSM's bound for
+// every itemset.
+uint64_t MinimumSegmentsForPages(const PageItemCounts& pages);
+
+// Lemma 1 applied exhaustively: merges every group of same-configuration
+// segments into one. The returned segments' OSSM gives exactly the same
+// upper bound as the input segments' OSSM for every itemset, and its size is
+// the corresponding n_min.
+std::vector<Segment> MergeSameConfiguration(std::vector<Segment> segments);
+
+// The exact construction of Theorem 1: one segment per distinct transaction
+// configuration. The OSSM built from the result satisfies
+// sup_hat(X) == sup(X) for every itemset X.
+std::vector<Segment> BuildExactSegments(const TransactionDatabase& db);
+
+// Example 4's combinatorial explosion: the number of ways to compose
+// `segments` non-empty segments out of `pages` distinguishable pages when
+// segments are unordered — the Stirling number of the second kind S(p, s)
+// (25 for p=5,s=3; 90 for p=6,s=3; 301 for p=7,s=3). Saturates at
+// UINT64_MAX. Exposed so the docs/tests can reproduce the example.
+uint64_t CountSegmentations(uint32_t pages, uint32_t segments);
+
+}  // namespace ossm
+
+#endif  // OSSM_CORE_THEORY_H_

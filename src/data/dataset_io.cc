@@ -1,0 +1,248 @@
+#include "data/dataset_io.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+namespace ossm {
+
+namespace {
+
+constexpr char kBinaryMagic[8] = {'O', 'S', 'S', 'M', 'D', 'B', '1', '\n'};
+
+// FNV-1a over the payload; cheap and adequate for corruption detection.
+uint64_t Fnv1a(const void* data, size_t size, uint64_t seed) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  uint64_t hash = seed;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+constexpr uint64_t kFnvOffset = 14695981039346656037ULL;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using UniqueFile = std::unique_ptr<std::FILE, FileCloser>;
+
+Status WriteAll(std::FILE* f, const void* data, size_t size,
+                const std::string& path) {
+  if (size != 0 && std::fwrite(data, 1, size, f) != size) {
+    return Status::IOError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+Status ReadAll(std::FILE* f, void* data, size_t size,
+               const std::string& path) {
+  if (size != 0 && std::fread(data, 1, size, f) != size) {
+    return Status::Corruption("unexpected end of file in " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status DatasetIo::SaveText(const TransactionDatabase& db,
+                           const std::string& path) {
+  UniqueFile file(std::fopen(path.c_str(), "w"));
+  if (file == nullptr) {
+    return Status::IOError("cannot open " + path + " for writing");
+  }
+  std::string line;
+  for (uint64_t t = 0; t < db.num_transactions(); ++t) {
+    line.clear();
+    bool first = true;
+    for (ItemId item : db.transaction(t)) {
+      if (!first) line += ' ';
+      line += std::to_string(item);
+      first = false;
+    }
+    line += '\n';
+    OSSM_RETURN_IF_ERROR(WriteAll(file.get(), line.data(), line.size(), path));
+  }
+  return Status::OK();
+}
+
+StatusOr<TransactionDatabase> DatasetIo::LoadText(const std::string& path,
+                                                  uint32_t num_items_hint) {
+  UniqueFile file(std::fopen(path.c_str(), "r"));
+  if (file == nullptr) {
+    return Status::IOError("cannot open " + path + " for reading");
+  }
+
+  // First pass: parse all transactions, tracking the max item id.
+  std::vector<std::vector<ItemId>> transactions;
+  std::vector<ItemId> current;
+  uint32_t max_item_plus_one = num_items_hint;
+
+  std::string buffer;
+  buffer.resize(1 << 16);
+  std::string pending;
+  bool saw_any = false;
+
+  auto flush_line = [&](const std::string& line) -> Status {
+    current.clear();
+    uint64_t value = 0;
+    bool in_number = false;
+    for (char c : line) {
+      if (c >= '0' && c <= '9') {
+        value = value * 10 + static_cast<uint64_t>(c - '0');
+        if (value > 0xFFFFFFFFULL) {
+          return Status::Corruption("item id overflows 32 bits in " + path);
+        }
+        in_number = true;
+      } else if (c == ' ' || c == '\t' || c == '\r') {
+        if (in_number) {
+          current.push_back(static_cast<ItemId>(value));
+          value = 0;
+          in_number = false;
+        }
+      } else {
+        return Status::Corruption("unexpected character '" +
+                                  std::string(1, c) + "' in " + path);
+      }
+    }
+    if (in_number) current.push_back(static_cast<ItemId>(value));
+    std::sort(current.begin(), current.end());
+    current.erase(std::unique(current.begin(), current.end()), current.end());
+    if (!current.empty()) {
+      uint32_t needed = current.back() + 1;
+      max_item_plus_one = std::max(max_item_plus_one, needed);
+    }
+    transactions.push_back(current);
+    saw_any = true;
+    return Status::OK();
+  };
+
+  for (;;) {
+    size_t n = std::fread(buffer.data(), 1, buffer.size(), file.get());
+    if (n == 0) break;
+    size_t start = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (buffer[i] == '\n') {
+        pending.append(buffer, start, i - start);
+        OSSM_RETURN_IF_ERROR(flush_line(pending));
+        pending.clear();
+        start = i + 1;
+      }
+    }
+    pending.append(buffer, start, n - start);
+  }
+  if (!pending.empty()) {
+    OSSM_RETURN_IF_ERROR(flush_line(pending));
+  }
+  if (!saw_any) {
+    return Status::InvalidArgument("dataset file " + path + " is empty");
+  }
+
+  TransactionDatabase db(max_item_plus_one);
+  for (const auto& txn : transactions) {
+    OSSM_RETURN_IF_ERROR(db.Append(std::span<const ItemId>(txn)));
+  }
+  return db;
+}
+
+Status DatasetIo::SaveBinary(const TransactionDatabase& db,
+                             const std::string& path) {
+  UniqueFile file(std::fopen(path.c_str(), "wb"));
+  if (file == nullptr) {
+    return Status::IOError("cannot open " + path + " for writing");
+  }
+  OSSM_RETURN_IF_ERROR(
+      WriteAll(file.get(), kBinaryMagic, sizeof(kBinaryMagic), path));
+
+  uint64_t header[2] = {db.num_items(), db.num_transactions()};
+  OSSM_RETURN_IF_ERROR(WriteAll(file.get(), header, sizeof(header), path));
+
+  uint64_t checksum = Fnv1a(header, sizeof(header), kFnvOffset);
+
+  OSSM_RETURN_IF_ERROR(WriteAll(file.get(), db.offsets_.data(),
+                                db.offsets_.size() * sizeof(uint64_t), path));
+  checksum = Fnv1a(db.offsets_.data(), db.offsets_.size() * sizeof(uint64_t),
+                   checksum);
+
+  OSSM_RETURN_IF_ERROR(WriteAll(file.get(), db.items_.data(),
+                                db.items_.size() * sizeof(ItemId), path));
+  checksum =
+      Fnv1a(db.items_.data(), db.items_.size() * sizeof(ItemId), checksum);
+
+  OSSM_RETURN_IF_ERROR(
+      WriteAll(file.get(), &checksum, sizeof(checksum), path));
+  if (std::fflush(file.get()) != 0) {
+    return Status::IOError("flush failed for " + path);
+  }
+  return Status::OK();
+}
+
+StatusOr<TransactionDatabase> DatasetIo::LoadBinary(const std::string& path) {
+  UniqueFile file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) {
+    return Status::IOError("cannot open " + path + " for reading");
+  }
+  char magic[sizeof(kBinaryMagic)];
+  OSSM_RETURN_IF_ERROR(ReadAll(file.get(), magic, sizeof(magic), path));
+  if (!std::equal(magic, magic + sizeof(magic), kBinaryMagic)) {
+    return Status::Corruption(path + " is not an OSSM binary dataset");
+  }
+
+  uint64_t header[2];
+  OSSM_RETURN_IF_ERROR(ReadAll(file.get(), header, sizeof(header), path));
+  uint64_t num_items = header[0];
+  uint64_t num_transactions = header[1];
+  if (num_items > 0xFFFFFFFFULL) {
+    return Status::Corruption("item domain too large in " + path);
+  }
+  uint64_t checksum = Fnv1a(header, sizeof(header), kFnvOffset);
+
+  TransactionDatabase db(static_cast<uint32_t>(num_items));
+  db.offsets_.assign(num_transactions + 1, 0);
+  OSSM_RETURN_IF_ERROR(ReadAll(file.get(), db.offsets_.data(),
+                               db.offsets_.size() * sizeof(uint64_t), path));
+  checksum = Fnv1a(db.offsets_.data(), db.offsets_.size() * sizeof(uint64_t),
+                   checksum);
+
+  // Validate offsets before trusting them for an allocation size.
+  if (db.offsets_[0] != 0) {
+    return Status::Corruption("offset table must start at 0 in " + path);
+  }
+  for (uint64_t t = 0; t < num_transactions; ++t) {
+    if (db.offsets_[t + 1] < db.offsets_[t]) {
+      return Status::Corruption("non-monotonic offset table in " + path);
+    }
+  }
+
+  db.items_.assign(db.offsets_.back(), 0);
+  OSSM_RETURN_IF_ERROR(ReadAll(file.get(), db.items_.data(),
+                               db.items_.size() * sizeof(ItemId), path));
+  checksum =
+      Fnv1a(db.items_.data(), db.items_.size() * sizeof(ItemId), checksum);
+
+  uint64_t stored_checksum = 0;
+  OSSM_RETURN_IF_ERROR(
+      ReadAll(file.get(), &stored_checksum, sizeof(stored_checksum), path));
+  if (stored_checksum != checksum) {
+    return Status::Corruption("checksum mismatch in " + path);
+  }
+
+  // Structural validation of the payload itself.
+  for (uint64_t t = 0; t < num_transactions; ++t) {
+    std::span<const ItemId> txn = db.transaction(t);
+    for (size_t i = 0; i < txn.size(); ++i) {
+      if (txn[i] >= num_items || (i > 0 && txn[i] <= txn[i - 1])) {
+        return Status::Corruption("malformed transaction " +
+                                  std::to_string(t) + " in " + path);
+      }
+    }
+  }
+  return db;
+}
+
+}  // namespace ossm

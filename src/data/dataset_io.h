@@ -1,0 +1,38 @@
+#ifndef OSSM_DATA_DATASET_IO_H_
+#define OSSM_DATA_DATASET_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/transaction_database.h"
+
+namespace ossm {
+
+// Persistence for transaction databases.
+//
+// Two formats:
+//  * Text — the FIMI-repository convention: one transaction per line, items
+//    as space-separated decimal ids. Portable and diffable; used for the
+//    public itemset datasets the paper-class literature shares.
+//  * Binary — a compact little-endian format with a magic header, version,
+//    and an end-of-file checksum, so truncation and corruption are detected
+//    and reported as Status::Corruption instead of producing garbage.
+class DatasetIo {
+ public:
+  // Text format. On load, the item domain is max-item + 1 unless
+  // `num_items_hint` is larger. Lines are sorted and de-duplicated on load
+  // (FIMI files are unordered in the wild).
+  static Status SaveText(const TransactionDatabase& db,
+                         const std::string& path);
+  static StatusOr<TransactionDatabase> LoadText(const std::string& path,
+                                                uint32_t num_items_hint = 0);
+
+  // Binary format (magic "OSSMDB1\n").
+  static Status SaveBinary(const TransactionDatabase& db,
+                           const std::string& path);
+  static StatusOr<TransactionDatabase> LoadBinary(const std::string& path);
+};
+
+}  // namespace ossm
+
+#endif  // OSSM_DATA_DATASET_IO_H_

@@ -1,0 +1,24 @@
+#ifndef OSSM_DATA_ITEM_H_
+#define OSSM_DATA_ITEM_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace ossm {
+
+// Identifier of an atomic pattern ("item" in association-rule terms, "alarm
+// type" in the episode setting). Items are dense: a database over m items
+// uses ids 0..m-1, which is what lets the OSSM use direct addressing
+// (Section 3 of the paper: no searching, no stored item column).
+using ItemId = uint32_t;
+
+inline constexpr ItemId kInvalidItem = std::numeric_limits<ItemId>::max();
+
+// An itemset is a strictly increasing vector of ItemIds. Helpers that build
+// or combine itemsets live in mining/itemset.h.
+using Itemset = std::vector<ItemId>;
+
+}  // namespace ossm
+
+#endif  // OSSM_DATA_ITEM_H_

@@ -1,0 +1,40 @@
+#include "data/page_layout.h"
+
+#include <string>
+
+namespace ossm {
+
+StatusOr<PageLayout> MakePageLayout(const TransactionDatabase& db,
+                                    uint64_t transactions_per_page) {
+  if (transactions_per_page == 0) {
+    return Status::InvalidArgument("transactions_per_page must be positive");
+  }
+  if (db.num_transactions() == 0) {
+    return Status::InvalidArgument("cannot paginate an empty database");
+  }
+  PageLayout layout;
+  uint64_t n = db.num_transactions();
+  for (uint64_t begin = 0; begin < n; begin += transactions_per_page) {
+    layout.page_begin.push_back(begin);
+  }
+  layout.page_begin.push_back(n);
+  return layout;
+}
+
+PageItemCounts::PageItemCounts(const TransactionDatabase& db,
+                               const PageLayout& layout)
+    : num_pages_(layout.num_pages()),
+      num_items_(db.num_items()),
+      data_(num_pages_ * num_items_, 0),
+      page_transactions_(num_pages_, 0) {
+  for (uint64_t p = 0; p < num_pages_; ++p) {
+    uint64_t* row = data_.data() + p * num_items_;
+    page_transactions_[p] = layout.page_size(p);
+    for (uint64_t t = layout.page_begin[p]; t < layout.page_begin[p + 1];
+         ++t) {
+      for (ItemId item : db.transaction(t)) ++row[item];
+    }
+  }
+}
+
+}  // namespace ossm

@@ -1,0 +1,64 @@
+#ifndef OSSM_DATA_PAGE_LAYOUT_H_
+#define OSSM_DATA_PAGE_LAYOUT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "data/transaction_database.h"
+
+namespace ossm {
+
+// Physical pagination of a transaction database (Section 4.3, "the page
+// version"). Transactions are assigned to pages in storage order; the page
+// is the granularity at which the segmentation algorithms start, because the
+// initial knowledge is "the aggregate frequency of every item per page".
+//
+// The paper's rule of thumb: a 4 KB page holds roughly 100 transactions, so
+// P = 50 000 pages correspond to 5 million transactions.
+struct PageLayout {
+  // Half-open transaction ranges: page p covers [begin[p], begin[p+1]).
+  std::vector<uint64_t> page_begin;
+
+  uint64_t num_pages() const { return page_begin.size() - 1; }
+  uint64_t page_size(uint64_t p) const {
+    return page_begin[p + 1] - page_begin[p];
+  }
+};
+
+// Splits the database into pages of `transactions_per_page` transactions
+// (the last page may be short). transactions_per_page must be > 0 and the
+// database non-empty.
+StatusOr<PageLayout> MakePageLayout(const TransactionDatabase& db,
+                                    uint64_t transactions_per_page);
+
+// Aggregate per-page singleton supports: the "initial n segments" of
+// Definition 2. Row p is the count vector of page p over all items.
+class PageItemCounts {
+ public:
+  PageItemCounts(const TransactionDatabase& db, const PageLayout& layout);
+
+  uint64_t num_pages() const { return num_pages_; }
+  uint32_t num_items() const { return num_items_; }
+
+  // counts(p)[i] = sup_p({i}).
+  std::span<const uint64_t> counts(uint64_t p) const {
+    OSSM_DCHECK(p < num_pages_);
+    return std::span<const uint64_t>(data_.data() + p * num_items_,
+                                     num_items_);
+  }
+
+  // Number of transactions in page p (carried along so segments built from
+  // pages know their size).
+  uint64_t page_transactions(uint64_t p) const { return page_transactions_[p]; }
+
+ private:
+  uint64_t num_pages_;
+  uint32_t num_items_;
+  std::vector<uint64_t> data_;  // row-major pages x items
+  std::vector<uint64_t> page_transactions_;
+};
+
+}  // namespace ossm
+
+#endif  // OSSM_DATA_PAGE_LAYOUT_H_

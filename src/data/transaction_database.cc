@@ -1,0 +1,41 @@
+#include "data/transaction_database.h"
+
+#include <algorithm>
+#include <string>
+
+namespace ossm {
+
+TransactionDatabase::TransactionDatabase(uint32_t num_items)
+    : num_items_(num_items), offsets_{0} {}
+
+Status TransactionDatabase::Append(std::span<const ItemId> items) {
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (items[i] >= num_items_) {
+      return Status::InvalidArgument(
+          "item id " + std::to_string(items[i]) + " out of domain [0, " +
+          std::to_string(num_items_) + ")");
+    }
+    if (i > 0 && items[i] <= items[i - 1]) {
+      return Status::InvalidArgument(
+          "transaction items must be strictly increasing");
+    }
+  }
+  items_.insert(items_.end(), items.begin(), items.end());
+  offsets_.push_back(items_.size());
+  return Status::OK();
+}
+
+std::vector<uint64_t> TransactionDatabase::ComputeItemSupports() const {
+  std::vector<uint64_t> counts(num_items_, 0);
+  for (ItemId item : items_) ++counts[item];
+  return counts;
+}
+
+bool TransactionDatabase::Contains(uint64_t t,
+                                   std::span<const ItemId> candidate) const {
+  std::span<const ItemId> txn = transaction(t);
+  return std::includes(txn.begin(), txn.end(), candidate.begin(),
+                       candidate.end());
+}
+
+}  // namespace ossm

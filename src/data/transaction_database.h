@@ -1,0 +1,75 @@
+#ifndef OSSM_DATA_TRANSACTION_DATABASE_H_
+#define OSSM_DATA_TRANSACTION_DATABASE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "data/item.h"
+
+namespace ossm {
+
+// The collection of reference transactions T = {t_1, ..., t_N} (Figure 1 of
+// the paper). Stored in CSR layout: one flat item array plus per-transaction
+// offsets, so a transaction is a contiguous, sorted, duplicate-free span.
+//
+// The database is immutable once built (use the builder API: Append +
+// Finalize, or DatasetIo loaders). All mining passes iterate it sequentially,
+// matching the disk-scan access pattern the paper's algorithms assume.
+class TransactionDatabase {
+ public:
+  // Creates an empty database over a fixed item domain [0, num_items).
+  explicit TransactionDatabase(uint32_t num_items);
+
+  TransactionDatabase(const TransactionDatabase&) = default;
+  TransactionDatabase& operator=(const TransactionDatabase&) = default;
+  TransactionDatabase(TransactionDatabase&&) = default;
+  TransactionDatabase& operator=(TransactionDatabase&&) = default;
+
+  // Appends one transaction. `items` must be strictly increasing and every
+  // item must be < num_items(); otherwise the database is unchanged and an
+  // InvalidArgument status is returned. Empty transactions are allowed (they
+  // support nothing but still occupy a slot, as in real logs).
+  Status Append(std::span<const ItemId> items);
+
+  // Convenience overload for literals: Append({1, 4, 7}).
+  Status Append(std::initializer_list<ItemId> items) {
+    return Append(std::span<const ItemId>(items.begin(), items.size()));
+  }
+
+  uint32_t num_items() const { return num_items_; }
+  uint64_t num_transactions() const { return offsets_.size() - 1; }
+  uint64_t total_item_occurrences() const { return items_.size(); }
+
+  // The t-th transaction as a sorted span. t < num_transactions().
+  std::span<const ItemId> transaction(uint64_t t) const {
+    OSSM_DCHECK(t + 1 < offsets_.size());
+    return std::span<const ItemId>(items_.data() + offsets_[t],
+                                   offsets_[t + 1] - offsets_[t]);
+  }
+
+  // Global support of every singleton item: counts[i] = sup({i}).
+  // O(total_item_occurrences).
+  std::vector<uint64_t> ComputeItemSupports() const;
+
+  // True if the sorted itemset `candidate` is contained in transaction t.
+  bool Contains(uint64_t t, std::span<const ItemId> candidate) const;
+
+  friend bool operator==(const TransactionDatabase& a,
+                         const TransactionDatabase& b) {
+    return a.num_items_ == b.num_items_ && a.offsets_ == b.offsets_ &&
+           a.items_ == b.items_;
+  }
+
+ private:
+  friend class DatasetIo;
+
+  uint32_t num_items_;
+  std::vector<uint64_t> offsets_;  // size = num_transactions + 1
+  std::vector<ItemId> items_;      // concatenated sorted transactions
+};
+
+}  // namespace ossm
+
+#endif  // OSSM_DATA_TRANSACTION_DATABASE_H_

@@ -1,0 +1,115 @@
+#include "datagen/alarm_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+
+namespace ossm {
+
+namespace {
+
+Status Validate(const AlarmConfig& c) {
+  if (c.num_alarm_types == 0) {
+    return Status::InvalidArgument("num_alarm_types must be positive");
+  }
+  if (c.num_windows == 0) {
+    return Status::InvalidArgument("num_windows must be positive");
+  }
+  if (c.background_rate < 0.0) {
+    return Status::InvalidArgument("background_rate must be non-negative");
+  }
+  if (c.episode_start_prob < 0.0 || c.episode_start_prob > 1.0) {
+    return Status::InvalidArgument("episode_start_prob must be in [0, 1]");
+  }
+  if (c.num_episode_kinds > 0 &&
+      (c.avg_episode_size <= 0.0 ||
+       c.avg_episode_size > c.num_alarm_types)) {
+    return Status::InvalidArgument(
+        "avg_episode_size must be in (0, num_alarm_types]");
+  }
+  if (c.episode_duration == 0) {
+    return Status::InvalidArgument("episode_duration must be positive");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<TransactionDatabase> GenerateAlarms(const AlarmConfig& config) {
+  OSSM_RETURN_IF_ERROR(Validate(config));
+  Rng rng(config.seed);
+
+  // Zipf-like cumulative distribution over alarm types for background noise.
+  std::vector<double> cumulative(config.num_alarm_types);
+  double acc = 0.0;
+  for (uint32_t i = 0; i < config.num_alarm_types; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), config.zipf_exponent);
+    cumulative[i] = acc;
+  }
+  for (double& v : cumulative) v /= acc;
+  cumulative.back() = 1.0;
+
+  // Episode kinds: fixed correlated alarm groups.
+  std::vector<std::vector<ItemId>> episodes(config.num_episode_kinds);
+  std::vector<char> used(config.num_alarm_types, 0);
+  for (auto& group : episodes) {
+    uint64_t size = std::max<uint64_t>(2, rng.Poisson(config.avg_episode_size));
+    size = std::min<uint64_t>(size, config.num_alarm_types);
+    std::fill(used.begin(), used.end(), 0);
+    while (group.size() < size) {
+      ItemId a = static_cast<ItemId>(rng.UniformInt(config.num_alarm_types));
+      if (!used[a]) {
+        group.push_back(a);
+        used[a] = 1;
+      }
+    }
+    std::sort(group.begin(), group.end());
+  }
+
+  TransactionDatabase db(config.num_alarm_types);
+
+  // Active cascades: (episode kind, windows remaining).
+  std::vector<std::pair<uint32_t, uint32_t>> active;
+  std::vector<ItemId> window;
+  for (uint64_t w = 0; w < config.num_windows; ++w) {
+    window.clear();
+
+    // Background noise.
+    if (config.background_rate > 0.0) {
+      uint64_t noise = rng.Poisson(config.background_rate);
+      for (uint64_t k = 0; k < noise; ++k) {
+        double u = rng.UniformDouble();
+        size_t idx = static_cast<size_t>(
+            std::lower_bound(cumulative.begin(), cumulative.end(), u) -
+            cumulative.begin());
+        window.push_back(static_cast<ItemId>(idx));
+      }
+    }
+
+    // Possibly start a new cascade.
+    if (!episodes.empty() && rng.Bernoulli(config.episode_start_prob)) {
+      uint32_t kind = static_cast<uint32_t>(rng.UniformInt(episodes.size()));
+      active.emplace_back(kind, config.episode_duration);
+    }
+
+    // Active cascades emit a random subset of their group each window.
+    for (auto& [kind, remaining] : active) {
+      for (ItemId a : episodes[kind]) {
+        if (rng.Bernoulli(0.7)) window.push_back(a);
+      }
+      --remaining;
+    }
+    active.erase(std::remove_if(active.begin(), active.end(),
+                                [](const auto& e) { return e.second == 0; }),
+                 active.end());
+
+    std::sort(window.begin(), window.end());
+    window.erase(std::unique(window.begin(), window.end()), window.end());
+    OSSM_RETURN_IF_ERROR(db.Append(std::span<const ItemId>(window)));
+  }
+  return db;
+}
+
+}  // namespace ossm

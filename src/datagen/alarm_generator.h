@@ -1,0 +1,42 @@
+#ifndef OSSM_DATAGEN_ALARM_GENERATOR_H_
+#define OSSM_DATAGEN_ALARM_GENERATOR_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "data/transaction_database.h"
+
+namespace ossm {
+
+// Synthetic stand-in for the proprietary Nokia alarm data set (Section 6.1:
+// "about 5000 transactions of about 200 distinct types of
+// telecommunications network alarms"). Each transaction is the set of alarm
+// types observed in one time window of a simulated alarm stream, matching
+// the episode-mining framing of reference [13].
+//
+// The stream is a mixture of:
+//   * background noise — each window picks a few alarm types from a heavily
+//     skewed (Zipf-like) popularity distribution, modelling chatty devices;
+//   * episodes — recurring correlated alarm groups (e.g. a link failure that
+//     triggers a cascade); an active episode emits its group members over a
+//     few consecutive windows.
+// This reproduces the structure the paper needs from the Nokia data: a small
+// collection, a ~200-type domain, strong frequency skew and temporal
+// clustering.
+struct AlarmConfig {
+  uint32_t num_alarm_types = 200;
+  uint64_t num_windows = 5000;     // == number of transactions
+  double background_rate = 3.0;    // mean background alarms per window
+  uint32_t num_episode_kinds = 25; // distinct cascade patterns
+  double episode_start_prob = 0.08;  // per-window chance a cascade begins
+  double avg_episode_size = 5.0;     // alarms involved in one cascade kind
+  uint32_t episode_duration = 3;     // windows an active cascade spans
+  double zipf_exponent = 1.1;        // background popularity skew
+  uint64_t seed = 1;
+};
+
+StatusOr<TransactionDatabase> GenerateAlarms(const AlarmConfig& config);
+
+}  // namespace ossm
+
+#endif  // OSSM_DATAGEN_ALARM_GENERATOR_H_

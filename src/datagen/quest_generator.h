@@ -1,0 +1,56 @@
+#ifndef OSSM_DATAGEN_QUEST_GENERATOR_H_
+#define OSSM_DATAGEN_QUEST_GENERATOR_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "data/transaction_database.h"
+
+namespace ossm {
+
+// Parameters of the IBM Quest-style synthetic market-basket generator
+// (Agrawal & Srikant, "Fast Algorithms for Mining Association Rules" /
+// reference [3] of the paper). This is the paper's "regular-synthetic" data.
+//
+// The classical Txx.Iyy.Dzz naming maps to:
+//   T = avg_transaction_size, I = avg_pattern_size, D = num_transactions.
+struct QuestConfig {
+  uint32_t num_items = 1000;           // N — size of the item domain
+  uint64_t num_transactions = 100000;  // |D|
+  double avg_transaction_size = 10.0;  // |T|
+  double avg_pattern_size = 4.0;       // |I|
+  uint32_t num_patterns = 200;         // |L| — potential maximal frequent sets
+  // Fraction of each pattern's items drawn from the previous pattern, which
+  // correlates consecutive patterns (the generator's "correlation level").
+  double correlation = 0.25;
+  // Per-pattern corruption level ~ clipped N(corruption_mean, corruption_sd):
+  // items are dropped from a pattern instance with this probability.
+  double corruption_mean = 0.5;
+  double corruption_sd = 0.1;
+
+  // Seasonal drift extension (not in the AS'94 generator; used to model the
+  // paper's premise that "real life data sets are not random"): when
+  // num_seasons > 1, each pattern belongs to one season (round-robin) and
+  // its selection weight is multiplied by in_season_boost while the
+  // collection passes through that season. 1 season or boost 1.0 reproduces
+  // the classic time-homogeneous generator exactly.
+  uint32_t num_seasons = 1;
+  double in_season_boost = 1.0;
+
+  uint64_t seed = 1;
+};
+
+// Generates a database according to `config`. Fails with InvalidArgument on
+// nonsensical parameters (zero items, mean sizes larger than the domain...).
+//
+// Faithful to the published description: pattern sizes are Poisson with mean
+// avg_pattern_size; pattern weights are exponential and normalized; each
+// transaction has a Poisson target size and is filled with (possibly
+// corrupted) patterns picked by weight; a pattern that does not fit a nearly
+// full transaction is kept with probability 0.5 anyway (the original
+// generator's overflow rule).
+StatusOr<TransactionDatabase> GenerateQuest(const QuestConfig& config);
+
+}  // namespace ossm
+
+#endif  // OSSM_DATAGEN_QUEST_GENERATOR_H_

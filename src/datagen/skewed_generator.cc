@@ -1,0 +1,84 @@
+#include "datagen/skewed_generator.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.h"
+
+namespace ossm {
+
+namespace {
+
+Status Validate(const SkewedConfig& c) {
+  if (c.num_items == 0) {
+    return Status::InvalidArgument("num_items must be positive");
+  }
+  if (c.num_transactions == 0) {
+    return Status::InvalidArgument("num_transactions must be positive");
+  }
+  if (c.avg_transaction_size <= 0.0 ||
+      c.avg_transaction_size > c.num_items) {
+    return Status::InvalidArgument(
+        "avg_transaction_size must be in (0, num_items]");
+  }
+  if (c.num_seasons == 0 || c.num_seasons > c.num_items) {
+    return Status::InvalidArgument("num_seasons must be in [1, num_items]");
+  }
+  if (c.in_season_boost < 1.0) {
+    return Status::InvalidArgument("in_season_boost must be >= 1.0");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<TransactionDatabase> GenerateSkewed(const SkewedConfig& config) {
+  OSSM_RETURN_IF_ERROR(Validate(config));
+  Rng rng(config.seed);
+
+  TransactionDatabase db(config.num_items);
+
+  // Per-season cumulative sampling distribution over items. In season s,
+  // items with (i % num_seasons) == s carry weight `in_season_boost`, all
+  // others weight 1.
+  uint32_t seasons = config.num_seasons;
+  std::vector<std::vector<double>> cumulative(seasons);
+  for (uint32_t s = 0; s < seasons; ++s) {
+    cumulative[s].resize(config.num_items);
+    double acc = 0.0;
+    for (uint32_t i = 0; i < config.num_items; ++i) {
+      acc += (i % seasons == s) ? config.in_season_boost : 1.0;
+      cumulative[s][i] = acc;
+    }
+    for (double& v : cumulative[s]) v /= acc;
+    cumulative[s].back() = 1.0;
+  }
+
+  std::vector<ItemId> txn;
+  for (uint64_t t = 0; t < config.num_transactions; ++t) {
+    uint32_t season = static_cast<uint32_t>(
+        (t * seasons) / config.num_transactions);
+    season = std::min(season, seasons - 1);
+    const std::vector<double>& cum = cumulative[season];
+
+    uint64_t target =
+        std::max<uint64_t>(1, rng.Poisson(config.avg_transaction_size));
+    target = std::min<uint64_t>(target, config.num_items);
+
+    txn.clear();
+    // Rejection-free draw with duplicates removed afterwards; with domains
+    // far larger than transaction sizes the shrinkage is negligible.
+    for (uint64_t k = 0; k < target; ++k) {
+      double u = rng.UniformDouble();
+      size_t idx = static_cast<size_t>(
+          std::lower_bound(cum.begin(), cum.end(), u) - cum.begin());
+      txn.push_back(static_cast<ItemId>(idx));
+    }
+    std::sort(txn.begin(), txn.end());
+    txn.erase(std::unique(txn.begin(), txn.end()), txn.end());
+    OSSM_RETURN_IF_ERROR(db.Append(std::span<const ItemId>(txn)));
+  }
+  return db;
+}
+
+}  // namespace ossm

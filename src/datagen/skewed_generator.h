@@ -1,0 +1,38 @@
+#ifndef OSSM_DATAGEN_SKEWED_GENERATOR_H_
+#define OSSM_DATAGEN_SKEWED_GENERATOR_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "data/transaction_database.h"
+
+namespace ossm {
+
+// The paper's "skewed-synthetic" data set (Section 6.1): a collection with
+// seasonal behaviour, where 50% of the items have a higher probability of
+// appearing in the first half of the collection and the other 50% in the
+// second half (think supermarket transactions running from summer to
+// winter). This is the regime where the OSSM shines, because per-segment
+// supports differ wildly across the collection.
+struct SkewedConfig {
+  uint32_t num_items = 1000;
+  uint64_t num_transactions = 100000;
+  double avg_transaction_size = 10.0;
+  // Number of "seasons": the collection is split into this many equal
+  // phases; each item is in-season during exactly one phase. The paper uses
+  // 2 (first half / second half).
+  uint32_t num_seasons = 2;
+  // How much more likely an in-season item is than an out-of-season one.
+  // 1.0 means no skew; the paper's behaviour corresponds to a large factor.
+  double in_season_boost = 8.0;
+  uint64_t seed = 1;
+};
+
+// Generates the seasonal collection. Items are assigned round-robin to
+// seasons (item i belongs to season i % num_seasons) so every season has an
+// equal share of the domain; transaction sizes are Poisson.
+StatusOr<TransactionDatabase> GenerateSkewed(const SkewedConfig& config);
+
+}  // namespace ossm
+
+#endif  // OSSM_DATAGEN_SKEWED_GENERATOR_H_

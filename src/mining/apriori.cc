@@ -1,0 +1,161 @@
+#include "mining/apriori.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/timer.h"
+#include "mining/hash_tree.h"
+#include "mining/itemset.h"
+
+namespace ossm {
+
+uint64_t EffectiveMinSupport(const AprioriConfig& config,
+                             uint64_t num_transactions) {
+  if (config.min_support_count > 0) return config.min_support_count;
+  uint64_t count = static_cast<uint64_t>(
+      std::ceil(config.min_support_fraction *
+                static_cast<double>(num_transactions)));
+  return std::max<uint64_t>(count, 1);
+}
+
+namespace {
+
+Status Validate(const AprioriConfig& config) {
+  if (config.min_support_count == 0 &&
+      (config.min_support_fraction <= 0.0 ||
+       config.min_support_fraction > 1.0)) {
+    return Status::InvalidArgument(
+        "min_support_fraction must be in (0, 1] when no absolute count is "
+        "given");
+  }
+  return Status::OK();
+}
+
+// Generates C_{k+1} from L_k: prefix join followed by the all-subsets
+// pruning step. `frequent` must be canonically sorted.
+std::vector<Itemset> GenerateCandidates(const std::vector<Itemset>& frequent) {
+  std::vector<Itemset> candidates;
+  if (frequent.empty()) return candidates;
+
+  std::unordered_set<Itemset, ItemsetHasher> frequent_set(frequent.begin(),
+                                                          frequent.end());
+  Itemset joined;
+  std::vector<Itemset> subsets;
+  // The canonical sort groups equal prefixes contiguously, so the join only
+  // needs to look at runs.
+  for (size_t i = 0; i < frequent.size(); ++i) {
+    for (size_t j = i + 1; j < frequent.size(); ++j) {
+      if (!JoinPrefix(frequent[i], frequent[j], &joined)) break;
+      // Subset pruning: all k-subsets of the joined (k+1)-set must be
+      // frequent. The two join parents trivially are; check the rest.
+      AllOneSmallerSubsets(joined, &subsets);
+      bool all_frequent = true;
+      for (const Itemset& subset : subsets) {
+        if (!frequent_set.contains(subset)) {
+          all_frequent = false;
+          break;
+        }
+      }
+      if (all_frequent) candidates.push_back(joined);
+    }
+  }
+  return candidates;
+}
+
+}  // namespace
+
+StatusOr<MiningResult> MineApriori(const TransactionDatabase& db,
+                                   const AprioriConfig& config) {
+  OSSM_RETURN_IF_ERROR(Validate(config));
+  WallTimer timer;
+
+  MiningResult result;
+  uint64_t min_support = EffectiveMinSupport(config, db.num_transactions());
+
+  // --- Level 1 ---
+  LevelStats level1;
+  level1.level = 1;
+  level1.candidates_generated = db.num_items();
+  std::vector<uint64_t> item_supports;
+  std::span<const uint64_t> exact =
+      config.pruner != nullptr ? config.pruner->ExactSingletonSupports()
+                               : std::span<const uint64_t>();
+  if (exact.size() == db.num_items()) {
+    // The OSSM already knows every singleton support: no scan needed.
+    item_supports.assign(exact.begin(), exact.end());
+  } else {
+    item_supports = db.ComputeItemSupports();
+    ++result.stats.database_scans;
+    level1.candidates_counted = db.num_items();
+  }
+
+  std::vector<Itemset> frequent;  // L_k, canonically sorted
+  for (ItemId item = 0; item < db.num_items(); ++item) {
+    if (item_supports[item] >= min_support) {
+      result.itemsets.push_back({{item}, item_supports[item]});
+      frequent.push_back({item});
+      ++level1.frequent;
+    }
+  }
+  result.stats.levels.push_back(level1);
+
+  // --- Levels k >= 2 ---
+  for (uint32_t level = 2;
+       (config.max_level == 0 || level <= config.max_level) &&
+       frequent.size() >= 2;
+       ++level) {
+    LevelStats stats;
+    stats.level = level;
+
+    std::vector<Itemset> candidates = GenerateCandidates(frequent);
+    stats.candidates_generated = candidates.size();
+    if (candidates.empty()) {
+      result.stats.levels.push_back(stats);
+      break;
+    }
+
+    // Equation-(1) pruning before any counting work.
+    if (config.pruner != nullptr) {
+      std::vector<Itemset> survivors;
+      survivors.reserve(candidates.size());
+      for (Itemset& candidate : candidates) {
+        if (config.pruner->UpperBound(candidate) >= min_support) {
+          survivors.push_back(std::move(candidate));
+        } else {
+          ++stats.pruned_by_bound;
+        }
+      }
+      candidates = std::move(survivors);
+    }
+    stats.candidates_counted = candidates.size();
+
+    std::vector<Itemset> next_frequent;
+    if (!candidates.empty()) {
+      HashTree tree(std::move(candidates), config.hash_tree_fanout,
+                    config.hash_tree_leaf_capacity);
+      for (uint64_t t = 0; t < db.num_transactions(); ++t) {
+        tree.CountTransaction(db.transaction(t));
+      }
+      ++result.stats.database_scans;
+
+      for (size_t c = 0; c < tree.num_candidates(); ++c) {
+        if (tree.counts()[c] >= min_support) {
+          result.itemsets.push_back(
+              {tree.candidates()[c], tree.counts()[c]});
+          next_frequent.push_back(tree.candidates()[c]);
+          ++stats.frequent;
+        }
+      }
+    }
+    result.stats.levels.push_back(stats);
+    frequent = std::move(next_frequent);
+    std::sort(frequent.begin(), frequent.end(), ItemsetLess);
+  }
+
+  result.Canonicalize();
+  result.stats.total_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace ossm

@@ -1,0 +1,50 @@
+#ifndef OSSM_MINING_ASSOCIATION_RULES_H_
+#define OSSM_MINING_ASSOCIATION_RULES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "mining/mining_result.h"
+
+namespace ossm {
+
+// Association-rule generation (Agrawal-Imielinski-Swami, reference [2] of
+// the paper — the application that motivates frequency counting in the
+// first place). Given the frequent itemsets of a mining run, produces all
+// rules X => Y with X, Y disjoint, X ∪ Y frequent, and confidence
+// sup(X ∪ Y) / sup(X) at or above a minimum.
+//
+// Generation uses the classic anti-monotonicity of confidence in the
+// consequent: if X => Y lacks confidence, so does X' => Y' for every
+// Y' ⊇ Y (same union), so consequents are grown level-wise and pruned.
+struct AssociationRule {
+  Itemset antecedent;   // X
+  Itemset consequent;   // Y
+  uint64_t support = 0;  // sup(X ∪ Y)
+  double confidence = 0.0;
+  // lift = confidence / (sup(Y) / N); > 1 means positive correlation.
+  double lift = 0.0;
+
+  friend bool operator==(const AssociationRule& a,
+                         const AssociationRule& b) = default;
+};
+
+struct RuleConfig {
+  double min_confidence = 0.5;
+  // Cap on consequent size (0 = unlimited).
+  uint32_t max_consequent_size = 0;
+};
+
+// Derives all rules from `frequent` (the canonicalized output of any of the
+// miners; supports must be exact, which they are for every miner here).
+// `num_transactions` is needed for lift. Fails on invalid configuration or
+// if a required subset's support is missing from `frequent` (which would
+// mean the input is not a downward-closed mining result).
+StatusOr<std::vector<AssociationRule>> GenerateRules(
+    const std::vector<FrequentItemset>& frequent, uint64_t num_transactions,
+    const RuleConfig& config);
+
+}  // namespace ossm
+
+#endif  // OSSM_MINING_ASSOCIATION_RULES_H_

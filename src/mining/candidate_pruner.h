@@ -1,0 +1,76 @@
+#ifndef OSSM_MINING_CANDIDATE_PRUNER_H_
+#define OSSM_MINING_CANDIDATE_PRUNER_H_
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "core/generalized_ossm.h"
+#include "core/segment_support_map.h"
+#include "data/item.h"
+
+namespace ossm {
+
+// What a miner needs from a support-bounding structure: an upper bound on
+// any candidate's support, and (optionally) exact singleton supports so the
+// first counting pass can be skipped. The OSSM is one implementation; the
+// interface is what makes the structure pluggable into Apriori, DHP,
+// Partition, and any other candidate-generation algorithm (the generality
+// claim of Sections 1 and 7).
+class CandidatePruner {
+ public:
+  virtual ~CandidatePruner() = default;
+
+  virtual std::string_view name() const = 0;
+
+  // An upper bound on sup(itemset). UINT64_MAX means "no information".
+  // A miner discards the candidate when the bound is below its threshold —
+  // which is lossless exactly because this is an upper bound.
+  virtual uint64_t UpperBound(std::span<const ItemId> itemset) const = 0;
+
+  // Exact supports of all singletons, or an empty span if unavailable. When
+  // available, Apriori derives L1 with no database scan.
+  virtual std::span<const uint64_t> ExactSingletonSupports() const {
+    return {};
+  }
+};
+
+// No pruning: every bound is "unknown". Baseline ("without the OSSM").
+class NullPruner : public CandidatePruner {
+ public:
+  std::string_view name() const override { return "none"; }
+  uint64_t UpperBound(std::span<const ItemId>) const override {
+    return UINT64_MAX;
+  }
+};
+
+// Equation (1) pruning backed by a segment support map. Does not own the
+// map; the map must outlive the pruner and match the mined database.
+class OssmPruner : public CandidatePruner {
+ public:
+  explicit OssmPruner(const SegmentSupportMap* map);
+
+  std::string_view name() const override { return "OSSM"; }
+  uint64_t UpperBound(std::span<const ItemId> itemset) const override;
+  std::span<const uint64_t> ExactSingletonSupports() const override;
+
+ private:
+  const SegmentSupportMap* map_;
+};
+
+// Pruning backed by a generalized (pair-augmented) OSSM — footnote 3.
+class GeneralizedOssmPruner : public CandidatePruner {
+ public:
+  explicit GeneralizedOssmPruner(const GeneralizedOssm* map);
+
+  std::string_view name() const override { return "OSSM+pairs"; }
+  uint64_t UpperBound(std::span<const ItemId> itemset) const override;
+  std::span<const uint64_t> ExactSingletonSupports() const override;
+
+ private:
+  const GeneralizedOssm* map_;
+};
+
+}  // namespace ossm
+
+#endif  // OSSM_MINING_CANDIDATE_PRUNER_H_

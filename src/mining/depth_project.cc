@@ -1,0 +1,146 @@
+#include "mining/depth_project.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/timer.h"
+
+namespace ossm {
+
+namespace {
+
+Status Validate(const DepthProjectConfig& config) {
+  if (config.min_support_count == 0 &&
+      (config.min_support_fraction <= 0.0 ||
+       config.min_support_fraction > 1.0)) {
+    return Status::InvalidArgument(
+        "min_support_fraction must be in (0, 1] when no absolute count is "
+        "given");
+  }
+  return Status::OK();
+}
+
+// Mutable state threaded through the depth-first search.
+struct SearchState {
+  const TransactionDatabase* db;
+  uint64_t min_support;
+  uint32_t max_level;
+  const CandidatePruner* pruner;
+
+  std::vector<FrequentItemset>* out;
+  // Per-depth accounting, grown on demand (depth d -> level d+1 patterns).
+  std::vector<LevelStats>* levels;
+};
+
+LevelStats& LevelAt(SearchState& state, uint32_t level) {
+  while (state.levels->size() < level) {
+    LevelStats stats;
+    stats.level = static_cast<uint32_t>(state.levels->size() + 1);
+    state.levels->push_back(stats);
+  }
+  return (*state.levels)[level - 1];
+}
+
+// Expands the node `prefix` (already emitted) whose projection is
+// `transactions`. `first_extension` is the smallest item id allowed as an
+// extension (lexicographic tree: extensions grow to the right only).
+void Expand(SearchState& state, Itemset& prefix,
+            const std::vector<uint64_t>& transactions,
+            ItemId first_extension) {
+  uint32_t next_level = static_cast<uint32_t>(prefix.size() + 1);
+  if (state.max_level != 0 && next_level > state.max_level) return;
+  if (first_extension >= state.db->num_items()) return;
+
+  LevelStats& stats = LevelAt(state, next_level);
+
+  // Which extensions are worth counting? Bound-check each candidate item
+  // before the projection scan (the Section 7 integration).
+  std::vector<char> countable(state.db->num_items(), 0);
+  Itemset candidate = prefix;
+  candidate.push_back(0);
+  bool any = false;
+  for (ItemId e = first_extension; e < state.db->num_items(); ++e) {
+    ++stats.candidates_generated;
+    if (state.pruner != nullptr) {
+      candidate.back() = e;
+      if (state.pruner->UpperBound(candidate) < state.min_support) {
+        ++stats.pruned_by_bound;
+        continue;
+      }
+    }
+    countable[e] = 1;
+    ++stats.candidates_counted;
+    any = true;
+  }
+  if (!any) return;
+
+  // One pass over the projection: tally every countable extension. The
+  // counter lives on this node's frame because the recursion below re-enters
+  // Expand for child nodes.
+  std::vector<uint64_t> support(state.db->num_items(), 0);
+  for (uint64_t t : transactions) {
+    for (ItemId item : state.db->transaction(t)) {
+      if (item >= first_extension && countable[item]) ++support[item];
+    }
+  }
+
+  // Recurse on the frequent extensions in lexicographic order.
+  for (ItemId e = first_extension; e < state.db->num_items(); ++e) {
+    if (!countable[e] || support[e] < state.min_support) continue;
+
+    prefix.push_back(e);
+    state.out->push_back({prefix, support[e]});
+    ++LevelAt(state, next_level).frequent;
+
+    // Project: keep the supporting transactions only.
+    std::vector<uint64_t> projected;
+    projected.reserve(support[e]);
+    Itemset single = {e};
+    for (uint64_t t : transactions) {
+      if (state.db->Contains(t, single)) projected.push_back(t);
+    }
+    Expand(state, prefix, projected, e + 1);
+    prefix.pop_back();
+  }
+}
+
+}  // namespace
+
+StatusOr<MiningResult> MineDepthProject(const TransactionDatabase& db,
+                                        const DepthProjectConfig& config) {
+  OSSM_RETURN_IF_ERROR(Validate(config));
+  WallTimer timer;
+
+  MiningResult result;
+  uint64_t min_support = config.min_support_count;
+  if (min_support == 0) {
+    min_support = std::max<uint64_t>(
+        1, static_cast<uint64_t>(
+               std::ceil(config.min_support_fraction *
+                         static_cast<double>(db.num_transactions()))));
+  }
+
+  SearchState state;
+  state.db = &db;
+  state.min_support = min_support;
+  state.max_level = config.max_level;
+  state.pruner = config.pruner;
+  state.out = &result.itemsets;
+  state.levels = &result.stats.levels;
+
+  // The root's projection is the whole database; singleton supports come
+  // from the OSSM when available, otherwise from the root expansion scan.
+  std::vector<uint64_t> all(db.num_transactions());
+  for (uint64_t t = 0; t < db.num_transactions(); ++t) all[t] = t;
+  ++result.stats.database_scans;  // the root expansion pass
+
+  Itemset prefix;
+  Expand(state, prefix, all, 0);
+
+  result.Canonicalize();
+  result.stats.total_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace ossm

@@ -1,0 +1,44 @@
+#ifndef OSSM_MINING_DEPTH_PROJECT_H_
+#define OSSM_MINING_DEPTH_PROJECT_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "data/transaction_database.h"
+#include "mining/candidate_pruner.h"
+#include "mining/mining_result.h"
+
+namespace ossm {
+
+// A DepthProject-style miner (Agarwal, Aggarwal, Prasad — reference [1] of
+// the paper): depth-first search over the lexicographic tree of itemsets.
+// Each tree node is a frequent prefix; the node's transaction projection
+// (the ids of the transactions containing the prefix) is carried down, and
+// the supports of all candidate one-item extensions are counted in a single
+// pass over the projection.
+//
+// Section 7's integration: "if an OSSM is used simultaneously, then known
+// infrequent candidates can be pruned before the frequency counting" —
+// here, an extension whose equation-(1) bound falls below the threshold is
+// dropped before the projection scan ever tallies it, shrinking the
+// per-node counting array walk and the recursion frontier.
+struct DepthProjectConfig {
+  double min_support_fraction = 0.01;
+  uint64_t min_support_count = 0;  // wins when non-zero
+  uint32_t max_level = 0;          // cap on pattern length, 0 = unlimited
+
+  // Optional OSSM pruning of extensions. Not owned; may be null.
+  const CandidatePruner* pruner = nullptr;
+};
+
+// Mines all frequent itemsets; the result is pattern-identical to Apriori
+// on the same database and threshold. LevelStats::candidates_generated
+// counts attempted extensions per depth, pruned_by_bound the ones the OSSM
+// discarded before counting, and candidates_counted the ones tallied
+// against a projection.
+StatusOr<MiningResult> MineDepthProject(const TransactionDatabase& db,
+                                        const DepthProjectConfig& config);
+
+}  // namespace ossm
+
+#endif  // OSSM_MINING_DEPTH_PROJECT_H_

@@ -1,0 +1,151 @@
+#include "mining/eclat.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/timer.h"
+
+namespace ossm {
+
+namespace {
+
+Status Validate(const EclatConfig& config) {
+  if (config.min_support_count == 0 &&
+      (config.min_support_fraction <= 0.0 ||
+       config.min_support_fraction > 1.0)) {
+    return Status::InvalidArgument(
+        "min_support_fraction must be in (0, 1] when no absolute count is "
+        "given");
+  }
+  return Status::OK();
+}
+
+using TidList = std::vector<uint64_t>;
+
+// One member of an equivalence class: the last item of the prefix+item
+// itemset and the tid-list of the whole itemset.
+struct ClassMember {
+  ItemId item;
+  TidList tids;
+};
+
+struct SearchState {
+  uint64_t min_support;
+  uint32_t max_level;
+  const CandidatePruner* pruner;
+  std::vector<FrequentItemset>* out;
+  std::vector<LevelStats>* levels;
+};
+
+LevelStats& LevelAt(SearchState& state, uint32_t level) {
+  while (state.levels->size() < level) {
+    LevelStats stats;
+    stats.level = static_cast<uint32_t>(state.levels->size() + 1);
+    state.levels->push_back(stats);
+  }
+  return (*state.levels)[level - 1];
+}
+
+void Intersect(const TidList& a, const TidList& b, TidList* out) {
+  out->clear();
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(*out));
+}
+
+// Expands the equivalence class of `prefix` (whose members are the
+// frequent itemsets prefix ∪ {member.item}, already emitted). For each
+// member, join with every later member to form the next class.
+void Expand(SearchState& state, Itemset& prefix,
+            const std::vector<ClassMember>& members) {
+  uint32_t next_level = static_cast<uint32_t>(prefix.size() + 2);
+  if (state.max_level != 0 && next_level > state.max_level) return;
+
+  Itemset candidate;
+  TidList intersection;
+  for (size_t i = 0; i < members.size(); ++i) {
+    prefix.push_back(members[i].item);
+    std::vector<ClassMember> next_class;
+    for (size_t j = i + 1; j < members.size(); ++j) {
+      LevelStats& stats = LevelAt(state, next_level);
+      ++stats.candidates_generated;
+
+      if (state.pruner != nullptr) {
+        candidate = prefix;
+        candidate.push_back(members[j].item);
+        if (state.pruner->UpperBound(candidate) < state.min_support) {
+          ++stats.pruned_by_bound;
+          continue;
+        }
+      }
+      ++stats.candidates_counted;
+      Intersect(members[i].tids, members[j].tids, &intersection);
+      if (intersection.size() >= state.min_support) {
+        ++stats.frequent;
+        Itemset found = prefix;
+        found.push_back(members[j].item);
+        state.out->push_back({std::move(found), intersection.size()});
+        next_class.push_back({members[j].item, intersection});
+      }
+    }
+    if (!next_class.empty()) {
+      Expand(state, prefix, next_class);
+    }
+    prefix.pop_back();
+  }
+}
+
+}  // namespace
+
+StatusOr<MiningResult> MineEclat(const TransactionDatabase& db,
+                                 const EclatConfig& config) {
+  OSSM_RETURN_IF_ERROR(Validate(config));
+  WallTimer timer;
+
+  MiningResult result;
+  uint64_t min_support = config.min_support_count;
+  if (min_support == 0) {
+    min_support = std::max<uint64_t>(
+        1, static_cast<uint64_t>(
+               std::ceil(config.min_support_fraction *
+                         static_cast<double>(db.num_transactions()))));
+  }
+
+  // Verticalize: one scan builds every item's tid-list.
+  std::vector<TidList> tid_lists(db.num_items());
+  for (uint64_t t = 0; t < db.num_transactions(); ++t) {
+    for (ItemId item : db.transaction(t)) {
+      tid_lists[item].push_back(t);
+    }
+  }
+  ++result.stats.database_scans;
+
+  SearchState state;
+  state.min_support = min_support;
+  state.max_level = config.max_level;
+  state.pruner = config.pruner;
+  state.out = &result.itemsets;
+  state.levels = &result.stats.levels;
+
+  LevelStats& level1 = LevelAt(state, 1);
+  level1.candidates_generated = db.num_items();
+  level1.candidates_counted = db.num_items();
+
+  std::vector<ClassMember> root_class;
+  for (ItemId item = 0; item < db.num_items(); ++item) {
+    if (tid_lists[item].size() >= min_support) {
+      ++level1.frequent;
+      result.itemsets.push_back({{item}, tid_lists[item].size()});
+      root_class.push_back({item, std::move(tid_lists[item])});
+    }
+  }
+
+  Itemset prefix;
+  Expand(state, prefix, root_class);
+
+  result.Canonicalize();
+  result.stats.total_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace ossm

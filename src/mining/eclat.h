@@ -1,0 +1,41 @@
+#ifndef OSSM_MINING_ECLAT_H_
+#define OSSM_MINING_ECLAT_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "data/transaction_database.h"
+#include "mining/candidate_pruner.h"
+#include "mining/mining_result.h"
+
+namespace ossm {
+
+// Vertical-format miner in the Eclat/GenMax family (Zaki — footnote 2 and
+// reference [20] of the paper): each item carries its tid-list (the sorted
+// ids of the transactions containing it); the support of an extension is
+// the length of a tid-list intersection, and the search is depth-first over
+// equivalence classes of shared prefixes.
+//
+// OSSM integration: a tid-list intersection costs O(|list_a| + |list_b|),
+// and equation (1) can veto the extension for the price of n additions —
+// so the pruner is consulted *before* each intersection. Lossless, as
+// everywhere else.
+struct EclatConfig {
+  double min_support_fraction = 0.01;
+  uint64_t min_support_count = 0;  // wins when non-zero
+  uint32_t max_level = 0;          // cap on pattern length, 0 = unlimited
+
+  // Optional equation-(1) pruning of extensions. Not owned; may be null.
+  const CandidatePruner* pruner = nullptr;
+};
+
+// Mines all frequent itemsets; pattern-identical to Apriori on the same
+// database and threshold. Stats: candidates_generated counts attempted
+// extensions, pruned_by_bound the OSSM vetoes, candidates_counted the
+// tid-list intersections actually performed.
+StatusOr<MiningResult> MineEclat(const TransactionDatabase& db,
+                                 const EclatConfig& config);
+
+}  // namespace ossm
+
+#endif  // OSSM_MINING_ECLAT_H_

@@ -1,0 +1,75 @@
+#include "mining/episode.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "mining/apriori.h"
+
+namespace ossm {
+
+StatusOr<TransactionDatabase> WindowedDatabase(
+    const std::vector<Event>& events, uint32_t num_event_types,
+    uint64_t window_width) {
+  if (events.empty()) {
+    return Status::InvalidArgument("event sequence is empty");
+  }
+  if (window_width == 0) {
+    return Status::InvalidArgument("window_width must be positive");
+  }
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (events[i].type >= num_event_types) {
+      return Status::InvalidArgument("event type out of domain");
+    }
+    if (i > 0 && events[i].time < events[i - 1].time) {
+      return Status::InvalidArgument("events must be time-ordered");
+    }
+  }
+
+  TransactionDatabase db(num_event_types);
+  uint64_t first = events.front().time;
+  uint64_t last = events.back().time;
+
+  // Two cursors delimit the events inside the current window [start,
+  // start + width); each slide advances them monotonically, so the whole
+  // materialization is O(total events + windows * window content).
+  size_t lo = 0;
+  size_t hi = 0;
+  std::vector<ItemId> window_types;
+  for (uint64_t start = first; start <= last; ++start) {
+    while (lo < events.size() && events[lo].time < start) ++lo;
+    while (hi < events.size() && events[hi].time < start + window_width) {
+      ++hi;
+    }
+    window_types.clear();
+    for (size_t i = lo; i < hi; ++i) window_types.push_back(events[i].type);
+    std::sort(window_types.begin(), window_types.end());
+    window_types.erase(
+        std::unique(window_types.begin(), window_types.end()),
+        window_types.end());
+    OSSM_RETURN_IF_ERROR(db.Append(std::span<const ItemId>(window_types)));
+  }
+  return db;
+}
+
+StatusOr<EpisodeResult> MineParallelEpisodes(
+    const std::vector<Event>& events, uint32_t num_event_types,
+    const EpisodeConfig& config) {
+  StatusOr<TransactionDatabase> windows =
+      WindowedDatabase(events, num_event_types, config.window_width);
+  if (!windows.ok()) return windows.status();
+
+  AprioriConfig mining;
+  mining.min_support_fraction = config.min_frequency;
+  mining.max_level = config.max_episode_size;
+  mining.pruner = config.pruner;
+  StatusOr<MiningResult> mined = MineApriori(*windows, mining);
+  if (!mined.ok()) return mined.status();
+
+  EpisodeResult result;
+  result.episodes = std::move(mined->itemsets);
+  result.stats = std::move(mined->stats);
+  result.num_windows = windows->num_transactions();
+  return result;
+}
+
+}  // namespace ossm

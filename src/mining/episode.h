@@ -1,0 +1,68 @@
+#ifndef OSSM_MINING_EPISODE_H_
+#define OSSM_MINING_EPISODE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "data/transaction_database.h"
+#include "mining/candidate_pruner.h"
+#include "mining/mining_result.h"
+
+namespace ossm {
+
+// Frequent parallel-episode discovery over event sequences (Mannila,
+// Toivonen, Verkamo — reference [13] of the paper). The paper's footnote 1:
+// "in the case of episodes, a transaction corresponds to a sequence of
+// events in a sliding time window" — which is exactly how this layer maps
+// episode mining onto the OSSM machinery: slide a window over the sequence,
+// one transaction per window position, then any candidate-generation miner
+// (with any OSSM) applies unchanged. This is the generality claim of
+// Sections 1 and 7 made executable.
+
+// One event in a sequence: a type and a timestamp. Timestamps must be
+// non-decreasing in the sequence.
+struct Event {
+  ItemId type = 0;
+  uint64_t time = 0;
+};
+
+// A parallel episode: a set of event types with the number of window
+// positions in which all of them occur.
+struct EpisodeResult {
+  std::vector<FrequentItemset> episodes;  // items = event types
+  MiningStats stats;
+  uint64_t num_windows = 0;
+};
+
+struct EpisodeConfig {
+  // Window width in time units; a window [t, t + width) slides one time
+  // unit at a time, as in the episode framework.
+  uint64_t window_width = 5;
+  // Minimum fraction of window positions an episode must occur in.
+  double min_frequency = 0.01;
+  uint32_t max_episode_size = 0;  // 0 = unlimited
+
+  // Optional OSSM pruning, exactly as for market baskets. Not owned. The
+  // OSSM must have been built over WindowedDatabase(...) of this sequence.
+  const CandidatePruner* pruner = nullptr;
+};
+
+// Materializes the sliding windows of `events` (num_event_types = item
+// domain) as a transaction database: one transaction per window start in
+// [t_first, t_last], holding the distinct event types in that window.
+// Events must be time-ordered; fails on empty input or zero width.
+StatusOr<TransactionDatabase> WindowedDatabase(
+    const std::vector<Event>& events, uint32_t num_event_types,
+    uint64_t window_width);
+
+// Discovers all frequent parallel episodes. Built on MineApriori over the
+// windowed database, so any OSSM built on that database plugs in via
+// config.pruner and prunes candidate episodes losslessly.
+StatusOr<EpisodeResult> MineParallelEpisodes(
+    const std::vector<Event>& events, uint32_t num_event_types,
+    const EpisodeConfig& config);
+
+}  // namespace ossm
+
+#endif  // OSSM_MINING_EPISODE_H_

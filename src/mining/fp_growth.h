@@ -1,0 +1,32 @@
+#ifndef OSSM_MINING_FP_GROWTH_H_
+#define OSSM_MINING_FP_GROWTH_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "data/transaction_database.h"
+#include "mining/mining_result.h"
+
+namespace ossm {
+
+// FP-growth (Han, Pei, Yin — reference [8]): frequent-pattern mining with
+// no candidate generation, via a compressed prefix tree (FP-tree) and
+// recursive conditional projections.
+//
+// In this repository it plays the role the related-work section gives it:
+// the contrasting framework (query-dependent, memory-bound, no candidates —
+// so nothing for an OSSM to prune) and, for the test suite, an independent
+// oracle: it shares no counting code with Apriori/DHP/Partition, so
+// agreement across all four miners is strong evidence each is correct.
+struct FpGrowthConfig {
+  double min_support_fraction = 0.01;
+  uint64_t min_support_count = 0;  // wins when non-zero
+  uint32_t max_level = 0;          // cap on pattern length, 0 = unlimited
+};
+
+StatusOr<MiningResult> MineFpGrowth(const TransactionDatabase& db,
+                                    const FpGrowthConfig& config);
+
+}  // namespace ossm
+
+#endif  // OSSM_MINING_FP_GROWTH_H_

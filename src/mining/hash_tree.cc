@@ -1,0 +1,107 @@
+#include "mining/hash_tree.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "mining/itemset.h"
+
+namespace ossm {
+
+HashTree::HashTree(std::vector<Itemset> candidates, uint32_t fanout,
+                   uint32_t leaf_capacity)
+    : fanout_(fanout),
+      leaf_capacity_(leaf_capacity),
+      candidates_(std::move(candidates)),
+      counts_(candidates_.size(), 0) {
+  OSSM_CHECK_GE(fanout_, 2u);
+  OSSM_CHECK_GE(leaf_capacity_, 1u);
+  if (!candidates_.empty()) {
+    candidate_size_ = static_cast<uint32_t>(candidates_[0].size());
+    OSSM_CHECK_GE(candidate_size_, 1u);
+  }
+  nodes_.push_back(Node{});  // root: an empty leaf at depth 0
+  for (uint32_t id = 0; id < candidates_.size(); ++id) {
+    OSSM_CHECK_EQ(candidates_[id].size(), candidate_size_);
+    OSSM_DCHECK(IsCanonicalItemset(candidates_[id]));
+    Insert(0, id);
+  }
+}
+
+void HashTree::Insert(uint32_t node_id, uint32_t candidate_id) {
+  for (;;) {
+    Node& node = nodes_[node_id];
+    if (node.is_leaf) {
+      node.entries.push_back(candidate_id);
+      // A leaf at depth == k has consumed every item of the candidate; it
+      // cannot discriminate further and is allowed to grow.
+      if (node.entries.size() > leaf_capacity_ &&
+          node.depth < candidate_size_) {
+        SplitLeaf(node_id);
+      }
+      return;
+    }
+    uint32_t bucket = HashItem(candidates_[candidate_id][node.depth]);
+    int32_t child = node.children[bucket];
+    if (child < 0) {
+      Node leaf;
+      leaf.depth = node.depth + 1;
+      child = static_cast<int32_t>(nodes_.size());
+      nodes_[node_id].children[bucket] = child;
+      nodes_.push_back(std::move(leaf));
+    }
+    node_id = static_cast<uint32_t>(child);
+  }
+}
+
+void HashTree::SplitLeaf(uint32_t node_id) {
+  std::vector<uint32_t> entries = std::move(nodes_[node_id].entries);
+  nodes_[node_id].entries.clear();
+  nodes_[node_id].is_leaf = false;
+  nodes_[node_id].children.assign(fanout_, -1);
+  for (uint32_t candidate_id : entries) {
+    Insert(node_id, candidate_id);
+  }
+}
+
+void HashTree::CountTransaction(std::span<const ItemId> transaction) {
+  CountTransaction(transaction, nullptr);
+}
+
+void HashTree::CountTransaction(std::span<const ItemId> transaction,
+                                std::vector<uint32_t>* matched) {
+  if (matched != nullptr) matched->clear();
+  if (candidates_.empty() || transaction.size() < candidate_size_) return;
+  ++visit_stamp_;
+  Visit(0, transaction, 0, matched);
+}
+
+void HashTree::Visit(uint32_t node_id, std::span<const ItemId> transaction,
+                     size_t start, std::vector<uint32_t>* matched) {
+  Node& node = nodes_[node_id];
+  if (node.is_leaf) {
+    // The same leaf can be reached along several hash paths within one
+    // transaction; the stamp makes sure its candidates are counted once.
+    if (node.last_visit == visit_stamp_) return;
+    node.last_visit = visit_stamp_;
+    for (uint32_t candidate_id : node.entries) {
+      if (IsSubsetOf(candidates_[candidate_id], transaction)) {
+        ++counts_[candidate_id];
+        if (matched != nullptr) matched->push_back(candidate_id);
+      }
+    }
+    return;
+  }
+  // Interior: hash every remaining item that still leaves enough items to
+  // complete a k-subset, and recurse past it.
+  size_t remaining_needed = candidate_size_ - node.depth;
+  if (transaction.size() < start + remaining_needed) return;
+  size_t last = transaction.size() - remaining_needed;
+  for (size_t i = start; i <= last; ++i) {
+    int32_t child = node.children[HashItem(transaction[i])];
+    if (child >= 0) {
+      Visit(static_cast<uint32_t>(child), transaction, i + 1, matched);
+    }
+  }
+}
+
+}  // namespace ossm

@@ -1,0 +1,67 @@
+#ifndef OSSM_MINING_HASH_TREE_H_
+#define OSSM_MINING_HASH_TREE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/item.h"
+
+namespace ossm {
+
+// The Agrawal-Srikant hash tree used to count candidate k-itemsets against
+// transactions. Interior nodes hash on the item at their depth; leaves hold
+// candidate lists that are matched by subset inclusion. Counting cost falls
+// as the candidate set shrinks — which is precisely why the OSSM's
+// candidate pruning translates into runtime speedup: candidates removed
+// before counting never enter the tree.
+//
+// All candidates must be sorted itemsets of the same size k >= 1.
+class HashTree {
+ public:
+  // Copies the candidates (ids 0..n-1 in input order). `fanout` is the hash
+  // width of interior nodes; a leaf splits once it exceeds `leaf_capacity`
+  // entries (unless it is already at depth k, where it grows unbounded).
+  explicit HashTree(std::vector<Itemset> candidates, uint32_t fanout = 8,
+                    uint32_t leaf_capacity = 32);
+
+  // Adds every candidate contained in the (sorted) transaction to its count.
+  void CountTransaction(std::span<const ItemId> transaction);
+
+  // Same, and also appends the ids of the matched candidates to *matched
+  // (cleared first). DHP's transaction trimming needs the per-transaction
+  // match list.
+  void CountTransaction(std::span<const ItemId> transaction,
+                        std::vector<uint32_t>* matched);
+
+  size_t num_candidates() const { return candidates_.size(); }
+  std::span<const Itemset> candidates() const { return candidates_; }
+  std::span<const uint64_t> counts() const { return counts_; }
+
+ private:
+  struct Node {
+    bool is_leaf = true;
+    uint32_t depth = 0;
+    std::vector<uint32_t> entries;   // candidate ids (leaf only)
+    std::vector<int32_t> children;   // node ids, -1 = absent (interior only)
+    uint64_t last_visit = 0;         // visit stamp to avoid double counting
+  };
+
+  uint32_t HashItem(ItemId item) const { return item % fanout_; }
+  void Insert(uint32_t node_id, uint32_t candidate_id);
+  void SplitLeaf(uint32_t node_id);
+  void Visit(uint32_t node_id, std::span<const ItemId> transaction,
+             size_t start, std::vector<uint32_t>* matched);
+
+  uint32_t fanout_;
+  uint32_t leaf_capacity_;
+  uint32_t candidate_size_ = 0;
+  std::vector<Itemset> candidates_;
+  std::vector<uint64_t> counts_;
+  std::vector<Node> nodes_;
+  uint64_t visit_stamp_ = 0;
+};
+
+}  // namespace ossm
+
+#endif  // OSSM_MINING_HASH_TREE_H_

@@ -1,0 +1,60 @@
+#include "mining/itemset.h"
+
+#include <algorithm>
+
+namespace ossm {
+
+bool IsCanonicalItemset(std::span<const ItemId> items) {
+  for (size_t i = 1; i < items.size(); ++i) {
+    if (items[i] <= items[i - 1]) return false;
+  }
+  return true;
+}
+
+bool IsSubsetOf(std::span<const ItemId> needle,
+                std::span<const ItemId> haystack) {
+  return std::includes(haystack.begin(), haystack.end(), needle.begin(),
+                       needle.end());
+}
+
+bool JoinPrefix(std::span<const ItemId> a, std::span<const ItemId> b,
+                Itemset* out) {
+  size_t k = a.size();
+  if (b.size() != k || k == 0) return false;
+  for (size_t i = 0; i + 1 < k; ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  if (a[k - 1] >= b[k - 1]) return false;
+  out->assign(a.begin(), a.end());
+  out->push_back(b[k - 1]);
+  return true;
+}
+
+void AllOneSmallerSubsets(std::span<const ItemId> items,
+                          std::vector<Itemset>* out) {
+  out->clear();
+  for (size_t drop = 0; drop < items.size(); ++drop) {
+    Itemset subset;
+    subset.reserve(items.size() - 1);
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (i != drop) subset.push_back(items[i]);
+    }
+    out->push_back(std::move(subset));
+  }
+}
+
+size_t ItemsetHasher::operator()(const Itemset& items) const {
+  size_t hash = 14695981039346656037ULL;
+  for (ItemId item : items) {
+    hash ^= item;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+bool ItemsetLess(const Itemset& a, const Itemset& b) {
+  if (a.size() != b.size()) return a.size() < b.size();
+  return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end());
+}
+
+}  // namespace ossm

@@ -1,0 +1,42 @@
+#ifndef OSSM_MINING_ITEMSET_H_
+#define OSSM_MINING_ITEMSET_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/item.h"
+
+namespace ossm {
+
+// Operations on sorted itemsets used by the candidate-generation miners.
+
+// True iff `items` is strictly increasing.
+bool IsCanonicalItemset(std::span<const ItemId> items);
+
+// True iff sorted `needle` is a subset of sorted `haystack`.
+bool IsSubsetOf(std::span<const ItemId> needle,
+                std::span<const ItemId> haystack);
+
+// The Apriori join step: if a and b (both of size k, sorted) share their
+// first k-1 items and a[k-1] < b[k-1], returns true and writes the joined
+// (k+1)-itemset into `out`. Otherwise returns false.
+bool JoinPrefix(std::span<const ItemId> a, std::span<const ItemId> b,
+                Itemset* out);
+
+// Writes the k subsets of `items` obtained by dropping one element, in
+// drop-position order, into `out` (reused buffer).
+void AllOneSmallerSubsets(std::span<const ItemId> items,
+                          std::vector<Itemset>* out);
+
+// Order and hashing so itemsets can key hash containers and be sorted
+// canonically (by size, then lexicographically).
+struct ItemsetHasher {
+  size_t operator()(const Itemset& items) const;
+};
+
+bool ItemsetLess(const Itemset& a, const Itemset& b);
+
+}  // namespace ossm
+
+#endif  // OSSM_MINING_ITEMSET_H_

@@ -1,0 +1,52 @@
+#include "mining/mining_result.h"
+
+#include <algorithm>
+
+#include "mining/itemset.h"
+
+namespace ossm {
+
+uint64_t MiningStats::TotalCandidatesGenerated() const {
+  uint64_t total = 0;
+  for (const LevelStats& l : levels) total += l.candidates_generated;
+  return total;
+}
+
+uint64_t MiningStats::TotalCandidatesCounted() const {
+  uint64_t total = 0;
+  for (const LevelStats& l : levels) total += l.candidates_counted;
+  return total;
+}
+
+uint64_t MiningStats::TotalPrunedByBound() const {
+  uint64_t total = 0;
+  for (const LevelStats& l : levels) total += l.pruned_by_bound;
+  return total;
+}
+
+uint64_t MiningStats::CountedAtLevel(uint32_t level) const {
+  for (const LevelStats& l : levels) {
+    if (l.level == level) return l.candidates_counted;
+  }
+  return 0;
+}
+
+uint64_t MiningStats::GeneratedAtLevel(uint32_t level) const {
+  for (const LevelStats& l : levels) {
+    if (l.level == level) return l.candidates_generated;
+  }
+  return 0;
+}
+
+void MiningResult::Canonicalize() {
+  std::sort(itemsets.begin(), itemsets.end(),
+            [](const FrequentItemset& a, const FrequentItemset& b) {
+              return ItemsetLess(a.items, b.items);
+            });
+}
+
+bool MiningResult::SamePatternsAs(const MiningResult& other) const {
+  return itemsets == other.itemsets;
+}
+
+}  // namespace ossm

@@ -1,0 +1,116 @@
+#include "mining/pattern_filters.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "mining/itemset.h"
+
+namespace ossm {
+
+namespace {
+
+// Groups indices of `frequent` by itemset size, ascending.
+std::vector<std::vector<size_t>> BySize(
+    const std::vector<FrequentItemset>& frequent, size_t* max_size) {
+  *max_size = 0;
+  for (const FrequentItemset& f : frequent) {
+    *max_size = std::max(*max_size, f.items.size());
+  }
+  std::vector<std::vector<size_t>> groups(*max_size + 1);
+  for (size_t i = 0; i < frequent.size(); ++i) {
+    groups[frequent[i].items.size()].push_back(i);
+  }
+  return groups;
+}
+
+}  // namespace
+
+std::vector<FrequentItemset> ClosedItemsets(
+    const std::vector<FrequentItemset>& frequent) {
+  size_t max_size = 0;
+  std::vector<std::vector<size_t>> by_size = BySize(frequent, &max_size);
+
+  std::vector<FrequentItemset> closed;
+  for (size_t size = 1; size <= max_size; ++size) {
+    for (size_t i : by_size[size]) {
+      const FrequentItemset& f = frequent[i];
+      // Closed iff no (size+1)-superset has the same support. It is enough
+      // to check immediate supersets: support is monotone, so a distant
+      // equal-support superset implies an immediate one.
+      bool is_closed = true;
+      if (size + 1 <= max_size) {
+        for (size_t j : by_size[size + 1]) {
+          const FrequentItemset& super = frequent[j];
+          if (super.support == f.support &&
+              IsSubsetOf(f.items, super.items)) {
+            is_closed = false;
+            break;
+          }
+        }
+      }
+      if (is_closed) closed.push_back(f);
+    }
+  }
+  return closed;
+}
+
+std::vector<FrequentItemset> MaximalItemsets(
+    const std::vector<FrequentItemset>& frequent) {
+  size_t max_size = 0;
+  std::vector<std::vector<size_t>> by_size = BySize(frequent, &max_size);
+
+  std::vector<FrequentItemset> maximal;
+  for (size_t size = 1; size <= max_size; ++size) {
+    for (size_t i : by_size[size]) {
+      const FrequentItemset& f = frequent[i];
+      // Maximal iff no immediate frequent superset exists (downward
+      // closure makes the immediate check sufficient).
+      bool is_maximal = true;
+      if (size + 1 <= max_size) {
+        for (size_t j : by_size[size + 1]) {
+          if (IsSubsetOf(f.items, frequent[j].items)) {
+            is_maximal = false;
+            break;
+          }
+        }
+      }
+      if (is_maximal) maximal.push_back(f);
+    }
+  }
+  return maximal;
+}
+
+StatusOr<std::vector<FrequentItemset>> FilterByConstraint(
+    const std::vector<FrequentItemset>& frequent,
+    const ItemConstraint& constraint) {
+  if (!IsCanonicalItemset(constraint.required) ||
+      !IsCanonicalItemset(constraint.excluded)) {
+    return Status::InvalidArgument(
+        "constraint item lists must be strictly increasing");
+  }
+  if (constraint.max_size != 0 &&
+      constraint.max_size < constraint.min_size) {
+    return Status::InvalidArgument("max_size must be >= min_size");
+  }
+
+  std::vector<FrequentItemset> kept;
+  for (const FrequentItemset& f : frequent) {
+    if (f.items.size() < constraint.min_size) continue;
+    if (constraint.max_size != 0 && f.items.size() > constraint.max_size) {
+      continue;
+    }
+    if (!IsSubsetOf(constraint.required, f.items)) continue;
+    bool has_excluded = false;
+    for (ItemId item : constraint.excluded) {
+      if (std::binary_search(f.items.begin(), f.items.end(), item)) {
+        has_excluded = true;
+        break;
+      }
+    }
+    if (has_excluded) continue;
+    kept.push_back(f);
+  }
+  return kept;
+}
+
+}  // namespace ossm

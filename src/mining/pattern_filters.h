@@ -1,0 +1,48 @@
+#ifndef OSSM_MINING_PATTERN_FILTERS_H_
+#define OSSM_MINING_PATTERN_FILTERS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "mining/mining_result.h"
+
+namespace ossm {
+
+// Condensed representations and constraints over frequent-itemset results —
+// the pattern classes the paper's introduction lists as beneficiaries of
+// faster frequency counting (closed sets [16, 21], long/maximal patterns
+// [1, 5, 20], constrained frequent sets [11, 14, 19]).
+//
+// Both filters operate on a complete, canonicalized mining result (from any
+// of the miners here), so they compose with OSSM-pruned runs for free.
+
+// The closed frequent itemsets: those with no proper superset of equal
+// support. Lossless representation — every frequent itemset's support is
+// recoverable as the max support over its closed supersets.
+std::vector<FrequentItemset> ClosedItemsets(
+    const std::vector<FrequentItemset>& frequent);
+
+// The maximal frequent itemsets: those with no frequent proper superset.
+// The smallest representation (supports of subsets are not recoverable).
+std::vector<FrequentItemset> MaximalItemsets(
+    const std::vector<FrequentItemset>& frequent);
+
+// Item constraints (Srikant-Vu-Agrawal style): keep itemsets that contain
+// every item of `required`, none of `excluded`, and whose size lies in
+// [min_size, max_size] (0 max = unlimited). Both constraint sets must be
+// strictly increasing.
+struct ItemConstraint {
+  Itemset required;
+  Itemset excluded;
+  uint32_t min_size = 1;
+  uint32_t max_size = 0;
+};
+
+StatusOr<std::vector<FrequentItemset>> FilterByConstraint(
+    const std::vector<FrequentItemset>& frequent,
+    const ItemConstraint& constraint);
+
+}  // namespace ossm
+
+#endif  // OSSM_MINING_PATTERN_FILTERS_H_

@@ -1,0 +1,108 @@
+#include "datagen/alarm_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace ossm {
+namespace {
+
+AlarmConfig SmallConfig() {
+  AlarmConfig config;
+  config.num_alarm_types = 200;
+  config.num_windows = 5000;
+  config.seed = 5;
+  return config;
+}
+
+TEST(AlarmGeneratorTest, MatchesNokiaShape) {
+  // The paper's real data: ~5000 transactions over ~200 alarm types.
+  StatusOr<TransactionDatabase> db = GenerateAlarms(SmallConfig());
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_EQ(db->num_items(), 200u);
+  EXPECT_EQ(db->num_transactions(), 5000u);
+}
+
+TEST(AlarmGeneratorTest, Deterministic) {
+  StatusOr<TransactionDatabase> a = GenerateAlarms(SmallConfig());
+  StatusOr<TransactionDatabase> b = GenerateAlarms(SmallConfig());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(AlarmGeneratorTest, FrequenciesAreSkewed) {
+  StatusOr<TransactionDatabase> db = GenerateAlarms(SmallConfig());
+  ASSERT_TRUE(db.ok());
+  std::vector<uint64_t> supports = db->ComputeItemSupports();
+  std::sort(supports.begin(), supports.end(), std::greater<>());
+  // Zipf background: the hottest alarm type dwarfs the median one.
+  ASSERT_GT(supports[0], 0u);
+  EXPECT_GT(supports[0], 8 * std::max<uint64_t>(supports[100], 1));
+}
+
+TEST(AlarmGeneratorTest, EpisodesCreateCooccurrence) {
+  AlarmConfig config = SmallConfig();
+  config.background_rate = 1.0;
+  config.episode_start_prob = 0.2;
+  StatusOr<TransactionDatabase> db = GenerateAlarms(config);
+  ASSERT_TRUE(db.ok());
+
+  // Count pair co-occurrences; episodes must produce at least one pair that
+  // appears together far more often than background chance allows.
+  std::vector<uint64_t> supports = db->ComputeItemSupports();
+  uint64_t max_pair = 0;
+  std::vector<std::vector<uint32_t>> pair_counts(
+      config.num_alarm_types,
+      std::vector<uint32_t>(config.num_alarm_types, 0));
+  for (uint64_t t = 0; t < db->num_transactions(); ++t) {
+    std::span<const ItemId> txn = db->transaction(t);
+    for (size_t i = 0; i < txn.size(); ++i) {
+      for (size_t j = i + 1; j < txn.size(); ++j) {
+        max_pair = std::max<uint64_t>(max_pair, ++pair_counts[txn[i]][txn[j]]);
+      }
+    }
+  }
+  // Expected pairs-per-episode-kind is ~60 at these settings; require well
+  // above background-chance levels without over-fitting the exact draw.
+  EXPECT_GT(max_pair, 50u);
+}
+
+TEST(AlarmGeneratorTest, PureBackgroundWorks) {
+  AlarmConfig config = SmallConfig();
+  config.num_episode_kinds = 0;
+  StatusOr<TransactionDatabase> db = GenerateAlarms(config);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->num_transactions(), config.num_windows);
+}
+
+TEST(AlarmGeneratorTest, RejectsZeroWindows) {
+  AlarmConfig config = SmallConfig();
+  config.num_windows = 0;
+  EXPECT_EQ(GenerateAlarms(config).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(AlarmGeneratorTest, RejectsNegativeBackgroundRate) {
+  AlarmConfig config = SmallConfig();
+  config.background_rate = -1.0;
+  EXPECT_EQ(GenerateAlarms(config).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(AlarmGeneratorTest, RejectsBadEpisodeProbability) {
+  AlarmConfig config = SmallConfig();
+  config.episode_start_prob = 2.0;
+  EXPECT_EQ(GenerateAlarms(config).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(AlarmGeneratorTest, RejectsZeroDuration) {
+  AlarmConfig config = SmallConfig();
+  config.episode_duration = 0;
+  EXPECT_EQ(GenerateAlarms(config).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace ossm

@@ -1,0 +1,62 @@
+#include "core/bubble_list.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace ossm {
+namespace {
+
+TEST(BubbleListTest, PicksItemsClosestToThreshold) {
+  // Supports: item 0..5. Threshold 100.
+  std::vector<uint64_t> supports = {5, 95, 100, 105, 500, 98};
+  std::vector<ItemId> bubble = SelectBubbleList(supports, 100, 3);
+  // Closest: item 2 (d=0), item 5 (d=2), item 1 (d=5) vs item 3 (d=5):
+  // the tie at distance 5 prefers the satisfying item 3 over item 1.
+  ASSERT_EQ(bubble.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(bubble.begin(), bubble.end()));
+  EXPECT_TRUE(std::find(bubble.begin(), bubble.end(), 2) != bubble.end());
+  EXPECT_TRUE(std::find(bubble.begin(), bubble.end(), 5) != bubble.end());
+  EXPECT_TRUE(std::find(bubble.begin(), bubble.end(), 3) != bubble.end());
+}
+
+TEST(BubbleListTest, SatisfyingWinsDistanceTies) {
+  std::vector<uint64_t> supports = {95, 105};
+  std::vector<ItemId> bubble = SelectBubbleList(supports, 100, 1);
+  ASSERT_EQ(bubble.size(), 1u);
+  EXPECT_EQ(bubble[0], 1u);  // 105 barely satisfies; 95 barely misses
+}
+
+TEST(BubbleListTest, SizeLargerThanDomainReturnsEverything) {
+  std::vector<uint64_t> supports = {1, 2, 3};
+  std::vector<ItemId> bubble = SelectBubbleList(supports, 2, 100);
+  EXPECT_EQ(bubble.size(), 3u);
+}
+
+TEST(BubbleListTest, ResultIsSortedAndUnique) {
+  std::vector<uint64_t> supports(50);
+  for (size_t i = 0; i < supports.size(); ++i) supports[i] = i * 7 % 43;
+  std::vector<ItemId> bubble = SelectBubbleList(supports, 20, 10);
+  ASSERT_EQ(bubble.size(), 10u);
+  for (size_t i = 1; i < bubble.size(); ++i) {
+    EXPECT_LT(bubble[i - 1], bubble[i]);
+  }
+}
+
+TEST(BubbleListTest, ZeroSizeGivesEmptyList) {
+  std::vector<uint64_t> supports = {1, 2, 3};
+  EXPECT_TRUE(SelectBubbleList(supports, 2, 0).empty());
+}
+
+TEST(BubbleListTest, DeterministicTieOrderByItemId) {
+  // Items 1 and 2 have identical supports; the lower id wins the last slot.
+  std::vector<uint64_t> supports = {100, 90, 90};
+  std::vector<ItemId> bubble = SelectBubbleList(supports, 100, 2);
+  ASSERT_EQ(bubble.size(), 2u);
+  EXPECT_EQ(bubble[0], 0u);
+  EXPECT_EQ(bubble[1], 1u);
+}
+
+}  // namespace
+}  // namespace ossm

@@ -1,0 +1,105 @@
+#include "core/configuration.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+#include <vector>
+
+#include "common/random.h"
+
+namespace ossm {
+namespace {
+
+std::span<const uint64_t> Span(const std::vector<uint64_t>& v) {
+  return std::span<const uint64_t>(v);
+}
+
+TEST(ConfigurationTest, OrdersByDescendingCount) {
+  std::vector<uint64_t> counts = {5, 20, 10};
+  Configuration c = Configuration::FromCounts(Span(counts));
+  ASSERT_EQ(c.order().size(), 3u);
+  EXPECT_EQ(c.order()[0], 1u);
+  EXPECT_EQ(c.order()[1], 2u);
+  EXPECT_EQ(c.order()[2], 0u);
+}
+
+TEST(ConfigurationTest, TiesBreakByCanonicalItemOrder) {
+  // Footnote 4: ties follow the canonical enumeration of items.
+  std::vector<uint64_t> counts = {7, 7, 7};
+  Configuration c = Configuration::FromCounts(Span(counts));
+  EXPECT_EQ(c.order()[0], 0u);
+  EXPECT_EQ(c.order()[1], 1u);
+  EXPECT_EQ(c.order()[2], 2u);
+}
+
+TEST(ConfigurationTest, EqualityAndHash) {
+  std::vector<uint64_t> a = {1, 5, 3};
+  std::vector<uint64_t> b = {10, 50, 30};  // same ordering, scaled
+  std::vector<uint64_t> c = {5, 1, 3};     // different ordering
+  Configuration ca = Configuration::FromCounts(Span(a));
+  Configuration cb = Configuration::FromCounts(Span(b));
+  Configuration cc = Configuration::FromCounts(Span(c));
+  EXPECT_EQ(ca, cb);
+  EXPECT_EQ(ca.Hash(), cb.Hash());
+  EXPECT_FALSE(ca == cc);
+
+  std::unordered_set<Configuration, ConfigurationHasher> set;
+  set.insert(ca);
+  set.insert(cb);
+  set.insert(cc);
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(SameConfigurationTest, AgreesWithMaterializedConfigurations) {
+  Rng rng(77);
+  for (int trial = 0; trial < 500; ++trial) {
+    size_t m = 1 + rng.UniformInt(6);
+    std::vector<uint64_t> a(m);
+    std::vector<uint64_t> b(m);
+    for (size_t i = 0; i < m; ++i) {
+      a[i] = rng.UniformInt(4);  // small range forces frequent ties
+      b[i] = rng.UniformInt(4);
+    }
+    bool expected = Configuration::FromCounts(Span(a)) ==
+                    Configuration::FromCounts(Span(b));
+    EXPECT_EQ(SameConfiguration(Span(a), Span(b)), expected)
+        << "trial " << trial;
+  }
+}
+
+TEST(SameConfigurationTest, ScalingPreservesConfiguration) {
+  std::vector<uint64_t> a = {4, 0, 9, 2};
+  std::vector<uint64_t> b = {8, 0, 18, 4};
+  EXPECT_TRUE(SameConfiguration(Span(a), Span(b)));
+}
+
+TEST(SameConfigurationTest, TieVersusStrictOrderDiffers) {
+  // In `a`, items 0 and 1 are tied (canonical order 0 < 1). In `b`, item 1
+  // strictly dominates item 0, so the configurations differ.
+  std::vector<uint64_t> a = {5, 5};
+  std::vector<uint64_t> b = {3, 8};
+  EXPECT_FALSE(SameConfiguration(Span(a), Span(b)));
+  // But a tie against a *canonically consistent* strict order does match:
+  // both read <0 >= 1> after tie-breaking, and merging them is lossless
+  // (min(8,3) + min(5,5) = 8 = min(13, 8)).
+  std::vector<uint64_t> c = {8, 3};
+  std::vector<uint64_t> d = {5, 5};
+  EXPECT_TRUE(SameConfiguration(Span(c), Span(d)));
+  EXPECT_TRUE(SameConfiguration(Span(d), Span(c)));
+}
+
+TEST(SameConfigurationTest, SizeMismatchDies) {
+  std::vector<uint64_t> a = {1, 2};
+  std::vector<uint64_t> b = {1};
+  EXPECT_DEATH(SameConfiguration(Span(a), Span(b)), "Check failed");
+}
+
+TEST(ConfigurationTest, SingleItem) {
+  std::vector<uint64_t> counts = {42};
+  Configuration c = Configuration::FromCounts(Span(counts));
+  ASSERT_EQ(c.order().size(), 1u);
+  EXPECT_EQ(c.order()[0], 0u);
+}
+
+}  // namespace
+}  // namespace ossm

@@ -1,0 +1,183 @@
+#include "data/dataset_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "datagen/quest_generator.h"
+
+namespace ossm {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TransactionDatabase SampleDb() {
+  TransactionDatabase db(6);
+  EXPECT_TRUE(db.Append({0, 2, 5}).ok());
+  EXPECT_TRUE(db.Append({1}).ok());
+  EXPECT_TRUE(db.Append({}).ok());
+  EXPECT_TRUE(db.Append({3, 4}).ok());
+  return db;
+}
+
+TEST(DatasetIoTest, TextRoundTrip) {
+  TransactionDatabase db = SampleDb();
+  std::string path = TempPath("roundtrip.txt");
+  ASSERT_TRUE(DatasetIo::SaveText(db, path).ok());
+  StatusOr<TransactionDatabase> loaded = DatasetIo::LoadText(path, 6);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(*loaded, db);
+}
+
+TEST(DatasetIoTest, TextLoadInfersDomainFromMaxItem) {
+  std::string path = TempPath("infer.txt");
+  {
+    std::ofstream out(path);
+    out << "3 1 7\n0\n";
+  }
+  StatusOr<TransactionDatabase> loaded = DatasetIo::LoadText(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_items(), 8u);
+  EXPECT_EQ(loaded->num_transactions(), 2u);
+}
+
+TEST(DatasetIoTest, TextLoadSortsAndDeduplicates) {
+  std::string path = TempPath("unsorted.txt");
+  {
+    std::ofstream out(path);
+    out << "5 1 3 1\n";
+  }
+  StatusOr<TransactionDatabase> loaded = DatasetIo::LoadText(path);
+  ASSERT_TRUE(loaded.ok());
+  std::span<const ItemId> txn = loaded->transaction(0);
+  ASSERT_EQ(txn.size(), 3u);
+  EXPECT_EQ(txn[0], 1u);
+  EXPECT_EQ(txn[1], 3u);
+  EXPECT_EQ(txn[2], 5u);
+}
+
+TEST(DatasetIoTest, TextLoadRejectsGarbage) {
+  std::string path = TempPath("garbage.txt");
+  {
+    std::ofstream out(path);
+    out << "1 2 banana\n";
+  }
+  EXPECT_EQ(DatasetIo::LoadText(path).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(DatasetIoTest, TextLoadMissingFileIsIOError) {
+  EXPECT_EQ(DatasetIo::LoadText("/nonexistent/nope.txt").status().code(),
+            StatusCode::kIOError);
+}
+
+TEST(DatasetIoTest, TextLoadEmptyFileIsInvalid) {
+  std::string path = TempPath("empty.txt");
+  { std::ofstream out(path); }
+  EXPECT_EQ(DatasetIo::LoadText(path).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DatasetIoTest, BinaryRoundTrip) {
+  TransactionDatabase db = SampleDb();
+  std::string path = TempPath("roundtrip.bin");
+  ASSERT_TRUE(DatasetIo::SaveBinary(db, path).ok());
+  StatusOr<TransactionDatabase> loaded = DatasetIo::LoadBinary(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(*loaded, db);
+}
+
+TEST(DatasetIoTest, BinaryRoundTripLargeGenerated) {
+  QuestConfig config;
+  config.num_items = 50;
+  config.num_transactions = 2000;
+  config.avg_transaction_size = 6;
+  config.num_patterns = 20;
+  StatusOr<TransactionDatabase> db = GenerateQuest(config);
+  ASSERT_TRUE(db.ok());
+  std::string path = TempPath("large.bin");
+  ASSERT_TRUE(DatasetIo::SaveBinary(*db, path).ok());
+  StatusOr<TransactionDatabase> loaded = DatasetIo::LoadBinary(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, *db);
+}
+
+TEST(DatasetIoTest, BinaryRejectsWrongMagic) {
+  std::string path = TempPath("badmagic.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOTANOSSMFILE and some padding to be safe";
+  }
+  EXPECT_EQ(DatasetIo::LoadBinary(path).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(DatasetIoTest, BinaryDetectsTruncation) {
+  TransactionDatabase db = SampleDb();
+  std::string path = TempPath("truncated.bin");
+  ASSERT_TRUE(DatasetIo::SaveBinary(db, path).ok());
+
+  // Chop off the last 6 bytes (checksum loses its tail).
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  bytes.resize(bytes.size() - 6);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.close();
+
+  EXPECT_EQ(DatasetIo::LoadBinary(path).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(DatasetIoTest, BinaryDetectsBitFlip) {
+  TransactionDatabase db = SampleDb();
+  std::string path = TempPath("bitflip.bin");
+  ASSERT_TRUE(DatasetIo::SaveBinary(db, path).ok());
+
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  bytes[bytes.size() / 2] ^= 0x40;  // flip a payload bit
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.close();
+
+  EXPECT_EQ(DatasetIo::LoadBinary(path).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(DatasetIoTest, BinaryMissingFileIsIOError) {
+  EXPECT_EQ(DatasetIo::LoadBinary("/nonexistent/nope.bin").status().code(),
+            StatusCode::kIOError);
+}
+
+TEST(DatasetIoTest, TextAndBinaryAgree) {
+  QuestConfig config;
+  config.num_items = 30;
+  config.num_transactions = 500;
+  config.avg_transaction_size = 5;
+  config.num_patterns = 10;
+  StatusOr<TransactionDatabase> db = GenerateQuest(config);
+  ASSERT_TRUE(db.ok());
+
+  std::string text_path = TempPath("agree.txt");
+  std::string bin_path = TempPath("agree.bin");
+  ASSERT_TRUE(DatasetIo::SaveText(*db, text_path).ok());
+  ASSERT_TRUE(DatasetIo::SaveBinary(*db, bin_path).ok());
+  StatusOr<TransactionDatabase> from_text =
+      DatasetIo::LoadText(text_path, db->num_items());
+  StatusOr<TransactionDatabase> from_bin = DatasetIo::LoadBinary(bin_path);
+  ASSERT_TRUE(from_text.ok());
+  ASSERT_TRUE(from_bin.ok());
+  EXPECT_EQ(*from_text, *from_bin);
+}
+
+}  // namespace
+}  // namespace ossm

@@ -1,0 +1,170 @@
+#include "mining/depth_project.h"
+
+#include <gtest/gtest.h>
+
+#include "core/ossm_builder.h"
+#include "datagen/quest_generator.h"
+#include "datagen/skewed_generator.h"
+#include "mining/apriori.h"
+#include "tests/mining_test_util.h"
+
+namespace ossm {
+namespace {
+
+TEST(DepthProjectTest, TinyDatabaseByHand) {
+  TransactionDatabase db = test::TinyDb();
+  DepthProjectConfig config;
+  config.min_support_count = 4;
+  StatusOr<MiningResult> result = MineDepthProject(db, config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  std::vector<FrequentItemset> expected = {
+      {{0}, 6}, {{1}, 6}, {{2}, 5}, {{0, 1}, 5}, {{0, 2}, 4}, {{1, 2}, 4},
+  };
+  EXPECT_EQ(result->itemsets, expected);
+}
+
+TEST(DepthProjectTest, MatchesBruteForceOnRandomData) {
+  QuestConfig gen;
+  gen.num_items = 12;
+  gen.num_transactions = 400;
+  gen.avg_transaction_size = 4;
+  gen.avg_pattern_size = 3;
+  gen.num_patterns = 5;
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    gen.seed = seed;
+    StatusOr<TransactionDatabase> db = GenerateQuest(gen);
+    ASSERT_TRUE(db.ok());
+    DepthProjectConfig config;
+    config.min_support_count = 20;
+    StatusOr<MiningResult> result = MineDepthProject(*db, config);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->itemsets, test::BruteForceFrequent(*db, 20))
+        << "seed " << seed;
+  }
+}
+
+TEST(DepthProjectTest, AgreesWithAprioriAcrossThresholds) {
+  QuestConfig gen;
+  gen.num_items = 30;
+  gen.num_transactions = 1500;
+  gen.avg_transaction_size = 6;
+  gen.num_patterns = 8;
+  gen.seed = 17;
+  StatusOr<TransactionDatabase> db = GenerateQuest(gen);
+  ASSERT_TRUE(db.ok());
+
+  for (double threshold : {0.005, 0.02, 0.1}) {
+    AprioriConfig apriori_config;
+    apriori_config.min_support_fraction = threshold;
+    DepthProjectConfig dp_config;
+    dp_config.min_support_fraction = threshold;
+    StatusOr<MiningResult> a = MineApriori(*db, apriori_config);
+    StatusOr<MiningResult> d = MineDepthProject(*db, dp_config);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(d.ok());
+    EXPECT_TRUE(a->SamePatternsAs(*d)) << "threshold " << threshold;
+  }
+}
+
+TEST(DepthProjectTest, DeepPatternRecursion) {
+  TransactionDatabase db(8);
+  for (int r = 0; r < 10; ++r) {
+    ASSERT_TRUE(db.Append({0, 1, 2, 3, 4, 5}).ok());
+  }
+  for (int r = 0; r < 3; ++r) {
+    ASSERT_TRUE(db.Append({6, 7}).ok());
+  }
+  DepthProjectConfig config;
+  config.min_support_count = 10;
+  StatusOr<MiningResult> result = MineDepthProject(db, config);
+  ASSERT_TRUE(result.ok());
+  // All 2^6 - 1 subsets of the deep pattern.
+  EXPECT_EQ(result->itemsets.size(), 63u);
+}
+
+TEST(DepthProjectTest, MaxLevelCapsDepth) {
+  TransactionDatabase db(6);
+  for (int r = 0; r < 5; ++r) {
+    ASSERT_TRUE(db.Append({0, 1, 2, 3, 4, 5}).ok());
+  }
+  DepthProjectConfig config;
+  config.min_support_count = 5;
+  config.max_level = 3;
+  StatusOr<MiningResult> result = MineDepthProject(db, config);
+  ASSERT_TRUE(result.ok());
+  // 6 singles + 15 pairs + 20 triples.
+  EXPECT_EQ(result->itemsets.size(), 41u);
+  for (const FrequentItemset& f : result->itemsets) {
+    EXPECT_LE(f.items.size(), 3u);
+  }
+}
+
+TEST(DepthProjectTest, OssmPrunesExtensionsLosslessly) {
+  // The Section 7 integration: known-infrequent extensions never reach the
+  // projection scan, and the mined patterns are unchanged.
+  SkewedConfig gen;
+  gen.num_items = 40;
+  gen.num_transactions = 2000;
+  gen.avg_transaction_size = 6;
+  gen.in_season_boost = 8.0;
+  gen.seed = 5;
+  StatusOr<TransactionDatabase> db = GenerateSkewed(gen);
+  ASSERT_TRUE(db.ok());
+
+  OssmBuildOptions build_options;
+  build_options.algorithm = SegmentationAlgorithm::kGreedy;
+  build_options.target_segments = 10;
+  build_options.transactions_per_page = 50;
+  StatusOr<OssmBuildResult> build = BuildOssm(*db, build_options);
+  ASSERT_TRUE(build.ok());
+  OssmPruner pruner(&build->map);
+
+  DepthProjectConfig without;
+  without.min_support_fraction = 0.05;
+  DepthProjectConfig with = without;
+  with.pruner = &pruner;
+
+  StatusOr<MiningResult> plain = MineDepthProject(*db, without);
+  StatusOr<MiningResult> assisted = MineDepthProject(*db, with);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(assisted.ok());
+  EXPECT_TRUE(plain->SamePatternsAs(*assisted));
+  EXPECT_GT(assisted->stats.TotalPrunedByBound(), 0u);
+  EXPECT_LT(assisted->stats.TotalCandidatesCounted(),
+            plain->stats.TotalCandidatesCounted());
+}
+
+TEST(DepthProjectTest, EmptyResultAtImpossibleThreshold) {
+  TransactionDatabase db = test::TinyDb();
+  DepthProjectConfig config;
+  config.min_support_count = 1000;
+  StatusOr<MiningResult> result = MineDepthProject(db, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->itemsets.empty());
+}
+
+TEST(DepthProjectTest, RejectsBadFraction) {
+  TransactionDatabase db = test::TinyDb();
+  DepthProjectConfig config;
+  config.min_support_fraction = -1.0;
+  EXPECT_EQ(MineDepthProject(db, config).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DepthProjectTest, LevelStatsAreCoherent) {
+  TransactionDatabase db = test::TinyDb();
+  DepthProjectConfig config;
+  config.min_support_count = 4;
+  StatusOr<MiningResult> result = MineDepthProject(db, config);
+  ASSERT_TRUE(result.ok());
+  ASSERT_GE(result->stats.levels.size(), 2u);
+  EXPECT_EQ(result->stats.levels[0].frequent, 3u);
+  EXPECT_EQ(result->stats.levels[1].frequent, 3u);
+  for (const LevelStats& l : result->stats.levels) {
+    EXPECT_EQ(l.candidates_generated,
+              l.candidates_counted + l.pruned_by_bound);
+  }
+}
+
+}  // namespace
+}  // namespace ossm

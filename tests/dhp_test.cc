@@ -1,0 +1,200 @@
+#include "mining/dhp.h"
+
+#include <gtest/gtest.h>
+
+#include "core/ossm_builder.h"
+#include "datagen/quest_generator.h"
+#include "datagen/skewed_generator.h"
+#include "mining/apriori.h"
+#include "tests/mining_test_util.h"
+
+namespace ossm {
+namespace {
+
+TEST(DhpTest, TinyDatabaseByHand) {
+  TransactionDatabase db = test::TinyDb();
+  DhpConfig config;
+  config.min_support_count = 4;
+  StatusOr<MiningResult> result = MineDhp(db, config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  std::vector<FrequentItemset> expected = {
+      {{0}, 6}, {{1}, 6}, {{2}, 5}, {{0, 1}, 5}, {{0, 2}, 4}, {{1, 2}, 4},
+  };
+  EXPECT_EQ(result->itemsets, expected);
+}
+
+TEST(DhpTest, MatchesBruteForceOnRandomData) {
+  QuestConfig gen;
+  gen.num_items = 12;
+  gen.num_transactions = 400;
+  gen.avg_transaction_size = 4;
+  gen.avg_pattern_size = 3;
+  gen.num_patterns = 5;
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    gen.seed = seed;
+    StatusOr<TransactionDatabase> db = GenerateQuest(gen);
+    ASSERT_TRUE(db.ok());
+    DhpConfig config;
+    config.min_support_count = 20;
+    StatusOr<MiningResult> result = MineDhp(*db, config);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->itemsets, test::BruteForceFrequent(*db, 20))
+        << "seed " << seed;
+  }
+}
+
+TEST(DhpTest, AgreesWithAprioriAtEveryThreshold) {
+  QuestConfig gen;
+  gen.num_items = 30;
+  gen.num_transactions = 1500;
+  gen.avg_transaction_size = 6;
+  gen.num_patterns = 8;
+  gen.seed = 9;
+  StatusOr<TransactionDatabase> db = GenerateQuest(gen);
+  ASSERT_TRUE(db.ok());
+
+  for (double threshold : {0.005, 0.01, 0.03, 0.1}) {
+    AprioriConfig apriori_config;
+    apriori_config.min_support_fraction = threshold;
+    DhpConfig dhp_config;
+    dhp_config.min_support_fraction = threshold;
+
+    StatusOr<MiningResult> a = MineApriori(*db, apriori_config);
+    StatusOr<MiningResult> d = MineDhp(*db, dhp_config);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(d.ok());
+    EXPECT_TRUE(a->SamePatternsAs(*d)) << "threshold " << threshold;
+  }
+}
+
+TEST(DhpTest, BucketFilterPrunesCandidates) {
+  // With few buckets the filter is weak; with many it is strong. Either
+  // way the patterns are unchanged and pruned_by_hash is recorded.
+  QuestConfig gen;
+  gen.num_items = 50;
+  gen.num_transactions = 2000;
+  gen.avg_transaction_size = 6;
+  gen.num_patterns = 12;
+  gen.seed = 11;
+  StatusOr<TransactionDatabase> db = GenerateQuest(gen);
+  ASSERT_TRUE(db.ok());
+
+  DhpConfig small_config;
+  small_config.min_support_fraction = 0.02;
+  small_config.num_buckets = 64;
+  DhpConfig large_config = small_config;
+  large_config.num_buckets = 1 << 16;
+
+  StatusOr<MiningResult> small = MineDhp(*db, small_config);
+  StatusOr<MiningResult> large = MineDhp(*db, large_config);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_TRUE(small->SamePatternsAs(*large));
+
+  uint64_t small_pruned = 0;
+  uint64_t large_pruned = 0;
+  for (const LevelStats& l : small->stats.levels) {
+    small_pruned += l.pruned_by_hash;
+  }
+  for (const LevelStats& l : large->stats.levels) {
+    large_pruned += l.pruned_by_hash;
+  }
+  EXPECT_GE(large_pruned, small_pruned);
+  EXPECT_GT(large_pruned, 0u);
+}
+
+TEST(DhpTest, OssmComposesWithTheBucketFilter) {
+  // The Section 7 experiment: DHP with an OSSM counts at most as many
+  // candidate 2-itemsets as DHP alone, with identical output. Seasonal data
+  // guarantees prunable cross-season pairs.
+  SkewedConfig gen;
+  gen.num_items = 60;
+  gen.num_transactions = 3000;
+  gen.avg_transaction_size = 7;
+  gen.in_season_boost = 8.0;
+  gen.seed = 13;
+  StatusOr<TransactionDatabase> db = GenerateSkewed(gen);
+  ASSERT_TRUE(db.ok());
+
+  OssmBuildOptions build_options;
+  build_options.algorithm = SegmentationAlgorithm::kRandomRc;
+  build_options.target_segments = 40;
+  build_options.intermediate_segments = 60;
+  build_options.transactions_per_page = 50;
+  StatusOr<OssmBuildResult> build = BuildOssm(*db, build_options);
+  ASSERT_TRUE(build.ok());
+  OssmPruner pruner(&build->map);
+
+  DhpConfig without;
+  without.min_support_fraction = 0.05;
+  DhpConfig with = without;
+  with.pruner = &pruner;
+
+  StatusOr<MiningResult> plain = MineDhp(*db, without);
+  StatusOr<MiningResult> assisted = MineDhp(*db, with);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(assisted.ok());
+  EXPECT_TRUE(plain->SamePatternsAs(*assisted));
+  EXPECT_LE(assisted->stats.CountedAtLevel(2),
+            plain->stats.CountedAtLevel(2));
+  uint64_t pruned_by_bound = assisted->stats.TotalPrunedByBound();
+  EXPECT_GT(pruned_by_bound, 0u);
+}
+
+TEST(DhpTest, TrimmingDoesNotLosePatterns) {
+  // Deep pattern: one frequent 4-itemset that must survive three rounds of
+  // trimming.
+  TransactionDatabase db(8);
+  for (int r = 0; r < 10; ++r) {
+    ASSERT_TRUE(db.Append({0, 1, 2, 3}).ok());
+  }
+  for (int r = 0; r < 5; ++r) {
+    ASSERT_TRUE(db.Append({4, 5}).ok());
+    ASSERT_TRUE(db.Append({6}).ok());
+  }
+  DhpConfig config;
+  config.min_support_count = 10;
+  StatusOr<MiningResult> result = MineDhp(db, config);
+  ASSERT_TRUE(result.ok());
+  Itemset deep = {0, 1, 2, 3};
+  bool found = false;
+  for (const FrequentItemset& f : result->itemsets) {
+    if (f.items == deep) {
+      found = true;
+      EXPECT_EQ(f.support, 10u);
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_EQ(result->itemsets.size(), 15u);  // all non-empty subsets of it
+}
+
+TEST(DhpTest, RejectsZeroBuckets) {
+  TransactionDatabase db = test::TinyDb();
+  DhpConfig config;
+  config.num_buckets = 0;
+  EXPECT_EQ(MineDhp(db, config).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DhpTest, RejectsBadFraction) {
+  TransactionDatabase db = test::TinyDb();
+  DhpConfig config;
+  config.min_support_fraction = -0.5;
+  EXPECT_EQ(MineDhp(db, config).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DhpTest, MaxLevelRespected) {
+  TransactionDatabase db = test::TinyDb();
+  DhpConfig config;
+  config.min_support_count = 3;
+  config.max_level = 2;
+  StatusOr<MiningResult> result = MineDhp(db, config);
+  ASSERT_TRUE(result.ok());
+  for (const FrequentItemset& f : result->itemsets) {
+    EXPECT_LE(f.items.size(), 2u);
+  }
+}
+
+}  // namespace
+}  // namespace ossm

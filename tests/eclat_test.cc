@@ -1,0 +1,146 @@
+#include "mining/eclat.h"
+
+#include <gtest/gtest.h>
+
+#include "core/ossm_builder.h"
+#include "datagen/quest_generator.h"
+#include "datagen/skewed_generator.h"
+#include "mining/apriori.h"
+#include "tests/mining_test_util.h"
+
+namespace ossm {
+namespace {
+
+TEST(EclatTest, TinyDatabaseByHand) {
+  TransactionDatabase db = test::TinyDb();
+  EclatConfig config;
+  config.min_support_count = 4;
+  StatusOr<MiningResult> result = MineEclat(db, config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  std::vector<FrequentItemset> expected = {
+      {{0}, 6}, {{1}, 6}, {{2}, 5}, {{0, 1}, 5}, {{0, 2}, 4}, {{1, 2}, 4},
+  };
+  EXPECT_EQ(result->itemsets, expected);
+}
+
+TEST(EclatTest, MatchesBruteForceOnRandomData) {
+  QuestConfig gen;
+  gen.num_items = 12;
+  gen.num_transactions = 400;
+  gen.avg_transaction_size = 4;
+  gen.avg_pattern_size = 3;
+  gen.num_patterns = 5;
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    gen.seed = seed;
+    StatusOr<TransactionDatabase> db = GenerateQuest(gen);
+    ASSERT_TRUE(db.ok());
+    EclatConfig config;
+    config.min_support_count = 20;
+    StatusOr<MiningResult> result = MineEclat(*db, config);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->itemsets, test::BruteForceFrequent(*db, 20))
+        << "seed " << seed;
+  }
+}
+
+TEST(EclatTest, AgreesWithAprioriAcrossThresholds) {
+  QuestConfig gen;
+  gen.num_items = 30;
+  gen.num_transactions = 1500;
+  gen.avg_transaction_size = 6;
+  gen.num_patterns = 8;
+  gen.seed = 19;
+  StatusOr<TransactionDatabase> db = GenerateQuest(gen);
+  ASSERT_TRUE(db.ok());
+
+  for (double threshold : {0.005, 0.02, 0.1}) {
+    AprioriConfig apriori_config;
+    apriori_config.min_support_fraction = threshold;
+    EclatConfig eclat_config;
+    eclat_config.min_support_fraction = threshold;
+    StatusOr<MiningResult> a = MineApriori(*db, apriori_config);
+    StatusOr<MiningResult> e = MineEclat(*db, eclat_config);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(e.ok());
+    EXPECT_TRUE(a->SamePatternsAs(*e)) << "threshold " << threshold;
+  }
+}
+
+TEST(EclatTest, DeepChainPattern) {
+  TransactionDatabase db(6);
+  for (int r = 0; r < 5; ++r) {
+    ASSERT_TRUE(db.Append({0, 1, 2, 3, 4, 5}).ok());
+  }
+  EclatConfig config;
+  config.min_support_count = 5;
+  StatusOr<MiningResult> result = MineEclat(db, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->itemsets.size(), 63u);
+}
+
+TEST(EclatTest, MaxLevelCapsPatternLength) {
+  TransactionDatabase db(6);
+  for (int r = 0; r < 5; ++r) {
+    ASSERT_TRUE(db.Append({0, 1, 2, 3, 4, 5}).ok());
+  }
+  EclatConfig config;
+  config.min_support_count = 5;
+  config.max_level = 2;
+  StatusOr<MiningResult> result = MineEclat(db, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->itemsets.size(), 21u);  // 6 singles + 15 pairs
+}
+
+TEST(EclatTest, OssmPrunesIntersectionsLosslessly) {
+  SkewedConfig gen;
+  gen.num_items = 40;
+  gen.num_transactions = 2000;
+  gen.avg_transaction_size = 6;
+  gen.in_season_boost = 8.0;
+  gen.seed = 7;
+  StatusOr<TransactionDatabase> db = GenerateSkewed(gen);
+  ASSERT_TRUE(db.ok());
+
+  OssmBuildOptions build_options;
+  build_options.algorithm = SegmentationAlgorithm::kGreedy;
+  build_options.target_segments = 10;
+  build_options.transactions_per_page = 50;
+  StatusOr<OssmBuildResult> build = BuildOssm(*db, build_options);
+  ASSERT_TRUE(build.ok());
+  OssmPruner pruner(&build->map);
+
+  EclatConfig without;
+  without.min_support_fraction = 0.05;
+  EclatConfig with = without;
+  with.pruner = &pruner;
+
+  StatusOr<MiningResult> plain = MineEclat(*db, without);
+  StatusOr<MiningResult> assisted = MineEclat(*db, with);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(assisted.ok());
+  EXPECT_TRUE(plain->SamePatternsAs(*assisted));
+  EXPECT_GT(assisted->stats.TotalPrunedByBound(), 0u);
+  // Fewer tid-list intersections actually performed.
+  EXPECT_LT(assisted->stats.TotalCandidatesCounted(),
+            plain->stats.TotalCandidatesCounted());
+}
+
+TEST(EclatTest, RejectsBadFraction) {
+  TransactionDatabase db = test::TinyDb();
+  EclatConfig config;
+  config.min_support_fraction = 0.0;
+  EXPECT_EQ(MineEclat(db, config).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(EclatTest, SingleScanOnly) {
+  TransactionDatabase db = test::TinyDb();
+  EclatConfig config;
+  config.min_support_count = 4;
+  StatusOr<MiningResult> result = MineEclat(db, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.database_scans, 1u);  // verticalization only
+}
+
+}  // namespace
+}  // namespace ossm

@@ -1,0 +1,244 @@
+// Full-pipeline integration tests: generate -> persist -> paginate ->
+// segment -> build OSSM -> mine with six different miners -> compare.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/generalized_ossm.h"
+#include "core/ossm_builder.h"
+#include "core/ossm_io.h"
+#include "data/dataset_io.h"
+#include "datagen/quest_generator.h"
+#include "datagen/skewed_generator.h"
+#include "mining/apriori.h"
+#include "mining/candidate_pruner.h"
+#include "mining/depth_project.h"
+#include "mining/dhp.h"
+#include "mining/eclat.h"
+#include "mining/fp_growth.h"
+#include "mining/partition.h"
+
+namespace ossm {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(EndToEndTest, SixMinersOneAnswer) {
+  QuestConfig gen;
+  gen.num_items = 50;
+  gen.num_transactions = 3000;
+  gen.avg_transaction_size = 7;
+  gen.avg_pattern_size = 3;
+  gen.num_patterns = 12;
+  gen.seed = 101;
+  StatusOr<TransactionDatabase> db = GenerateQuest(gen);
+  ASSERT_TRUE(db.ok());
+
+  const double threshold = 0.01;
+
+  AprioriConfig apriori_config;
+  apriori_config.min_support_fraction = threshold;
+  StatusOr<MiningResult> apriori = MineApriori(*db, apriori_config);
+  ASSERT_TRUE(apriori.ok());
+
+  DhpConfig dhp_config;
+  dhp_config.min_support_fraction = threshold;
+  StatusOr<MiningResult> dhp = MineDhp(*db, dhp_config);
+  ASSERT_TRUE(dhp.ok());
+
+  PartitionConfig partition_config;
+  partition_config.min_support_fraction = threshold;
+  partition_config.num_partitions = 5;
+  StatusOr<MiningResult> partition = MinePartition(*db, partition_config);
+  ASSERT_TRUE(partition.ok());
+
+  FpGrowthConfig fp_config;
+  fp_config.min_support_fraction = threshold;
+  StatusOr<MiningResult> fp = MineFpGrowth(*db, fp_config);
+  ASSERT_TRUE(fp.ok());
+
+  EclatConfig eclat_config;
+  eclat_config.min_support_fraction = threshold;
+  StatusOr<MiningResult> eclat = MineEclat(*db, eclat_config);
+  ASSERT_TRUE(eclat.ok());
+
+  DepthProjectConfig dp_config;
+  dp_config.min_support_fraction = threshold;
+  StatusOr<MiningResult> dp = MineDepthProject(*db, dp_config);
+  ASSERT_TRUE(dp.ok());
+
+  EXPECT_FALSE(apriori->itemsets.empty());
+  EXPECT_TRUE(apriori->SamePatternsAs(*dhp));
+  EXPECT_TRUE(apriori->SamePatternsAs(*partition));
+  EXPECT_TRUE(apriori->SamePatternsAs(*fp));
+  EXPECT_TRUE(apriori->SamePatternsAs(*eclat));
+  EXPECT_TRUE(apriori->SamePatternsAs(*dp));
+}
+
+TEST(EndToEndTest, PersistedArtifactsReproduceTheRun) {
+  // Generate data, save both the dataset and the OSSM, reload both, and
+  // verify the reloaded pair gives byte-identical mining results — the
+  // compile-time/exploration-time split of Section 3.
+  SkewedConfig gen;
+  gen.num_items = 40;
+  gen.num_transactions = 2000;
+  gen.avg_transaction_size = 5;
+  gen.seed = 55;
+  StatusOr<TransactionDatabase> db = GenerateSkewed(gen);
+  ASSERT_TRUE(db.ok());
+
+  OssmBuildOptions build_options;
+  build_options.algorithm = SegmentationAlgorithm::kRandomGreedy;
+  build_options.target_segments = 12;
+  build_options.intermediate_segments = 30;
+  build_options.transactions_per_page = 40;
+  StatusOr<OssmBuildResult> build = BuildOssm(*db, build_options);
+  ASSERT_TRUE(build.ok());
+
+  std::string db_path = TempPath("e2e.bin");
+  std::string map_path = TempPath("e2e.ossm");
+  ASSERT_TRUE(DatasetIo::SaveBinary(*db, db_path).ok());
+  ASSERT_TRUE(OssmIo::Save(build->map, map_path).ok());
+
+  StatusOr<TransactionDatabase> db2 = DatasetIo::LoadBinary(db_path);
+  StatusOr<SegmentSupportMap> map2 = OssmIo::Load(map_path);
+  ASSERT_TRUE(db2.ok());
+  ASSERT_TRUE(map2.ok());
+
+  OssmPruner pruner_live(&build->map);
+  OssmPruner pruner_loaded(&*map2);
+
+  AprioriConfig live;
+  live.min_support_fraction = 0.02;
+  live.pruner = &pruner_live;
+  AprioriConfig loaded = live;
+  loaded.pruner = &pruner_loaded;
+
+  StatusOr<MiningResult> a = MineApriori(*db, live);
+  StatusOr<MiningResult> b = MineApriori(*db2, loaded);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(a->SamePatternsAs(*b));
+}
+
+TEST(EndToEndTest, GeneralizedOssmPrunesAtLeastAsWellEndToEnd) {
+  QuestConfig gen;
+  gen.num_items = 40;
+  gen.num_transactions = 2500;
+  gen.avg_transaction_size = 6;
+  gen.num_patterns = 10;
+  gen.seed = 202;
+  StatusOr<TransactionDatabase> db = GenerateQuest(gen);
+  ASSERT_TRUE(db.ok());
+
+  OssmBuildOptions build_options;
+  build_options.algorithm = SegmentationAlgorithm::kRc;
+  build_options.target_segments = 8;
+  build_options.transactions_per_page = 40;
+  StatusOr<OssmBuildResult> build = BuildOssm(*db, build_options);
+  ASSERT_TRUE(build.ok());
+
+  StatusOr<GeneralizedOssm> generalized = GeneralizedOssm::Build(
+      *db, build->map, build->layout, build->page_to_segment, 20);
+  ASSERT_TRUE(generalized.ok());
+
+  OssmPruner base_pruner(&build->map);
+  GeneralizedOssmPruner generalized_pruner(&*generalized);
+
+  AprioriConfig no_pruner;
+  no_pruner.min_support_fraction = 0.015;
+  AprioriConfig base = no_pruner;
+  base.pruner = &base_pruner;
+  AprioriConfig extended = no_pruner;
+  extended.pruner = &generalized_pruner;
+
+  StatusOr<MiningResult> plain = MineApriori(*db, no_pruner);
+  StatusOr<MiningResult> with_base = MineApriori(*db, base);
+  StatusOr<MiningResult> with_pairs = MineApriori(*db, extended);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(with_base.ok());
+  ASSERT_TRUE(with_pairs.ok());
+
+  EXPECT_TRUE(plain->SamePatternsAs(*with_base));
+  EXPECT_TRUE(plain->SamePatternsAs(*with_pairs));
+  // Pair-augmentation can only tighten bounds -> at most as many counted.
+  EXPECT_LE(with_pairs->stats.TotalCandidatesCounted(),
+            with_base->stats.TotalCandidatesCounted());
+}
+
+TEST(EndToEndTest, TextDatasetPipelineAgrees) {
+  // Save as FIMI text (the public-dataset interchange format), reload, and
+  // verify mining parity — exercising the path a downstream user with a
+  // real FIMI file would take.
+  QuestConfig gen;
+  gen.num_items = 25;
+  gen.num_transactions = 800;
+  gen.avg_transaction_size = 5;
+  gen.num_patterns = 6;
+  gen.seed = 303;
+  StatusOr<TransactionDatabase> db = GenerateQuest(gen);
+  ASSERT_TRUE(db.ok());
+
+  std::string path = TempPath("fimi.txt");
+  ASSERT_TRUE(DatasetIo::SaveText(*db, path).ok());
+  StatusOr<TransactionDatabase> reloaded =
+      DatasetIo::LoadText(path, db->num_items());
+  ASSERT_TRUE(reloaded.ok());
+
+  AprioriConfig config;
+  config.min_support_fraction = 0.02;
+  StatusOr<MiningResult> a = MineApriori(*db, config);
+  StatusOr<MiningResult> b = MineApriori(*reloaded, config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(a->SamePatternsAs(*b));
+}
+
+TEST(EndToEndTest, RecommendedRecipeWorksOutOfTheBox) {
+  // Drive the Figure 7 recipe end to end on the scenario it is written
+  // for: many pages, segmentation cost matters, seasonal data.
+  SkewedConfig gen;
+  gen.num_items = 30;
+  gen.num_transactions = 4000;
+  gen.avg_transaction_size = 5;
+  gen.in_season_boost = 12.0;
+  gen.seed = 404;
+  StatusOr<TransactionDatabase> db = GenerateSkewed(gen);
+  ASSERT_TRUE(db.ok());
+
+  SegmentationAlgorithm algorithm = RecommendStrategy(
+      /*large_target_and_skewed=*/false,
+      /*segmentation_cost_an_issue=*/true,
+      /*very_many_pages=*/true);
+  EXPECT_EQ(algorithm, SegmentationAlgorithm::kRandomRc);
+
+  OssmBuildOptions build_options;
+  build_options.algorithm = algorithm;
+  build_options.target_segments = 10;
+  build_options.intermediate_segments = 40;
+  build_options.transactions_per_page = 20;  // 200 pages
+  build_options.bubble_fraction = 0.3;
+  build_options.bubble_threshold = 0.1;
+  StatusOr<OssmBuildResult> build = BuildOssm(*db, build_options);
+  ASSERT_TRUE(build.ok());
+  OssmPruner pruner(&build->map);
+
+  AprioriConfig with;
+  with.min_support_fraction = 0.1;
+  with.pruner = &pruner;
+  AprioriConfig without;
+  without.min_support_fraction = 0.1;
+
+  StatusOr<MiningResult> a = MineApriori(*db, without);
+  StatusOr<MiningResult> b = MineApriori(*db, with);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(a->SamePatternsAs(*b));
+  EXPECT_GT(b->stats.TotalPrunedByBound(), 0u);
+}
+
+}  // namespace
+}  // namespace ossm

@@ -1,0 +1,163 @@
+#include "mining/episode.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/ossm_builder.h"
+#include "mining/candidate_pruner.h"
+
+namespace ossm {
+namespace {
+
+std::vector<Event> SimpleSequence() {
+  // Types: 0 = A, 1 = B, 2 = C. A and B recur together; C is sporadic.
+  std::vector<Event> events;
+  for (uint64_t t = 0; t < 100; t += 10) {
+    events.push_back({0, t});
+    events.push_back({1, t + 1});
+  }
+  events.push_back({2, 55});
+  std::sort(events.begin(), events.end(),
+            [](const Event& a, const Event& b) { return a.time < b.time; });
+  return events;
+}
+
+TEST(WindowedDatabaseTest, WindowCountAndContents) {
+  std::vector<Event> events = {{0, 0}, {1, 2}, {2, 4}};
+  StatusOr<TransactionDatabase> db = WindowedDatabase(events, 3, 3);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  // Window starts 0..4 inclusive -> 5 transactions.
+  ASSERT_EQ(db->num_transactions(), 5u);
+  // Window [0,3): events at 0 and 2 -> {0, 1}.
+  EXPECT_EQ(db->transaction(0).size(), 2u);
+  // Window [2,5): events at 2 and 4 -> {1, 2}.
+  std::span<const ItemId> w2 = db->transaction(2);
+  ASSERT_EQ(w2.size(), 2u);
+  EXPECT_EQ(w2[0], 1u);
+  EXPECT_EQ(w2[1], 2u);
+  // Window [4,7): only the event at 4.
+  EXPECT_EQ(db->transaction(4).size(), 1u);
+}
+
+TEST(WindowedDatabaseTest, DuplicateTypesCollapse) {
+  std::vector<Event> events = {{1, 0}, {1, 1}, {1, 2}};
+  StatusOr<TransactionDatabase> db = WindowedDatabase(events, 2, 5);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->transaction(0).size(), 1u);  // {1}, not {1,1,1}
+}
+
+TEST(WindowedDatabaseTest, RejectsEmptyAndUnordered) {
+  std::vector<Event> none;
+  EXPECT_EQ(WindowedDatabase(none, 3, 3).status().code(),
+            StatusCode::kInvalidArgument);
+
+  std::vector<Event> unordered = {{0, 5}, {1, 3}};
+  EXPECT_EQ(WindowedDatabase(unordered, 3, 3).status().code(),
+            StatusCode::kInvalidArgument);
+
+  std::vector<Event> fine = {{0, 0}};
+  EXPECT_EQ(WindowedDatabase(fine, 3, 0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(WindowedDatabase(fine, 0, 3).status().code(),
+            StatusCode::kInvalidArgument);  // type 0 out of empty domain
+}
+
+TEST(EpisodeTest, FindsTheRecurringPair) {
+  EpisodeConfig config;
+  config.window_width = 4;
+  config.min_frequency = 0.2;
+  StatusOr<EpisodeResult> result =
+      MineParallelEpisodes(SimpleSequence(), 3, config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  bool found_ab = false;
+  for (const FrequentItemset& e : result->episodes) {
+    if (e.items == Itemset{0, 1}) found_ab = true;
+    // C occurs once; it can never reach a 20% window frequency.
+    EXPECT_TRUE(std::find(e.items.begin(), e.items.end(), 2) ==
+                e.items.end());
+  }
+  EXPECT_TRUE(found_ab);
+  EXPECT_GT(result->num_windows, 0u);
+}
+
+TEST(EpisodeTest, EpisodeFrequencyMatchesManualWindowCount) {
+  std::vector<Event> events = SimpleSequence();
+  EpisodeConfig config;
+  config.window_width = 4;
+  config.min_frequency = 0.05;
+  StatusOr<EpisodeResult> result = MineParallelEpisodes(events, 3, config);
+  ASSERT_TRUE(result.ok());
+
+  // Manual count for {A, B}: windows [t, t+4) containing both an A and a B.
+  StatusOr<TransactionDatabase> windows = WindowedDatabase(events, 3, 4);
+  ASSERT_TRUE(windows.ok());
+  Itemset ab = {0, 1};
+  uint64_t manual = 0;
+  for (uint64_t w = 0; w < windows->num_transactions(); ++w) {
+    if (windows->Contains(w, ab)) ++manual;
+  }
+  for (const FrequentItemset& e : result->episodes) {
+    if (e.items == ab) {
+      EXPECT_EQ(e.support, manual);
+    }
+  }
+}
+
+TEST(EpisodeTest, OssmPrunesEpisodeCandidatesLosslessly) {
+  // The generality claim: an OSSM built over the windowed database prunes
+  // candidate episodes exactly as it prunes candidate itemsets.
+  Rng rng(11);
+  std::vector<Event> events;
+  // Two alternating "regimes" of alarm activity over 60 types.
+  for (uint64_t t = 0; t < 20000; ++t) {
+    uint32_t regime = (t / 5000) % 2;
+    for (int k = 0; k < 2; ++k) {
+      ItemId type = static_cast<ItemId>(rng.UniformInt(30) + regime * 30);
+      events.push_back({type, t});
+    }
+  }
+
+  StatusOr<TransactionDatabase> windows = WindowedDatabase(events, 60, 8);
+  ASSERT_TRUE(windows.ok());
+  OssmBuildOptions build_options;
+  build_options.algorithm = SegmentationAlgorithm::kGreedy;
+  build_options.target_segments = 12;
+  build_options.transactions_per_page = 500;
+  StatusOr<OssmBuildResult> build = BuildOssm(*windows, build_options);
+  ASSERT_TRUE(build.ok());
+  OssmPruner pruner(&build->map);
+
+  EpisodeConfig without;
+  without.window_width = 8;
+  without.min_frequency = 0.2;
+  EpisodeConfig with = without;
+  with.pruner = &pruner;
+
+  StatusOr<EpisodeResult> plain = MineParallelEpisodes(events, 60, without);
+  StatusOr<EpisodeResult> assisted = MineParallelEpisodes(events, 60, with);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(assisted.ok());
+  ASSERT_EQ(plain->episodes.size(), assisted->episodes.size());
+  for (size_t i = 0; i < plain->episodes.size(); ++i) {
+    EXPECT_EQ(plain->episodes[i], assisted->episodes[i]);
+  }
+  // Cross-regime episode candidates must have been pruned by the bound.
+  EXPECT_GT(assisted->stats.TotalPrunedByBound(), 0u);
+}
+
+TEST(EpisodeTest, MaxEpisodeSizeRespected) {
+  EpisodeConfig config;
+  config.window_width = 4;
+  config.min_frequency = 0.05;
+  config.max_episode_size = 1;
+  StatusOr<EpisodeResult> result =
+      MineParallelEpisodes(SimpleSequence(), 3, config);
+  ASSERT_TRUE(result.ok());
+  for (const FrequentItemset& e : result->episodes) {
+    EXPECT_EQ(e.items.size(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace ossm

@@ -1,0 +1,141 @@
+#include "mining/fp_growth.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/alarm_generator.h"
+#include "datagen/quest_generator.h"
+#include "mining/apriori.h"
+#include "tests/mining_test_util.h"
+
+namespace ossm {
+namespace {
+
+TEST(FpGrowthTest, TinyDatabaseByHand) {
+  TransactionDatabase db = test::TinyDb();
+  FpGrowthConfig config;
+  config.min_support_count = 4;
+  StatusOr<MiningResult> result = MineFpGrowth(db, config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  std::vector<FrequentItemset> expected = {
+      {{0}, 6}, {{1}, 6}, {{2}, 5}, {{0, 1}, 5}, {{0, 2}, 4}, {{1, 2}, 4},
+  };
+  EXPECT_EQ(result->itemsets, expected);
+}
+
+TEST(FpGrowthTest, MatchesBruteForceOnRandomData) {
+  QuestConfig gen;
+  gen.num_items = 12;
+  gen.num_transactions = 500;
+  gen.avg_transaction_size = 4;
+  gen.num_patterns = 5;
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    gen.seed = seed;
+    StatusOr<TransactionDatabase> db = GenerateQuest(gen);
+    ASSERT_TRUE(db.ok());
+    FpGrowthConfig config;
+    config.min_support_count = 25;
+    StatusOr<MiningResult> result = MineFpGrowth(*db, config);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->itemsets, test::BruteForceFrequent(*db, 25))
+        << "seed " << seed;
+  }
+}
+
+TEST(FpGrowthTest, AgreesWithAprioriOnAlarmData) {
+  AlarmConfig gen;
+  gen.num_alarm_types = 60;
+  gen.num_windows = 1500;
+  gen.seed = 31;
+  StatusOr<TransactionDatabase> db = GenerateAlarms(gen);
+  ASSERT_TRUE(db.ok());
+
+  for (double threshold : {0.01, 0.05}) {
+    AprioriConfig apriori_config;
+    apriori_config.min_support_fraction = threshold;
+    FpGrowthConfig fp_config;
+    fp_config.min_support_fraction = threshold;
+    StatusOr<MiningResult> a = MineApriori(*db, apriori_config);
+    StatusOr<MiningResult> f = MineFpGrowth(*db, fp_config);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(f.ok());
+    EXPECT_TRUE(a->SamePatternsAs(*f)) << "threshold " << threshold;
+  }
+}
+
+TEST(FpGrowthTest, DeepChainPattern) {
+  // A long single path in the FP-tree: all 2^6 - 1 subsets of a 6-itemset.
+  TransactionDatabase db(6);
+  for (int r = 0; r < 5; ++r) {
+    ASSERT_TRUE(db.Append({0, 1, 2, 3, 4, 5}).ok());
+  }
+  FpGrowthConfig config;
+  config.min_support_count = 5;
+  StatusOr<MiningResult> result = MineFpGrowth(db, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->itemsets.size(), 63u);
+  for (const FrequentItemset& f : result->itemsets) {
+    EXPECT_EQ(f.support, 5u);
+  }
+}
+
+TEST(FpGrowthTest, MaxLevelCapsPatternLength) {
+  TransactionDatabase db(6);
+  for (int r = 0; r < 5; ++r) {
+    ASSERT_TRUE(db.Append({0, 1, 2, 3, 4, 5}).ok());
+  }
+  FpGrowthConfig config;
+  config.min_support_count = 5;
+  config.max_level = 2;
+  StatusOr<MiningResult> result = MineFpGrowth(db, config);
+  ASSERT_TRUE(result.ok());
+  // 6 singletons + 15 pairs.
+  EXPECT_EQ(result->itemsets.size(), 21u);
+  for (const FrequentItemset& f : result->itemsets) {
+    EXPECT_LE(f.items.size(), 2u);
+  }
+}
+
+TEST(FpGrowthTest, TwoScansOnly) {
+  TransactionDatabase db = test::TinyDb();
+  FpGrowthConfig config;
+  config.min_support_count = 4;
+  StatusOr<MiningResult> result = MineFpGrowth(db, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.database_scans, 2u);
+}
+
+TEST(FpGrowthTest, EmptyResultAtImpossibleThreshold) {
+  TransactionDatabase db = test::TinyDb();
+  FpGrowthConfig config;
+  config.min_support_count = 1000;
+  StatusOr<MiningResult> result = MineFpGrowth(db, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->itemsets.empty());
+}
+
+TEST(FpGrowthTest, RejectsBadFraction) {
+  TransactionDatabase db = test::TinyDb();
+  FpGrowthConfig config;
+  config.min_support_fraction = 0.0;
+  EXPECT_EQ(MineFpGrowth(db, config).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FpGrowthTest, TieHeavySupportsStillCorrect) {
+  // All items equally frequent: rank ordering is pure tie-breaking, a
+  // regime that often exposes header-table bugs.
+  TransactionDatabase db(4);
+  ASSERT_TRUE(db.Append({0, 1}).ok());
+  ASSERT_TRUE(db.Append({1, 2}).ok());
+  ASSERT_TRUE(db.Append({2, 3}).ok());
+  ASSERT_TRUE(db.Append({0, 3}).ok());
+  ASSERT_TRUE(db.Append({0, 1, 2, 3}).ok());
+  FpGrowthConfig config;
+  config.min_support_count = 2;
+  StatusOr<MiningResult> result = MineFpGrowth(db, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->itemsets, test::BruteForceFrequent(db, 2));
+}
+
+}  // namespace
+}  // namespace ossm

@@ -1,0 +1,189 @@
+#include "core/greedy_segmentation.h"
+
+#include <gtest/gtest.h>
+
+#include "core/random_segmentation.h"
+#include "core/rc_segmentation.h"
+#include "tests/segmentation_test_util.h"
+
+namespace ossm {
+namespace {
+
+TEST(GreedySegmentationTest, ReachesTargetCount) {
+  GreedySegmenter segmenter;
+  SegmentationOptions options;
+  options.target_segments = 6;
+  SegmentationStats stats;
+  StatusOr<std::vector<Segment>> result =
+      segmenter.Run(test::RandomSegments(1, 30, 8), options, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 6u);
+  // At least the initial all-pairs table was evaluated.
+  EXPECT_GE(stats.ossub_evaluations, 30u * 29u / 2u);
+}
+
+TEST(GreedySegmentationTest, PreservesTotalsAndPages) {
+  std::vector<Segment> input = test::RandomSegments(2, 25, 5);
+  std::vector<uint64_t> totals = test::TotalCounts(input);
+  GreedySegmenter segmenter;
+  SegmentationOptions options;
+  options.target_segments = 4;
+  StatusOr<std::vector<Segment>> result =
+      segmenter.Run(std::move(input), options, nullptr);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(test::TotalCounts(*result), totals);
+  EXPECT_EQ(test::CollectPages(*result).size(), 25u);
+}
+
+TEST(GreedySegmentationTest, ZeroLossMergesComeFirst) {
+  // Greedy always takes the global minimum, so as long as any zero-loss pair
+  // exists it never performs a lossy merge. Families of scaled segments
+  // collapse perfectly regardless of interleaving.
+  std::vector<Segment> input;
+  uint32_t page = 0;
+  for (uint64_t scale : {1, 3, 7}) {
+    Segment family_a;
+    family_a.counts = {10 * scale, 5 * scale, 1 * scale};
+    family_a.pages = {page++};
+    input.push_back(std::move(family_a));
+    Segment family_b;
+    family_b.counts = {1 * scale, 5 * scale, 10 * scale};
+    family_b.pages = {page++};
+    input.push_back(std::move(family_b));
+  }
+
+  GreedySegmenter segmenter;
+  SegmentationOptions options;
+  options.target_segments = 2;
+  StatusOr<std::vector<Segment>> result =
+      segmenter.Run(std::move(input), options, nullptr);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 2u);
+  // Each output segment holds one family: pages {0,2,4} and {1,3,5}.
+  for (const Segment& seg : *result) {
+    std::vector<uint32_t> pages = seg.pages;
+    std::sort(pages.begin(), pages.end());
+    bool family_a = pages == std::vector<uint32_t>{0, 2, 4};
+    bool family_b = pages == std::vector<uint32_t>{1, 3, 5};
+    EXPECT_TRUE(family_a || family_b);
+  }
+  EXPECT_EQ(test::TotalPairwiseOssub(*result) > 0, true);
+}
+
+TEST(GreedySegmentationTest, NeverWorseThanRcOrRandomHere) {
+  // Merging two segments raises the objective (the summed pair bound,
+  // TotalPairBound) by exactly their pairwise ossub, and Greedy picks the
+  // global minimum at every step. Summed over seeds, the Figure 4 quality
+  // ranking Greedy <= RC <= Random must hold.
+  uint64_t greedy_total = 0;
+  uint64_t rc_total = 0;
+  uint64_t random_total = 0;
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    SegmentationOptions options;
+    options.target_segments = 5;
+    options.seed = seed;
+
+    GreedySegmenter greedy;
+    StatusOr<std::vector<Segment>> g =
+        greedy.Run(test::RandomSegments(seed + 30, 24, 8), options, nullptr);
+    ASSERT_TRUE(g.ok());
+    greedy_total += test::TotalPairBound(*g);
+
+    RcSegmenter rc;
+    StatusOr<std::vector<Segment>> r =
+        rc.Run(test::RandomSegments(seed + 30, 24, 8), options, nullptr);
+    ASSERT_TRUE(r.ok());
+    rc_total += test::TotalPairBound(*r);
+
+    RandomSegmenter random;
+    StatusOr<std::vector<Segment>> n =
+        random.Run(test::RandomSegments(seed + 30, 24, 8), options, nullptr);
+    ASSERT_TRUE(n.ok());
+    random_total += test::TotalPairBound(*n);
+  }
+  EXPECT_LE(greedy_total, random_total);
+  EXPECT_LE(greedy_total, rc_total + rc_total / 20);  // allow heuristic noise
+}
+
+TEST(GreedySegmentationTest, DeterministicRegardlessOfSeed) {
+  // Greedy has no randomness: the seed must not matter.
+  SegmentationOptions options_a;
+  options_a.target_segments = 4;
+  options_a.seed = 1;
+  SegmentationOptions options_b = options_a;
+  options_b.seed = 999;
+
+  GreedySegmenter segmenter;
+  StatusOr<std::vector<Segment>> a =
+      segmenter.Run(test::RandomSegments(8, 20, 6), options_a, nullptr);
+  StatusOr<std::vector<Segment>> b =
+      segmenter.Run(test::RandomSegments(8, 20, 6), options_b, nullptr);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t s = 0; s < a->size(); ++s) {
+    EXPECT_EQ((*a)[s].counts, (*b)[s].counts);
+  }
+}
+
+TEST(GreedySegmentationTest, SingleTargetMergesEverything) {
+  GreedySegmenter segmenter;
+  SegmentationOptions options;
+  options.target_segments = 1;
+  StatusOr<std::vector<Segment>> result =
+      segmenter.Run(test::RandomSegments(5, 12, 4), options, nullptr);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ((*result)[0].pages.size(), 12u);
+}
+
+TEST(GreedySegmentationTest, NoOpWhenAlreadySmallEnough) {
+  GreedySegmenter segmenter;
+  SegmentationOptions options;
+  options.target_segments = 15;
+  SegmentationStats stats;
+  StatusOr<std::vector<Segment>> result =
+      segmenter.Run(test::RandomSegments(6, 10, 4), options, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 10u);
+}
+
+TEST(GreedySegmentationTest, BubbleListChangesDecisions) {
+  // Full-ossub Greedy and bubble-restricted Greedy should generally produce
+  // different partitions when off-bubble items dominate the loss.
+  std::vector<Segment> input = test::RandomSegments(9, 16, 8, 1000);
+  std::vector<Segment> input_copy = input;
+
+  GreedySegmenter segmenter;
+  SegmentationOptions full;
+  full.target_segments = 4;
+  SegmentationOptions bubbled = full;
+  bubbled.bubble = {0, 1};
+
+  StatusOr<std::vector<Segment>> a =
+      segmenter.Run(std::move(input), full, nullptr);
+  StatusOr<std::vector<Segment>> b =
+      segmenter.Run(std::move(input_copy), bubbled, nullptr);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  bool differ = false;
+  for (size_t s = 0; s < a->size(); ++s) {
+    if ((*a)[s].counts != (*b)[s].counts) differ = true;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(GreedySegmentationTest, RejectsEmptyInput) {
+  GreedySegmenter segmenter;
+  SegmentationOptions options;
+  EXPECT_EQ(segmenter.Run({}, options, nullptr).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(GreedySegmentationTest, Name) {
+  GreedySegmenter segmenter;
+  EXPECT_EQ(segmenter.name(), "Greedy");
+}
+
+}  // namespace
+}  // namespace ossm

@@ -1,0 +1,146 @@
+#include "mining/hash_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "datagen/quest_generator.h"
+#include "mining/itemset.h"
+
+namespace ossm {
+namespace {
+
+TEST(HashTreeTest, CountsSimplePairs) {
+  std::vector<Itemset> candidates = {{0, 1}, {1, 2}, {0, 2}};
+  HashTree tree(candidates);
+  Itemset t1 = {0, 1, 2};
+  Itemset t2 = {0, 1};
+  Itemset t3 = {2};
+  tree.CountTransaction(t1);
+  tree.CountTransaction(t2);
+  tree.CountTransaction(t3);
+  EXPECT_EQ(tree.counts()[0], 2u);  // {0,1}
+  EXPECT_EQ(tree.counts()[1], 1u);  // {1,2}
+  EXPECT_EQ(tree.counts()[2], 1u);  // {0,2}
+}
+
+TEST(HashTreeTest, EmptyCandidateSet) {
+  HashTree tree(std::vector<Itemset>{});
+  Itemset txn = {1, 2, 3};
+  tree.CountTransaction(txn);  // must not crash
+  EXPECT_EQ(tree.num_candidates(), 0u);
+}
+
+TEST(HashTreeTest, ShortTransactionsAreSkipped) {
+  std::vector<Itemset> candidates = {{0, 1, 2}};
+  HashTree tree(candidates);
+  Itemset txn = {0, 1};
+  tree.CountTransaction(txn);
+  EXPECT_EQ(tree.counts()[0], 0u);
+}
+
+TEST(HashTreeTest, NoDoubleCountingWithTinyFanout) {
+  // A fanout of 2 forces many items into the same hash path, the regime
+  // where a leaf can be visited several times per transaction.
+  std::vector<Itemset> candidates;
+  for (ItemId a = 0; a < 8; ++a) {
+    for (ItemId b = a + 1; b < 8; ++b) {
+      candidates.push_back({a, b});
+    }
+  }
+  HashTree tree(candidates, /*fanout=*/2, /*leaf_capacity=*/2);
+  Itemset txn = {0, 1, 2, 3, 4, 5, 6, 7};
+  tree.CountTransaction(txn);
+  for (size_t c = 0; c < tree.num_candidates(); ++c) {
+    EXPECT_EQ(tree.counts()[c], 1u) << "candidate " << c;
+  }
+}
+
+TEST(HashTreeTest, MatchedListAgreesWithCounts) {
+  std::vector<Itemset> candidates = {{0, 1}, {2, 3}, {1, 3}};
+  HashTree tree(candidates);
+  Itemset txn = {0, 1, 3};
+  std::vector<uint32_t> matched;
+  tree.CountTransaction(txn, &matched);
+  std::sort(matched.begin(), matched.end());
+  EXPECT_EQ(matched, (std::vector<uint32_t>{0, 2}));
+}
+
+TEST(HashTreeTest, AgreesWithBruteForceOnRandomData) {
+  QuestConfig config;
+  config.num_items = 25;
+  config.num_transactions = 400;
+  config.avg_transaction_size = 6;
+  config.num_patterns = 8;
+  config.seed = 13;
+  StatusOr<TransactionDatabase> db = GenerateQuest(config);
+  ASSERT_TRUE(db.ok());
+
+  // Candidate triples drawn at random.
+  Rng rng(17);
+  std::vector<Itemset> candidates;
+  for (int c = 0; c < 200; ++c) {
+    Itemset items;
+    while (items.size() < 3) {
+      ItemId item = static_cast<ItemId>(rng.UniformInt(25));
+      if (std::find(items.begin(), items.end(), item) == items.end()) {
+        items.push_back(item);
+      }
+    }
+    std::sort(items.begin(), items.end());
+    candidates.push_back(items);
+  }
+  std::sort(candidates.begin(), candidates.end(), ItemsetLess);
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  for (uint32_t fanout : {2u, 4u, 8u}) {
+    for (uint32_t capacity : {1u, 4u, 64u}) {
+      HashTree tree(candidates, fanout, capacity);
+      for (uint64_t t = 0; t < db->num_transactions(); ++t) {
+        tree.CountTransaction(db->transaction(t));
+      }
+      for (size_t c = 0; c < candidates.size(); ++c) {
+        uint64_t expected = 0;
+        for (uint64_t t = 0; t < db->num_transactions(); ++t) {
+          if (db->Contains(t, candidates[c])) ++expected;
+        }
+        ASSERT_EQ(tree.counts()[c], expected)
+            << "fanout " << fanout << " capacity " << capacity
+            << " candidate " << c;
+      }
+    }
+  }
+}
+
+TEST(HashTreeTest, SingletonCandidates) {
+  std::vector<Itemset> candidates = {{2}, {5}};
+  HashTree tree(candidates);
+  Itemset t1 = {2, 5};
+  Itemset t2 = {5};
+  tree.CountTransaction(t1);
+  tree.CountTransaction(t2);
+  EXPECT_EQ(tree.counts()[0], 1u);
+  EXPECT_EQ(tree.counts()[1], 2u);
+}
+
+TEST(HashTreeTest, DeepSplitAtCandidateSizeKeepsGrowing) {
+  // Many candidates sharing a full hash path: the leaf at depth k cannot
+  // split further and must grow past the capacity without recursing
+  // forever.
+  std::vector<Itemset> candidates;
+  for (ItemId last = 0; last < 40; ++last) {
+    candidates.push_back({0, 8, 16 + last * 8});  // all hash to bucket 0
+  }
+  HashTree tree(candidates, /*fanout=*/8, /*leaf_capacity=*/2);
+  Itemset txn;
+  for (ItemId i = 0; i < 400; ++i) txn.push_back(i);
+  tree.CountTransaction(txn);
+  for (size_t c = 0; c < tree.num_candidates(); ++c) {
+    EXPECT_EQ(tree.counts()[c], 1u);
+  }
+}
+
+}  // namespace
+}  // namespace ossm

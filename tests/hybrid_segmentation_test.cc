@@ -1,0 +1,112 @@
+#include "core/hybrid_segmentation.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/greedy_segmentation.h"
+#include "core/rc_segmentation.h"
+#include "tests/segmentation_test_util.h"
+
+namespace ossm {
+namespace {
+
+TEST(HybridSegmentationTest, NamesComposeFromPhases) {
+  HybridSegmenter random_rc(std::make_unique<RcSegmenter>(), 20);
+  HybridSegmenter random_greedy(std::make_unique<GreedySegmenter>(), 20);
+  EXPECT_EQ(random_rc.name(), "Random-RC");
+  EXPECT_EQ(random_greedy.name(), "Random-Greedy");
+}
+
+TEST(HybridSegmentationTest, ReachesTargetThroughBothPhases) {
+  HybridSegmenter segmenter(std::make_unique<GreedySegmenter>(), 20);
+  SegmentationOptions options;
+  options.target_segments = 5;
+  SegmentationStats stats;
+  StatusOr<std::vector<Segment>> result =
+      segmenter.Run(test::RandomSegments(1, 100, 6), options, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 5u);
+  // The elaborate phase started from 20 segments, so it evaluated at most
+  // ~20^2/2 + merge updates — far fewer than the 100^2/2 the pure algorithm
+  // would have needed.
+  EXPECT_LT(stats.ossub_evaluations, 400u);
+  EXPECT_GT(stats.ossub_evaluations, 0u);
+}
+
+TEST(HybridSegmentationTest, PreservesTotalsAndPages) {
+  std::vector<Segment> input = test::RandomSegments(2, 60, 5);
+  std::vector<uint64_t> totals = test::TotalCounts(input);
+  HybridSegmenter segmenter(std::make_unique<RcSegmenter>(), 15);
+  SegmentationOptions options;
+  options.target_segments = 4;
+  StatusOr<std::vector<Segment>> result =
+      segmenter.Run(std::move(input), options, nullptr);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(test::TotalCounts(*result), totals);
+  EXPECT_EQ(test::CollectPages(*result).size(), 60u);
+}
+
+TEST(HybridSegmentationTest, CheaperThanPureElaborate) {
+  SegmentationOptions options;
+  options.target_segments = 5;
+
+  SegmentationStats pure_stats;
+  GreedySegmenter pure;
+  ASSERT_TRUE(
+      pure.Run(test::RandomSegments(3, 80, 6), options, &pure_stats).ok());
+
+  SegmentationStats hybrid_stats;
+  HybridSegmenter hybrid(std::make_unique<GreedySegmenter>(), 16);
+  ASSERT_TRUE(
+      hybrid.Run(test::RandomSegments(3, 80, 6), options, &hybrid_stats)
+          .ok());
+
+  EXPECT_LT(hybrid_stats.ossub_evaluations, pure_stats.ossub_evaluations / 4);
+}
+
+TEST(HybridSegmentationTest, IntermediateBelowTargetIsRejected) {
+  HybridSegmenter segmenter(std::make_unique<RcSegmenter>(), 3);
+  SegmentationOptions options;
+  options.target_segments = 10;
+  EXPECT_EQ(
+      segmenter.Run(test::RandomSegments(4, 50, 4), options, nullptr)
+          .status()
+          .code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST(HybridSegmentationTest, FewInitialSegmentsSkipTheRandomPhase) {
+  // With fewer initial segments than n_mid, Random is a no-op and the
+  // elaborate phase does all the work.
+  HybridSegmenter segmenter(std::make_unique<GreedySegmenter>(), 100);
+  SegmentationOptions options;
+  options.target_segments = 3;
+  StatusOr<std::vector<Segment>> result =
+      segmenter.Run(test::RandomSegments(5, 10, 4), options, nullptr);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 3u);
+}
+
+TEST(HybridSegmentationTest, DeterministicForSeed) {
+  SegmentationOptions options;
+  options.target_segments = 4;
+  options.seed = 77;
+  HybridSegmenter segmenter(std::make_unique<RcSegmenter>(), 12);
+  StatusOr<std::vector<Segment>> a =
+      segmenter.Run(test::RandomSegments(6, 40, 5), options, nullptr);
+  StatusOr<std::vector<Segment>> b =
+      segmenter.Run(test::RandomSegments(6, 40, 5), options, nullptr);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t s = 0; s < a->size(); ++s) {
+    EXPECT_EQ((*a)[s].counts, (*b)[s].counts);
+  }
+}
+
+TEST(HybridSegmentationTest, NullFinalPhaseDies) {
+  EXPECT_DEATH(HybridSegmenter(nullptr, 10), "Check failed");
+}
+
+}  // namespace
+}  // namespace ossm

@@ -1,0 +1,79 @@
+#include "mining/itemset.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace ossm {
+namespace {
+
+TEST(ItemsetTest, IsCanonicalItemset) {
+  EXPECT_TRUE(IsCanonicalItemset(Itemset{}));
+  EXPECT_TRUE(IsCanonicalItemset(Itemset{5}));
+  EXPECT_TRUE(IsCanonicalItemset(Itemset{1, 2, 9}));
+  EXPECT_FALSE(IsCanonicalItemset(Itemset{2, 1}));
+  EXPECT_FALSE(IsCanonicalItemset(Itemset{1, 1}));
+}
+
+TEST(ItemsetTest, IsSubsetOf) {
+  Itemset haystack = {1, 3, 5, 7};
+  EXPECT_TRUE(IsSubsetOf(Itemset{3, 7}, haystack));
+  EXPECT_TRUE(IsSubsetOf(Itemset{}, haystack));
+  EXPECT_TRUE(IsSubsetOf(haystack, haystack));
+  EXPECT_FALSE(IsSubsetOf(Itemset{3, 6}, haystack));
+  EXPECT_FALSE(IsSubsetOf(Itemset{0}, haystack));
+}
+
+TEST(ItemsetTest, JoinPrefixJoinsSharedPrefix) {
+  Itemset out;
+  EXPECT_TRUE(JoinPrefix(Itemset{1, 2, 5}, Itemset{1, 2, 8}, &out));
+  EXPECT_EQ(out, (Itemset{1, 2, 5, 8}));
+}
+
+TEST(ItemsetTest, JoinPrefixRequiresOrderedLastItems) {
+  Itemset out;
+  EXPECT_FALSE(JoinPrefix(Itemset{1, 2, 8}, Itemset{1, 2, 5}, &out));
+  EXPECT_FALSE(JoinPrefix(Itemset{1, 2}, Itemset{1, 2}, &out));
+}
+
+TEST(ItemsetTest, JoinPrefixRejectsDifferentPrefixes) {
+  Itemset out;
+  EXPECT_FALSE(JoinPrefix(Itemset{1, 2, 5}, Itemset{1, 3, 8}, &out));
+  EXPECT_FALSE(JoinPrefix(Itemset{1}, Itemset{1, 2}, &out));
+}
+
+TEST(ItemsetTest, JoinPrefixSingletons) {
+  Itemset out;
+  EXPECT_TRUE(JoinPrefix(Itemset{3}, Itemset{9}, &out));
+  EXPECT_EQ(out, (Itemset{3, 9}));
+}
+
+TEST(ItemsetTest, AllOneSmallerSubsets) {
+  std::vector<Itemset> subsets;
+  AllOneSmallerSubsets(Itemset{1, 4, 6}, &subsets);
+  ASSERT_EQ(subsets.size(), 3u);
+  EXPECT_EQ(subsets[0], (Itemset{4, 6}));
+  EXPECT_EQ(subsets[1], (Itemset{1, 6}));
+  EXPECT_EQ(subsets[2], (Itemset{1, 4}));
+}
+
+TEST(ItemsetTest, HasherWorksInUnorderedSet) {
+  std::unordered_set<Itemset, ItemsetHasher> set;
+  set.insert({1, 2});
+  set.insert({1, 2});
+  set.insert({2, 1});  // different vector, even if not canonical
+  set.insert({1, 2, 3});
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_TRUE(set.contains(Itemset{1, 2}));
+  EXPECT_FALSE(set.contains(Itemset{9}));
+}
+
+TEST(ItemsetTest, ItemsetLessOrdersBySizeThenLex) {
+  EXPECT_TRUE(ItemsetLess({9}, {1, 2}));        // smaller size first
+  EXPECT_TRUE(ItemsetLess({1, 2}, {1, 3}));     // lexicographic within size
+  EXPECT_FALSE(ItemsetLess({1, 3}, {1, 2}));
+  EXPECT_FALSE(ItemsetLess({1, 2}, {1, 2}));    // irreflexive
+}
+
+}  // namespace
+}  // namespace ossm

@@ -1,0 +1,181 @@
+// The full losslessness matrix: every candidate-generation miner crossed
+// with every pruner configuration must mine the identical pattern set —
+// the library's single most important contract, in one parameterized sweep.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "core/generalized_ossm.h"
+#include "core/ossm_builder.h"
+#include "datagen/skewed_generator.h"
+#include "mining/apriori.h"
+#include "mining/candidate_pruner.h"
+#include "mining/depth_project.h"
+#include "mining/dhp.h"
+#include "mining/eclat.h"
+
+namespace ossm {
+namespace {
+
+enum class MinerKind { kApriori, kDhp, kDepthProject, kEclat };
+enum class PrunerKind { kNone, kOssm, kGeneralized };
+
+std::string MinerName(MinerKind kind) {
+  switch (kind) {
+    case MinerKind::kApriori:
+      return "Apriori";
+    case MinerKind::kDhp:
+      return "Dhp";
+    case MinerKind::kDepthProject:
+      return "DepthProject";
+    case MinerKind::kEclat:
+      return "Eclat";
+  }
+  return "Unknown";
+}
+
+std::string PrunerName(PrunerKind kind) {
+  switch (kind) {
+    case PrunerKind::kNone:
+      return "NoPruner";
+    case PrunerKind::kOssm:
+      return "Ossm";
+    case PrunerKind::kGeneralized:
+      return "GeneralizedOssm";
+  }
+  return "Unknown";
+}
+
+using MatrixParams = std::tuple<MinerKind, PrunerKind>;
+
+class MinerPrunerMatrixTest : public testing::TestWithParam<MatrixParams> {
+ protected:
+  static void SetUpTestSuite() {
+    SkewedConfig gen;
+    gen.num_items = 30;
+    gen.num_transactions = 2000;
+    gen.avg_transaction_size = 5;
+    gen.in_season_boost = 8.0;
+    gen.seed = 77;
+    StatusOr<TransactionDatabase> db = GenerateSkewed(gen);
+    ASSERT_TRUE(db.ok());
+    db_ = new TransactionDatabase(std::move(*db));
+
+    OssmBuildOptions build_options;
+    build_options.algorithm = SegmentationAlgorithm::kGreedy;
+    build_options.target_segments = 8;
+    build_options.transactions_per_page = 50;
+    StatusOr<OssmBuildResult> build = BuildOssm(*db_, build_options);
+    ASSERT_TRUE(build.ok());
+    build_ = new OssmBuildResult(std::move(*build));
+
+    StatusOr<GeneralizedOssm> generalized = GeneralizedOssm::Build(
+        *db_, build_->map, build_->layout, build_->page_to_segment, 12);
+    ASSERT_TRUE(generalized.ok());
+    generalized_ = new GeneralizedOssm(std::move(*generalized));
+
+    // The reference answer, mined once with no pruner.
+    AprioriConfig reference;
+    reference.min_support_fraction = 0.05;
+    StatusOr<MiningResult> mined = MineApriori(*db_, reference);
+    ASSERT_TRUE(mined.ok());
+    reference_ = new MiningResult(std::move(*mined));
+  }
+
+  static void TearDownTestSuite() {
+    delete reference_;
+    delete generalized_;
+    delete build_;
+    delete db_;
+    reference_ = nullptr;
+    generalized_ = nullptr;
+    build_ = nullptr;
+    db_ = nullptr;
+  }
+
+  static TransactionDatabase* db_;
+  static OssmBuildResult* build_;
+  static GeneralizedOssm* generalized_;
+  static MiningResult* reference_;
+};
+
+TransactionDatabase* MinerPrunerMatrixTest::db_ = nullptr;
+OssmBuildResult* MinerPrunerMatrixTest::build_ = nullptr;
+GeneralizedOssm* MinerPrunerMatrixTest::generalized_ = nullptr;
+MiningResult* MinerPrunerMatrixTest::reference_ = nullptr;
+
+TEST_P(MinerPrunerMatrixTest, EveryCellMinesTheSamePatterns) {
+  auto [miner, pruner_kind] = GetParam();
+
+  OssmPruner ossm_pruner(&build_->map);
+  GeneralizedOssmPruner generalized_pruner(generalized_);
+  const CandidatePruner* pruner = nullptr;
+  switch (pruner_kind) {
+    case PrunerKind::kNone:
+      break;
+    case PrunerKind::kOssm:
+      pruner = &ossm_pruner;
+      break;
+    case PrunerKind::kGeneralized:
+      pruner = &generalized_pruner;
+      break;
+  }
+
+  StatusOr<MiningResult> result = Status::Unimplemented("");
+  switch (miner) {
+    case MinerKind::kApriori: {
+      AprioriConfig config;
+      config.min_support_fraction = 0.05;
+      config.pruner = pruner;
+      result = MineApriori(*db_, config);
+      break;
+    }
+    case MinerKind::kDhp: {
+      DhpConfig config;
+      config.min_support_fraction = 0.05;
+      config.pruner = pruner;
+      result = MineDhp(*db_, config);
+      break;
+    }
+    case MinerKind::kDepthProject: {
+      DepthProjectConfig config;
+      config.min_support_fraction = 0.05;
+      config.pruner = pruner;
+      result = MineDepthProject(*db_, config);
+      break;
+    }
+    case MinerKind::kEclat: {
+      EclatConfig config;
+      config.min_support_fraction = 0.05;
+      config.pruner = pruner;
+      result = MineEclat(*db_, config);
+      break;
+    }
+  }
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->SamePatternsAs(*reference_));
+
+  // With any real pruner on this seasonal data, pruning must engage.
+  if (pruner != nullptr) {
+    EXPECT_GT(result->stats.TotalPrunedByBound(), 0u);
+  }
+}
+
+std::string MatrixName(const testing::TestParamInfo<MatrixParams>& info) {
+  return MinerName(std::get<0>(info.param)) +
+         PrunerName(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCells, MinerPrunerMatrixTest,
+    testing::Combine(testing::Values(MinerKind::kApriori, MinerKind::kDhp,
+                                     MinerKind::kDepthProject,
+                                     MinerKind::kEclat),
+                     testing::Values(PrunerKind::kNone, PrunerKind::kOssm,
+                                     PrunerKind::kGeneralized)),
+    MatrixName);
+
+}  // namespace
+}  // namespace ossm

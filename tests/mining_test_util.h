@@ -1,0 +1,56 @@
+#ifndef OSSM_TESTS_MINING_TEST_UTIL_H_
+#define OSSM_TESTS_MINING_TEST_UTIL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/transaction_database.h"
+#include "mining/mining_result.h"
+
+namespace ossm {
+namespace test {
+
+// Exhaustive reference miner for small domains: enumerates every itemset
+// over at most 16 items and counts it directly. Returns the canonical order
+// that MiningResult::Canonicalize produces.
+inline std::vector<FrequentItemset> BruteForceFrequent(
+    const TransactionDatabase& db, uint64_t min_support) {
+  std::vector<FrequentItemset> result;
+  uint32_t m = db.num_items();
+  if (m > 16) return result;  // guarded by tests
+  for (uint32_t mask = 1; mask < (1u << m); ++mask) {
+    Itemset items;
+    for (uint32_t i = 0; i < m; ++i) {
+      if (mask & (1u << i)) items.push_back(i);
+    }
+    uint64_t support = 0;
+    for (uint64_t t = 0; t < db.num_transactions(); ++t) {
+      if (db.Contains(t, items)) ++support;
+    }
+    if (support >= min_support) result.push_back({items, support});
+  }
+  MiningResult sorter;
+  sorter.itemsets = std::move(result);
+  sorter.Canonicalize();
+  return sorter.itemsets;
+}
+
+// A small hand-rolled database with known frequent sets, used by several
+// miner tests: 8 transactions over 5 items.
+inline TransactionDatabase TinyDb() {
+  TransactionDatabase db(5);
+  EXPECT_TRUE(db.Append({0, 1, 2}).ok());
+  EXPECT_TRUE(db.Append({0, 1}).ok());
+  EXPECT_TRUE(db.Append({0, 1, 3}).ok());
+  EXPECT_TRUE(db.Append({1, 2}).ok());
+  EXPECT_TRUE(db.Append({0, 2}).ok());
+  EXPECT_TRUE(db.Append({0, 1, 2, 4}).ok());
+  EXPECT_TRUE(db.Append({3}).ok());
+  EXPECT_TRUE(db.Append({0, 1, 2}).ok());
+  return db;
+}
+
+}  // namespace test
+}  // namespace ossm
+
+#endif  // OSSM_TESTS_MINING_TEST_UTIL_H_

@@ -1,0 +1,123 @@
+#include "core/ossm_io.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+
+#include "core/ossm_builder.h"
+#include "datagen/quest_generator.h"
+
+namespace ossm {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+SegmentSupportMap SampleMap() {
+  std::vector<Segment> segments(3);
+  segments[0].counts = {1, 2, 3, 4};
+  segments[1].counts = {0, 0, 7, 1};
+  segments[2].counts = {9, 9, 9, 9};
+  return SegmentSupportMap::FromSegments(
+      std::span<const Segment>(segments));
+}
+
+TEST(OssmIoTest, RoundTrip) {
+  SegmentSupportMap map = SampleMap();
+  std::string path = TempPath("map.ossm");
+  ASSERT_TRUE(OssmIo::Save(map, path).ok());
+  StatusOr<SegmentSupportMap> loaded = OssmIo::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(*loaded, map);
+  // Derived totals must be rebuilt on load.
+  EXPECT_EQ(loaded->Support(2), map.Support(2));
+}
+
+TEST(OssmIoTest, RoundTripBuiltFromRealData) {
+  QuestConfig config;
+  config.num_items = 40;
+  config.num_transactions = 1000;
+  config.avg_transaction_size = 5;
+  config.num_patterns = 10;
+  StatusOr<TransactionDatabase> db = GenerateQuest(config);
+  ASSERT_TRUE(db.ok());
+  OssmBuildOptions options;
+  options.algorithm = SegmentationAlgorithm::kRandom;
+  options.target_segments = 7;
+  options.transactions_per_page = 50;
+  StatusOr<OssmBuildResult> build = BuildOssm(*db, options);
+  ASSERT_TRUE(build.ok());
+
+  std::string path = TempPath("real.ossm");
+  ASSERT_TRUE(OssmIo::Save(build->map, path).ok());
+  StatusOr<SegmentSupportMap> loaded = OssmIo::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, build->map);
+
+  // Bounds computed from the reloaded map match bit for bit.
+  Itemset pair = {3, 17};
+  EXPECT_EQ(loaded->UpperBound(pair), build->map.UpperBound(pair));
+}
+
+TEST(OssmIoTest, RejectsWrongMagic) {
+  std::string path = TempPath("bad.ossm");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "DEFINITELY NOT A MAP FILE, JUST BYTES";
+  }
+  EXPECT_EQ(OssmIo::Load(path).status().code(), StatusCode::kCorruption);
+}
+
+TEST(OssmIoTest, DetectsTruncation) {
+  SegmentSupportMap map = SampleMap();
+  std::string path = TempPath("trunc.ossm");
+  ASSERT_TRUE(OssmIo::Save(map, path).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  bytes.resize(bytes.size() / 2);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.close();
+  EXPECT_EQ(OssmIo::Load(path).status().code(), StatusCode::kCorruption);
+}
+
+TEST(OssmIoTest, DetectsBitFlip) {
+  SegmentSupportMap map = SampleMap();
+  std::string path = TempPath("flip.ossm");
+  ASSERT_TRUE(OssmIo::Save(map, path).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  bytes[bytes.size() - 20] ^= 0x01;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.close();
+  EXPECT_EQ(OssmIo::Load(path).status().code(), StatusCode::kCorruption);
+}
+
+TEST(OssmIoTest, MissingFileIsIOError) {
+  EXPECT_EQ(OssmIo::Load("/nonexistent/x.ossm").status().code(),
+            StatusCode::kIOError);
+}
+
+TEST(OssmIoTest, RejectsZeroSegments) {
+  // Handcraft a header with zero segments.
+  std::string path = TempPath("zeroseg.ossm");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "OSSMSM1\n";
+    uint64_t header[2] = {4, 0};
+    out.write(reinterpret_cast<const char*>(header), sizeof(header));
+    uint64_t checksum = 0;
+    out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  }
+  EXPECT_EQ(OssmIo::Load(path).status().code(), StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace ossm

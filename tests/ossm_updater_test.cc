@@ -1,0 +1,214 @@
+#include "core/ossm_updater.h"
+
+#include <gtest/gtest.h>
+
+#include "core/ossm_builder.h"
+#include "datagen/skewed_generator.h"
+#include "mining/apriori.h"
+#include "mining/candidate_pruner.h"
+
+namespace ossm {
+namespace {
+
+SegmentSupportMap TwoSegmentMap() {
+  std::vector<Segment> segments(2);
+  segments[0].counts = {100, 10, 0};  // "item-0 heavy"
+  segments[1].counts = {0, 10, 100};  // "item-2 heavy"
+  return SegmentSupportMap::FromSegments(
+      std::span<const Segment>(segments));
+}
+
+TEST(OssmUpdaterTest, RoundRobinCyclesSegments) {
+  SegmentSupportMap map = TwoSegmentMap();
+  OssmUpdater updater(&map);
+  std::vector<uint64_t> page = {1, 1, 1};
+  StatusOr<uint32_t> s0 = updater.AppendPage(page, AppendPolicy::kRoundRobin);
+  StatusOr<uint32_t> s1 = updater.AppendPage(page, AppendPolicy::kRoundRobin);
+  StatusOr<uint32_t> s2 = updater.AppendPage(page, AppendPolicy::kRoundRobin);
+  ASSERT_TRUE(s0.ok());
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(*s0, 0u);
+  EXPECT_EQ(*s1, 1u);
+  EXPECT_EQ(*s2, 0u);
+}
+
+TEST(OssmUpdaterTest, ClosestFitPicksTheMatchingSegment) {
+  SegmentSupportMap map = TwoSegmentMap();
+  OssmUpdater updater(&map);
+  std::vector<uint64_t> item0_heavy = {50, 5, 0};
+  std::vector<uint64_t> item2_heavy = {0, 5, 50};
+  StatusOr<uint32_t> a =
+      updater.AppendPage(item0_heavy, AppendPolicy::kClosestFit);
+  StatusOr<uint32_t> b =
+      updater.AppendPage(item2_heavy, AppendPolicy::kClosestFit);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, 0u);
+  EXPECT_EQ(*b, 1u);
+}
+
+TEST(OssmUpdaterTest, TotalsStayExactAfterAppends) {
+  SegmentSupportMap map = TwoSegmentMap();
+  OssmUpdater updater(&map);
+  std::vector<uint64_t> page = {7, 3, 2};
+  ASSERT_TRUE(updater.AppendPage(page, AppendPolicy::kClosestFit).ok());
+  EXPECT_EQ(map.Support(0), 107u);
+  EXPECT_EQ(map.Support(1), 23u);
+  EXPECT_EQ(map.Support(2), 102u);
+}
+
+TEST(OssmUpdaterTest, BoundsRemainValidAfterGrowth) {
+  // Build a map over the first half of a collection, append the second
+  // half page by page, and verify the grown map still upper-bounds every
+  // pair support of the full collection (so pruning stays lossless).
+  SkewedConfig gen;
+  gen.num_items = 20;
+  gen.num_transactions = 4000;
+  gen.avg_transaction_size = 4;
+  gen.seed = 3;
+  StatusOr<TransactionDatabase> full = GenerateSkewed(gen);
+  ASSERT_TRUE(full.ok());
+
+  TransactionDatabase first_half(full->num_items());
+  TransactionDatabase second_half(full->num_items());
+  for (uint64_t t = 0; t < full->num_transactions(); ++t) {
+    TransactionDatabase& target =
+        (t < full->num_transactions() / 2) ? first_half : second_half;
+    ASSERT_TRUE(target.Append(full->transaction(t)).ok());
+  }
+
+  OssmBuildOptions build_options;
+  build_options.algorithm = SegmentationAlgorithm::kGreedy;
+  build_options.target_segments = 6;
+  build_options.transactions_per_page = 50;
+  StatusOr<OssmBuildResult> build = BuildOssm(first_half, build_options);
+  ASSERT_TRUE(build.ok());
+  SegmentSupportMap map = build->map;
+
+  StatusOr<PageLayout> layout = MakePageLayout(second_half, 50);
+  ASSERT_TRUE(layout.ok());
+  PageItemCounts pages(second_half, *layout);
+  OssmUpdater updater(&map);
+  StatusOr<std::vector<uint32_t>> assignment =
+      updater.AppendPages(pages, AppendPolicy::kClosestFit);
+  ASSERT_TRUE(assignment.ok());
+  EXPECT_EQ(assignment->size(), pages.num_pages());
+  EXPECT_EQ(map.num_segments(), 6u);  // footprint unchanged
+
+  // Exact singletons over the grown collection.
+  std::vector<uint64_t> supports = full->ComputeItemSupports();
+  for (ItemId i = 0; i < full->num_items(); ++i) {
+    EXPECT_EQ(map.Support(i), supports[i]);
+  }
+  // Valid pair bounds over the grown collection.
+  for (ItemId a = 0; a < full->num_items(); ++a) {
+    for (ItemId b = a + 1; b < full->num_items(); ++b) {
+      Itemset pair = {a, b};
+      uint64_t truth = 0;
+      for (uint64_t t = 0; t < full->num_transactions(); ++t) {
+        if (full->Contains(t, pair)) ++truth;
+      }
+      ASSERT_GE(map.UpperBoundPair(a, b), truth);
+    }
+  }
+}
+
+TEST(OssmUpdaterTest, ClosestFitPreservesContrastThatRoundRobinDestroys) {
+  // Two anti-correlated segments. New pages arrive that match one side or
+  // the other; closest-fit keeps each page with its kind, so the pair bound
+  // stays tight; round-robin smears the two kinds together and loosens it.
+  auto grow = [](AppendPolicy policy) {
+    SegmentSupportMap map = TwoSegmentMap();  // (100,10,0) and (0,10,100)
+    OssmUpdater updater(&map);
+    std::vector<uint64_t> kind0 = {60, 6, 0};
+    std::vector<uint64_t> kind2 = {0, 6, 60};
+    // Arrival order deliberately misaligned with the segment cycle: two of
+    // a kind in a row, so round-robin is forced to split each kind across
+    // both segments.
+    for (int round = 0; round < 4; ++round) {
+      EXPECT_TRUE(updater.AppendPage(kind0, policy).ok());
+      EXPECT_TRUE(updater.AppendPage(kind0, policy).ok());
+      EXPECT_TRUE(updater.AppendPage(kind2, policy).ok());
+      EXPECT_TRUE(updater.AppendPage(kind2, policy).ok());
+    }
+    return map.UpperBoundPair(0, 2);
+  };
+  uint64_t closest_bound = grow(AppendPolicy::kClosestFit);
+  uint64_t round_robin_bound = grow(AppendPolicy::kRoundRobin);
+  // Closest-fit: each segment stays single-kind, so min(item0, item2) is 0
+  // in both segments.
+  EXPECT_EQ(closest_bound, 0u);
+  // Round-robin alternates kinds into both segments, creating overlap.
+  EXPECT_GT(round_robin_bound, 0u);
+}
+
+TEST(OssmUpdaterTest, GrownMapStillPrunesLosslessly) {
+  // Losslessness is unconditional: whatever the append policy and however
+  // far the data drifts, mining with the grown map returns exactly the
+  // patterns mined without it (quality may degrade — the bound only ever
+  // loosens — but correctness never does).
+  SkewedConfig gen;
+  gen.num_items = 30;
+  gen.num_transactions = 4000;
+  gen.avg_transaction_size = 5;
+  gen.in_season_boost = 8.0;
+  gen.seed = 9;
+  StatusOr<TransactionDatabase> full = GenerateSkewed(gen);
+  ASSERT_TRUE(full.ok());
+
+  TransactionDatabase first_half(full->num_items());
+  TransactionDatabase rest(full->num_items());
+  for (uint64_t t = 0; t < full->num_transactions(); ++t) {
+    TransactionDatabase& target =
+        (t < full->num_transactions() / 2) ? first_half : rest;
+    ASSERT_TRUE(target.Append(full->transaction(t)).ok());
+  }
+
+  for (AppendPolicy policy :
+       {AppendPolicy::kRoundRobin, AppendPolicy::kClosestFit}) {
+    OssmBuildOptions build_options;
+    build_options.algorithm = SegmentationAlgorithm::kRc;
+    build_options.target_segments = 8;
+    build_options.transactions_per_page = 50;
+    StatusOr<OssmBuildResult> build = BuildOssm(first_half, build_options);
+    ASSERT_TRUE(build.ok());
+    SegmentSupportMap map = build->map;
+
+    StatusOr<PageLayout> layout = MakePageLayout(rest, 50);
+    ASSERT_TRUE(layout.ok());
+    PageItemCounts pages(rest, *layout);
+    OssmUpdater updater(&map);
+    ASSERT_TRUE(updater.AppendPages(pages, policy).ok());
+
+    OssmPruner pruner(&map);
+    AprioriConfig with;
+    with.min_support_fraction = 0.05;
+    with.pruner = &pruner;
+    AprioriConfig without;
+    without.min_support_fraction = 0.05;
+
+    StatusOr<MiningResult> a = MineApriori(*full, without);
+    StatusOr<MiningResult> b = MineApriori(*full, with);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_TRUE(a->SamePatternsAs(*b));
+  }
+}
+
+TEST(OssmUpdaterTest, RejectsMismatchedDomain) {
+  SegmentSupportMap map = TwoSegmentMap();
+  OssmUpdater updater(&map);
+  std::vector<uint64_t> wrong = {1, 2};
+  EXPECT_EQ(updater.AppendPage(wrong, AppendPolicy::kRoundRobin)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(OssmUpdaterTest, NullMapDies) {
+  EXPECT_DEATH(OssmUpdater(nullptr), "Check failed");
+}
+
+}  // namespace
+}  // namespace ossm

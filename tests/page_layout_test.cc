@@ -1,0 +1,107 @@
+#include "data/page_layout.h"
+
+#include <gtest/gtest.h>
+
+namespace ossm {
+namespace {
+
+TransactionDatabase SmallDb() {
+  TransactionDatabase db(4);
+  // 7 transactions so the last page is short with page size 3.
+  EXPECT_TRUE(db.Append({0, 1}).ok());
+  EXPECT_TRUE(db.Append({1, 2}).ok());
+  EXPECT_TRUE(db.Append({0}).ok());
+  EXPECT_TRUE(db.Append({3}).ok());
+  EXPECT_TRUE(db.Append({0, 3}).ok());
+  EXPECT_TRUE(db.Append({2}).ok());
+  EXPECT_TRUE(db.Append({1, 2, 3}).ok());
+  return db;
+}
+
+TEST(PageLayoutTest, EvenSplit) {
+  TransactionDatabase db = SmallDb();
+  StatusOr<PageLayout> layout = MakePageLayout(db, 3);
+  ASSERT_TRUE(layout.ok());
+  EXPECT_EQ(layout->num_pages(), 3u);
+  EXPECT_EQ(layout->page_size(0), 3u);
+  EXPECT_EQ(layout->page_size(1), 3u);
+  EXPECT_EQ(layout->page_size(2), 1u);  // short tail page
+}
+
+TEST(PageLayoutTest, OneTransactionPerPage) {
+  TransactionDatabase db = SmallDb();
+  StatusOr<PageLayout> layout = MakePageLayout(db, 1);
+  ASSERT_TRUE(layout.ok());
+  EXPECT_EQ(layout->num_pages(), db.num_transactions());
+}
+
+TEST(PageLayoutTest, PageLargerThanDatabase) {
+  TransactionDatabase db = SmallDb();
+  StatusOr<PageLayout> layout = MakePageLayout(db, 100);
+  ASSERT_TRUE(layout.ok());
+  EXPECT_EQ(layout->num_pages(), 1u);
+  EXPECT_EQ(layout->page_size(0), 7u);
+}
+
+TEST(PageLayoutTest, RejectsZeroPageSize) {
+  TransactionDatabase db = SmallDb();
+  EXPECT_EQ(MakePageLayout(db, 0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PageLayoutTest, RejectsEmptyDatabase) {
+  TransactionDatabase db(4);
+  EXPECT_EQ(MakePageLayout(db, 3).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PageItemCountsTest, AggregatesPerPage) {
+  TransactionDatabase db = SmallDb();
+  StatusOr<PageLayout> layout = MakePageLayout(db, 3);
+  ASSERT_TRUE(layout.ok());
+  PageItemCounts counts(db, *layout);
+  ASSERT_EQ(counts.num_pages(), 3u);
+  ASSERT_EQ(counts.num_items(), 4u);
+
+  // Page 0 = {0,1}, {1,2}, {0}: item counts (2, 2, 1, 0).
+  std::span<const uint64_t> page0 = counts.counts(0);
+  EXPECT_EQ(page0[0], 2u);
+  EXPECT_EQ(page0[1], 2u);
+  EXPECT_EQ(page0[2], 1u);
+  EXPECT_EQ(page0[3], 0u);
+
+  // Page 2 = {1,2,3}: counts (0, 1, 1, 1).
+  std::span<const uint64_t> page2 = counts.counts(2);
+  EXPECT_EQ(page2[0], 0u);
+  EXPECT_EQ(page2[1], 1u);
+  EXPECT_EQ(page2[2], 1u);
+  EXPECT_EQ(page2[3], 1u);
+}
+
+TEST(PageItemCountsTest, PageTotalsMatchGlobalSupports) {
+  TransactionDatabase db = SmallDb();
+  StatusOr<PageLayout> layout = MakePageLayout(db, 2);
+  ASSERT_TRUE(layout.ok());
+  PageItemCounts counts(db, *layout);
+
+  std::vector<uint64_t> global = db.ComputeItemSupports();
+  for (uint32_t i = 0; i < db.num_items(); ++i) {
+    uint64_t sum = 0;
+    for (uint64_t p = 0; p < counts.num_pages(); ++p) {
+      sum += counts.counts(p)[i];
+    }
+    EXPECT_EQ(sum, global[i]) << "item " << i;
+  }
+}
+
+TEST(PageItemCountsTest, PageTransactionsMatchLayout) {
+  TransactionDatabase db = SmallDb();
+  StatusOr<PageLayout> layout = MakePageLayout(db, 4);
+  ASSERT_TRUE(layout.ok());
+  PageItemCounts counts(db, *layout);
+  EXPECT_EQ(counts.page_transactions(0), 4u);
+  EXPECT_EQ(counts.page_transactions(1), 3u);
+}
+
+}  // namespace
+}  // namespace ossm

@@ -1,0 +1,213 @@
+// Every worked example in the paper, encoded verbatim as a test.
+
+#include <gtest/gtest.h>
+
+#include "core/configuration.h"
+#include "core/ossub.h"
+#include "core/segment_support_map.h"
+#include "core/theory.h"
+
+namespace ossm {
+namespace {
+
+Segment MakeSegment(std::vector<uint64_t> counts) {
+  Segment seg;
+  seg.counts = std::move(counts);
+  return seg;
+}
+
+// ---- Example 1 (Section 3): the 4-segment OSSM over items a, b, c. ----
+
+class PaperExample1 : public testing::Test {
+ protected:
+  void SetUp() override {
+    std::vector<Segment> segments;
+    segments.push_back(MakeSegment({20, 40, 40}));  // S1
+    segments.push_back(MakeSegment({10, 40, 20}));  // S2
+    segments.push_back(MakeSegment({40, 40, 20}));  // S3
+    segments.push_back(MakeSegment({40, 10, 20}));  // S4
+    map_ = SegmentSupportMap::FromSegments(
+        std::span<const Segment>(segments));
+  }
+  SegmentSupportMap map_;
+};
+
+TEST_F(PaperExample1, TotalsMatchTheLastColumn) {
+  EXPECT_EQ(map_.Support(0), 110u);
+  EXPECT_EQ(map_.Support(1), 130u);
+  EXPECT_EQ(map_.Support(2), 100u);
+}
+
+TEST_F(PaperExample1, BoundForABIs80) {
+  // min(20,40) + min(10,40) + min(40,40) + min(40,10) = 80.
+  Itemset ab = {0, 1};
+  EXPECT_EQ(map_.UpperBound(ab), 80u);
+}
+
+TEST_F(PaperExample1, BoundForABCIs60) {
+  Itemset abc = {0, 1, 2};
+  EXPECT_EQ(map_.UpperBound(abc), 60u);
+}
+
+TEST_F(PaperExample1, WithoutTheOssmTheBoundsAre110And100) {
+  SegmentSupportMap flat = SegmentSupportMap::SingleSegment({110, 130, 100});
+  Itemset ab = {0, 1};
+  Itemset abc = {0, 1, 2};
+  EXPECT_EQ(flat.UpperBound(ab), 110u);
+  EXPECT_EQ(flat.UpperBound(abc), 100u);
+}
+
+TEST_F(PaperExample1, FilteringExample) {
+  // "...when the support threshold is less than 100": with threshold in
+  // (80, 100], {a,b} and {a,b,c} are pruned by the OSSM but survive the
+  // naive min-of-totals test.
+  Itemset ab = {0, 1};
+  Itemset abc = {0, 1, 2};
+  uint64_t threshold = 90;
+  SegmentSupportMap flat = SegmentSupportMap::SingleSegment({110, 130, 100});
+  EXPECT_LT(map_.UpperBound(ab), threshold);
+  EXPECT_LT(map_.UpperBound(abc), threshold);
+  EXPECT_GE(flat.UpperBound(ab), threshold);
+  EXPECT_GE(flat.UpperBound(abc), threshold);
+}
+
+// ---- Example 2 (Section 4.1): six transactions over items a, b. ----
+
+class PaperExample2 : public testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<TransactionDatabase>(2);
+    ASSERT_TRUE(db_->Append({0}).ok());     // t1 {a}
+    ASSERT_TRUE(db_->Append({0, 1}).ok());  // t2 {a,b}
+    ASSERT_TRUE(db_->Append({0}).ok());     // t3 {a}
+    ASSERT_TRUE(db_->Append({0}).ok());     // t4 {a}
+    ASSERT_TRUE(db_->Append({1}).ok());     // t5 {b}
+    ASSERT_TRUE(db_->Append({1}).ok());     // t6 {b}
+  }
+  std::unique_ptr<TransactionDatabase> db_;
+};
+
+TEST_F(PaperExample2, TwoSegmentsSufficeAndAreExact) {
+  // S1' = {t1..t4}: a=4, b=1 (config <a >= b>);
+  // S2' = {t5, t6}: a=0, b=2 (config <b >= a>).
+  std::vector<Segment> segments;
+  segments.push_back(MakeSegment({4, 1}));
+  segments.push_back(MakeSegment({0, 2}));
+  SegmentSupportMap map =
+      SegmentSupportMap::FromSegments(std::span<const Segment>(segments));
+  Itemset ab = {0, 1};
+  // min(4,1) + min(0,2) = 1 — exactly sup({a,b}).
+  EXPECT_EQ(map.UpperBound(ab), 1u);
+}
+
+TEST_F(PaperExample2, MixingConfigurationsLosesExactness) {
+  // "...suppose that the segmentation is done slightly differently — with
+  // one transaction moved across. The resulting upper bound is ... 2, which
+  // is no longer the exact support of {a,b}." Moving the b-only t5 into the
+  // a-dominant segment: S1'' = {t1..t4, t5} (a=4, b=2), S2'' = {t6}
+  // (a=0, b=1): min(4,2) + min(0,1) = 2 > 1.
+  std::vector<Segment> segments;
+  segments.push_back(MakeSegment({4, 2}));
+  segments.push_back(MakeSegment({0, 1}));
+  SegmentSupportMap map =
+      SegmentSupportMap::FromSegments(std::span<const Segment>(segments));
+  Itemset ab = {0, 1};
+  EXPECT_EQ(map.UpperBound(ab), 2u);  // inexact: true support is 1
+}
+
+TEST_F(PaperExample2, MinimumSegmentsIsTwo) {
+  EXPECT_EQ(MinimumSegments(*db_), 2u);
+  EXPECT_EQ(ConfigurationSpaceSize(2), 2u);
+}
+
+TEST_F(PaperExample2, ExactConstructionRecoversThePaperSegmentation) {
+  std::vector<Segment> exact = BuildExactSegments(*db_);
+  ASSERT_EQ(exact.size(), 2u);
+  // One segment holds the four a-dominant transactions, the other the two
+  // b-only ones.
+  std::sort(exact.begin(), exact.end(),
+            [](const Segment& x, const Segment& y) {
+              return x.num_transactions > y.num_transactions;
+            });
+  EXPECT_EQ(exact[0].counts, (std::vector<uint64_t>{4, 1}));
+  EXPECT_EQ(exact[1].counts, (std::vector<uint64_t>{0, 2}));
+}
+
+// ---- Lemma 1 (Section 4.1): merging same-configuration segments. ----
+
+TEST(PaperLemma1, MergePreservesBoundsForSameConfiguration) {
+  Segment s1 = MakeSegment({9, 4});    // <a >= b>
+  Segment s2 = MakeSegment({100, 7});  // <a >= b>
+  Itemset ab = {0, 1};
+
+  std::vector<Segment> separate;
+  separate.push_back(s1);
+  separate.push_back(s2);
+  SegmentSupportMap fine =
+      SegmentSupportMap::FromSegments(std::span<const Segment>(separate));
+
+  Segment merged = s1;
+  MergeSegmentInto(merged, std::move(s2));
+  std::vector<Segment> combined;
+  combined.push_back(std::move(merged));
+  SegmentSupportMap coarse =
+      SegmentSupportMap::FromSegments(std::span<const Segment>(combined));
+
+  EXPECT_EQ(fine.UpperBound(ab), coarse.UpperBound(ab));
+  EXPECT_EQ(fine.UpperBound(ab), 4u + 7u);
+}
+
+// ---- Section 4.2: merging differing configurations can lose accuracy. ----
+
+TEST(PaperSection42, SwappedAdjacentItemsLoseAccuracyUnlessDegenerate) {
+  // S1 with c1 >= c2, S2 with c2' >= c1': min(c1+c1', c2+c2') >=
+  // min(c1,c2) + min(c1',c2'), strict unless c1 == c2 and c1' == c2'.
+  Segment s1 = MakeSegment({5, 3});
+  Segment s2 = MakeSegment({2, 6});
+  EXPECT_GT(PairwiseOssub(s1, s2), 0u);
+
+  Segment t1 = MakeSegment({4, 4});
+  Segment t2 = MakeSegment({6, 6});
+  EXPECT_EQ(PairwiseOssub(t1, t2), 0u);
+}
+
+// ---- Example 3 (Section 5.1): merged configuration can be brand new. ----
+
+TEST(PaperExample3, MergedSegmentHasItsOwnConfiguration) {
+  // S1: sup(a) >= sup(b) >= sup(c); S2: sup(c) >= sup(b) >= sup(a).
+  Segment s1 = MakeSegment({10, 6, 2});
+  Segment s2 = MakeSegment({1, 8, 9});
+  Configuration c1 =
+      Configuration::FromCounts(std::span<const uint64_t>(s1.counts));
+  Configuration c2 =
+      Configuration::FromCounts(std::span<const uint64_t>(s2.counts));
+
+  Segment merged = s1;
+  MergeSegmentInto(merged, std::move(s2));  // (11, 14, 11)
+  Configuration cm =
+      Configuration::FromCounts(std::span<const uint64_t>(merged.counts));
+  // b now leads — an ordering neither input had.
+  EXPECT_EQ(cm.order()[0], 1u);
+  EXPECT_FALSE(cm == c1);
+  EXPECT_FALSE(cm == c2);
+}
+
+// ---- Example 4 (Section 5.1): the combination explosion. ----
+
+TEST(PaperExample4, CombinationCounts) {
+  EXPECT_EQ(CountSegmentations(5, 3), 25u);
+  EXPECT_EQ(CountSegmentations(6, 3), 90u);
+  EXPECT_EQ(CountSegmentations(7, 3), 301u);
+}
+
+// ---- Theorem 1 / Corollary 1 headline numbers. ----
+
+TEST(PaperTheorem1, GeneralCaseBound) {
+  // "2^m - n" possible configurations: 2 items -> 2, 3 -> 5, 20 -> 1048556.
+  EXPECT_EQ(ConfigurationSpaceSize(2), 2u);
+  EXPECT_EQ(ConfigurationSpaceSize(3), 5u);
+  EXPECT_EQ(ConfigurationSpaceSize(20), (uint64_t{1} << 20) - 20);
+}
+
+}  // namespace
+}  // namespace ossm

@@ -1,0 +1,149 @@
+#include "mining/partition.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/quest_generator.h"
+#include "datagen/skewed_generator.h"
+#include "mining/apriori.h"
+#include "tests/mining_test_util.h"
+
+namespace ossm {
+namespace {
+
+TEST(PartitionTest, TinyDatabaseByHand) {
+  TransactionDatabase db = test::TinyDb();
+  PartitionConfig config;
+  config.min_support_fraction = 0.5;  // 4 of 8
+  config.num_partitions = 2;
+  StatusOr<MiningResult> result = MinePartition(db, config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  std::vector<FrequentItemset> expected = {
+      {{0}, 6}, {{1}, 6}, {{2}, 5}, {{0, 1}, 5}, {{0, 2}, 4}, {{1, 2}, 4},
+  };
+  EXPECT_EQ(result->itemsets, expected);
+}
+
+TEST(PartitionTest, MatchesBruteForceAcrossPartitionCounts) {
+  QuestConfig gen;
+  gen.num_items = 12;
+  gen.num_transactions = 600;
+  gen.avg_transaction_size = 4;
+  gen.num_patterns = 5;
+  gen.seed = 21;
+  StatusOr<TransactionDatabase> db = GenerateQuest(gen);
+  ASSERT_TRUE(db.ok());
+  std::vector<FrequentItemset> expected =
+      test::BruteForceFrequent(*db, 30);  // 5% of 600
+
+  for (uint32_t partitions : {1u, 2u, 3u, 7u, 16u}) {
+    PartitionConfig config;
+    config.min_support_fraction = 0.05;
+    config.num_partitions = partitions;
+    StatusOr<MiningResult> result = MinePartition(*db, config);
+    ASSERT_TRUE(result.ok()) << "partitions " << partitions;
+    EXPECT_EQ(result->itemsets, expected) << "partitions " << partitions;
+  }
+}
+
+TEST(PartitionTest, AgreesWithAprioriOnSkewedData) {
+  // Skewed data is the adversarial case for Partition: locally frequent
+  // itemsets abound in their season but are globally rare. Results must
+  // still be identical.
+  SkewedConfig gen;
+  gen.num_items = 30;
+  gen.num_transactions = 2000;
+  gen.avg_transaction_size = 5;
+  gen.seed = 23;
+  StatusOr<TransactionDatabase> db = GenerateSkewed(gen);
+  ASSERT_TRUE(db.ok());
+
+  AprioriConfig apriori_config;
+  apriori_config.min_support_fraction = 0.03;
+  PartitionConfig partition_config;
+  partition_config.min_support_fraction = 0.03;
+  partition_config.num_partitions = 4;
+
+  StatusOr<MiningResult> a = MineApriori(*db, apriori_config);
+  StatusOr<MiningResult> p = MinePartition(*db, partition_config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(a->SamePatternsAs(*p));
+}
+
+TEST(PartitionTest, OssmAssistKeepsResultsAndPrunesGlobals) {
+  SkewedConfig gen;
+  gen.num_items = 40;
+  gen.num_transactions = 3000;
+  gen.avg_transaction_size = 6;
+  gen.seed = 25;
+  StatusOr<TransactionDatabase> db = GenerateSkewed(gen);
+  ASSERT_TRUE(db.ok());
+
+  // Threshold between the in-season fraction (~0.27) and the global one
+  // (~0.15): every seasonal item is locally frequent in its season's
+  // partitions but globally infrequent — the exact singleton bounds of the
+  // concatenated per-partition OSSMs catch all of them.
+  PartitionConfig plain;
+  plain.min_support_fraction = 0.2;
+  plain.num_partitions = 4;
+  PartitionConfig assisted = plain;
+  assisted.use_ossm = true;
+  assisted.ossm_segments_per_partition = 8;
+  assisted.transactions_per_page = 50;
+
+  PartitionRunInfo plain_info;
+  PartitionRunInfo assisted_info;
+  StatusOr<MiningResult> without = MinePartition(*db, plain, &plain_info);
+  StatusOr<MiningResult> with = MinePartition(*db, assisted, &assisted_info);
+  ASSERT_TRUE(without.ok());
+  ASSERT_TRUE(with.ok());
+  EXPECT_TRUE(without->SamePatternsAs(*with));
+
+  // On seasonal data some locally frequent candidates must be globally
+  // hopeless; the global OSSM check should catch at least one.
+  EXPECT_GT(assisted_info.global_candidates, 0u);
+  EXPECT_GT(assisted_info.global_candidates_pruned_by_ossm, 0u);
+  EXPECT_EQ(plain_info.global_candidates_pruned_by_ossm, 0u);
+}
+
+TEST(PartitionTest, SinglePartitionDegeneratesToApriori) {
+  TransactionDatabase db = test::TinyDb();
+  PartitionConfig config;
+  config.min_support_fraction = 0.4;
+  config.num_partitions = 1;
+  AprioriConfig apriori_config;
+  apriori_config.min_support_fraction = 0.4;
+
+  StatusOr<MiningResult> p = MinePartition(db, config);
+  StatusOr<MiningResult> a = MineApriori(db, apriori_config);
+  ASSERT_TRUE(p.ok());
+  ASSERT_TRUE(a.ok());
+  EXPECT_TRUE(p->SamePatternsAs(*a));
+}
+
+TEST(PartitionTest, RejectsZeroPartitions) {
+  TransactionDatabase db = test::TinyDb();
+  PartitionConfig config;
+  config.num_partitions = 0;
+  EXPECT_EQ(MinePartition(db, config).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PartitionTest, RejectsMorePartitionsThanTransactions) {
+  TransactionDatabase db = test::TinyDb();
+  PartitionConfig config;
+  config.num_partitions = 100;
+  EXPECT_EQ(MinePartition(db, config).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PartitionTest, RejectsBadFraction) {
+  TransactionDatabase db = test::TinyDb();
+  PartitionConfig config;
+  config.min_support_fraction = 2.0;
+  EXPECT_EQ(MinePartition(db, config).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace ossm

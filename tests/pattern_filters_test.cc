@@ -1,0 +1,176 @@
+#include "mining/pattern_filters.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/quest_generator.h"
+#include "mining/apriori.h"
+#include "mining/itemset.h"
+#include "tests/mining_test_util.h"
+
+namespace ossm {
+namespace {
+
+// TinyDb frequent itemsets at support 4:
+// {0}:6 {1}:6 {2}:5 {0,1}:5 {0,2}:4 {1,2}:4.
+std::vector<FrequentItemset> TinyFrequent() {
+  return {
+      {{0}, 6}, {{1}, 6}, {{2}, 5}, {{0, 1}, 5}, {{0, 2}, 4}, {{1, 2}, 4},
+  };
+}
+
+TEST(ClosedItemsetsTest, DropsAbsorbedSets) {
+  std::vector<FrequentItemset> closed = ClosedItemsets(TinyFrequent());
+  // {1} (6) has superset {0,1} with support 5 != 6 -> closed.
+  // {2} (5) has supersets at 4 -> closed. {0} (6): superset {0,1} at 5 ->
+  // closed. All 2-sets closed (no 3-set). So everything is closed here.
+  EXPECT_EQ(closed.size(), 6u);
+
+  // Now make {0} absorbed: give {0,1} equal support.
+  std::vector<FrequentItemset> frequent = {
+      {{0}, 5}, {{1}, 6}, {{0, 1}, 5},
+  };
+  closed = ClosedItemsets(frequent);
+  ASSERT_EQ(closed.size(), 2u);
+  EXPECT_EQ(closed[0].items, (Itemset{1}));
+  EXPECT_EQ(closed[1].items, (Itemset{0, 1}));
+}
+
+TEST(ClosedItemsetsTest, SupportsRecoverableFromClosure) {
+  // Lossless property: every frequent itemset's support equals the max
+  // support among its closed supersets.
+  QuestConfig gen;
+  gen.num_items = 12;
+  gen.num_transactions = 400;
+  gen.avg_transaction_size = 5;
+  gen.num_patterns = 5;
+  gen.corruption_mean = 0.2;
+  gen.seed = 7;
+  StatusOr<TransactionDatabase> db = GenerateQuest(gen);
+  ASSERT_TRUE(db.ok());
+  std::vector<FrequentItemset> frequent = test::BruteForceFrequent(*db, 20);
+  std::vector<FrequentItemset> closed = ClosedItemsets(frequent);
+  ASSERT_FALSE(closed.empty());
+  EXPECT_LE(closed.size(), frequent.size());
+
+  for (const FrequentItemset& f : frequent) {
+    uint64_t recovered = 0;
+    for (const FrequentItemset& c : closed) {
+      if (IsSubsetOf(f.items, c.items)) {
+        recovered = std::max(recovered, c.support);
+      }
+    }
+    EXPECT_EQ(recovered, f.support);
+  }
+}
+
+TEST(MaximalItemsetsTest, KeepsOnlyFrontier) {
+  std::vector<FrequentItemset> maximal = MaximalItemsets(TinyFrequent());
+  // All three 2-sets are maximal; no singleton is (each has a frequent
+  // superset).
+  ASSERT_EQ(maximal.size(), 3u);
+  for (const FrequentItemset& m : maximal) {
+    EXPECT_EQ(m.items.size(), 2u);
+  }
+}
+
+TEST(MaximalItemsetsTest, MaximalSubsetOfClosed) {
+  QuestConfig gen;
+  gen.num_items = 12;
+  gen.num_transactions = 400;
+  gen.avg_transaction_size = 5;
+  gen.num_patterns = 5;
+  gen.seed = 9;
+  StatusOr<TransactionDatabase> db = GenerateQuest(gen);
+  ASSERT_TRUE(db.ok());
+  std::vector<FrequentItemset> frequent = test::BruteForceFrequent(*db, 25);
+  std::vector<FrequentItemset> closed = ClosedItemsets(frequent);
+  std::vector<FrequentItemset> maximal = MaximalItemsets(frequent);
+
+  // maximal ⊆ closed ⊆ frequent.
+  EXPECT_LE(maximal.size(), closed.size());
+  for (const FrequentItemset& m : maximal) {
+    bool in_closed = false;
+    for (const FrequentItemset& c : closed) {
+      if (c.items == m.items) in_closed = true;
+    }
+    EXPECT_TRUE(in_closed);
+  }
+  // Every frequent itemset is a subset of some maximal one.
+  for (const FrequentItemset& f : frequent) {
+    bool covered = false;
+    for (const FrequentItemset& m : maximal) {
+      if (IsSubsetOf(f.items, m.items)) covered = true;
+    }
+    EXPECT_TRUE(covered);
+  }
+}
+
+TEST(FilterByConstraintTest, RequiredItems) {
+  ItemConstraint constraint;
+  constraint.required = {0};
+  StatusOr<std::vector<FrequentItemset>> kept =
+      FilterByConstraint(TinyFrequent(), constraint);
+  ASSERT_TRUE(kept.ok());
+  ASSERT_EQ(kept->size(), 3u);  // {0}, {0,1}, {0,2}
+  for (const FrequentItemset& f : *kept) {
+    EXPECT_EQ(f.items[0], 0u);
+  }
+}
+
+TEST(FilterByConstraintTest, ExcludedItems) {
+  ItemConstraint constraint;
+  constraint.excluded = {2};
+  StatusOr<std::vector<FrequentItemset>> kept =
+      FilterByConstraint(TinyFrequent(), constraint);
+  ASSERT_TRUE(kept.ok());
+  EXPECT_EQ(kept->size(), 3u);  // {0}, {1}, {0,1}
+}
+
+TEST(FilterByConstraintTest, SizeWindow) {
+  ItemConstraint constraint;
+  constraint.min_size = 2;
+  constraint.max_size = 2;
+  StatusOr<std::vector<FrequentItemset>> kept =
+      FilterByConstraint(TinyFrequent(), constraint);
+  ASSERT_TRUE(kept.ok());
+  EXPECT_EQ(kept->size(), 3u);
+  for (const FrequentItemset& f : *kept) {
+    EXPECT_EQ(f.items.size(), 2u);
+  }
+}
+
+TEST(FilterByConstraintTest, CombinedConstraints) {
+  ItemConstraint constraint;
+  constraint.required = {1};
+  constraint.excluded = {2};
+  constraint.min_size = 2;
+  StatusOr<std::vector<FrequentItemset>> kept =
+      FilterByConstraint(TinyFrequent(), constraint);
+  ASSERT_TRUE(kept.ok());
+  ASSERT_EQ(kept->size(), 1u);
+  EXPECT_EQ((*kept)[0].items, (Itemset{0, 1}));
+}
+
+TEST(FilterByConstraintTest, RejectsMalformedConstraint) {
+  ItemConstraint bad_required;
+  bad_required.required = {3, 1};  // not increasing
+  EXPECT_EQ(FilterByConstraint(TinyFrequent(), bad_required).status().code(),
+            StatusCode::kInvalidArgument);
+
+  ItemConstraint bad_window;
+  bad_window.min_size = 3;
+  bad_window.max_size = 2;
+  EXPECT_EQ(FilterByConstraint(TinyFrequent(), bad_window).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FilterByConstraintTest, EmptyConstraintKeepsEverything) {
+  ItemConstraint none;
+  StatusOr<std::vector<FrequentItemset>> kept =
+      FilterByConstraint(TinyFrequent(), none);
+  ASSERT_TRUE(kept.ok());
+  EXPECT_EQ(kept->size(), 6u);
+}
+
+}  // namespace
+}  // namespace ossm

@@ -1,0 +1,146 @@
+#include "datagen/quest_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace ossm {
+namespace {
+
+QuestConfig SmallConfig() {
+  QuestConfig config;
+  config.num_items = 100;
+  config.num_transactions = 5000;
+  config.avg_transaction_size = 8.0;
+  config.avg_pattern_size = 3.0;
+  config.num_patterns = 30;
+  config.seed = 7;
+  return config;
+}
+
+TEST(QuestGeneratorTest, ProducesRequestedShape) {
+  StatusOr<TransactionDatabase> db = GenerateQuest(SmallConfig());
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_EQ(db->num_items(), 100u);
+  EXPECT_EQ(db->num_transactions(), 5000u);
+}
+
+TEST(QuestGeneratorTest, TransactionsAreCanonical) {
+  StatusOr<TransactionDatabase> db = GenerateQuest(SmallConfig());
+  ASSERT_TRUE(db.ok());
+  for (uint64_t t = 0; t < db->num_transactions(); ++t) {
+    std::span<const ItemId> txn = db->transaction(t);
+    EXPECT_FALSE(txn.empty());
+    for (size_t i = 1; i < txn.size(); ++i) {
+      EXPECT_LT(txn[i - 1], txn[i]);
+    }
+  }
+}
+
+TEST(QuestGeneratorTest, AverageSizeIsInTheRightBallpark) {
+  StatusOr<TransactionDatabase> db = GenerateQuest(SmallConfig());
+  ASSERT_TRUE(db.ok());
+  double avg = static_cast<double>(db->total_item_occurrences()) /
+               static_cast<double>(db->num_transactions());
+  // Corruption and dedup shrink transactions below the Poisson target, and
+  // the overflow rule can overshoot; just require the right ballpark.
+  EXPECT_GT(avg, 2.0);
+  EXPECT_LT(avg, 16.0);
+}
+
+TEST(QuestGeneratorTest, DeterministicForSameSeed) {
+  StatusOr<TransactionDatabase> a = GenerateQuest(SmallConfig());
+  StatusOr<TransactionDatabase> b = GenerateQuest(SmallConfig());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(QuestGeneratorTest, DifferentSeedsGiveDifferentData) {
+  QuestConfig config = SmallConfig();
+  StatusOr<TransactionDatabase> a = GenerateQuest(config);
+  config.seed = 8;
+  StatusOr<TransactionDatabase> b = GenerateQuest(config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_FALSE(*a == *b);
+}
+
+TEST(QuestGeneratorTest, PatternsInduceCorrelation) {
+  // With few strong patterns, some pairs of items must co-occur far more
+  // often than independence predicts. Compare the max observed pair count
+  // to the expectation under independence.
+  QuestConfig config = SmallConfig();
+  config.num_patterns = 5;
+  config.corruption_mean = 0.1;
+  StatusOr<TransactionDatabase> db = GenerateQuest(config);
+  ASSERT_TRUE(db.ok());
+
+  std::vector<uint64_t> supports = db->ComputeItemSupports();
+  std::vector<std::vector<uint64_t>> pair_counts(
+      config.num_items, std::vector<uint64_t>(config.num_items, 0));
+  for (uint64_t t = 0; t < db->num_transactions(); ++t) {
+    std::span<const ItemId> txn = db->transaction(t);
+    for (size_t i = 0; i < txn.size(); ++i) {
+      for (size_t j = i + 1; j < txn.size(); ++j) {
+        ++pair_counts[txn[i]][txn[j]];
+      }
+    }
+  }
+  double n = static_cast<double>(db->num_transactions());
+  double max_lift = 0.0;
+  for (uint32_t i = 0; i < config.num_items; ++i) {
+    for (uint32_t j = i + 1; j < config.num_items; ++j) {
+      if (supports[i] < 50 || supports[j] < 50) continue;
+      double expected = supports[i] * supports[j] / n;
+      if (expected < 5.0) continue;
+      max_lift = std::max(max_lift, pair_counts[i][j] / expected);
+    }
+  }
+  EXPECT_GT(max_lift, 3.0);
+}
+
+TEST(QuestGeneratorTest, RejectsZeroItems) {
+  QuestConfig config = SmallConfig();
+  config.num_items = 0;
+  EXPECT_EQ(GenerateQuest(config).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(QuestGeneratorTest, RejectsZeroTransactions) {
+  QuestConfig config = SmallConfig();
+  config.num_transactions = 0;
+  EXPECT_EQ(GenerateQuest(config).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(QuestGeneratorTest, RejectsOversizedTransactionMean) {
+  QuestConfig config = SmallConfig();
+  config.avg_transaction_size = 1000.0;  // > num_items
+  EXPECT_EQ(GenerateQuest(config).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(QuestGeneratorTest, RejectsBadCorrelation) {
+  QuestConfig config = SmallConfig();
+  config.correlation = 1.5;
+  EXPECT_EQ(GenerateQuest(config).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(QuestGeneratorTest, RejectsBadCorruption) {
+  QuestConfig config = SmallConfig();
+  config.corruption_mean = -0.2;
+  EXPECT_EQ(GenerateQuest(config).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(QuestGeneratorTest, RejectsZeroPatterns) {
+  QuestConfig config = SmallConfig();
+  config.num_patterns = 0;
+  EXPECT_EQ(GenerateQuest(config).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace ossm

@@ -1,0 +1,122 @@
+#include "core/random_segmentation.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/segmentation_test_util.h"
+
+namespace ossm {
+namespace {
+
+TEST(RandomSegmentationTest, ReachesTargetCount) {
+  RandomSegmenter segmenter;
+  SegmentationOptions options;
+  options.target_segments = 5;
+  SegmentationStats stats;
+  StatusOr<std::vector<Segment>> result =
+      segmenter.Run(test::RandomSegments(1, 40, 8), options, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 5u);
+  EXPECT_EQ(stats.ossub_evaluations, 0u);  // Random never evaluates ossub
+}
+
+TEST(RandomSegmentationTest, PreservesTotalCountsAndPages) {
+  std::vector<Segment> input = test::RandomSegments(2, 30, 6);
+  std::vector<uint64_t> totals_before = test::TotalCounts(input);
+
+  RandomSegmenter segmenter;
+  SegmentationOptions options;
+  options.target_segments = 4;
+  StatusOr<std::vector<Segment>> result =
+      segmenter.Run(std::move(input), options, nullptr);
+  ASSERT_TRUE(result.ok());
+
+  EXPECT_EQ(test::TotalCounts(*result), totals_before);
+  std::vector<uint32_t> pages = test::CollectPages(*result);
+  ASSERT_EQ(pages.size(), 30u);
+  for (uint32_t p = 0; p < 30; ++p) EXPECT_EQ(pages[p], p);
+}
+
+TEST(RandomSegmentationTest, NoEmptySegments) {
+  RandomSegmenter segmenter;
+  SegmentationOptions options;
+  options.target_segments = 7;
+  StatusOr<std::vector<Segment>> result =
+      segmenter.Run(test::RandomSegments(3, 9, 4), options, nullptr);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 7u);
+  for (const Segment& seg : *result) {
+    EXPECT_FALSE(seg.pages.empty());
+  }
+}
+
+TEST(RandomSegmentationTest, NoOpWhenAlreadySmallEnough) {
+  RandomSegmenter segmenter;
+  SegmentationOptions options;
+  options.target_segments = 50;
+  StatusOr<std::vector<Segment>> result =
+      segmenter.Run(test::RandomSegments(4, 10, 4), options, nullptr);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 10u);
+}
+
+TEST(RandomSegmentationTest, DeterministicForSeed) {
+  RandomSegmenter segmenter;
+  SegmentationOptions options;
+  options.target_segments = 3;
+  options.seed = 42;
+  StatusOr<std::vector<Segment>> a =
+      segmenter.Run(test::RandomSegments(5, 20, 5), options, nullptr);
+  StatusOr<std::vector<Segment>> b =
+      segmenter.Run(test::RandomSegments(5, 20, 5), options, nullptr);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t s = 0; s < a->size(); ++s) {
+    EXPECT_EQ((*a)[s].counts, (*b)[s].counts);
+  }
+}
+
+TEST(RandomSegmentationTest, SeedChangesThePartition) {
+  RandomSegmenter segmenter;
+  SegmentationOptions options;
+  options.target_segments = 3;
+  options.seed = 1;
+  StatusOr<std::vector<Segment>> a =
+      segmenter.Run(test::RandomSegments(6, 20, 5), options, nullptr);
+  options.seed = 2;
+  StatusOr<std::vector<Segment>> b =
+      segmenter.Run(test::RandomSegments(6, 20, 5), options, nullptr);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  bool any_difference = false;
+  for (size_t s = 0; s < a->size(); ++s) {
+    if ((*a)[s].counts != (*b)[s].counts) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(RandomSegmentationTest, RejectsZeroTarget) {
+  RandomSegmenter segmenter;
+  SegmentationOptions options;
+  options.target_segments = 0;
+  EXPECT_EQ(segmenter
+                .Run(test::RandomSegments(7, 5, 3), options, nullptr)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RandomSegmentationTest, RejectsEmptyInput) {
+  RandomSegmenter segmenter;
+  SegmentationOptions options;
+  EXPECT_EQ(segmenter.Run({}, options, nullptr).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RandomSegmentationTest, Name) {
+  RandomSegmenter segmenter;
+  EXPECT_EQ(segmenter.name(), "Random");
+}
+
+}  // namespace
+}  // namespace ossm

@@ -1,0 +1,174 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace ossm {
+namespace {
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, UniformIntStaysInBounds) {
+  Rng rng(7);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, (1ULL << 40)}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.UniformInt(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, UniformIntIsRoughlyUniform) {
+  Rng rng(99);
+  constexpr uint64_t kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> histogram(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    ++histogram[rng.UniformInt(kBuckets)];
+  }
+  for (int count : histogram) {
+    EXPECT_NEAR(count, kDraws / kBuckets, 600);  // ~6 sigma
+  }
+}
+
+TEST(RngTest, UniformIntRangeInclusive) {
+  Rng rng(5);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformIntRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformDoubleInHalfOpenUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.UniformDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(17);
+  int hits = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / static_cast<double>(kDraws), 0.3, 0.01);
+}
+
+TEST(RngTest, PoissonMeanAndVariance) {
+  Rng rng(23);
+  for (double mean : {0.5, 4.0, 10.0, 80.0}) {
+    constexpr int kDraws = 20000;
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (int i = 0; i < kDraws; ++i) {
+      double v = static_cast<double>(rng.Poisson(mean));
+      sum += v;
+      sum_sq += v * v;
+    }
+    double sample_mean = sum / kDraws;
+    double sample_var = sum_sq / kDraws - sample_mean * sample_mean;
+    EXPECT_NEAR(sample_mean, mean, 5 * std::sqrt(mean / kDraws) + 0.5)
+        << "mean " << mean;
+    EXPECT_NEAR(sample_var, mean, 0.15 * mean + 0.5) << "mean " << mean;
+  }
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(29);
+  constexpr int kDraws = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    double v = rng.Exponential(2.5);
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / kDraws, 2.5, 0.1);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(31);
+  constexpr int kDraws = 50000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    double v = rng.Gaussian(10.0, 2.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  double mean = sum / kDraws;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(sum_sq / kDraws - mean * mean, 4.0, 0.2);
+}
+
+TEST(RngTest, ShuffleIsAPermutation) {
+  Rng rng(37);
+  std::vector<int> values(100);
+  std::iota(values.begin(), values.end(), 0);
+  rng.Shuffle(values);
+  std::vector<int> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(RngTest, ShuffleActuallyMoves) {
+  Rng rng(41);
+  std::vector<int> values(100);
+  std::iota(values.begin(), values.end(), 0);
+  rng.Shuffle(values);
+  int fixed_points = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (values[i] == i) ++fixed_points;
+  }
+  EXPECT_LT(fixed_points, 15);
+}
+
+TEST(RngTest, ForkedStreamsDiffer) {
+  Rng parent(43);
+  Rng child = parent.Fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.Next() == child.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+}  // namespace
+}  // namespace ossm

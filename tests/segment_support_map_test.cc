@@ -1,0 +1,114 @@
+#include "core/segment_support_map.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ossm {
+namespace {
+
+Segment MakeSegment(std::vector<uint64_t> counts) {
+  Segment seg;
+  seg.counts = std::move(counts);
+  seg.num_transactions = 0;
+  return seg;
+}
+
+// The OSSM of Example 1 in the paper: 4 segments, items a=0, b=1, c=2.
+SegmentSupportMap PaperExample1() {
+  std::vector<Segment> segments;
+  segments.push_back(MakeSegment({20, 40, 40}));
+  segments.push_back(MakeSegment({10, 40, 20}));
+  segments.push_back(MakeSegment({40, 40, 20}));
+  segments.push_back(MakeSegment({40, 10, 20}));
+  return SegmentSupportMap::FromSegments(segments);
+}
+
+TEST(SegmentSupportMapTest, DimensionsAndRows) {
+  SegmentSupportMap map = PaperExample1();
+  EXPECT_EQ(map.num_items(), 3u);
+  EXPECT_EQ(map.num_segments(), 4u);
+  std::span<const uint64_t> row_a = map.item_row(0);
+  ASSERT_EQ(row_a.size(), 4u);
+  EXPECT_EQ(row_a[0], 20u);
+  EXPECT_EQ(row_a[1], 10u);
+  EXPECT_EQ(row_a[2], 40u);
+  EXPECT_EQ(row_a[3], 40u);
+}
+
+TEST(SegmentSupportMapTest, SingletonSupportsAreRowSums) {
+  SegmentSupportMap map = PaperExample1();
+  EXPECT_EQ(map.Support(0), 110u);  // a
+  EXPECT_EQ(map.Support(1), 130u);  // b
+  EXPECT_EQ(map.Support(2), 100u);  // c
+}
+
+TEST(SegmentSupportMapTest, PaperExample1PairBound) {
+  // sup_hat({a,b}) = min(20,40)+min(10,40)+min(40,40)+min(40,10) = 80.
+  SegmentSupportMap map = PaperExample1();
+  EXPECT_EQ(map.UpperBoundPair(0, 1), 80u);
+  Itemset ab = {0, 1};
+  EXPECT_EQ(map.UpperBound(ab), 80u);
+}
+
+TEST(SegmentSupportMapTest, PaperExample1TripleBound) {
+  // sup_hat({a,b,c}) = 20 + 10 + 20 + 10 = 60.
+  SegmentSupportMap map = PaperExample1();
+  Itemset abc = {0, 1, 2};
+  EXPECT_EQ(map.UpperBound(abc), 60u);
+}
+
+TEST(SegmentSupportMapTest, SingleSegmentCollapsesToGlobalMin) {
+  // Without segmentation the bound is min of the global supports: 110 for
+  // {a,b}, 100 for {a,b,c} — the "last column" comparison in Example 1.
+  SegmentSupportMap map = SegmentSupportMap::SingleSegment({110, 130, 100});
+  EXPECT_EQ(map.UpperBoundPair(0, 1), 110u);
+  Itemset abc = {0, 1, 2};
+  EXPECT_EQ(map.UpperBound(abc), 100u);
+  EXPECT_EQ(map.num_segments(), 1u);
+}
+
+TEST(SegmentSupportMapTest, MoreSegmentsNeverLoosenTheBound) {
+  SegmentSupportMap fine = PaperExample1();
+  SegmentSupportMap coarse = SegmentSupportMap::SingleSegment(
+      {fine.Support(0), fine.Support(1), fine.Support(2)});
+  for (ItemId a = 0; a < 3; ++a) {
+    for (ItemId b = a + 1; b < 3; ++b) {
+      EXPECT_LE(fine.UpperBoundPair(a, b), coarse.UpperBoundPair(a, b));
+    }
+  }
+}
+
+TEST(SegmentSupportMapTest, PairBoundIsSymmetric) {
+  SegmentSupportMap map = PaperExample1();
+  EXPECT_EQ(map.UpperBoundPair(0, 2), map.UpperBoundPair(2, 0));
+  EXPECT_EQ(map.UpperBoundPair(1, 2), map.UpperBoundPair(2, 1));
+}
+
+TEST(SegmentSupportMapTest, MemoryFootprint) {
+  SegmentSupportMap map = PaperExample1();
+  EXPECT_EQ(map.MemoryFootprintBytes(), 3u * 4u * sizeof(uint64_t));
+}
+
+TEST(SegmentSupportMapTest, EqualityOperator) {
+  EXPECT_EQ(PaperExample1(), PaperExample1());
+  SegmentSupportMap other = SegmentSupportMap::SingleSegment({1, 2, 3});
+  EXPECT_FALSE(PaperExample1() == other);
+}
+
+TEST(SegmentSupportMapTest, ZeroCountShortCircuit) {
+  std::vector<Segment> segments;
+  segments.push_back(MakeSegment({0, 100, 100}));
+  segments.push_back(MakeSegment({100, 0, 100}));
+  SegmentSupportMap map = SegmentSupportMap::FromSegments(segments);
+  Itemset abc = {0, 1, 2};
+  EXPECT_EQ(map.UpperBound(abc), 0u);
+}
+
+TEST(SegmentSupportMapTest, EmptySegmentListDies) {
+  std::vector<Segment> none;
+  EXPECT_DEATH(SegmentSupportMap::FromSegments(none), "Check failed");
+}
+
+}  // namespace
+}  // namespace ossm

@@ -1,0 +1,71 @@
+#include "core/segment.h"
+
+#include <gtest/gtest.h>
+
+namespace ossm {
+namespace {
+
+Segment MakeSegment(std::vector<uint64_t> counts, uint64_t transactions,
+                    std::vector<uint32_t> pages) {
+  Segment seg;
+  seg.counts = std::move(counts);
+  seg.num_transactions = transactions;
+  seg.pages = std::move(pages);
+  return seg;
+}
+
+TEST(SegmentTest, MergeAddsCountsAndConcatenatesPages) {
+  Segment a = MakeSegment({1, 2, 3}, 5, {0});
+  Segment b = MakeSegment({10, 0, 1}, 7, {3, 4});
+  MergeSegmentInto(a, std::move(b));
+  EXPECT_EQ(a.counts, (std::vector<uint64_t>{11, 2, 4}));
+  EXPECT_EQ(a.num_transactions, 12u);
+  EXPECT_EQ(a.pages, (std::vector<uint32_t>{0, 3, 4}));
+}
+
+TEST(SegmentTest, MergeLeavesSourceEmpty) {
+  Segment a = MakeSegment({1}, 1, {0});
+  Segment b = MakeSegment({2}, 2, {1});
+  MergeSegmentInto(a, std::move(b));
+  EXPECT_TRUE(b.counts.empty());
+  EXPECT_TRUE(b.pages.empty());
+  EXPECT_EQ(b.num_transactions, 0u);
+}
+
+TEST(SegmentTest, MergeMismatchedDomainsDies) {
+  Segment a = MakeSegment({1, 2}, 1, {0});
+  Segment b = MakeSegment({1}, 1, {1});
+  EXPECT_DEATH(MergeSegmentInto(a, std::move(b)), "Check failed");
+}
+
+TEST(SegmentTest, SegmentsFromPages) {
+  TransactionDatabase db(3);
+  ASSERT_TRUE(db.Append({0, 1}).ok());
+  ASSERT_TRUE(db.Append({1}).ok());
+  ASSERT_TRUE(db.Append({2}).ok());
+  StatusOr<PageLayout> layout = MakePageLayout(db, 2);
+  ASSERT_TRUE(layout.ok());
+  PageItemCounts counts(db, *layout);
+
+  std::vector<Segment> segments = SegmentsFromPages(counts);
+  ASSERT_EQ(segments.size(), 2u);
+  EXPECT_EQ(segments[0].counts, (std::vector<uint64_t>{1, 2, 0}));
+  EXPECT_EQ(segments[0].num_transactions, 2u);
+  EXPECT_EQ(segments[0].pages, (std::vector<uint32_t>{0}));
+  EXPECT_EQ(segments[1].counts, (std::vector<uint64_t>{0, 0, 1}));
+  EXPECT_EQ(segments[1].num_transactions, 1u);
+}
+
+TEST(SegmentTest, SegmentsFromTransactions) {
+  TransactionDatabase db(3);
+  ASSERT_TRUE(db.Append({0, 2}).ok());
+  ASSERT_TRUE(db.Append({}).ok());
+  std::vector<Segment> segments = SegmentsFromTransactions(db);
+  ASSERT_EQ(segments.size(), 2u);
+  EXPECT_EQ(segments[0].counts, (std::vector<uint64_t>{1, 0, 1}));
+  EXPECT_EQ(segments[1].counts, (std::vector<uint64_t>{0, 0, 0}));
+  EXPECT_EQ(segments[0].num_transactions, 1u);
+}
+
+}  // namespace
+}  // namespace ossm

@@ -1,0 +1,80 @@
+#ifndef OSSM_TESTS_SEGMENTATION_TEST_UTIL_H_
+#define OSSM_TESTS_SEGMENTATION_TEST_UTIL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "core/ossub.h"
+#include "core/segment.h"
+
+namespace ossm {
+namespace test {
+
+// Random page-like segments over `num_items` items.
+inline std::vector<Segment> RandomSegments(uint64_t seed, size_t count,
+                                           uint32_t num_items,
+                                           uint64_t max_count = 50) {
+  Rng rng(seed);
+  std::vector<Segment> segments(count);
+  for (size_t s = 0; s < count; ++s) {
+    segments[s].counts.resize(num_items);
+    for (auto& c : segments[s].counts) c = rng.UniformInt(max_count + 1);
+    segments[s].num_transactions = 1 + rng.UniformInt(20);
+    segments[s].pages.push_back(static_cast<uint32_t>(s));
+  }
+  return segments;
+}
+
+// Sum of per-item counts across segments — invariant under any merging.
+inline std::vector<uint64_t> TotalCounts(const std::vector<Segment>& segs) {
+  std::vector<uint64_t> totals(segs.empty() ? 0 : segs[0].counts.size(), 0);
+  for (const Segment& seg : segs) {
+    for (size_t i = 0; i < seg.counts.size(); ++i) totals[i] += seg.counts[i];
+  }
+  return totals;
+}
+
+// All input pages must appear exactly once across the output segments.
+inline std::vector<uint32_t> CollectPages(const std::vector<Segment>& segs) {
+  std::vector<uint32_t> pages;
+  for (const Segment& seg : segs) {
+    pages.insert(pages.end(), seg.pages.begin(), seg.pages.end());
+  }
+  std::sort(pages.begin(), pages.end());
+  return pages;
+}
+
+// Total pairwise ossub between the final segments (a diversity measure;
+// used by tests that only need "some loss remains / none remains").
+inline uint64_t TotalPairwiseOssub(const std::vector<Segment>& segs) {
+  uint64_t total = 0;
+  for (size_t a = 0; a < segs.size(); ++a) {
+    for (size_t b = a + 1; b < segs.size(); ++b) {
+      total += PairwiseOssub(segs[a], segs[b]);
+    }
+  }
+  return total;
+}
+
+// The objective the constrained segmentation problem actually minimizes:
+// the sum over item pairs of the segmentation's pair bound,
+// sum_{x<y} sum_s min(c_s(x), c_s(y)). Merging segments a and b increases
+// this by exactly PairwiseOssub(a, b), so a segmenter's accumulated loss is
+// TotalPairBound(final) - TotalPairBound(initial). Lower = tighter map.
+inline uint64_t TotalPairBound(const std::vector<Segment>& segs) {
+  uint64_t total = 0;
+  for (const Segment& seg : segs) {
+    for (size_t x = 0; x < seg.counts.size(); ++x) {
+      for (size_t y = x + 1; y < seg.counts.size(); ++y) {
+        total += std::min(seg.counts[x], seg.counts[y]);
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace test
+}  // namespace ossm
+
+#endif  // OSSM_TESTS_SEGMENTATION_TEST_UTIL_H_

@@ -1,0 +1,107 @@
+#include "datagen/skewed_generator.h"
+
+#include <gtest/gtest.h>
+
+namespace ossm {
+namespace {
+
+SkewedConfig SmallConfig() {
+  SkewedConfig config;
+  config.num_items = 40;
+  config.num_transactions = 8000;
+  config.avg_transaction_size = 6.0;
+  config.num_seasons = 2;
+  config.in_season_boost = 8.0;
+  config.seed = 3;
+  return config;
+}
+
+TEST(SkewedGeneratorTest, ProducesRequestedShape) {
+  StatusOr<TransactionDatabase> db = GenerateSkewed(SmallConfig());
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_EQ(db->num_items(), 40u);
+  EXPECT_EQ(db->num_transactions(), 8000u);
+}
+
+TEST(SkewedGeneratorTest, Deterministic) {
+  StatusOr<TransactionDatabase> a = GenerateSkewed(SmallConfig());
+  StatusOr<TransactionDatabase> b = GenerateSkewed(SmallConfig());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(SkewedGeneratorTest, SeasonalItemsConcentrateInTheirHalf) {
+  SkewedConfig config = SmallConfig();
+  StatusOr<TransactionDatabase> db = GenerateSkewed(config);
+  ASSERT_TRUE(db.ok());
+
+  uint64_t half = db->num_transactions() / 2;
+  std::vector<uint64_t> first_half(config.num_items, 0);
+  std::vector<uint64_t> second_half(config.num_items, 0);
+  for (uint64_t t = 0; t < db->num_transactions(); ++t) {
+    auto& counts = (t < half) ? first_half : second_half;
+    for (ItemId item : db->transaction(t)) ++counts[item];
+  }
+
+  // Season-0 items (even ids) should dominate the first half and season-1
+  // items (odd ids) the second half.
+  for (uint32_t i = 0; i < config.num_items; ++i) {
+    uint64_t in_season = (i % 2 == 0) ? first_half[i] : second_half[i];
+    uint64_t out_season = (i % 2 == 0) ? second_half[i] : first_half[i];
+    EXPECT_GT(in_season, 2 * out_season) << "item " << i;
+  }
+}
+
+TEST(SkewedGeneratorTest, NoSkewWithUnitBoost) {
+  SkewedConfig config = SmallConfig();
+  config.in_season_boost = 1.0;
+  StatusOr<TransactionDatabase> db = GenerateSkewed(config);
+  ASSERT_TRUE(db.ok());
+
+  uint64_t half = db->num_transactions() / 2;
+  std::vector<uint64_t> first_half(config.num_items, 0);
+  std::vector<uint64_t> second_half(config.num_items, 0);
+  for (uint64_t t = 0; t < db->num_transactions(); ++t) {
+    auto& counts = (t < half) ? first_half : second_half;
+    for (ItemId item : db->transaction(t)) ++counts[item];
+  }
+  for (uint32_t i = 0; i < config.num_items; ++i) {
+    double total = static_cast<double>(first_half[i] + second_half[i]);
+    if (total < 100) continue;
+    double ratio = first_half[i] / total;
+    EXPECT_NEAR(ratio, 0.5, 0.15) << "item " << i;
+  }
+}
+
+TEST(SkewedGeneratorTest, SupportsManySeasons) {
+  SkewedConfig config = SmallConfig();
+  config.num_seasons = 4;
+  StatusOr<TransactionDatabase> db = GenerateSkewed(config);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->num_transactions(), config.num_transactions);
+}
+
+TEST(SkewedGeneratorTest, RejectsBadBoost) {
+  SkewedConfig config = SmallConfig();
+  config.in_season_boost = 0.5;
+  EXPECT_EQ(GenerateSkewed(config).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SkewedGeneratorTest, RejectsZeroSeasons) {
+  SkewedConfig config = SmallConfig();
+  config.num_seasons = 0;
+  EXPECT_EQ(GenerateSkewed(config).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SkewedGeneratorTest, RejectsMoreSeasonsThanItems) {
+  SkewedConfig config = SmallConfig();
+  config.num_seasons = config.num_items + 1;
+  EXPECT_EQ(GenerateSkewed(config).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace ossm

@@ -1,0 +1,97 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace ossm {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(StatusTest, EveryCodeHasDistinctName) {
+  std::vector<StatusCode> codes = {
+      StatusCode::kOk,           StatusCode::kInvalidArgument,
+      StatusCode::kNotFound,     StatusCode::kCorruption,
+      StatusCode::kIOError,      StatusCode::kFailedPrecondition,
+      StatusCode::kOutOfRange,   StatusCode::kUnimplemented,
+      StatusCode::kInternal,
+  };
+  std::vector<std::string> names;
+  for (StatusCode c : codes) {
+    names.emplace_back(StatusCodeToString(c));
+  }
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::unique(names.begin(), names.end()), names.end());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Corruption("x"));
+  EXPECT_EQ(Status::OK(), Status());
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> result(Status::IOError("disk on fire"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+}
+
+TEST(StatusOrTest, WorksWithNonDefaultConstructibleTypes) {
+  struct NoDefault {
+    explicit NoDefault(int v) : value(v) {}
+    int value;
+  };
+  StatusOr<NoDefault> ok_result(NoDefault(7));
+  ASSERT_TRUE(ok_result.ok());
+  EXPECT_EQ(ok_result->value, 7);
+
+  StatusOr<NoDefault> err_result(Status::Internal("nope"));
+  EXPECT_FALSE(err_result.ok());
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::vector<int>> result(std::vector<int>{1, 2, 3});
+  std::vector<int> v = std::move(result).value();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+Status FailsMidway(bool fail) {
+  OSSM_RETURN_IF_ERROR(fail ? Status::OutOfRange("boom") : Status::OK());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(FailsMidway(false).ok());
+  EXPECT_EQ(FailsMidway(true).code(), StatusCode::kOutOfRange);
+}
+
+TEST(StatusTest, CheckDeathOnErroredValueAccess) {
+  StatusOr<int> result(Status::NotFound("missing"));
+  EXPECT_DEATH(result.value(), "value\\(\\) on errored StatusOr");
+}
+
+}  // namespace
+}  // namespace ossm

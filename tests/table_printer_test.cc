@@ -1,0 +1,69 @@
+#include "common/table_printer.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ossm {
+namespace {
+
+TEST(TablePrinterTest, PrintsHeaderRuleAndRows) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"b", "22"});
+  std::ostringstream out;
+  table.Print(out);
+  std::string text = out.str();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("---"), std::string::npos);
+  // Four lines: header, rule, two rows.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+}
+
+TEST(TablePrinterTest, ColumnsAreAligned) {
+  TablePrinter table({"algorithm", "t"});
+  table.AddRow({"RC", "1"});
+  table.AddRow({"Random-Greedy", "2"});
+  std::ostringstream out;
+  table.Print(out);
+  std::istringstream lines(out.str());
+  std::string header;
+  std::string rule;
+  std::string row1;
+  std::string row2;
+  std::getline(lines, header);
+  std::getline(lines, rule);
+  std::getline(lines, row1);
+  std::getline(lines, row2);
+  // The second column starts at the same offset in each data row.
+  EXPECT_EQ(row1.find_last_of('1'), row2.find_last_of('2'));
+}
+
+TEST(TablePrinterTest, FormatDouble) {
+  EXPECT_EQ(TablePrinter::FormatDouble(1.23456, 2), "1.23");
+  EXPECT_EQ(TablePrinter::FormatDouble(0.5, 3), "0.500");
+  EXPECT_EQ(TablePrinter::FormatDouble(-2.0, 1), "-2.0");
+}
+
+TEST(TablePrinterTest, FormatCount) {
+  EXPECT_EQ(TablePrinter::FormatCount(0), "0");
+  EXPECT_EQ(TablePrinter::FormatCount(123456789), "123456789");
+  EXPECT_EQ(TablePrinter::FormatCount(UINT64_MAX), "18446744073709551615");
+}
+
+TEST(TablePrinterTest, MismatchedRowWidthDies) {
+  TablePrinter table({"a", "b"});
+  EXPECT_DEATH(table.AddRow({"only-one"}), "Check failed");
+}
+
+TEST(TablePrinterTest, NumRows) {
+  TablePrinter table({"x"});
+  EXPECT_EQ(table.num_rows(), 0u);
+  table.AddRow({"1"});
+  table.AddRow({"2"});
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+}  // namespace
+}  // namespace ossm

@@ -1,0 +1,193 @@
+#include "core/theory.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "core/segment_support_map.h"
+#include "datagen/quest_generator.h"
+
+namespace ossm {
+namespace {
+
+// Enumerates every non-empty itemset over a small domain and checks the
+// OSSM's bound against the true support.
+void ExpectExactForAllItemsets(const TransactionDatabase& db,
+                               const SegmentSupportMap& map) {
+  uint32_t m = db.num_items();
+  ASSERT_LE(m, 12u);
+  for (uint32_t mask = 1; mask < (1u << m); ++mask) {
+    Itemset items;
+    for (uint32_t i = 0; i < m; ++i) {
+      if (mask & (1u << i)) items.push_back(i);
+    }
+    uint64_t actual = 0;
+    for (uint64_t t = 0; t < db.num_transactions(); ++t) {
+      if (db.Contains(t, items)) ++actual;
+    }
+    EXPECT_EQ(map.UpperBound(items), actual)
+        << "itemset mask " << mask << " should be exact";
+  }
+}
+
+TEST(TheoryTest, ConfigurationSpaceSizeSmallCases) {
+  EXPECT_EQ(ConfigurationSpaceSize(0), 0u);
+  EXPECT_EQ(ConfigurationSpaceSize(1), 1u);   // 2^1 - 1
+  EXPECT_EQ(ConfigurationSpaceSize(2), 2u);   // 2^2 - 2
+  EXPECT_EQ(ConfigurationSpaceSize(3), 5u);   // 2^3 - 3
+  EXPECT_EQ(ConfigurationSpaceSize(10), 1014u);
+}
+
+TEST(TheoryTest, ConfigurationSpaceSizeSaturates) {
+  EXPECT_EQ(ConfigurationSpaceSize(64), UINT64_MAX);
+  EXPECT_EQ(ConfigurationSpaceSize(200), UINT64_MAX);
+}
+
+TEST(TheoryTest, PaperExample2MinimumIsTwo) {
+  // Example 2: six transactions over items a=0, b=1; the minimum number of
+  // segments for exactness is 2 (configs <a>=b> and <b>=a>).
+  TransactionDatabase db(2);
+  ASSERT_TRUE(db.Append({0}).ok());        // t1 = {a}
+  ASSERT_TRUE(db.Append({0, 1}).ok());     // t2 = {a, b}
+  ASSERT_TRUE(db.Append({0}).ok());        // t3 = {a}
+  ASSERT_TRUE(db.Append({0}).ok());        // t4 = {a}
+  ASSERT_TRUE(db.Append({1}).ok());        // t5 = {b}
+  ASSERT_TRUE(db.Append({1}).ok());        // t6 = {b}
+  EXPECT_EQ(MinimumSegments(db), 2u);
+
+  std::vector<Segment> exact = BuildExactSegments(db);
+  ASSERT_EQ(exact.size(), 2u);
+  SegmentSupportMap map =
+      SegmentSupportMap::FromSegments(std::span<const Segment>(exact));
+  // The paper's S1' = {t1..t4} (counts a=4, b=1), S2' = {t5, t6} (0, 2).
+  Itemset ab = {0, 1};
+  EXPECT_EQ(map.UpperBound(ab), 1u);  // exact support of {a,b}
+  ExpectExactForAllItemsets(db, map);
+}
+
+TEST(TheoryTest, ExactConstructionIsExactOnRandomSmallDomains) {
+  Rng rng(19);
+  for (int trial = 0; trial < 20; ++trial) {
+    uint32_t m = 2 + static_cast<uint32_t>(rng.UniformInt(5));
+    TransactionDatabase db(m);
+    uint64_t n = 20 + rng.UniformInt(60);
+    for (uint64_t t = 0; t < n; ++t) {
+      Itemset txn;
+      for (uint32_t i = 0; i < m; ++i) {
+        if (rng.Bernoulli(0.4)) txn.push_back(i);
+      }
+      ASSERT_TRUE(db.Append(txn).ok());
+    }
+    std::vector<Segment> exact = BuildExactSegments(db);
+    SegmentSupportMap map =
+        SegmentSupportMap::FromSegments(std::span<const Segment>(exact));
+    ExpectExactForAllItemsets(db, map);
+
+    // Theorem 1's cap: n_min <= min(N, 2^m - m).
+    EXPECT_LE(exact.size(), db.num_transactions());
+    EXPECT_LE(exact.size(), ConfigurationSpaceSize(m));
+  }
+}
+
+TEST(TheoryTest, CanonicalPrefixContentsShareOneConfiguration) {
+  // The counting argument behind 2^m - m: the m "canonical prefix"
+  // contents {x1}, {x1,x2}, ..., {x1..xm} all have the same configuration,
+  // so transactions with those contents end up in one segment.
+  TransactionDatabase db(4);
+  ASSERT_TRUE(db.Append({0}).ok());
+  ASSERT_TRUE(db.Append({0, 1}).ok());
+  ASSERT_TRUE(db.Append({0, 1, 2}).ok());
+  ASSERT_TRUE(db.Append({0, 1, 2, 3}).ok());
+  EXPECT_EQ(MinimumSegments(db), 1u);
+}
+
+TEST(TheoryTest, DistinctNonPrefixContentsStayApart) {
+  TransactionDatabase db(3);
+  ASSERT_TRUE(db.Append({0}).ok());
+  ASSERT_TRUE(db.Append({1}).ok());
+  ASSERT_TRUE(db.Append({2}).ok());
+  ASSERT_TRUE(db.Append({1, 2}).ok());
+  // Configs: (0,1,2), (1,0,2), (2,0,1), (1,2,0) — all distinct.
+  EXPECT_EQ(MinimumSegments(db), 4u);
+}
+
+TEST(TheoryTest, MergeSameConfigurationPreservesAllBounds) {
+  Rng rng(23);
+  for (int trial = 0; trial < 10; ++trial) {
+    // Random segments over 4 items with heavy tie probability so groups
+    // actually form.
+    std::vector<Segment> segments;
+    for (int s = 0; s < 12; ++s) {
+      Segment seg;
+      seg.counts.resize(4);
+      for (auto& c : seg.counts) c = rng.UniformInt(3) * 5;
+      segments.push_back(std::move(seg));
+    }
+    SegmentSupportMap before =
+        SegmentSupportMap::FromSegments(std::span<const Segment>(segments));
+    std::vector<Segment> merged = MergeSameConfiguration(std::move(segments));
+    SegmentSupportMap after =
+        SegmentSupportMap::FromSegments(std::span<const Segment>(merged));
+
+    for (uint32_t mask = 1; mask < 16; ++mask) {
+      Itemset items;
+      for (uint32_t i = 0; i < 4; ++i) {
+        if (mask & (1u << i)) items.push_back(i);
+      }
+      EXPECT_EQ(before.UpperBound(items), after.UpperBound(items))
+          << "trial " << trial << " mask " << mask;
+    }
+  }
+}
+
+TEST(TheoryTest, PageVersionMinimum) {
+  // Corollary 1 on a concrete paged collection.
+  TransactionDatabase db(2);
+  // Page 1: a-heavy. Page 2: b-heavy. Page 3: a-heavy again.
+  ASSERT_TRUE(db.Append({0}).ok());
+  ASSERT_TRUE(db.Append({0}).ok());
+  ASSERT_TRUE(db.Append({1}).ok());
+  ASSERT_TRUE(db.Append({1}).ok());
+  ASSERT_TRUE(db.Append({0}).ok());
+  ASSERT_TRUE(db.Append({0, 1}).ok());
+  StatusOr<PageLayout> layout = MakePageLayout(db, 2);
+  ASSERT_TRUE(layout.ok());
+  PageItemCounts counts(db, *layout);
+  // Page configs: (a>=b), (b>=a), (a>=b) -> 2 distinct.
+  EXPECT_EQ(MinimumSegmentsForPages(counts), 2u);
+}
+
+TEST(TheoryTest, PaperExample4CombinationCounts) {
+  // "for p=5, n=3 there are 25 possible combinations ... 90 and 301 for
+  // p=6 and p=7".
+  EXPECT_EQ(CountSegmentations(5, 3), 25u);
+  EXPECT_EQ(CountSegmentations(6, 3), 90u);
+  EXPECT_EQ(CountSegmentations(7, 3), 301u);
+}
+
+TEST(TheoryTest, CombinationCountEdgeCases) {
+  EXPECT_EQ(CountSegmentations(5, 0), 0u);
+  EXPECT_EQ(CountSegmentations(3, 5), 0u);
+  EXPECT_EQ(CountSegmentations(4, 4), 1u);
+  EXPECT_EQ(CountSegmentations(4, 1), 1u);
+  EXPECT_EQ(CountSegmentations(100, 50), UINT64_MAX);  // saturates
+}
+
+TEST(TheoryTest, MinimumSegmentsNeverExceedsTransactionsOnRealData) {
+  QuestConfig config;
+  config.num_items = 12;
+  config.num_transactions = 300;
+  config.avg_transaction_size = 4;
+  config.avg_pattern_size = 3;
+  config.num_patterns = 6;
+  StatusOr<TransactionDatabase> db = GenerateQuest(config);
+  ASSERT_TRUE(db.ok());
+  uint64_t n_min = MinimumSegments(*db);
+  EXPECT_LE(n_min, db->num_transactions());
+  EXPECT_LE(n_min, ConfigurationSpaceSize(config.num_items));
+  EXPECT_GT(n_min, 1u);
+}
+
+}  // namespace
+}  // namespace ossm

@@ -1,0 +1,97 @@
+#include "data/transaction_database.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ossm {
+namespace {
+
+TEST(TransactionDatabaseTest, EmptyDatabase) {
+  TransactionDatabase db(10);
+  EXPECT_EQ(db.num_items(), 10u);
+  EXPECT_EQ(db.num_transactions(), 0u);
+  EXPECT_EQ(db.total_item_occurrences(), 0u);
+}
+
+TEST(TransactionDatabaseTest, AppendAndRead) {
+  TransactionDatabase db(5);
+  ASSERT_TRUE(db.Append({0, 2, 4}).ok());
+  ASSERT_TRUE(db.Append({1}).ok());
+  ASSERT_TRUE(db.Append({}).ok());
+  ASSERT_EQ(db.num_transactions(), 3u);
+
+  std::span<const ItemId> t0 = db.transaction(0);
+  ASSERT_EQ(t0.size(), 3u);
+  EXPECT_EQ(t0[0], 0u);
+  EXPECT_EQ(t0[1], 2u);
+  EXPECT_EQ(t0[2], 4u);
+  EXPECT_EQ(db.transaction(1).size(), 1u);
+  EXPECT_EQ(db.transaction(2).size(), 0u);
+}
+
+TEST(TransactionDatabaseTest, RejectsOutOfDomainItem) {
+  TransactionDatabase db(3);
+  Status s = db.Append({0, 3});
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(db.num_transactions(), 0u);  // unchanged on failure
+}
+
+TEST(TransactionDatabaseTest, RejectsUnsortedTransaction) {
+  TransactionDatabase db(5);
+  EXPECT_EQ(db.Append({2, 1}).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TransactionDatabaseTest, RejectsDuplicateItems) {
+  TransactionDatabase db(5);
+  EXPECT_EQ(db.Append({1, 1}).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TransactionDatabaseTest, ComputeItemSupports) {
+  TransactionDatabase db(4);
+  ASSERT_TRUE(db.Append({0, 1}).ok());
+  ASSERT_TRUE(db.Append({1, 2}).ok());
+  ASSERT_TRUE(db.Append({1}).ok());
+  std::vector<uint64_t> supports = db.ComputeItemSupports();
+  EXPECT_EQ(supports, (std::vector<uint64_t>{1, 3, 1, 0}));
+}
+
+TEST(TransactionDatabaseTest, ContainsChecksSubset) {
+  TransactionDatabase db(6);
+  ASSERT_TRUE(db.Append({0, 2, 3, 5}).ok());
+  Itemset yes = {2, 5};
+  Itemset no = {2, 4};
+  Itemset empty;
+  EXPECT_TRUE(db.Contains(0, yes));
+  EXPECT_FALSE(db.Contains(0, no));
+  EXPECT_TRUE(db.Contains(0, empty));
+}
+
+TEST(TransactionDatabaseTest, EqualityOperator) {
+  TransactionDatabase a(3);
+  TransactionDatabase b(3);
+  ASSERT_TRUE(a.Append({0, 1}).ok());
+  ASSERT_TRUE(b.Append({0, 1}).ok());
+  EXPECT_EQ(a, b);
+  ASSERT_TRUE(b.Append({2}).ok());
+  EXPECT_FALSE(a == b);
+}
+
+TEST(TransactionDatabaseTest, TotalOccurrencesTracksAppends) {
+  TransactionDatabase db(10);
+  ASSERT_TRUE(db.Append({0, 1, 2}).ok());
+  ASSERT_TRUE(db.Append({5, 9}).ok());
+  EXPECT_EQ(db.total_item_occurrences(), 5u);
+}
+
+TEST(TransactionDatabaseTest, CopyIsIndependent) {
+  TransactionDatabase a(3);
+  ASSERT_TRUE(a.Append({0}).ok());
+  TransactionDatabase b = a;
+  ASSERT_TRUE(b.Append({1, 2}).ok());
+  EXPECT_EQ(a.num_transactions(), 1u);
+  EXPECT_EQ(b.num_transactions(), 2u);
+}
+
+}  // namespace
+}  // namespace ossm

@@ -1,0 +1,430 @@
+// ossm_cli — command-line front end for the library.
+//
+//   ossm_cli gen     --kind=quest|skewed|alarm --out=FILE [shape flags]
+//   ossm_cli build   --data=FILE --out=MAP [--algorithm=... --segments=N ...]
+//   ossm_cli mine    --data=FILE [--ossm=MAP] [--miner=...] [--threshold=F]
+//   ossm_cli rules   --data=FILE [--threshold=F --confidence=F]
+//   ossm_cli inspect --data=FILE | --ossm=MAP
+//
+// Datasets are FIMI text (one transaction per line) when the path ends in
+// .txt, binary otherwise. Run any subcommand with --help for its flags.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/table_printer.h"
+#include "core/ossm_builder.h"
+#include "core/ossm_io.h"
+#include "core/theory.h"
+#include "data/dataset_io.h"
+#include "datagen/alarm_generator.h"
+#include "datagen/quest_generator.h"
+#include "datagen/skewed_generator.h"
+#include "mining/apriori.h"
+#include "mining/association_rules.h"
+#include "mining/candidate_pruner.h"
+#include "mining/depth_project.h"
+#include "mining/dhp.h"
+#include "mining/fp_growth.h"
+#include "mining/partition.h"
+
+namespace ossm {
+namespace {
+
+// ---- flag plumbing ----
+
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+        std::exit(2);
+      }
+      size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        values_[arg.substr(2)] = "";
+      } else {
+        values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    }
+  }
+
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  uint64_t GetInt(const std::string& key, uint64_t fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback
+                               : std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback
+                               : std::strtod(it->second.c_str(), nullptr);
+  }
+  std::string GetRequired(const std::string& key) const {
+    auto it = values_.find(key);
+    if (it == values_.end() || it->second.empty()) {
+      std::fprintf(stderr, "missing required flag --%s\n", key.c_str());
+      std::exit(2);
+    }
+    return it->second;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+bool IsTextPath(const std::string& path) {
+  return path.size() >= 4 && path.compare(path.size() - 4, 4, ".txt") == 0;
+}
+
+StatusOr<TransactionDatabase> LoadDataset(const std::string& path) {
+  return IsTextPath(path) ? DatasetIo::LoadText(path)
+                          : DatasetIo::LoadBinary(path);
+}
+
+Status SaveDataset(const TransactionDatabase& db, const std::string& path) {
+  return IsTextPath(path) ? DatasetIo::SaveText(db, path)
+                          : DatasetIo::SaveBinary(db, path);
+}
+
+StatusOr<SegmentationAlgorithm> ParseAlgorithm(const std::string& name) {
+  if (name == "random") return SegmentationAlgorithm::kRandom;
+  if (name == "rc") return SegmentationAlgorithm::kRc;
+  if (name == "greedy") return SegmentationAlgorithm::kGreedy;
+  if (name == "random-rc") return SegmentationAlgorithm::kRandomRc;
+  if (name == "random-greedy") return SegmentationAlgorithm::kRandomGreedy;
+  return Status::InvalidArgument(
+      "unknown algorithm '" + name +
+      "' (random, rc, greedy, random-rc, random-greedy)");
+}
+
+// ---- subcommands ----
+
+int CmdGen(const Args& args) {
+  if (args.Has("help")) {
+    std::puts(
+        "gen --kind=quest|skewed|alarm --out=FILE\n"
+        "    --items=N --transactions=N --seed=N\n"
+        "  quest:  --txn-size=F --pattern-size=F --patterns=N\n"
+        "          --corruption=F --seasons=N --boost=F\n"
+        "  skewed: --txn-size=F --seasons=N --boost=F\n"
+        "  alarm:  --windows=N --rate=F --episodes=N");
+    return 0;
+  }
+  std::string kind = args.GetRequired("kind");
+  std::string out = args.GetRequired("out");
+
+  StatusOr<TransactionDatabase> db = Status::Unimplemented("");
+  if (kind == "quest") {
+    QuestConfig config;
+    config.num_items = static_cast<uint32_t>(args.GetInt("items", 400));
+    config.num_transactions = args.GetInt("transactions", 20000);
+    config.avg_transaction_size =
+        args.GetDouble("txn-size", config.num_items / 100.0);
+    config.avg_pattern_size = args.GetDouble("pattern-size", 3.0);
+    config.num_patterns =
+        static_cast<uint32_t>(args.GetInt("patterns", config.num_items));
+    config.corruption_mean = args.GetDouble("corruption", 0.25);
+    config.num_seasons = static_cast<uint32_t>(args.GetInt("seasons", 1));
+    config.in_season_boost = args.GetDouble("boost", 1.0);
+    config.seed = args.GetInt("seed", 1);
+    db = GenerateQuest(config);
+  } else if (kind == "skewed") {
+    SkewedConfig config;
+    config.num_items = static_cast<uint32_t>(args.GetInt("items", 400));
+    config.num_transactions = args.GetInt("transactions", 20000);
+    config.avg_transaction_size =
+        args.GetDouble("txn-size", config.num_items / 100.0);
+    config.num_seasons = static_cast<uint32_t>(args.GetInt("seasons", 2));
+    config.in_season_boost = args.GetDouble("boost", 8.0);
+    config.seed = args.GetInt("seed", 1);
+    db = GenerateSkewed(config);
+  } else if (kind == "alarm") {
+    AlarmConfig config;
+    config.num_alarm_types = static_cast<uint32_t>(args.GetInt("items", 200));
+    config.num_windows = args.GetInt("windows", 5000);
+    config.background_rate = args.GetDouble("rate", 3.0);
+    config.num_episode_kinds =
+        static_cast<uint32_t>(args.GetInt("episodes", 25));
+    config.seed = args.GetInt("seed", 1);
+    db = GenerateAlarms(config);
+  } else {
+    std::fprintf(stderr, "unknown --kind=%s (quest, skewed, alarm)\n",
+                 kind.c_str());
+    return 2;
+  }
+  if (!db.ok()) return Fail(db.status());
+  if (Status save = SaveDataset(*db, out); !save.ok()) return Fail(save);
+  std::printf("wrote %llu transactions over %u items to %s\n",
+              static_cast<unsigned long long>(db->num_transactions()),
+              db->num_items(), out.c_str());
+  return 0;
+}
+
+int CmdBuild(const Args& args) {
+  if (args.Has("help")) {
+    std::puts(
+        "build --data=FILE --out=MAP\n"
+        "      --algorithm=random|rc|greedy|random-rc|random-greedy\n"
+        "      --segments=N --page=N --intermediate=N\n"
+        "      --bubble=FRACTION --bubble-threshold=F --seed=N");
+    return 0;
+  }
+  StatusOr<TransactionDatabase> db = LoadDataset(args.GetRequired("data"));
+  if (!db.ok()) return Fail(db.status());
+
+  StatusOr<SegmentationAlgorithm> algorithm =
+      ParseAlgorithm(args.Get("algorithm", "random-greedy"));
+  if (!algorithm.ok()) return Fail(algorithm.status());
+
+  OssmBuildOptions options;
+  options.algorithm = *algorithm;
+  options.target_segments = args.GetInt("segments", 40);
+  options.transactions_per_page = args.GetInt("page", 100);
+  options.intermediate_segments = args.GetInt("intermediate", 200);
+  options.bubble_fraction = args.GetDouble("bubble", 0.0);
+  options.bubble_threshold = args.GetDouble("bubble-threshold", 0.0025);
+  options.seed = args.GetInt("seed", 1);
+
+  StatusOr<OssmBuildResult> build = BuildOssm(*db, options);
+  if (!build.ok()) return Fail(build.status());
+  std::string out = args.GetRequired("out");
+  if (Status save = OssmIo::Save(build->map, out); !save.ok()) {
+    return Fail(save);
+  }
+  std::printf(
+      "built %u-segment OSSM (%s) in %.3f s (%llu ossub evals), %.1f KB "
+      "-> %s\n",
+      build->map.num_segments(),
+      std::string(SegmentationAlgorithmName(*algorithm)).c_str(),
+      build->stats.seconds,
+      static_cast<unsigned long long>(build->stats.ossub_evaluations),
+      build->map.MemoryFootprintBytes() / 1024.0, out.c_str());
+  return 0;
+}
+
+int CmdMine(const Args& args) {
+  if (args.Has("help")) {
+    std::puts(
+        "mine --data=FILE [--ossm=MAP]\n"
+        "     --miner=apriori|dhp|partition|fpgrowth|depthproject\n"
+        "     --threshold=FRACTION --max-level=N --top=N");
+    return 0;
+  }
+  StatusOr<TransactionDatabase> db = LoadDataset(args.GetRequired("data"));
+  if (!db.ok()) return Fail(db.status());
+
+  SegmentSupportMap map;
+  OssmPruner pruner(&map);
+  const CandidatePruner* pruner_ptr = nullptr;
+  if (args.Has("ossm")) {
+    StatusOr<SegmentSupportMap> loaded = OssmIo::Load(args.Get("ossm", ""));
+    if (!loaded.ok()) return Fail(loaded.status());
+    map = std::move(*loaded);
+    if (map.num_items() != db->num_items()) {
+      return Fail(Status::InvalidArgument(
+          "OSSM item domain does not match the dataset"));
+    }
+    pruner_ptr = &pruner;
+  }
+
+  double threshold = args.GetDouble("threshold", 0.01);
+  uint32_t max_level = static_cast<uint32_t>(args.GetInt("max-level", 0));
+  std::string miner = args.Get("miner", "apriori");
+
+  StatusOr<MiningResult> result = Status::Unimplemented("");
+  if (miner == "apriori") {
+    AprioriConfig config;
+    config.min_support_fraction = threshold;
+    config.max_level = max_level;
+    config.pruner = pruner_ptr;
+    result = MineApriori(*db, config);
+  } else if (miner == "dhp") {
+    DhpConfig config;
+    config.min_support_fraction = threshold;
+    config.max_level = max_level;
+    config.pruner = pruner_ptr;
+    result = MineDhp(*db, config);
+  } else if (miner == "partition") {
+    PartitionConfig config;
+    config.min_support_fraction = threshold;
+    config.max_level = max_level;
+    config.use_ossm = pruner_ptr != nullptr;
+    result = MinePartition(*db, config);
+  } else if (miner == "fpgrowth") {
+    FpGrowthConfig config;
+    config.min_support_fraction = threshold;
+    config.max_level = max_level;
+    result = MineFpGrowth(*db, config);
+  } else if (miner == "depthproject") {
+    DepthProjectConfig config;
+    config.min_support_fraction = threshold;
+    config.max_level = max_level;
+    config.pruner = pruner_ptr;
+    result = MineDepthProject(*db, config);
+  } else {
+    std::fprintf(stderr,
+                 "unknown --miner=%s (apriori, dhp, partition, fpgrowth, "
+                 "depthproject)\n",
+                 miner.c_str());
+    return 2;
+  }
+  if (!result.ok()) return Fail(result.status());
+
+  std::printf(
+      "%zu frequent itemsets in %.3f s (%llu candidates counted, %llu "
+      "pruned by the OSSM bound)\n",
+      result->itemsets.size(), result->stats.total_seconds,
+      static_cast<unsigned long long>(
+          result->stats.TotalCandidatesCounted()),
+      static_cast<unsigned long long>(result->stats.TotalPrunedByBound()));
+
+  uint64_t top = args.GetInt("top", 20);
+  uint64_t shown = 0;
+  for (const FrequentItemset& f : result->itemsets) {
+    if (f.items.size() < 2) continue;
+    if (shown++ >= top) break;
+    std::printf("  {");
+    for (size_t i = 0; i < f.items.size(); ++i) {
+      std::printf("%s%u", i ? ", " : "", f.items[i]);
+    }
+    std::printf("}  support %llu\n",
+                static_cast<unsigned long long>(f.support));
+  }
+  return 0;
+}
+
+int CmdRules(const Args& args) {
+  if (args.Has("help")) {
+    std::puts(
+        "rules --data=FILE [--ossm=MAP] --threshold=F --confidence=F "
+        "--top=N");
+    return 0;
+  }
+  StatusOr<TransactionDatabase> db = LoadDataset(args.GetRequired("data"));
+  if (!db.ok()) return Fail(db.status());
+
+  AprioriConfig mining;
+  mining.min_support_fraction = args.GetDouble("threshold", 0.01);
+  SegmentSupportMap map;
+  OssmPruner pruner(&map);
+  if (args.Has("ossm")) {
+    StatusOr<SegmentSupportMap> loaded = OssmIo::Load(args.Get("ossm", ""));
+    if (!loaded.ok()) return Fail(loaded.status());
+    map = std::move(*loaded);
+    mining.pruner = &pruner;
+  }
+  StatusOr<MiningResult> mined = MineApriori(*db, mining);
+  if (!mined.ok()) return Fail(mined.status());
+
+  RuleConfig config;
+  config.min_confidence = args.GetDouble("confidence", 0.5);
+  StatusOr<std::vector<AssociationRule>> rules =
+      GenerateRules(mined->itemsets, db->num_transactions(), config);
+  if (!rules.ok()) return Fail(rules.status());
+
+  std::printf("%zu rules at confidence >= %.2f\n", rules->size(),
+              config.min_confidence);
+  uint64_t top = args.GetInt("top", 20);
+  for (size_t r = 0; r < rules->size() && r < top; ++r) {
+    const AssociationRule& rule = (*rules)[r];
+    std::printf("  {");
+    for (size_t i = 0; i < rule.antecedent.size(); ++i) {
+      std::printf("%s%u", i ? ", " : "", rule.antecedent[i]);
+    }
+    std::printf("} => {");
+    for (size_t i = 0; i < rule.consequent.size(); ++i) {
+      std::printf("%s%u", i ? ", " : "", rule.consequent[i]);
+    }
+    std::printf("}  conf %.3f  lift %.2f  sup %llu\n", rule.confidence,
+                rule.lift, static_cast<unsigned long long>(rule.support));
+  }
+  return 0;
+}
+
+int CmdInspect(const Args& args) {
+  if (args.Has("help")) {
+    std::puts("inspect --data=FILE | --ossm=MAP");
+    return 0;
+  }
+  if (args.Has("data")) {
+    StatusOr<TransactionDatabase> db = LoadDataset(args.Get("data", ""));
+    if (!db.ok()) return Fail(db.status());
+    std::vector<uint64_t> supports = db->ComputeItemSupports();
+    uint64_t max_support = 0;
+    uint64_t nonzero = 0;
+    for (uint64_t s : supports) {
+      max_support = std::max(max_support, s);
+      nonzero += s > 0 ? 1 : 0;
+    }
+    std::printf(
+        "dataset: %llu transactions, %u items (%llu occurring), avg "
+        "transaction %.2f items, hottest item support %llu\n",
+        static_cast<unsigned long long>(db->num_transactions()),
+        db->num_items(), static_cast<unsigned long long>(nonzero),
+        static_cast<double>(db->total_item_occurrences()) /
+            static_cast<double>(db->num_transactions()),
+        static_cast<unsigned long long>(max_support));
+    std::printf("theoretical exact-OSSM cap (2^m - m): %llu segments\n",
+                static_cast<unsigned long long>(
+                    ConfigurationSpaceSize(db->num_items())));
+    return 0;
+  }
+  if (args.Has("ossm")) {
+    StatusOr<SegmentSupportMap> map = OssmIo::Load(args.Get("ossm", ""));
+    if (!map.ok()) return Fail(map.status());
+    std::printf("OSSM: %u items x %u segments, %.1f KB\n", map->num_items(),
+                map->num_segments(), map->MemoryFootprintBytes() / 1024.0);
+    return 0;
+  }
+  std::fprintf(stderr, "inspect needs --data=FILE or --ossm=MAP\n");
+  return 2;
+}
+
+int Usage() {
+  std::puts(
+      "ossm_cli — segment support maps for frequency counting\n"
+      "usage: ossm_cli <gen|build|mine|rules|inspect> [--flags]\n"
+      "run a subcommand with --help for its flags\n"
+      "\n"
+      "example session:\n"
+      "  ossm_cli gen --kind=quest --seasons=8 --boost=6 --out=d.bin\n"
+      "  ossm_cli build --data=d.bin --algorithm=random-greedy \\\n"
+      "      --segments=60 --out=d.ossm\n"
+      "  ossm_cli mine --data=d.bin --ossm=d.ossm --threshold=0.01\n"
+      "  ossm_cli rules --data=d.bin --ossm=d.ossm --confidence=0.7");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+  Args args(argc, argv, 2);
+  if (command == "gen") return CmdGen(args);
+  if (command == "build") return CmdBuild(args);
+  if (command == "mine") return CmdMine(args);
+  if (command == "rules") return CmdRules(args);
+  if (command == "inspect") return CmdInspect(args);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace ossm
+
+int main(int argc, char** argv) { return ossm::Main(argc, argv); }
