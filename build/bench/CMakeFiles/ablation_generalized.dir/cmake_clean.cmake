@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_generalized.dir/ablation_generalized.cc.o"
+  "CMakeFiles/ablation_generalized.dir/ablation_generalized.cc.o.d"
+  "ablation_generalized"
+  "ablation_generalized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_generalized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

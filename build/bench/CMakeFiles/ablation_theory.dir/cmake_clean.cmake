@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_theory.dir/ablation_theory.cc.o"
+  "CMakeFiles/ablation_theory.dir/ablation_theory.cc.o.d"
+  "ablation_theory"
+  "ablation_theory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_theory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_segmentation_cost.dir/fig5_segmentation_cost.cc.o"
+  "CMakeFiles/fig5_segmentation_cost.dir/fig5_segmentation_cost.cc.o.d"
+  "fig5_segmentation_cost"
+  "fig5_segmentation_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_segmentation_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

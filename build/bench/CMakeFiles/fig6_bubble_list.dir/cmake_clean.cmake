@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_bubble_list.dir/fig6_bubble_list.cc.o"
+  "CMakeFiles/fig6_bubble_list.dir/fig6_bubble_list.cc.o.d"
+  "fig6_bubble_list"
+  "fig6_bubble_list.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_bubble_list.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec7_dhp.dir/sec7_dhp.cc.o"
+  "CMakeFiles/sec7_dhp.dir/sec7_dhp.cc.o.d"
+  "sec7_dhp"
+  "sec7_dhp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec7_dhp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alarm_correlation.dir/alarm_correlation.cpp.o"
+  "CMakeFiles/alarm_correlation.dir/alarm_correlation.cpp.o.d"
+  "alarm_correlation"
+  "alarm_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alarm_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seasonal_retail.dir/seasonal_retail.cpp.o"
+  "CMakeFiles/seasonal_retail.dir/seasonal_retail.cpp.o.d"
+  "seasonal_retail"
+  "seasonal_retail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seasonal_retail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for seasonal_retail.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ossm_common.dir/logging.cc.o"
+  "CMakeFiles/ossm_common.dir/logging.cc.o.d"
+  "CMakeFiles/ossm_common.dir/random.cc.o"
+  "CMakeFiles/ossm_common.dir/random.cc.o.d"
+  "CMakeFiles/ossm_common.dir/status.cc.o"
+  "CMakeFiles/ossm_common.dir/status.cc.o.d"
+  "CMakeFiles/ossm_common.dir/table_printer.cc.o"
+  "CMakeFiles/ossm_common.dir/table_printer.cc.o.d"
+  "libossm_common.a"
+  "libossm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ossm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bubble_list.cc" "src/core/CMakeFiles/ossm_core.dir/bubble_list.cc.o" "gcc" "src/core/CMakeFiles/ossm_core.dir/bubble_list.cc.o.d"
+  "/root/repo/src/core/configuration.cc" "src/core/CMakeFiles/ossm_core.dir/configuration.cc.o" "gcc" "src/core/CMakeFiles/ossm_core.dir/configuration.cc.o.d"
+  "/root/repo/src/core/generalized_ossm.cc" "src/core/CMakeFiles/ossm_core.dir/generalized_ossm.cc.o" "gcc" "src/core/CMakeFiles/ossm_core.dir/generalized_ossm.cc.o.d"
+  "/root/repo/src/core/greedy_segmentation.cc" "src/core/CMakeFiles/ossm_core.dir/greedy_segmentation.cc.o" "gcc" "src/core/CMakeFiles/ossm_core.dir/greedy_segmentation.cc.o.d"
+  "/root/repo/src/core/hybrid_segmentation.cc" "src/core/CMakeFiles/ossm_core.dir/hybrid_segmentation.cc.o" "gcc" "src/core/CMakeFiles/ossm_core.dir/hybrid_segmentation.cc.o.d"
+  "/root/repo/src/core/ossm_builder.cc" "src/core/CMakeFiles/ossm_core.dir/ossm_builder.cc.o" "gcc" "src/core/CMakeFiles/ossm_core.dir/ossm_builder.cc.o.d"
+  "/root/repo/src/core/ossm_io.cc" "src/core/CMakeFiles/ossm_core.dir/ossm_io.cc.o" "gcc" "src/core/CMakeFiles/ossm_core.dir/ossm_io.cc.o.d"
+  "/root/repo/src/core/ossm_updater.cc" "src/core/CMakeFiles/ossm_core.dir/ossm_updater.cc.o" "gcc" "src/core/CMakeFiles/ossm_core.dir/ossm_updater.cc.o.d"
+  "/root/repo/src/core/ossub.cc" "src/core/CMakeFiles/ossm_core.dir/ossub.cc.o" "gcc" "src/core/CMakeFiles/ossm_core.dir/ossub.cc.o.d"
+  "/root/repo/src/core/random_segmentation.cc" "src/core/CMakeFiles/ossm_core.dir/random_segmentation.cc.o" "gcc" "src/core/CMakeFiles/ossm_core.dir/random_segmentation.cc.o.d"
+  "/root/repo/src/core/rc_segmentation.cc" "src/core/CMakeFiles/ossm_core.dir/rc_segmentation.cc.o" "gcc" "src/core/CMakeFiles/ossm_core.dir/rc_segmentation.cc.o.d"
+  "/root/repo/src/core/segment.cc" "src/core/CMakeFiles/ossm_core.dir/segment.cc.o" "gcc" "src/core/CMakeFiles/ossm_core.dir/segment.cc.o.d"
+  "/root/repo/src/core/segment_support_map.cc" "src/core/CMakeFiles/ossm_core.dir/segment_support_map.cc.o" "gcc" "src/core/CMakeFiles/ossm_core.dir/segment_support_map.cc.o.d"
+  "/root/repo/src/core/segmentation.cc" "src/core/CMakeFiles/ossm_core.dir/segmentation.cc.o" "gcc" "src/core/CMakeFiles/ossm_core.dir/segmentation.cc.o.d"
+  "/root/repo/src/core/theory.cc" "src/core/CMakeFiles/ossm_core.dir/theory.cc.o" "gcc" "src/core/CMakeFiles/ossm_core.dir/theory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/ossm_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ossm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

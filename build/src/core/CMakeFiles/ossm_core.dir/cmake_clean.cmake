@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ossm_core.dir/bubble_list.cc.o"
+  "CMakeFiles/ossm_core.dir/bubble_list.cc.o.d"
+  "CMakeFiles/ossm_core.dir/configuration.cc.o"
+  "CMakeFiles/ossm_core.dir/configuration.cc.o.d"
+  "CMakeFiles/ossm_core.dir/generalized_ossm.cc.o"
+  "CMakeFiles/ossm_core.dir/generalized_ossm.cc.o.d"
+  "CMakeFiles/ossm_core.dir/greedy_segmentation.cc.o"
+  "CMakeFiles/ossm_core.dir/greedy_segmentation.cc.o.d"
+  "CMakeFiles/ossm_core.dir/hybrid_segmentation.cc.o"
+  "CMakeFiles/ossm_core.dir/hybrid_segmentation.cc.o.d"
+  "CMakeFiles/ossm_core.dir/ossm_builder.cc.o"
+  "CMakeFiles/ossm_core.dir/ossm_builder.cc.o.d"
+  "CMakeFiles/ossm_core.dir/ossm_io.cc.o"
+  "CMakeFiles/ossm_core.dir/ossm_io.cc.o.d"
+  "CMakeFiles/ossm_core.dir/ossm_updater.cc.o"
+  "CMakeFiles/ossm_core.dir/ossm_updater.cc.o.d"
+  "CMakeFiles/ossm_core.dir/ossub.cc.o"
+  "CMakeFiles/ossm_core.dir/ossub.cc.o.d"
+  "CMakeFiles/ossm_core.dir/random_segmentation.cc.o"
+  "CMakeFiles/ossm_core.dir/random_segmentation.cc.o.d"
+  "CMakeFiles/ossm_core.dir/rc_segmentation.cc.o"
+  "CMakeFiles/ossm_core.dir/rc_segmentation.cc.o.d"
+  "CMakeFiles/ossm_core.dir/segment.cc.o"
+  "CMakeFiles/ossm_core.dir/segment.cc.o.d"
+  "CMakeFiles/ossm_core.dir/segment_support_map.cc.o"
+  "CMakeFiles/ossm_core.dir/segment_support_map.cc.o.d"
+  "CMakeFiles/ossm_core.dir/segmentation.cc.o"
+  "CMakeFiles/ossm_core.dir/segmentation.cc.o.d"
+  "CMakeFiles/ossm_core.dir/theory.cc.o"
+  "CMakeFiles/ossm_core.dir/theory.cc.o.d"
+  "libossm_core.a"
+  "libossm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ossm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

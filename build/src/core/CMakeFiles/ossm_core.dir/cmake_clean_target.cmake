@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libossm_core.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataset_io.cc" "src/data/CMakeFiles/ossm_data.dir/dataset_io.cc.o" "gcc" "src/data/CMakeFiles/ossm_data.dir/dataset_io.cc.o.d"
+  "/root/repo/src/data/page_layout.cc" "src/data/CMakeFiles/ossm_data.dir/page_layout.cc.o" "gcc" "src/data/CMakeFiles/ossm_data.dir/page_layout.cc.o.d"
+  "/root/repo/src/data/transaction_database.cc" "src/data/CMakeFiles/ossm_data.dir/transaction_database.cc.o" "gcc" "src/data/CMakeFiles/ossm_data.dir/transaction_database.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ossm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

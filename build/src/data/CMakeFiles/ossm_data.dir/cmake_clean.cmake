@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ossm_data.dir/dataset_io.cc.o"
+  "CMakeFiles/ossm_data.dir/dataset_io.cc.o.d"
+  "CMakeFiles/ossm_data.dir/page_layout.cc.o"
+  "CMakeFiles/ossm_data.dir/page_layout.cc.o.d"
+  "CMakeFiles/ossm_data.dir/transaction_database.cc.o"
+  "CMakeFiles/ossm_data.dir/transaction_database.cc.o.d"
+  "libossm_data.a"
+  "libossm_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ossm_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

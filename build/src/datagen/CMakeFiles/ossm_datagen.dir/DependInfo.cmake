@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/alarm_generator.cc" "src/datagen/CMakeFiles/ossm_datagen.dir/alarm_generator.cc.o" "gcc" "src/datagen/CMakeFiles/ossm_datagen.dir/alarm_generator.cc.o.d"
+  "/root/repo/src/datagen/quest_generator.cc" "src/datagen/CMakeFiles/ossm_datagen.dir/quest_generator.cc.o" "gcc" "src/datagen/CMakeFiles/ossm_datagen.dir/quest_generator.cc.o.d"
+  "/root/repo/src/datagen/skewed_generator.cc" "src/datagen/CMakeFiles/ossm_datagen.dir/skewed_generator.cc.o" "gcc" "src/datagen/CMakeFiles/ossm_datagen.dir/skewed_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/ossm_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ossm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

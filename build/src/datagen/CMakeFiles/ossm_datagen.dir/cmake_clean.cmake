@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ossm_datagen.dir/alarm_generator.cc.o"
+  "CMakeFiles/ossm_datagen.dir/alarm_generator.cc.o.d"
+  "CMakeFiles/ossm_datagen.dir/quest_generator.cc.o"
+  "CMakeFiles/ossm_datagen.dir/quest_generator.cc.o.d"
+  "CMakeFiles/ossm_datagen.dir/skewed_generator.cc.o"
+  "CMakeFiles/ossm_datagen.dir/skewed_generator.cc.o.d"
+  "libossm_datagen.a"
+  "libossm_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ossm_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mining/apriori.cc" "src/mining/CMakeFiles/ossm_mining.dir/apriori.cc.o" "gcc" "src/mining/CMakeFiles/ossm_mining.dir/apriori.cc.o.d"
+  "/root/repo/src/mining/association_rules.cc" "src/mining/CMakeFiles/ossm_mining.dir/association_rules.cc.o" "gcc" "src/mining/CMakeFiles/ossm_mining.dir/association_rules.cc.o.d"
+  "/root/repo/src/mining/candidate_pruner.cc" "src/mining/CMakeFiles/ossm_mining.dir/candidate_pruner.cc.o" "gcc" "src/mining/CMakeFiles/ossm_mining.dir/candidate_pruner.cc.o.d"
+  "/root/repo/src/mining/depth_project.cc" "src/mining/CMakeFiles/ossm_mining.dir/depth_project.cc.o" "gcc" "src/mining/CMakeFiles/ossm_mining.dir/depth_project.cc.o.d"
+  "/root/repo/src/mining/dhp.cc" "src/mining/CMakeFiles/ossm_mining.dir/dhp.cc.o" "gcc" "src/mining/CMakeFiles/ossm_mining.dir/dhp.cc.o.d"
+  "/root/repo/src/mining/eclat.cc" "src/mining/CMakeFiles/ossm_mining.dir/eclat.cc.o" "gcc" "src/mining/CMakeFiles/ossm_mining.dir/eclat.cc.o.d"
+  "/root/repo/src/mining/episode.cc" "src/mining/CMakeFiles/ossm_mining.dir/episode.cc.o" "gcc" "src/mining/CMakeFiles/ossm_mining.dir/episode.cc.o.d"
+  "/root/repo/src/mining/fp_growth.cc" "src/mining/CMakeFiles/ossm_mining.dir/fp_growth.cc.o" "gcc" "src/mining/CMakeFiles/ossm_mining.dir/fp_growth.cc.o.d"
+  "/root/repo/src/mining/hash_tree.cc" "src/mining/CMakeFiles/ossm_mining.dir/hash_tree.cc.o" "gcc" "src/mining/CMakeFiles/ossm_mining.dir/hash_tree.cc.o.d"
+  "/root/repo/src/mining/itemset.cc" "src/mining/CMakeFiles/ossm_mining.dir/itemset.cc.o" "gcc" "src/mining/CMakeFiles/ossm_mining.dir/itemset.cc.o.d"
+  "/root/repo/src/mining/mining_result.cc" "src/mining/CMakeFiles/ossm_mining.dir/mining_result.cc.o" "gcc" "src/mining/CMakeFiles/ossm_mining.dir/mining_result.cc.o.d"
+  "/root/repo/src/mining/partition.cc" "src/mining/CMakeFiles/ossm_mining.dir/partition.cc.o" "gcc" "src/mining/CMakeFiles/ossm_mining.dir/partition.cc.o.d"
+  "/root/repo/src/mining/pattern_filters.cc" "src/mining/CMakeFiles/ossm_mining.dir/pattern_filters.cc.o" "gcc" "src/mining/CMakeFiles/ossm_mining.dir/pattern_filters.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ossm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ossm_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ossm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ossm_mining.dir/apriori.cc.o"
+  "CMakeFiles/ossm_mining.dir/apriori.cc.o.d"
+  "CMakeFiles/ossm_mining.dir/association_rules.cc.o"
+  "CMakeFiles/ossm_mining.dir/association_rules.cc.o.d"
+  "CMakeFiles/ossm_mining.dir/candidate_pruner.cc.o"
+  "CMakeFiles/ossm_mining.dir/candidate_pruner.cc.o.d"
+  "CMakeFiles/ossm_mining.dir/depth_project.cc.o"
+  "CMakeFiles/ossm_mining.dir/depth_project.cc.o.d"
+  "CMakeFiles/ossm_mining.dir/dhp.cc.o"
+  "CMakeFiles/ossm_mining.dir/dhp.cc.o.d"
+  "CMakeFiles/ossm_mining.dir/eclat.cc.o"
+  "CMakeFiles/ossm_mining.dir/eclat.cc.o.d"
+  "CMakeFiles/ossm_mining.dir/episode.cc.o"
+  "CMakeFiles/ossm_mining.dir/episode.cc.o.d"
+  "CMakeFiles/ossm_mining.dir/fp_growth.cc.o"
+  "CMakeFiles/ossm_mining.dir/fp_growth.cc.o.d"
+  "CMakeFiles/ossm_mining.dir/hash_tree.cc.o"
+  "CMakeFiles/ossm_mining.dir/hash_tree.cc.o.d"
+  "CMakeFiles/ossm_mining.dir/itemset.cc.o"
+  "CMakeFiles/ossm_mining.dir/itemset.cc.o.d"
+  "CMakeFiles/ossm_mining.dir/mining_result.cc.o"
+  "CMakeFiles/ossm_mining.dir/mining_result.cc.o.d"
+  "CMakeFiles/ossm_mining.dir/partition.cc.o"
+  "CMakeFiles/ossm_mining.dir/partition.cc.o.d"
+  "CMakeFiles/ossm_mining.dir/pattern_filters.cc.o"
+  "CMakeFiles/ossm_mining.dir/pattern_filters.cc.o.d"
+  "libossm_mining.a"
+  "libossm_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ossm_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

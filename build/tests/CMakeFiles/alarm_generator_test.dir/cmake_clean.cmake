@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alarm_generator_test.dir/alarm_generator_test.cc.o"
+  "CMakeFiles/alarm_generator_test.dir/alarm_generator_test.cc.o.d"
+  "alarm_generator_test"
+  "alarm_generator_test.pdb"
+  "alarm_generator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alarm_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

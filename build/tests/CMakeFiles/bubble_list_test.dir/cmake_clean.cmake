@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bubble_list_test.dir/bubble_list_test.cc.o"
+  "CMakeFiles/bubble_list_test.dir/bubble_list_test.cc.o.d"
+  "bubble_list_test"
+  "bubble_list_test.pdb"
+  "bubble_list_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bubble_list_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/depth_project_test.dir/depth_project_test.cc.o"
+  "CMakeFiles/depth_project_test.dir/depth_project_test.cc.o.d"
+  "depth_project_test"
+  "depth_project_test.pdb"
+  "depth_project_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/depth_project_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

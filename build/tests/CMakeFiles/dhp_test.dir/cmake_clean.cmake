@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhp_test.dir/dhp_test.cc.o"
+  "CMakeFiles/dhp_test.dir/dhp_test.cc.o.d"
+  "dhp_test"
+  "dhp_test.pdb"
+  "dhp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_growth_test.dir/fp_growth_test.cc.o"
+  "CMakeFiles/fp_growth_test.dir/fp_growth_test.cc.o.d"
+  "fp_growth_test"
+  "fp_growth_test.pdb"
+  "fp_growth_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_growth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generalized_ossm_test.dir/generalized_ossm_test.cc.o"
+  "CMakeFiles/generalized_ossm_test.dir/generalized_ossm_test.cc.o.d"
+  "generalized_ossm_test"
+  "generalized_ossm_test.pdb"
+  "generalized_ossm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generalized_ossm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greedy_segmentation_test.dir/greedy_segmentation_test.cc.o"
+  "CMakeFiles/greedy_segmentation_test.dir/greedy_segmentation_test.cc.o.d"
+  "greedy_segmentation_test"
+  "greedy_segmentation_test.pdb"
+  "greedy_segmentation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greedy_segmentation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_segmentation_test.dir/hybrid_segmentation_test.cc.o"
+  "CMakeFiles/hybrid_segmentation_test.dir/hybrid_segmentation_test.cc.o.d"
+  "hybrid_segmentation_test"
+  "hybrid_segmentation_test.pdb"
+  "hybrid_segmentation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_segmentation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miner_pruner_matrix_test.dir/miner_pruner_matrix_test.cc.o"
+  "CMakeFiles/miner_pruner_matrix_test.dir/miner_pruner_matrix_test.cc.o.d"
+  "miner_pruner_matrix_test"
+  "miner_pruner_matrix_test.pdb"
+  "miner_pruner_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miner_pruner_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ossm_builder_test.dir/ossm_builder_test.cc.o"
+  "CMakeFiles/ossm_builder_test.dir/ossm_builder_test.cc.o.d"
+  "ossm_builder_test"
+  "ossm_builder_test.pdb"
+  "ossm_builder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ossm_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

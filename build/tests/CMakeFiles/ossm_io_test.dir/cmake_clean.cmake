@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ossm_io_test.dir/ossm_io_test.cc.o"
+  "CMakeFiles/ossm_io_test.dir/ossm_io_test.cc.o.d"
+  "ossm_io_test"
+  "ossm_io_test.pdb"
+  "ossm_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ossm_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

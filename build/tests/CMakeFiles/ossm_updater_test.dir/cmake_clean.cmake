@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ossm_updater_test.dir/ossm_updater_test.cc.o"
+  "CMakeFiles/ossm_updater_test.dir/ossm_updater_test.cc.o.d"
+  "ossm_updater_test"
+  "ossm_updater_test.pdb"
+  "ossm_updater_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ossm_updater_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

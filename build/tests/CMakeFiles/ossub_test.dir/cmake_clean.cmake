@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ossub_test.dir/ossub_test.cc.o"
+  "CMakeFiles/ossub_test.dir/ossub_test.cc.o.d"
+  "ossub_test"
+  "ossub_test.pdb"
+  "ossub_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ossub_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

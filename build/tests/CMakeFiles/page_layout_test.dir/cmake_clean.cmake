@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/page_layout_test.dir/page_layout_test.cc.o"
+  "CMakeFiles/page_layout_test.dir/page_layout_test.cc.o.d"
+  "page_layout_test"
+  "page_layout_test.pdb"
+  "page_layout_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/page_layout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_segmentation_test.dir/random_segmentation_test.cc.o"
+  "CMakeFiles/random_segmentation_test.dir/random_segmentation_test.cc.o.d"
+  "random_segmentation_test"
+  "random_segmentation_test.pdb"
+  "random_segmentation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_segmentation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

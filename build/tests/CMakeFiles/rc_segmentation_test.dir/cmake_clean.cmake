@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_segmentation_test.dir/rc_segmentation_test.cc.o"
+  "CMakeFiles/rc_segmentation_test.dir/rc_segmentation_test.cc.o.d"
+  "rc_segmentation_test"
+  "rc_segmentation_test.pdb"
+  "rc_segmentation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_segmentation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segment_support_map_test.dir/segment_support_map_test.cc.o"
+  "CMakeFiles/segment_support_map_test.dir/segment_support_map_test.cc.o.d"
+  "segment_support_map_test"
+  "segment_support_map_test.pdb"
+  "segment_support_map_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segment_support_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

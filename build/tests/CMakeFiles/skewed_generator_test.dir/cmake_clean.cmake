@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skewed_generator_test.dir/skewed_generator_test.cc.o"
+  "CMakeFiles/skewed_generator_test.dir/skewed_generator_test.cc.o.d"
+  "skewed_generator_test"
+  "skewed_generator_test.pdb"
+  "skewed_generator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skewed_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/table_printer_test.cc" "tests/CMakeFiles/table_printer_test.dir/table_printer_test.cc.o" "gcc" "tests/CMakeFiles/table_printer_test.dir/table_printer_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mining/CMakeFiles/ossm_mining.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ossm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/ossm_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ossm_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ossm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

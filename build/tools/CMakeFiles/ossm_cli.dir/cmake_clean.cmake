@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ossm_cli.dir/ossm_cli.cc.o"
+  "CMakeFiles/ossm_cli.dir/ossm_cli.cc.o.d"
+  "ossm_cli"
+  "ossm_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ossm_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
