@@ -17,6 +17,7 @@
 #include "common/logging.h"
 #include "common/timer.h"
 #include "data/transaction_database.h"
+#include "obs/obs.h"
 #include "datagen/quest_generator.h"
 #include "datagen/skewed_generator.h"
 #include "mining/apriori.h"
@@ -173,6 +174,13 @@ inline MiningMeasurement MeasureApriori(const TransactionDatabase& db,
   }
   return measurement;
 }
+
+// Folds the process-wide metrics registry into the harness output. When
+// OSSM_METRICS selects a sink, this writes the report right away — next to
+// the tables the run printed — instead of waiting for process exit; with
+// metrics disabled it is a no-op. Safe to call once per harness: the report
+// is emitted at most once per process.
+inline void ReportMetrics() { obs::ReportNow(); }
 
 }  // namespace bench
 }  // namespace ossm

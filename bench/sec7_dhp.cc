@@ -112,6 +112,7 @@ int Run(int argc, char** argv) {
       assisted.c2 == 0 ? 0.0
                        : static_cast<double>(plain.c2) /
                              static_cast<double>(assisted.c2));
+  bench::ReportMetrics();
   return 0;
 }
 

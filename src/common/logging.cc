@@ -1,8 +1,10 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 
 namespace ossm {
 
@@ -22,6 +24,30 @@ const char* SeverityTag(LogSeverity s) {
   }
   return "?";
 }
+
+// Wall-clock "YYYY-MM-DD HH:MM:SS.mmm" for the line prefix. Wall clock (not
+// the monotonic clock used for timings) so log lines correlate with the
+// outside world.
+void FormatTimestamp(char* out, size_t size) {
+  using Clock = std::chrono::system_clock;
+  Clock::time_point now = Clock::now();
+  std::time_t seconds = Clock::to_time_t(now);
+  int millis = static_cast<int>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          now.time_since_epoch())
+          .count() %
+      1000);
+  std::tm parts{};
+#if defined(_WIN32)
+  localtime_s(&parts, &seconds);
+#else
+  localtime_r(&seconds, &parts);
+#endif
+  std::snprintf(out, size, "%04d-%02d-%02d %02d:%02d:%02d.%03d",
+                parts.tm_year + 1900, parts.tm_mon + 1, parts.tm_mday,
+                parts.tm_hour, parts.tm_min, parts.tm_sec, millis);
+}
+
 }  // namespace
 
 void SetMinLogSeverity(LogSeverity severity) { g_min_severity = severity; }
@@ -31,14 +57,20 @@ namespace internal_logging {
 
 LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
     : severity_(severity) {
-  stream_ << "[" << SeverityTag(severity) << " " << file << ":" << line
-          << "] ";
+  char timestamp[32];
+  FormatTimestamp(timestamp, sizeof(timestamp));
+  stream_ << "[" << timestamp << " " << SeverityTag(severity) << " " << file
+          << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {
   if (severity_ >= MinLogSeverity() || severity_ == LogSeverity::kFatal) {
+    // Format the whole line first and emit it with one stdio call: stdio
+    // locks the stream per call, so concurrent loggers cannot interleave
+    // mid-line.
     std::string line = stream_.str();
-    std::fprintf(stderr, "%s\n", line.c_str());
+    line += '\n';
+    std::fwrite(line.data(), 1, line.size(), stderr);
     std::fflush(stderr);
   }
   if (severity_ == LogSeverity::kFatal) {

@@ -23,6 +23,23 @@ class WallTimer {
   Clock::time_point start_;
 };
 
+// Scope-exit stopwatch: assigns the enclosing scope's elapsed wall-clock
+// seconds to *seconds on destruction. Replaces the manual
+// WallTimer/ElapsedSeconds bookkeeping around timed bodies; note the target
+// is written only at scope exit, so read it after the scope closes.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double* seconds) : seconds_(seconds) {}
+  ~ScopedTimer() { *seconds_ = timer_.ElapsedSeconds(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  double* seconds_;
+  WallTimer timer_;
+};
+
 }  // namespace ossm
 
 #endif  // OSSM_COMMON_TIMER_H_

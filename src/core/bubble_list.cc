@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/obs.h"
+
 namespace ossm {
 
 std::vector<ItemId> SelectBubbleList(std::span<const uint64_t> item_supports,
                                      uint64_t min_support_count,
                                      uint32_t size) {
+  OSSM_TRACE_SPAN("segment.bubble_select");
   std::vector<ItemId> items(item_supports.size());
   std::iota(items.begin(), items.end(), 0);
 

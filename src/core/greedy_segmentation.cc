@@ -5,6 +5,7 @@
 
 #include "common/timer.h"
 #include "core/ossub.h"
+#include "obs/obs.h"
 
 namespace ossm {
 
@@ -34,6 +35,7 @@ StatusOr<std::vector<Segment>> GreedySegmenter::Run(
     SegmentationStats* stats) {
   OSSM_RETURN_IF_ERROR(
       internal_segmentation::ValidateInput(initial, options));
+  OSSM_TRACE_SPAN("segment.greedy");
   WallTimer timer;
   uint64_t evaluations = 0;
 
@@ -92,6 +94,7 @@ StatusOr<std::vector<Segment>> GreedySegmenter::Run(
     if (!dead[s]) result.push_back(std::move(segments[s]));
   }
 
+  OSSM_COUNTER_ADD("segment.ossub_evaluations", evaluations);
   if (stats != nullptr) {
     stats->seconds = timer.ElapsedSeconds();
     stats->ossub_evaluations = evaluations;

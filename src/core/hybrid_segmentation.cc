@@ -2,6 +2,7 @@
 
 #include "common/timer.h"
 #include "core/random_segmentation.h"
+#include "obs/obs.h"
 
 namespace ossm {
 
@@ -24,6 +25,7 @@ StatusOr<std::vector<Segment>> HybridSegmenter::Run(
     return Status::InvalidArgument(
         "intermediate segment count must be >= target_segments");
   }
+  OSSM_TRACE_SPAN("segment.hybrid");
   WallTimer timer;
 
   SegmentationOptions random_options = options;

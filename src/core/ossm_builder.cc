@@ -8,6 +8,7 @@
 #include "core/hybrid_segmentation.h"
 #include "core/rc_segmentation.h"
 #include "core/random_segmentation.h"
+#include "obs/obs.h"
 
 namespace ossm {
 
@@ -55,16 +56,19 @@ StatusOr<OssmBuildResult> BuildOssm(const TransactionDatabase& db,
   if (options.bubble_threshold < 0.0 || options.bubble_threshold > 1.0) {
     return Status::InvalidArgument("bubble_threshold must be in [0, 1]");
   }
+  OSSM_TRACE_SPAN("ossm.build");
 
   StatusOr<PageLayout> layout =
       MakePageLayout(db, options.transactions_per_page);
   if (!layout.ok()) return layout.status();
   PageItemCounts page_counts(db, *layout);
+  OSSM_GAUGE_SET("ossm.pages", page_counts.num_pages());
 
   SegmentationOptions seg_options;
   seg_options.target_segments = options.target_segments;
   seg_options.seed = options.seed;
   if (options.bubble_fraction > 0.0) {
+    OSSM_TRACE_SPAN("ossm.bubble");
     uint32_t size = static_cast<uint32_t>(
         std::llround(options.bubble_fraction * db.num_items()));
     size = std::max<uint32_t>(size, 2);  // a pair summation needs >= 2 items
@@ -74,6 +78,7 @@ StatusOr<OssmBuildResult> BuildOssm(const TransactionDatabase& db,
     std::vector<uint64_t> supports = db.ComputeItemSupports();
     seg_options.bubble = SelectBubbleList(
         std::span<const uint64_t>(supports), min_count, size);
+    OSSM_GAUGE_SET("ossm.bubble_items", seg_options.bubble.size());
   }
 
   std::unique_ptr<Segmenter> segmenter =
@@ -83,6 +88,8 @@ StatusOr<OssmBuildResult> BuildOssm(const TransactionDatabase& db,
   StatusOr<std::vector<Segment>> segments = segmenter->Run(
       SegmentsFromPages(page_counts), seg_options, &result.stats);
   if (!segments.ok()) return segments.status();
+  OSSM_GAUGE_SET("ossm.segments", segments->size());
+  OSSM_COUNTER_INC("ossm.builds");
 
   result.map = SegmentSupportMap::FromSegments(
       std::span<const Segment>(*segments));

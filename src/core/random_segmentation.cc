@@ -4,6 +4,7 @@
 
 #include "common/random.h"
 #include "common/timer.h"
+#include "obs/obs.h"
 
 namespace ossm {
 
@@ -12,6 +13,7 @@ StatusOr<std::vector<Segment>> RandomSegmenter::Run(
     SegmentationStats* stats) {
   OSSM_RETURN_IF_ERROR(
       internal_segmentation::ValidateInput(initial, options));
+  OSSM_TRACE_SPAN("segment.random");
   WallTimer timer;
 
   uint64_t target = options.target_segments;

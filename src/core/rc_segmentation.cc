@@ -3,6 +3,7 @@
 #include "common/random.h"
 #include "common/timer.h"
 #include "core/ossub.h"
+#include "obs/obs.h"
 
 namespace ossm {
 
@@ -11,6 +12,7 @@ StatusOr<std::vector<Segment>> RcSegmenter::Run(
     SegmentationStats* stats) {
   OSSM_RETURN_IF_ERROR(
       internal_segmentation::ValidateInput(initial, options));
+  OSSM_TRACE_SPAN("segment.rc");
   WallTimer timer;
   uint64_t evaluations = 0;
 
@@ -41,6 +43,7 @@ StatusOr<std::vector<Segment>> RcSegmenter::Run(
     live.pop_back();
   }
 
+  OSSM_COUNTER_ADD("segment.ossub_evaluations", evaluations);
   if (stats != nullptr) {
     stats->seconds = timer.ElapsedSeconds();
     stats->ossub_evaluations = evaluations;

@@ -6,6 +6,8 @@
 #include <memory>
 #include <vector>
 
+#include "obs/obs.h"
+
 namespace ossm {
 
 namespace {
@@ -37,6 +39,7 @@ Status WriteAll(std::FILE* f, const void* data, size_t size,
   if (size != 0 && std::fwrite(data, 1, size, f) != size) {
     return Status::IOError("short write to " + path);
   }
+  OSSM_COUNTER_ADD("io.bytes_written", size);
   return Status::OK();
 }
 
@@ -45,6 +48,7 @@ Status ReadAll(std::FILE* f, void* data, size_t size,
   if (size != 0 && std::fread(data, 1, size, f) != size) {
     return Status::Corruption("unexpected end of file in " + path);
   }
+  OSSM_COUNTER_ADD("io.bytes_read", size);
   return Status::OK();
 }
 
@@ -52,6 +56,7 @@ Status ReadAll(std::FILE* f, void* data, size_t size,
 
 Status DatasetIo::SaveText(const TransactionDatabase& db,
                            const std::string& path) {
+  OSSM_TRACE_SPAN("io.save_text");
   UniqueFile file(std::fopen(path.c_str(), "w"));
   if (file == nullptr) {
     return Status::IOError("cannot open " + path + " for writing");
@@ -73,6 +78,7 @@ Status DatasetIo::SaveText(const TransactionDatabase& db,
 
 StatusOr<TransactionDatabase> DatasetIo::LoadText(const std::string& path,
                                                   uint32_t num_items_hint) {
+  OSSM_TRACE_SPAN("io.load_text");
   UniqueFile file(std::fopen(path.c_str(), "r"));
   if (file == nullptr) {
     return Status::IOError("cannot open " + path + " for reading");
@@ -125,6 +131,7 @@ StatusOr<TransactionDatabase> DatasetIo::LoadText(const std::string& path,
   for (;;) {
     size_t n = std::fread(buffer.data(), 1, buffer.size(), file.get());
     if (n == 0) break;
+    OSSM_COUNTER_ADD("io.bytes_read", n);
     size_t start = 0;
     for (size_t i = 0; i < n; ++i) {
       if (buffer[i] == '\n') {
@@ -152,6 +159,7 @@ StatusOr<TransactionDatabase> DatasetIo::LoadText(const std::string& path,
 
 Status DatasetIo::SaveBinary(const TransactionDatabase& db,
                              const std::string& path) {
+  OSSM_TRACE_SPAN("io.save_binary");
   UniqueFile file(std::fopen(path.c_str(), "wb"));
   if (file == nullptr) {
     return Status::IOError("cannot open " + path + " for writing");
@@ -183,6 +191,7 @@ Status DatasetIo::SaveBinary(const TransactionDatabase& db,
 }
 
 StatusOr<TransactionDatabase> DatasetIo::LoadBinary(const std::string& path) {
+  OSSM_TRACE_SPAN("io.load_binary");
   UniqueFile file(std::fopen(path.c_str(), "rb"));
   if (file == nullptr) {
     return Status::IOError("cannot open " + path + " for reading");

@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "obs/obs.h"
+
 namespace ossm {
 
 StatusOr<PageLayout> MakePageLayout(const TransactionDatabase& db,
@@ -27,6 +29,8 @@ PageItemCounts::PageItemCounts(const TransactionDatabase& db,
       num_items_(db.num_items()),
       data_(num_pages_ * num_items_, 0),
       page_transactions_(num_pages_, 0) {
+  OSSM_TRACE_SPAN("ossm.page_counts");
+  OSSM_COUNTER_ADD("io.page_touches", num_pages_);
   for (uint64_t p = 0; p < num_pages_; ++p) {
     uint64_t* row = data_.data() + p * num_items_;
     page_transactions_[p] = layout.page_size(p);

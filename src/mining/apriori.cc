@@ -7,6 +7,8 @@
 #include "common/timer.h"
 #include "mining/hash_tree.h"
 #include "mining/itemset.h"
+#include "mining/miner_metrics.h"
+#include "obs/obs.h"
 
 namespace ossm {
 
@@ -68,93 +70,89 @@ std::vector<Itemset> GenerateCandidates(const std::vector<Itemset>& frequent) {
 StatusOr<MiningResult> MineApriori(const TransactionDatabase& db,
                                    const AprioriConfig& config) {
   OSSM_RETURN_IF_ERROR(Validate(config));
-  WallTimer timer;
+  OSSM_TRACE_SPAN("apriori.mine");
 
   MiningResult result;
-  uint64_t min_support = EffectiveMinSupport(config, db.num_transactions());
+  {
+    ScopedTimer timer(&result.stats.total_seconds);
+    MinerMetrics metrics("apriori");
+    uint64_t min_support =
+        EffectiveMinSupport(config, db.num_transactions());
 
-  // --- Level 1 ---
-  LevelStats level1;
-  level1.level = 1;
-  level1.candidates_generated = db.num_items();
-  std::vector<uint64_t> item_supports;
-  std::span<const uint64_t> exact =
-      config.pruner != nullptr ? config.pruner->ExactSingletonSupports()
-                               : std::span<const uint64_t>();
-  if (exact.size() == db.num_items()) {
-    // The OSSM already knows every singleton support: no scan needed.
-    item_supports.assign(exact.begin(), exact.end());
-  } else {
-    item_supports = db.ComputeItemSupports();
-    ++result.stats.database_scans;
-    level1.candidates_counted = db.num_items();
-  }
-
-  std::vector<Itemset> frequent;  // L_k, canonically sorted
-  for (ItemId item = 0; item < db.num_items(); ++item) {
-    if (item_supports[item] >= min_support) {
-      result.itemsets.push_back({{item}, item_supports[item]});
-      frequent.push_back({item});
-      ++level1.frequent;
-    }
-  }
-  result.stats.levels.push_back(level1);
-
-  // --- Levels k >= 2 ---
-  for (uint32_t level = 2;
-       (config.max_level == 0 || level <= config.max_level) &&
-       frequent.size() >= 2;
-       ++level) {
-    LevelStats stats;
-    stats.level = level;
-
-    std::vector<Itemset> candidates = GenerateCandidates(frequent);
-    stats.candidates_generated = candidates.size();
-    if (candidates.empty()) {
-      result.stats.levels.push_back(stats);
-      break;
+    // --- Level 1 ---
+    metrics.CandidatesGenerated(1, db.num_items());
+    std::vector<uint64_t> item_supports;
+    std::span<const uint64_t> exact =
+        config.pruner != nullptr ? config.pruner->ExactSingletonSupports()
+                                 : std::span<const uint64_t>();
+    if (exact.size() == db.num_items()) {
+      // The OSSM already knows every singleton support: no scan needed.
+      item_supports.assign(exact.begin(), exact.end());
+    } else {
+      item_supports = db.ComputeItemSupports();
+      metrics.DatabaseScan();
+      metrics.CandidatesCounted(1, db.num_items());
     }
 
-    // Equation-(1) pruning before any counting work.
-    if (config.pruner != nullptr) {
-      std::vector<Itemset> survivors;
-      survivors.reserve(candidates.size());
-      for (Itemset& candidate : candidates) {
-        if (config.pruner->UpperBound(candidate) >= min_support) {
-          survivors.push_back(std::move(candidate));
-        } else {
-          ++stats.pruned_by_bound;
+    std::vector<Itemset> frequent;  // L_k, canonically sorted
+    for (ItemId item = 0; item < db.num_items(); ++item) {
+      if (item_supports[item] >= min_support) {
+        result.itemsets.push_back({{item}, item_supports[item]});
+        frequent.push_back({item});
+        metrics.Frequent(1);
+      }
+    }
+
+    // --- Levels k >= 2 ---
+    for (uint32_t level = 2;
+         (config.max_level == 0 || level <= config.max_level) &&
+         frequent.size() >= 2;
+         ++level) {
+      std::vector<Itemset> candidates = GenerateCandidates(frequent);
+      metrics.CandidatesGenerated(level, candidates.size());
+      if (candidates.empty()) break;
+
+      // Equation-(1) pruning before any counting work.
+      if (config.pruner != nullptr) {
+        std::vector<Itemset> survivors;
+        survivors.reserve(candidates.size());
+        for (Itemset& candidate : candidates) {
+          if (config.pruner->Admits(candidate, min_support)) {
+            survivors.push_back(std::move(candidate));
+          } else {
+            metrics.PrunedByBound(level);
+          }
+        }
+        candidates = std::move(survivors);
+      }
+      metrics.CandidatesCounted(level, candidates.size());
+
+      std::vector<Itemset> next_frequent;
+      if (!candidates.empty()) {
+        OSSM_TRACE_SPAN("apriori.count_pass");
+        HashTree tree(std::move(candidates), config.hash_tree_fanout,
+                      config.hash_tree_leaf_capacity);
+        for (uint64_t t = 0; t < db.num_transactions(); ++t) {
+          tree.CountTransaction(db.transaction(t));
+        }
+        metrics.DatabaseScan();
+
+        for (size_t c = 0; c < tree.num_candidates(); ++c) {
+          if (tree.counts()[c] >= min_support) {
+            result.itemsets.push_back(
+                {tree.candidates()[c], tree.counts()[c]});
+            next_frequent.push_back(tree.candidates()[c]);
+            metrics.Frequent(level);
+          }
         }
       }
-      candidates = std::move(survivors);
+      frequent = std::move(next_frequent);
+      std::sort(frequent.begin(), frequent.end(), ItemsetLess);
     }
-    stats.candidates_counted = candidates.size();
 
-    std::vector<Itemset> next_frequent;
-    if (!candidates.empty()) {
-      HashTree tree(std::move(candidates), config.hash_tree_fanout,
-                    config.hash_tree_leaf_capacity);
-      for (uint64_t t = 0; t < db.num_transactions(); ++t) {
-        tree.CountTransaction(db.transaction(t));
-      }
-      ++result.stats.database_scans;
-
-      for (size_t c = 0; c < tree.num_candidates(); ++c) {
-        if (tree.counts()[c] >= min_support) {
-          result.itemsets.push_back(
-              {tree.candidates()[c], tree.counts()[c]});
-          next_frequent.push_back(tree.candidates()[c]);
-          ++stats.frequent;
-        }
-      }
-    }
-    result.stats.levels.push_back(stats);
-    frequent = std::move(next_frequent);
-    std::sort(frequent.begin(), frequent.end(), ItemsetLess);
+    result.Canonicalize();
+    metrics.Finish(&result.stats);
   }
-
-  result.Canonicalize();
-  result.stats.total_seconds = timer.ElapsedSeconds();
   return result;
 }
 

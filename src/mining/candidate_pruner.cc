@@ -1,8 +1,34 @@
 #include "mining/candidate_pruner.h"
 
+#include <string>
+
 #include "common/logging.h"
+#include "obs/obs.h"
 
 namespace ossm {
+
+bool CandidatePruner::Admits(std::span<const ItemId> itemset,
+                             uint64_t min_support) const {
+  uint64_t bound = UpperBound(itemset);
+  bool admitted = bound >= min_support;
+  if (obs::MetricsEnabled()) {
+    if (evaluations_counter_.load(std::memory_order_acquire) == nullptr) {
+      std::string prefix = "pruner.";
+      prefix += name();
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+      pruned_counter_.store(&registry.GetCounter(prefix + ".pruned"),
+                            std::memory_order_release);
+      evaluations_counter_.store(
+          &registry.GetCounter(prefix + ".bound_evaluations"),
+          std::memory_order_release);
+    }
+    evaluations_counter_.load(std::memory_order_relaxed)->Add(1);
+    if (!admitted) {
+      pruned_counter_.load(std::memory_order_relaxed)->Add(1);
+    }
+  }
+  return admitted;
+}
 
 OssmPruner::OssmPruner(const SegmentSupportMap* map) : map_(map) {
   OSSM_CHECK(map_ != nullptr);

@@ -1,6 +1,7 @@
 #ifndef OSSM_MINING_CANDIDATE_PRUNER_H_
 #define OSSM_MINING_CANDIDATE_PRUNER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <string_view>
@@ -11,6 +12,10 @@
 
 namespace ossm {
 
+namespace obs {
+class Counter;
+}  // namespace obs
+
 // What a miner needs from a support-bounding structure: an upper bound on
 // any candidate's support, and (optionally) exact singleton supports so the
 // first counting pass can be skipped. The OSSM is one implementation; the
@@ -19,7 +24,17 @@ namespace ossm {
 // claim of Sections 1 and 7).
 class CandidatePruner {
  public:
+  CandidatePruner() = default;
   virtual ~CandidatePruner() = default;
+
+  // The atomics below are just caches of stable registry references, so
+  // copying a pruner copies the cached pointers (or re-resolves them later
+  // — both are correct). Explicit because std::atomic is not copyable.
+  CandidatePruner(const CandidatePruner& other) { CopyCaches(other); }
+  CandidatePruner& operator=(const CandidatePruner& other) {
+    CopyCaches(other);
+    return *this;
+  }
 
   virtual std::string_view name() const = 0;
 
@@ -33,6 +48,30 @@ class CandidatePruner {
   virtual std::span<const uint64_t> ExactSingletonSupports() const {
     return {};
   }
+
+  // Bound-checks one candidate against a miner's threshold: true when the
+  // candidate survives (UpperBound >= min_support). This is the entry point
+  // miners call — with OSSM_METRICS active it counts bound evaluations and
+  // prune hits per pruner ("pruner.<name>.bound_evaluations" / ".pruned").
+  bool Admits(std::span<const ItemId> itemset, uint64_t min_support) const;
+
+ private:
+  void CopyCaches(const CandidatePruner& other) {
+    // Keep the resolution invariant: pruned_counter_ is published before
+    // evaluations_counter_, so a reader seeing the latter sees both.
+    pruned_counter_.store(
+        other.pruned_counter_.load(std::memory_order_acquire),
+        std::memory_order_release);
+    evaluations_counter_.store(
+        other.evaluations_counter_.load(std::memory_order_acquire),
+        std::memory_order_release);
+  }
+
+  // Instrument handles, resolved on first instrumented Admits call. The
+  // registry hands out stable references, so racing resolutions from
+  // concurrent miners all store the same pointers.
+  mutable std::atomic<obs::Counter*> evaluations_counter_{nullptr};
+  mutable std::atomic<obs::Counter*> pruned_counter_{nullptr};
 };
 
 // No pruning: every bound is "unknown". Baseline ("without the OSSM").

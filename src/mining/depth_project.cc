@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "common/timer.h"
+#include "mining/miner_metrics.h"
+#include "obs/obs.h"
 
 namespace ossm {
 
@@ -29,18 +31,9 @@ struct SearchState {
   const CandidatePruner* pruner;
 
   std::vector<FrequentItemset>* out;
-  // Per-depth accounting, grown on demand (depth d -> level d+1 patterns).
-  std::vector<LevelStats>* levels;
+  // Per-depth accounting (depth d -> level d+1 patterns).
+  MinerMetrics* metrics;
 };
-
-LevelStats& LevelAt(SearchState& state, uint32_t level) {
-  while (state.levels->size() < level) {
-    LevelStats stats;
-    stats.level = static_cast<uint32_t>(state.levels->size() + 1);
-    state.levels->push_back(stats);
-  }
-  return (*state.levels)[level - 1];
-}
 
 // Expands the node `prefix` (already emitted) whose projection is
 // `transactions`. `first_extension` is the smallest item id allowed as an
@@ -52,8 +45,6 @@ void Expand(SearchState& state, Itemset& prefix,
   if (state.max_level != 0 && next_level > state.max_level) return;
   if (first_extension >= state.db->num_items()) return;
 
-  LevelStats& stats = LevelAt(state, next_level);
-
   // Which extensions are worth counting? Bound-check each candidate item
   // before the projection scan (the Section 7 integration).
   std::vector<char> countable(state.db->num_items(), 0);
@@ -61,16 +52,16 @@ void Expand(SearchState& state, Itemset& prefix,
   candidate.push_back(0);
   bool any = false;
   for (ItemId e = first_extension; e < state.db->num_items(); ++e) {
-    ++stats.candidates_generated;
+    state.metrics->CandidatesGenerated(next_level);
     if (state.pruner != nullptr) {
       candidate.back() = e;
-      if (state.pruner->UpperBound(candidate) < state.min_support) {
-        ++stats.pruned_by_bound;
+      if (!state.pruner->Admits(candidate, state.min_support)) {
+        state.metrics->PrunedByBound(next_level);
         continue;
       }
     }
     countable[e] = 1;
-    ++stats.candidates_counted;
+    state.metrics->CandidatesCounted(next_level);
     any = true;
   }
   if (!any) return;
@@ -91,7 +82,7 @@ void Expand(SearchState& state, Itemset& prefix,
 
     prefix.push_back(e);
     state.out->push_back({prefix, support[e]});
-    ++LevelAt(state, next_level).frequent;
+    state.metrics->Frequent(next_level);
 
     // Project: keep the supporting transactions only.
     std::vector<uint64_t> projected;
@@ -110,36 +101,40 @@ void Expand(SearchState& state, Itemset& prefix,
 StatusOr<MiningResult> MineDepthProject(const TransactionDatabase& db,
                                         const DepthProjectConfig& config) {
   OSSM_RETURN_IF_ERROR(Validate(config));
-  WallTimer timer;
+  OSSM_TRACE_SPAN("depth_project.mine");
 
   MiningResult result;
-  uint64_t min_support = config.min_support_count;
-  if (min_support == 0) {
-    min_support = std::max<uint64_t>(
-        1, static_cast<uint64_t>(
-               std::ceil(config.min_support_fraction *
-                         static_cast<double>(db.num_transactions()))));
+  {
+    ScopedTimer timer(&result.stats.total_seconds);
+    MinerMetrics metrics("depth_project");
+    uint64_t min_support = config.min_support_count;
+    if (min_support == 0) {
+      min_support = std::max<uint64_t>(
+          1, static_cast<uint64_t>(
+                 std::ceil(config.min_support_fraction *
+                           static_cast<double>(db.num_transactions()))));
+    }
+
+    SearchState state;
+    state.db = &db;
+    state.min_support = min_support;
+    state.max_level = config.max_level;
+    state.pruner = config.pruner;
+    state.out = &result.itemsets;
+    state.metrics = &metrics;
+
+    // The root's projection is the whole database; singleton supports come
+    // from the OSSM when available, otherwise from the root expansion scan.
+    std::vector<uint64_t> all(db.num_transactions());
+    for (uint64_t t = 0; t < db.num_transactions(); ++t) all[t] = t;
+    metrics.DatabaseScan();  // the root expansion pass
+
+    Itemset prefix;
+    Expand(state, prefix, all, 0);
+
+    result.Canonicalize();
+    metrics.Finish(&result.stats);
   }
-
-  SearchState state;
-  state.db = &db;
-  state.min_support = min_support;
-  state.max_level = config.max_level;
-  state.pruner = config.pruner;
-  state.out = &result.itemsets;
-  state.levels = &result.stats.levels;
-
-  // The root's projection is the whole database; singleton supports come
-  // from the OSSM when available, otherwise from the root expansion scan.
-  std::vector<uint64_t> all(db.num_transactions());
-  for (uint64_t t = 0; t < db.num_transactions(); ++t) all[t] = t;
-  ++result.stats.database_scans;  // the root expansion pass
-
-  Itemset prefix;
-  Expand(state, prefix, all, 0);
-
-  result.Canonicalize();
-  result.stats.total_seconds = timer.ElapsedSeconds();
   return result;
 }
 

@@ -9,6 +9,8 @@
 #include "mining/apriori.h"
 #include "mining/hash_tree.h"
 #include "mining/itemset.h"
+#include "mining/miner_metrics.h"
+#include "obs/obs.h"
 
 namespace ossm {
 
@@ -86,156 +88,156 @@ std::vector<Itemset> GenerateCandidates(const std::vector<Itemset>& frequent) {
 StatusOr<MiningResult> MineDhp(const TransactionDatabase& db,
                                const DhpConfig& config) {
   OSSM_RETURN_IF_ERROR(Validate(config));
-  WallTimer timer;
+  OSSM_TRACE_SPAN("dhp.mine");
 
   MiningResult result;
-  AprioriConfig threshold_proxy;
-  threshold_proxy.min_support_fraction = config.min_support_fraction;
-  threshold_proxy.min_support_count = config.min_support_count;
-  uint64_t min_support =
-      EffectiveMinSupport(threshold_proxy, db.num_transactions());
-
-  // --- Pass 1: singleton counts + the H2 bucket table ---
-  LevelStats level1;
-  level1.level = 1;
-  level1.candidates_generated = db.num_items();
-  level1.candidates_counted = db.num_items();
-  std::vector<uint64_t> item_supports(db.num_items(), 0);
-  std::vector<uint64_t> buckets(config.num_buckets, 0);
   {
-    std::vector<ItemId> scratch;
-    for (uint64_t t = 0; t < db.num_transactions(); ++t) {
-      std::span<const ItemId> txn = db.transaction(t);
-      for (ItemId item : txn) ++item_supports[item];
-      scratch.clear();
-      HashAllSubsets(txn, 2, scratch, buckets, config.num_buckets, 0);
-    }
-    ++result.stats.database_scans;
-  }
+    ScopedTimer timer(&result.stats.total_seconds);
+    MinerMetrics metrics("dhp");
+    AprioriConfig threshold_proxy;
+    threshold_proxy.min_support_fraction = config.min_support_fraction;
+    threshold_proxy.min_support_count = config.min_support_count;
+    uint64_t min_support =
+        EffectiveMinSupport(threshold_proxy, db.num_transactions());
 
-  std::vector<Itemset> frequent;
-  for (ItemId item = 0; item < db.num_items(); ++item) {
-    if (item_supports[item] >= min_support) {
-      result.itemsets.push_back({{item}, item_supports[item]});
-      frequent.push_back({item});
-      ++level1.frequent;
-    }
-  }
-  result.stats.levels.push_back(level1);
-
-  // The working (possibly trimmed) database for counting passes.
-  TransactionDatabase working = db;
-
-  for (uint32_t level = 2;
-       (config.max_level == 0 || level <= config.max_level) &&
-       frequent.size() >= 2;
-       ++level) {
-    LevelStats stats;
-    stats.level = level;
-
-    std::vector<Itemset> candidates = GenerateCandidates(frequent);
-    stats.candidates_generated = candidates.size();
-
-    // OSSM pruning first: known-infrequent candidates are never even hashed
-    // (Section 7: "known infrequent k-itemsets are not generated in the
-    // first place").
-    if (config.pruner != nullptr) {
-      std::vector<Itemset> survivors;
-      survivors.reserve(candidates.size());
-      for (Itemset& candidate : candidates) {
-        if (config.pruner->UpperBound(candidate) >= min_support) {
-          survivors.push_back(std::move(candidate));
-        } else {
-          ++stats.pruned_by_bound;
-        }
-      }
-      candidates = std::move(survivors);
-    }
-
-    // Bucket filter: the bucket total is an upper bound on the candidate's
-    // support (trimming keeps it so — see below), hence lossless.
+    // --- Pass 1: singleton counts + the H2 bucket table ---
+    metrics.CandidatesGenerated(1, db.num_items());
+    metrics.CandidatesCounted(1, db.num_items());
+    std::vector<uint64_t> item_supports(db.num_items(), 0);
+    std::vector<uint64_t> buckets(config.num_buckets, 0);
     {
-      std::vector<Itemset> survivors;
-      survivors.reserve(candidates.size());
-      for (Itemset& candidate : candidates) {
-        if (buckets[BucketOf(candidate, config.num_buckets)] >= min_support) {
-          survivors.push_back(std::move(candidate));
-        } else {
-          ++stats.pruned_by_hash;
-        }
-      }
-      candidates = std::move(survivors);
-    }
-    stats.candidates_counted = candidates.size();
-
-    if (candidates.empty()) {
-      result.stats.levels.push_back(stats);
-      break;
-    }
-
-    // --- Counting pass over the working database, with trimming and the
-    // next level's bucket table built on the fly ---
-    HashTree tree(std::move(candidates), config.hash_tree_fanout,
-                  config.hash_tree_leaf_capacity);
-    TransactionDatabase trimmed(db.num_items());
-    std::vector<uint64_t> next_buckets(config.num_buckets, 0);
-    std::vector<uint32_t> matched;
-    std::vector<uint32_t> occurrence(db.num_items(), 0);
-    std::vector<ItemId> kept;
-    std::vector<ItemId> scratch;
-    for (uint64_t t = 0; t < working.num_transactions(); ++t) {
-      std::span<const ItemId> txn = working.transaction(t);
-      tree.CountTransaction(txn, &matched);
-
-      // DHP trimming: an item can only contribute to a frequent
-      // (level+1)-itemset in this transaction if it occurs in at least
-      // `level` matched candidates (every (level+1)-itemset has `level`
-      // level-subsets through each of its items, all of which are
-      // candidates by closure).
-      kept.clear();
-      for (uint32_t candidate_id : matched) {
-        for (ItemId item : tree.candidates()[candidate_id]) {
-          ++occurrence[item];
-        }
-      }
-      for (uint32_t candidate_id : matched) {
-        for (ItemId item : tree.candidates()[candidate_id]) {
-          if (occurrence[item] >= level) kept.push_back(item);
-          occurrence[item] = 0;  // reset as we go (items revisited get 0)
-        }
-      }
-      std::sort(kept.begin(), kept.end());
-      kept.erase(std::unique(kept.begin(), kept.end()), kept.end());
-      if (kept.size() >= level + 1) {
-        Status append = trimmed.Append(std::span<const ItemId>(kept));
-        OSSM_CHECK(append.ok()) << append.ToString();
+      OSSM_TRACE_SPAN("dhp.pass1");
+      std::vector<ItemId> scratch;
+      for (uint64_t t = 0; t < db.num_transactions(); ++t) {
+        std::span<const ItemId> txn = db.transaction(t);
+        for (ItemId item : txn) ++item_supports[item];
         scratch.clear();
-        HashAllSubsets(std::span<const ItemId>(trimmed.transaction(
-                           trimmed.num_transactions() - 1)),
-                       level + 1, scratch, next_buckets, config.num_buckets,
-                       0);
+        HashAllSubsets(txn, 2, scratch, buckets, config.num_buckets, 0);
+      }
+      metrics.DatabaseScan();
+    }
+
+    std::vector<Itemset> frequent;
+    for (ItemId item = 0; item < db.num_items(); ++item) {
+      if (item_supports[item] >= min_support) {
+        result.itemsets.push_back({{item}, item_supports[item]});
+        frequent.push_back({item});
+        metrics.Frequent(1);
       }
     }
-    ++result.stats.database_scans;
 
-    std::vector<Itemset> next_frequent;
-    for (size_t c = 0; c < tree.num_candidates(); ++c) {
-      if (tree.counts()[c] >= min_support) {
-        result.itemsets.push_back({tree.candidates()[c], tree.counts()[c]});
-        next_frequent.push_back(tree.candidates()[c]);
-        ++stats.frequent;
+    // The working (possibly trimmed) database for counting passes.
+    TransactionDatabase working = db;
+
+    for (uint32_t level = 2;
+         (config.max_level == 0 || level <= config.max_level) &&
+         frequent.size() >= 2;
+         ++level) {
+      std::vector<Itemset> candidates = GenerateCandidates(frequent);
+      metrics.CandidatesGenerated(level, candidates.size());
+
+      // OSSM pruning first: known-infrequent candidates are never even
+      // hashed (Section 7: "known infrequent k-itemsets are not generated
+      // in the first place").
+      if (config.pruner != nullptr) {
+        std::vector<Itemset> survivors;
+        survivors.reserve(candidates.size());
+        for (Itemset& candidate : candidates) {
+          if (config.pruner->Admits(candidate, min_support)) {
+            survivors.push_back(std::move(candidate));
+          } else {
+            metrics.PrunedByBound(level);
+          }
+        }
+        candidates = std::move(survivors);
       }
-    }
-    result.stats.levels.push_back(stats);
 
-    frequent = std::move(next_frequent);
-    std::sort(frequent.begin(), frequent.end(), ItemsetLess);
-    working = std::move(trimmed);
-    buckets = std::move(next_buckets);
+      // Bucket filter: the bucket total is an upper bound on the
+      // candidate's support (trimming keeps it so — see below), hence
+      // lossless.
+      {
+        std::vector<Itemset> survivors;
+        survivors.reserve(candidates.size());
+        for (Itemset& candidate : candidates) {
+          if (buckets[BucketOf(candidate, config.num_buckets)] >=
+              min_support) {
+            survivors.push_back(std::move(candidate));
+          } else {
+            metrics.PrunedByHash(level);
+          }
+        }
+        candidates = std::move(survivors);
+      }
+      metrics.CandidatesCounted(level, candidates.size());
+
+      if (candidates.empty()) break;
+
+      OSSM_TRACE_SPAN("dhp.count_pass");
+
+      // --- Counting pass over the working database, with trimming and the
+      // next level's bucket table built on the fly ---
+      HashTree tree(std::move(candidates), config.hash_tree_fanout,
+                    config.hash_tree_leaf_capacity);
+      TransactionDatabase trimmed(db.num_items());
+      std::vector<uint64_t> next_buckets(config.num_buckets, 0);
+      std::vector<uint32_t> matched;
+      std::vector<uint32_t> occurrence(db.num_items(), 0);
+      std::vector<ItemId> kept;
+      std::vector<ItemId> scratch;
+      for (uint64_t t = 0; t < working.num_transactions(); ++t) {
+        std::span<const ItemId> txn = working.transaction(t);
+        tree.CountTransaction(txn, &matched);
+
+        // DHP trimming: an item can only contribute to a frequent
+        // (level+1)-itemset in this transaction if it occurs in at least
+        // `level` matched candidates (every (level+1)-itemset has `level`
+        // level-subsets through each of its items, all of which are
+        // candidates by closure).
+        kept.clear();
+        for (uint32_t candidate_id : matched) {
+          for (ItemId item : tree.candidates()[candidate_id]) {
+            ++occurrence[item];
+          }
+        }
+        for (uint32_t candidate_id : matched) {
+          for (ItemId item : tree.candidates()[candidate_id]) {
+            if (occurrence[item] >= level) kept.push_back(item);
+            occurrence[item] = 0;  // reset as we go (items revisited get 0)
+          }
+        }
+        std::sort(kept.begin(), kept.end());
+        kept.erase(std::unique(kept.begin(), kept.end()), kept.end());
+        if (kept.size() >= level + 1) {
+          Status append = trimmed.Append(std::span<const ItemId>(kept));
+          OSSM_CHECK(append.ok()) << append.ToString();
+          scratch.clear();
+          HashAllSubsets(std::span<const ItemId>(trimmed.transaction(
+                             trimmed.num_transactions() - 1)),
+                         level + 1, scratch, next_buckets,
+                         config.num_buckets, 0);
+        }
+      }
+      metrics.DatabaseScan();
+
+      std::vector<Itemset> next_frequent;
+      for (size_t c = 0; c < tree.num_candidates(); ++c) {
+        if (tree.counts()[c] >= min_support) {
+          result.itemsets.push_back(
+              {tree.candidates()[c], tree.counts()[c]});
+          next_frequent.push_back(tree.candidates()[c]);
+          metrics.Frequent(level);
+        }
+      }
+
+      frequent = std::move(next_frequent);
+      std::sort(frequent.begin(), frequent.end(), ItemsetLess);
+      working = std::move(trimmed);
+      buckets = std::move(next_buckets);
+    }
+
+    result.Canonicalize();
+    metrics.Finish(&result.stats);
   }
-
-  result.Canonicalize();
-  result.stats.total_seconds = timer.ElapsedSeconds();
   return result;
 }
 

@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "common/timer.h"
+#include "mining/miner_metrics.h"
+#include "obs/obs.h"
 
 namespace ossm {
 
@@ -35,17 +37,8 @@ struct SearchState {
   uint32_t max_level;
   const CandidatePruner* pruner;
   std::vector<FrequentItemset>* out;
-  std::vector<LevelStats>* levels;
+  MinerMetrics* metrics;
 };
-
-LevelStats& LevelAt(SearchState& state, uint32_t level) {
-  while (state.levels->size() < level) {
-    LevelStats stats;
-    stats.level = static_cast<uint32_t>(state.levels->size() + 1);
-    state.levels->push_back(stats);
-  }
-  return (*state.levels)[level - 1];
-}
 
 void Intersect(const TidList& a, const TidList& b, TidList* out) {
   out->clear();
@@ -67,21 +60,20 @@ void Expand(SearchState& state, Itemset& prefix,
     prefix.push_back(members[i].item);
     std::vector<ClassMember> next_class;
     for (size_t j = i + 1; j < members.size(); ++j) {
-      LevelStats& stats = LevelAt(state, next_level);
-      ++stats.candidates_generated;
+      state.metrics->CandidatesGenerated(next_level);
 
       if (state.pruner != nullptr) {
         candidate = prefix;
         candidate.push_back(members[j].item);
-        if (state.pruner->UpperBound(candidate) < state.min_support) {
-          ++stats.pruned_by_bound;
+        if (!state.pruner->Admits(candidate, state.min_support)) {
+          state.metrics->PrunedByBound(next_level);
           continue;
         }
       }
-      ++stats.candidates_counted;
+      state.metrics->CandidatesCounted(next_level);
       Intersect(members[i].tids, members[j].tids, &intersection);
       if (intersection.size() >= state.min_support) {
-        ++stats.frequent;
+        state.metrics->Frequent(next_level);
         Itemset found = prefix;
         found.push_back(members[j].item);
         state.out->push_back({std::move(found), intersection.size()});
@@ -100,51 +92,57 @@ void Expand(SearchState& state, Itemset& prefix,
 StatusOr<MiningResult> MineEclat(const TransactionDatabase& db,
                                  const EclatConfig& config) {
   OSSM_RETURN_IF_ERROR(Validate(config));
-  WallTimer timer;
+  OSSM_TRACE_SPAN("eclat.mine");
 
   MiningResult result;
-  uint64_t min_support = config.min_support_count;
-  if (min_support == 0) {
-    min_support = std::max<uint64_t>(
-        1, static_cast<uint64_t>(
-               std::ceil(config.min_support_fraction *
-                         static_cast<double>(db.num_transactions()))));
-  }
-
-  // Verticalize: one scan builds every item's tid-list.
-  std::vector<TidList> tid_lists(db.num_items());
-  for (uint64_t t = 0; t < db.num_transactions(); ++t) {
-    for (ItemId item : db.transaction(t)) {
-      tid_lists[item].push_back(t);
+  {
+    ScopedTimer timer(&result.stats.total_seconds);
+    MinerMetrics metrics("eclat");
+    uint64_t min_support = config.min_support_count;
+    if (min_support == 0) {
+      min_support = std::max<uint64_t>(
+          1, static_cast<uint64_t>(
+                 std::ceil(config.min_support_fraction *
+                           static_cast<double>(db.num_transactions()))));
     }
-  }
-  ++result.stats.database_scans;
 
-  SearchState state;
-  state.min_support = min_support;
-  state.max_level = config.max_level;
-  state.pruner = config.pruner;
-  state.out = &result.itemsets;
-  state.levels = &result.stats.levels;
-
-  LevelStats& level1 = LevelAt(state, 1);
-  level1.candidates_generated = db.num_items();
-  level1.candidates_counted = db.num_items();
-
-  std::vector<ClassMember> root_class;
-  for (ItemId item = 0; item < db.num_items(); ++item) {
-    if (tid_lists[item].size() >= min_support) {
-      ++level1.frequent;
-      result.itemsets.push_back({{item}, tid_lists[item].size()});
-      root_class.push_back({item, std::move(tid_lists[item])});
+    // Verticalize: one scan builds every item's tid-list.
+    std::vector<TidList> tid_lists(db.num_items());
+    {
+      OSSM_TRACE_SPAN("eclat.verticalize");
+      for (uint64_t t = 0; t < db.num_transactions(); ++t) {
+        for (ItemId item : db.transaction(t)) {
+          tid_lists[item].push_back(t);
+        }
+      }
+      metrics.DatabaseScan();
     }
+
+    SearchState state;
+    state.min_support = min_support;
+    state.max_level = config.max_level;
+    state.pruner = config.pruner;
+    state.out = &result.itemsets;
+    state.metrics = &metrics;
+
+    metrics.CandidatesGenerated(1, db.num_items());
+    metrics.CandidatesCounted(1, db.num_items());
+
+    std::vector<ClassMember> root_class;
+    for (ItemId item = 0; item < db.num_items(); ++item) {
+      if (tid_lists[item].size() >= min_support) {
+        metrics.Frequent(1);
+        result.itemsets.push_back({{item}, tid_lists[item].size()});
+        root_class.push_back({item, std::move(tid_lists[item])});
+      }
+    }
+
+    Itemset prefix;
+    Expand(state, prefix, root_class);
+
+    result.Canonicalize();
+    metrics.Finish(&result.stats);
   }
-
-  Itemset prefix;
-  Expand(state, prefix, root_class);
-
-  result.Canonicalize();
-  result.stats.total_seconds = timer.ElapsedSeconds();
   return result;
 }
 

@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "common/timer.h"
+#include "mining/miner_metrics.h"
+#include "obs/obs.h"
 
 namespace ossm {
 
@@ -99,6 +101,7 @@ struct MiningContext {
   uint32_t max_level;  // 0 = unlimited
   const std::vector<ItemId>* rank_to_item;
   std::vector<FrequentItemset>* out;
+  MinerMetrics* metrics;
 };
 
 // Recursive FP-growth: for each rank in `tree` (ascending frequency order —
@@ -112,6 +115,7 @@ void Grow(const FpTree& tree, std::vector<ItemId>& suffix_ranks,
     if (support < ctx.min_support) continue;
 
     suffix_ranks.push_back(rank);
+    ctx.metrics->Frequent(static_cast<uint32_t>(suffix_ranks.size()));
 
     // Emit the pattern (translated back to item ids, sorted).
     Itemset items;
@@ -144,56 +148,66 @@ StatusOr<MiningResult> MineFpGrowth(const TransactionDatabase& db,
         "min_support_fraction must be in (0, 1] when no absolute count is "
         "given");
   }
-  WallTimer timer;
+  OSSM_TRACE_SPAN("fp_growth.mine");
 
   MiningResult result;
-  uint64_t min_support = config.min_support_count;
-  if (min_support == 0) {
-    min_support = std::max<uint64_t>(
-        1, static_cast<uint64_t>(
-               std::ceil(config.min_support_fraction *
-                         static_cast<double>(db.num_transactions()))));
-  }
-
-  // Pass 1: item supports; rank frequent items by descending support.
-  std::vector<uint64_t> supports = db.ComputeItemSupports();
-  ++result.stats.database_scans;
-
-  std::vector<ItemId> rank_to_item;
-  for (ItemId item = 0; item < db.num_items(); ++item) {
-    if (supports[item] >= min_support) rank_to_item.push_back(item);
-  }
-  std::stable_sort(rank_to_item.begin(), rank_to_item.end(),
-                   [&](ItemId a, ItemId b) {
-                     return supports[a] > supports[b];
-                   });
-  std::vector<ItemId> item_to_rank(db.num_items(), kInvalidItem);
-  for (size_t r = 0; r < rank_to_item.size(); ++r) {
-    item_to_rank[rank_to_item[r]] = static_cast<ItemId>(r);
-  }
-
-  // Pass 2: build the global FP-tree from rank-mapped transactions.
-  FpTree tree(static_cast<uint32_t>(rank_to_item.size()));
-  std::vector<ItemId> ranks;
-  for (uint64_t t = 0; t < db.num_transactions(); ++t) {
-    ranks.clear();
-    for (ItemId item : db.transaction(t)) {
-      if (item_to_rank[item] != kInvalidItem) {
-        ranks.push_back(item_to_rank[item]);
-      }
+  {
+    ScopedTimer timer(&result.stats.total_seconds);
+    MinerMetrics metrics("fp_growth");
+    uint64_t min_support = config.min_support_count;
+    if (min_support == 0) {
+      min_support = std::max<uint64_t>(
+          1, static_cast<uint64_t>(
+                 std::ceil(config.min_support_fraction *
+                           static_cast<double>(db.num_transactions()))));
     }
-    std::sort(ranks.begin(), ranks.end());
-    if (!ranks.empty()) tree.Insert(ranks, 1);
+
+    // Pass 1: item supports; rank frequent items by descending support.
+    std::vector<uint64_t> supports = db.ComputeItemSupports();
+    metrics.DatabaseScan();
+
+    std::vector<ItemId> rank_to_item;
+    for (ItemId item = 0; item < db.num_items(); ++item) {
+      if (supports[item] >= min_support) rank_to_item.push_back(item);
+    }
+    std::stable_sort(rank_to_item.begin(), rank_to_item.end(),
+                     [&](ItemId a, ItemId b) {
+                       return supports[a] > supports[b];
+                     });
+    std::vector<ItemId> item_to_rank(db.num_items(), kInvalidItem);
+    for (size_t r = 0; r < rank_to_item.size(); ++r) {
+      item_to_rank[rank_to_item[r]] = static_cast<ItemId>(r);
+    }
+
+    // Pass 2: build the global FP-tree from rank-mapped transactions.
+    FpTree tree(static_cast<uint32_t>(rank_to_item.size()));
+    {
+      OSSM_TRACE_SPAN("fp_growth.build_tree");
+      std::vector<ItemId> ranks;
+      for (uint64_t t = 0; t < db.num_transactions(); ++t) {
+        ranks.clear();
+        for (ItemId item : db.transaction(t)) {
+          if (item_to_rank[item] != kInvalidItem) {
+            ranks.push_back(item_to_rank[item]);
+          }
+        }
+        std::sort(ranks.begin(), ranks.end());
+        if (!ranks.empty()) tree.Insert(ranks, 1);
+      }
+      metrics.DatabaseScan();
+    }
+
+    MiningContext ctx{min_support, config.max_level, &rank_to_item,
+                      &result.itemsets, &metrics};
+    std::vector<ItemId> suffix;
+    {
+      OSSM_TRACE_SPAN("fp_growth.grow");
+      Grow(tree, suffix, ctx);
+    }
+
+    result.Canonicalize();
+    metrics.Finish(&result.stats);
   }
-  ++result.stats.database_scans;
-
-  MiningContext ctx{min_support, config.max_level, &rank_to_item,
-                    &result.itemsets};
-  std::vector<ItemId> suffix;
-  Grow(tree, suffix, ctx);
-
-  result.Canonicalize();
-  result.stats.total_seconds = timer.ElapsedSeconds();
   return result;
 }
 

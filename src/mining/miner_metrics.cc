@@ -1,0 +1,52 @@
+#include "mining/miner_metrics.h"
+
+#include <cmath>
+
+#include "obs/obs.h"
+
+namespace ossm {
+
+MinerMetrics::MinerMetrics(std::string_view miner) : miner_(miner) {}
+
+LevelStats& MinerMetrics::Level(uint32_t level) {
+  while (levels_.size() < level) {
+    LevelStats stats;
+    stats.level = static_cast<uint32_t>(levels_.size() + 1);
+    levels_.push_back(stats);
+  }
+  return levels_[level - 1];
+}
+
+void MinerMetrics::Finish(MiningStats* stats) {
+  stats->levels = std::move(levels_);
+  stats->database_scans = database_scans_;
+
+  if (!obs::MetricsEnabled()) return;
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+
+  uint64_t patterns = 0;
+  for (const LevelStats& level : stats->levels) {
+    std::string prefix = miner_;
+    prefix += ".level";
+    prefix += std::to_string(level.level);
+    prefix += '.';
+    registry.GetCounter(prefix + "candidates_generated")
+        .Add(level.candidates_generated);
+    registry.GetCounter(prefix + "pruned_by_bound")
+        .Add(level.pruned_by_bound);
+    registry.GetCounter(prefix + "pruned_by_hash")
+        .Add(level.pruned_by_hash);
+    registry.GetCounter(prefix + "candidates_counted")
+        .Add(level.candidates_counted);
+    registry.GetCounter(prefix + "frequent").Add(level.frequent);
+    patterns += level.frequent;
+  }
+  registry.GetCounter(miner_ + ".database_scans").Add(database_scans_);
+  registry.GetCounter(miner_ + ".patterns").Add(patterns);
+  registry.GetCounter(miner_ + ".runs").Add(1);
+  registry.GetHistogram("span." + miner_ + ".total_us")
+      .Record(static_cast<uint64_t>(
+          std::llround(timer_.ElapsedSeconds() * 1e6)));
+}
+
+}  // namespace ossm

@@ -11,6 +11,8 @@
 #include "mining/candidate_pruner.h"
 #include "mining/hash_tree.h"
 #include "mining/itemset.h"
+#include "mining/miner_metrics.h"
+#include "obs/obs.h"
 
 namespace ossm {
 
@@ -38,126 +40,158 @@ StatusOr<MiningResult> MinePartition(const TransactionDatabase& db,
                                      const PartitionConfig& config,
                                      PartitionRunInfo* info) {
   OSSM_RETURN_IF_ERROR(Validate(config, db));
-  WallTimer timer;
+  OSSM_TRACE_SPAN("partition.mine");
 
   MiningResult result;
-  uint64_t n = db.num_transactions();
-  uint64_t global_min_support = std::max<uint64_t>(
-      1, static_cast<uint64_t>(
-             std::ceil(config.min_support_fraction * static_cast<double>(n))));
+  {
+    ScopedTimer timer(&result.stats.total_seconds);
+    MinerMetrics metrics("partition");
+    uint64_t n = db.num_transactions();
+    uint64_t global_min_support = std::max<uint64_t>(
+        1,
+        static_cast<uint64_t>(
+            std::ceil(config.min_support_fraction * static_cast<double>(n))));
 
-  // Phase 1: mine each partition locally; accumulate the candidate union and
-  // (optionally) the per-partition OSSMs, whose concatenation is a global
-  // OSSM over the whole collection.
-  std::unordered_map<Itemset, int, ItemsetHasher> global_candidates;
-  std::vector<SegmentSupportMap> partition_maps;
+    // Phase 1: mine each partition locally; accumulate the candidate union
+    // and (optionally) the per-partition OSSMs, whose concatenation is a
+    // global OSSM over the whole collection.
+    std::unordered_map<Itemset, int, ItemsetHasher> global_candidates;
+    std::vector<SegmentSupportMap> partition_maps;
 
-  for (uint32_t p = 0; p < config.num_partitions; ++p) {
-    uint64_t begin = n * p / config.num_partitions;
-    uint64_t end = n * (p + 1) / config.num_partitions;
+    {
+      OSSM_TRACE_SPAN("partition.local_mining");
+      for (uint32_t p = 0; p < config.num_partitions; ++p) {
+        uint64_t begin = n * p / config.num_partitions;
+        uint64_t end = n * (p + 1) / config.num_partitions;
 
-    TransactionDatabase part(db.num_items());
-    for (uint64_t t = begin; t < end; ++t) {
-      Status append = part.Append(db.transaction(t));
-      OSSM_CHECK(append.ok()) << append.ToString();
-    }
+        TransactionDatabase part(db.num_items());
+        for (uint64_t t = begin; t < end; ++t) {
+          Status append = part.Append(db.transaction(t));
+          OSSM_CHECK(append.ok()) << append.ToString();
+        }
 
-    AprioriConfig local;
-    // ceil(fraction * |partition|): an itemset globally frequent must reach
-    // the fraction in at least one partition.
-    local.min_support_count = std::max<uint64_t>(
-        1, static_cast<uint64_t>(
-               std::ceil(config.min_support_fraction *
-                         static_cast<double>(part.num_transactions()))));
-    local.max_level = config.max_level;
-    local.hash_tree_fanout = config.hash_tree_fanout;
-    local.hash_tree_leaf_capacity = config.hash_tree_leaf_capacity;
+        AprioriConfig local;
+        // ceil(fraction * |partition|): an itemset globally frequent must
+        // reach the fraction in at least one partition.
+        local.min_support_count = std::max<uint64_t>(
+            1, static_cast<uint64_t>(
+                   std::ceil(config.min_support_fraction *
+                             static_cast<double>(part.num_transactions()))));
+        local.max_level = config.max_level;
+        local.hash_tree_fanout = config.hash_tree_fanout;
+        local.hash_tree_leaf_capacity = config.hash_tree_leaf_capacity;
 
-    OssmBuildResult build;
-    OssmPruner local_pruner(&build.map);
-    if (config.use_ossm) {
-      OssmBuildOptions options;
-      options.algorithm = SegmentationAlgorithm::kRandom;
-      options.target_segments = config.ossm_segments_per_partition;
-      options.transactions_per_page = std::min<uint64_t>(
-          config.transactions_per_page,
-          std::max<uint64_t>(1, part.num_transactions()));
-      StatusOr<OssmBuildResult> built = BuildOssm(part, options);
-      if (!built.ok()) return built.status();
-      build = std::move(*built);
-      local_pruner = OssmPruner(&build.map);
-      local.pruner = &local_pruner;
-      partition_maps.push_back(build.map);
-    }
+        OssmBuildResult build;
+        OssmPruner local_pruner(&build.map);
+        if (config.use_ossm) {
+          OssmBuildOptions options;
+          options.algorithm = SegmentationAlgorithm::kRandom;
+          options.target_segments = config.ossm_segments_per_partition;
+          options.transactions_per_page = std::min<uint64_t>(
+              config.transactions_per_page,
+              std::max<uint64_t>(1, part.num_transactions()));
+          StatusOr<OssmBuildResult> built = BuildOssm(part, options);
+          if (!built.ok()) return built.status();
+          build = std::move(*built);
+          local_pruner = OssmPruner(&build.map);
+          local.pruner = &local_pruner;
+          partition_maps.push_back(build.map);
+        }
 
-    StatusOr<MiningResult> local_result = MineApriori(part, local);
-    if (!local_result.ok()) return local_result.status();
-    for (FrequentItemset& itemset : local_result->itemsets) {
-      global_candidates.emplace(std::move(itemset.items), 0);
-    }
-    result.stats.database_scans += local_result->stats.database_scans;
-  }
-
-  if (info != nullptr) {
-    info->global_candidates = global_candidates.size();
-    info->global_candidates_pruned_by_ossm = 0;
-  }
-
-  // Optional global pruning: the per-partition OSSMs side by side form an
-  // OSSM of the whole collection, so equation (1) applies globally.
-  std::vector<Itemset> candidates;
-  candidates.reserve(global_candidates.size());
-  for (auto& [itemset, unused] : global_candidates) {
-    candidates.push_back(itemset);
-  }
-  if (config.use_ossm && !partition_maps.empty()) {
-    std::vector<Itemset> survivors;
-    survivors.reserve(candidates.size());
-    for (Itemset& candidate : candidates) {
-      uint64_t bound = 0;
-      for (const SegmentSupportMap& map : partition_maps) {
-        bound += map.UpperBound(candidate);
-      }
-      if (bound >= global_min_support) {
-        survivors.push_back(std::move(candidate));
-      } else if (info != nullptr) {
-        ++info->global_candidates_pruned_by_ossm;
+        StatusOr<MiningResult> local_result = MineApriori(part, local);
+        if (!local_result.ok()) return local_result.status();
+        for (FrequentItemset& itemset : local_result->itemsets) {
+          global_candidates.emplace(std::move(itemset.items), 0);
+        }
+        metrics.DatabaseScans(local_result->stats.database_scans);
       }
     }
-    candidates = std::move(survivors);
-  }
 
-  // Phase 2: one counting pass over the whole database for all surviving
-  // global candidates, grouped by size (one hash tree per size).
-  std::sort(candidates.begin(), candidates.end(), ItemsetLess);
-  std::vector<HashTree> trees;
-  for (size_t i = 0; i < candidates.size();) {
-    size_t j = i;
-    while (j < candidates.size() &&
-           candidates[j].size() == candidates[i].size()) {
-      ++j;
+    OSSM_COUNTER_ADD("partition.global_candidates",
+                     global_candidates.size());
+    if (info != nullptr) {
+      info->global_candidates = global_candidates.size();
+      info->global_candidates_pruned_by_ossm = 0;
     }
-    trees.emplace_back(
-        std::vector<Itemset>(candidates.begin() + i, candidates.begin() + j),
-        config.hash_tree_fanout, config.hash_tree_leaf_capacity);
-    i = j;
-  }
-  for (uint64_t t = 0; t < n; ++t) {
-    std::span<const ItemId> txn = db.transaction(t);
-    for (HashTree& tree : trees) tree.CountTransaction(txn);
-  }
-  ++result.stats.database_scans;
 
-  for (const HashTree& tree : trees) {
-    for (size_t c = 0; c < tree.num_candidates(); ++c) {
-      if (tree.counts()[c] >= global_min_support) {
-        result.itemsets.push_back({tree.candidates()[c], tree.counts()[c]});
+    // Optional global pruning: the per-partition OSSMs side by side form an
+    // OSSM of the whole collection, so equation (1) applies globally.
+    std::vector<Itemset> candidates;
+    candidates.reserve(global_candidates.size());
+    for (auto& [itemset, unused] : global_candidates) {
+      candidates.push_back(itemset);
+    }
+    if (config.use_ossm && !partition_maps.empty()) {
+      uint64_t pruned = 0;
+      std::vector<Itemset> survivors;
+      survivors.reserve(candidates.size());
+      for (Itemset& candidate : candidates) {
+        uint64_t bound = 0;
+        for (const SegmentSupportMap& map : partition_maps) {
+          bound += map.UpperBound(candidate);
+        }
+        uint32_t level = static_cast<uint32_t>(candidate.size());
+        metrics.CandidatesGenerated(level);
+        if (bound >= global_min_support) {
+          metrics.CandidatesCounted(level);
+          survivors.push_back(std::move(candidate));
+        } else {
+          metrics.PrunedByBound(level);
+          ++pruned;
+        }
+      }
+      candidates = std::move(survivors);
+      OSSM_COUNTER_ADD("partition.global_pruned_by_bound", pruned);
+      if (info != nullptr) {
+        info->global_candidates_pruned_by_ossm = pruned;
+      }
+    } else {
+      for (const Itemset& candidate : candidates) {
+        uint32_t level = static_cast<uint32_t>(candidate.size());
+        metrics.CandidatesGenerated(level);
+        metrics.CandidatesCounted(level);
       }
     }
-  }
 
-  result.Canonicalize();
-  result.stats.total_seconds = timer.ElapsedSeconds();
+    // Phase 2: one counting pass over the whole database for all surviving
+    // global candidates, grouped by size (one hash tree per size).
+    {
+      OSSM_TRACE_SPAN("partition.global_count");
+      std::sort(candidates.begin(), candidates.end(), ItemsetLess);
+      std::vector<HashTree> trees;
+      for (size_t i = 0; i < candidates.size();) {
+        size_t j = i;
+        while (j < candidates.size() &&
+               candidates[j].size() == candidates[i].size()) {
+          ++j;
+        }
+        trees.emplace_back(
+            std::vector<Itemset>(candidates.begin() + i,
+                                 candidates.begin() + j),
+            config.hash_tree_fanout, config.hash_tree_leaf_capacity);
+        i = j;
+      }
+      for (uint64_t t = 0; t < n; ++t) {
+        std::span<const ItemId> txn = db.transaction(t);
+        for (HashTree& tree : trees) tree.CountTransaction(txn);
+      }
+      metrics.DatabaseScan();
+
+      for (const HashTree& tree : trees) {
+        for (size_t c = 0; c < tree.num_candidates(); ++c) {
+          if (tree.counts()[c] >= global_min_support) {
+            result.itemsets.push_back(
+                {tree.candidates()[c], tree.counts()[c]});
+            metrics.Frequent(
+                static_cast<uint32_t>(tree.candidates()[c].size()));
+          }
+        }
+      }
+    }
+
+    result.Canonicalize();
+    metrics.Finish(&result.stats);
+  }
   return result;
 }
 

@@ -1,0 +1,36 @@
+#ifndef OSSM_OBS_EXPORT_H_
+#define OSSM_OBS_EXPORT_H_
+
+#include <ostream>
+#include <span>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ossm {
+namespace obs {
+
+// Human-readable report: counters / gauges / histograms / span aggregates
+// as aligned TablePrinter tables (the same renderer the benches use).
+void WriteTextReport(const MetricsSnapshot& snapshot, std::ostream& os);
+
+// Machine-readable report:
+//   {"counters": {name: value, ...},
+//    "gauges": {name: value, ...},
+//    "histograms": {name: {"count","sum","min","max","p50","p95","p99"}},
+//    "spans": {name: {"count","total_us","p50_us","p95_us","p99_us","max_us"}}}
+// "spans" re-exposes the "span."-prefixed histograms under their span names
+// so consumers (the BENCH_*.json trajectory) need no naming convention.
+void WriteJsonReport(const MetricsSnapshot& snapshot, std::ostream& os);
+
+// Chrome trace-event JSON — load the file in chrome://tracing or Perfetto.
+// Events are emitted as complete ("ph":"X") slices.
+void WriteChromeTrace(std::span<const TraceEvent> events, std::ostream& os);
+
+// Escapes a string for embedding in a JSON string literal (quotes excluded).
+std::string JsonEscape(std::string_view text);
+
+}  // namespace obs
+}  // namespace ossm
+
+#endif  // OSSM_OBS_EXPORT_H_

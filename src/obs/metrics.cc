@@ -1,0 +1,141 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace ossm {
+namespace obs {
+
+namespace {
+
+// Lower/upper sample bounds of bucket i: bucket 0 is {0}, bucket i >= 1
+// covers [2^(i-1), 2^i - 1].
+uint64_t BucketLower(int i) { return i == 0 ? 0 : uint64_t{1} << (i - 1); }
+uint64_t BucketUpper(int i) {
+  if (i == 0) return 0;
+  if (i == Histogram::kNumBuckets - 1) return UINT64_MAX;
+  return (uint64_t{1} << i) - 1;
+}
+
+template <typename T>
+void AtomicStoreMin(std::atomic<T>& target, T value) {
+  T current = target.load(std::memory_order_relaxed);
+  while (value < current &&
+         !target.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+template <typename T>
+void AtomicStoreMax(std::atomic<T>& target, T value) {
+  T current = target.load(std::memory_order_relaxed);
+  while (value > current &&
+         !target.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Histogram::Record(uint64_t sample) {
+  buckets_[std::bit_width(sample)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(sample, std::memory_order_relaxed);
+  AtomicStoreMin(min_, sample);
+  AtomicStoreMax(max_, sample);
+}
+
+double Histogram::Percentile(double p) const {
+  uint64_t n = count();
+  if (n == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  // Rank of the quantile sample, 1-based.
+  uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(p * static_cast<double>(n) + 0.5));
+  rank = std::min(rank, n);
+
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    uint64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (seen + in_bucket >= rank) {
+      double lower = static_cast<double>(BucketLower(i));
+      double upper = static_cast<double>(BucketUpper(i));
+      double fraction = static_cast<double>(rank - seen) /
+                        static_cast<double>(in_bucket);
+      double estimate = lower + (upper - lower) * fraction;
+      estimate = std::max(estimate, static_cast<double>(min()));
+      estimate = std::min(estimate, static_cast<double>(max()));
+      return estimate;
+    }
+    seen += in_bucket;
+  }
+  return static_cast<double>(max());
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.emplace_back(name, counter->value());
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.emplace_back(name, gauge->value());
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSnapshot h;
+    h.count = histogram->count();
+    if (h.count > 0) {
+      h.sum = histogram->sum();
+      h.min = histogram->min();
+      h.max = histogram->max();
+      h.p50 = histogram->Percentile(0.50);
+      h.p95 = histogram->Percentile(0.95);
+      h.p99 = histogram->Percentile(0.99);
+    }
+    snapshot.histograms.emplace_back(name, h);
+  }
+  return snapshot;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace obs
+}  // namespace ossm

@@ -1,0 +1,116 @@
+#include "obs/obs.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+#include "common/logging.h"
+#include "obs/export.h"
+
+namespace ossm {
+namespace obs {
+
+namespace internal {
+std::atomic<int> g_mode_cache{-1};
+}  // namespace internal
+
+namespace {
+
+std::atomic<bool> g_reported{false};
+
+ObsConfig* ParseConfigFromEnv() {
+  ObsConfig* config = new ObsConfig();
+  const char* raw = std::getenv("OSSM_METRICS");
+  if (raw == nullptr || raw[0] == '\0') return config;
+
+  std::string value(raw);
+  std::string mode = value;
+  std::string path;
+  size_t colon = value.find(':');
+  if (colon != std::string::npos) {
+    mode = value.substr(0, colon);
+    path = value.substr(colon + 1);
+  }
+
+  if (mode == "text") {
+    config->mode = ExportMode::kText;
+    config->path = path;
+  } else if (mode == "json") {
+    config->mode = ExportMode::kJson;
+    config->path = path;
+  } else if (mode == "trace") {
+    config->mode = ExportMode::kChromeTrace;
+    config->path = path.empty() ? "ossm_trace.json" : path;
+  } else if (mode != "off" && mode != "none" && mode != "0") {
+    OSSM_LOG(Warning) << "unrecognized OSSM_METRICS value \"" << value
+                      << "\"; metrics stay disabled "
+                      << "(expected text|json|trace[:<path>])";
+  }
+  return config;
+}
+
+void ReportAtExit() { ReportNow(); }
+
+}  // namespace
+
+const ObsConfig& Config() {
+  static const ObsConfig* config = [] {
+    ObsConfig* parsed = ParseConfigFromEnv();
+    if (parsed->mode != ExportMode::kDisabled) {
+      if (parsed->mode == ExportMode::kChromeTrace) {
+        SetTraceEventRetention(true);
+      }
+      std::atexit(ReportAtExit);
+    }
+    internal::g_mode_cache.store(static_cast<int>(parsed->mode),
+                                 std::memory_order_release);
+    return parsed;
+  }();
+  return *config;
+}
+
+namespace internal {
+int InitConfigSlow() { return static_cast<int>(Config().mode); }
+}  // namespace internal
+
+void ReportNow() {
+  const ObsConfig& config = Config();
+  if (config.mode == ExportMode::kDisabled) return;
+  if (g_reported.exchange(true)) return;
+
+  if (config.mode == ExportMode::kChromeTrace) {
+    std::vector<TraceEvent> events = DrainTraceEvents();
+    std::ofstream out(config.path);
+    if (!out) {
+      OSSM_LOG(Error) << "cannot open " << config.path
+                      << " for the Chrome trace";
+      return;
+    }
+    WriteChromeTrace(events, out);
+    return;
+  }
+
+  MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  if (config.path.empty()) {
+    if (config.mode == ExportMode::kText) {
+      WriteTextReport(snapshot, std::cerr);
+    } else {
+      WriteJsonReport(snapshot, std::cerr);
+    }
+    return;
+  }
+  std::ofstream out(config.path);
+  if (!out) {
+    OSSM_LOG(Error) << "cannot open " << config.path
+                    << " for the metrics report";
+    return;
+  }
+  if (config.mode == ExportMode::kText) {
+    WriteTextReport(snapshot, out);
+  } else {
+    WriteJsonReport(snapshot, out);
+  }
+}
+
+}  // namespace obs
+}  // namespace ossm

@@ -1,0 +1,103 @@
+#ifndef OSSM_OBS_OBS_H_
+#define OSSM_OBS_OBS_H_
+
+// Umbrella header of the observability layer and the OSSM_METRICS
+// environment contract. Instrumented modules include this one header and
+// use the macros below; binaries need no code at all — when OSSM_METRICS
+// is set, the configured report is emitted automatically at process exit:
+//
+//   OSSM_METRICS=text          human-readable tables -> stderr
+//   OSSM_METRICS=text:<path>   ... -> file
+//   OSSM_METRICS=json          machine-readable JSON -> stderr
+//   OSSM_METRICS=json:<path>   ... -> file
+//   OSSM_METRICS=trace:<path>  Chrome trace-event JSON -> file
+//                              (path optional; defaults to ossm_trace.json;
+//                              open in chrome://tracing or Perfetto)
+//
+// Unset (or unrecognized) disables everything: each instrumentation site
+// then costs one relaxed atomic load and a predictable branch.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ossm {
+namespace obs {
+
+enum class ExportMode { kDisabled = 0, kText, kJson, kChromeTrace };
+
+struct ObsConfig {
+  ExportMode mode = ExportMode::kDisabled;
+  std::string path;  // output file; empty = stderr (text/json modes)
+};
+
+// The parsed OSSM_METRICS value. Read from the environment exactly once.
+const ObsConfig& Config();
+
+namespace internal {
+// -1 until Config() first parses the environment, then the ExportMode.
+extern std::atomic<int> g_mode_cache;
+int InitConfigSlow();
+}  // namespace internal
+
+// True when any export mode is active. This is the fast path every
+// instrumentation site checks first.
+inline bool MetricsEnabled() {
+  int mode = internal::g_mode_cache.load(std::memory_order_acquire);
+  if (mode < 0) mode = internal::InitConfigSlow();
+  return mode != static_cast<int>(ExportMode::kDisabled);
+}
+
+// Emits the configured report immediately (benches call this through
+// bench_util so the report lands next to their result tables) and marks it
+// emitted, making the automatic at-exit report a no-op. Does nothing when
+// OSSM_METRICS is unset.
+void ReportNow();
+
+}  // namespace obs
+}  // namespace ossm
+
+// Instrumentation macros. `name` must be a string literal (or otherwise
+// site-constant): the instrument is resolved once per call site and then
+// updated lock-free. Dynamic names (per-level counters) go through
+// MetricsRegistry::Global() directly.
+#define OSSM_COUNTER_ADD(name, delta)                                \
+  do {                                                               \
+    if (::ossm::obs::MetricsEnabled()) {                             \
+      static ::ossm::obs::Counter& ossm_obs_counter =                \
+          ::ossm::obs::MetricsRegistry::Global().GetCounter(name);   \
+      ossm_obs_counter.Add(delta);                                   \
+    }                                                                \
+  } while (0)
+
+#define OSSM_COUNTER_INC(name) OSSM_COUNTER_ADD(name, 1)
+
+#define OSSM_GAUGE_SET(name, value)                                  \
+  do {                                                               \
+    if (::ossm::obs::MetricsEnabled()) {                             \
+      static ::ossm::obs::Gauge& ossm_obs_gauge =                    \
+          ::ossm::obs::MetricsRegistry::Global().GetGauge(name);     \
+      ossm_obs_gauge.Set(value);                                     \
+    }                                                                \
+  } while (0)
+
+#define OSSM_HISTOGRAM_RECORD(name, sample)                          \
+  do {                                                               \
+    if (::ossm::obs::MetricsEnabled()) {                             \
+      static ::ossm::obs::Histogram& ossm_obs_histogram =            \
+          ::ossm::obs::MetricsRegistry::Global().GetHistogram(name); \
+      ossm_obs_histogram.Record(sample);                             \
+    }                                                                \
+  } while (0)
+
+#define OSSM_OBS_CONCAT2(a, b) a##b
+#define OSSM_OBS_CONCAT(a, b) OSSM_OBS_CONCAT2(a, b)
+
+// Opens a scoped trace span covering the rest of the enclosing scope.
+#define OSSM_TRACE_SPAN(name) \
+  ::ossm::obs::TraceSpan OSSM_OBS_CONCAT(ossm_obs_span_, __LINE__)(name)
+
+#endif  // OSSM_OBS_OBS_H_

@@ -1,0 +1,130 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+
+#include "obs/metrics.h"
+#include "obs/obs.h"
+
+namespace ossm {
+namespace obs {
+
+namespace {
+
+struct ThreadBuffer {
+  std::mutex mu;  // uncontended except while draining
+  std::vector<TraceEvent> events;
+  uint64_t thread_id = 0;
+};
+
+// Process-wide trace state. Intentionally leaked (like the global metrics
+// registry) so exit-time exporters and late-exiting threads can never
+// observe it destroyed. Buffers are shared_ptrs: a thread's events survive
+// the thread because the state keeps the buffer alive until drained.
+struct TraceState {
+  std::mutex mu;  // guards `buffers` and thread-id assignment
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  uint64_t next_thread_id = 0;
+  std::atomic<bool> retain{false};
+  std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+};
+
+TraceState& State() {
+  static TraceState* state = new TraceState();
+  return *state;
+}
+
+struct ThreadHandle {
+  std::shared_ptr<ThreadBuffer> buffer;
+  uint32_t depth = 0;
+
+  ThreadHandle() : buffer(std::make_shared<ThreadBuffer>()) {
+    TraceState& state = State();
+    std::lock_guard<std::mutex> lock(state.mu);
+    buffer->thread_id = state.next_thread_id++;
+    state.buffers.push_back(buffer);
+  }
+};
+
+ThreadHandle& LocalHandle() {
+  thread_local ThreadHandle handle;
+  return handle;
+}
+
+bool SpansActive() {
+  return State().retain.load(std::memory_order_relaxed) || MetricsEnabled();
+}
+
+}  // namespace
+
+uint64_t TraceNowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - State().epoch)
+          .count());
+}
+
+void SetTraceEventRetention(bool retain) {
+  State().retain.store(retain, std::memory_order_relaxed);
+}
+
+bool TraceEventRetention() {
+  return State().retain.load(std::memory_order_relaxed);
+}
+
+uint32_t CurrentSpanDepth() { return LocalHandle().depth; }
+
+std::vector<TraceEvent> DrainTraceEvents() {
+  TraceState& state = State();
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    buffers = state.buffers;
+  }
+  std::vector<TraceEvent> drained;
+  for (const std::shared_ptr<ThreadBuffer>& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    for (TraceEvent& event : buffer->events) {
+      drained.push_back(std::move(event));
+    }
+    buffer->events.clear();
+  }
+  return drained;
+}
+
+TraceSpan::TraceSpan(std::string_view name) {
+  if (!SpansActive()) return;
+  name_ = name;
+  ThreadHandle& handle = LocalHandle();
+  depth_ = handle.depth++;
+  start_us_ = TraceNowMicros();
+}
+
+TraceSpan::~TraceSpan() {
+  if (name_.empty()) return;
+  uint64_t duration = TraceNowMicros() - start_us_;
+  ThreadHandle& handle = LocalHandle();
+  if (handle.depth > 0) --handle.depth;
+
+  if (TraceEventRetention()) {
+    TraceEvent event;
+    event.name = name_;
+    event.thread_id = handle.buffer->thread_id;
+    event.start_us = start_us_;
+    event.duration_us = duration;
+    event.depth = depth_;
+    std::lock_guard<std::mutex> lock(handle.buffer->mu);
+    handle.buffer->events.push_back(std::move(event));
+  }
+  if (MetricsEnabled()) {
+    std::string metric = "span.";
+    metric += name_;
+    MetricsRegistry::Global().GetHistogram(metric).Record(duration);
+  }
+}
+
+}  // namespace obs
+}  // namespace ossm

@@ -1,0 +1,63 @@
+#ifndef OSSM_OBS_TRACE_H_
+#define OSSM_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ossm {
+namespace obs {
+
+// One completed span: a named phase (segmentation, a counting pass, a file
+// load) with its position on the process timeline. Events are recorded into
+// per-thread buffers — opening and closing a span never takes a shared lock
+// — and merged on drain, so spans are safe in concurrent miners.
+struct TraceEvent {
+  std::string name;
+  uint64_t thread_id = 0;    // dense id, assigned at a thread's first span
+  uint64_t start_us = 0;     // microseconds since the process trace epoch
+  uint64_t duration_us = 0;
+  uint32_t depth = 0;        // how many spans were open when this one began
+};
+
+// RAII scope marker. When metrics are enabled (OSSM_METRICS set) the span's
+// duration feeds the "span.<name>" histogram in the global registry, which
+// is what the text/JSON reports aggregate into p50/p95/p99; when trace
+// retention is on (OSSM_METRICS=trace:... or SetTraceEventRetention) the
+// full event is additionally kept for the Chrome trace exporter. With both
+// off, constructing a span costs one relaxed atomic load.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  std::string name_;  // empty when the span is inactive
+  uint64_t start_us_ = 0;
+  uint32_t depth_ = 0;
+};
+
+// Whether full TraceEvents are buffered (beyond the histogram aggregation).
+// Flipped on by the OSSM_METRICS=trace mode; exposed for tests.
+void SetTraceEventRetention(bool retain);
+bool TraceEventRetention();
+
+// Number of spans currently open on the calling thread.
+uint32_t CurrentSpanDepth();
+
+// Moves every buffered event (from all threads, finished or live) out of
+// the trace buffers, ordered by thread then chronologically.
+std::vector<TraceEvent> DrainTraceEvents();
+
+// Microseconds since the process trace epoch (first use of the trace
+// subsystem). Monotonic.
+uint64_t TraceNowMicros();
+
+}  // namespace obs
+}  // namespace ossm
+
+#endif  // OSSM_OBS_TRACE_H_

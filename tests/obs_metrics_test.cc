@@ -1,0 +1,209 @@
+#include "obs/metrics.h"
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ossm {
+namespace obs {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.Add();  // default delta is 1
+  EXPECT_EQ(counter.value(), 1u);
+  counter.Add(41);
+  EXPECT_EQ(counter.value(), 42u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsAllLand) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kIncrements; ++i) counter.Add();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(),
+            static_cast<uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(GaugeTest, SetAndAddBothWays) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.value(), 0);
+  gauge.Set(100);
+  EXPECT_EQ(gauge.value(), 100);
+  gauge.Add(-150);
+  EXPECT_EQ(gauge.value(), -50);
+  gauge.Set(7);
+  EXPECT_EQ(gauge.value(), 7);
+}
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram histogram;
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_EQ(histogram.sum(), 0u);
+  EXPECT_EQ(histogram.min(), UINT64_MAX);
+  EXPECT_EQ(histogram.max(), 0u);
+  EXPECT_EQ(histogram.Percentile(0.5), 0.0);
+}
+
+TEST(HistogramTest, SingleSampleIsEveryPercentile) {
+  Histogram histogram;
+  histogram.Record(42);
+  EXPECT_EQ(histogram.count(), 1u);
+  EXPECT_EQ(histogram.sum(), 42u);
+  EXPECT_EQ(histogram.min(), 42u);
+  EXPECT_EQ(histogram.max(), 42u);
+  // Clamping to [min, max] pins every quantile of a single sample.
+  EXPECT_DOUBLE_EQ(histogram.Percentile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(histogram.Percentile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(histogram.Percentile(1.0), 42.0);
+}
+
+TEST(HistogramTest, BasicStatsAndMonotonicPercentiles) {
+  Histogram histogram;
+  uint64_t sum = 0;
+  for (uint64_t v = 1; v <= 1000; ++v) {
+    histogram.Record(v);
+    sum += v;
+  }
+  EXPECT_EQ(histogram.count(), 1000u);
+  EXPECT_EQ(histogram.sum(), sum);
+  EXPECT_EQ(histogram.min(), 1u);
+  EXPECT_EQ(histogram.max(), 1000u);
+
+  double p50 = histogram.Percentile(0.50);
+  double p95 = histogram.Percentile(0.95);
+  double p99 = histogram.Percentile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_GE(p50, 1.0);
+  EXPECT_LE(p99, 1000.0);
+  // Power-of-two buckets are coarse, but the median of 1..1000 must land
+  // in the right ballpark (its bucket spans 512..1023).
+  EXPECT_GE(p50, 256.0);
+  EXPECT_LE(p50, 1000.0);
+}
+
+TEST(HistogramTest, RecordsZeroAndHugeSamples) {
+  Histogram histogram;
+  histogram.Record(0);
+  histogram.Record(UINT64_MAX);
+  EXPECT_EQ(histogram.count(), 2u);
+  EXPECT_EQ(histogram.min(), 0u);
+  EXPECT_EQ(histogram.max(), UINT64_MAX);
+}
+
+TEST(HistogramTest, ConcurrentRecordsAllLand) {
+  Histogram histogram;
+  constexpr int kThreads = 4;
+  constexpr int kSamples = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram] {
+      for (int i = 0; i < kSamples; ++i) {
+        histogram.Record(static_cast<uint64_t>(i % 128));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(histogram.count(),
+            static_cast<uint64_t>(kThreads) * kSamples);
+  uint64_t per_thread_sum = 0;
+  for (int i = 0; i < kSamples; ++i) per_thread_sum += i % 128;
+  EXPECT_EQ(histogram.sum(), kThreads * per_thread_sum);
+  EXPECT_EQ(histogram.min(), 0u);
+  EXPECT_EQ(histogram.max(), 127u);
+}
+
+TEST(MetricsRegistryTest, SameNameSameInstrument) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("miner.candidates");
+  Counter& b = registry.GetCounter("miner.candidates");
+  EXPECT_EQ(&a, &b);
+  a.Add(3);
+  EXPECT_EQ(b.value(), 3u);
+
+  Gauge& g1 = registry.GetGauge("pages");
+  Gauge& g2 = registry.GetGauge("pages");
+  EXPECT_EQ(&g1, &g2);
+
+  Histogram& h1 = registry.GetHistogram("span.x");
+  Histogram& h2 = registry.GetHistogram("span.x");
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST(MetricsRegistryTest, NamespacesAreIndependent) {
+  MetricsRegistry registry;
+  registry.GetCounter("x").Add(1);
+  registry.GetGauge("x").Set(2);
+  registry.GetHistogram("x").Record(3);
+  MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 1u);
+  ASSERT_EQ(snapshot.gauges.size(), 1u);
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  EXPECT_EQ(snapshot.counters[0].second, 1u);
+  EXPECT_EQ(snapshot.gauges[0].second, 2);
+  EXPECT_EQ(snapshot.histograms[0].second.sum, 3u);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsSortedByName) {
+  MetricsRegistry registry;
+  registry.GetCounter("zeta").Add(1);
+  registry.GetCounter("alpha").Add(2);
+  registry.GetCounter("mid").Add(3);
+  MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 3u);
+  EXPECT_EQ(snapshot.counters[0].first, "alpha");
+  EXPECT_EQ(snapshot.counters[1].first, "mid");
+  EXPECT_EQ(snapshot.counters[2].first, "zeta");
+}
+
+TEST(MetricsRegistryTest, SnapshotComputesHistogramQuantiles) {
+  MetricsRegistry registry;
+  Histogram& histogram = registry.GetHistogram("lat");
+  for (uint64_t v = 1; v <= 100; ++v) histogram.Record(v);
+  MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  const HistogramSnapshot& h = snapshot.histograms[0].second;
+  EXPECT_EQ(h.count, 100u);
+  EXPECT_EQ(h.min, 1u);
+  EXPECT_EQ(h.max, 100u);
+  EXPECT_LE(h.p50, h.p95);
+  EXPECT_LE(h.p95, h.p99);
+}
+
+TEST(MetricsRegistryTest, ConcurrentLookupsAndIncrements) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      // Every thread resolves by name each round: exercises the map mutex
+      // against the lock-free increments.
+      for (int i = 0; i < kIncrements; ++i) {
+        registry.GetCounter("shared.counter").Add();
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(registry.GetCounter("shared.counter").value(),
+            static_cast<uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(MetricsRegistryTest, GlobalIsAProcessSingleton) {
+  EXPECT_EQ(&MetricsRegistry::Global(), &MetricsRegistry::Global());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace ossm

@@ -1,0 +1,119 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include "obs/obs.h"
+
+namespace ossm {
+namespace obs {
+namespace {
+
+// Restores the process-wide retention flag on scope exit so tests cannot
+// leak state into each other.
+class RetentionGuard {
+ public:
+  explicit RetentionGuard(bool retain) : old_(TraceEventRetention()) {
+    SetTraceEventRetention(retain);
+    DrainTraceEvents();  // start from a clean buffer
+  }
+  ~RetentionGuard() { SetTraceEventRetention(old_); }
+
+ private:
+  bool old_;
+};
+
+TEST(TraceSpanTest, RetentionOffBuffersNothing) {
+  RetentionGuard guard(false);
+  // OSSM_METRICS is unset under ctest, so spans are fully inactive here.
+  {
+    TraceSpan span("invisible");
+    EXPECT_EQ(CurrentSpanDepth(), 0u);
+  }
+  EXPECT_TRUE(DrainTraceEvents().empty());
+}
+
+TEST(TraceSpanTest, NestedSpansRecordDepthAndTiming) {
+  RetentionGuard guard(true);
+  {
+    TraceSpan outer("outer");
+    {
+      TraceSpan inner("inner");
+    }
+  }
+  std::vector<TraceEvent> events = DrainTraceEvents();
+  ASSERT_EQ(events.size(), 2u);
+
+  // The inner span closes (and records) first.
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[1].name, "outer");
+  EXPECT_EQ(events[0].depth, 1u);
+  EXPECT_EQ(events[1].depth, 0u);
+  EXPECT_EQ(events[0].thread_id, events[1].thread_id);
+  EXPECT_GE(events[0].start_us, events[1].start_us);
+  EXPECT_GE(events[1].duration_us, events[0].duration_us);
+}
+
+TEST(TraceSpanTest, CurrentSpanDepthTracksNesting) {
+  RetentionGuard guard(true);
+  EXPECT_EQ(CurrentSpanDepth(), 0u);
+  {
+    TraceSpan a("a");
+    EXPECT_EQ(CurrentSpanDepth(), 1u);
+    {
+      TraceSpan b("b");
+      EXPECT_EQ(CurrentSpanDepth(), 2u);
+    }
+    EXPECT_EQ(CurrentSpanDepth(), 1u);
+  }
+  EXPECT_EQ(CurrentSpanDepth(), 0u);
+  DrainTraceEvents();
+}
+
+TEST(TraceSpanTest, DrainMovesEventsOutExactlyOnce) {
+  RetentionGuard guard(true);
+  { TraceSpan span("once"); }
+  EXPECT_EQ(DrainTraceEvents().size(), 1u);
+  EXPECT_TRUE(DrainTraceEvents().empty());
+}
+
+TEST(TraceSpanTest, ThreadsGetDistinctIdsAndMergeOnDrain) {
+  RetentionGuard guard(true);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([] { TraceSpan span("worker"); });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  std::vector<TraceEvent> events = DrainTraceEvents();
+  std::vector<TraceEvent> workers;
+  for (TraceEvent& event : events) {
+    if (event.name == "worker") workers.push_back(std::move(event));
+  }
+  ASSERT_EQ(workers.size(), 2u);
+  EXPECT_NE(workers[0].thread_id, workers[1].thread_id);
+}
+
+TEST(TraceSpanTest, MacroExpandsToAScopedSpan) {
+  RetentionGuard guard(true);
+  {
+    OSSM_TRACE_SPAN("macro.span");
+    EXPECT_EQ(CurrentSpanDepth(), 1u);
+  }
+  std::vector<TraceEvent> events = DrainTraceEvents();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "macro.span");
+}
+
+TEST(TraceTest, NowIsMonotonic) {
+  uint64_t a = TraceNowMicros();
+  uint64_t b = TraceNowMicros();
+  EXPECT_LE(a, b);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace ossm
