@@ -4,8 +4,9 @@
 // Shared plumbing for the paper-figure harnesses: a tiny flag parser and the
 // standard workloads. Every harness defaults to laptop-scale parameters that
 // regenerate the paper's *shape* in seconds-to-minutes; pass --scale=paper
-// to restore the paper's sizes (slow on one core, exactly as it was in
-// 2002).
+// to restore the paper's sizes. Counting passes shard across the default
+// thread pool (OSSM_THREADS; set OSSM_THREADS=1 for the paper's exact
+// one-core 2002 conditions — results are bit-identical either way).
 
 #include <cstdint>
 #include <cstdio>

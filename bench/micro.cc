@@ -1,17 +1,24 @@
 // Micro-benchmarks (google-benchmark) for the kernels everything else is
 // built from: the equation-(1) upper bound, the pairwise ossub loss, the
-// configuration comparison, and hash-tree candidate counting.
+// configuration comparison, and hash-tree candidate counting — plus the
+// sharded counting pass at several thread counts. Besides the benchmark
+// tables, the binary writes BENCH_parallel.json with the thread-count sweep
+// so the speedup is machine-checkable.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <thread>
 #include <vector>
 
 #include "common/random.h"
+#include "common/timer.h"
 #include "core/configuration.h"
 #include "core/ossub.h"
 #include "core/segment_support_map.h"
 #include "datagen/quest_generator.h"
 #include "mining/hash_tree.h"
+#include "parallel/thread_pool.h"
 
 namespace ossm {
 namespace {
@@ -153,7 +160,134 @@ void BM_HashTreeCounting(benchmark::State& state) {
 }
 BENCHMARK(BM_HashTreeCounting)->Arg(100)->Arg(1000)->Arg(10000);
 
+// The Apriori counting pass in isolation: one hash tree, one pass over the
+// database, sharded across `threads` workers with per-shard counting states
+// merged at the barrier. Arg(1) is the serial baseline the speedup targets
+// are measured against.
+void BM_ParallelHashTreeCounting(benchmark::State& state) {
+  uint32_t threads = static_cast<uint32_t>(state.range(0));
+  QuestConfig gen;
+  gen.num_items = 300;
+  gen.num_transactions = 20000;
+  gen.avg_transaction_size = 10;
+  gen.num_patterns = 40;
+  StatusOr<TransactionDatabase> db = GenerateQuest(gen);
+  OSSM_CHECK(db.ok());
+
+  Rng rng(8);
+  std::vector<Itemset> candidates;
+  while (candidates.size() < 5000) {
+    ItemId a = static_cast<ItemId>(rng.UniformInt(300));
+    ItemId b = static_cast<ItemId>(rng.UniformInt(299));
+    if (b >= a) ++b;
+    candidates.push_back({std::min(a, b), std::max(a, b)});
+  }
+  HashTree tree(candidates);
+
+  parallel::ThreadPool pool(threads);
+  uint64_t n = db->num_transactions();
+  for (auto _ : state) {
+    uint32_t shards = pool.NumShards(0, n);
+    std::vector<HashTree::CountingState> states;
+    states.reserve(shards);
+    for (uint32_t s = 0; s < shards; ++s) {
+      states.push_back(tree.MakeCountingState());
+    }
+    pool.ParallelFor(0, n, [&](uint32_t shard, uint64_t begin, uint64_t end) {
+      HashTree::CountingState& local = states[shard];
+      for (uint64_t t = begin; t < end; ++t) {
+        tree.CountTransaction(db->transaction(t), &local);
+      }
+    });
+    uint64_t sink = 0;
+    for (const HashTree::CountingState& local : states) {
+      sink += local.counts.empty() ? 0 : local.counts[0];
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ParallelHashTreeCounting)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// Times the sharded counting pass at each thread count (best of `repeats`)
+// and writes the sweep to BENCH_parallel.json, next to the benchmark
+// tables. Machine-checkable form of the Arg(1)-vs-Arg(4) comparison above.
+void WriteParallelSweepJson(const char* path) {
+  QuestConfig gen;
+  gen.num_items = 300;
+  gen.num_transactions = 20000;
+  gen.avg_transaction_size = 10;
+  gen.num_patterns = 40;
+  StatusOr<TransactionDatabase> db = GenerateQuest(gen);
+  OSSM_CHECK(db.ok());
+  Rng rng(8);
+  std::vector<Itemset> candidates;
+  while (candidates.size() < 5000) {
+    ItemId a = static_cast<ItemId>(rng.UniformInt(300));
+    ItemId b = static_cast<ItemId>(rng.UniformInt(299));
+    if (b >= a) ++b;
+    candidates.push_back({std::min(a, b), std::max(a, b)});
+  }
+  HashTree tree(candidates);
+  uint64_t n = db->num_transactions();
+
+  std::FILE* out = std::fopen(path, "w");
+  OSSM_CHECK(out != nullptr) << "cannot write " << path;
+  std::fprintf(out,
+               "{\n  \"benchmark\": \"hash_tree_counting_pass\",\n"
+               "  \"transactions\": %llu,\n  \"candidates\": 5000,\n"
+               "  \"hardware_concurrency\": %u,\n  \"sweep\": [\n",
+               static_cast<unsigned long long>(n),
+               std::thread::hardware_concurrency());
+  constexpr uint32_t kThreadCounts[] = {1, 2, 4, 8};
+  constexpr int kRepeats = 3;
+  double serial_seconds = 0.0;
+  for (size_t i = 0; i < std::size(kThreadCounts); ++i) {
+    uint32_t threads = kThreadCounts[i];
+    parallel::ThreadPool pool(threads);
+    double best = 1e100;
+    for (int r = 0; r < kRepeats; ++r) {
+      WallTimer timer;
+      uint32_t shards = pool.NumShards(0, n);
+      std::vector<HashTree::CountingState> states;
+      states.reserve(shards);
+      for (uint32_t s = 0; s < shards; ++s) {
+        states.push_back(tree.MakeCountingState());
+      }
+      pool.ParallelFor(0, n,
+                       [&](uint32_t shard, uint64_t begin, uint64_t end) {
+                         HashTree::CountingState& local = states[shard];
+                         for (uint64_t t = begin; t < end; ++t) {
+                           tree.CountTransaction(db->transaction(t), &local);
+                         }
+                       });
+      double elapsed = timer.ElapsedSeconds();
+      if (elapsed < best) best = elapsed;
+    }
+    if (threads == 1) serial_seconds = best;
+    std::fprintf(out,
+                 "    {\"threads\": %u, \"seconds\": %.6f, "
+                 "\"speedup_vs_1\": %.3f}%s\n",
+                 threads, best, serial_seconds / best,
+                 i + 1 < std::size(kThreadCounts) ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", path);
+}
+
 }  // namespace
 }  // namespace ossm
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::printf("threads: default pool %u (hardware_concurrency %u; override "
+              "with OSSM_THREADS)\n",
+              ossm::parallel::DefaultThreadCount(),
+              std::thread::hardware_concurrency());
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  ossm::WriteParallelSweepJson("BENCH_parallel.json");
+  return 0;
+}

@@ -31,13 +31,15 @@ StatusOr<uint32_t> OssmUpdater::AppendPage(std::span<const uint64_t> counts,
     }
     case AppendPolicy::kClosestFit: {
       // The segment whose merge with this page loses the least accuracy —
-      // the same pairwise-ossub criterion the RC algorithm uses.
+      // the same pairwise-ossub criterion the RC algorithm uses. Each
+      // segment's counts are read in place through a strided column view;
+      // extracting every column into a scratch vector per page used to
+      // dominate AppendPages on wide maps.
       uint64_t best_loss = UINT64_MAX;
-      std::vector<uint64_t> segment_counts;
       for (uint32_t s = 0; s < map_->num_segments(); ++s) {
-        map_->ExtractSegment(s, &segment_counts);
-        uint64_t loss = PairwiseOssub(
-            std::span<const uint64_t>(segment_counts), counts);
+        SegmentSupportMap::SegmentColumn column = map_->segment_column(s);
+        StridedCounts segment{column.base, column.stride, column.size};
+        uint64_t loss = PairwiseOssub(segment, counts);
         if (loss < best_loss) {
           best_loss = loss;
           target = s;

@@ -48,6 +48,33 @@ uint64_t PairwiseOssub(std::span<const uint64_t> a,
   return total;
 }
 
+uint64_t PairwiseOssub(const StridedCounts& a, std::span<const uint64_t> b,
+                       std::span<const ItemId> bubble) {
+  OSSM_CHECK_EQ(a.size, b.size());
+  uint64_t total = 0;
+  if (bubble.empty()) {
+    size_t m = b.size();
+    for (size_t x = 0; x < m; ++x) {
+      uint64_t ax = a[x];
+      uint64_t bx = b[x];
+      for (size_t y = x + 1; y < m; ++y) {
+        total += PairLoss(ax, bx, a[y], b[y]);
+      }
+    }
+  } else {
+    for (size_t i = 0; i < bubble.size(); ++i) {
+      ItemId x = bubble[i];
+      uint64_t ax = a[x];
+      uint64_t bx = b[x];
+      for (size_t j = i + 1; j < bubble.size(); ++j) {
+        ItemId y = bubble[j];
+        total += PairLoss(ax, bx, a[y], b[y]);
+      }
+    }
+  }
+  return total;
+}
+
 uint64_t Ossub(std::span<const Segment> segments,
                std::span<const ItemId> bubble) {
   OSSM_CHECK_GE(segments.size(), 2u);

@@ -28,6 +28,24 @@ uint64_t PairwiseOssub(std::span<const uint64_t> a,
                        std::span<const uint64_t> b,
                        std::span<const ItemId> bubble = {});
 
+// A per-item count vector viewed through a stride: element i lives at
+// base[i * stride]. This is the shape of one segment's column inside the
+// item-major SegmentSupportMap, so map consumers (OssmUpdater's closest-fit
+// scan) can evaluate losses against segments in place instead of copying
+// every column out first.
+struct StridedCounts {
+  const uint64_t* base = nullptr;
+  size_t stride = 1;
+  size_t size = 0;
+
+  uint64_t operator[](size_t i) const { return base[i * stride]; }
+};
+
+// Pairwise ossub where the first operand is a strided column. `a.size` must
+// equal b.size().
+uint64_t PairwiseOssub(const StridedCounts& a, std::span<const uint64_t> b,
+                       std::span<const ItemId> bubble = {});
+
 inline uint64_t PairwiseOssub(const Segment& a, const Segment& b,
                               std::span<const ItemId> bubble = {}) {
   return PairwiseOssub(std::span<const uint64_t>(a.counts),

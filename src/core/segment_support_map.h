@@ -83,6 +83,23 @@ class SegmentSupportMap {
   // Copies one segment's per-item count vector into *out.
   void ExtractSegment(uint32_t segment, std::vector<uint64_t>* out) const;
 
+  // In-place view of one segment's per-item counts: element i of the column
+  // is data_[i * num_segments_ + segment]. Lets per-segment scans (closest-
+  // fit placement) read the matrix directly instead of materializing each
+  // column. The view is invalidated by any mutation of the map.
+  struct SegmentColumn {
+    const uint64_t* base;
+    uint32_t stride;
+    uint32_t size;  // num_items
+    uint64_t operator[](size_t i) const {
+      return base[i * static_cast<size_t>(stride)];
+    }
+  };
+  SegmentColumn segment_column(uint32_t segment) const {
+    OSSM_DCHECK(segment < num_segments_);
+    return {data_.data() + segment, num_segments_, num_items_};
+  }
+
   friend bool operator==(const SegmentSupportMap& a,
                          const SegmentSupportMap& b) {
     return a.num_items_ == b.num_items_ &&

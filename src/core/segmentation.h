@@ -31,6 +31,9 @@ struct SegmentationStats {
   // How many pairwise ossub evaluations were performed — the paper's cost
   // model counts exactly these (each is O(m^2) or O(|bubble|^2)).
   uint64_t ossub_evaluations = 0;
+  // How many times Greedy's lazy-deletion heap was compacted (stale-entry
+  // eviction; always 0 for the other segmenters).
+  uint64_t heap_compactions = 0;
 };
 
 // Interface of a constrained-segmentation heuristic. Implementations:

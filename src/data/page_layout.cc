@@ -3,6 +3,7 @@
 #include <string>
 
 #include "obs/obs.h"
+#include "parallel/thread_pool.h"
 
 namespace ossm {
 
@@ -31,14 +32,19 @@ PageItemCounts::PageItemCounts(const TransactionDatabase& db,
       page_transactions_(num_pages_, 0) {
   OSSM_TRACE_SPAN("ossm.page_counts");
   OSSM_COUNTER_ADD("io.page_touches", num_pages_);
-  for (uint64_t p = 0; p < num_pages_; ++p) {
-    uint64_t* row = data_.data() + p * num_items_;
-    page_transactions_[p] = layout.page_size(p);
-    for (uint64_t t = layout.page_begin[p]; t < layout.page_begin[p + 1];
-         ++t) {
-      for (ItemId item : db.transaction(t)) ++row[item];
-    }
-  }
+  // Each page writes only its own row of data_ and its own
+  // page_transactions_ slot, so pages shard with no merge step at all.
+  parallel::ParallelFor(
+      0, num_pages_, [&](uint32_t /*shard*/, uint64_t begin, uint64_t end) {
+        for (uint64_t p = begin; p < end; ++p) {
+          uint64_t* row = data_.data() + p * num_items_;
+          page_transactions_[p] = layout.page_size(p);
+          for (uint64_t t = layout.page_begin[p];
+               t < layout.page_begin[p + 1]; ++t) {
+            for (ItemId item : db.transaction(t)) ++row[item];
+          }
+        }
+      });
 }
 
 }  // namespace ossm

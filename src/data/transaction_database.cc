@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <string>
 
+#include "parallel/thread_pool.h"
+
 namespace ossm {
 
 TransactionDatabase::TransactionDatabase(uint32_t num_items)
@@ -27,7 +29,25 @@ Status TransactionDatabase::Append(std::span<const ItemId> items) {
 
 std::vector<uint64_t> TransactionDatabase::ComputeItemSupports() const {
   std::vector<uint64_t> counts(num_items_, 0);
-  for (ItemId item : items_) ++counts[item];
+  // Below this the per-shard count vectors cost more than they save.
+  constexpr size_t kParallelFloor = 1 << 16;
+  uint32_t shards = parallel::NumShards(0, items_.size());
+  if (items_.size() < kParallelFloor || shards <= 1) {
+    for (ItemId item : items_) ++counts[item];
+    return counts;
+  }
+  // Shard the flat item array; per-shard histograms sum-merge in shard
+  // order, so the result is bit-identical to the serial scan.
+  std::vector<std::vector<uint64_t>> shard_counts(
+      shards, std::vector<uint64_t>(num_items_, 0));
+  parallel::ParallelFor(
+      0, items_.size(), [&](uint32_t shard, uint64_t begin, uint64_t end) {
+        std::vector<uint64_t>& local = shard_counts[shard];
+        for (uint64_t i = begin; i < end; ++i) ++local[items_[i]];
+      });
+  for (const std::vector<uint64_t>& local : shard_counts) {
+    for (uint32_t i = 0; i < num_items_; ++i) counts[i] += local[i];
+  }
   return counts;
 }
 

@@ -9,6 +9,7 @@
 #include "mining/itemset.h"
 #include "mining/miner_metrics.h"
 #include "obs/obs.h"
+#include "parallel/thread_pool.h"
 
 namespace ossm {
 
@@ -132,8 +133,32 @@ StatusOr<MiningResult> MineApriori(const TransactionDatabase& db,
         OSSM_TRACE_SPAN("apriori.count_pass");
         HashTree tree(std::move(candidates), config.hash_tree_fanout,
                       config.hash_tree_leaf_capacity);
-        for (uint64_t t = 0; t < db.num_transactions(); ++t) {
-          tree.CountTransaction(db.transaction(t));
+        uint32_t shards =
+            parallel::NumShards(0, db.num_transactions());
+        if (shards <= 1) {
+          for (uint64_t t = 0; t < db.num_transactions(); ++t) {
+            tree.CountTransaction(db.transaction(t));
+          }
+        } else {
+          // Shard the scan; each shard counts into private state against the
+          // shared (immutable) tree. Merging sums per-candidate counts, so
+          // the totals are bit-identical to the single-threaded scan.
+          std::vector<HashTree::CountingState> states;
+          states.reserve(shards);
+          for (uint32_t s = 0; s < shards; ++s) {
+            states.push_back(tree.MakeCountingState());
+          }
+          parallel::ParallelFor(
+              0, db.num_transactions(),
+              [&](uint32_t shard, uint64_t begin, uint64_t end) {
+                HashTree::CountingState& state = states[shard];
+                for (uint64_t t = begin; t < end; ++t) {
+                  tree.CountTransaction(db.transaction(t), &state);
+                }
+              });
+          for (const HashTree::CountingState& state : states) {
+            tree.MergeCounts(state);
+          }
         }
         metrics.DatabaseScan();
 

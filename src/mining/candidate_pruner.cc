@@ -12,20 +12,16 @@ bool CandidatePruner::Admits(std::span<const ItemId> itemset,
   uint64_t bound = UpperBound(itemset);
   bool admitted = bound >= min_support;
   if (obs::MetricsEnabled()) {
-    if (evaluations_counter_.load(std::memory_order_acquire) == nullptr) {
+    std::call_once(counters_once_, [this] {
       std::string prefix = "pruner.";
       prefix += name();
       obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
-      pruned_counter_.store(&registry.GetCounter(prefix + ".pruned"),
-                            std::memory_order_release);
-      evaluations_counter_.store(
-          &registry.GetCounter(prefix + ".bound_evaluations"),
-          std::memory_order_release);
-    }
-    evaluations_counter_.load(std::memory_order_relaxed)->Add(1);
-    if (!admitted) {
-      pruned_counter_.load(std::memory_order_relaxed)->Add(1);
-    }
+      evaluations_counter_ =
+          &registry.GetCounter(prefix + ".bound_evaluations");
+      pruned_counter_ = &registry.GetCounter(prefix + ".pruned");
+    });
+    evaluations_counter_->Add(1);
+    if (!admitted) pruned_counter_->Add(1);
   }
   return admitted;
 }

@@ -1,8 +1,8 @@
 #ifndef OSSM_MINING_CANDIDATE_PRUNER_H_
 #define OSSM_MINING_CANDIDATE_PRUNER_H_
 
-#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <span>
 #include <string_view>
 
@@ -27,14 +27,12 @@ class CandidatePruner {
   CandidatePruner() = default;
   virtual ~CandidatePruner() = default;
 
-  // The atomics below are just caches of stable registry references, so
-  // copying a pruner copies the cached pointers (or re-resolves them later
-  // — both are correct). Explicit because std::atomic is not copyable.
-  CandidatePruner(const CandidatePruner& other) { CopyCaches(other); }
-  CandidatePruner& operator=(const CandidatePruner& other) {
-    CopyCaches(other);
-    return *this;
-  }
+  // The counter handles are just caches of stable registry references, so a
+  // copy may start unresolved and re-resolve lazily — it lands on the same
+  // registry entries. Explicit because std::once_flag is not copyable; each
+  // copy gets a fresh flag.
+  CandidatePruner(const CandidatePruner&) {}
+  CandidatePruner& operator=(const CandidatePruner&) { return *this; }
 
   virtual std::string_view name() const = 0;
 
@@ -56,22 +54,14 @@ class CandidatePruner {
   bool Admits(std::span<const ItemId> itemset, uint64_t min_support) const;
 
  private:
-  void CopyCaches(const CandidatePruner& other) {
-    // Keep the resolution invariant: pruned_counter_ is published before
-    // evaluations_counter_, so a reader seeing the latter sees both.
-    pruned_counter_.store(
-        other.pruned_counter_.load(std::memory_order_acquire),
-        std::memory_order_release);
-    evaluations_counter_.store(
-        other.evaluations_counter_.load(std::memory_order_acquire),
-        std::memory_order_release);
-  }
-
-  // Instrument handles, resolved on first instrumented Admits call. The
-  // registry hands out stable references, so racing resolutions from
-  // concurrent miners all store the same pointers.
-  mutable std::atomic<obs::Counter*> evaluations_counter_{nullptr};
-  mutable std::atomic<obs::Counter*> pruned_counter_{nullptr};
+  // Instrument handles, resolved exactly once on the first instrumented
+  // Admits call. std::call_once both serializes the resolution and
+  // publishes the stores, so concurrent Admits callers from pool workers
+  // never observe one handle set and the other still null (the race the
+  // old check-then-store dance had).
+  mutable std::once_flag counters_once_;
+  mutable obs::Counter* evaluations_counter_ = nullptr;
+  mutable obs::Counter* pruned_counter_ = nullptr;
 };
 
 // No pruning: every bound is "unknown". Baseline ("without the OSSM").

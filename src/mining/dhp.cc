@@ -11,6 +11,7 @@
 #include "mining/itemset.h"
 #include "mining/miner_metrics.h"
 #include "obs/obs.h"
+#include "parallel/thread_pool.h"
 
 namespace ossm {
 
@@ -107,12 +108,34 @@ StatusOr<MiningResult> MineDhp(const TransactionDatabase& db,
     std::vector<uint64_t> buckets(config.num_buckets, 0);
     {
       OSSM_TRACE_SPAN("dhp.pass1");
-      std::vector<ItemId> scratch;
-      for (uint64_t t = 0; t < db.num_transactions(); ++t) {
-        std::span<const ItemId> txn = db.transaction(t);
-        for (ItemId item : txn) ++item_supports[item];
-        scratch.clear();
-        HashAllSubsets(txn, 2, scratch, buckets, config.num_buckets, 0);
+      // Sharded scan: per-shard support and bucket tallies, sum-merged at
+      // the barrier — identical totals for any shard count.
+      uint32_t shards = parallel::NumShards(0, db.num_transactions());
+      std::vector<std::vector<uint64_t>> shard_supports(
+          shards, std::vector<uint64_t>(db.num_items(), 0));
+      std::vector<std::vector<uint64_t>> shard_buckets(
+          shards, std::vector<uint64_t>(config.num_buckets, 0));
+      parallel::ParallelFor(
+          0, db.num_transactions(),
+          [&](uint32_t shard, uint64_t begin, uint64_t end) {
+            std::vector<uint64_t>& supports = shard_supports[shard];
+            std::vector<uint64_t>& bucket_tally = shard_buckets[shard];
+            std::vector<ItemId> scratch;
+            for (uint64_t t = begin; t < end; ++t) {
+              std::span<const ItemId> txn = db.transaction(t);
+              for (ItemId item : txn) ++supports[item];
+              scratch.clear();
+              HashAllSubsets(txn, 2, scratch, bucket_tally,
+                             config.num_buckets, 0);
+            }
+          });
+      for (uint32_t s = 0; s < shards; ++s) {
+        for (uint32_t i = 0; i < db.num_items(); ++i) {
+          item_supports[i] += shard_supports[s][i];
+        }
+        for (uint32_t b = 0; b < config.num_buckets; ++b) {
+          buckets[b] += shard_buckets[s][b];
+        }
       }
       metrics.DatabaseScan();
     }
@@ -180,19 +203,31 @@ StatusOr<MiningResult> MineDhp(const TransactionDatabase& db,
                     config.hash_tree_leaf_capacity);
       TransactionDatabase trimmed(db.num_items());
       std::vector<uint64_t> next_buckets(config.num_buckets, 0);
-      std::vector<uint32_t> matched;
-      std::vector<uint32_t> occurrence(db.num_items(), 0);
-      std::vector<ItemId> kept;
-      std::vector<ItemId> scratch;
-      for (uint64_t t = 0; t < working.num_transactions(); ++t) {
-        std::span<const ItemId> txn = working.transaction(t);
-        tree.CountTransaction(txn, &matched);
 
-        // DHP trimming: an item can only contribute to a frequent
-        // (level+1)-itemset in this transaction if it occurs in at least
-        // `level` matched candidates (every (level+1)-itemset has `level`
-        // level-subsets through each of its items, all of which are
-        // candidates by closure).
+      // Per-shard trimming scratch and outputs. Shards are contiguous
+      // transaction ranges, so concatenating the per-shard trimmed
+      // databases in shard order reproduces the serial trimmed database
+      // exactly; counts and bucket tallies sum-merge.
+      struct TrimShard {
+        HashTree::CountingState counts;
+        TransactionDatabase trimmed;
+        std::vector<uint64_t> buckets;
+
+        explicit TrimShard(uint32_t num_items, uint32_t num_buckets)
+            : trimmed(num_items), buckets(num_buckets, 0) {}
+      };
+
+      // DHP trimming: an item can only contribute to a frequent
+      // (level+1)-itemset in this transaction if it occurs in at least
+      // `level` matched candidates (every (level+1)-itemset has `level`
+      // level-subsets through each of its items, all of which are
+      // candidates by closure).
+      auto trim_transaction = [&](std::span<const uint32_t> matched,
+                                  std::vector<uint32_t>& occurrence,
+                                  std::vector<ItemId>& kept,
+                                  std::vector<ItemId>& scratch,
+                                  TransactionDatabase& out_trimmed,
+                                  std::vector<uint64_t>& out_buckets) {
         kept.clear();
         for (uint32_t candidate_id : matched) {
           for (ItemId item : tree.candidates()[candidate_id]) {
@@ -208,13 +243,59 @@ StatusOr<MiningResult> MineDhp(const TransactionDatabase& db,
         std::sort(kept.begin(), kept.end());
         kept.erase(std::unique(kept.begin(), kept.end()), kept.end());
         if (kept.size() >= level + 1) {
-          Status append = trimmed.Append(std::span<const ItemId>(kept));
+          Status append = out_trimmed.Append(std::span<const ItemId>(kept));
           OSSM_CHECK(append.ok()) << append.ToString();
           scratch.clear();
-          HashAllSubsets(std::span<const ItemId>(trimmed.transaction(
-                             trimmed.num_transactions() - 1)),
-                         level + 1, scratch, next_buckets,
+          HashAllSubsets(std::span<const ItemId>(out_trimmed.transaction(
+                             out_trimmed.num_transactions() - 1)),
+                         level + 1, scratch, out_buckets,
                          config.num_buckets, 0);
+        }
+      };
+
+      uint32_t shards =
+          parallel::NumShards(0, working.num_transactions());
+      if (shards <= 1) {
+        std::vector<uint32_t> matched;
+        std::vector<uint32_t> occurrence(db.num_items(), 0);
+        std::vector<ItemId> kept;
+        std::vector<ItemId> scratch;
+        for (uint64_t t = 0; t < working.num_transactions(); ++t) {
+          tree.CountTransaction(working.transaction(t), &matched);
+          trim_transaction(matched, occurrence, kept, scratch, trimmed,
+                           next_buckets);
+        }
+      } else {
+        std::vector<TrimShard> shard_states;
+        shard_states.reserve(shards);
+        for (uint32_t s = 0; s < shards; ++s) {
+          shard_states.emplace_back(db.num_items(), config.num_buckets);
+          shard_states.back().counts = tree.MakeCountingState();
+        }
+        parallel::ParallelFor(
+            0, working.num_transactions(),
+            [&](uint32_t shard, uint64_t begin, uint64_t end) {
+              TrimShard& state = shard_states[shard];
+              std::vector<uint32_t> matched;
+              std::vector<uint32_t> occurrence(db.num_items(), 0);
+              std::vector<ItemId> kept;
+              std::vector<ItemId> scratch;
+              for (uint64_t t = begin; t < end; ++t) {
+                tree.CountTransaction(working.transaction(t), &state.counts,
+                                      &matched);
+                trim_transaction(matched, occurrence, kept, scratch,
+                                 state.trimmed, state.buckets);
+              }
+            });
+        for (const TrimShard& state : shard_states) {
+          tree.MergeCounts(state.counts);
+          for (uint64_t t = 0; t < state.trimmed.num_transactions(); ++t) {
+            Status append = trimmed.Append(state.trimmed.transaction(t));
+            OSSM_CHECK(append.ok()) << append.ToString();
+          }
+          for (uint32_t b = 0; b < config.num_buckets; ++b) {
+            next_buckets[b] += state.buckets[b];
+          }
         }
       }
       metrics.DatabaseScan();

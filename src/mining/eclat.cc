@@ -7,6 +7,7 @@
 #include "common/timer.h"
 #include "mining/miner_metrics.h"
 #include "obs/obs.h"
+#include "parallel/thread_pool.h"
 
 namespace ossm {
 
@@ -46,44 +47,56 @@ void Intersect(const TidList& a, const TidList& b, TidList* out) {
                         std::back_inserter(*out));
 }
 
-// Expands the equivalence class of `prefix` (whose members are the
-// frequent itemsets prefix ∪ {member.item}, already emitted). For each
-// member, join with every later member to form the next class.
 void Expand(SearchState& state, Itemset& prefix,
-            const std::vector<ClassMember>& members) {
+            const std::vector<ClassMember>& members);
+
+// One outer-loop step of Expand: joins members[i] with every later member
+// of its class and recurses into the resulting class. Exposed separately so
+// the top level can fan the (independent) per-member subtrees out across
+// threads.
+void ExpandMember(SearchState& state, Itemset& prefix,
+                  const std::vector<ClassMember>& members, size_t i) {
   uint32_t next_level = static_cast<uint32_t>(prefix.size() + 2);
   if (state.max_level != 0 && next_level > state.max_level) return;
 
   Itemset candidate;
   TidList intersection;
-  for (size_t i = 0; i < members.size(); ++i) {
-    prefix.push_back(members[i].item);
-    std::vector<ClassMember> next_class;
-    for (size_t j = i + 1; j < members.size(); ++j) {
-      state.metrics->CandidatesGenerated(next_level);
+  prefix.push_back(members[i].item);
+  std::vector<ClassMember> next_class;
+  for (size_t j = i + 1; j < members.size(); ++j) {
+    state.metrics->CandidatesGenerated(next_level);
 
-      if (state.pruner != nullptr) {
-        candidate = prefix;
-        candidate.push_back(members[j].item);
-        if (!state.pruner->Admits(candidate, state.min_support)) {
-          state.metrics->PrunedByBound(next_level);
-          continue;
-        }
-      }
-      state.metrics->CandidatesCounted(next_level);
-      Intersect(members[i].tids, members[j].tids, &intersection);
-      if (intersection.size() >= state.min_support) {
-        state.metrics->Frequent(next_level);
-        Itemset found = prefix;
-        found.push_back(members[j].item);
-        state.out->push_back({std::move(found), intersection.size()});
-        next_class.push_back({members[j].item, intersection});
+    if (state.pruner != nullptr) {
+      candidate = prefix;
+      candidate.push_back(members[j].item);
+      if (!state.pruner->Admits(candidate, state.min_support)) {
+        state.metrics->PrunedByBound(next_level);
+        continue;
       }
     }
-    if (!next_class.empty()) {
-      Expand(state, prefix, next_class);
+    state.metrics->CandidatesCounted(next_level);
+    Intersect(members[i].tids, members[j].tids, &intersection);
+    if (intersection.size() >= state.min_support) {
+      state.metrics->Frequent(next_level);
+      Itemset found = prefix;
+      found.push_back(members[j].item);
+      state.out->push_back({std::move(found), intersection.size()});
+      next_class.push_back({members[j].item, intersection});
     }
-    prefix.pop_back();
+  }
+  if (!next_class.empty()) {
+    Expand(state, prefix, next_class);
+  }
+  prefix.pop_back();
+}
+
+// Expands the equivalence class of `prefix` (whose members are the
+// frequent itemsets prefix ∪ {member.item}, already emitted). For each
+// member, join with every later member to form the next class.
+void Expand(SearchState& state, Itemset& prefix,
+            const std::vector<ClassMember>& members) {
+  for (size_t i = 0; i < members.size(); ++i) {
+    ExpandMember(state, prefix, members, i);
   }
 }
 
@@ -137,8 +150,35 @@ StatusOr<MiningResult> MineEclat(const TransactionDatabase& db,
       }
     }
 
-    Itemset prefix;
-    Expand(state, prefix, root_class);
+    // Each root-class member spawns an independent search subtree (its
+    // equivalence class only joins with later members), so the top level
+    // shards by member. Subtree sizes are wildly uneven — member 0 owns the
+    // largest class — hence dynamic scheduling; outputs and tallies are
+    // stored per member and merged in member order, so results and stats
+    // are independent of thread count.
+    size_t roots = root_class.size();
+    if (parallel::NumShards(0, roots) <= 1) {
+      Itemset prefix;
+      Expand(state, prefix, root_class);
+    } else {
+      std::vector<std::vector<FrequentItemset>> member_out(roots);
+      std::vector<MinerMetrics> member_metrics(roots,
+                                               MinerMetrics("eclat"));
+      parallel::ParallelForEach(roots, [&](uint64_t i) {
+        SearchState local = state;
+        local.out = &member_out[i];
+        local.metrics = &member_metrics[i];
+        Itemset prefix;
+        ExpandMember(local, prefix, root_class, i);
+      });
+      for (size_t i = 0; i < roots; ++i) {
+        result.itemsets.insert(
+            result.itemsets.end(),
+            std::make_move_iterator(member_out[i].begin()),
+            std::make_move_iterator(member_out[i].end()));
+        metrics.MergeFrom(member_metrics[i]);
+      }
+    }
 
     result.Canonicalize();
     metrics.Finish(&result.stats);

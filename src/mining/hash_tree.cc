@@ -25,6 +25,7 @@ HashTree::HashTree(std::vector<Itemset> candidates, uint32_t fanout,
     OSSM_DCHECK(IsCanonicalItemset(candidates_[id]));
     Insert(0, id);
   }
+  serial_state_.last_visit.assign(nodes_.size(), 0);
 }
 
 void HashTree::Insert(uint32_t node_id, uint32_t candidate_id) {
@@ -63,6 +64,20 @@ void HashTree::SplitLeaf(uint32_t node_id) {
   }
 }
 
+HashTree::CountingState HashTree::MakeCountingState() const {
+  CountingState state;
+  state.counts.assign(candidates_.size(), 0);
+  state.last_visit.assign(nodes_.size(), 0);
+  return state;
+}
+
+void HashTree::MergeCounts(const CountingState& state) {
+  OSSM_CHECK_EQ(state.counts.size(), counts_.size());
+  for (size_t c = 0; c < counts_.size(); ++c) {
+    counts_[c] += state.counts[c];
+  }
+}
+
 void HashTree::CountTransaction(std::span<const ItemId> transaction) {
   CountTransaction(transaction, nullptr);
 }
@@ -71,21 +86,33 @@ void HashTree::CountTransaction(std::span<const ItemId> transaction,
                                 std::vector<uint32_t>* matched) {
   if (matched != nullptr) matched->clear();
   if (candidates_.empty() || transaction.size() < candidate_size_) return;
-  ++visit_stamp_;
-  Visit(0, transaction, 0, matched);
+  ++serial_state_.visit_stamp;
+  Visit(0, transaction, 0, counts_.data(), serial_state_.last_visit.data(),
+        serial_state_.visit_stamp, matched);
+}
+
+void HashTree::CountTransaction(std::span<const ItemId> transaction,
+                                CountingState* state,
+                                std::vector<uint32_t>* matched) const {
+  if (matched != nullptr) matched->clear();
+  if (candidates_.empty() || transaction.size() < candidate_size_) return;
+  ++state->visit_stamp;
+  Visit(0, transaction, 0, state->counts.data(), state->last_visit.data(),
+        state->visit_stamp, matched);
 }
 
 void HashTree::Visit(uint32_t node_id, std::span<const ItemId> transaction,
-                     size_t start, std::vector<uint32_t>* matched) {
-  Node& node = nodes_[node_id];
+                     size_t start, uint64_t* counts, uint64_t* last_visit,
+                     uint64_t stamp, std::vector<uint32_t>* matched) const {
+  const Node& node = nodes_[node_id];
   if (node.is_leaf) {
     // The same leaf can be reached along several hash paths within one
     // transaction; the stamp makes sure its candidates are counted once.
-    if (node.last_visit == visit_stamp_) return;
-    node.last_visit = visit_stamp_;
+    if (last_visit[node_id] == stamp) return;
+    last_visit[node_id] = stamp;
     for (uint32_t candidate_id : node.entries) {
       if (IsSubsetOf(candidates_[candidate_id], transaction)) {
-        ++counts_[candidate_id];
+        ++counts[candidate_id];
         if (matched != nullptr) matched->push_back(candidate_id);
       }
     }
@@ -99,7 +126,8 @@ void HashTree::Visit(uint32_t node_id, std::span<const ItemId> transaction,
   for (size_t i = start; i <= last; ++i) {
     int32_t child = node.children[HashItem(transaction[i])];
     if (child >= 0) {
-      Visit(static_cast<uint32_t>(child), transaction, i + 1, matched);
+      Visit(static_cast<uint32_t>(child), transaction, i + 1, counts,
+            last_visit, stamp, matched);
     }
   }
 }

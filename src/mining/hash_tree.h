@@ -16,9 +16,26 @@ namespace ossm {
 // candidate pruning translates into runtime speedup: candidates removed
 // before counting never enter the tree.
 //
+// The tree structure is immutable after construction; all counting
+// mutability (candidate counts, the per-leaf visit stamps that prevent
+// double counting) lives in a CountingState. That split is what lets the
+// parallel counting pass share one tree across threads: each shard counts
+// into its own state and the states are merged — by summation, so the
+// merged counts are bit-identical to a single-threaded run no matter how
+// transactions were sharded.
+//
 // All candidates must be sorted itemsets of the same size k >= 1.
 class HashTree {
  public:
+  // Thread-private counting scratch: per-candidate counts plus per-node
+  // visit stamps. Obtain via MakeCountingState(), never share across
+  // threads.
+  struct CountingState {
+    std::vector<uint64_t> counts;      // per candidate id
+    std::vector<uint64_t> last_visit;  // per node id
+    uint64_t visit_stamp = 0;
+  };
+
   // Copies the candidates (ids 0..n-1 in input order). `fanout` is the hash
   // width of interior nodes; a leaf splits once it exceeds `leaf_capacity`
   // entries (unless it is already at depth k, where it grows unbounded).
@@ -34,6 +51,19 @@ class HashTree {
   void CountTransaction(std::span<const ItemId> transaction,
                         std::vector<uint32_t>* matched);
 
+  // Concurrent-counting API: counts into `state` instead of the tree's own
+  // counters. Safe to call from many threads at once as long as each thread
+  // owns its state. `matched` (optional) receives matched candidate ids.
+  CountingState MakeCountingState() const;
+  void CountTransaction(std::span<const ItemId> transaction,
+                        CountingState* state,
+                        std::vector<uint32_t>* matched = nullptr) const;
+
+  // Adds a state's counts into the tree's counters. Call once per shard
+  // state, after the counting barrier; summation commutes, so any merge
+  // order yields the single-threaded counts.
+  void MergeCounts(const CountingState& state);
+
   size_t num_candidates() const { return candidates_.size(); }
   std::span<const Itemset> candidates() const { return candidates_; }
   std::span<const uint64_t> counts() const { return counts_; }
@@ -44,14 +74,14 @@ class HashTree {
     uint32_t depth = 0;
     std::vector<uint32_t> entries;   // candidate ids (leaf only)
     std::vector<int32_t> children;   // node ids, -1 = absent (interior only)
-    uint64_t last_visit = 0;         // visit stamp to avoid double counting
   };
 
   uint32_t HashItem(ItemId item) const { return item % fanout_; }
   void Insert(uint32_t node_id, uint32_t candidate_id);
   void SplitLeaf(uint32_t node_id);
   void Visit(uint32_t node_id, std::span<const ItemId> transaction,
-             size_t start, std::vector<uint32_t>* matched);
+             size_t start, uint64_t* counts, uint64_t* last_visit,
+             uint64_t stamp, std::vector<uint32_t>* matched) const;
 
   uint32_t fanout_;
   uint32_t leaf_capacity_;
@@ -59,7 +89,9 @@ class HashTree {
   std::vector<Itemset> candidates_;
   std::vector<uint64_t> counts_;
   std::vector<Node> nodes_;
-  uint64_t visit_stamp_ = 0;
+  // Stamps backing the serial CountTransaction overloads (which add straight
+  // into counts_); its counts vector stays unused.
+  CountingState serial_state_;
 };
 
 }  // namespace ossm

@@ -17,6 +17,18 @@ LevelStats& MinerMetrics::Level(uint32_t level) {
   return levels_[level - 1];
 }
 
+void MinerMetrics::MergeFrom(const MinerMetrics& other) {
+  for (const LevelStats& level : other.levels_) {
+    LevelStats& mine = Level(level.level);
+    mine.candidates_generated += level.candidates_generated;
+    mine.pruned_by_bound += level.pruned_by_bound;
+    mine.pruned_by_hash += level.pruned_by_hash;
+    mine.candidates_counted += level.candidates_counted;
+    mine.frequent += level.frequent;
+  }
+  database_scans_ += other.database_scans_;
+}
+
 void MinerMetrics::Finish(MiningStats* stats) {
   stats->levels = std::move(levels_);
   stats->database_scans = database_scans_;

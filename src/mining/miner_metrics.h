@@ -54,6 +54,13 @@ class MinerMetrics {
     return Level(level).frequent;
   }
 
+  // Folds another recorder's per-level tallies and scan count into this
+  // one. Parallel miners record into per-shard recorders and merge them in
+  // shard order at the barrier; since all tallies are sums, the merged
+  // totals match a serial run for any shard count. `other` must never be
+  // Finish()ed itself.
+  void MergeFrom(const MinerMetrics& other);
+
   // Moves the accumulated accounting into `stats` and publishes it to the
   // global registry when metrics are enabled. Call exactly once, after the
   // run's last recording.

@@ -13,6 +13,7 @@
 #include "mining/itemset.h"
 #include "mining/miner_metrics.h"
 #include "obs/obs.h"
+#include "parallel/thread_pool.h"
 
 namespace ossm {
 
@@ -60,50 +61,83 @@ StatusOr<MiningResult> MinePartition(const TransactionDatabase& db,
 
     {
       OSSM_TRACE_SPAN("partition.local_mining");
-      for (uint32_t p = 0; p < config.num_partitions; ++p) {
-        uint64_t begin = n * p / config.num_partitions;
-        uint64_t end = n * (p + 1) / config.num_partitions;
+      // Phase 1 shards by partition: every partition's local mine is
+      // independent. Outputs land in per-partition slots and are folded in
+      // partition order below, so candidate sets, maps, and counters match
+      // a serial run for any thread count. Nested parallelism inside
+      // MineApriori/BuildOssm degrades to serial on pool workers.
+      struct PartitionLocal {
+        Status status = Status::OK();
+        std::vector<FrequentItemset> itemsets;
+        SegmentSupportMap map;
+        bool has_map = false;
+        uint64_t scans = 0;
+      };
+      std::vector<PartitionLocal> locals(config.num_partitions);
 
-        TransactionDatabase part(db.num_items());
-        for (uint64_t t = begin; t < end; ++t) {
-          Status append = part.Append(db.transaction(t));
-          OSSM_CHECK(append.ok()) << append.ToString();
-        }
+      parallel::ParallelForEach(
+          config.num_partitions, [&](uint64_t p) {
+            PartitionLocal& out = locals[p];
+            uint64_t begin = n * p / config.num_partitions;
+            uint64_t end = n * (p + 1) / config.num_partitions;
 
-        AprioriConfig local;
-        // ceil(fraction * |partition|): an itemset globally frequent must
-        // reach the fraction in at least one partition.
-        local.min_support_count = std::max<uint64_t>(
-            1, static_cast<uint64_t>(
-                   std::ceil(config.min_support_fraction *
-                             static_cast<double>(part.num_transactions()))));
-        local.max_level = config.max_level;
-        local.hash_tree_fanout = config.hash_tree_fanout;
-        local.hash_tree_leaf_capacity = config.hash_tree_leaf_capacity;
+            TransactionDatabase part(db.num_items());
+            for (uint64_t t = begin; t < end; ++t) {
+              Status append = part.Append(db.transaction(t));
+              OSSM_CHECK(append.ok()) << append.ToString();
+            }
 
-        OssmBuildResult build;
-        OssmPruner local_pruner(&build.map);
-        if (config.use_ossm) {
-          OssmBuildOptions options;
-          options.algorithm = SegmentationAlgorithm::kRandom;
-          options.target_segments = config.ossm_segments_per_partition;
-          options.transactions_per_page = std::min<uint64_t>(
-              config.transactions_per_page,
-              std::max<uint64_t>(1, part.num_transactions()));
-          StatusOr<OssmBuildResult> built = BuildOssm(part, options);
-          if (!built.ok()) return built.status();
-          build = std::move(*built);
-          local_pruner = OssmPruner(&build.map);
-          local.pruner = &local_pruner;
-          partition_maps.push_back(build.map);
-        }
+            AprioriConfig local;
+            // ceil(fraction * |partition|): an itemset globally frequent
+            // must reach the fraction in at least one partition.
+            local.min_support_count = std::max<uint64_t>(
+                1,
+                static_cast<uint64_t>(std::ceil(
+                    config.min_support_fraction *
+                    static_cast<double>(part.num_transactions()))));
+            local.max_level = config.max_level;
+            local.hash_tree_fanout = config.hash_tree_fanout;
+            local.hash_tree_leaf_capacity = config.hash_tree_leaf_capacity;
 
-        StatusOr<MiningResult> local_result = MineApriori(part, local);
-        if (!local_result.ok()) return local_result.status();
-        for (FrequentItemset& itemset : local_result->itemsets) {
+            OssmBuildResult build;
+            OssmPruner local_pruner(&build.map);
+            if (config.use_ossm) {
+              OssmBuildOptions options;
+              options.algorithm = SegmentationAlgorithm::kRandom;
+              options.target_segments = config.ossm_segments_per_partition;
+              options.transactions_per_page = std::min<uint64_t>(
+                  config.transactions_per_page,
+                  std::max<uint64_t>(1, part.num_transactions()));
+              StatusOr<OssmBuildResult> built = BuildOssm(part, options);
+              if (!built.ok()) {
+                out.status = built.status();
+                return;
+              }
+              build = std::move(*built);
+              local_pruner = OssmPruner(&build.map);
+              local.pruner = &local_pruner;
+            }
+
+            StatusOr<MiningResult> local_result = MineApriori(part, local);
+            if (!local_result.ok()) {
+              out.status = local_result.status();
+              return;
+            }
+            if (config.use_ossm) {
+              out.map = std::move(build.map);
+              out.has_map = true;
+            }
+            out.itemsets = std::move(local_result->itemsets);
+            out.scans = local_result->stats.database_scans;
+          });
+
+      for (PartitionLocal& local : locals) {
+        if (!local.status.ok()) return local.status;
+        for (FrequentItemset& itemset : local.itemsets) {
           global_candidates.emplace(std::move(itemset.items), 0);
         }
-        metrics.DatabaseScans(local_result->stats.database_scans);
+        if (local.has_map) partition_maps.push_back(std::move(local.map));
+        metrics.DatabaseScans(local.scans);
       }
     }
 
@@ -171,9 +205,38 @@ StatusOr<MiningResult> MinePartition(const TransactionDatabase& db,
             config.hash_tree_fanout, config.hash_tree_leaf_capacity);
         i = j;
       }
-      for (uint64_t t = 0; t < n; ++t) {
-        std::span<const ItemId> txn = db.transaction(t);
-        for (HashTree& tree : trees) tree.CountTransaction(txn);
+      uint32_t shards = parallel::NumShards(0, n);
+      if (shards <= 1) {
+        for (uint64_t t = 0; t < n; ++t) {
+          std::span<const ItemId> txn = db.transaction(t);
+          for (HashTree& tree : trees) tree.CountTransaction(txn);
+        }
+      } else {
+        // One private counting state per (shard, tree); sum-merged, so the
+        // global counts match the serial scan bit for bit.
+        std::vector<std::vector<HashTree::CountingState>> states(shards);
+        for (uint32_t s = 0; s < shards; ++s) {
+          states[s].reserve(trees.size());
+          for (const HashTree& tree : trees) {
+            states[s].push_back(tree.MakeCountingState());
+          }
+        }
+        parallel::ParallelFor(
+            0, n, [&](uint32_t shard, uint64_t begin, uint64_t end) {
+              std::vector<HashTree::CountingState>& shard_states =
+                  states[shard];
+              for (uint64_t t = begin; t < end; ++t) {
+                std::span<const ItemId> txn = db.transaction(t);
+                for (size_t k = 0; k < trees.size(); ++k) {
+                  trees[k].CountTransaction(txn, &shard_states[k]);
+                }
+              }
+            });
+        for (uint32_t s = 0; s < shards; ++s) {
+          for (size_t k = 0; k < trees.size(); ++k) {
+            trees[k].MergeCounts(states[s][k]);
+          }
+        }
       }
       metrics.DatabaseScan();
 

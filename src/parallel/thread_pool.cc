@@ -1,0 +1,229 @@
+#include "parallel/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <limits>
+#include <utility>
+
+namespace ossm {
+namespace parallel {
+
+namespace {
+
+// True while this thread is executing a pool task; nested helpers then run
+// inline instead of re-entering the (possibly saturated) pool.
+thread_local bool tls_in_pool_task = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(uint32_t num_threads)
+    : num_threads_(num_threads == 0 ? 1 : num_threads) {
+  workers_.reserve(num_threads_ - 1);
+  for (uint32_t i = 0; i + 1 < num_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()>* task = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = queue_.front();
+      queue_.pop_front();
+    }
+    tls_in_pool_task = true;
+    (*task)();
+    tls_in_pool_task = false;
+    bool batch_complete;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      batch_complete = (--pending_ == 0);
+    }
+    if (batch_complete) batch_done_.notify_all();
+  }
+}
+
+void ThreadPool::RunBatch(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  if (workers_.empty() || tasks.size() == 1) {
+    for (std::function<void()>& task : tasks) task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::function<void()>& task : tasks) queue_.push_back(&task);
+    pending_ += tasks.size();
+  }
+  work_ready_.notify_all();
+
+  // The calling thread is one of the pool's lanes: it drains tasks alongside
+  // the workers, then blocks until the stragglers finish.
+  for (;;) {
+    std::function<void()>* task = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!queue_.empty()) {
+        task = queue_.front();
+        queue_.pop_front();
+      }
+    }
+    if (task == nullptr) break;
+    tls_in_pool_task = true;
+    (*task)();
+    tls_in_pool_task = false;
+    bool batch_complete;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      batch_complete = (--pending_ == 0);
+    }
+    if (batch_complete) batch_done_.notify_all();
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  batch_done_.wait(lock, [this] { return pending_ == 0; });
+}
+
+uint32_t ThreadPool::NumShards(uint64_t begin, uint64_t end) const {
+  if (end <= begin) return 0;
+  if (tls_in_pool_task) return 1;
+  uint64_t range = end - begin;
+  return static_cast<uint32_t>(
+      range < num_threads_ ? range : num_threads_);
+}
+
+void ThreadPool::ParallelFor(
+    uint64_t begin, uint64_t end,
+    const std::function<void(uint32_t, uint64_t, uint64_t)>& fn) {
+  uint32_t shards = NumShards(begin, end);
+  if (shards == 0) return;
+  if (shards == 1) {
+    fn(0, begin, end);
+    return;
+  }
+
+  uint64_t range = end - begin;
+  std::vector<std::exception_ptr> errors(shards);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(shards);
+  for (uint32_t shard = 0; shard < shards; ++shard) {
+    uint64_t shard_begin = begin + range * shard / shards;
+    uint64_t shard_end = begin + range * (shard + 1) / shards;
+    tasks.push_back([&fn, &errors, shard, shard_begin, shard_end] {
+      try {
+        fn(shard, shard_begin, shard_end);
+      } catch (...) {
+        errors[shard] = std::current_exception();
+      }
+    });
+  }
+  RunBatch(std::move(tasks));
+  for (std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::ParallelForEach(uint64_t n,
+                                 const std::function<void(uint64_t)>& fn) {
+  if (n == 0) return;
+  uint32_t lanes = NumShards(0, n);
+  if (lanes <= 1) {
+    for (uint64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<uint64_t> cursor{0};
+  // First (lowest-index) exception wins, so even failure is deterministic:
+  // lanes keep claiming after a throw, guaranteeing every index runs.
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+  uint64_t first_error_index = std::numeric_limits<uint64_t>::max();
+
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(lanes);
+  for (uint32_t lane = 0; lane < lanes; ++lane) {
+    tasks.push_back([&] {
+      for (;;) {
+        uint64_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (i < first_error_index) {
+            first_error_index = i;
+            first_error = std::current_exception();
+          }
+        }
+      }
+    });
+  }
+  RunBatch(std::move(tasks));
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+uint32_t DefaultThreadCount() {
+  static const uint32_t count = [] {
+    if (const char* env = std::getenv("OSSM_THREADS")) {
+      char* end = nullptr;
+      unsigned long parsed = std::strtoul(env, &end, 10);
+      if (end != env && parsed > 0) return static_cast<uint32_t>(parsed);
+    }
+    uint32_t hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1u : hw;
+  }();
+  return count;
+}
+
+namespace {
+
+std::mutex g_default_pool_mu;
+ThreadPool* g_default_pool = nullptr;  // leaked, like the metrics registry
+
+}  // namespace
+
+ThreadPool& DefaultPool() {
+  std::lock_guard<std::mutex> lock(g_default_pool_mu);
+  if (g_default_pool == nullptr) {
+    g_default_pool = new ThreadPool(DefaultThreadCount());
+  }
+  return *g_default_pool;
+}
+
+void SetDefaultThreadCount(uint32_t num_threads) {
+  ThreadPool* replacement = new ThreadPool(num_threads);
+  ThreadPool* old;
+  {
+    std::lock_guard<std::mutex> lock(g_default_pool_mu);
+    old = g_default_pool;
+    g_default_pool = replacement;
+  }
+  delete old;  // joins the old workers; caller guarantees the pool is idle
+}
+
+void ParallelFor(uint64_t begin, uint64_t end,
+                 const std::function<void(uint32_t, uint64_t, uint64_t)>& fn) {
+  DefaultPool().ParallelFor(begin, end, fn);
+}
+
+void ParallelForEach(uint64_t n, const std::function<void(uint64_t)>& fn) {
+  DefaultPool().ParallelForEach(n, fn);
+}
+
+uint32_t NumShards(uint64_t begin, uint64_t end) {
+  return DefaultPool().NumShards(begin, end);
+}
+
+}  // namespace parallel
+}  // namespace ossm

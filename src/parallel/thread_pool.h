@@ -1,0 +1,113 @@
+#ifndef OSSM_PARALLEL_THREAD_POOL_H_
+#define OSSM_PARALLEL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ossm {
+namespace parallel {
+
+// A small fixed-size worker pool plus the two fork-join helpers the rest of
+// the codebase parallelizes with. Design constraints, in order:
+//
+//  1. Determinism. Every parallel pass in this repository must produce
+//     bit-identical results regardless of thread count. The helpers therefore
+//     expose *which shard* a piece of work belongs to, so call sites can
+//     accumulate into per-shard state and merge at the barrier in shard
+//     order. Scheduling (which thread runs which shard, in what order) is
+//     free to vary; observable results are not.
+//  2. `OSSM_THREADS=1` must preserve today's exact single-threaded behavior:
+//     with one shard the loop body runs inline on the calling thread, no
+//     worker is touched, and no per-shard state is duplicated.
+//  3. Nested parallelism degrades to serial. A ParallelFor issued from inside
+//     a pool task (e.g. Partition's per-partition Apriori runs, which are
+//     themselves parallelized over partitions) runs inline on that worker —
+//     no new threads, no deadlock on a saturated pool.
+//
+// Tasks must not throw across the pool boundary in production code (the
+// public API of this repository is Status-based), but the helpers still
+// capture and rethrow the first exception (by shard / index order, so even
+// failures are deterministic) to fail loudly instead of std::terminate-ing.
+class ThreadPool {
+ public:
+  // Spawns `num_threads - 1` workers (the caller participates as the
+  // remaining lane). `num_threads` is clamped to >= 1; a 1-thread pool never
+  // spawns and runs everything inline.
+  explicit ThreadPool(uint32_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  uint32_t num_threads() const { return num_threads_; }
+
+  // Splits [begin, end) into NumShards(begin, end) contiguous shards and
+  // runs fn(shard, shard_begin, shard_end) for each, blocking until all
+  // shards finish. Shard boundaries depend only on the range and the pool
+  // size — never on scheduling — so per-shard accumulations merged in shard
+  // order are reproducible. Empty ranges return immediately.
+  void ParallelFor(uint64_t begin, uint64_t end,
+                   const std::function<void(uint32_t shard, uint64_t
+                                            shard_begin, uint64_t shard_end)>&
+                       fn);
+
+  // Runs fn(i) for every i in [0, n), dynamically load-balanced: threads
+  // claim indices one at a time from a shared cursor. Use when per-item cost
+  // is wildly uneven (e.g. Eclat equivalence-class subtrees). Callers must
+  // index any output by `i`; with that discipline the dynamic schedule is
+  // invisible to results.
+  void ParallelForEach(uint64_t n, const std::function<void(uint64_t i)>& fn);
+
+  // The shard count ParallelFor(begin, end) will use right now from this
+  // thread: min(num_threads, range), or 1 inside a pool task. Call it to
+  // size per-shard state before forking.
+  uint32_t NumShards(uint64_t begin, uint64_t end) const;
+
+ private:
+  void WorkerLoop();
+  // Enqueues `tasks` (each tagged with its ordinal for exception ordering),
+  // runs the share of them on the calling thread too, and blocks until all
+  // complete. Rethrows the lowest-ordinal captured exception.
+  void RunBatch(std::vector<std::function<void()>> tasks);
+
+  uint32_t num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable batch_done_;
+  std::deque<std::function<void()>*> queue_;
+  uint64_t pending_ = 0;  // tasks enqueued or running in the current batch
+  bool shutdown_ = false;
+};
+
+// Thread count the default pool was (or will be) created with: the value of
+// OSSM_THREADS if set and positive, else std::thread::hardware_concurrency.
+// Read from the environment once, at first use.
+uint32_t DefaultThreadCount();
+
+// The process-wide pool every parallelized pass uses. Created lazily with
+// DefaultThreadCount() threads and intentionally leaked (same rationale as
+// the metrics registry: exit-order safety).
+ThreadPool& DefaultPool();
+
+// Replaces the default pool with one of `num_threads` threads. For tests and
+// benchmarks that sweep thread counts inside one process (OSSM_THREADS is
+// only read once). Must not be called while any parallel pass is running.
+void SetDefaultThreadCount(uint32_t num_threads);
+
+// Convenience wrappers over DefaultPool().
+void ParallelFor(uint64_t begin, uint64_t end,
+                 const std::function<void(uint32_t, uint64_t, uint64_t)>& fn);
+void ParallelForEach(uint64_t n, const std::function<void(uint64_t)>& fn);
+uint32_t NumShards(uint64_t begin, uint64_t end);
+
+}  // namespace parallel
+}  // namespace ossm
+
+#endif  // OSSM_PARALLEL_THREAD_POOL_H_

@@ -4,6 +4,7 @@
 
 #include "core/random_segmentation.h"
 #include "core/rc_segmentation.h"
+#include "parallel/thread_pool.h"
 #include "tests/segmentation_test_util.h"
 
 namespace ossm {
@@ -171,6 +172,125 @@ TEST(GreedySegmentationTest, BubbleListChangesDecisions) {
     if ((*a)[s].counts != (*b)[s].counts) differ = true;
   }
   EXPECT_TRUE(differ);
+}
+
+// Straight-line reference for GreedySegmenter: same merge rule, same
+// tie-break (loss, then oriented segment ids), but no heap, no lazy
+// deletion, no compaction — every step rescans the exact live-pair table.
+// Entries keep the orientation the real algorithm uses: initial pairs are
+// (a < b); after a merge into `a`, refreshed pairs are (a, other).
+std::vector<Segment> ReferenceGreedy(std::vector<Segment> segments,
+                                     uint64_t target) {
+  struct Entry {
+    uint64_t loss;
+    uint32_t a;
+    uint32_t b;
+  };
+  auto less = [](const Entry& x, const Entry& y) {
+    if (x.loss != y.loss) return x.loss < y.loss;
+    if (x.a != y.a) return x.a < y.a;
+    return x.b < y.b;
+  };
+  uint32_t n = static_cast<uint32_t>(segments.size());
+  std::vector<char> dead(n, 0);
+  std::vector<Entry> entries;
+  for (uint32_t a = 0; a < n; ++a) {
+    for (uint32_t b = a + 1; b < n; ++b) {
+      entries.push_back({PairwiseOssub(segments[a], segments[b]), a, b});
+    }
+  }
+  size_t alive = n;
+  while (alive > target) {
+    const Entry* best = &entries[0];
+    for (const Entry& entry : entries) {
+      if (less(entry, *best)) best = &entry;
+    }
+    uint32_t a = best->a, b = best->b;
+    MergeSegmentInto(segments[a], std::move(segments[b]));
+    dead[b] = 1;
+    --alive;
+    std::vector<Entry> next;
+    for (const Entry& entry : entries) {
+      if (entry.a != a && entry.a != b && entry.b != a && entry.b != b) {
+        next.push_back(entry);
+      }
+    }
+    for (uint32_t other = 0; other < n; ++other) {
+      if (dead[other] || other == a) continue;
+      next.push_back({PairwiseOssub(segments[a], segments[other]), a, other});
+    }
+    entries = std::move(next);
+  }
+  std::vector<Segment> result;
+  for (uint32_t s = 0; s < n; ++s) {
+    if (!dead[s]) result.push_back(std::move(segments[s]));
+  }
+  return result;
+}
+
+void ExpectSameSegments(const std::vector<Segment>& expected,
+                        const std::vector<Segment>& actual) {
+  ASSERT_EQ(expected.size(), actual.size());
+  for (size_t s = 0; s < expected.size(); ++s) {
+    EXPECT_EQ(expected[s].counts, actual[s].counts) << "segment " << s;
+    EXPECT_EQ(expected[s].pages, actual[s].pages) << "segment " << s;
+  }
+}
+
+TEST(GreedySegmentationTest, MatchesStraightLineReference) {
+  std::vector<Segment> input = test::RandomSegments(7, 20, 8);
+  std::vector<Segment> expected = ReferenceGreedy(input, 5);
+
+  GreedySegmenter segmenter;
+  SegmentationOptions options;
+  options.target_segments = 5;
+  StatusOr<std::vector<Segment>> result =
+      segmenter.Run(std::move(input), options, nullptr);
+  ASSERT_TRUE(result.ok());
+  ExpectSameSegments(expected, *result);
+}
+
+// Regression for the unbounded lazy-deletion heap: on a large instance the
+// stale entries must actually get evicted (compaction fires), and eviction
+// must not change the merge sequence — the output still matches the
+// reference that never goes stale in the first place.
+TEST(GreedySegmentationTest, CompactsStaleHeapEntriesWithoutChangingResult) {
+  std::vector<Segment> input = test::RandomSegments(11, 120, 8);
+  std::vector<Segment> expected = ReferenceGreedy(input, 4);
+
+  GreedySegmenter segmenter;
+  SegmentationOptions options;
+  options.target_segments = 4;
+  SegmentationStats stats;
+  StatusOr<std::vector<Segment>> result =
+      segmenter.Run(std::move(input), options, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(stats.heap_compactions, 1u);
+  ExpectSameSegments(expected, *result);
+}
+
+TEST(GreedySegmentationTest, ResultIsThreadCountInvariant) {
+  std::vector<Segment> input = test::RandomSegments(3, 60, 8);
+  SegmentationOptions options;
+  options.target_segments = 7;
+
+  parallel::SetDefaultThreadCount(1);
+  GreedySegmenter segmenter;
+  SegmentationStats serial_stats;
+  StatusOr<std::vector<Segment>> serial =
+      segmenter.Run(input, options, &serial_stats);
+  ASSERT_TRUE(serial.ok());
+
+  parallel::SetDefaultThreadCount(4);
+  SegmentationStats parallel_stats;
+  StatusOr<std::vector<Segment>> threaded =
+      segmenter.Run(input, options, &parallel_stats);
+  parallel::SetDefaultThreadCount(1);
+  ASSERT_TRUE(threaded.ok());
+
+  ExpectSameSegments(*serial, *threaded);
+  EXPECT_EQ(serial_stats.ossub_evaluations, parallel_stats.ossub_evaluations);
+  EXPECT_EQ(serial_stats.heap_compactions, parallel_stats.heap_compactions);
 }
 
 TEST(GreedySegmentationTest, RejectsEmptyInput) {

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "common/random.h"
 #include "core/ossm_builder.h"
+#include "core/ossub.h"
 #include "datagen/skewed_generator.h"
 #include "mining/apriori.h"
 #include "mining/candidate_pruner.h"
@@ -194,6 +196,50 @@ TEST(OssmUpdaterTest, GrownMapStillPrunesLosslessly) {
     ASSERT_TRUE(b.ok());
     EXPECT_TRUE(a->SamePatternsAs(*b));
   }
+}
+
+// Regression for the closest-fit hot path: it now reads segment columns in
+// place (strided view over the item-major matrix) instead of extracting
+// every column into a scratch vector per page. The picked segments and the
+// final map must be exactly what the extraction-based loop produced.
+TEST(OssmUpdaterTest, ClosestFitMatchesExtractionReference) {
+  Rng rng(17);
+  std::vector<Segment> segments(6);
+  for (Segment& segment : segments) {
+    segment.counts.resize(12);
+    for (uint64_t& c : segment.counts) c = rng.UniformInt(200);
+  }
+  SegmentSupportMap map =
+      SegmentSupportMap::FromSegments(std::span<const Segment>(segments));
+  SegmentSupportMap reference_map = map;
+
+  OssmUpdater updater(&map);
+  for (int p = 0; p < 40; ++p) {
+    std::vector<uint64_t> page(12);
+    for (uint64_t& c : page) c = rng.UniformInt(50);
+
+    // The pre-optimization loop, verbatim: extract each segment, evaluate
+    // the pairwise loss on the copy, keep the first minimum.
+    uint32_t expected = 0;
+    uint64_t best_loss = UINT64_MAX;
+    std::vector<uint64_t> extracted;
+    for (uint32_t s = 0; s < reference_map.num_segments(); ++s) {
+      reference_map.ExtractSegment(s, &extracted);
+      uint64_t loss = PairwiseOssub(std::span<const uint64_t>(extracted),
+                                    std::span<const uint64_t>(page));
+      if (loss < best_loss) {
+        best_loss = loss;
+        expected = s;
+      }
+    }
+    reference_map.AccumulateSegment(expected, page);
+
+    StatusOr<uint32_t> picked =
+        updater.AppendPage(page, AppendPolicy::kClosestFit);
+    ASSERT_TRUE(picked.ok());
+    EXPECT_EQ(*picked, expected) << "page " << p;
+  }
+  EXPECT_TRUE(map == reference_map);
 }
 
 TEST(OssmUpdaterTest, RejectsMismatchedDomain) {

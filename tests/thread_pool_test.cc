@@ -1,0 +1,170 @@
+#include "parallel/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace ossm {
+namespace parallel {
+namespace {
+
+TEST(ThreadPoolTest, EmptyRangeRunsNothing) {
+  ThreadPool pool(4);
+  std::atomic<uint64_t> calls{0};
+  pool.ParallelFor(0, 0, [&](uint32_t, uint64_t, uint64_t) { ++calls; });
+  pool.ParallelFor(7, 7, [&](uint32_t, uint64_t, uint64_t) { ++calls; });
+  pool.ParallelForEach(0, [&](uint64_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0u);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::thread::id caller = std::this_thread::get_id();
+  uint32_t shards_seen = 0;
+  pool.ParallelFor(0, 100, [&](uint32_t shard, uint64_t begin, uint64_t end) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    EXPECT_EQ(shard, 0u);
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 100u);
+    ++shards_seen;
+  });
+  EXPECT_EQ(shards_seen, 1u);
+}
+
+TEST(ThreadPoolTest, FewerItemsThanThreadsGetsOneShardPerItem) {
+  ThreadPool pool(8);
+  EXPECT_EQ(pool.NumShards(0, 3), 3u);
+  std::mutex mu;
+  std::vector<std::pair<uint64_t, uint64_t>> shards;
+  pool.ParallelFor(0, 3, [&](uint32_t shard, uint64_t begin, uint64_t end) {
+    std::lock_guard<std::mutex> lock(mu);
+    ASSERT_LT(shard, 3u);
+    shards.push_back({begin, end});
+  });
+  ASSERT_EQ(shards.size(), 3u);
+  // Every shard holds exactly one item; together they cover the range.
+  std::set<uint64_t> covered;
+  for (const auto& [begin, end] : shards) {
+    EXPECT_EQ(end - begin, 1u);
+    covered.insert(begin);
+  }
+  EXPECT_EQ(covered, (std::set<uint64_t>{0, 1, 2}));
+}
+
+TEST(ThreadPoolTest, ShardsPartitionTheRangeInOrder) {
+  ThreadPool pool(4);
+  const uint64_t kBegin = 13, kEnd = 1013;
+  uint32_t shards = pool.NumShards(kBegin, kEnd);
+  ASSERT_EQ(shards, 4u);
+  std::vector<std::pair<uint64_t, uint64_t>> bounds(shards);
+  pool.ParallelFor(kBegin, kEnd,
+                   [&](uint32_t shard, uint64_t begin, uint64_t end) {
+                     bounds[shard] = {begin, end};
+                   });
+  EXPECT_EQ(bounds.front().first, kBegin);
+  EXPECT_EQ(bounds.back().second, kEnd);
+  for (uint32_t s = 0; s + 1 < shards; ++s) {
+    EXPECT_EQ(bounds[s].second, bounds[s + 1].first);  // contiguous
+    EXPECT_LT(bounds[s].first, bounds[s].second);      // non-empty
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryElementExactlyOnce) {
+  ThreadPool pool(6);
+  const uint64_t kN = 10000;
+  std::vector<std::atomic<uint32_t>> hits(kN);
+  pool.ParallelFor(0, kN, [&](uint32_t, uint64_t begin, uint64_t end) {
+    for (uint64_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (uint64_t i = 0; i < kN; ++i) ASSERT_EQ(hits[i].load(), 1u) << i;
+}
+
+TEST(ThreadPoolTest, ParallelForEachVisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(6);
+  const uint64_t kN = 10000;
+  std::vector<std::atomic<uint32_t>> hits(kN);
+  pool.ParallelForEach(kN, [&](uint64_t i) { hits[i].fetch_add(1); });
+  for (uint64_t i = 0; i < kN; ++i) ASSERT_EQ(hits[i].load(), 1u) << i;
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesFirstExceptionByShardOrder) {
+  ThreadPool pool(4);
+  // Shards 1 and 3 both throw; the rethrown exception must be shard 1's —
+  // by shard order, not by wall-clock completion order.
+  try {
+    pool.ParallelFor(0, 400, [&](uint32_t shard, uint64_t, uint64_t) {
+      if (shard == 1 || shard == 3) {
+        throw std::runtime_error("shard " + std::to_string(shard));
+      }
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "shard 1");
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForEachPropagatesLowestIndexException) {
+  ThreadPool pool(4);
+  try {
+    pool.ParallelForEach(100, [&](uint64_t i) {
+      if (i == 17 || i == 3 || i == 99) {
+        throw std::runtime_error("index " + std::to_string(i));
+      }
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "index 3");
+  }
+}
+
+TEST(ThreadPoolTest, PoolSurvivesAnExceptionalBatch) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelForEach(
+                   10, [](uint64_t) { throw std::runtime_error("boom"); }),
+               std::runtime_error);
+  // The next batch must run normally on the same pool.
+  std::atomic<uint64_t> sum{0};
+  pool.ParallelFor(0, 100, [&](uint32_t, uint64_t begin, uint64_t end) {
+    for (uint64_t i = begin; i < end; ++i) sum += i;
+  });
+  EXPECT_EQ(sum.load(), 4950u);
+}
+
+TEST(ThreadPoolTest, NestedParallelismDegradesToSerial) {
+  ThreadPool pool(4);
+  std::atomic<uint64_t> inner_total{0};
+  pool.ParallelFor(0, 4, [&](uint32_t, uint64_t begin, uint64_t end) {
+    for (uint64_t i = begin; i < end; ++i) {
+      // Inside a pool task the pool reports one shard and runs inline on
+      // this worker — no handoff back to a saturated queue, no deadlock.
+      EXPECT_EQ(pool.NumShards(0, 1000), 1u);
+      std::thread::id worker = std::this_thread::get_id();
+      pool.ParallelFor(0, 10, [&](uint32_t shard, uint64_t b, uint64_t e) {
+        EXPECT_EQ(shard, 0u);
+        EXPECT_EQ(std::this_thread::get_id(), worker);
+        inner_total += e - b;
+      });
+    }
+  });
+  EXPECT_EQ(inner_total.load(), 40u);
+}
+
+TEST(ThreadPoolTest, DefaultPoolRespectsSetDefaultThreadCount) {
+  SetDefaultThreadCount(3);
+  EXPECT_EQ(DefaultPool().num_threads(), 3u);
+  EXPECT_EQ(NumShards(0, 1000), 3u);
+  std::atomic<uint64_t> calls{0};
+  ParallelForEach(5, [&](uint64_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 5u);
+  SetDefaultThreadCount(1);
+  EXPECT_EQ(NumShards(0, 1000), 1u);
+}
+
+}  // namespace
+}  // namespace parallel
+}  // namespace ossm
