@@ -21,8 +21,9 @@ namespace ossm {
 namespace {
 
 int Run(int argc, char** argv) {
-  bench::Flags flags(argc, argv,
-                     {"scale", "seed", "transactions", "items", "repeats"});
+  bench::Flags flags(argc, argv, {"scale", "seed", "transactions", "items",
+                                  "repeats", "report"});
+  bench::BenchReporter reporter("ablation_generalized", flags);
   bool paper = flags.PaperScale();
   uint64_t num_transactions =
       flags.GetInt("transactions", paper ? 100000 : 20000);
@@ -37,6 +38,12 @@ int Run(int argc, char** argv) {
       "n_user = 40 segments (Greedy)\n\n",
       static_cast<unsigned long long>(num_transactions), num_items);
 
+  reporter.SetWorkload("data", "regular");
+  reporter.SetWorkload("transactions", num_transactions);
+  reporter.SetWorkload("items", static_cast<uint64_t>(num_items));
+  reporter.SetWorkload("seed", seed);
+  reporter.SetWorkload("repeats", static_cast<uint64_t>(repeats));
+
   TransactionDatabase db =
       bench::RegularSynthetic(num_transactions, num_items, seed);
 
@@ -45,6 +52,8 @@ int Run(int argc, char** argv) {
   bench::MiningMeasurement baseline =
       bench::MeasureApriori(db, base_config, repeats);
   uint64_t baseline_counted = baseline.result.stats.TotalCandidatesCounted();
+  reporter.AddPhaseSeconds("baseline_mine", baseline.seconds);
+  WallTimer sweep_timer;
 
   OssmBuildOptions build_options;
   build_options.algorithm = SegmentationAlgorithm::kGreedy;
@@ -76,6 +85,12 @@ int Run(int argc, char** argv) {
                  static_cast<double>(baseline_counted),
              3),
          TablePrinter::FormatDouble(baseline.seconds / with.seconds, 2)});
+    reporter.AddValue("counted_fraction.singleton",
+                      static_cast<double>(counted) /
+                          static_cast<double>(baseline_counted));
+    reporter.AddValue("speedup.singleton", baseline.seconds / with.seconds);
+    reporter.AddValue("memory_kb.singleton",
+                      build->map.MemoryFootprintBytes() / 1024.0);
   }
 
   for (uint32_t tracked : {num_items / 16, num_items / 8, num_items / 4,
@@ -101,7 +116,15 @@ int Run(int argc, char** argv) {
                  static_cast<double>(baseline_counted),
              3),
          TablePrinter::FormatDouble(baseline.seconds / with.seconds, 2)});
+    std::string point = "t" + std::to_string(tracked);
+    reporter.AddValue("counted_fraction." + point,
+                      static_cast<double>(counted) /
+                          static_cast<double>(baseline_counted));
+    reporter.AddValue("speedup." + point, baseline.seconds / with.seconds);
+    reporter.AddValue("memory_kb." + point,
+                      generalized->MemoryFootprintBytes() / 1024.0);
   }
+  reporter.AddPhaseSeconds("sweep", sweep_timer.ElapsedSeconds());
 
   table.Print(std::cout);
   std::printf(
@@ -110,7 +133,7 @@ int Run(int argc, char** argv) {
       "\nitems — the structure stops being light-weight long before the"
       "\npruning stops improving, the paper's rationale for keeping the"
       "\nbase OSSM singleton-only.\n");
-  return 0;
+  return reporter.Finish();
 }
 
 }  // namespace

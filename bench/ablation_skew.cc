@@ -24,8 +24,9 @@ namespace ossm {
 namespace {
 
 int Run(int argc, char** argv) {
-  bench::Flags flags(argc, argv,
-                     {"scale", "seed", "transactions", "items", "repeats"});
+  bench::Flags flags(argc, argv, {"scale", "seed", "transactions", "items",
+                                  "repeats", "report"});
+  bench::BenchReporter reporter("ablation_skew", flags);
   bool paper = flags.PaperScale();
   uint64_t num_transactions =
       flags.GetInt("transactions", paper ? 100000 : 20000);
@@ -34,10 +35,17 @@ int Run(int argc, char** argv) {
   uint64_t seed = flags.GetInt("seed", 1);
   int repeats = static_cast<int>(flags.GetInt("repeats", 2));
 
+  reporter.SetWorkload("transactions", num_transactions);
+  reporter.SetWorkload("items", static_cast<uint64_t>(num_items));
+  reporter.SetWorkload("seed", seed);
+  reporter.SetWorkload("repeats", static_cast<uint64_t>(repeats));
+
   std::printf(
       "Ablation — skew sensitivity (Section 3 claim + Figure 7 recipe)\n"
       "%llu transactions, %u items, threshold 1%%\n\n",
       static_cast<unsigned long long>(num_transactions), num_items);
+
+  WallTimer sweep_timer;
 
   for (uint64_t n_user : {uint64_t{60}, uint64_t{150}}) {
   std::printf("%s budget: n_user = %llu segments (of %llu pages)\n",
@@ -97,6 +105,12 @@ int Run(int argc, char** argv) {
       row.push_back(TablePrinter::FormatDouble(pruned_percent, 1));
       row.push_back(
           TablePrinter::FormatDouble(baseline.seconds / with.seconds, 2));
+      std::string point = std::string(SegmentationAlgorithmName(algorithm)) +
+                          ".n" + std::to_string(n_user) + ".boost" +
+                          TablePrinter::FormatDouble(boost, 0);
+      reporter.AddValue("pruned_pct." + point, pruned_percent);
+      reporter.AddValue("speedup." + point,
+                        baseline.seconds / with.seconds);
     }
     table.AddRow(std::move(row));
   }
@@ -104,6 +118,7 @@ int Run(int argc, char** argv) {
   table.Print(std::cout);
   std::printf("\n");
   }
+  reporter.AddPhaseSeconds("sweep", sweep_timer.ElapsedSeconds());
   std::printf(
       "expected shape: with no skew (boost 1) nothing is prunable at this"
       "\nsupport level, whatever the algorithm — the washout row. As skew"
@@ -112,7 +127,7 @@ int Run(int argc, char** argv) {
       "\nseasonal contrast it never looks for — exactly the Figure 7"
       "\nrecipe: Random suffices only when n_user is large AND the data"
       "\nis skewed; otherwise pay for an elaborate algorithm.\n");
-  return 0;
+  return reporter.Finish();
 }
 
 }  // namespace

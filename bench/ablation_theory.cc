@@ -31,9 +31,13 @@ uint64_t TrueSupport(const TransactionDatabase& db, const Itemset& items) {
 }
 
 int Run(int argc, char** argv) {
-  bench::Flags flags(argc, argv, {"scale", "seed", "transactions"});
+  bench::Flags flags(argc, argv, {"scale", "seed", "transactions", "report"});
+  bench::BenchReporter reporter("ablation_theory", flags);
   uint64_t num_transactions = flags.GetInt("transactions", 5000);
   uint64_t seed = flags.GetInt("seed", 1);
+
+  reporter.SetWorkload("transactions", num_transactions);
+  reporter.SetWorkload("seed", seed);
 
   std::printf(
       "Ablation — segment minimization (Theorem 1 / Corollary 1)\n"
@@ -44,6 +48,8 @@ int Run(int argc, char** argv) {
                       "n_min / min(N, 2^m - m)", "page n_min (P=50)",
                       "exact?"});
 
+  WallTimer sweep_timer;
+  uint64_t exact_failures = 0;
   for (uint32_t m : {2u, 4u, 6u, 8u, 10u, 12u, 16u, 24u, 32u}) {
     QuestConfig gen;
     gen.num_items = m;
@@ -83,7 +89,16 @@ int Run(int argc, char** argv) {
         }
       }
       exact = all_exact ? "yes" : "NO (bug)";
+      if (!all_exact) ++exact_failures;
     }
+
+    std::string point = "m" + std::to_string(m);
+    reporter.AddValue("n_min." + point, static_cast<double>(n_min));
+    reporter.AddValue("page_n_min." + point,
+                      static_cast<double>(page_n_min));
+    reporter.AddValue("n_min_ratio." + point,
+                      static_cast<double>(n_min) /
+                          static_cast<double>(bound));
 
     table.AddRow({std::to_string(m),
                   cap == UINT64_MAX ? "2^m - m" : std::to_string(cap),
@@ -94,12 +109,15 @@ int Run(int argc, char** argv) {
                   std::to_string(page_n_min), exact});
   }
 
+  reporter.AddPhaseSeconds("sweep", sweep_timer.ElapsedSeconds());
+  reporter.AddValue("exact_failures", static_cast<double>(exact_failures));
+
   table.Print(std::cout);
   std::printf(
       "\nexpected shape: the ratio column stays near 1 while 2^m - m binds"
       "\n(small m), then n_min tracks the data rather than the cap; the"
       "\nexactness column must read 'yes' everywhere it is checked.\n");
-  return 0;
+  return reporter.Finish();
 }
 
 }  // namespace

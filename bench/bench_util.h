@@ -19,6 +19,7 @@
 #include "common/timer.h"
 #include "data/transaction_database.h"
 #include "obs/obs.h"
+#include "obs/report.h"
 #include "datagen/quest_generator.h"
 #include "datagen/skewed_generator.h"
 #include "mining/apriori.h"
@@ -182,6 +183,73 @@ inline MiningMeasurement MeasureApriori(const TransactionDatabase& db,
 // metrics disabled it is a no-op. Safe to call once per harness: the report
 // is emitted at most once per process.
 inline void ReportMetrics() { obs::ReportNow(); }
+
+// Every harness funnels its results through one of these: construct it at
+// the top of Run() (which switches the metrics registry into collect-only
+// mode, so pool and miner counters populate even without OSSM_METRICS),
+// record the workload knobs and headline numbers as the run goes, and call
+// Finish() last. Finish() snapshots the registry and writes the canonical
+// RunReport JSON to BENCH_<name>.json (or --report=PATH; --report=none
+// skips the file), which is what bench_compare and the CI gate consume.
+class BenchReporter {
+ public:
+  BenchReporter(const std::string& name, const Flags& flags)
+      : report_(obs::MakeRunReport("bench." + name)),
+        path_(flags.GetString("report", "BENCH_" + name + ".json")) {
+    obs::EnableMetricsCollection();
+  }
+
+  void SetWorkload(const std::string& key, const std::string& value) {
+    report_.SetWorkload(key, value);
+  }
+  void SetWorkload(const std::string& key, uint64_t value) {
+    report_.SetWorkload(key, value);
+  }
+  void SetWorkload(const std::string& key, double value) {
+    report_.SetWorkload(key, value);
+  }
+  void AddPhaseSeconds(const std::string& name, double seconds) {
+    report_.AddPhaseSeconds(name, seconds);
+  }
+  void AddValue(const std::string& name, double value) {
+    report_.AddValue(name, value);
+  }
+
+  // Times a stretch of the harness as a named phase:
+  //   { BenchReporter::ScopedPhase phase(reporter, "build"); ... }
+  class ScopedPhase {
+   public:
+    ScopedPhase(BenchReporter& reporter, std::string name)
+        : reporter_(reporter), name_(std::move(name)) {}
+    ~ScopedPhase() {
+      reporter_.AddPhaseSeconds(name_, timer_.ElapsedSeconds());
+    }
+    ScopedPhase(const ScopedPhase&) = delete;
+    ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+   private:
+    BenchReporter& reporter_;
+    std::string name_;
+    WallTimer timer_;
+  };
+
+  // Snapshots the metrics registry and writes the report. Returns the exit
+  // code for main() so harnesses can `return reporter.Finish();`.
+  int Finish() {
+    if (path_ == "none") return 0;
+    report_.metrics = obs::MetricsRegistry::Global().Snapshot();
+    if (Status save = obs::SaveRunReportFile(report_, path_); !save.ok()) {
+      std::fprintf(stderr, "error: %s\n", save.ToString().c_str());
+      return 1;
+    }
+    std::printf("\nwrote run report to %s\n", path_.c_str());
+    return 0;
+  }
+
+ private:
+  obs::RunReport report_;
+  std::string path_;
+};
 
 }  // namespace bench
 }  // namespace ossm

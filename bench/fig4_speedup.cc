@@ -23,7 +23,8 @@ namespace {
 
 int Run(int argc, char** argv) {
   bench::Flags flags(argc, argv, {"scale", "seed", "transactions", "items",
-                                  "repeats", "bubble", "data"});
+                                  "repeats", "bubble", "data", "report"});
+  bench::BenchReporter reporter("fig4_speedup", flags);
   bool paper = flags.PaperScale();
   uint64_t num_transactions =
       flags.GetInt("transactions", paper ? 100000 : 20000);
@@ -47,6 +48,13 @@ int Run(int argc, char** argv) {
       regular ? "regular" : "drifting",
       static_cast<unsigned long long>(num_transactions), num_items);
 
+  reporter.SetWorkload("data", regular ? "regular" : "drifting");
+  reporter.SetWorkload("transactions", num_transactions);
+  reporter.SetWorkload("items", static_cast<uint64_t>(num_items));
+  reporter.SetWorkload("seed", seed);
+  reporter.SetWorkload("repeats", static_cast<uint64_t>(repeats));
+  reporter.SetWorkload("bubble_percent", bubble_percent);
+
   TransactionDatabase db =
       regular ? bench::RegularSynthetic(num_transactions, num_items, seed)
               : bench::DriftingSynthetic(num_transactions, num_items, seed);
@@ -55,6 +63,7 @@ int Run(int argc, char** argv) {
   base_config.min_support_fraction = 0.01;
   bench::MiningMeasurement baseline =
       bench::MeasureApriori(db, base_config, repeats);
+  reporter.AddPhaseSeconds("baseline_mine", baseline.seconds);
   uint64_t baseline_c2 = baseline.result.stats.CountedAtLevel(2);
   std::printf("Apriori without the OSSM: %.3f s, %llu candidate 2-itemsets\n\n",
               baseline.seconds,
@@ -70,6 +79,7 @@ int Run(int argc, char** argv) {
       {"n_user", "Random", "RC", "Greedy", "OSSM size (KB)"});
   TablePrinter fraction_table({"n_user", "Random", "RC", "Greedy"});
 
+  WallTimer sweep_timer;
   for (uint64_t n_user : segment_counts) {
     std::vector<std::string> speedup_row = {std::to_string(n_user)};
     std::vector<std::string> fraction_row = {std::to_string(n_user)};
@@ -100,12 +110,17 @@ int Run(int argc, char** argv) {
                     static_cast<double>(baseline_c2);
       speedup_row.push_back(TablePrinter::FormatDouble(speedup, 2));
       fraction_row.push_back(TablePrinter::FormatDouble(fraction, 3));
+      std::string point = std::string(SegmentationAlgorithmName(algorithm)) +
+                          ".n" + std::to_string(n_user);
+      reporter.AddValue("speedup." + point, speedup);
+      reporter.AddValue("c2_fraction." + point, fraction);
     }
     speedup_row.push_back(
         TablePrinter::FormatCount(footprint / 1024));
     speedup_table.AddRow(std::move(speedup_row));
     fraction_table.AddRow(std::move(fraction_row));
   }
+  reporter.AddPhaseSeconds("sweep", sweep_timer.ElapsedSeconds());
 
   std::printf("Figure 4(a): speedup relative to Apriori without the OSSM\n");
   speedup_table.Print(std::cout);
@@ -116,7 +131,7 @@ int Run(int argc, char** argv) {
   std::printf(
       "\nexpected shape: speedup rises with n_user; Greedy >= RC >= Random;"
       "\nthe surviving-C2 fraction falls towards a few percent.\n");
-  return 0;
+  return reporter.Finish();
 }
 
 }  // namespace

@@ -65,9 +65,11 @@ StrategyOutcome RunStrategy(const TransactionDatabase& db,
   return outcome;
 }
 
-void RunTable(const char* title, const TransactionDatabase& db,
+void RunTable(const char* title, const char* report_prefix,
+              const TransactionDatabase& db,
               const std::vector<SegmentationAlgorithm>& algorithms,
-              int repeats) {
+              int repeats, bench::BenchReporter& reporter) {
+  bench::BenchReporter::ScopedPhase phase(reporter, report_prefix);
   AprioriConfig base_config;
   base_config.min_support_fraction = 0.01;
   bench::MiningMeasurement baseline =
@@ -85,13 +87,21 @@ void RunTable(const char* title, const TransactionDatabase& db,
                   TablePrinter::FormatCount(outcome.ossub_evaluations),
                   TablePrinter::FormatDouble(outcome.speedup, 2),
                   TablePrinter::FormatDouble(outcome.c2_fraction, 3)});
+    std::string point = std::string(report_prefix) + "." +
+                        std::string(SegmentationAlgorithmName(algorithm));
+    reporter.AddValue("seg_seconds." + point, outcome.segmentation_seconds);
+    reporter.AddValue("ossub_evals." + point,
+                      static_cast<double>(outcome.ossub_evaluations));
+    reporter.AddValue("speedup." + point, outcome.speedup);
+    reporter.AddValue("c2_fraction." + point, outcome.c2_fraction);
   }
   table.Print(std::cout);
 }
 
 int Run(int argc, char** argv) {
   bench::Flags flags(argc, argv,
-                     {"scale", "seed", "items", "repeats", "data"});
+                     {"scale", "seed", "items", "repeats", "data", "report"});
+  bench::BenchReporter reporter("fig5_segmentation_cost", flags);
   bool paper = flags.PaperScale();
   uint32_t num_items =
       static_cast<uint32_t>(flags.GetInt("items", paper ? 1000 : 400));
@@ -109,6 +119,13 @@ int Run(int argc, char** argv) {
       "items m = %u, threshold 1%%, 100 transactions per page, %s data\n\n",
       num_items, drifting ? "drifting" : "regular (i.i.d.)");
 
+  reporter.SetWorkload("data", drifting ? "drifting" : "regular");
+  reporter.SetWorkload("items", static_cast<uint64_t>(num_items));
+  reporter.SetWorkload("seed", seed);
+  reporter.SetWorkload("repeats", static_cast<uint64_t>(repeats));
+  reporter.SetWorkload("pure_pages", pure_pages);
+  reporter.SetWorkload("hybrid_pages", hybrid_pages);
+
   {
     TransactionDatabase db =
         drifting
@@ -118,10 +135,10 @@ int Run(int argc, char** argv) {
     std::snprintf(title, sizeof(title),
                   "Figure 5(a): pure strategies, P = %llu pages",
                   static_cast<unsigned long long>(pure_pages));
-    RunTable(title, db,
+    RunTable(title, "pure", db,
              {SegmentationAlgorithm::kRandom, SegmentationAlgorithm::kRc,
               SegmentationAlgorithm::kGreedy},
-             repeats);
+             repeats, reporter);
   }
   std::printf("\n");
   {
@@ -134,10 +151,10 @@ int Run(int argc, char** argv) {
         title, sizeof(title),
         "Figure 5(b): hybrid strategies, P = %llu pages, n_mid = 200",
         static_cast<unsigned long long>(hybrid_pages));
-    RunTable(title, db,
+    RunTable(title, "hybrid", db,
              {SegmentationAlgorithm::kRandomRc,
               SegmentationAlgorithm::kRandomGreedy},
-             repeats);
+             repeats, reporter);
   }
 
   std::printf(
@@ -150,7 +167,7 @@ int Run(int argc, char** argv) {
       "\n--data=drifting for a collection with real temporal structure,"
       "\nwhere pruning survives scale (the paper's 'real data are not"
       "\nrandom' premise).\n");
-  return 0;
+  return reporter.Finish();
 }
 
 }  // namespace

@@ -22,8 +22,9 @@ namespace ossm {
 namespace {
 
 int Run(int argc, char** argv) {
-  bench::Flags flags(argc, argv,
-                     {"scale", "seed", "pages", "items", "repeats", "data"});
+  bench::Flags flags(argc, argv, {"scale", "seed", "pages", "items",
+                                  "repeats", "data", "report"});
+  bench::BenchReporter reporter("fig6_bubble_list", flags);
   bool paper = flags.PaperScale();
   uint32_t num_items =
       static_cast<uint32_t>(flags.GetInt("items", paper ? 1000 : 400));
@@ -38,6 +39,12 @@ int Run(int argc, char** argv) {
       static_cast<unsigned long long>(pages), num_items);
 
   bool drifting = flags.GetString("data", "drifting") != "regular";
+  reporter.SetWorkload("data", drifting ? "drifting" : "regular");
+  reporter.SetWorkload("pages", pages);
+  reporter.SetWorkload("items", static_cast<uint64_t>(num_items));
+  reporter.SetWorkload("seed", seed);
+  reporter.SetWorkload("repeats", static_cast<uint64_t>(repeats));
+
   TransactionDatabase db =
       drifting ? bench::DriftingSynthetic(pages * 100, num_items, seed)
                : bench::RegularSynthetic(pages * 100, num_items, seed);
@@ -45,6 +52,7 @@ int Run(int argc, char** argv) {
   base_config.min_support_fraction = 0.01;
   bench::MiningMeasurement baseline =
       bench::MeasureApriori(db, base_config, repeats);
+  reporter.AddPhaseSeconds("baseline_mine", baseline.seconds);
 
   const std::vector<double> bubble_percents = {2.5, 5, 10, 20, 40, 60, 100};
 
@@ -53,6 +61,7 @@ int Run(int argc, char** argv) {
   TablePrinter speedup_table(
       {"bubble (% of m)", "Random-RC", "Random-Greedy"});
 
+  WallTimer sweep_timer;
   for (double percent : bubble_percents) {
     std::vector<std::string> time_row = {
         TablePrinter::FormatDouble(percent, 1)};
@@ -82,10 +91,16 @@ int Run(int argc, char** argv) {
           TablePrinter::FormatDouble(build->stats.seconds, 3));
       speedup_row.push_back(
           TablePrinter::FormatDouble(baseline.seconds / with.seconds, 2));
+      std::string point = std::string(SegmentationAlgorithmName(algorithm)) +
+                          ".b" + TablePrinter::FormatDouble(percent, 1);
+      reporter.AddValue("seg_seconds." + point, build->stats.seconds);
+      reporter.AddValue("speedup." + point,
+                        baseline.seconds / with.seconds);
     }
     time_table.AddRow(std::move(time_row));
     speedup_table.AddRow(std::move(speedup_row));
   }
+  reporter.AddPhaseSeconds("sweep", sweep_timer.ElapsedSeconds());
 
   std::printf("Figure 6(a): segmentation time vs bubble size\n");
   time_table.Print(std::cout);
@@ -95,7 +110,7 @@ int Run(int argc, char** argv) {
       "\nexpected shape: time falls steeply as the bubble shrinks (the"
       "\npaper's 1051 s -> ~10 s); the speedup penalty stays mild, and"
       "\nlonger bubbles give better OSSMs. 100%% = no bubble restriction.\n");
-  return 0;
+  return reporter.Finish();
 }
 
 }  // namespace

@@ -18,10 +18,79 @@
 #include "core/segment_support_map.h"
 #include "datagen/quest_generator.h"
 #include "mining/hash_tree.h"
+#include "obs/obs.h"
+#include "obs/report.h"
 #include "parallel/thread_pool.h"
 
 namespace ossm {
 namespace {
+
+// One config drives both BM_ParallelHashTreeCounting and the sweep that
+// writes BENCH_parallel.json, so the benchmark table and the regression
+// baseline measure the same workload. All seeds are explicit: the dataset
+// and the candidate pool are bit-identical across runs and machines.
+struct ParallelSweepConfig {
+  uint32_t num_items = 300;
+  uint64_t num_transactions = 20000;
+  double avg_transaction_size = 10;
+  uint32_t num_patterns = 40;
+  uint64_t dataset_seed = 42;
+  uint64_t candidate_seed = 8;
+  uint32_t num_candidates = 5000;
+  std::vector<uint32_t> thread_counts = {1, 2, 4, 8};
+  int repeats = 3;
+};
+
+TransactionDatabase MakeSweepDatabase(const ParallelSweepConfig& config) {
+  QuestConfig gen;
+  gen.num_items = config.num_items;
+  gen.num_transactions = config.num_transactions;
+  gen.avg_transaction_size = config.avg_transaction_size;
+  gen.num_patterns = config.num_patterns;
+  gen.seed = config.dataset_seed;
+  StatusOr<TransactionDatabase> db = GenerateQuest(gen);
+  OSSM_CHECK(db.ok()) << db.status().ToString();
+  return std::move(db).value();
+}
+
+std::vector<Itemset> MakeSweepCandidates(const ParallelSweepConfig& config) {
+  Rng rng(config.candidate_seed);
+  std::vector<Itemset> candidates;
+  while (candidates.size() < config.num_candidates) {
+    ItemId a = static_cast<ItemId>(rng.UniformInt(config.num_items));
+    ItemId b = static_cast<ItemId>(rng.UniformInt(config.num_items - 1));
+    if (b >= a) ++b;
+    candidates.push_back({std::min(a, b), std::max(a, b)});
+  }
+  return candidates;
+}
+
+// One best-of-repeats timing of the sharded counting pass on `threads`
+// workers; the unit the sweep below and the benchmark above both measure.
+double TimeCountingPass(const TransactionDatabase& db, const HashTree& tree,
+                        uint32_t threads, int repeats) {
+  parallel::ThreadPool pool(threads);
+  uint64_t n = db.num_transactions();
+  double best = 1e100;
+  for (int r = 0; r < repeats; ++r) {
+    WallTimer timer;
+    uint32_t shards = pool.NumShards(0, n);
+    std::vector<HashTree::CountingState> states;
+    states.reserve(shards);
+    for (uint32_t s = 0; s < shards; ++s) {
+      states.push_back(tree.MakeCountingState());
+    }
+    pool.ParallelFor(0, n, [&](uint32_t shard, uint64_t begin, uint64_t end) {
+      HashTree::CountingState& local = states[shard];
+      for (uint64_t t = begin; t < end; ++t) {
+        tree.CountTransaction(db.transaction(t), &local);
+      }
+    });
+    double elapsed = timer.ElapsedSeconds();
+    if (elapsed < best) best = elapsed;
+  }
+  return best;
+}
 
 SegmentSupportMap MakeMap(uint32_t num_items, uint32_t num_segments,
                           uint64_t seed) {
@@ -136,6 +205,7 @@ void BM_HashTreeCounting(benchmark::State& state) {
   gen.num_transactions = 2000;
   gen.avg_transaction_size = 8;
   gen.num_patterns = 40;
+  gen.seed = 7;  // explicit: the workload must not drift with the default
   StatusOr<TransactionDatabase> db = GenerateQuest(gen);
   OSSM_CHECK(db.ok());
 
@@ -166,26 +236,12 @@ BENCHMARK(BM_HashTreeCounting)->Arg(100)->Arg(1000)->Arg(10000);
 // are measured against.
 void BM_ParallelHashTreeCounting(benchmark::State& state) {
   uint32_t threads = static_cast<uint32_t>(state.range(0));
-  QuestConfig gen;
-  gen.num_items = 300;
-  gen.num_transactions = 20000;
-  gen.avg_transaction_size = 10;
-  gen.num_patterns = 40;
-  StatusOr<TransactionDatabase> db = GenerateQuest(gen);
-  OSSM_CHECK(db.ok());
-
-  Rng rng(8);
-  std::vector<Itemset> candidates;
-  while (candidates.size() < 5000) {
-    ItemId a = static_cast<ItemId>(rng.UniformInt(300));
-    ItemId b = static_cast<ItemId>(rng.UniformInt(299));
-    if (b >= a) ++b;
-    candidates.push_back({std::min(a, b), std::max(a, b)});
-  }
-  HashTree tree(candidates);
+  ParallelSweepConfig config;
+  TransactionDatabase db = MakeSweepDatabase(config);
+  HashTree tree(MakeSweepCandidates(config));
 
   parallel::ThreadPool pool(threads);
-  uint64_t n = db->num_transactions();
+  uint64_t n = db.num_transactions();
   for (auto _ : state) {
     uint32_t shards = pool.NumShards(0, n);
     std::vector<HashTree::CountingState> states;
@@ -196,7 +252,7 @@ void BM_ParallelHashTreeCounting(benchmark::State& state) {
     pool.ParallelFor(0, n, [&](uint32_t shard, uint64_t begin, uint64_t end) {
       HashTree::CountingState& local = states[shard];
       for (uint64_t t = begin; t < end; ++t) {
-        tree.CountTransaction(db->transaction(t), &local);
+        tree.CountTransaction(db.transaction(t), &local);
       }
     });
     uint64_t sink = 0;
@@ -210,70 +266,43 @@ void BM_ParallelHashTreeCounting(benchmark::State& state) {
 BENCHMARK(BM_ParallelHashTreeCounting)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 // Times the sharded counting pass at each thread count (best of `repeats`)
-// and writes the sweep to BENCH_parallel.json, next to the benchmark
-// tables. Machine-checkable form of the Arg(1)-vs-Arg(4) comparison above.
+// and writes the sweep to BENCH_parallel.json as a canonical RunReport —
+// the machine-checkable form of the Arg(1)-vs-Arg(4) comparison above, and
+// what the CI bench gate feeds to bench_compare. Phases are the per-thread-
+// count wall clocks; values are the speedups relative to one thread.
 void WriteParallelSweepJson(const char* path) {
-  QuestConfig gen;
-  gen.num_items = 300;
-  gen.num_transactions = 20000;
-  gen.avg_transaction_size = 10;
-  gen.num_patterns = 40;
-  StatusOr<TransactionDatabase> db = GenerateQuest(gen);
-  OSSM_CHECK(db.ok());
-  Rng rng(8);
-  std::vector<Itemset> candidates;
-  while (candidates.size() < 5000) {
-    ItemId a = static_cast<ItemId>(rng.UniformInt(300));
-    ItemId b = static_cast<ItemId>(rng.UniformInt(299));
-    if (b >= a) ++b;
-    candidates.push_back({std::min(a, b), std::max(a, b)});
-  }
-  HashTree tree(candidates);
-  uint64_t n = db->num_transactions();
+  ParallelSweepConfig config;
+  TransactionDatabase db = MakeSweepDatabase(config);
+  HashTree tree(MakeSweepCandidates(config));
 
-  std::FILE* out = std::fopen(path, "w");
-  OSSM_CHECK(out != nullptr) << "cannot write " << path;
-  std::fprintf(out,
-               "{\n  \"benchmark\": \"hash_tree_counting_pass\",\n"
-               "  \"transactions\": %llu,\n  \"candidates\": 5000,\n"
-               "  \"hardware_concurrency\": %u,\n  \"sweep\": [\n",
-               static_cast<unsigned long long>(n),
-               std::thread::hardware_concurrency());
-  constexpr uint32_t kThreadCounts[] = {1, 2, 4, 8};
-  constexpr int kRepeats = 3;
+  obs::RunReport report = obs::MakeRunReport("bench.parallel");
+  report.SetWorkload("benchmark", "hash_tree_counting_pass");
+  report.SetWorkload("transactions", config.num_transactions);
+  report.SetWorkload("items", static_cast<uint64_t>(config.num_items));
+  report.SetWorkload("candidates",
+                     static_cast<uint64_t>(config.num_candidates));
+  report.SetWorkload("dataset_seed", config.dataset_seed);
+  report.SetWorkload("candidate_seed", config.candidate_seed);
+  report.SetWorkload("repeats", static_cast<uint64_t>(config.repeats));
+
   double serial_seconds = 0.0;
-  for (size_t i = 0; i < std::size(kThreadCounts); ++i) {
-    uint32_t threads = kThreadCounts[i];
-    parallel::ThreadPool pool(threads);
-    double best = 1e100;
-    for (int r = 0; r < kRepeats; ++r) {
-      WallTimer timer;
-      uint32_t shards = pool.NumShards(0, n);
-      std::vector<HashTree::CountingState> states;
-      states.reserve(shards);
-      for (uint32_t s = 0; s < shards; ++s) {
-        states.push_back(tree.MakeCountingState());
-      }
-      pool.ParallelFor(0, n,
-                       [&](uint32_t shard, uint64_t begin, uint64_t end) {
-                         HashTree::CountingState& local = states[shard];
-                         for (uint64_t t = begin; t < end; ++t) {
-                           tree.CountTransaction(db->transaction(t), &local);
-                         }
-                       });
-      double elapsed = timer.ElapsedSeconds();
-      if (elapsed < best) best = elapsed;
-    }
+  for (uint32_t threads : config.thread_counts) {
+    double best = TimeCountingPass(db, tree, threads, config.repeats);
     if (threads == 1) serial_seconds = best;
-    std::fprintf(out,
-                 "    {\"threads\": %u, \"seconds\": %.6f, "
-                 "\"speedup_vs_1\": %.3f}%s\n",
-                 threads, best, serial_seconds / best,
-                 i + 1 < std::size(kThreadCounts) ? "," : "");
+    report.AddPhaseSeconds("count_pass.t" + std::to_string(threads), best);
+    report.AddValue("speedup.t" + std::to_string(threads),
+                    serial_seconds / best);
+    std::printf("  count pass, %u thread%s: %.6f s (speedup %.3f)\n",
+                threads, threads == 1 ? "" : "s", best,
+                serial_seconds / best);
   }
-  std::fprintf(out, "  ]\n}\n");
-  std::fclose(out);
-  std::printf("wrote %s\n", path);
+
+  report.metrics = obs::MetricsRegistry::Global().Snapshot();
+  if (Status save = obs::SaveRunReportFile(report, path); !save.ok()) {
+    std::fprintf(stderr, "error: %s\n", save.ToString().c_str());
+    return;
+  }
+  std::printf("wrote run report to %s\n", path);
 }
 
 }  // namespace
@@ -284,6 +313,7 @@ int main(int argc, char** argv) {
               "with OSSM_THREADS)\n",
               ossm::parallel::DefaultThreadCount(),
               std::thread::hardware_concurrency());
+  ossm::obs::EnableMetricsCollection();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -45,7 +45,8 @@ DhpOutcome MeasureDhp(const TransactionDatabase& db, const DhpConfig& config,
 
 int Run(int argc, char** argv) {
   bench::Flags flags(argc, argv, {"scale", "seed", "transactions", "items",
-                                  "repeats", "buckets"});
+                                  "repeats", "buckets", "report"});
+  bench::BenchReporter reporter("sec7_dhp", flags);
   bool paper = flags.PaperScale();
   uint64_t num_transactions =
       flags.GetInt("transactions", paper ? 100000 : 30000);
@@ -75,6 +76,13 @@ int Run(int argc, char** argv) {
   TransactionDatabase db =
       bench::DriftingSynthetic(num_transactions, num_items, seed);
 
+  reporter.SetWorkload("data", "drifting");
+  reporter.SetWorkload("transactions", num_transactions);
+  reporter.SetWorkload("items", static_cast<uint64_t>(num_items));
+  reporter.SetWorkload("seed", seed);
+  reporter.SetWorkload("repeats", static_cast<uint64_t>(repeats));
+  reporter.SetWorkload("buckets", static_cast<uint64_t>(num_buckets));
+
   OssmBuildOptions build_options;
   build_options.algorithm = SegmentationAlgorithm::kRandomRc;
   build_options.target_segments = 40;
@@ -96,6 +104,17 @@ int Run(int argc, char** argv) {
   OSSM_CHECK(plain.result.SamePatternsAs(assisted.result))
       << "OSSM pruning must be lossless";
 
+  reporter.AddPhaseSeconds("build", build->stats.seconds);
+  reporter.AddPhaseSeconds("dhp_plain", plain.seconds);
+  reporter.AddPhaseSeconds("dhp_ossm", assisted.seconds);
+  reporter.AddValue("speedup", plain.seconds / assisted.seconds);
+  reporter.AddValue("c2_plain", static_cast<double>(plain.c2));
+  reporter.AddValue("c2_ossm", static_cast<double>(assisted.c2));
+  reporter.AddValue("c2_reduction",
+                    assisted.c2 == 0 ? 0.0
+                                     : static_cast<double>(plain.c2) /
+                                           static_cast<double>(assisted.c2));
+
   TablePrinter table({"algorithm", "runtime (s)", "no. of C2"});
   table.AddRow({"DHP without the OSSM",
                 TablePrinter::FormatDouble(plain.seconds, 3),
@@ -113,7 +132,7 @@ int Run(int argc, char** argv) {
                        : static_cast<double>(plain.c2) /
                              static_cast<double>(assisted.c2));
   bench::ReportMetrics();
-  return 0;
+  return reporter.Finish();
 }
 
 }  // namespace

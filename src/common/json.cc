@@ -1,0 +1,266 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+namespace ossm {
+namespace json {
+
+Value Value::Bool(bool b) {
+  Value v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+Value Value::Number(double n) {
+  Value v;
+  v.type_ = Type::kNumber;
+  v.number_ = n;
+  return v;
+}
+
+Value Value::String(std::string s) {
+  Value v;
+  v.type_ = Type::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+Value Value::Array(std::vector<Value> elements) {
+  Value v;
+  v.type_ = Type::kArray;
+  v.array_ = std::move(elements);
+  return v;
+}
+
+Value Value::Object(std::vector<std::pair<std::string, Value>> members) {
+  Value v;
+  v.type_ = Type::kObject;
+  v.object_ = std::move(members);
+  return v;
+}
+
+const Value* Value::Find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [name, value] : object_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+namespace {
+
+// Recursive-descent parser over the input view. Depth is bounded to keep
+// hostile inputs from overflowing the stack.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  StatusOr<Value> ParseDocument() {
+    StatusOr<Value> value = ParseValue(0);
+    if (!value.ok()) return value.status();
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Error(const std::string& what) const {
+    return Status::Corruption("JSON parse error at offset " +
+                              std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) == literal) {
+      pos_ += literal.size();
+      return true;
+    }
+    return false;
+  }
+
+  StatusOr<Value> ParseValue(int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(depth);
+      case '[':
+        return ParseArray(depth);
+      case '"': {
+        StatusOr<std::string> s = ParseString();
+        if (!s.ok()) return s.status();
+        return Value::String(std::move(*s));
+      }
+      case 't':
+        if (ConsumeLiteral("true")) return Value::Bool(true);
+        return Error("invalid literal");
+      case 'f':
+        if (ConsumeLiteral("false")) return Value::Bool(false);
+        return Error("invalid literal");
+      case 'n':
+        if (ConsumeLiteral("null")) return Value::Null();
+        return Error("invalid literal");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  StatusOr<Value> ParseObject(int depth) {
+    ++pos_;  // '{'
+    std::vector<std::pair<std::string, Value>> members;
+    SkipWhitespace();
+    if (Consume('}')) return Value::Object(std::move(members));
+    for (;;) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key");
+      }
+      StatusOr<std::string> key = ParseString();
+      if (!key.ok()) return key.status();
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' after object key");
+      StatusOr<Value> value = ParseValue(depth + 1);
+      if (!value.ok()) return value.status();
+      members.emplace_back(std::move(*key), std::move(*value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return Value::Object(std::move(members));
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  StatusOr<Value> ParseArray(int depth) {
+    ++pos_;  // '['
+    std::vector<Value> elements;
+    SkipWhitespace();
+    if (Consume(']')) return Value::Array(std::move(elements));
+    for (;;) {
+      StatusOr<Value> value = ParseValue(depth + 1);
+      if (!value.ok()) return value.status();
+      elements.push_back(std::move(*value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return Value::Array(std::move(elements));
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  StatusOr<std::string> ParseString() {
+    ++pos_;  // '"'
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        --pos_;
+        return Error("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char escape = text_[pos_++];
+      switch (escape) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          uint32_t code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<uint32_t>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<uint32_t>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<uint32_t>(h - 'A' + 10);
+            } else {
+              return Error("invalid \\u escape");
+            }
+          }
+          // UTF-8 encode. Surrogate pairs are passed through individually;
+          // our writers only ever emit \u00XX controls.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return Error("invalid escape character");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  StatusOr<Value> ParseNumber() {
+    size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected a value");
+    std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    double parsed = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || !std::isfinite(parsed)) {
+      pos_ = start;
+      return Error("malformed number");
+    }
+    return Value::Number(parsed);
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<Value> Parse(std::string_view text) {
+  return Parser(text).ParseDocument();
+}
+
+}  // namespace json
+}  // namespace ossm

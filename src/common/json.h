@@ -1,0 +1,76 @@
+#ifndef OSSM_COMMON_JSON_H_
+#define OSSM_COMMON_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ossm {
+namespace json {
+
+// A parsed JSON document node. Small by design: the library only needs to
+// read back its own reports (RunReport / BENCH_*.json), so numbers are
+// doubles, objects preserve insertion order (our writers emit sorted keys,
+// and key order is part of the golden-file contract), and there is no
+// mutation API beyond building values directly.
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() = default;
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  const std::string& string_value() const { return string_; }
+  const std::vector<Value>& array() const { return array_; }
+  const std::vector<std::pair<std::string, Value>>& object() const {
+    return object_;
+  }
+
+  // Object member lookup; nullptr when absent or not an object.
+  const Value* Find(std::string_view key) const;
+
+  // Typed accessors with fallbacks, for tolerant report readers.
+  double NumberOr(double fallback) const {
+    return is_number() ? number_ : fallback;
+  }
+  std::string StringOr(std::string fallback) const {
+    return is_string() ? string_ : std::move(fallback);
+  }
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool b);
+  static Value Number(double n);
+  static Value String(std::string s);
+  static Value Array(std::vector<Value> elements);
+  static Value Object(std::vector<std::pair<std::string, Value>> members);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Value> array_;
+  std::vector<std::pair<std::string, Value>> object_;
+};
+
+// Parses a complete JSON document (trailing garbage is an error). Rejects
+// NaN/Infinity and comments, per RFC 8259.
+StatusOr<Value> Parse(std::string_view text);
+
+}  // namespace json
+}  // namespace ossm
+
+#endif  // OSSM_COMMON_JSON_H_

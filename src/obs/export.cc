@@ -123,27 +123,31 @@ void WriteTextReport(const MetricsSnapshot& snapshot, std::ostream& os) {
   }
 }
 
-void WriteJsonReport(const MetricsSnapshot& snapshot, std::ostream& os) {
-  os << "{\n  \"counters\": {";
+void WriteMetricsJsonObject(const MetricsSnapshot& snapshot, std::ostream& os,
+                            int indent) {
+  const std::string pad(indent, ' ');
+  os << "{\n" << pad << "  \"counters\": {";
   bool first = true;
   for (const auto& [name, value] : snapshot.counters) {
-    os << (first ? "\n" : ",\n") << "    \"" << JsonEscape(name)
+    os << (first ? "\n" : ",\n") << pad << "    \"" << JsonEscape(name)
        << "\": " << FormatUint(value);
     first = false;
   }
-  os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  if (!first) os << "\n" << pad << "  ";
+  os << "},\n" << pad << "  \"gauges\": {";
 
   first = true;
   for (const auto& [name, value] : snapshot.gauges) {
-    os << (first ? "\n" : ",\n") << "    \"" << JsonEscape(name)
+    os << (first ? "\n" : ",\n") << pad << "    \"" << JsonEscape(name)
        << "\": " << FormatInt(value);
     first = false;
   }
-  os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  if (!first) os << "\n" << pad << "  ";
+  os << "},\n" << pad << "  \"histograms\": {";
 
   first = true;
   for (const auto& [name, h] : snapshot.histograms) {
-    os << (first ? "\n" : ",\n") << "    \"" << JsonEscape(name)
+    os << (first ? "\n" : ",\n") << pad << "    \"" << JsonEscape(name)
        << "\": {\"count\": " << FormatUint(h.count)
        << ", \"sum\": " << FormatUint(h.sum)
        << ", \"min\": " << FormatUint(h.min)
@@ -153,12 +157,13 @@ void WriteJsonReport(const MetricsSnapshot& snapshot, std::ostream& os) {
        << ", \"p99\": " << FormatQuantile(h.p99) << "}";
     first = false;
   }
-  os << (first ? "" : "\n  ") << "},\n  \"spans\": {";
+  if (!first) os << "\n" << pad << "  ";
+  os << "},\n" << pad << "  \"spans\": {";
 
   first = true;
   for (const auto& [name, h] : snapshot.histograms) {
     if (!name.starts_with(kSpanPrefix)) continue;
-    os << (first ? "\n" : ",\n") << "    \""
+    os << (first ? "\n" : ",\n") << pad << "    \""
        << JsonEscape(name.substr(kSpanPrefix.size()))
        << "\": {\"count\": " << FormatUint(h.count)
        << ", \"total_us\": " << FormatUint(h.sum)
@@ -168,20 +173,39 @@ void WriteJsonReport(const MetricsSnapshot& snapshot, std::ostream& os) {
        << ", \"max_us\": " << FormatUint(h.max) << "}";
     first = false;
   }
-  os << (first ? "" : "\n  ") << "}\n}\n";
+  if (!first) os << "\n" << pad << "  ";
+  os << "}\n" << pad << "}";
+}
+
+void WriteJsonReport(const MetricsSnapshot& snapshot, std::ostream& os) {
+  WriteMetricsJsonObject(snapshot, os, 0);
+  os << "\n";
 }
 
 void WriteChromeTrace(std::span<const TraceEvent> events, std::ostream& os) {
   os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
   bool first = true;
   for (const TraceEvent& event : events) {
-    os << (first ? "\n" : ",\n") << "  {\"name\": \""
-       << JsonEscape(event.name) << "\", \"cat\": \"ossm\", \"ph\": \"X\""
-       << ", \"ts\": " << FormatUint(event.start_us)
-       << ", \"dur\": " << FormatUint(event.duration_us)
-       << ", \"pid\": 1, \"tid\": " << FormatUint(event.thread_id)
-       << ", \"args\": {\"depth\": " << event.depth << "}}";
+    os << (first ? "\n" : ",\n");
     first = false;
+    if (event.kind == TraceEvent::Kind::kSpan) {
+      os << "  {\"name\": \"" << JsonEscape(event.name)
+         << "\", \"cat\": \"ossm\", \"ph\": \"X\""
+         << ", \"ts\": " << FormatUint(event.start_us)
+         << ", \"dur\": " << FormatUint(event.duration_us)
+         << ", \"pid\": 1, \"tid\": " << FormatUint(event.thread_id)
+         << ", \"args\": {\"depth\": " << event.depth << "}}";
+      continue;
+    }
+    // Flow arrow endpoints. "bp":"e" binds the finish to the enclosing
+    // slice, matching how the pool emits the end inside the task's span.
+    bool start = event.kind == TraceEvent::Kind::kFlowStart;
+    os << "  {\"name\": \"" << JsonEscape(event.name)
+       << "\", \"cat\": \"ossm\", \"ph\": \"" << (start ? 's' : 'f') << "\"";
+    if (!start) os << ", \"bp\": \"e\"";
+    os << ", \"id\": " << FormatUint(event.flow_id)
+       << ", \"ts\": " << FormatUint(event.start_us)
+       << ", \"pid\": 1, \"tid\": " << FormatUint(event.thread_id) << "}";
   }
   os << (first ? "" : "\n") << "]}\n";
 }

@@ -23,8 +23,16 @@ void WriteTextReport(const MetricsSnapshot& snapshot, std::ostream& os);
 // so consumers (the BENCH_*.json trajectory) need no naming convention.
 void WriteJsonReport(const MetricsSnapshot& snapshot, std::ostream& os);
 
+// Writes the metrics object ({"counters": ..., ..., "spans": ...}) without
+// a trailing newline, every line after the first prefixed by `indent`
+// spaces. WriteJsonReport is this at indent 0; RunReport embeds it nested.
+void WriteMetricsJsonObject(const MetricsSnapshot& snapshot, std::ostream& os,
+                            int indent);
+
 // Chrome trace-event JSON — load the file in chrome://tracing or Perfetto.
-// Events are emitted as complete ("ph":"X") slices.
+// Span events are emitted as complete ("ph":"X") slices; flow events as
+// "ph":"s" / "ph":"f" pairs keyed by flow id, which is what draws the
+// fork-join arrows between pool lanes.
 void WriteChromeTrace(std::span<const TraceEvent> events, std::ostream& os);
 
 // Escapes a string for embedding in a JSON string literal (quotes excluded).

@@ -73,6 +73,14 @@ namespace internal {
 int InitConfigSlow() { return static_cast<int>(Config().mode); }
 }  // namespace internal
 
+void EnableMetricsCollection() {
+  // Parse OSSM_METRICS first so an environment-selected mode wins and its
+  // at-exit reporter stays registered.
+  if (Config().mode != ExportMode::kDisabled) return;
+  internal::g_mode_cache.store(static_cast<int>(ExportMode::kCollectOnly),
+                               std::memory_order_release);
+}
+
 void ReportNow() {
   const ObsConfig& config = Config();
   if (config.mode == ExportMode::kDisabled) return;

@@ -27,7 +27,12 @@
 namespace ossm {
 namespace obs {
 
-enum class ExportMode { kDisabled = 0, kText, kJson, kChromeTrace };
+// kCollectOnly records instruments like the real modes but emits nothing at
+// exit; it is entered programmatically (EnableMetricsCollection) by report
+// writers that snapshot the registry themselves, never parsed from the
+// environment.
+enum class ExportMode { kDisabled = 0, kText, kJson, kChromeTrace,
+                        kCollectOnly };
 
 struct ObsConfig {
   ExportMode mode = ExportMode::kDisabled;
@@ -56,6 +61,13 @@ inline bool MetricsEnabled() {
 // emitted, making the automatic at-exit report a no-op. Does nothing when
 // OSSM_METRICS is unset.
 void ReportNow();
+
+// Turns instrument recording on even when OSSM_METRICS is unset, without
+// selecting an export sink: MetricsEnabled() becomes true, nothing is
+// written at exit. Used by RunReport producers (bench reporter, ossm_cli
+// --report) so their registry snapshots are populated. When OSSM_METRICS
+// already selected a mode, this is a no-op and that mode keeps exporting.
+void EnableMetricsCollection();
 
 }  // namespace obs
 }  // namespace ossm

@@ -77,6 +77,39 @@ bool TraceEventRetention() {
 
 uint32_t CurrentSpanDepth() { return LocalHandle().depth; }
 
+uint64_t NewFlowId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+namespace {
+
+void EmitFlowMarker(std::string_view name, uint64_t flow_id,
+                    TraceEvent::Kind kind) {
+  if (!TraceEventRetention()) return;
+  ThreadHandle& handle = LocalHandle();
+  TraceEvent event;
+  event.name = name;
+  event.thread_id = handle.buffer->thread_id;
+  event.start_us = TraceNowMicros();
+  event.duration_us = 0;
+  event.depth = handle.depth;
+  event.kind = kind;
+  event.flow_id = flow_id;
+  std::lock_guard<std::mutex> lock(handle.buffer->mu);
+  handle.buffer->events.push_back(std::move(event));
+}
+
+}  // namespace
+
+void EmitFlowStart(std::string_view name, uint64_t flow_id) {
+  EmitFlowMarker(name, flow_id, TraceEvent::Kind::kFlowStart);
+}
+
+void EmitFlowEnd(std::string_view name, uint64_t flow_id) {
+  EmitFlowMarker(name, flow_id, TraceEvent::Kind::kFlowEnd);
+}
+
 std::vector<TraceEvent> DrainTraceEvents() {
   TraceState& state = State();
   std::vector<std::shared_ptr<ThreadBuffer>> buffers;

@@ -13,12 +13,22 @@ namespace obs {
 // load) with its position on the process timeline. Events are recorded into
 // per-thread buffers — opening and closing a span never takes a shared lock
 // — and merged on drain, so spans are safe in concurrent miners.
+//
+// Besides duration slices (kSpan), the buffer also carries flow markers:
+// a kFlowStart on the forking thread and a kFlowEnd on the thread that
+// picks the work up, joined by `flow_id`. The Chrome exporter renders the
+// pair as an arrow ("ph":"s"/"f"), which is how ThreadPool fan-out stays
+// causally linked across lanes instead of appearing as disconnected tracks.
 struct TraceEvent {
+  enum class Kind : uint8_t { kSpan = 0, kFlowStart, kFlowEnd };
+
   std::string name;
   uint64_t thread_id = 0;    // dense id, assigned at a thread's first span
   uint64_t start_us = 0;     // microseconds since the process trace epoch
-  uint64_t duration_us = 0;
+  uint64_t duration_us = 0;  // 0 for flow markers (they are instants)
   uint32_t depth = 0;        // how many spans were open when this one began
+  Kind kind = Kind::kSpan;
+  uint64_t flow_id = 0;      // joins kFlowStart to kFlowEnd; 0 for spans
 };
 
 // RAII scope marker. When metrics are enabled (OSSM_METRICS set) the span's
@@ -45,6 +55,16 @@ class TraceSpan {
 // Flipped on by the OSSM_METRICS=trace mode; exposed for tests.
 void SetTraceEventRetention(bool retain);
 bool TraceEventRetention();
+
+// Allocates a fresh process-unique flow id (never 0).
+uint64_t NewFlowId();
+
+// Records a flow marker on the calling thread at the current trace time.
+// No-ops unless trace retention is on. Chrome binds each marker to the
+// duration slice enclosing it on that thread, so emit the start inside the
+// forking span and the end inside the task's span.
+void EmitFlowStart(std::string_view name, uint64_t flow_id);
+void EmitFlowEnd(std::string_view name, uint64_t flow_id);
 
 // Number of spans currently open on the calling thread.
 uint32_t CurrentSpanDepth();

@@ -1,10 +1,13 @@
 #include "parallel/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <exception>
 #include <limits>
 #include <utility>
+
+#include "obs/obs.h"
 
 namespace ossm {
 namespace parallel {
@@ -14,6 +17,20 @@ namespace {
 // True while this thread is executing a pool task; nested helpers then run
 // inline instead of re-entering the (possibly saturated) pool.
 thread_local bool tls_in_pool_task = false;
+
+// Records the max/min spread of per-shard (or per-lane) durations for one
+// fork-join batch: 100 = perfectly balanced, 200 = the slowest shard took
+// twice the fastest. Uneven ParallelForEach splits show up here first.
+void RecordImbalance(const std::vector<uint64_t>& durations_us) {
+  uint64_t max_us = 0;
+  uint64_t min_us = UINT64_MAX;
+  for (uint64_t d : durations_us) {
+    max_us = std::max(max_us, d);
+    min_us = std::min(min_us, d);
+  }
+  OSSM_HISTOGRAM_RECORD("pool.imbalance_pct",
+                        max_us * 100 / std::max<uint64_t>(min_us, 1));
+}
 
 }  // namespace
 
@@ -43,6 +60,7 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;  // shutdown with a drained queue
       task = queue_.front();
       queue_.pop_front();
+      OSSM_GAUGE_SET("pool.queue_depth", static_cast<int64_t>(queue_.size()));
     }
     tls_in_pool_task = true;
     (*task)();
@@ -66,6 +84,7 @@ void ThreadPool::RunBatch(std::vector<std::function<void()>> tasks) {
     std::lock_guard<std::mutex> lock(mu_);
     for (std::function<void()>& task : tasks) queue_.push_back(&task);
     pending_ += tasks.size();
+    OSSM_GAUGE_SET("pool.queue_depth", static_cast<int64_t>(queue_.size()));
   }
   work_ready_.notify_all();
 
@@ -78,6 +97,8 @@ void ThreadPool::RunBatch(std::vector<std::function<void()>> tasks) {
       if (!queue_.empty()) {
         task = queue_.front();
         queue_.pop_front();
+        OSSM_GAUGE_SET("pool.queue_depth",
+                       static_cast<int64_t>(queue_.size()));
       }
     }
     if (task == nullptr) break;
@@ -113,22 +134,55 @@ void ThreadPool::ParallelFor(
     return;
   }
 
+  // The fork-join is wrapped in a span on the calling thread; each shard
+  // gets a flow id whose start marker lands inside that span and whose end
+  // marker lands inside the shard's own span on whichever thread runs it,
+  // so Chrome draws the fan-out arrows instead of disconnected lanes.
+  const bool instrument = obs::MetricsEnabled();
+  const bool retain = obs::TraceEventRetention();
+  OSSM_TRACE_SPAN("pool.parallel_for");
+  OSSM_COUNTER_INC("pool.parallel_for.calls");
+
   uint64_t range = end - begin;
   std::vector<std::exception_ptr> errors(shards);
+  std::vector<uint64_t> flow_ids(retain ? shards : 0);
+  std::vector<uint64_t> durations_us(instrument ? shards : 0);
+  if (retain) {
+    for (uint32_t shard = 0; shard < shards; ++shard) {
+      flow_ids[shard] = obs::NewFlowId();
+      obs::EmitFlowStart("pool.shard", flow_ids[shard]);
+    }
+  }
+  const uint64_t enqueue_us = instrument ? obs::TraceNowMicros() : 0;
+
   std::vector<std::function<void()>> tasks;
   tasks.reserve(shards);
   for (uint32_t shard = 0; shard < shards; ++shard) {
     uint64_t shard_begin = begin + range * shard / shards;
     uint64_t shard_end = begin + range * (shard + 1) / shards;
-    tasks.push_back([&fn, &errors, shard, shard_begin, shard_end] {
+    tasks.push_back([&fn, &errors, &flow_ids, &durations_us, shard,
+                     shard_begin, shard_end, enqueue_us, instrument, retain] {
+      obs::TraceSpan span("pool.shard");
+      if (retain) obs::EmitFlowEnd("pool.shard", flow_ids[shard]);
+      uint64_t start_us = 0;
+      if (instrument) {
+        start_us = obs::TraceNowMicros();
+        OSSM_HISTOGRAM_RECORD("pool.queue_wait_us", start_us - enqueue_us);
+      }
       try {
         fn(shard, shard_begin, shard_end);
       } catch (...) {
         errors[shard] = std::current_exception();
       }
+      if (instrument) {
+        durations_us[shard] = obs::TraceNowMicros() - start_us;
+        OSSM_HISTOGRAM_RECORD("pool.task_us", durations_us[shard]);
+        OSSM_COUNTER_INC("pool.tasks");
+      }
     });
   }
   RunBatch(std::move(tasks));
+  if (instrument) RecordImbalance(durations_us);
   for (std::exception_ptr& error : errors) {
     if (error) std::rethrow_exception(error);
   }
@@ -143,6 +197,11 @@ void ThreadPool::ParallelForEach(uint64_t n,
     return;
   }
 
+  const bool instrument = obs::MetricsEnabled();
+  const bool retain = obs::TraceEventRetention();
+  OSSM_TRACE_SPAN("pool.parallel_for_each");
+  OSSM_COUNTER_INC("pool.parallel_for_each.calls");
+
   std::atomic<uint64_t> cursor{0};
   // First (lowest-index) exception wins, so even failure is deterministic:
   // lanes keep claiming after a throw, guaranteeing every index runs.
@@ -150,13 +209,30 @@ void ThreadPool::ParallelForEach(uint64_t n,
   std::exception_ptr first_error;
   uint64_t first_error_index = std::numeric_limits<uint64_t>::max();
 
+  std::vector<uint64_t> flow_ids(retain ? lanes : 0);
+  std::vector<uint64_t> durations_us(instrument ? lanes : 0);
+  if (retain) {
+    for (uint32_t lane = 0; lane < lanes; ++lane) {
+      flow_ids[lane] = obs::NewFlowId();
+      obs::EmitFlowStart("pool.lane", flow_ids[lane]);
+    }
+  }
+  const uint64_t enqueue_us = instrument ? obs::TraceNowMicros() : 0;
+
   std::vector<std::function<void()>> tasks;
   tasks.reserve(lanes);
   for (uint32_t lane = 0; lane < lanes; ++lane) {
-    tasks.push_back([&] {
+    tasks.push_back([&, lane] {
+      obs::TraceSpan span("pool.lane");
+      if (retain) obs::EmitFlowEnd("pool.lane", flow_ids[lane]);
+      uint64_t start_us = 0;
+      if (instrument) {
+        start_us = obs::TraceNowMicros();
+        OSSM_HISTOGRAM_RECORD("pool.queue_wait_us", start_us - enqueue_us);
+      }
       for (;;) {
         uint64_t i = cursor.fetch_add(1, std::memory_order_relaxed);
-        if (i >= n) return;
+        if (i >= n) break;
         try {
           fn(i);
         } catch (...) {
@@ -167,9 +243,15 @@ void ThreadPool::ParallelForEach(uint64_t n,
           }
         }
       }
+      if (instrument) {
+        durations_us[lane] = obs::TraceNowMicros() - start_us;
+        OSSM_HISTOGRAM_RECORD("pool.task_us", durations_us[lane]);
+        OSSM_COUNTER_INC("pool.tasks");
+      }
     });
   }
   RunBatch(std::move(tasks));
+  if (instrument) RecordImbalance(durations_us);
   if (first_error) std::rethrow_exception(first_error);
 }
 

@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/report.h"
+
+namespace ossm {
+namespace obs {
+namespace {
+
+RunReport BaseReport() {
+  RunReport report;
+  report.name = "bench.unit";
+  report.environment.threads = 4;
+  report.AddPhaseSeconds("mine", 2.0);
+  return report;
+}
+
+const MetricComparison* FindRow(const ReportComparison& comparison,
+                                std::string_view metric) {
+  for (const MetricComparison& row : comparison.rows) {
+    if (row.metric == metric) return &row;
+  }
+  return nullptr;
+}
+
+TEST(BenchCompareTest, IdenticalReportsAreCleanAndExitZero) {
+  RunReport report = BaseReport();
+  report.AddValue("speedup", 3.0);
+  report.metrics.counters = {{"apriori.candidates_counted", 1000}};
+  ReportComparison comparison =
+      CompareReports(report, report, CompareOptions());
+  EXPECT_EQ(comparison.regressions, 0);
+  EXPECT_EQ(comparison.improvements, 0);
+  EXPECT_EQ(comparison.missing, 0);
+  EXPECT_FALSE(comparison.ShouldFail(/*fail_on_missing=*/true));
+}
+
+TEST(BenchCompareTest, TwoXSlowdownIsRegressionAndFailsGate) {
+  RunReport baseline = BaseReport();
+  RunReport candidate = BaseReport();
+  candidate.phases[0].second = 4.0;  // 2.0s -> 4.0s
+  ReportComparison comparison =
+      CompareReports(baseline, candidate, CompareOptions());
+  const MetricComparison* row = FindRow(comparison, "phase.mine");
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ(row->verdict, MetricVerdict::kRegression);
+  EXPECT_EQ(comparison.regressions, 1);
+  EXPECT_TRUE(comparison.ShouldFail(/*fail_on_missing=*/false));
+}
+
+TEST(BenchCompareTest, SpeedupIsImprovementNotFailure) {
+  RunReport baseline = BaseReport();
+  RunReport candidate = BaseReport();
+  candidate.phases[0].second = 1.0;  // 2x faster
+  ReportComparison comparison =
+      CompareReports(baseline, candidate, CompareOptions());
+  const MetricComparison* row = FindRow(comparison, "phase.mine");
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ(row->verdict, MetricVerdict::kImprovement);
+  EXPECT_FALSE(comparison.ShouldFail(false));
+}
+
+TEST(BenchCompareTest, WithinRelativeThresholdIsNoise) {
+  RunReport baseline = BaseReport();
+  RunReport candidate = BaseReport();
+  candidate.phases[0].second = 2.1;  // +5% < the 10% threshold
+  ReportComparison comparison =
+      CompareReports(baseline, candidate, CompareOptions());
+  const MetricComparison* row = FindRow(comparison, "phase.mine");
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ(row->verdict, MetricVerdict::kNoise);
+  EXPECT_FALSE(comparison.ShouldFail(false));
+}
+
+TEST(BenchCompareTest, MicroPhaseUnderFloorIsNoiseEvenAt3x) {
+  RunReport baseline;
+  baseline.AddPhaseSeconds("tiny", 0.010);
+  RunReport candidate;
+  candidate.AddPhaseSeconds("tiny", 0.030);  // 3x, but both under 50ms
+  ReportComparison comparison =
+      CompareReports(baseline, candidate, CompareOptions());
+  const MetricComparison* row = FindRow(comparison, "phase.tiny");
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ(row->verdict, MetricVerdict::kNoise);
+}
+
+TEST(BenchCompareTest, FloorDoesNotMaskPhasesThatGrewPastIt) {
+  RunReport baseline;
+  baseline.AddPhaseSeconds("grew", 0.010);
+  RunReport candidate;
+  candidate.AddPhaseSeconds("grew", 0.200);  // crossed the floor: real
+  ReportComparison comparison =
+      CompareReports(baseline, candidate, CompareOptions());
+  EXPECT_EQ(FindRow(comparison, "phase.grew")->verdict,
+            MetricVerdict::kRegression);
+}
+
+TEST(BenchCompareTest, MissingMetricGatesOnlyWhenAsked) {
+  RunReport baseline = BaseReport();
+  baseline.AddValue("speedup", 3.0);
+  RunReport candidate = BaseReport();  // no "speedup" value
+  ReportComparison comparison =
+      CompareReports(baseline, candidate, CompareOptions());
+  const MetricComparison* row = FindRow(comparison, "value.speedup");
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ(row->verdict, MetricVerdict::kMissing);
+  EXPECT_EQ(comparison.missing, 1);
+  EXPECT_FALSE(comparison.ShouldFail(/*fail_on_missing=*/false));
+  EXPECT_TRUE(comparison.ShouldFail(/*fail_on_missing=*/true));
+}
+
+TEST(BenchCompareTest, NewMetricIsInformationalOnly) {
+  RunReport baseline = BaseReport();
+  RunReport candidate = BaseReport();
+  candidate.AddValue("footprint_kb", 512);
+  ReportComparison comparison =
+      CompareReports(baseline, candidate, CompareOptions());
+  const MetricComparison* row = FindRow(comparison, "value.footprint_kb");
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ(row->verdict, MetricVerdict::kNew);
+  EXPECT_FALSE(comparison.ShouldFail(true));
+}
+
+TEST(BenchCompareTest, CounterGrowthBeyondThresholdRegresses) {
+  RunReport baseline = BaseReport();
+  baseline.metrics.counters = {{"apriori.candidates_counted", 1000}};
+  RunReport candidate = BaseReport();
+  candidate.metrics.counters = {{"apriori.candidates_counted", 1100}};  // +10%
+  ReportComparison comparison =
+      CompareReports(baseline, candidate, CompareOptions());
+  EXPECT_EQ(FindRow(comparison, "counter.apriori.candidates_counted")->verdict,
+            MetricVerdict::kRegression);
+}
+
+TEST(BenchCompareTest, PrunedCounterIsHigherIsBetter) {
+  EXPECT_EQ(DirectionForCounter("apriori.level2.pruned_by_bound"),
+            MetricDirection::kHigherIsBetter);
+  RunReport baseline = BaseReport();
+  baseline.metrics.counters = {{"apriori.pruned_by_bound", 1000}};
+  RunReport candidate = BaseReport();
+  candidate.metrics.counters = {{"apriori.pruned_by_bound", 1500}};
+  ReportComparison comparison =
+      CompareReports(baseline, candidate, CompareOptions());
+  EXPECT_EQ(FindRow(comparison, "counter.apriori.pruned_by_bound")->verdict,
+            MetricVerdict::kImprovement);
+}
+
+TEST(BenchCompareTest, PoolCountersAreNeutralAndNeverGate) {
+  EXPECT_EQ(DirectionForCounter("pool.tasks"), MetricDirection::kNeutral);
+  RunReport baseline = BaseReport();
+  baseline.metrics.counters = {{"pool.tasks", 8}};
+  RunReport candidate = BaseReport();
+  candidate.metrics.counters = {{"pool.tasks", 64}};  // 8x: still neutral
+  ReportComparison comparison =
+      CompareReports(baseline, candidate, CompareOptions());
+  EXPECT_EQ(FindRow(comparison, "counter.pool.tasks")->verdict,
+            MetricVerdict::kNoise);
+  EXPECT_FALSE(comparison.ShouldFail(true));
+}
+
+TEST(BenchCompareTest, ValueDirectionHeuristics) {
+  EXPECT_EQ(DirectionForValue("speedup.t4"),
+            MetricDirection::kHigherIsBetter);
+  EXPECT_EQ(DirectionForValue("throughput_rows"),
+            MetricDirection::kHigherIsBetter);
+  EXPECT_EQ(DirectionForValue("seg_seconds.pure.greedy"),
+            MetricDirection::kLowerIsBetter);
+  EXPECT_EQ(DirectionForValue("queue_wait_us"),
+            MetricDirection::kLowerIsBetter);
+  EXPECT_EQ(DirectionForValue("n_min.m8"), MetricDirection::kNeutral);
+
+  // A speedup that halves is a regression even though the raw number fell.
+  RunReport baseline = BaseReport();
+  baseline.AddValue("speedup", 4.0);
+  RunReport candidate = BaseReport();
+  candidate.AddValue("speedup", 2.0);
+  ReportComparison comparison =
+      CompareReports(baseline, candidate, CompareOptions());
+  EXPECT_EQ(FindRow(comparison, "value.speedup")->verdict,
+            MetricVerdict::kRegression);
+}
+
+TEST(BenchCompareTest, SpanTotalsComparedOnlyWhenEnabled) {
+  HistogramSnapshot base_span;
+  base_span.sum = 1000000;  // 1s
+  HistogramSnapshot cand_span = base_span;
+  cand_span.sum = 3000000;  // 3s
+  RunReport baseline = BaseReport();
+  baseline.metrics.histograms = {{"span.apriori.count_pass", base_span}};
+  RunReport candidate = BaseReport();
+  candidate.metrics.histograms = {{"span.apriori.count_pass", cand_span}};
+
+  CompareOptions off;
+  EXPECT_EQ(FindRow(CompareReports(baseline, candidate, off),
+                    "span.apriori.count_pass.total_us"),
+            nullptr);
+
+  CompareOptions on;
+  on.include_span_totals = true;
+  ReportComparison comparison = CompareReports(baseline, candidate, on);
+  const MetricComparison* row =
+      FindRow(comparison, "span.apriori.count_pass.total_us");
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ(row->verdict, MetricVerdict::kRegression);
+}
+
+TEST(BenchCompareTest, MismatchedIdentityProducesNotes) {
+  RunReport baseline = BaseReport();
+  baseline.SetWorkload("transactions", uint64_t{20000});
+  baseline.SetWorkload("seed", uint64_t{1});
+  RunReport candidate = BaseReport();
+  candidate.name = "bench.other";
+  candidate.environment.threads = 8;
+  candidate.SetWorkload("transactions", uint64_t{40000});
+  ReportComparison comparison =
+      CompareReports(baseline, candidate, CompareOptions());
+  // Name, thread count, changed workload key, and absent workload key.
+  EXPECT_EQ(comparison.notes.size(), 4u);
+  // Notes never gate on their own.
+  EXPECT_FALSE(comparison.ShouldFail(false));
+}
+
+TEST(BenchCompareTest, PrintComparisonRendersSummaryLine) {
+  RunReport baseline = BaseReport();
+  RunReport candidate = BaseReport();
+  candidate.phases[0].second = 10.0;
+  ReportComparison comparison =
+      CompareReports(baseline, candidate, CompareOptions());
+  std::ostringstream out;
+  PrintComparison(comparison, out);
+  EXPECT_NE(out.str().find("REGRESSION"), std::string::npos);
+  EXPECT_NE(out.str().find("1 regressions"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace ossm

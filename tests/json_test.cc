@@ -1,0 +1,137 @@
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ossm {
+namespace json {
+namespace {
+
+TEST(JsonParseTest, Scalars) {
+  StatusOr<Value> v = Parse("null");
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->is_null());
+
+  v = Parse("true");
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(v->is_bool());
+  EXPECT_TRUE(v->bool_value());
+
+  v = Parse("false");
+  ASSERT_TRUE(v.ok());
+  EXPECT_FALSE(v->bool_value());
+
+  v = Parse("42");
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(v->is_number());
+  EXPECT_EQ(v->number_value(), 42.0);
+
+  v = Parse("-1.5e3");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->number_value(), -1500.0);
+
+  v = Parse("\"hello\"");
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(v->is_string());
+  EXPECT_EQ(v->string_value(), "hello");
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  StatusOr<Value> v = Parse(R"("a\"b\\c\nd\teA")");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->string_value(), "a\"b\\c\nd\teA");
+}
+
+TEST(JsonParseTest, UnicodeEscapeEncodesUtf8) {
+  StatusOr<Value> v = Parse(R"("\u00e9\u4e2d")");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->string_value(), "\xc3\xa9\xe4\xb8\xad");
+}
+
+TEST(JsonParseTest, ArraysAndNesting) {
+  StatusOr<Value> v = Parse("[1, [2, 3], {\"k\": 4}]");
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(v->is_array());
+  ASSERT_EQ(v->array().size(), 3u);
+  EXPECT_EQ(v->array()[0].number_value(), 1.0);
+  ASSERT_TRUE(v->array()[1].is_array());
+  EXPECT_EQ(v->array()[1].array()[1].number_value(), 3.0);
+  ASSERT_TRUE(v->array()[2].is_object());
+  EXPECT_EQ(v->array()[2].Find("k")->number_value(), 4.0);
+}
+
+TEST(JsonParseTest, ObjectPreservesInsertionOrder) {
+  StatusOr<Value> v = Parse(R"({"z": 1, "a": 2, "m": 3})");
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(v->is_object());
+  ASSERT_EQ(v->object().size(), 3u);
+  EXPECT_EQ(v->object()[0].first, "z");
+  EXPECT_EQ(v->object()[1].first, "a");
+  EXPECT_EQ(v->object()[2].first, "m");
+}
+
+TEST(JsonParseTest, FindOnNonObjectAndMissingKey) {
+  StatusOr<Value> v = Parse(R"({"present": true})");
+  ASSERT_TRUE(v.ok());
+  EXPECT_NE(v->Find("present"), nullptr);
+  EXPECT_EQ(v->Find("absent"), nullptr);
+  StatusOr<Value> num = Parse("7");
+  ASSERT_TRUE(num.ok());
+  EXPECT_EQ(num->Find("anything"), nullptr);
+}
+
+TEST(JsonParseTest, TypedFallbackAccessors) {
+  StatusOr<Value> v = Parse(R"({"n": 2.5, "s": "x"})");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->Find("n")->NumberOr(-1), 2.5);
+  EXPECT_EQ(v->Find("s")->NumberOr(-1), -1);
+  EXPECT_EQ(v->Find("s")->StringOr("fallback"), "x");
+  EXPECT_EQ(v->Find("n")->StringOr("fallback"), "fallback");
+}
+
+TEST(JsonParseTest, WhitespaceTolerated) {
+  StatusOr<Value> v = Parse("  {\n\t\"a\" :\r [ 1 , 2 ]\n}  ");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->Find("a")->array().size(), 2u);
+}
+
+TEST(JsonParseTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("{").ok());
+  EXPECT_FALSE(Parse("[1,]").ok());
+  EXPECT_FALSE(Parse("{\"a\": }").ok());
+  EXPECT_FALSE(Parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(Parse("tru").ok());
+  EXPECT_FALSE(Parse("\"unterminated").ok());
+  EXPECT_FALSE(Parse("'single'").ok());
+  EXPECT_FALSE(Parse("NaN").ok());
+  EXPECT_FALSE(Parse("Infinity").ok());
+  EXPECT_FALSE(Parse("1.2.3").ok());
+}
+
+TEST(JsonParseTest, RejectsTrailingGarbage) {
+  EXPECT_FALSE(Parse("{} {}").ok());
+  EXPECT_FALSE(Parse("1 2").ok());
+  EXPECT_FALSE(Parse("null x").ok());
+}
+
+TEST(JsonParseTest, RejectsRunawayNesting) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(Parse(deep).ok());
+  // A depth well under the cap parses fine.
+  std::string ok(30, '[');
+  ok += std::string(30, ']');
+  EXPECT_TRUE(Parse(ok).ok());
+}
+
+TEST(JsonParseTest, ErrorsCarryCorruptionStatus) {
+  StatusOr<Value> v = Parse("{bad}");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace json
+}  // namespace ossm

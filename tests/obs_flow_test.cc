@@ -1,0 +1,179 @@
+// Causal tracing across the thread pool: every ParallelFor/ParallelForEach
+// shard gets a flow id whose start marker is emitted on the forking thread
+// and whose end marker is emitted on whichever pool thread runs the shard.
+// These tests pin the pairing invariant (exactly one start + one end per
+// id, start before end, ends spread across threads) and the Chrome trace
+// rendering ("ph":"s"/"f" arrows).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/trace.h"
+#include "parallel/thread_pool.h"
+
+namespace ossm {
+namespace obs {
+namespace {
+
+struct FlowPair {
+  const TraceEvent* start = nullptr;
+  const TraceEvent* end = nullptr;
+};
+
+std::map<uint64_t, FlowPair> PairFlows(const std::vector<TraceEvent>& events) {
+  std::map<uint64_t, FlowPair> pairs;
+  for (const TraceEvent& event : events) {
+    if (event.kind == TraceEvent::Kind::kFlowStart) {
+      EXPECT_EQ(pairs[event.flow_id].start, nullptr)
+          << "duplicate flow start for id " << event.flow_id;
+      pairs[event.flow_id].start = &event;
+    } else if (event.kind == TraceEvent::Kind::kFlowEnd) {
+      EXPECT_EQ(pairs[event.flow_id].end, nullptr)
+          << "duplicate flow end for id " << event.flow_id;
+      pairs[event.flow_id].end = &event;
+    }
+  }
+  return pairs;
+}
+
+class FlowTraceTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    SetTraceEventRetention(true);
+    DrainTraceEvents();  // discard anything earlier tests left behind
+  }
+  void TearDown() override {
+    DrainTraceEvents();
+    SetTraceEventRetention(false);
+  }
+};
+
+TEST_F(FlowTraceTest, NewFlowIdsAreUniqueAndNonZero) {
+  std::set<uint64_t> ids;
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t id = NewFlowId();
+    EXPECT_NE(id, 0u);
+    EXPECT_TRUE(ids.insert(id).second);
+  }
+}
+
+TEST_F(FlowTraceTest, MarkersAreDroppedWithoutRetention) {
+  SetTraceEventRetention(false);
+  EmitFlowStart("pool.shard", NewFlowId());
+  SetTraceEventRetention(true);
+  EXPECT_TRUE(DrainTraceEvents().empty());
+}
+
+TEST_F(FlowTraceTest, ParallelForEachPairsFlowsAcrossPoolThreads) {
+  constexpr uint32_t kLanes = 4;
+  parallel::ThreadPool pool(kLanes);
+
+  // A rendezvous inside the tasks: no lane finishes until every lane has
+  // started, so the four lanes are pinned to four distinct OS threads and
+  // the flow ends cannot all collapse onto the calling thread.
+  std::atomic<uint32_t> arrived{0};
+  pool.ParallelForEach(kLanes, [&](uint64_t) {
+    arrived.fetch_add(1);
+    while (arrived.load() < kLanes) std::this_thread::yield();
+  });
+
+  std::vector<TraceEvent> events = DrainTraceEvents();
+  std::map<uint64_t, FlowPair> pairs = PairFlows(events);
+  ASSERT_EQ(pairs.size(), kLanes);
+
+  std::set<uint64_t> start_threads;
+  std::set<uint64_t> end_threads;
+  for (const auto& [flow_id, pair] : pairs) {
+    ASSERT_NE(pair.start, nullptr) << "flow " << flow_id << " has no start";
+    ASSERT_NE(pair.end, nullptr) << "flow " << flow_id << " has no end";
+    EXPECT_EQ(pair.start->name, "pool.lane");
+    EXPECT_EQ(pair.end->name, "pool.lane");
+    EXPECT_LE(pair.start->start_us, pair.end->start_us);
+    start_threads.insert(pair.start->thread_id);
+    end_threads.insert(pair.end->thread_id);
+  }
+  // All forks happen on the calling thread; the rendezvous guarantees the
+  // joins landed on kLanes distinct threads.
+  EXPECT_EQ(start_threads.size(), 1u);
+  EXPECT_EQ(end_threads.size(), kLanes);
+
+  // Each lane also recorded its span; the flow end must sit inside it so
+  // Chrome binds the arrow to the enclosing slice.
+  size_t lane_spans = 0;
+  for (const TraceEvent& event : events) {
+    if (event.kind == TraceEvent::Kind::kSpan && event.name == "pool.lane") {
+      ++lane_spans;
+    }
+  }
+  EXPECT_EQ(lane_spans, kLanes);
+}
+
+TEST_F(FlowTraceTest, ParallelForEmitsOneFlowPerShard) {
+  parallel::ThreadPool pool(3);
+  std::atomic<uint64_t> sum{0};
+  pool.ParallelFor(0, 300, [&](uint32_t, uint64_t begin, uint64_t end) {
+    for (uint64_t i = begin; i < end; ++i) sum.fetch_add(i);
+  });
+  EXPECT_EQ(sum.load(), 300u * 299 / 2);
+
+  std::vector<TraceEvent> events = DrainTraceEvents();
+  std::map<uint64_t, FlowPair> pairs = PairFlows(events);
+  ASSERT_EQ(pairs.size(), 3u);
+  for (const auto& [flow_id, pair] : pairs) {
+    ASSERT_NE(pair.start, nullptr);
+    ASSERT_NE(pair.end, nullptr);
+    EXPECT_EQ(pair.start->name, "pool.shard");
+    EXPECT_LE(pair.start->start_us, pair.end->start_us);
+  }
+}
+
+TEST_F(FlowTraceTest, SerialFallbackEmitsNoFlows) {
+  parallel::ThreadPool pool(1);  // workerless: everything runs inline
+  pool.ParallelFor(0, 100, [](uint32_t, uint64_t, uint64_t) {});
+  pool.ParallelForEach(10, [](uint64_t) {});
+  for (const TraceEvent& event : DrainTraceEvents()) {
+    EXPECT_EQ(event.kind, TraceEvent::Kind::kSpan);
+  }
+}
+
+TEST_F(FlowTraceTest, ChromeTraceRendersFlowArrowPairs) {
+  parallel::ThreadPool pool(2);
+  std::atomic<uint32_t> arrived{0};
+  pool.ParallelForEach(2, [&](uint64_t) {
+    arrived.fetch_add(1);
+    while (arrived.load() < 2) std::this_thread::yield();
+  });
+  std::vector<TraceEvent> events = DrainTraceEvents();
+
+  std::ostringstream out;
+  WriteChromeTrace(std::span<const TraceEvent>(events), out);
+  std::string trace = out.str();
+
+  // One "s" (start) and one "f" (end, bound to the enclosing slice) per
+  // lane, sharing an id — the arrow Chrome draws between pool threads.
+  size_t starts = 0;
+  size_t ends = 0;
+  for (size_t at = trace.find("\"ph\": \"s\""); at != std::string::npos;
+       at = trace.find("\"ph\": \"s\"", at + 1)) {
+    ++starts;
+  }
+  for (size_t at = trace.find("\"ph\": \"f\""); at != std::string::npos;
+       at = trace.find("\"ph\": \"f\"", at + 1)) {
+    ++ends;
+  }
+  EXPECT_EQ(starts, 2u);
+  EXPECT_EQ(ends, 2u);
+  EXPECT_NE(trace.find("\"bp\": \"e\""), std::string::npos);
+  EXPECT_NE(trace.find("\"id\": "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace ossm

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+#
+# Regenerate the committed benchmark baselines in bench/baselines/.
+#
+# Every bench binary runs at a reduced workload (seconds, not the paper's
+# minutes) and writes its canonical RunReport into the output directory, so
+#
+#   ./build/tools/bench_compare bench/baselines/BENCH_fig4_speedup.json \
+#       BENCH_fig4_speedup.json
+#
+# can classify a fresh run against the committed reference. Wall-clock
+# numbers are machine dependent: regenerate the baselines on the machine
+# you intend to compare on. CI gates run-vs-run within a single job and
+# only reports (--report-only) against these committed files.
+#
+# usage: tools/make_baselines.sh [build_dir] [out_dir]
+
+set -euo pipefail
+
+build=${1:-build}
+out=${2:-bench/baselines}
+mkdir -p "$out"
+build_abs=$(cd "$build" && pwd)
+out_abs=$(cd "$out" && pwd)
+
+run() {
+  local name=$1
+  shift
+  echo "== $name"
+  "$build_abs/bench/$name" "$@" --report="$out_abs/BENCH_$name.json" \
+    > /dev/null
+}
+
+run fig4_speedup --transactions=8000 --items=300 --repeats=2
+run fig5_segmentation_cost --items=300 --repeats=2
+run fig6_bubble_list --pages=200 --items=300 --repeats=2
+run sec7_dhp --transactions=8000 --items=300 --repeats=2
+run ablation_skew --transactions=8000 --items=250 --repeats=2
+run ablation_generalized --transactions=8000 --items=250 --repeats=2
+run ablation_pagesize --transactions=8000 --items=300 --repeats=2
+run ablation_theory --transactions=4000
+
+# micro writes BENCH_parallel.json into the working directory. The filter
+# matches no google-benchmark case on purpose: the baseline captures the
+# thread-count sweep (which always runs), not the microbenchmark tables.
+echo "== micro (parallel counting sweep)"
+(cd "$out_abs" && "$build_abs/bench/micro" \
+  --benchmark_filter=NoSuchBenchmark > /dev/null)
+
+echo
+echo "baselines written to $out/:"
+ls -1 "$out_abs"

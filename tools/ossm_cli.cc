@@ -18,6 +18,9 @@
 
 #include "common/status.h"
 #include "common/table_printer.h"
+#include "common/timer.h"
+#include "obs/obs.h"
+#include "obs/report.h"
 #include "core/ossm_builder.h"
 #include "core/ossm_io.h"
 #include "core/theory.h"
@@ -177,17 +180,33 @@ int CmdGen(const Args& args) {
   return 0;
 }
 
+// Writes a RunReport for a subcommand: workload identity and phase timings
+// from the caller, metrics snapshotted from the global registry (collection
+// was enabled up front when --report was passed).
+int WriteCliReport(obs::RunReport report, const std::string& path) {
+  report.metrics = obs::MetricsRegistry::Global().Snapshot();
+  if (Status save = obs::SaveRunReportFile(report, path); !save.ok()) {
+    return Fail(save);
+  }
+  std::printf("wrote run report to %s\n", path.c_str());
+  return 0;
+}
+
 int CmdBuild(const Args& args) {
   if (args.Has("help")) {
     std::puts(
         "build --data=FILE --out=MAP\n"
         "      --algorithm=random|rc|greedy|random-rc|random-greedy\n"
         "      --segments=N --page=N --intermediate=N\n"
-        "      --bubble=FRACTION --bubble-threshold=F --seed=N");
+        "      --bubble=FRACTION --bubble-threshold=F --seed=N\n"
+        "      --report=FILE   write a RunReport JSON next to the map");
     return 0;
   }
+  if (args.Has("report")) obs::EnableMetricsCollection();
+  WallTimer load_timer;
   StatusOr<TransactionDatabase> db = LoadDataset(args.GetRequired("data"));
   if (!db.ok()) return Fail(db.status());
+  double load_seconds = load_timer.ElapsedSeconds();
 
   StatusOr<SegmentationAlgorithm> algorithm =
       ParseAlgorithm(args.Get("algorithm", "random-greedy"));
@@ -216,6 +235,23 @@ int CmdBuild(const Args& args) {
       build->stats.seconds,
       static_cast<unsigned long long>(build->stats.ossub_evaluations),
       build->map.MemoryFootprintBytes() / 1024.0, out.c_str());
+
+  if (args.Has("report")) {
+    obs::RunReport report = obs::MakeRunReport("ossm_cli.build");
+    report.SetWorkload("dataset", args.Get("data", ""));
+    report.SetWorkload("segmenter",
+                       std::string(SegmentationAlgorithmName(*algorithm)));
+    report.SetWorkload("segments", options.target_segments);
+    report.SetWorkload("page", options.transactions_per_page);
+    report.SetWorkload("seed", options.seed);
+    report.AddPhaseSeconds("load", load_seconds);
+    report.AddPhaseSeconds("build", build->stats.seconds);
+    report.AddValue("ossub_evaluations",
+                    static_cast<double>(build->stats.ossub_evaluations));
+    report.AddValue("footprint_kb",
+                    build->map.MemoryFootprintBytes() / 1024.0);
+    return WriteCliReport(std::move(report), args.Get("report", ""));
+  }
   return 0;
 }
 
@@ -224,11 +260,16 @@ int CmdMine(const Args& args) {
     std::puts(
         "mine --data=FILE [--ossm=MAP]\n"
         "     --miner=apriori|dhp|partition|fpgrowth|depthproject\n"
-        "     --threshold=FRACTION --max-level=N --top=N");
+        "     --threshold=FRACTION --max-level=N --top=N\n"
+        "     --report=FILE   write a RunReport JSON (env, workload,\n"
+        "                     phases, per-level counters)");
     return 0;
   }
+  if (args.Has("report")) obs::EnableMetricsCollection();
+  WallTimer load_timer;
   StatusOr<TransactionDatabase> db = LoadDataset(args.GetRequired("data"));
   if (!db.ok()) return Fail(db.status());
+  double load_seconds = load_timer.ElapsedSeconds();
 
   SegmentSupportMap map;
   OssmPruner pruner(&map);
@@ -306,6 +347,26 @@ int CmdMine(const Args& args) {
     }
     std::printf("}  support %llu\n",
                 static_cast<unsigned long long>(f.support));
+  }
+
+  if (args.Has("report")) {
+    obs::RunReport report = obs::MakeRunReport("ossm_cli.mine");
+    report.SetWorkload("dataset", args.Get("data", ""));
+    report.SetWorkload("miner", miner);
+    report.SetWorkload("threshold", threshold);
+    report.SetWorkload("max_level", static_cast<uint64_t>(max_level));
+    report.SetWorkload("ossm",
+                       args.Has("ossm") ? args.Get("ossm", "") : "none");
+    report.AddPhaseSeconds("load", load_seconds);
+    report.AddPhaseSeconds("mine", result->stats.total_seconds);
+    report.AddValue("frequent_itemsets",
+                    static_cast<double>(result->itemsets.size()));
+    report.AddValue(
+        "candidates_counted",
+        static_cast<double>(result->stats.TotalCandidatesCounted()));
+    report.AddValue("pruned_by_bound",
+                    static_cast<double>(result->stats.TotalPrunedByBound()));
+    return WriteCliReport(std::move(report), args.Get("report", ""));
   }
   return 0;
 }
