@@ -23,6 +23,7 @@ enum class StatusCode {
   kOutOfRange,
   kUnimplemented,
   kInternal,
+  kResourceExhausted,
 };
 
 // Returns a stable human-readable name, e.g. "InvalidArgument".
@@ -65,6 +66,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -8,8 +8,20 @@ namespace ossm {
 
 namespace {
 
-constexpr char kMagic[8] = {'O', 'S', 'S', 'M', 'S', 'M', '1', '\n'};
+// Format v2 = v1 plus a native-endianness mark between the magic and the
+// header. v1 files (no mark) load as kInvalidArgument with a rewrite hint
+// rather than being misparsed.
+constexpr char kMagicV1[8] = {'O', 'S', 'S', 'M', 'S', 'M', '1', '\n'};
+constexpr char kMagic[8] = {'O', 'S', 'S', 'M', 'S', 'M', '2', '\n'};
+// Written in native byte order; a foreign-endian reader sees the swapped
+// value and refuses instead of silently loading garbage counts.
+constexpr uint32_t kEndianMark = 0x4F53534DU;  // "OSSM" as a big-endian word
 constexpr uint64_t kFnvOffset = 14695981039346656037ULL;
+
+uint32_t ByteSwap32(uint32_t v) {
+  return ((v & 0x000000FFU) << 24) | ((v & 0x0000FF00U) << 8) |
+         ((v & 0x00FF0000U) >> 8) | ((v & 0xFF000000U) >> 24);
+}
 
 uint64_t Fnv1a(const void* data, size_t size, uint64_t seed) {
   const unsigned char* bytes = static_cast<const unsigned char*>(data);
@@ -36,6 +48,10 @@ Status OssmIo::Save(const SegmentSupportMap& map, const std::string& path) {
     return Status::IOError("cannot open " + path + " for writing");
   }
   if (std::fwrite(kMagic, 1, sizeof(kMagic), file.get()) != sizeof(kMagic)) {
+    return Status::IOError("short write to " + path);
+  }
+  if (std::fwrite(&kEndianMark, 1, sizeof(kEndianMark), file.get()) !=
+      sizeof(kEndianMark)) {
     return Status::IOError("short write to " + path);
   }
   uint64_t header[2] = {map.num_items(), map.num_segments()};
@@ -65,13 +81,34 @@ StatusOr<SegmentSupportMap> OssmIo::Load(const std::string& path) {
     return Status::IOError("cannot open " + path + " for reading");
   }
   char magic[sizeof(kMagic)];
-  if (std::fread(magic, 1, sizeof(magic), file.get()) != sizeof(magic) ||
-      !std::equal(magic, magic + sizeof(magic), kMagic)) {
+  if (std::fread(magic, 1, sizeof(magic), file.get()) != sizeof(magic)) {
+    return Status::InvalidArgument(path +
+                                   " is truncated before the format magic");
+  }
+  if (std::equal(magic, magic + sizeof(magic), kMagicV1)) {
+    return Status::InvalidArgument(
+        path + " uses the retired v1 map format (no endianness mark); "
+               "rewrite it with the current OssmIo::Save");
+  }
+  if (!std::equal(magic, magic + sizeof(magic), kMagic)) {
     return Status::Corruption(path + " is not an OSSM map file");
+  }
+  uint32_t endian_mark = 0;
+  if (std::fread(&endian_mark, 1, sizeof(endian_mark), file.get()) !=
+      sizeof(endian_mark)) {
+    return Status::InvalidArgument(path +
+                                   " is truncated in the endianness mark");
+  }
+  if (endian_mark == ByteSwap32(kEndianMark)) {
+    return Status::InvalidArgument(
+        path + " was written on a foreign-endian machine");
+  }
+  if (endian_mark != kEndianMark) {
+    return Status::Corruption("unrecognized endianness mark in " + path);
   }
   uint64_t header[2];
   if (std::fread(header, 1, sizeof(header), file.get()) != sizeof(header)) {
-    return Status::Corruption("unexpected end of file in " + path);
+    return Status::InvalidArgument(path + " is truncated in the header");
   }
   if (header[0] > 0xFFFFFFFFULL || header[1] > 0xFFFFFFFFULL ||
       header[1] == 0) {
@@ -86,13 +123,13 @@ StatusOr<SegmentSupportMap> OssmIo::Load(const std::string& path) {
   size_t payload = map.data_.size() * sizeof(uint64_t);
   if (payload != 0 &&
       std::fread(map.data_.data(), 1, payload, file.get()) != payload) {
-    return Status::Corruption("unexpected end of file in " + path);
+    return Status::InvalidArgument(path + " is truncated in the payload");
   }
   checksum = Fnv1a(map.data_.data(), payload, checksum);
 
   uint64_t stored = 0;
   if (std::fread(&stored, 1, sizeof(stored), file.get()) != sizeof(stored)) {
-    return Status::Corruption("unexpected end of file in " + path);
+    return Status::InvalidArgument(path + " is truncated in the checksum");
   }
   if (stored != checksum) {
     return Status::Corruption("checksum mismatch in " + path);

@@ -25,6 +25,18 @@ enum class AppendPolicy {
   kClosestFit,   // O(n m^2) per page; the RC/Greedy analogue
 };
 
+// Concurrency / consistency contract: the updater itself is
+// single-threaded and unsynchronized — it mutates the map in place. When
+// the map is simultaneously read by a serving path (serve::QueryEngine),
+// every Append* call must run under that engine's exclusive hook
+// (QueryEngine::WithMapExclusive), which takes the engine's writer lock
+// against its shared-locked query reads. Appends only ever increase
+// per-segment counts, so any bound the query path computed before, during
+// (between two exclusive sections), or after an append still upper-bounds
+// the supports of the transactions the map described at that moment:
+// bound-rejects stay sound across concurrent growth. Singleton reads track
+// the map, so they are exact for the grown collection only once the
+// corresponding transactions are also visible to the exact tier.
 class OssmUpdater {
  public:
   // Operates on a map in place. The map must be non-empty.

@@ -93,8 +93,12 @@ StatusOr<TransactionDatabase> DatasetIo::LoadText(const std::string& path,
   buffer.resize(1 << 16);
   std::string pending;
   bool saw_any = false;
+  uint64_t line_number = 0;  // 1-based, for parse-error messages
 
+  // Accepts CRLF line endings and trailing spaces/tabs: '\r' and other
+  // whitespace just terminate the number in progress, wherever they sit.
   auto flush_line = [&](const std::string& line) -> Status {
+    ++line_number;
     current.clear();
     uint64_t value = 0;
     bool in_number = false;
@@ -102,7 +106,9 @@ StatusOr<TransactionDatabase> DatasetIo::LoadText(const std::string& path,
       if (c >= '0' && c <= '9') {
         value = value * 10 + static_cast<uint64_t>(c - '0');
         if (value > 0xFFFFFFFFULL) {
-          return Status::Corruption("item id overflows 32 bits in " + path);
+          return Status::Corruption("item id overflows 32 bits at line " +
+                                    std::to_string(line_number) + " of " +
+                                    path);
         }
         in_number = true;
       } else if (c == ' ' || c == '\t' || c == '\r') {
@@ -112,8 +118,9 @@ StatusOr<TransactionDatabase> DatasetIo::LoadText(const std::string& path,
           in_number = false;
         }
       } else {
-        return Status::Corruption("unexpected character '" +
-                                  std::string(1, c) + "' in " + path);
+        return Status::Corruption(
+            "unexpected character '" + std::string(1, c) + "' at line " +
+            std::to_string(line_number) + " of " + path);
       }
     }
     if (in_number) current.push_back(static_cast<ItemId>(value));

@@ -362,7 +362,8 @@ MetricDirection DirectionForCounter(std::string_view counter_name) {
   // Scheduling-dependent pool counters move with machine load, not with the
   // code under test.
   if (counter_name.starts_with("pool.")) return MetricDirection::kNeutral;
-  if (Contains(counter_name, "pruned")) {
+  if (Contains(counter_name, "pruned") ||
+      Contains(counter_name, "cache_hits")) {
     return MetricDirection::kHigherIsBetter;
   }
   // The typical instruments — candidates counted, bytes/pages read, bound
@@ -372,7 +373,8 @@ MetricDirection DirectionForCounter(std::string_view counter_name) {
 
 MetricDirection DirectionForValue(std::string_view value_name) {
   if (Contains(value_name, "speedup") || Contains(value_name, "throughput") ||
-      Contains(value_name, "per_sec") || Contains(value_name, "pruned")) {
+      Contains(value_name, "per_sec") || Contains(value_name, "pruned") ||
+      Contains(value_name, "qps") || Contains(value_name, "hit_ratio")) {
     return MetricDirection::kHigherIsBetter;
   }
   if (Contains(value_name, "seconds") || Contains(value_name, "_us") ||

@@ -1,0 +1,160 @@
+#include "serve/batcher.h"
+
+#include <memory>
+#include <unordered_map>
+#include <utility>
+
+#include "obs/obs.h"
+#include "obs/trace.h"
+
+namespace ossm {
+namespace serve {
+
+Batcher::Batcher(QueryEngine* engine, const BatcherConfig& config)
+    : engine_(engine), config_(config) {
+  OSSM_CHECK(engine_ != nullptr);
+  OSSM_CHECK_GT(config_.max_batch, 0u);
+  OSSM_CHECK_GT(config_.max_queue, 0u);
+  dispatcher_ = std::thread([this] { DispatchLoop(); });
+}
+
+Batcher::~Batcher() { Shutdown(); }
+
+Status Batcher::SubmitAsync(Itemset itemset, Callback callback) {
+  OSSM_RETURN_IF_ERROR(engine_->ValidateItemset(itemset));
+  Pending pending;
+  pending.itemset = std::move(itemset);
+  pending.callback = std::move(callback);
+  pending.enqueued = std::chrono::steady_clock::now();
+  if (obs::TraceEventRetention()) {
+    OSSM_TRACE_SPAN("serve.submit");
+    pending.flow_id = obs::NewFlowId();
+    obs::EmitFlowStart("serve.query", pending.flow_id);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      return Status::FailedPrecondition("batcher is shut down");
+    }
+    if (pending_.size() >= config_.max_queue) {
+      backpressure_rejects_.fetch_add(1, std::memory_order_relaxed);
+      OSSM_COUNTER_INC("serve.batcher.backpressure_rejects");
+      return Status::ResourceExhausted(
+          "query queue full (" + std::to_string(config_.max_queue) +
+          " pending)");
+    }
+    pending_.push_back(std::move(pending));
+  }
+  wake_.notify_one();
+  return Status::OK();
+}
+
+std::future<StatusOr<QueryResult>> Batcher::Submit(Itemset itemset) {
+  auto promise = std::make_shared<std::promise<StatusOr<QueryResult>>>();
+  std::future<StatusOr<QueryResult>> future = promise->get_future();
+  Status admitted = SubmitAsync(
+      std::move(itemset),
+      [promise](const StatusOr<QueryResult>& result) {
+        promise->set_value(result);
+      });
+  if (!admitted.ok()) promise->set_value(admitted);
+  return future;
+}
+
+void Batcher::Shutdown() {
+  std::call_once(shutdown_once_, [this] {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    wake_.notify_all();
+    dispatcher_.join();
+  });
+}
+
+void Batcher::DispatchLoop() {
+  for (;;) {
+    std::vector<Pending> wave;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      wake_.wait(lock, [this] { return shutdown_ || !pending_.empty(); });
+      if (pending_.empty()) return;  // shutdown with nothing left to drain
+      // The batching window: collect until the wave is full or the oldest
+      // query has waited max_delay_us. Shutdown closes the window early so
+      // draining never sleeps out the delay.
+      auto deadline = pending_.front().enqueued +
+                      std::chrono::microseconds(config_.max_delay_us);
+      while (!shutdown_ && pending_.size() < config_.max_batch &&
+             wake_.wait_until(lock, deadline) != std::cv_status::timeout) {
+      }
+      size_t take = std::min<size_t>(pending_.size(), config_.max_batch);
+      wave.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        wave.push_back(std::move(pending_.front()));
+        pending_.pop_front();
+      }
+    }
+    RunBatch(std::move(wave));
+  }
+}
+
+void Batcher::RunBatch(std::vector<Pending> wave) {
+  OSSM_TRACE_SPAN("serve.batch");
+  if (obs::TraceEventRetention()) {
+    for (const Pending& pending : wave) {
+      if (pending.flow_id != 0) {
+        obs::EmitFlowEnd("serve.query", pending.flow_id);
+      }
+    }
+  }
+  if (obs::MetricsEnabled()) {
+    auto now = std::chrono::steady_clock::now();
+    uint64_t oldest_wait_us =
+        static_cast<uint64_t>(std::chrono::duration_cast<
+            std::chrono::microseconds>(now - wave.front().enqueued).count());
+    OSSM_HISTOGRAM_RECORD("serve.batch_wait_us", oldest_wait_us);
+    OSSM_HISTOGRAM_RECORD("serve.batch_size", wave.size());
+  }
+
+  // In-wave dedup: identical itemsets ride one engine slot and fan the
+  // answer back out. (The engine dedups too, but doing it here keeps the
+  // per-slot callback lists in one place.)
+  std::unordered_map<uint64_t, std::vector<size_t>> slots_by_hash;
+  std::vector<Itemset> unique;
+  std::vector<std::vector<size_t>> owners;  // wave indices per unique slot
+  for (size_t i = 0; i < wave.size(); ++i) {
+    uint64_t hash = HashItemset(wave[i].itemset);
+    bool found = false;
+    for (size_t slot : slots_by_hash[hash]) {
+      if (unique[slot] == wave[i].itemset) {
+        owners[slot].push_back(i);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      slots_by_hash[hash].push_back(unique.size());
+      owners.push_back({i});
+      unique.push_back(wave[i].itemset);
+    }
+  }
+  coalesced_.fetch_add(wave.size() - unique.size(),
+                       std::memory_order_relaxed);
+  OSSM_COUNTER_ADD("serve.batcher.coalesced", wave.size() - unique.size());
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  OSSM_COUNTER_INC("serve.batcher.batches");
+
+  StatusOr<std::vector<QueryResult>> results = engine_->QueryBatch(
+      std::span<const Itemset>(unique.data(), unique.size()));
+  for (size_t slot = 0; slot < owners.size(); ++slot) {
+    StatusOr<QueryResult> answer =
+        results.ok() ? StatusOr<QueryResult>((*results)[slot])
+                     : StatusOr<QueryResult>(results.status());
+    for (size_t i : owners[slot]) {
+      wave[i].callback(answer);
+    }
+  }
+}
+
+}  // namespace serve
+}  // namespace ossm

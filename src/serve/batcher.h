@@ -1,0 +1,110 @@
+#ifndef OSSM_SERVE_BATCHER_H_
+#define OSSM_SERVE_BATCHER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "data/item.h"
+#include "serve/query_engine.h"
+
+namespace ossm {
+namespace serve {
+
+struct BatcherConfig {
+  // A wave is dispatched when this many queries are pending...
+  uint32_t max_batch = 64;
+  // ...or when the oldest pending query has waited this long.
+  uint32_t max_delay_us = 1000;
+  // Beyond this many pending queries Submit rejects with
+  // kResourceExhausted instead of growing the queue without bound: under
+  // sustained overload the caller (the TCP front-end, ultimately the
+  // client) hears about it immediately, rather than every query slowly
+  // timing out behind an unbounded backlog.
+  uint32_t max_queue = 4096;
+};
+
+// Coalesces single-itemset submissions into QueryEngine::QueryBatch calls:
+// a dedicated dispatch thread collects pending queries under a
+// max-batch/max-delay policy, deduplicates identical itemsets within the
+// wave, runs one batched engine call, and completes every submission.
+// Batching is what amortizes the exact tier — a wave of cache misses costs
+// one CSR sweep instead of one per query.
+class Batcher {
+ public:
+  // Completion callback; runs on the dispatch thread, so it must be cheap
+  // and must not re-enter the batcher synchronously.
+  using Callback = std::function<void(const StatusOr<QueryResult>&)>;
+
+  Batcher(QueryEngine* engine, const BatcherConfig& config);
+  ~Batcher();  // implies Shutdown()
+
+  Batcher(const Batcher&) = delete;
+  Batcher& operator=(const Batcher&) = delete;
+
+  // Enqueues one query. Returns without invoking the callback on:
+  //   kInvalidArgument    — malformed itemset (never reaches a batch);
+  //   kResourceExhausted  — queue at max_queue (backpressure);
+  //   kFailedPrecondition — the batcher is shut down.
+  // On OK the callback fires exactly once, after the query's wave.
+  Status SubmitAsync(Itemset itemset, Callback callback);
+
+  // Future-returning convenience over SubmitAsync. Admission errors come
+  // back as an already-resolved future.
+  std::future<StatusOr<QueryResult>> Submit(Itemset itemset);
+
+  // Stops admission, drains every already-accepted query through the
+  // engine, and joins the dispatch thread. Idempotent. This is the
+  // SIGTERM path: accepted work completes, new work is refused.
+  void Shutdown();
+
+  // Dispatch tallies (for STATS and tests).
+  uint64_t batches_dispatched() const {
+    return batches_.load(std::memory_order_relaxed);
+  }
+  uint64_t queries_coalesced() const {
+    return coalesced_.load(std::memory_order_relaxed);
+  }
+  uint64_t backpressure_rejects() const {
+    return backpressure_rejects_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Pending {
+    Itemset itemset;
+    Callback callback;
+    std::chrono::steady_clock::time_point enqueued;
+    uint64_t flow_id = 0;  // trace arrow from submitter to dispatch
+  };
+
+  void DispatchLoop();
+  void RunBatch(std::vector<Pending> wave);
+
+  QueryEngine* engine_;
+  BatcherConfig config_;
+
+  std::mutex mu_;
+  std::condition_variable wake_;
+  std::deque<Pending> pending_;
+  bool shutdown_ = false;
+  std::once_flag shutdown_once_;
+
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> coalesced_{0};
+  std::atomic<uint64_t> backpressure_rejects_{0};
+
+  std::thread dispatcher_;
+};
+
+}  // namespace serve
+}  // namespace ossm
+
+#endif  // OSSM_SERVE_BATCHER_H_

@@ -1,0 +1,105 @@
+#include "serve/protocol.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace ossm {
+namespace serve {
+
+namespace {
+
+// Splits on runs of spaces/tabs; a trailing '\r' is dropped first.
+std::vector<std::string_view> Tokenize(std::string_view line) {
+  while (!line.empty() && (line.back() == '\r' || line.back() == ' ' ||
+                           line.back() == '\t')) {
+    line.remove_suffix(1);
+  }
+  std::vector<std::string_view> tokens;
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+    if (i > start) tokens.push_back(line.substr(start, i - start));
+  }
+  return tokens;
+}
+
+bool ParseItem(std::string_view token, ItemId* item) {
+  if (token.empty() || token.size() > 10) return false;
+  uint64_t value = 0;
+  for (char c : token) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  if (value > 0xFFFFFFFFULL) return false;
+  *item = static_cast<ItemId>(value);
+  return true;
+}
+
+}  // namespace
+
+StatusOr<Request> ParseRequest(std::string_view line, uint32_t max_items) {
+  std::vector<std::string_view> tokens = Tokenize(line);
+  if (tokens.empty()) {
+    return Status::InvalidArgument("empty request line");
+  }
+  std::string_view verb = tokens[0];
+  Request request;
+  if (verb == "INFO" || verb == "STATS" || verb == "PING" || verb == "QUIT") {
+    if (tokens.size() != 1) {
+      return Status::InvalidArgument(std::string(verb) +
+                                     " takes no arguments");
+    }
+    request.kind = verb == "INFO"    ? RequestKind::kInfo
+                   : verb == "STATS" ? RequestKind::kStats
+                   : verb == "PING"  ? RequestKind::kPing
+                                     : RequestKind::kQuit;
+    return request;
+  }
+  if (verb != "Q") {
+    return Status::InvalidArgument("unknown verb '" + std::string(verb) +
+                                   "' (Q, INFO, STATS, PING, QUIT)");
+  }
+  if (tokens.size() < 2) {
+    return Status::InvalidArgument("Q needs at least one item");
+  }
+  request.kind = RequestKind::kQuery;
+  request.itemset.reserve(tokens.size() - 1);
+  for (size_t i = 1; i < tokens.size(); ++i) {
+    ItemId item = 0;
+    if (!ParseItem(tokens[i], &item)) {
+      return Status::InvalidArgument("bad item '" + std::string(tokens[i]) +
+                                     "'");
+    }
+    request.itemset.push_back(item);
+  }
+  std::sort(request.itemset.begin(), request.itemset.end());
+  request.itemset.erase(
+      std::unique(request.itemset.begin(), request.itemset.end()),
+      request.itemset.end());
+  if (max_items > 0 && request.itemset.size() > max_items) {
+    return Status::InvalidArgument(
+        "query has " + std::to_string(request.itemset.size()) +
+        " items; the per-query limit is " + std::to_string(max_items));
+  }
+  return request;
+}
+
+std::string FormatResult(const QueryResult& result) {
+  if (result.tier == QueryTier::kBoundReject) {
+    return "RJ " + std::to_string(result.support);
+  }
+  return "OK " + std::to_string(result.support) + " " +
+         std::string(QueryTierName(result.tier));
+}
+
+std::string FormatError(const Status& status) {
+  std::string line = "ERR " + status.ToString();
+  std::replace(line.begin(), line.end(), '\n', ' ');
+  std::replace(line.begin(), line.end(), '\r', ' ');
+  return line;
+}
+
+}  // namespace serve
+}  // namespace ossm

@@ -1,0 +1,56 @@
+#ifndef OSSM_SERVE_PROTOCOL_H_
+#define OSSM_SERVE_PROTOCOL_H_
+
+// The line-oriented text protocol of the support server. One request per
+// '\n'-terminated line (a trailing '\r' is tolerated, so netcat/telnet on
+// any platform works); one response line per request, in request order.
+//
+//   request  := "Q" SP items        ; itemset-support query
+//             | "INFO"              ; served collection + threshold
+//             | "STATS"             ; engine/batcher tallies
+//             | "PING"              ; liveness
+//             | "QUIT"              ; server answers BYE and closes
+//   items    := uint (SP uint)*     ; any order; duplicates collapse
+//
+//   response := "OK" SP support SP tier   ; exact answer
+//             | "RJ" SP bound             ; sup_hat(X) < minsup: not frequent,
+//                                         ; sup(X) <= bound, exact count skipped
+//             | "INFO" SP k=v ...         ; items, transactions, minsup, segments
+//             | "STATS" SP k=v ...
+//             | "PONG"
+//             | "BYE"
+//             | "ERR" SP message          ; malformed line, oversized query,
+//                                         ; or backpressure; connection stays up
+//   tier     := "singleton" | "cache" | "exact"
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "data/item.h"
+#include "serve/query_engine.h"
+
+namespace ossm {
+namespace serve {
+
+enum class RequestKind { kQuery, kInfo, kStats, kPing, kQuit };
+
+struct Request {
+  RequestKind kind = RequestKind::kQuery;
+  Itemset itemset;  // canonicalized (sorted, deduplicated); kQuery only
+};
+
+// Parses one request line (without the terminating '\n'). Rejects unknown
+// verbs, non-numeric items, and — when max_items > 0 — queries with more
+// than max_items distinct items (the per-connection query-size limit).
+StatusOr<Request> ParseRequest(std::string_view line, uint32_t max_items = 0);
+
+// Renders a query answer as its response line (no trailing newline).
+std::string FormatResult(const QueryResult& result);
+
+// Renders a non-OK status as an ERR line (message newlines flattened).
+std::string FormatError(const Status& status);
+
+}  // namespace serve
+}  // namespace ossm
+
+#endif  // OSSM_SERVE_PROTOCOL_H_

@@ -1,0 +1,253 @@
+#include "serve/query_engine.h"
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/timer.h"
+#include "obs/obs.h"
+#include "parallel/thread_pool.h"
+
+namespace ossm {
+namespace serve {
+
+namespace {
+
+struct ItemsetSpanHash {
+  size_t operator()(const Itemset& items) const {
+    return static_cast<size_t>(
+        HashItemset(std::span<const ItemId>(items.data(), items.size())));
+  }
+};
+
+void RecordTierLatency(QueryTier tier, uint64_t us) {
+  switch (tier) {
+    case QueryTier::kBoundReject:
+      OSSM_HISTOGRAM_RECORD("serve.tier.bound_us", us);
+      break;
+    case QueryTier::kSingleton:
+      OSSM_HISTOGRAM_RECORD("serve.tier.singleton_us", us);
+      break;
+    case QueryTier::kCacheHit:
+      OSSM_HISTOGRAM_RECORD("serve.tier.cache_us", us);
+      break;
+    case QueryTier::kExact:
+      OSSM_HISTOGRAM_RECORD("serve.tier.exact_us", us);
+      break;
+  }
+}
+
+}  // namespace
+
+std::string_view QueryTierName(QueryTier tier) {
+  switch (tier) {
+    case QueryTier::kBoundReject: return "reject";
+    case QueryTier::kSingleton: return "singleton";
+    case QueryTier::kCacheHit: return "cache";
+    case QueryTier::kExact: return "exact";
+  }
+  return "unknown";
+}
+
+QueryEngine::QueryEngine(const TransactionDatabase* db, SegmentSupportMap* map,
+                         const QueryEngineConfig& config)
+    : db_(db),
+      map_(map),
+      config_(config),
+      cache_(config.cache_capacity, config.cache_shards) {
+  OSSM_CHECK(db_ != nullptr);
+  if (map_ != nullptr) {
+    OSSM_CHECK_EQ(map_->num_items(), db_->num_items())
+        << "OSSM item domain does not match the served database";
+  }
+}
+
+Status QueryEngine::ValidateItemset(std::span<const ItemId> itemset) const {
+  if (itemset.empty()) {
+    return Status::InvalidArgument("empty itemset");
+  }
+  for (size_t i = 0; i < itemset.size(); ++i) {
+    if (itemset[i] >= db_->num_items()) {
+      return Status::InvalidArgument(
+          "item " + std::to_string(itemset[i]) + " outside the domain [0, " +
+          std::to_string(db_->num_items()) + ")");
+    }
+    if (i > 0 && itemset[i] <= itemset[i - 1]) {
+      return Status::InvalidArgument(
+          "itemset must be strictly increasing");
+    }
+  }
+  return Status::OK();
+}
+
+bool QueryEngine::TryAnswerWithoutScan(std::span<const ItemId> itemset,
+                                       QueryResult* result) {
+  if (map_ != nullptr) {
+    std::shared_lock<std::shared_mutex> lock(map_mu_);
+    uint64_t bound = map_->UpperBound(itemset);
+    if (bound < config_.min_support) {
+      result->support = bound;
+      result->tier = QueryTier::kBoundReject;
+      result->frequent = false;
+      bound_rejects_.fetch_add(1, std::memory_order_relaxed);
+      OSSM_COUNTER_INC("serve.bound_rejects");
+      return true;
+    }
+    if (itemset.size() == 1) {
+      result->support = map_->Support(itemset[0]);
+      result->tier = QueryTier::kSingleton;
+      result->frequent = result->support >= config_.min_support;
+      singleton_hits_.fetch_add(1, std::memory_order_relaxed);
+      OSSM_COUNTER_INC("serve.singleton_hits");
+      return true;
+    }
+  }
+  uint64_t cached = 0;
+  if (cache_.Lookup(itemset, &cached)) {
+    result->support = cached;
+    result->tier = QueryTier::kCacheHit;
+    result->frequent = cached >= config_.min_support;
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    OSSM_COUNTER_INC("serve.cache_hits");
+    return true;
+  }
+  return false;
+}
+
+std::vector<uint64_t> QueryEngine::ExactCounts(
+    const std::vector<Itemset>& needed) {
+  OSSM_TRACE_SPAN("serve.exact_scan");
+  const uint64_t n = db_->num_transactions();
+  const uint32_t shards = parallel::NumShards(0, n);
+  std::vector<std::vector<uint64_t>> per_shard(
+      shards, std::vector<uint64_t>(needed.size(), 0));
+  parallel::ParallelFor(
+      0, n, [&](uint32_t shard, uint64_t begin, uint64_t end) {
+        std::vector<uint64_t>& counts = per_shard[shard];
+        for (uint64_t t = begin; t < end; ++t) {
+          for (size_t q = 0; q < needed.size(); ++q) {
+            if (db_->Contains(t, needed[q])) ++counts[q];
+          }
+        }
+      });
+  // Shard-order merge: sums of per-shard tallies are independent of the
+  // thread count, so batch answers are bit-identical at any OSSM_THREADS.
+  std::vector<uint64_t> totals(needed.size(), 0);
+  for (uint32_t shard = 0; shard < shards; ++shard) {
+    for (size_t q = 0; q < needed.size(); ++q) {
+      totals[q] += per_shard[shard][q];
+    }
+  }
+  exact_counts_.fetch_add(needed.size(), std::memory_order_relaxed);
+  OSSM_COUNTER_ADD("serve.exact_counts", needed.size());
+  return totals;
+}
+
+StatusOr<QueryResult> QueryEngine::Query(std::span<const ItemId> itemset) {
+  OSSM_RETURN_IF_ERROR(ValidateItemset(itemset));
+  WallTimer timer;
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  OSSM_COUNTER_INC("serve.queries");
+
+  QueryResult result;
+  if (!TryAnswerWithoutScan(itemset, &result)) {
+    std::vector<Itemset> needed(1);
+    needed[0].assign(itemset.begin(), itemset.end());
+    std::vector<uint64_t> counts = ExactCounts(needed);
+    result.support = counts[0];
+    result.tier = QueryTier::kExact;
+    result.frequent = counts[0] >= config_.min_support;
+    cache_.Insert(itemset, counts[0]);
+  }
+  if (obs::MetricsEnabled()) {
+    uint64_t us = static_cast<uint64_t>(timer.ElapsedSeconds() * 1e6);
+    OSSM_HISTOGRAM_RECORD("serve.query_us", us);
+    RecordTierLatency(result.tier, us);
+  }
+  return result;
+}
+
+StatusOr<std::vector<QueryResult>> QueryEngine::QueryBatch(
+    std::span<const Itemset> itemsets) {
+  OSSM_TRACE_SPAN("serve.query_batch");
+  WallTimer timer;
+  for (size_t i = 0; i < itemsets.size(); ++i) {
+    Status status = ValidateItemset(itemsets[i]);
+    if (!status.ok()) {
+      return Status::InvalidArgument("itemset " + std::to_string(i) + ": " +
+                                     status.message());
+    }
+  }
+  queries_.fetch_add(itemsets.size(), std::memory_order_relaxed);
+  OSSM_COUNTER_ADD("serve.queries", itemsets.size());
+
+  // Dedup to first occurrence; every duplicate replays its twin's answer.
+  std::vector<QueryResult> results(itemsets.size());
+  std::unordered_map<Itemset, size_t, ItemsetSpanHash> first_of;
+  first_of.reserve(itemsets.size());
+  std::vector<size_t> alias(itemsets.size());
+  std::vector<size_t> unique_order;
+  for (size_t i = 0; i < itemsets.size(); ++i) {
+    auto [it, inserted] = first_of.emplace(itemsets[i], i);
+    alias[i] = it->second;
+    if (inserted) unique_order.push_back(i);
+  }
+
+  // Tiers 1-2 per unique itemset; survivors share one exact sweep.
+  std::vector<Itemset> needed;
+  std::vector<size_t> needed_owner;  // index of the unique query it answers
+  for (size_t i : unique_order) {
+    if (!TryAnswerWithoutScan(itemsets[i], &results[i])) {
+      needed.push_back(itemsets[i]);
+      needed_owner.push_back(i);
+    }
+  }
+  if (!needed.empty()) {
+    std::vector<uint64_t> counts = ExactCounts(needed);
+    for (size_t q = 0; q < needed.size(); ++q) {
+      QueryResult& result = results[needed_owner[q]];
+      result.support = counts[q];
+      result.tier = QueryTier::kExact;
+      result.frequent = counts[q] >= config_.min_support;
+      cache_.Insert(needed[q], counts[q]);
+    }
+  }
+  for (size_t i = 0; i < itemsets.size(); ++i) {
+    if (alias[i] != i) results[i] = results[alias[i]];
+  }
+
+  if (obs::MetricsEnabled()) {
+    OSSM_HISTOGRAM_RECORD("serve.batch_queries", itemsets.size());
+    OSSM_HISTOGRAM_RECORD("serve.batch_exact", needed.size());
+    OSSM_HISTOGRAM_RECORD(
+        "serve.batch_us",
+        static_cast<uint64_t>(timer.ElapsedSeconds() * 1e6));
+  }
+  return results;
+}
+
+void QueryEngine::WithMapExclusive(
+    const std::function<void(SegmentSupportMap&)>& fn) {
+  OSSM_CHECK(map_ != nullptr) << "WithMapExclusive requires an attached map";
+  std::unique_lock<std::shared_mutex> lock(map_mu_);
+  fn(*map_);
+}
+
+uint32_t QueryEngine::map_segments() const {
+  if (map_ == nullptr) return 0;
+  std::shared_lock<std::shared_mutex> lock(map_mu_);
+  return map_->num_segments();
+}
+
+EngineStats QueryEngine::Stats() const {
+  EngineStats stats;
+  stats.queries = queries_.load(std::memory_order_relaxed);
+  stats.bound_rejects = bound_rejects_.load(std::memory_order_relaxed);
+  stats.singleton_hits = singleton_hits_.load(std::memory_order_relaxed);
+  stats.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  stats.exact_counts = exact_counts_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace serve
+}  // namespace ossm

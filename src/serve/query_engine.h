@@ -1,0 +1,144 @@
+#ifndef OSSM_SERVE_QUERY_ENGINE_H_
+#define OSSM_SERVE_QUERY_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <shared_mutex>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/segment_support_map.h"
+#include "data/item.h"
+#include "data/transaction_database.h"
+#include "serve/support_cache.h"
+
+namespace ossm {
+namespace serve {
+
+// Which tier of the serving path produced an answer.
+enum class QueryTier : uint8_t {
+  kBoundReject,  // OSSM screen: sup_hat(X) < minsup; support holds the bound
+  kSingleton,    // exact singleton support read off the map's row totals
+  kCacheHit,     // exact support replayed from the sharded LRU cache
+  kExact,        // exact support from a CSR scan fanned over the thread pool
+};
+std::string_view QueryTierName(QueryTier tier);
+
+struct QueryResult {
+  // Exact support, except for kBoundReject where it is the equation-(1)
+  // upper bound (the exact support is <= this and < minsup).
+  uint64_t support = 0;
+  QueryTier tier = QueryTier::kExact;
+  bool frequent = false;  // support >= minsup; always false for rejects
+};
+
+// Monotonic per-engine tallies, readable without OSSM_METRICS (the TCP
+// STATS verb and the bench harness report them).
+struct EngineStats {
+  uint64_t queries = 0;
+  uint64_t bound_rejects = 0;
+  uint64_t singleton_hits = 0;
+  uint64_t cache_hits = 0;
+  uint64_t exact_counts = 0;
+};
+
+struct QueryEngineConfig {
+  // Absolute minimum support the bound screen rejects against. Callers
+  // serving a fraction convert with `fraction * db.num_transactions()`.
+  uint64_t min_support = 1;
+  uint64_t cache_capacity = 1 << 16;  // entries
+  uint32_t cache_shards = 16;
+};
+
+// Answers itemset-support queries against an immutable TransactionDatabase,
+// optionally screened by an OSSM. The three-tier path, cheapest first:
+//
+//   1. bound screen — when a map is attached and sup_hat(X) < minsup the
+//      query is rejected without touching the collection (the admission
+//      role the OSSM plays inside Apriori/DHP, now per query);
+//   2. cache — exact supports of previously-counted itemsets replay from
+//      the sharded LRU (singletons answer from the map's exact row totals
+//      without entering the cache at all);
+//   3. exact — a CSR containment scan over the database, fanned across the
+//      parallel::ThreadPool in deterministic shards, so a batch costs one
+//      sweep of the collection regardless of batch size.
+//
+// Consistency contract: the database is immutable and exact answers are
+// always computed against it. The attached map may be *appended to* while
+// the engine serves (an OssmUpdater folding new pages in) — all query-path
+// map reads take `map_mu_` shared, and writers must go through
+// WithMapExclusive. Appends only ever increase per-segment counts, so
+// sup_hat only grows and a reject issued under any interleaving remains
+// sound for the served snapshot. Singleton answers track the map, so they
+// match the database exactly only while the map describes exactly this
+// database (the common case: a map built from it and not yet appended to).
+class QueryEngine {
+ public:
+  // `map` may be null (no bound screen, no singleton fast path). Both
+  // pointers must outlive the engine.
+  QueryEngine(const TransactionDatabase* db, SegmentSupportMap* map,
+              const QueryEngineConfig& config);
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  // Answers one itemset. The itemset must be strictly increasing and every
+  // item in [0, num_items); otherwise kInvalidArgument.
+  StatusOr<QueryResult> Query(std::span<const ItemId> itemset);
+
+  // Answers a batch in one pass: identical itemsets are deduplicated, the
+  // survivors of tiers 1-2 share a single parallel CSR sweep, and results
+  // come back in input order. Results are bit-identical to issuing the
+  // queries one at a time (for any OSSM_THREADS).
+  StatusOr<std::vector<QueryResult>> QueryBatch(
+      std::span<const Itemset> itemsets);
+
+  // Runs `fn` with the attached map locked exclusively against the query
+  // path — the single-writer hook through which an OssmUpdater appends
+  // pages while the engine keeps serving. Must not be called re-entrantly
+  // from a query. No-op guard: requires a map to be attached.
+  void WithMapExclusive(const std::function<void(SegmentSupportMap&)>& fn);
+
+  // Checks the query contract (non-empty, strictly increasing, in-domain)
+  // without answering. The batcher rejects malformed submissions up front
+  // with this so one bad query can never fail a whole batch.
+  Status ValidateItemset(std::span<const ItemId> itemset) const;
+
+  uint64_t min_support() const { return config_.min_support; }
+  const TransactionDatabase& db() const { return *db_; }
+  bool has_map() const { return map_ != nullptr; }
+  // Segment count of the attached map; 0 without one. Takes the shared
+  // lock, so it is safe against a concurrent WithMapExclusive.
+  uint32_t map_segments() const;
+  const SupportCache& cache() const { return cache_; }
+
+  EngineStats Stats() const;
+
+ private:
+  // Tier 1+2 for one itemset. Returns true when answered; otherwise the
+  // caller owes an exact count.
+  bool TryAnswerWithoutScan(std::span<const ItemId> itemset,
+                            QueryResult* result);
+  // One deterministic pool-sharded sweep counting every itemset in `needed`.
+  std::vector<uint64_t> ExactCounts(const std::vector<Itemset>& needed);
+
+  const TransactionDatabase* db_;
+  SegmentSupportMap* map_;
+  QueryEngineConfig config_;
+  SupportCache cache_;
+  mutable std::shared_mutex map_mu_;
+
+  std::atomic<uint64_t> queries_{0};
+  std::atomic<uint64_t> bound_rejects_{0};
+  std::atomic<uint64_t> singleton_hits_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> exact_counts_{0};
+};
+
+}  // namespace serve
+}  // namespace ossm
+
+#endif  // OSSM_SERVE_QUERY_ENGINE_H_

@@ -1,0 +1,382 @@
+// Linux epoll implementation of the TCP front-end. Everything here runs on
+// the single event-loop thread except the batcher completion callbacks,
+// which only fill their own Slot (release-store) and kick the eventfd.
+
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "obs/obs.h"
+#include "serve/protocol.h"
+
+namespace ossm {
+namespace serve {
+
+namespace {
+
+constexpr int kListenBacklog = 128;
+
+void BestEffortWrite(int fd, std::string_view text) {
+  ssize_t ignored = ::write(fd, text.data(), text.size());
+  (void)ignored;
+}
+
+}  // namespace
+
+SupportServer::SupportServer(QueryEngine* engine, Batcher* batcher,
+                             const ServerConfig& config)
+    : engine_(engine), batcher_(batcher), config_(config) {
+  OSSM_CHECK(engine_ != nullptr);
+  OSSM_CHECK(batcher_ != nullptr);
+}
+
+SupportServer::~SupportServer() {
+  Shutdown();
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+}
+
+Status SupportServer::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  if (listen_fd_ < 0) {
+    return Status::IOError("socket: " + std::string(std::strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    return Status::InvalidArgument("bad bind address " +
+                                   config_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Status::IOError("bind " + config_.bind_address + ":" +
+                           std::to_string(config_.port) + ": " +
+                           std::strerror(errno));
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) != 0) {
+    return Status::IOError("getsockname: " +
+                           std::string(std::strerror(errno)));
+  }
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, kListenBacklog) != 0) {
+    return Status::IOError("listen: " + std::string(std::strerror(errno)));
+  }
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    return Status::IOError("epoll/eventfd setup failed");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.fd = wake_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  loop_ = std::thread([this] { EventLoop(); });
+  return Status::OK();
+}
+
+void SupportServer::Shutdown() {
+  std::call_once(shutdown_once_, [this] {
+    shutting_down_.store(true, std::memory_order_release);
+    if (wake_fd_ >= 0) {
+      uint64_t kick = 1;
+      BestEffortWrite(wake_fd_, std::string_view(
+          reinterpret_cast<const char*>(&kick), sizeof(kick)));
+    }
+    if (loop_.joinable()) loop_.join();
+  });
+}
+
+bool SupportServer::Drained() const {
+  for (const auto& [fd, conn] : connections_) {
+    if (!conn->outbuf.empty()) return false;
+    for (const auto& slot : conn->slots) {
+      if (!slot->done.load(std::memory_order_acquire)) return false;
+    }
+  }
+  return true;
+}
+
+void SupportServer::EventLoop() {
+  auto drain_deadline = std::chrono::steady_clock::time_point::max();
+  epoll_event events[64];
+  for (;;) {
+    bool draining = shutting_down_.load(std::memory_order_acquire);
+    if (draining &&
+        drain_deadline == std::chrono::steady_clock::time_point::max()) {
+      // First pass after the shutdown kick: stop accepting.
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+      drain_deadline = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(config_.drain_timeout_ms);
+    }
+    if (draining) {
+      // Flush whatever completed, then leave once everything is out the
+      // door (or the drain window expires).
+      std::vector<int> dead;
+      for (auto& [fd, conn] : connections_) {
+        if (!FlushConnection(*conn)) dead.push_back(fd);
+      }
+      for (int fd : dead) CloseConnection(fd);
+      if (Drained() || std::chrono::steady_clock::now() >= drain_deadline) {
+        break;
+      }
+    }
+
+    int timeout_ms = draining ? 20 : -1;
+    int n = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    std::vector<int> dead;
+    for (int i = 0; i < n; ++i) {
+      int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        uint64_t drained = 0;
+        ssize_t ignored = ::read(wake_fd_, &drained, sizeof(drained));
+        (void)ignored;
+        continue;
+      }
+      if (fd == listen_fd_) {
+        if (!draining) AcceptNew();
+        continue;
+      }
+      auto it = connections_.find(fd);
+      if (it == connections_.end()) continue;
+      Connection& conn = *it->second;
+      if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+        dead.push_back(fd);
+        continue;
+      }
+      if (!draining && (events[i].events & EPOLLIN)) {
+        HandleReadable(conn);
+      }
+      // EPOLLOUT (and any completion) is handled by the flush pass below.
+    }
+    for (int fd : dead) CloseConnection(fd);
+    dead.clear();
+    // Completion callbacks only kick the eventfd; responses are collected
+    // here so every wake flushes whatever became ready, on any connection.
+    for (auto& [fd, conn] : connections_) {
+      if (!FlushConnection(*conn)) dead.push_back(fd);
+    }
+    for (int fd : dead) CloseConnection(fd);
+  }
+
+  for (auto& [fd, conn] : connections_) {
+    (void)conn;
+    ::close(fd);
+  }
+  connections_.clear();
+  ::close(epoll_fd_);
+  epoll_fd_ = -1;
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void SupportServer::AcceptNew() {
+  for (;;) {
+    int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN or transient error: wait for next event
+    if (connections_.size() >= config_.max_connections) {
+      BestEffortWrite(fd, "ERR server at connection limit\n");
+      ::close(fd);
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    connections_.emplace(fd, std::move(conn));
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    OSSM_COUNTER_INC("serve.server.connections");
+  }
+}
+
+void SupportServer::HandleReadable(Connection& conn) {
+  char buffer[4096];
+  for (;;) {
+    ssize_t n = ::read(conn.fd, buffer, sizeof(buffer));
+    if (n > 0) {
+      conn.inbuf.append(buffer, static_cast<size_t>(n));
+      DispatchLines(conn);
+      if (conn.close_after_flush) return;
+      // The per-connection line limit: a partial line this long can only
+      // be a runaway or hostile client.
+      if (conn.inbuf.size() > config_.max_line_bytes) {
+        auto slot = std::make_shared<Slot>();
+        slot->text = FormatError(Status::InvalidArgument(
+            "request line exceeds " +
+            std::to_string(config_.max_line_bytes) + " bytes"));
+        slot->done.store(true, std::memory_order_release);
+        conn.slots.push_back(std::move(slot));
+        conn.close_after_flush = true;
+        OSSM_COUNTER_INC("serve.server.protocol_errors");
+        return;
+      }
+      continue;
+    }
+    if (n == 0) {
+      // Client half-closed; anything already admitted still gets its
+      // answer before we drop the connection.
+      conn.close_after_flush = true;
+      return;
+    }
+    return;  // EAGAIN (or a transient error): try again on the next event
+  }
+}
+
+void SupportServer::DispatchLines(Connection& conn) {
+  size_t start = 0;
+  for (;;) {
+    size_t newline = conn.inbuf.find('\n', start);
+    if (newline == std::string::npos) break;
+    std::string_view line(conn.inbuf.data() + start, newline - start);
+    start = newline + 1;
+    OSSM_COUNTER_INC("serve.server.requests");
+
+    StatusOr<Request> request =
+        ParseRequest(line, config_.max_items_per_query);
+    auto slot = std::make_shared<Slot>();
+    if (!request.ok()) {
+      slot->text = FormatError(request.status());
+      slot->done.store(true, std::memory_order_release);
+      conn.slots.push_back(std::move(slot));
+      OSSM_COUNTER_INC("serve.server.protocol_errors");
+      continue;
+    }
+    switch (request->kind) {
+      case RequestKind::kPing:
+        slot->text = "PONG";
+        slot->done.store(true, std::memory_order_release);
+        conn.slots.push_back(std::move(slot));
+        break;
+      case RequestKind::kInfo:
+        slot->text = InfoLine();
+        slot->done.store(true, std::memory_order_release);
+        conn.slots.push_back(std::move(slot));
+        break;
+      case RequestKind::kStats:
+        slot->text = StatsLine();
+        slot->done.store(true, std::memory_order_release);
+        conn.slots.push_back(std::move(slot));
+        break;
+      case RequestKind::kQuit:
+        slot->text = "BYE";
+        slot->done.store(true, std::memory_order_release);
+        conn.slots.push_back(std::move(slot));
+        conn.close_after_flush = true;
+        conn.inbuf.erase(0, start);
+        return;
+      case RequestKind::kQuery: {
+        conn.slots.push_back(slot);
+        int wake_fd = wake_fd_;
+        Status admitted = batcher_->SubmitAsync(
+            std::move(request->itemset),
+            [slot, wake_fd](const StatusOr<QueryResult>& result) {
+              slot->text = result.ok() ? FormatResult(*result)
+                                       : FormatError(result.status());
+              slot->done.store(true, std::memory_order_release);
+              uint64_t kick = 1;
+              ssize_t ignored = ::write(wake_fd, &kick, sizeof(kick));
+              (void)ignored;
+            });
+        if (!admitted.ok()) {
+          // Backpressure (kResourceExhausted) or a malformed itemset that
+          // survived parsing: answer inline, connection stays up.
+          slot->text = FormatError(admitted);
+          slot->done.store(true, std::memory_order_release);
+        }
+        break;
+      }
+    }
+  }
+  conn.inbuf.erase(0, start);
+}
+
+bool SupportServer::FlushConnection(Connection& conn) {
+  while (!conn.slots.empty() &&
+         conn.slots.front()->done.load(std::memory_order_acquire)) {
+    conn.outbuf += conn.slots.front()->text;
+    conn.outbuf += '\n';
+    conn.slots.pop_front();
+  }
+  while (!conn.outbuf.empty()) {
+    ssize_t n = ::write(conn.fd, conn.outbuf.data(), conn.outbuf.size());
+    if (n > 0) {
+      conn.outbuf.erase(0, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    return false;  // peer vanished mid-write
+  }
+  bool need_write = !conn.outbuf.empty();
+  if (need_write != conn.want_write) {
+    epoll_event ev{};
+    ev.events = need_write ? (EPOLLIN | EPOLLOUT) : EPOLLIN;
+    ev.data.fd = conn.fd;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+    conn.want_write = need_write;
+  }
+  if (conn.close_after_flush && conn.outbuf.empty() && conn.slots.empty()) {
+    return false;
+  }
+  return true;
+}
+
+void SupportServer::CloseConnection(int fd) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+  connections_.erase(it);
+}
+
+std::string SupportServer::InfoLine() const {
+  return "INFO items=" + std::to_string(engine_->db().num_items()) +
+         " transactions=" + std::to_string(engine_->db().num_transactions()) +
+         " minsup=" + std::to_string(engine_->min_support()) +
+         " segments=" + std::to_string(engine_->map_segments());
+}
+
+std::string SupportServer::StatsLine() const {
+  EngineStats stats = engine_->Stats();
+  return "STATS queries=" + std::to_string(stats.queries) +
+         " bound_rejects=" + std::to_string(stats.bound_rejects) +
+         " singleton_hits=" + std::to_string(stats.singleton_hits) +
+         " cache_hits=" + std::to_string(stats.cache_hits) +
+         " exact_counts=" + std::to_string(stats.exact_counts) +
+         " cache_size=" + std::to_string(engine_->cache().size()) +
+         " batches=" + std::to_string(batcher_->batches_dispatched()) +
+         " coalesced=" + std::to_string(batcher_->queries_coalesced()) +
+         " backpressure=" + std::to_string(batcher_->backpressure_rejects());
+}
+
+}  // namespace serve
+}  // namespace ossm

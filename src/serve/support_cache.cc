@@ -1,0 +1,131 @@
+#include "serve/support_cache.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ossm {
+namespace serve {
+
+namespace {
+
+uint32_t RoundUpPow2(uint32_t v) {
+  uint32_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+bool SameItems(std::span<const ItemId> a, const std::vector<ItemId>& b) {
+  return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+}
+
+}  // namespace
+
+uint64_t HashItemset(std::span<const ItemId> itemset) {
+  uint64_t hash = 14695981039346656037ULL;
+  for (ItemId item : itemset) {
+    for (int shift = 0; shift < 32; shift += 8) {
+      hash ^= (item >> shift) & 0xFF;
+      hash *= 1099511628211ULL;
+    }
+  }
+  return hash;
+}
+
+SupportCache::SupportCache(uint64_t capacity, uint32_t num_shards) {
+  capacity_ = std::max<uint64_t>(capacity, 1);
+  uint32_t shards = RoundUpPow2(std::max<uint32_t>(num_shards, 1));
+  while (shards > 1 && shards > capacity_) shards >>= 1;
+  shard_mask_ = shards - 1;
+  shards_.reserve(shards);
+  for (uint32_t s = 0; s < shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+    // Distribute the budget so the shard capacities sum to capacity_.
+    shards_.back()->capacity = capacity_ / shards + (s < capacity_ % shards);
+  }
+}
+
+bool SupportCache::Lookup(std::span<const ItemId> itemset, uint64_t* support) {
+  OSSM_DCHECK(support != nullptr);
+  uint64_t hash = HashItemset(itemset);
+  Shard& shard = ShardFor(hash);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto [begin, end] = shard.index.equal_range(hash);
+  for (auto it = begin; it != end; ++it) {
+    if (SameItems(itemset, it->second->items)) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      *support = it->second->support;
+      ++shard.hits;
+      return true;
+    }
+  }
+  ++shard.misses;
+  return false;
+}
+
+void SupportCache::Insert(std::span<const ItemId> itemset, uint64_t support) {
+  uint64_t hash = HashItemset(itemset);
+  Shard& shard = ShardFor(hash);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto [begin, end] = shard.index.equal_range(hash);
+  for (auto it = begin; it != end; ++it) {
+    if (SameItems(itemset, it->second->items)) {
+      it->second->support = support;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return;
+    }
+  }
+  if (shard.lru.size() >= shard.capacity && !shard.lru.empty()) {
+    const Entry& victim = shard.lru.back();
+    uint64_t victim_hash = HashItemset(victim.items);
+    auto [vb, ve] = shard.index.equal_range(victim_hash);
+    for (auto it = vb; it != ve; ++it) {
+      if (it->second == std::prev(shard.lru.end())) {
+        shard.index.erase(it);
+        break;
+      }
+    }
+    shard.lru.pop_back();
+  }
+  shard.lru.push_front(
+      Entry{std::vector<ItemId>(itemset.begin(), itemset.end()), support});
+  shard.index.emplace(hash, shard.lru.begin());
+}
+
+void SupportCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->index.clear();
+  }
+}
+
+uint64_t SupportCache::size() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->lru.size();
+  }
+  return total;
+}
+
+uint64_t SupportCache::hits() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->hits;
+  }
+  return total;
+}
+
+uint64_t SupportCache::misses() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->misses;
+  }
+  return total;
+}
+
+}  // namespace serve
+}  // namespace ossm

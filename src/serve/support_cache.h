@@ -1,0 +1,89 @@
+#ifndef OSSM_SERVE_SUPPORT_CACHE_H_
+#define OSSM_SERVE_SUPPORT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "data/item.h"
+
+namespace ossm {
+namespace serve {
+
+// A sharded LRU map from canonical (sorted, duplicate-free) itemsets to
+// their exact supports — the middle tier of the serving path. Repeated
+// queries for the same itemset are a fact of life in online serving (the
+// head of the query distribution is short), and a hit here turns a full
+// CSR scan into a hash probe.
+//
+// Sharding: an itemset hashes to one of `num_shards` independent LRU
+// structures, each behind its own mutex, so concurrent front-end threads
+// do not serialize on one lock. Capacity is split evenly across shards and
+// eviction is per shard; the worst-case resident count is therefore
+// `capacity`, reached only when the hash spreads perfectly.
+class SupportCache {
+ public:
+  // `capacity` is the total entry budget (>= 1); `num_shards` is rounded up
+  // to a power of two and clamped to [1, capacity].
+  SupportCache(uint64_t capacity, uint32_t num_shards);
+
+  SupportCache(const SupportCache&) = delete;
+  SupportCache& operator=(const SupportCache&) = delete;
+
+  // Looks `itemset` up; on a hit refreshes its recency and writes the
+  // support through `*support`.
+  bool Lookup(std::span<const ItemId> itemset, uint64_t* support);
+
+  // Inserts (or refreshes) an itemset's support, evicting the shard's
+  // least-recently-used entry when the shard is full.
+  void Insert(std::span<const ItemId> itemset, uint64_t support);
+
+  // Drops every entry (all shards). Used when the serving snapshot changes.
+  void Clear();
+
+  uint64_t size() const;      // resident entries, summed over shards
+  uint64_t capacity() const { return capacity_; }
+  uint32_t num_shards() const { return static_cast<uint32_t>(shards_.size()); }
+
+  // Monotonic hit/miss tallies, kept here (not in the metrics registry) so
+  // the serving stats endpoint works even with OSSM_METRICS unset.
+  uint64_t hits() const;
+  uint64_t misses() const;
+
+ private:
+  struct Entry {
+    std::vector<ItemId> items;
+    uint64_t support = 0;
+  };
+  struct Shard {
+    std::mutex mu;
+    // Most-recent at the front; eviction pops from the back.
+    std::list<Entry> lru;
+    // Heterogeneous key: hash of the itemset -> iterators; collisions are
+    // resolved by comparing the stored items.
+    std::unordered_multimap<uint64_t, std::list<Entry>::iterator> index;
+    uint64_t capacity = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+  };
+
+  Shard& ShardFor(uint64_t hash) {
+    return *shards_[hash & shard_mask_];
+  }
+
+  uint64_t capacity_;
+  uint64_t shard_mask_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+// FNV-1a over the itemset's bytes; shared with the engine's batch dedup.
+uint64_t HashItemset(std::span<const ItemId> itemset);
+
+}  // namespace serve
+}  // namespace ossm
+
+#endif  // OSSM_SERVE_SUPPORT_CACHE_H_

@@ -1,0 +1,223 @@
+#include "serve/batcher.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <vector>
+
+#include "core/ossm_builder.h"
+#include "datagen/quest_generator.h"
+
+namespace ossm {
+namespace serve {
+namespace {
+
+struct Fixture {
+  TransactionDatabase db;
+  SegmentSupportMap map;
+};
+
+Fixture MakeFixture() {
+  QuestConfig config;
+  config.num_items = 40;
+  config.num_transactions = 1500;
+  config.avg_transaction_size = 5;
+  config.num_patterns = 10;
+  config.seed = 3;
+  StatusOr<TransactionDatabase> db = GenerateQuest(config);
+  OSSM_CHECK(db.ok());
+  OssmBuildOptions options;
+  options.algorithm = SegmentationAlgorithm::kRandom;
+  options.target_segments = 8;
+  options.transactions_per_page = 100;
+  StatusOr<OssmBuildResult> build = BuildOssm(*db, options);
+  OSSM_CHECK(build.ok());
+  return Fixture{std::move(*db), std::move(build->map)};
+}
+
+uint64_t OracleSupport(const TransactionDatabase& db,
+                       const Itemset& itemset) {
+  uint64_t support = 0;
+  for (uint64_t t = 0; t < db.num_transactions(); ++t) {
+    if (db.Contains(t, itemset)) ++support;
+  }
+  return support;
+}
+
+// A pair that actually co-occurs, so a minsup-1 engine cannot bound-reject
+// it and must take the exact tier.
+Itemset CooccurringPair(const TransactionDatabase& db) {
+  for (uint64_t t = 0; t < db.num_transactions(); ++t) {
+    std::span<const ItemId> txn = db.transaction(t);
+    if (txn.size() >= 2) return {txn[0], txn[1]};
+  }
+  OSSM_CHECK(false) << "fixture has no transaction with two items";
+  return {};
+}
+
+TEST(BatcherTest, SubmitResolvesWithTheExactAnswer) {
+  Fixture fx = MakeFixture();
+  QueryEngineConfig engine_config;
+  engine_config.min_support = 1;
+  QueryEngine engine(&fx.db, &fx.map, engine_config);
+  Batcher batcher(&engine, BatcherConfig{});
+  Itemset pair = {2, 9};
+  std::future<StatusOr<QueryResult>> future = batcher.Submit(pair);
+  StatusOr<QueryResult> result = future.get();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->support, OracleSupport(fx.db, pair));
+}
+
+TEST(BatcherTest, FullBatchDispatchesAsOneWave) {
+  Fixture fx = MakeFixture();
+  QueryEngineConfig engine_config;
+  engine_config.min_support = 1;
+  QueryEngine engine(&fx.db, &fx.map, engine_config);
+  BatcherConfig config;
+  config.max_batch = 8;
+  config.max_delay_us = 60'000'000;  // only batch-full can trigger dispatch
+  Batcher batcher(&engine, config);
+
+  std::vector<std::future<StatusOr<QueryResult>>> futures;
+  for (ItemId a = 0; a < 8; ++a) {
+    futures.push_back(
+        batcher.Submit(Itemset{a, static_cast<ItemId>(a + 10)}));
+  }
+  for (auto& future : futures) {
+    ASSERT_TRUE(future.get().ok());
+  }
+  EXPECT_EQ(batcher.batches_dispatched(), 1u);
+}
+
+TEST(BatcherTest, MaxBatchCapsEachWave) {
+  Fixture fx = MakeFixture();
+  QueryEngine engine(&fx.db, &fx.map, QueryEngineConfig{});
+  BatcherConfig config;
+  config.max_batch = 2;
+  config.max_delay_us = 500;
+  Batcher batcher(&engine, config);
+  std::vector<std::future<StatusOr<QueryResult>>> futures;
+  for (ItemId a = 0; a < 6; ++a) {
+    futures.push_back(batcher.Submit(Itemset{a}));
+  }
+  for (auto& future : futures) {
+    ASSERT_TRUE(future.get().ok());
+  }
+  EXPECT_GE(batcher.batches_dispatched(), 3u);
+}
+
+TEST(BatcherTest, DuplicateSubmissionsCoalesceToOneExactCount) {
+  Fixture fx = MakeFixture();
+  QueryEngineConfig engine_config;
+  engine_config.min_support = 1;
+  QueryEngine engine(&fx.db, &fx.map, engine_config);
+  BatcherConfig config;
+  config.max_batch = 8;
+  config.max_delay_us = 60'000'000;
+  Batcher batcher(&engine, config);
+
+  Itemset pair = CooccurringPair(fx.db);
+  std::vector<std::future<StatusOr<QueryResult>>> futures;
+  for (int i = 0; i < 8; ++i) futures.push_back(batcher.Submit(pair));
+  uint64_t expected = OracleSupport(fx.db, pair);
+  for (auto& future : futures) {
+    StatusOr<QueryResult> result = future.get();
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->support, expected);
+  }
+  // Eight submissions, one engine slot: seven coalesced, one exact scan.
+  EXPECT_EQ(batcher.queries_coalesced(), 7u);
+  EXPECT_EQ(engine.Stats().exact_counts, 1u);
+}
+
+TEST(BatcherTest, MalformedItemsetRejectedAtAdmission) {
+  Fixture fx = MakeFixture();
+  QueryEngine engine(&fx.db, &fx.map, QueryEngineConfig{});
+  Batcher batcher(&engine, BatcherConfig{});
+  std::atomic<bool> callback_ran{false};
+  Status admitted = batcher.SubmitAsync(
+      Itemset{9, 2},  // unsorted
+      [&callback_ran](const StatusOr<QueryResult>&) {
+        callback_ran.store(true);
+      });
+  EXPECT_EQ(admitted.code(), StatusCode::kInvalidArgument);
+  batcher.Shutdown();
+  EXPECT_FALSE(callback_ran.load());
+}
+
+TEST(BatcherTest, BackpressureRejectsWhenQueueIsFull) {
+  Fixture fx = MakeFixture();
+  QueryEngineConfig engine_config;
+  engine_config.min_support = 1;
+  QueryEngine engine(&fx.db, &fx.map, engine_config);
+  BatcherConfig config;
+  config.max_batch = 1;
+  config.max_delay_us = 0;
+  config.max_queue = 1;
+  Batcher batcher(&engine, config);
+
+  // Stall the dispatch thread inside the first wave's callback so further
+  // submissions pile up deterministically.
+  std::promise<void> entered;
+  std::promise<void> release;
+  std::future<void> release_future = release.get_future();
+  ASSERT_TRUE(batcher
+                  .SubmitAsync(Itemset{1},
+                               [&](const StatusOr<QueryResult>&) {
+                                 entered.set_value();
+                                 release_future.wait();
+                               })
+                  .ok());
+  entered.get_future().wait();
+
+  // Dispatcher is blocked: the first submit fills the queue (size 1), the
+  // second hits the wall.
+  ASSERT_TRUE(batcher.SubmitAsync(Itemset{2},
+                                  [](const StatusOr<QueryResult>&) {})
+                  .ok());
+  Status overflow = batcher.SubmitAsync(
+      Itemset{3}, [](const StatusOr<QueryResult>&) {});
+  EXPECT_EQ(overflow.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(batcher.backpressure_rejects(), 1u);
+
+  release.set_value();
+  batcher.Shutdown();
+}
+
+TEST(BatcherTest, ShutdownDrainsAcceptedWork) {
+  Fixture fx = MakeFixture();
+  QueryEngineConfig engine_config;
+  engine_config.min_support = 1;
+  QueryEngine engine(&fx.db, &fx.map, engine_config);
+  BatcherConfig config;
+  config.max_batch = 64;
+  config.max_delay_us = 60'000'000;  // the window never times out on its own
+  Batcher batcher(&engine, config);
+  std::vector<std::future<StatusOr<QueryResult>>> futures;
+  for (ItemId a = 0; a < 5; ++a) {
+    futures.push_back(batcher.Submit(Itemset{a}));
+  }
+  batcher.Shutdown();  // must close the window and drain, not hang
+  for (auto& future : futures) {
+    ASSERT_EQ(future.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_TRUE(future.get().ok());
+  }
+}
+
+TEST(BatcherTest, SubmitAfterShutdownIsFailedPrecondition) {
+  Fixture fx = MakeFixture();
+  QueryEngine engine(&fx.db, &fx.map, QueryEngineConfig{});
+  Batcher batcher(&engine, BatcherConfig{});
+  batcher.Shutdown();
+  std::future<StatusOr<QueryResult>> future = batcher.Submit(Itemset{1});
+  StatusOr<QueryResult> result = future.get();
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+  batcher.Shutdown();  // idempotent
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace ossm

@@ -160,6 +160,46 @@ TEST(BenchCompareTest, PoolCountersAreNeutralAndNeverGate) {
   EXPECT_FALSE(comparison.ShouldFail(true));
 }
 
+TEST(BenchCompareTest, CacheHitCounterIsHigherIsBetter) {
+  EXPECT_EQ(DirectionForCounter("serve.cache_hits"),
+            MetricDirection::kHigherIsBetter);
+  RunReport baseline = BaseReport();
+  baseline.metrics.counters = {{"serve.cache_hits", 1000}};
+  RunReport candidate = BaseReport();
+  candidate.metrics.counters = {{"serve.cache_hits", 500}};  // fewer hits
+  ReportComparison comparison =
+      CompareReports(baseline, candidate, CompareOptions());
+  EXPECT_EQ(FindRow(comparison, "counter.serve.cache_hits")->verdict,
+            MetricVerdict::kRegression);
+}
+
+TEST(BenchCompareTest, ServingValueDirectionHeuristics) {
+  EXPECT_EQ(DirectionForValue("serve_qps"),
+            MetricDirection::kHigherIsBetter);
+  EXPECT_EQ(DirectionForValue("cache_hit_ratio"),
+            MetricDirection::kHigherIsBetter);
+
+  // A qps drop is a regression even though the raw number fell.
+  RunReport baseline = BaseReport();
+  baseline.AddValue("serve_qps", 100000.0);
+  RunReport candidate = BaseReport();
+  candidate.AddValue("serve_qps", 50000.0);
+  ReportComparison comparison =
+      CompareReports(baseline, candidate, CompareOptions());
+  EXPECT_EQ(FindRow(comparison, "value.serve_qps")->verdict,
+            MetricVerdict::kRegression);
+
+  // And a hit-ratio gain is an improvement.
+  RunReport base2 = BaseReport();
+  base2.AddValue("cache_hit_ratio", 0.50);
+  RunReport cand2 = BaseReport();
+  cand2.AddValue("cache_hit_ratio", 0.80);
+  ReportComparison comparison2 =
+      CompareReports(base2, cand2, CompareOptions());
+  EXPECT_EQ(FindRow(comparison2, "value.cache_hit_ratio")->verdict,
+            MetricVerdict::kImprovement);
+}
+
 TEST(BenchCompareTest, ValueDirectionHeuristics) {
   EXPECT_EQ(DirectionForValue("speedup.t4"),
             MetricDirection::kHigherIsBetter);

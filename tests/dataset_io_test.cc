@@ -70,6 +70,71 @@ TEST(DatasetIoTest, TextLoadRejectsGarbage) {
             StatusCode::kCorruption);
 }
 
+TEST(DatasetIoTest, TextLoadAcceptsCrlfLineEndings) {
+  std::string path = TempPath("crlf.txt");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "1 2 3\r\n4 5\r\n";
+  }
+  StatusOr<TransactionDatabase> loaded = DatasetIo::LoadText(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->num_transactions(), 2u);
+  EXPECT_EQ(loaded->transaction(0).size(), 3u);
+  EXPECT_EQ(loaded->transaction(1).size(), 2u);
+  EXPECT_EQ(loaded->transaction(1)[1], 5u);
+}
+
+TEST(DatasetIoTest, TextLoadAcceptsTrailingWhitespace) {
+  std::string path = TempPath("trailing.txt");
+  {
+    std::ofstream out(path);
+    out << "1 2 \n3\t4\t\n  7  \n";
+  }
+  StatusOr<TransactionDatabase> loaded = DatasetIo::LoadText(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->num_transactions(), 3u);
+  EXPECT_EQ(loaded->transaction(0).size(), 2u);
+  EXPECT_EQ(loaded->transaction(1).size(), 2u);
+  ASSERT_EQ(loaded->transaction(2).size(), 1u);
+  EXPECT_EQ(loaded->transaction(2)[0], 7u);
+}
+
+TEST(DatasetIoTest, TextParseErrorsCarryOneBasedLineNumbers) {
+  std::string path = TempPath("badline.txt");
+  {
+    std::ofstream out(path);
+    out << "1 2\n3 4\n5 x 6\n";
+  }
+  Status status = DatasetIo::LoadText(path).status();
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+  EXPECT_NE(status.message().find("line 3"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(DatasetIoTest, TextOverflowErrorNamesItsLine) {
+  std::string path = TempPath("overflow.txt");
+  {
+    std::ofstream out(path);
+    out << "1\n99999999999\n";  // > 2^32 on line 2
+  }
+  Status status = DatasetIo::LoadText(path).status();
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+  EXPECT_NE(status.message().find("line 2"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(DatasetIoTest, TextErrorOnFinalUnterminatedLineIsNumbered) {
+  std::string path = TempPath("nonewline.txt");
+  {
+    std::ofstream out(path);
+    out << "1 2\n3 oops";  // no trailing newline on the bad line
+  }
+  Status status = DatasetIo::LoadText(path).status();
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+  EXPECT_NE(status.message().find("line 2"), std::string::npos)
+      << status.ToString();
+}
+
 TEST(DatasetIoTest, TextLoadMissingFileIsIOError) {
   EXPECT_EQ(DatasetIo::LoadText("/nonexistent/nope.txt").status().code(),
             StatusCode::kIOError);

@@ -82,7 +82,61 @@ TEST(OssmIoTest, DetectsTruncation) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
   out.close();
-  EXPECT_EQ(OssmIo::Load(path).status().code(), StatusCode::kCorruption);
+  // Truncation after a valid magic is a malformed input, not bit rot.
+  EXPECT_EQ(OssmIo::Load(path).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(OssmIoTest, TruncationAtEveryPrefixNeverLoads) {
+  SegmentSupportMap map = SampleMap();
+  std::string path = TempPath("prefix.ossm");
+  ASSERT_TRUE(OssmIo::Save(map, path).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(len));
+    out.close();
+    StatusOr<SegmentSupportMap> loaded = OssmIo::Load(path);
+    ASSERT_FALSE(loaded.ok()) << "prefix of " << len << " bytes loaded";
+    EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument)
+        << "prefix of " << len << " bytes: " << loaded.status().ToString();
+  }
+}
+
+TEST(OssmIoTest, RejectsRetiredV1Format) {
+  std::string path = TempPath("v1.ossm");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "OSSMSM1\n";
+    uint64_t header[2] = {4, 3};
+    out.write(reinterpret_cast<const char*>(header), sizeof(header));
+  }
+  Status status = OssmIo::Load(path).status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("v1"), std::string::npos);
+}
+
+TEST(OssmIoTest, RejectsForeignEndianFiles) {
+  SegmentSupportMap map = SampleMap();
+  std::string path = TempPath("endian.ossm");
+  ASSERT_TRUE(OssmIo::Save(map, path).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  // Byte-swap the endianness mark in place, as a foreign-endian writer
+  // would have laid it down.
+  std::swap(bytes[8], bytes[11]);
+  std::swap(bytes[9], bytes[10]);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.close();
+  Status status = OssmIo::Load(path).status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("endian"), std::string::npos);
 }
 
 TEST(OssmIoTest, DetectsBitFlip) {
@@ -110,7 +164,10 @@ TEST(OssmIoTest, RejectsZeroSegments) {
   std::string path = TempPath("zeroseg.ossm");
   {
     std::ofstream out(path, std::ios::binary);
-    out << "OSSMSM1\n";
+    out << "OSSMSM2\n";
+    uint32_t endian_mark = 0x4F53534DU;
+    out.write(reinterpret_cast<const char*>(&endian_mark),
+              sizeof(endian_mark));
     uint64_t header[2] = {4, 0};
     out.write(reinterpret_cast<const char*>(header), sizeof(header));
     uint64_t checksum = 0;

@@ -1,0 +1,140 @@
+// Concurrency contract test (and TSan target): an OssmUpdater folding new
+// pages into the served map through QueryEngine::WithMapExclusive while
+// reader threads query. The engine's shared_mutex must keep this data-race
+// free, and the answers must honor the contract pinned on OssmUpdater:
+//   - exact/cache answers always match the immutable database;
+//   - bound-rejects stay sound (bound < minsup and >= the exact support),
+//     because appends only ever grow sup_hat;
+//   - singleton answers track the map, so they are >= the database oracle
+//     once appends land.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/ossm_builder.h"
+#include "core/ossm_updater.h"
+#include "datagen/quest_generator.h"
+#include "serve/query_engine.h"
+
+namespace ossm {
+namespace serve {
+namespace {
+
+TEST(OssmUpdaterRaceTest, ConcurrentAppendsAndQueriesHonorTheContract) {
+  QuestConfig config;
+  config.num_items = 48;
+  config.num_transactions = 1200;
+  config.avg_transaction_size = 5;
+  config.num_patterns = 10;
+  config.seed = 17;
+  StatusOr<TransactionDatabase> db = GenerateQuest(config);
+  ASSERT_TRUE(db.ok());
+  OssmBuildOptions options;
+  options.algorithm = SegmentationAlgorithm::kRandomGreedy;
+  options.target_segments = 12;
+  options.transactions_per_page = 100;
+  StatusOr<OssmBuildResult> build = BuildOssm(*db, options);
+  ASSERT_TRUE(build.ok());
+  SegmentSupportMap map = std::move(build->map);
+  const uint32_t segments_before = map.num_segments();
+
+  QueryEngineConfig engine_config;
+  engine_config.min_support = 80;
+  engine_config.cache_capacity = 128;  // small: force eviction traffic too
+  QueryEngine engine(&*db, &map, engine_config);
+
+  // Precompute the oracle for every itemset the readers will ask about.
+  std::vector<Itemset> queries;
+  for (ItemId a = 0; a < 48; a += 3) {
+    queries.push_back({a});
+    queries.push_back({a, static_cast<ItemId>((a + 13) % 48 < a
+                                                  ? a + 1
+                                                  : (a + 13))});
+  }
+  for (Itemset& q : queries) {
+    std::sort(q.begin(), q.end());
+    q.erase(std::unique(q.begin(), q.end()), q.end());
+  }
+  std::vector<uint64_t> oracle(queries.size(), 0);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    for (uint64_t t = 0; t < db->num_transactions(); ++t) {
+      if (db->Contains(t, queries[i])) ++oracle[i];
+    }
+  }
+
+  constexpr int kAppends = 60;
+  constexpr int kReaders = 4;
+  constexpr int kReadsPerReader = 400;
+
+  // The incoming page: a deterministic count vector over the item domain,
+  // as PageLayout would produce for newly appended transactions.
+  std::vector<uint64_t> page_counts(db->num_items(), 0);
+  for (uint32_t i = 0; i < db->num_items(); ++i) {
+    page_counts[i] = (i * 7 + 3) % 11;
+  }
+
+  std::atomic<bool> writer_failed{false};
+  std::thread writer([&] {
+    OssmUpdater updater(&map);
+    for (int round = 0; round < kAppends; ++round) {
+      engine.WithMapExclusive([&](SegmentSupportMap& locked_map) {
+        (void)locked_map;  // same object the updater mutates
+        StatusOr<uint32_t> segment = updater.AppendPage(
+            page_counts, round % 2 == 0 ? AppendPolicy::kRoundRobin
+                                        : AppendPolicy::kClosestFit);
+        if (!segment.ok()) writer_failed.store(true);
+      });
+    }
+  });
+
+  std::atomic<uint64_t> mismatches{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      for (int round = 0; round < kReadsPerReader; ++round) {
+        size_t pick = static_cast<size_t>(r + round * 13) % queries.size();
+        StatusOr<QueryResult> result = engine.Query(queries[pick]);
+        if (!result.ok()) {
+          mismatches.fetch_add(1);
+          continue;
+        }
+        switch (result->tier) {
+          case QueryTier::kExact:
+          case QueryTier::kCacheHit:
+            // The exact tiers read only the immutable database (and the
+            // cache of its scans): always the oracle answer.
+            if (result->support != oracle[pick]) mismatches.fetch_add(1);
+            break;
+          case QueryTier::kSingleton:
+            // Tracks the map; appends only add to it.
+            if (result->support < oracle[pick]) mismatches.fetch_add(1);
+            break;
+          case QueryTier::kBoundReject:
+            // Sound iff below minsup while still bounding the database.
+            if (result->support >= engine.min_support() ||
+                result->support < oracle[pick]) {
+              mismatches.fetch_add(1);
+            }
+            break;
+        }
+      }
+    });
+  }
+
+  writer.join();
+  for (std::thread& reader : readers) reader.join();
+
+  EXPECT_FALSE(writer_failed.load());
+  EXPECT_EQ(mismatches.load(), 0u);
+  // Appending never changes the segment count, and the engine still serves.
+  EXPECT_EQ(engine.map_segments(), segments_before);
+  EXPECT_TRUE(engine.Query(queries[0]).ok());
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace ossm

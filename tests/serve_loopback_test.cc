@@ -1,0 +1,257 @@
+// In-process loopback test of the full serving stack: TCP front-end ->
+// batcher -> engine, answers checked bit-for-bit against a straight scan of
+// the database, at 1 and 4 pool threads.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/ossm_builder.h"
+#include "datagen/quest_generator.h"
+#include "parallel/thread_pool.h"
+#include "serve/batcher.h"
+#include "serve/query_engine.h"
+#include "serve/server.h"
+
+namespace ossm {
+namespace serve {
+namespace {
+
+struct Fixture {
+  TransactionDatabase db;
+  SegmentSupportMap map;
+};
+
+Fixture MakeFixture() {
+  QuestConfig config;
+  config.num_items = 60;
+  config.num_transactions = 2500;
+  config.avg_transaction_size = 6;
+  config.num_patterns = 15;
+  config.seed = 29;
+  StatusOr<TransactionDatabase> db = GenerateQuest(config);
+  OSSM_CHECK(db.ok());
+  OssmBuildOptions options;
+  options.algorithm = SegmentationAlgorithm::kRandomGreedy;
+  options.target_segments = 20;
+  options.transactions_per_page = 125;
+  StatusOr<OssmBuildResult> build = BuildOssm(*db, options);
+  OSSM_CHECK(build.ok());
+  return Fixture{std::move(*db), std::move(build->map)};
+}
+
+uint64_t OracleSupport(const TransactionDatabase& db,
+                       const Itemset& itemset) {
+  uint64_t support = 0;
+  for (uint64_t t = 0; t < db.num_transactions(); ++t) {
+    if (db.Contains(t, itemset)) ++support;
+  }
+  return support;
+}
+
+int ConnectLoopback(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::write(fd, data.data() + sent, data.size() - sent);
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+// Reads until `count` newline-terminated lines have arrived (or EOF).
+std::vector<std::string> ReadLines(int fd, size_t count) {
+  std::vector<std::string> lines;
+  std::string buffer;
+  char chunk[4096];
+  while (lines.size() < count) {
+    ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t start = 0;
+    for (;;) {
+      size_t newline = buffer.find('\n', start);
+      if (newline == std::string::npos) break;
+      lines.push_back(buffer.substr(start, newline - start));
+      start = newline + 1;
+    }
+    buffer.erase(0, start);
+  }
+  return lines;
+}
+
+// One full client round against a fresh serving stack: pipelined mixed
+// queries (rejects, singletons, repeats for the cache, errors), every
+// answer checked against the oracle.
+void RunLoopbackRound(uint32_t pool_threads) {
+  SCOPED_TRACE("pool_threads=" + std::to_string(pool_threads));
+  parallel::SetDefaultThreadCount(pool_threads);
+  Fixture fx = MakeFixture();
+  const uint64_t minsup = fx.db.num_transactions() / 20;  // 5%
+
+  QueryEngineConfig engine_config;
+  engine_config.min_support = minsup;
+  QueryEngine engine(&fx.db, &fx.map, engine_config);
+  BatcherConfig batcher_config;
+  batcher_config.max_batch = 16;
+  batcher_config.max_delay_us = 200;
+  Batcher batcher(&engine, batcher_config);
+  ServerConfig server_config;
+  server_config.port = 0;
+  SupportServer server(&engine, &batcher, server_config);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_NE(server.port(), 0);
+
+  struct Expectation {
+    std::string line;
+    Itemset itemset;  // empty: expect ERR
+  };
+  std::vector<Expectation> expectations;
+  for (ItemId a = 0; a < 40; ++a) {
+    expectations.push_back({"Q " + std::to_string(a), {a}});
+    Itemset pair = {a, static_cast<ItemId>(a + 17)};
+    expectations.push_back(
+        {"Q " + std::to_string(a) + " " + std::to_string(a + 17), pair});
+  }
+  // Repeats: the second occurrence may come from the cache; the answer
+  // must not change.
+  expectations.push_back({"Q 3 20", {3, 20}});
+  expectations.push_back({"Q 3 20", {3, 20}});
+  // Errors: out-of-domain item and a non-numeric token.
+  expectations.push_back({"Q 5000", {}});
+  expectations.push_back({"Q 1 banana", {}});
+
+  std::string payload = "PING\n";
+  for (const Expectation& e : expectations) payload += e.line + "\n";
+  payload += "STATS\nQUIT\n";
+
+  int fd = ConnectLoopback(server.port());
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(SendAll(fd, payload));
+  std::vector<std::string> lines = ReadLines(fd, expectations.size() + 3);
+  ::close(fd);
+  ASSERT_EQ(lines.size(), expectations.size() + 3);
+
+  EXPECT_EQ(lines.front(), "PONG");
+  EXPECT_EQ(lines.back(), "BYE");
+  EXPECT_EQ(lines[lines.size() - 2].rfind("STATS ", 0), 0u);
+
+  for (size_t i = 0; i < expectations.size(); ++i) {
+    const Expectation& e = expectations[i];
+    const std::string& response = lines[i + 1];
+    if (e.itemset.empty()) {
+      EXPECT_EQ(response.rfind("ERR", 0), 0u) << e.line << " -> " << response;
+      continue;
+    }
+    uint64_t exact = OracleSupport(fx.db, e.itemset);
+    if (response.rfind("OK ", 0) == 0) {
+      EXPECT_EQ(std::stoull(response.substr(3)), exact)
+          << e.line << " -> " << response;
+    } else if (response.rfind("RJ ", 0) == 0) {
+      uint64_t bound = std::stoull(response.substr(3));
+      EXPECT_LT(bound, minsup) << e.line << " -> " << response;
+      EXPECT_LE(exact, bound) << e.line << " -> " << response;
+    } else {
+      ADD_FAILURE() << e.line << " -> unexpected " << response;
+    }
+  }
+
+  server.Shutdown();
+  batcher.Shutdown();
+  // After shutdown the port no longer accepts.
+  int refused = ConnectLoopback(server.port());
+  if (refused >= 0) ::close(refused);
+  EXPECT_LT(refused, 0);
+}
+
+TEST(ServeLoopbackTest, AnswersMatchOracleSingleThreaded) {
+  RunLoopbackRound(1);
+  parallel::SetDefaultThreadCount(parallel::DefaultThreadCount());
+}
+
+TEST(ServeLoopbackTest, AnswersMatchOracleFourThreads) {
+  RunLoopbackRound(4);
+  parallel::SetDefaultThreadCount(parallel::DefaultThreadCount());
+}
+
+TEST(ServeLoopbackTest, TwoConnectionsAreIndependent) {
+  Fixture fx = MakeFixture();
+  QueryEngineConfig engine_config;
+  engine_config.min_support = 1;
+  QueryEngine engine(&fx.db, &fx.map, engine_config);
+  Batcher batcher(&engine, BatcherConfig{});
+  ServerConfig server_config;
+  server_config.port = 0;
+  SupportServer server(&engine, &batcher, server_config);
+  ASSERT_TRUE(server.Start().ok());
+
+  int a = ConnectLoopback(server.port());
+  int b = ConnectLoopback(server.port());
+  ASSERT_GE(a, 0);
+  ASSERT_GE(b, 0);
+  ASSERT_TRUE(SendAll(a, "Q 1 2\nQUIT\n"));
+  ASSERT_TRUE(SendAll(b, "PING\nQUIT\n"));
+  std::vector<std::string> from_a = ReadLines(a, 2);
+  std::vector<std::string> from_b = ReadLines(b, 2);
+  ::close(a);
+  ::close(b);
+  ASSERT_EQ(from_a.size(), 2u);
+  ASSERT_EQ(from_b.size(), 2u);
+  // {1,2} may or may not clear the bound screen; either way it's answered.
+  EXPECT_TRUE(from_a[0].rfind("OK ", 0) == 0 ||
+              from_a[0].rfind("RJ ", 0) == 0)
+      << from_a[0];
+  EXPECT_EQ(from_b[0], "PONG");
+  EXPECT_GE(server.connections_accepted(), 2u);
+  server.Shutdown();
+  batcher.Shutdown();
+}
+
+TEST(ServeLoopbackTest, OversizedRequestLineClosesConnection) {
+  Fixture fx = MakeFixture();
+  QueryEngine engine(&fx.db, &fx.map, QueryEngineConfig{});
+  Batcher batcher(&engine, BatcherConfig{});
+  ServerConfig server_config;
+  server_config.port = 0;
+  server_config.max_line_bytes = 64;
+  SupportServer server(&engine, &batcher, server_config);
+  ASSERT_TRUE(server.Start().ok());
+
+  int fd = ConnectLoopback(server.port());
+  ASSERT_GE(fd, 0);
+  std::string runaway(1024, '1');  // no newline in sight
+  ASSERT_TRUE(SendAll(fd, runaway));
+  std::vector<std::string> lines = ReadLines(fd, 1);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].rfind("ERR", 0), 0u);
+  // The server hangs up after the error: the next read sees EOF.
+  char byte = 0;
+  EXPECT_EQ(::read(fd, &byte, 1), 0);
+  ::close(fd);
+  server.Shutdown();
+  batcher.Shutdown();
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace ossm

@@ -1,0 +1,89 @@
+#include "serve/protocol.h"
+
+#include <gtest/gtest.h>
+
+namespace ossm {
+namespace serve {
+namespace {
+
+TEST(ServeProtocolTest, ParsesQueryAndCanonicalizes) {
+  StatusOr<Request> request = ParseRequest("Q 5 1 3 1", 0);
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+  EXPECT_EQ(request->kind, RequestKind::kQuery);
+  EXPECT_EQ(request->itemset, (Itemset{1, 3, 5}));
+}
+
+TEST(ServeProtocolTest, ParsesControlVerbs) {
+  EXPECT_EQ(ParseRequest("PING", 0)->kind, RequestKind::kPing);
+  EXPECT_EQ(ParseRequest("INFO", 0)->kind, RequestKind::kInfo);
+  EXPECT_EQ(ParseRequest("STATS", 0)->kind, RequestKind::kStats);
+  EXPECT_EQ(ParseRequest("QUIT", 0)->kind, RequestKind::kQuit);
+}
+
+TEST(ServeProtocolTest, ToleratesCrlfAndExtraWhitespace) {
+  StatusOr<Request> request = ParseRequest("Q  2\t7   9 \r", 0);
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->itemset, (Itemset{2, 7, 9}));
+  EXPECT_EQ(ParseRequest("PING\r", 0)->kind, RequestKind::kPing);
+}
+
+TEST(ServeProtocolTest, RejectsMalformedRequests) {
+  EXPECT_EQ(ParseRequest("", 0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseRequest("   ", 0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseRequest("FETCH 1", 0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseRequest("Q", 0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseRequest("Q 1 banana", 0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseRequest("Q -3", 0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseRequest("PING now", 0).status().code(),
+            StatusCode::kInvalidArgument);
+  // 2^32 does not fit an ItemId.
+  EXPECT_EQ(ParseRequest("Q 4294967296", 0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ServeProtocolTest, EnforcesMaxItemsAfterDedup) {
+  // Duplicates collapse before the limit applies.
+  EXPECT_TRUE(ParseRequest("Q 1 1 1 1 2", 2).ok());
+  EXPECT_EQ(ParseRequest("Q 1 2 3", 2).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ServeProtocolTest, FormatsEachResponseKind) {
+  QueryResult exact;
+  exact.support = 123;
+  exact.tier = QueryTier::kExact;
+  EXPECT_EQ(FormatResult(exact), "OK 123 exact");
+
+  QueryResult cached;
+  cached.support = 9;
+  cached.tier = QueryTier::kCacheHit;
+  EXPECT_EQ(FormatResult(cached), "OK 9 cache");
+
+  QueryResult singleton;
+  singleton.support = 77;
+  singleton.tier = QueryTier::kSingleton;
+  EXPECT_EQ(FormatResult(singleton), "OK 77 singleton");
+
+  QueryResult reject;
+  reject.support = 4;  // the bound
+  reject.tier = QueryTier::kBoundReject;
+  EXPECT_EQ(FormatResult(reject), "RJ 4");
+}
+
+TEST(ServeProtocolTest, ErrorLinesNeverContainNewlines) {
+  std::string line =
+      FormatError(Status::InvalidArgument("bad\nmultiline\rmessage"));
+  EXPECT_EQ(line.rfind("ERR ", 0), 0u);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  EXPECT_EQ(line.find('\r'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace ossm

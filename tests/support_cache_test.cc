@@ -1,0 +1,140 @@
+#include "serve/support_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace ossm {
+namespace serve {
+namespace {
+
+Itemset Items(std::initializer_list<ItemId> items) { return Itemset(items); }
+
+TEST(SupportCacheTest, InsertThenLookupRoundTrips) {
+  SupportCache cache(16, 4);
+  cache.Insert(Items({1, 2, 3}), 42);
+  uint64_t support = 0;
+  EXPECT_TRUE(cache.Lookup(Items({1, 2, 3}), &support));
+  EXPECT_EQ(support, 42u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(SupportCacheTest, MissLeavesOutputUntouched) {
+  SupportCache cache(16, 4);
+  uint64_t support = 7;
+  EXPECT_FALSE(cache.Lookup(Items({9}), &support));
+  EXPECT_EQ(support, 7u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(SupportCacheTest, InsertRefreshesExistingEntry) {
+  SupportCache cache(16, 1);
+  cache.Insert(Items({5}), 10);
+  cache.Insert(Items({5}), 11);
+  uint64_t support = 0;
+  EXPECT_TRUE(cache.Lookup(Items({5}), &support));
+  EXPECT_EQ(support, 11u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(SupportCacheTest, EvictsLeastRecentlyUsedPerShard) {
+  SupportCache cache(3, 1);  // one shard, room for three
+  cache.Insert(Items({1}), 1);
+  cache.Insert(Items({2}), 2);
+  cache.Insert(Items({3}), 3);
+  // Touch {1} so {2} becomes the LRU victim.
+  uint64_t support = 0;
+  ASSERT_TRUE(cache.Lookup(Items({1}), &support));
+  cache.Insert(Items({4}), 4);
+  EXPECT_FALSE(cache.Lookup(Items({2}), &support));
+  EXPECT_TRUE(cache.Lookup(Items({1}), &support));
+  EXPECT_TRUE(cache.Lookup(Items({3}), &support));
+  EXPECT_TRUE(cache.Lookup(Items({4}), &support));
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(SupportCacheTest, ShardCountRoundsUpToPowerOfTwo) {
+  SupportCache cache(64, 3);
+  EXPECT_EQ(cache.num_shards(), 4u);
+  SupportCache one(64, 0);
+  EXPECT_EQ(one.num_shards(), 1u);
+}
+
+TEST(SupportCacheTest, ShardCountClampedByCapacity) {
+  SupportCache cache(2, 16);  // cannot give 16 shards a slot each
+  EXPECT_LE(cache.num_shards(), 2u);
+  cache.Insert(Items({1}), 1);
+  cache.Insert(Items({2}), 2);
+  uint64_t support = 0;
+  EXPECT_TRUE(cache.Lookup(Items({1}), &support) ||
+              cache.Lookup(Items({2}), &support));
+}
+
+TEST(SupportCacheTest, ClearDropsEverything) {
+  SupportCache cache(16, 4);
+  for (ItemId i = 0; i < 10; ++i) cache.Insert(Items({i}), i);
+  EXPECT_GT(cache.size(), 0u);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  uint64_t support = 0;
+  EXPECT_FALSE(cache.Lookup(Items({3}), &support));
+}
+
+TEST(SupportCacheTest, PrefixItemsetsDoNotAlias) {
+  // {1} vs {1,2} vs {1,2,3}: hashing must distinguish lengths.
+  SupportCache cache(16, 1);
+  cache.Insert(Items({1}), 100);
+  cache.Insert(Items({1, 2}), 200);
+  cache.Insert(Items({1, 2, 3}), 300);
+  uint64_t support = 0;
+  ASSERT_TRUE(cache.Lookup(Items({1}), &support));
+  EXPECT_EQ(support, 100u);
+  ASSERT_TRUE(cache.Lookup(Items({1, 2}), &support));
+  EXPECT_EQ(support, 200u);
+  ASSERT_TRUE(cache.Lookup(Items({1, 2, 3}), &support));
+  EXPECT_EQ(support, 300u);
+}
+
+TEST(SupportCacheTest, ManyDistinctItemsetsAllRetrievable) {
+  // One shard so nothing can evict below the total capacity: this test is
+  // about hash-collision resolution, not shard balance.
+  SupportCache cache(1024, 1);
+  for (ItemId i = 0; i < 500; ++i) {
+    cache.Insert(Items({i, static_cast<ItemId>(i + 1000)}), i * 3);
+  }
+  for (ItemId i = 0; i < 500; ++i) {
+    uint64_t support = 0;
+    ASSERT_TRUE(cache.Lookup(Items({i, static_cast<ItemId>(i + 1000)}),
+                             &support))
+        << "itemset " << i;
+    EXPECT_EQ(support, i * 3u);
+  }
+}
+
+// Hammer the cache from several threads; correctness here is "TSan-clean
+// and every hit returns the value some Insert wrote for that key".
+TEST(SupportCacheTest, ConcurrentMixedTrafficIsSafe) {
+  SupportCache cache(256, 4);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (uint32_t round = 0; round < 2000; ++round) {
+        ItemId a = (round * 7 + static_cast<uint32_t>(t)) % 64;
+        Itemset key = {a, a + 64};
+        cache.Insert(key, a);
+        uint64_t support = 0;
+        if (cache.Lookup(key, &support)) {
+          ASSERT_EQ(support, a);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(cache.hits() + cache.misses(), 4u * 2000u);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace ossm

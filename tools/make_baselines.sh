@@ -40,6 +40,12 @@ run ablation_generalized --transactions=8000 --items=250 --repeats=2
 run ablation_pagesize --transactions=8000 --items=300 --repeats=2
 run ablation_theory --transactions=4000
 
+# serve_throughput reports under the name "serve", so its baseline keeps
+# that filename (BENCH_serve.json) rather than the binary's.
+echo "== serve_throughput"
+"$build_abs/bench/serve_throughput" --transactions=8000 --items=300 \
+  --queries=20000 --report="$out_abs/BENCH_serve.json" > /dev/null
+
 # micro writes BENCH_parallel.json into the working directory. The filter
 # matches no google-benchmark case on purpose: the baseline captures the
 # thread-count sweep (which always runs), not the microbenchmark tables.

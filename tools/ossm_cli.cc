@@ -5,10 +5,21 @@
 //   ossm_cli mine    --data=FILE [--ossm=MAP] [--miner=...] [--threshold=F]
 //   ossm_cli rules   --data=FILE [--threshold=F --confidence=F]
 //   ossm_cli inspect --data=FILE | --ossm=MAP
+//   ossm_cli serve   --data=FILE [--ossm=MAP --threshold=F --port=N ...]
+//   ossm_cli query   --port=N [--host=ADDR --check-data=FILE]  (stdin)
 //
 // Datasets are FIMI text (one transaction per line) when the path ends in
 // .txt, binary otherwise. Run any subcommand with --help for its flags.
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -35,6 +46,10 @@
 #include "mining/dhp.h"
 #include "mining/fp_growth.h"
 #include "mining/partition.h"
+#include "serve/batcher.h"
+#include "serve/protocol.h"
+#include "serve/query_engine.h"
+#include "serve/server.h"
 
 namespace ossm {
 namespace {
@@ -458,10 +473,337 @@ int CmdInspect(const Args& args) {
   return 2;
 }
 
+// ---- serving ----
+
+int CmdServe(const Args& args) {
+  if (args.Has("help")) {
+    std::puts(
+        "serve --data=FILE [--ossm=MAP]\n"
+        "      --threshold=FRACTION   minsup fraction for the bound screen\n"
+        "      --bind=ADDR --port=N   0 picks an ephemeral port\n"
+        "      --port-file=FILE       write the bound port (for scripts)\n"
+        "      --max-batch=N --max-delay-us=N --max-queue=N\n"
+        "      --cache-capacity=N --shards=N\n"
+        "      --max-connections=N --max-items=N --drain-timeout-ms=N\n"
+        "SIGTERM/SIGINT drain in-flight queries, then exit 0.");
+    return 0;
+  }
+  StatusOr<TransactionDatabase> db = LoadDataset(args.GetRequired("data"));
+  if (!db.ok()) return Fail(db.status());
+
+  SegmentSupportMap map;
+  bool has_map = args.Has("ossm");
+  if (has_map) {
+    StatusOr<SegmentSupportMap> loaded = OssmIo::Load(args.Get("ossm", ""));
+    if (!loaded.ok()) return Fail(loaded.status());
+    map = std::move(*loaded);
+    if (map.num_items() != db->num_items()) {
+      return Fail(Status::InvalidArgument(
+          "OSSM item domain does not match the dataset"));
+    }
+  }
+
+  serve::QueryEngineConfig engine_config;
+  double threshold = args.GetDouble("threshold", 0.01);
+  engine_config.min_support = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(
+             threshold * static_cast<double>(db->num_transactions()))));
+  engine_config.cache_capacity = args.GetInt("cache-capacity", 1 << 16);
+  engine_config.cache_shards =
+      static_cast<uint32_t>(args.GetInt("shards", 16));
+  serve::QueryEngine engine(&*db, has_map ? &map : nullptr, engine_config);
+
+  serve::BatcherConfig batcher_config;
+  batcher_config.max_batch =
+      static_cast<uint32_t>(args.GetInt("max-batch", 64));
+  batcher_config.max_delay_us =
+      static_cast<uint32_t>(args.GetInt("max-delay-us", 1000));
+  batcher_config.max_queue =
+      static_cast<uint32_t>(args.GetInt("max-queue", 4096));
+  serve::Batcher batcher(&engine, batcher_config);
+
+  serve::ServerConfig server_config;
+  server_config.bind_address = args.Get("bind", "127.0.0.1");
+  server_config.port = static_cast<uint16_t>(args.GetInt("port", 0));
+  server_config.max_connections =
+      static_cast<uint32_t>(args.GetInt("max-connections", 256));
+  server_config.max_items_per_query =
+      static_cast<uint32_t>(args.GetInt("max-items", 256));
+  server_config.drain_timeout_ms =
+      static_cast<uint32_t>(args.GetInt("drain-timeout-ms", 5000));
+
+  // Block the stop signals before any thread exists so every thread
+  // inherits the mask and only the sigwait below ever sees them.
+  sigset_t stop_signals;
+  sigemptyset(&stop_signals);
+  sigaddset(&stop_signals, SIGTERM);
+  sigaddset(&stop_signals, SIGINT);
+  pthread_sigmask(SIG_BLOCK, &stop_signals, nullptr);
+
+  serve::SupportServer server(&engine, &batcher, server_config);
+  if (Status started = server.Start(); !started.ok()) return Fail(started);
+
+  if (args.Has("port-file")) {
+    FILE* f = std::fopen(args.Get("port-file", "").c_str(), "w");
+    if (f == nullptr) {
+      return Fail(Status::IOError("cannot write port file"));
+    }
+    std::fprintf(f, "%u\n", server.port());
+    std::fclose(f);
+  }
+  std::printf("serving %s on %s:%u (minsup %llu, %s)\n",
+              args.Get("data", "").c_str(),
+              server_config.bind_address.c_str(), server.port(),
+              static_cast<unsigned long long>(engine.min_support()),
+              has_map ? "OSSM screen on" : "no OSSM screen");
+  std::fflush(stdout);
+
+  int signal_number = 0;
+  sigwait(&stop_signals, &signal_number);
+  std::printf("received %s, draining\n",
+              signal_number == SIGTERM ? "SIGTERM" : "SIGINT");
+  std::fflush(stdout);
+  server.Shutdown();
+  batcher.Shutdown();
+
+  serve::EngineStats stats = engine.Stats();
+  std::printf(
+      "served %llu queries over %llu connections (%llu bound-rejected, "
+      "%llu singleton, %llu cache, %llu exact) in %llu batches\n",
+      static_cast<unsigned long long>(stats.queries),
+      static_cast<unsigned long long>(server.connections_accepted()),
+      static_cast<unsigned long long>(stats.bound_rejects),
+      static_cast<unsigned long long>(stats.singleton_hits),
+      static_cast<unsigned long long>(stats.cache_hits),
+      static_cast<unsigned long long>(stats.exact_counts),
+      static_cast<unsigned long long>(batcher.batches_dispatched()));
+  return 0;
+}
+
+// Blocking client-side helpers for `ossm_cli query`.
+
+bool WriteAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::write(fd, data.data() + sent, data.size() - sent);
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  bool ReadLine(std::string* line) {
+    for (;;) {
+      size_t newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        line->assign(buffer_, 0, newline);
+        if (!line->empty() && line->back() == '\r') line->pop_back();
+        buffer_.erase(0, newline + 1);
+        return true;
+      }
+      char chunk[4096];
+      ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+      if (n <= 0) return false;
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  int fd_;
+  std::string buffer_;
+};
+
+int ConnectTo(const std::string& host, uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+// Mirrors the server's canonicalization (sort + dedup) so the oracle counts
+// exactly what the server counted.
+Itemset ParseQueryLine(const std::string& line) {
+  Itemset items;
+  const char* p = line.c_str();
+  while (*p != '\0') {
+    while (*p == ' ' || *p == '\t') ++p;
+    if (*p == '\0') break;
+    char* end = nullptr;
+    unsigned long long value = std::strtoull(p, &end, 10);
+    if (end == p) return {};  // non-numeric token: let the server ERR it
+    items.push_back(static_cast<ItemId>(
+        value > 0xFFFFFFFFULL ? 0xFFFFFFFFULL : value));
+    p = end;
+  }
+  std::sort(items.begin(), items.end());
+  items.erase(std::unique(items.begin(), items.end()), items.end());
+  return items;
+}
+
+int CmdQuery(const Args& args) {
+  if (args.Has("help")) {
+    std::puts(
+        "query --port=N [--host=ADDR] [--check-data=FILE] [--quiet]\n"
+        "reads one itemset per line from stdin (FIMI style: '3 17 204'),\n"
+        "pipelines them to a running `ossm_cli serve`, and prints each\n"
+        "response. With --check-data, recounts every answer against the\n"
+        "dataset and exits 1 on any mismatch.");
+    return 0;
+  }
+  uint16_t port = static_cast<uint16_t>(args.GetInt("port", 0));
+  if (port == 0) {
+    std::fprintf(stderr, "query needs --port=N\n");
+    return 2;
+  }
+  std::string host = args.Get("host", "127.0.0.1");
+  bool quiet = args.Has("quiet");
+
+  std::vector<std::string> query_lines;
+  char buffer[1 << 16];
+  while (std::fgets(buffer, sizeof(buffer), stdin) != nullptr) {
+    std::string line(buffer);
+    while (!line.empty() &&
+           (line.back() == '\n' || line.back() == '\r')) {
+      line.pop_back();
+    }
+    if (line.find_first_not_of(" \t") != std::string::npos) {
+      query_lines.push_back(line);
+    }
+  }
+
+  TransactionDatabase oracle_db(0);
+  bool check = args.Has("check-data");
+  if (check) {
+    StatusOr<TransactionDatabase> loaded =
+        LoadDataset(args.Get("check-data", ""));
+    if (!loaded.ok()) return Fail(loaded.status());
+    oracle_db = std::move(*loaded);
+  }
+
+  int fd = ConnectTo(host, port);
+  if (fd < 0) {
+    std::fprintf(stderr, "cannot connect to %s:%u\n", host.c_str(), port);
+    return 1;
+  }
+  LineReader reader(fd);
+
+  // INFO first: the oracle needs the server's minsup to judge rejects.
+  std::string response;
+  uint64_t minsup = 0;
+  if (!WriteAll(fd, "INFO\n") || !reader.ReadLine(&response) ||
+      response.rfind("INFO ", 0) != 0) {
+    std::fprintf(stderr, "bad INFO handshake\n");
+    ::close(fd);
+    return 1;
+  }
+  size_t minsup_at = response.find("minsup=");
+  if (minsup_at != std::string::npos) {
+    minsup = std::strtoull(response.c_str() + minsup_at + 7, nullptr, 10);
+  }
+  if (!quiet) std::printf("%s\n", response.c_str());
+
+  std::string payload;
+  for (const std::string& line : query_lines) {
+    payload += "Q ";
+    payload += line;
+    payload += '\n';
+  }
+  payload += "QUIT\n";
+  if (!WriteAll(fd, payload)) {
+    std::fprintf(stderr, "write to server failed\n");
+    ::close(fd);
+    return 1;
+  }
+
+  uint64_t mismatches = 0;
+  uint64_t answered = 0;
+  for (const std::string& line : query_lines) {
+    if (!reader.ReadLine(&response)) {
+      std::fprintf(stderr, "server closed with %zu of %zu answers pending\n",
+                   query_lines.size() - answered, query_lines.size());
+      ::close(fd);
+      return 1;
+    }
+    ++answered;
+    if (!quiet) std::printf("%s -> %s\n", line.c_str(), response.c_str());
+
+    if (!check) continue;
+    Itemset itemset = ParseQueryLine(line);
+    bool valid = !itemset.empty() &&
+                 itemset.back() < oracle_db.num_items();
+    if (!valid) {
+      if (response.rfind("ERR", 0) != 0) {
+        std::fprintf(stderr, "MISMATCH '%s': expected ERR, got '%s'\n",
+                     line.c_str(), response.c_str());
+        ++mismatches;
+      }
+      continue;
+    }
+    uint64_t exact = 0;
+    for (uint64_t t = 0; t < oracle_db.num_transactions(); ++t) {
+      if (oracle_db.Contains(t, itemset)) ++exact;
+    }
+    if (response.rfind("OK ", 0) == 0) {
+      uint64_t support = std::strtoull(response.c_str() + 3, nullptr, 10);
+      if (support != exact) {
+        std::fprintf(stderr, "MISMATCH '%s': served %llu, exact %llu\n",
+                     line.c_str(), static_cast<unsigned long long>(support),
+                     static_cast<unsigned long long>(exact));
+        ++mismatches;
+      }
+    } else if (response.rfind("RJ ", 0) == 0) {
+      uint64_t bound = std::strtoull(response.c_str() + 3, nullptr, 10);
+      // A reject is correct iff the bound is below minsup and really
+      // bounds the exact support.
+      if (bound >= minsup || exact > bound) {
+        std::fprintf(stderr,
+                     "MISMATCH '%s': RJ bound %llu vs exact %llu "
+                     "(minsup %llu)\n",
+                     line.c_str(), static_cast<unsigned long long>(bound),
+                     static_cast<unsigned long long>(exact),
+                     static_cast<unsigned long long>(minsup));
+        ++mismatches;
+      }
+    } else {
+      std::fprintf(stderr, "MISMATCH '%s': unexpected '%s'\n", line.c_str(),
+                   response.c_str());
+      ++mismatches;
+    }
+  }
+  bool got_bye = reader.ReadLine(&response) && response == "BYE";
+  ::close(fd);
+  if (!got_bye) {
+    std::fprintf(stderr, "missing BYE after %zu answers\n",
+                 query_lines.size());
+    return 1;
+  }
+  if (check) {
+    std::printf("checked %zu queries against the oracle: %llu mismatches\n",
+                query_lines.size(),
+                static_cast<unsigned long long>(mismatches));
+    if (mismatches > 0) return 1;
+  }
+  return 0;
+}
+
 int Usage() {
   std::puts(
       "ossm_cli — segment support maps for frequency counting\n"
-      "usage: ossm_cli <gen|build|mine|rules|inspect> [--flags]\n"
+      "usage: ossm_cli <gen|build|mine|rules|inspect|serve|query> "
+      "[--flags]\n"
       "run a subcommand with --help for its flags\n"
       "\n"
       "example session:\n"
@@ -482,6 +824,8 @@ int Main(int argc, char** argv) {
   if (command == "mine") return CmdMine(args);
   if (command == "rules") return CmdRules(args);
   if (command == "inspect") return CmdInspect(args);
+  if (command == "serve") return CmdServe(args);
+  if (command == "query") return CmdQuery(args);
   return Usage();
 }
 
