@@ -1,0 +1,62 @@
+#ifndef OSSM_COMMON_ALIGNED_H_
+#define OSSM_COMMON_ALIGNED_H_
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+namespace ossm {
+
+// Minimal cache-line/vector-width aligned allocator. The kernel layer
+// (src/kernels/) promises correct results for any pointer alignment, but the
+// hot structures (SegmentSupportMap rows, bitmap index rows) allocate
+// through this so every row run starts on a 64-byte boundary: loads never
+// split cache lines and the first vector iteration is never a misaligned
+// straddle.
+template <typename T, std::size_t Alignment = 64>
+class AlignedAllocator {
+ public:
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two");
+  static_assert(Alignment >= alignof(T),
+                "Alignment must satisfy the type's natural alignment");
+
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    if (n == 0) return nullptr;
+    // std::aligned_alloc requires the size to be a multiple of the
+    // alignment; round up. The padding is allocator-internal — kernels
+    // handle tails scalar and never read past the logical end.
+    std::size_t bytes = n * sizeof(T);
+    bytes = (bytes + Alignment - 1) & ~(Alignment - 1);
+    void* p = std::aligned_alloc(Alignment, bytes);
+    if (p == nullptr) throw std::bad_alloc();
+    return static_cast<T*>(p);
+  }
+
+  void deallocate(T* p, std::size_t) noexcept { std::free(p); }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+};
+
+// The vector type the kernel-facing structures store their rows in.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace ossm
+
+#endif  // OSSM_COMMON_ALIGNED_H_

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/logging.h"
+#include "kernels/kernels.h"
 
 namespace ossm {
 
@@ -18,31 +20,42 @@ inline uint64_t PairLoss(uint64_t ax, uint64_t bx, uint64_t ay, uint64_t by) {
   return merged - kept;
 }
 
+// Dense pair loop over contiguous count runs. The merged row a[i]+b[i] is
+// precomputed once (it is re-read m times, once per pivot), then each pivot
+// folds its whole tail with one PairLossRow kernel call. The regrouping of
+// min(ax+bx, ay+by) - (min(ax,ay) + min(bx,by)) into three row reductions
+// is exact mod 2^64, so the result is bit-identical to the naive pair loop.
+uint64_t DensePairwiseOssub(const uint64_t* a, const uint64_t* b, size_t m) {
+  thread_local AlignedVector<uint64_t> merged;
+  merged.resize(m);
+  kernels::AddU64(a, b, merged.data(), m);
+  uint64_t total = 0;
+  for (size_t x = 0; x + 1 < m; ++x) {
+    total += kernels::PairLossRow(a[x], b[x], a + x + 1, b + x + 1,
+                                  merged.data() + x + 1, m - x - 1);
+  }
+  return total;
+}
+
 }  // namespace
 
 uint64_t PairwiseOssub(std::span<const uint64_t> a,
                        std::span<const uint64_t> b,
                        std::span<const ItemId> bubble) {
   OSSM_CHECK_EQ(a.size(), b.size());
-  uint64_t total = 0;
   if (bubble.empty()) {
-    size_t m = a.size();
-    for (size_t x = 0; x < m; ++x) {
-      uint64_t ax = a[x];
-      uint64_t bx = b[x];
-      for (size_t y = x + 1; y < m; ++y) {
-        total += PairLoss(ax, bx, a[y], b[y]);
-      }
-    }
-  } else {
-    for (size_t i = 0; i < bubble.size(); ++i) {
-      ItemId x = bubble[i];
-      uint64_t ax = a[x];
-      uint64_t bx = b[x];
-      for (size_t j = i + 1; j < bubble.size(); ++j) {
-        ItemId y = bubble[j];
-        total += PairLoss(ax, bx, a[y], b[y]);
-      }
+    return DensePairwiseOssub(a.data(), b.data(), a.size());
+  }
+  // Bubble lists are short by construction (Section 5.3), so the gathered
+  // pair loop stays scalar.
+  uint64_t total = 0;
+  for (size_t i = 0; i < bubble.size(); ++i) {
+    ItemId x = bubble[i];
+    uint64_t ax = a[x];
+    uint64_t bx = b[x];
+    for (size_t j = i + 1; j < bubble.size(); ++j) {
+      ItemId y = bubble[j];
+      total += PairLoss(ax, bx, a[y], b[y]);
     }
   }
   return total;
@@ -51,25 +64,22 @@ uint64_t PairwiseOssub(std::span<const uint64_t> a,
 uint64_t PairwiseOssub(const StridedCounts& a, std::span<const uint64_t> b,
                        std::span<const ItemId> bubble) {
   OSSM_CHECK_EQ(a.size, b.size());
-  uint64_t total = 0;
   if (bubble.empty()) {
-    size_t m = b.size();
-    for (size_t x = 0; x < m; ++x) {
-      uint64_t ax = a[x];
-      uint64_t bx = b[x];
-      for (size_t y = x + 1; y < m; ++y) {
-        total += PairLoss(ax, bx, a[y], b[y]);
-      }
-    }
-  } else {
-    for (size_t i = 0; i < bubble.size(); ++i) {
-      ItemId x = bubble[i];
-      uint64_t ax = a[x];
-      uint64_t bx = b[x];
-      for (size_t j = i + 1; j < bubble.size(); ++j) {
-        ItemId y = bubble[j];
-        total += PairLoss(ax, bx, a[y], b[y]);
-      }
+    // Pack the column once — O(m) against the O(m^2) pair work — so the
+    // dense path runs on contiguous memory instead of strided gathers.
+    thread_local AlignedVector<uint64_t> packed;
+    packed.resize(a.size);
+    for (size_t i = 0; i < a.size; ++i) packed[i] = a[i];
+    return DensePairwiseOssub(packed.data(), b.data(), a.size);
+  }
+  uint64_t total = 0;
+  for (size_t i = 0; i < bubble.size(); ++i) {
+    ItemId x = bubble[i];
+    uint64_t ax = a[x];
+    uint64_t bx = b[x];
+    for (size_t j = i + 1; j < bubble.size(); ++j) {
+      ItemId y = bubble[j];
+      total += PairLoss(ax, bx, a[y], b[y]);
     }
   }
   return total;

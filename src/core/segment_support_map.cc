@@ -4,19 +4,43 @@
 
 namespace ossm {
 
+namespace {
+
+// Tile edge for the segment-major -> item-major transpose in FromSegments.
+// 32x32 uint64 tiles (8 KB source + 8 KB destination working set) stay in
+// L1 while every destination row run is written contiguously.
+constexpr uint32_t kTransposeBlock = 32;
+
+}  // namespace
+
 SegmentSupportMap SegmentSupportMap::FromSegments(
     std::span<const Segment> segments) {
   OSSM_CHECK(!segments.empty());
   uint32_t num_items = segments[0].num_items();
+  uint32_t num_segments = static_cast<uint32_t>(segments.size());
   SegmentSupportMap map;
   map.num_items_ = num_items;
-  map.num_segments_ = static_cast<uint32_t>(segments.size());
-  map.data_.assign(static_cast<size_t>(num_items) * segments.size(), 0);
-  for (uint32_t s = 0; s < segments.size(); ++s) {
-    OSSM_CHECK_EQ(segments[s].num_items(), num_items);
-    for (uint32_t i = 0; i < num_items; ++i) {
-      map.data_[static_cast<size_t>(i) * map.num_segments_ + s] =
-          segments[s].counts[i];
+  map.num_segments_ = num_segments;
+  map.data_.assign(static_cast<size_t>(num_items) * num_segments, 0);
+  for (const Segment& segment : segments) {
+    OSSM_CHECK_EQ(segment.num_items(), num_items);
+  }
+  // Blocked transpose: the source is segment-major (segments[s].counts[i]),
+  // the destination item-major. Per tile, the inner loop writes a
+  // contiguous run of each item row while the source columns stay resident
+  // — unlike the old one-element-per-row strided scatter, which missed the
+  // destination cache line on every store for wide maps.
+  for (uint32_t i0 = 0; i0 < num_items; i0 += kTransposeBlock) {
+    uint32_t i1 = std::min(i0 + kTransposeBlock, num_items);
+    for (uint32_t s0 = 0; s0 < num_segments; s0 += kTransposeBlock) {
+      uint32_t s1 = std::min(s0 + kTransposeBlock, num_segments);
+      for (uint32_t i = i0; i < i1; ++i) {
+        uint64_t* row = map.data_.data() +
+                        static_cast<size_t>(i) * num_segments;
+        for (uint32_t s = s0; s < s1; ++s) {
+          row[s] = segments[s].counts[i];
+        }
+      }
     }
   }
   map.RecomputeTotals();
@@ -28,7 +52,7 @@ SegmentSupportMap SegmentSupportMap::SingleSegment(
   SegmentSupportMap map;
   map.num_items_ = static_cast<uint32_t>(item_supports.size());
   map.num_segments_ = 1;
-  map.data_ = std::move(item_supports);
+  map.data_.assign(item_supports.begin(), item_supports.end());
   map.RecomputeTotals();
   return map;
 }
@@ -36,10 +60,9 @@ SegmentSupportMap SegmentSupportMap::SingleSegment(
 void SegmentSupportMap::RecomputeTotals() {
   totals_.assign(num_items_, 0);
   for (uint32_t i = 0; i < num_items_; ++i) {
-    const uint64_t* row = data_.data() + static_cast<size_t>(i) * num_segments_;
-    uint64_t total = 0;
-    for (uint32_t s = 0; s < num_segments_; ++s) total += row[s];
-    totals_[i] = total;
+    totals_[i] = kernels::SumU64(
+        data_.data() + static_cast<size_t>(i) * num_segments_,
+        num_segments_);
   }
 }
 
@@ -68,20 +91,22 @@ uint64_t SegmentSupportMap::UpperBound(
   if (itemset.size() == 1) return Support(itemset[0]);
   if (itemset.size() == 2) return UpperBoundPair(itemset[0], itemset[1]);
 
+  // k-ary: min-accumulate the k item rows into a scratch row, then sum —
+  // every pass walks contiguous memory (the old form walked segment-outer
+  // with an item-strided inner loop). The scratch row is per-thread so
+  // pool-sharded miners can evaluate bounds concurrently.
+  thread_local AlignedVector<uint64_t> scratch;
+  scratch.resize(num_segments_);
   const uint64_t* first =
       data_.data() + static_cast<size_t>(itemset[0]) * num_segments_;
-  uint64_t bound = 0;
-  for (uint32_t s = 0; s < num_segments_; ++s) {
-    uint64_t min_count = first[s];
-    for (size_t k = 1; k < itemset.size(); ++k) {
-      uint64_t c =
-          data_[static_cast<size_t>(itemset[k]) * num_segments_ + s];
-      min_count = std::min(min_count, c);
-      if (min_count == 0) break;
-    }
-    bound += min_count;
+  std::copy(first, first + num_segments_, scratch.data());
+  for (size_t k = 1; k < itemset.size(); ++k) {
+    kernels::MinAccumulateU64(
+        scratch.data(),
+        data_.data() + static_cast<size_t>(itemset[k]) * num_segments_,
+        num_segments_);
   }
-  return bound;
+  return kernels::SumU64(scratch.data(), num_segments_);
 }
 
 }  // namespace ossm

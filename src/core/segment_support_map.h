@@ -5,9 +5,11 @@
 #include <span>
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/logging.h"
 #include "core/segment.h"
 #include "data/item.h"
+#include "kernels/kernels.h"
 
 namespace ossm {
 
@@ -24,7 +26,11 @@ namespace ossm {
 // Storage is item-major (one contiguous run of n segment counts per item) so
 // that equation (1) walks contiguous memory per item — the "direct
 // addressing" property the paper highlights: no item column is stored and no
-// searching happens.
+// searching happens. The count matrix and the totals are 64-byte aligned
+// (common/aligned.h) and the bound evaluations run through the dispatched
+// kernel layer: the pair bound is one MinSumU64 over the two rows, the
+// k-ary bound is row-run min-accumulation into a scratch row followed by
+// one sum — contiguous, vectorizable, and bit-identical at every ISA level.
 class SegmentSupportMap {
  public:
   // An empty map (0 items, 0 segments); assign from a factory result.
@@ -58,15 +64,15 @@ class SegmentSupportMap {
   // Equation (1) for an arbitrary non-empty sorted itemset.
   uint64_t UpperBound(std::span<const ItemId> itemset) const;
 
-  // Specialized two-item bound — the hot path of candidate-2 pruning.
+  // Specialized two-item bound — the hot path of candidate-2 pruning. One
+  // row-run min-sum kernel call over the two contiguous item rows.
   uint64_t UpperBoundPair(ItemId a, ItemId b) const {
-    const uint64_t* ra = data_.data() + a * num_segments_;
-    const uint64_t* rb = data_.data() + b * num_segments_;
-    uint64_t bound = 0;
-    for (uint32_t s = 0; s < num_segments_; ++s) {
-      bound += ra[s] < rb[s] ? ra[s] : rb[s];
-    }
-    return bound;
+    OSSM_DCHECK(a < num_items_);
+    OSSM_DCHECK(b < num_items_);
+    return kernels::MinSumU64(
+        data_.data() + static_cast<size_t>(a) * num_segments_,
+        data_.data() + static_cast<size_t>(b) * num_segments_,
+        num_segments_);
   }
 
   // Size of the count matrix — the paper's "0.2 megabytes for 100 segments
@@ -111,8 +117,10 @@ class SegmentSupportMap {
 
   uint32_t num_items_ = 0;
   uint32_t num_segments_ = 0;
-  std::vector<uint64_t> data_;    // item-major: data_[i * n + s]
-  std::vector<uint64_t> totals_;  // per-item exact supports
+  // 64-byte aligned for the kernel layer; layout stays item-major and
+  // unpadded, so OssmIo's on-disk payload is unchanged.
+  AlignedVector<uint64_t> data_;    // item-major: data_[i * n + s]
+  AlignedVector<uint64_t> totals_;  // per-item exact supports
 
   void RecomputeTotals();
 };

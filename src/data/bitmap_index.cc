@@ -1,0 +1,66 @@
+#include "data/bitmap_index.h"
+
+#include "kernels/kernels.h"
+
+namespace ossm {
+
+namespace {
+
+// Rows padded to a 64-byte (8-word) multiple so each row is cache-line
+// aligned given the 64-byte base alignment of the backing vector.
+constexpr uint32_t kRowWordAlign = 8;
+
+}  // namespace
+
+uint64_t BitmapIndex::FootprintBytesFor(uint32_t num_items,
+                                        uint64_t num_transactions) {
+  uint64_t words = (num_transactions + 63) / 64;
+  words = (words + kRowWordAlign - 1) / kRowWordAlign * kRowWordAlign;
+  return num_items * words * sizeof(uint64_t);
+}
+
+BitmapIndex BitmapIndex::Build(const TransactionDatabase& db) {
+  BitmapIndex index;
+  index.num_items_ = db.num_items();
+  index.num_transactions_ = db.num_transactions();
+  uint64_t words = (index.num_transactions_ + 63) / 64;
+  words = (words + kRowWordAlign - 1) / kRowWordAlign * kRowWordAlign;
+  index.words_per_row_ = static_cast<uint32_t>(words);
+  index.words_.assign(
+      static_cast<size_t>(index.num_items_) * index.words_per_row_, 0);
+  for (uint64_t t = 0; t < index.num_transactions_; ++t) {
+    uint64_t word = t >> 6;
+    uint64_t bit = uint64_t{1} << (t & 63);
+    for (ItemId item : db.transaction(t)) {
+      index.words_[static_cast<size_t>(item) * index.words_per_row_ + word] |=
+          bit;
+    }
+  }
+  return index;
+}
+
+uint64_t BitmapIndex::Support(std::span<const ItemId> itemset,
+                              AlignedVector<uint64_t>* scratch) const {
+  OSSM_DCHECK(!itemset.empty());
+  size_t n = words_per_row_;
+  if (itemset.size() == 1) {
+    return kernels::PopcountU64(row(itemset[0]).data(), n);
+  }
+  if (itemset.size() == 2) {
+    return kernels::AndPopcount(row(itemset[0]).data(),
+                                row(itemset[1]).data(), n);
+  }
+  // k >= 3: AND the first k-1 rows into the scratch run, fusing the final
+  // row with the popcount.
+  scratch->resize(n);
+  kernels::AndCount(row(itemset[0]).data(), row(itemset[1]).data(),
+                    scratch->data(), n);
+  for (size_t k = 2; k + 1 < itemset.size(); ++k) {
+    kernels::AndCount(scratch->data(), row(itemset[k]).data(),
+                      scratch->data(), n);
+  }
+  return kernels::AndPopcount(scratch->data(), row(itemset.back()).data(),
+                              n);
+}
+
+}  // namespace ossm

@@ -1,0 +1,74 @@
+#ifndef OSSM_DATA_BITMAP_INDEX_H_
+#define OSSM_DATA_BITMAP_INDEX_H_
+
+#include <cstdint>
+#include <span>
+
+#include "common/aligned.h"
+#include "common/logging.h"
+#include "data/item.h"
+#include "data/transaction_database.h"
+
+namespace ossm {
+
+// Vertical bitmap index over a TransactionDatabase: one bitmap per item,
+// bit t set iff transaction t contains the item. The dense complement of
+// Eclat's sorted tid-lists — exact containment counting becomes AND +
+// popcount over word runs instead of per-transaction merges, which is what
+// the kernel layer (kernels::AndPopcount / AndCount) vectorizes.
+//
+// Layout: row-major, words_per_row() 64-bit words per item, each row
+// 64-byte aligned (words_per_row is rounded up to a multiple of 8 words).
+// Bit t of row i lives at words[i * words_per_row + t/64], bit t%64. Tail
+// bits past num_transactions are zero, so popcounts never need masking.
+//
+// Density economics (the adaptive rule call sites use): a row costs
+// num_transactions/8 bytes regardless of support, while a tid-list costs
+// 8 bytes per supporting transaction — the bitmap wins on memory once
+// support exceeds num_transactions/64, and an AND over two rows touches
+// num_transactions/32 bytes against the merge's 8*(|a|+|b|). Built on
+// demand from the CSR store in one pass; the database is immutable, so the
+// index never goes stale.
+class BitmapIndex {
+ public:
+  // An empty index (0 items); assign from Build.
+  BitmapIndex() = default;
+
+  // One CSR pass: O(total_item_occurrences + num_items * words_per_row).
+  static BitmapIndex Build(const TransactionDatabase& db);
+
+  // Index memory for a hypothetical database of this shape, without
+  // building anything (the auto-mode heuristic and `ossm_cli info`).
+  static uint64_t FootprintBytesFor(uint32_t num_items,
+                                    uint64_t num_transactions);
+
+  uint32_t num_items() const { return num_items_; }
+  uint64_t num_transactions() const { return num_transactions_; }
+  uint32_t words_per_row() const { return words_per_row_; }
+  uint64_t FootprintBytes() const { return words_.size() * sizeof(uint64_t); }
+
+  // Item i's bitmap as a word run.
+  std::span<const uint64_t> row(ItemId item) const {
+    OSSM_DCHECK(item < num_items_);
+    return std::span<const uint64_t>(
+        words_.data() + static_cast<size_t>(item) * words_per_row_,
+        words_per_row_);
+  }
+
+  // Exact support of the (non-empty, strictly increasing) itemset: popcount
+  // of the AND of its rows. `scratch` holds the running intersection for
+  // itemsets of three or more items (resized as needed; pass a per-thread
+  // buffer to avoid reallocation in hot loops).
+  uint64_t Support(std::span<const ItemId> itemset,
+                   AlignedVector<uint64_t>* scratch) const;
+
+ private:
+  uint32_t num_items_ = 0;
+  uint64_t num_transactions_ = 0;
+  uint32_t words_per_row_ = 0;
+  AlignedVector<uint64_t> words_;
+};
+
+}  // namespace ossm
+
+#endif  // OSSM_DATA_BITMAP_INDEX_H_

@@ -1,0 +1,145 @@
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+
+#include "common/logging.h"
+#include "kernels/kernels.h"
+
+namespace ossm {
+namespace kernels {
+
+#if defined(OSSM_KERNELS_HAVE_AVX2)
+// Defined in kernels_avx2.cc (the only -mavx2 translation unit).
+const KernelOps& Avx2Ops();
+#endif
+
+namespace {
+
+// Dispatch state. Resolved once, lazily, from OSSM_SIMD + cpuid; ForceIsa
+// re-points it for tests and benches. Plain atomics: the table pointer and
+// the level are each self-consistent, and callers that mix levels
+// mid-flight get bit-identical answers anyway.
+std::once_flag g_resolve_once;
+std::atomic<const KernelOps*> g_active_ops{nullptr};
+std::atomic<Isa> g_active_isa{Isa::kScalar};
+
+bool CpuHasAvx2() {
+#if defined(OSSM_KERNELS_HAVE_AVX2)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+Isa BestSupportedIsa() {
+  return CpuHasAvx2() ? Isa::kAvx2 : Isa::kScalar;
+}
+
+void StoreActive(Isa isa) {
+  g_active_ops.store(&OpsFor(isa), std::memory_order_release);
+  g_active_isa.store(isa, std::memory_order_release);
+}
+
+void ResolveFromEnvironment() {
+  const char* env = std::getenv("OSSM_SIMD");
+  std::string spec = env == nullptr ? "" : env;
+  Isa isa = BestSupportedIsa();
+  StatusOr<Isa> parsed = ParseIsaSpec(spec);
+  if (!parsed.ok()) {
+    std::fprintf(stderr,
+                 "[ossm] OSSM_SIMD=%s not recognized "
+                 "(scalar|avx2|native); using %s\n",
+                 spec.c_str(), std::string(IsaName(isa)).c_str());
+  } else if (!IsaSupported(*parsed)) {
+    std::fprintf(stderr,
+                 "[ossm] OSSM_SIMD=%s unavailable on this CPU/build; "
+                 "using %s\n",
+                 spec.c_str(), std::string(IsaName(isa)).c_str());
+  } else {
+    isa = *parsed;
+  }
+  StoreActive(isa);
+}
+
+}  // namespace
+
+const KernelOps& OpsFor(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return ScalarOps();
+    case Isa::kAvx2:
+#if defined(OSSM_KERNELS_HAVE_AVX2)
+      OSSM_CHECK(CpuHasAvx2()) << "AVX2 kernels requested on a CPU without "
+                                  "AVX2";
+      return Avx2Ops();
+#else
+      OSSM_CHECK(false) << "AVX2 kernels not compiled into this build";
+#endif
+  }
+  OSSM_CHECK(false) << "unknown ISA level";
+  return ScalarOps();
+}
+
+bool IsaSupported(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return true;
+    case Isa::kAvx2:
+      return CpuHasAvx2();
+  }
+  return false;
+}
+
+std::vector<Isa> SupportedIsas() {
+  std::vector<Isa> isas = {Isa::kScalar};
+  if (IsaSupported(Isa::kAvx2)) isas.push_back(Isa::kAvx2);
+  return isas;
+}
+
+StatusOr<Isa> ParseIsaSpec(std::string_view spec) {
+  if (spec.empty() || spec == "native") return BestSupportedIsa();
+  if (spec == "scalar") return Isa::kScalar;
+  if (spec == "avx2") return Isa::kAvx2;
+  return Status::InvalidArgument("unknown OSSM_SIMD level '" +
+                                 std::string(spec) +
+                                 "' (scalar, avx2, native)");
+}
+
+std::string_view IsaName(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+Isa ActiveIsa() {
+  std::call_once(g_resolve_once, ResolveFromEnvironment);
+  return g_active_isa.load(std::memory_order_acquire);
+}
+
+const KernelOps& Active() {
+  const KernelOps* ops = g_active_ops.load(std::memory_order_acquire);
+  if (ops == nullptr) {
+    std::call_once(g_resolve_once, ResolveFromEnvironment);
+    ops = g_active_ops.load(std::memory_order_acquire);
+  }
+  return *ops;
+}
+
+void ForceIsa(Isa isa) {
+  OSSM_CHECK(IsaSupported(isa))
+      << "ForceIsa(" << std::string(IsaName(isa))
+      << ") on a build/CPU without it";
+  // Make sure the once-flag is consumed first so a later Active() cannot
+  // overwrite the forced level with the environment's.
+  std::call_once(g_resolve_once, ResolveFromEnvironment);
+  StoreActive(isa);
+}
+
+}  // namespace kernels
+}  // namespace ossm

@@ -4,7 +4,9 @@
 #include <cmath>
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/timer.h"
+#include "kernels/kernels.h"
 #include "mining/miner_metrics.h"
 #include "obs/obs.h"
 #include "parallel/thread_pool.h"
@@ -27,10 +29,14 @@ Status Validate(const EclatConfig& config) {
 using TidList = std::vector<uint64_t>;
 
 // One member of an equivalence class: the last item of the prefix+item
-// itemset and the tid-list of the whole itemset.
+// itemset, the covering set of the whole itemset in the run's chosen
+// representation (sorted tid-list or vertical bitmap), and its exact
+// support (the tid-list length / bitmap popcount).
 struct ClassMember {
   ItemId item;
   TidList tids;
+  AlignedVector<uint64_t> bits;
+  uint64_t support = 0;
 };
 
 struct SearchState {
@@ -39,12 +45,41 @@ struct SearchState {
   const CandidatePruner* pruner;
   std::vector<FrequentItemset>* out;
   MinerMetrics* metrics;
+  bool use_bitmaps = false;
+  uint32_t bitmap_words = 0;  // per-member row length in bitmap mode
 };
 
-void Intersect(const TidList& a, const TidList& b, TidList* out) {
+// Two-pointer merge into the reserved output, with count-based early
+// abandon: once the matches so far plus everything left on the shorter
+// side cannot reach min_support, the join is provably infrequent and the
+// merge stops. Returns false when abandoned (out is then meaningless);
+// abandoned candidates are exactly the infrequent ones, so dropping them
+// is lossless.
+bool Intersect(const TidList& a, const TidList& b, uint64_t min_support,
+               TidList* out) {
   out->clear();
-  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
-                        std::back_inserter(*out));
+  size_t ia = 0;
+  size_t ib = 0;
+  size_t na = a.size();
+  size_t nb = b.size();
+  out->reserve(std::min(na, nb));
+  while (ia < na && ib < nb) {
+    if (out->size() + std::min(na - ia, nb - ib) < min_support) {
+      return false;
+    }
+    uint64_t ta = a[ia];
+    uint64_t tb = b[ib];
+    if (ta < tb) {
+      ++ia;
+    } else if (tb < ta) {
+      ++ib;
+    } else {
+      out->push_back(ta);
+      ++ia;
+      ++ib;
+    }
+  }
+  return true;
 }
 
 void Expand(SearchState& state, Itemset& prefix,
@@ -61,6 +96,7 @@ void ExpandMember(SearchState& state, Itemset& prefix,
 
   Itemset candidate;
   TidList intersection;
+  AlignedVector<uint64_t> bits(state.use_bitmaps ? state.bitmap_words : 0);
   prefix.push_back(members[i].item);
   std::vector<ClassMember> next_class;
   for (size_t j = i + 1; j < members.size(); ++j) {
@@ -75,13 +111,31 @@ void ExpandMember(SearchState& state, Itemset& prefix,
       }
     }
     state.metrics->CandidatesCounted(next_level);
-    Intersect(members[i].tids, members[j].tids, &intersection);
-    if (intersection.size() >= state.min_support) {
-      state.metrics->Frequent(next_level);
-      Itemset found = prefix;
-      found.push_back(members[j].item);
-      state.out->push_back({std::move(found), intersection.size()});
-      next_class.push_back({members[j].item, intersection});
+    if (state.use_bitmaps) {
+      uint64_t support = kernels::AndCount(
+          members[i].bits.data(), members[j].bits.data(), bits.data(),
+          state.bitmap_words);
+      if (support >= state.min_support) {
+        state.metrics->Frequent(next_level);
+        Itemset found = prefix;
+        found.push_back(members[j].item);
+        state.out->push_back({std::move(found), support});
+        next_class.push_back({members[j].item, {}, bits, support});
+      }
+    } else {
+      if (!Intersect(members[i].tids, members[j].tids, state.min_support,
+                     &intersection)) {
+        state.metrics->AbandonedJoin(next_level);
+        continue;
+      }
+      if (intersection.size() >= state.min_support) {
+        state.metrics->Frequent(next_level);
+        Itemset found = prefix;
+        found.push_back(members[j].item);
+        state.out->push_back({std::move(found), intersection.size()});
+        next_class.push_back(
+            {members[j].item, intersection, {}, intersection.size()});
+      }
     }
   }
   if (!next_class.empty()) {
@@ -98,6 +152,16 @@ void Expand(SearchState& state, Itemset& prefix,
   for (size_t i = 0; i < members.size(); ++i) {
     ExpandMember(state, prefix, members, i);
   }
+}
+
+// Converts a sorted tid-list into a 64-byte-aligned bitmap row of `words`
+// words (tail bits zero, so popcounts never need masking).
+AlignedVector<uint64_t> TidsToBitmap(const TidList& tids, uint32_t words) {
+  AlignedVector<uint64_t> bits(words, 0);
+  for (uint64_t t : tids) {
+    bits[t >> 6] |= uint64_t{1} << (t & 63);
+  }
+  return bits;
 }
 
 }  // namespace
@@ -119,6 +183,28 @@ StatusOr<MiningResult> MineEclat(const TransactionDatabase& db,
                            static_cast<double>(db.num_transactions()))));
     }
 
+    // Pick the covering-set representation. In auto mode, bitmaps win once
+    // every surviving tid-list (>= min_support tids at 8 bytes each) costs
+    // at least as much as a bitmap row (num_transactions / 8 bytes) — i.e.
+    // once min_support * 64 >= num_transactions.
+    bool use_bitmaps;
+    switch (config.representation) {
+      case EclatRepresentation::kTidLists:
+        use_bitmaps = false;
+        break;
+      case EclatRepresentation::kBitmaps:
+        use_bitmaps = true;
+        break;
+      case EclatRepresentation::kAuto:
+      default:
+        use_bitmaps = min_support * 64 >= db.num_transactions();
+        break;
+    }
+    // Rows padded to 8 words so every row is a whole number of cache lines.
+    uint32_t bitmap_words = static_cast<uint32_t>(
+        (db.num_transactions() + 63) / 64);
+    bitmap_words = (bitmap_words + 7) / 8 * 8;
+
     // Verticalize: one scan builds every item's tid-list.
     std::vector<TidList> tid_lists(db.num_items());
     {
@@ -137,6 +223,8 @@ StatusOr<MiningResult> MineEclat(const TransactionDatabase& db,
     state.pruner = config.pruner;
     state.out = &result.itemsets;
     state.metrics = &metrics;
+    state.use_bitmaps = use_bitmaps;
+    state.bitmap_words = bitmap_words;
 
     metrics.CandidatesGenerated(1, db.num_items());
     metrics.CandidatesCounted(1, db.num_items());
@@ -145,8 +233,17 @@ StatusOr<MiningResult> MineEclat(const TransactionDatabase& db,
     for (ItemId item = 0; item < db.num_items(); ++item) {
       if (tid_lists[item].size() >= min_support) {
         metrics.Frequent(1);
-        result.itemsets.push_back({{item}, tid_lists[item].size()});
-        root_class.push_back({item, std::move(tid_lists[item])});
+        uint64_t support = tid_lists[item].size();
+        result.itemsets.push_back({{item}, support});
+        if (use_bitmaps) {
+          root_class.push_back(
+              {item, {}, TidsToBitmap(tid_lists[item], bitmap_words),
+               support});
+          TidList().swap(tid_lists[item]);
+        } else {
+          root_class.push_back(
+              {item, std::move(tid_lists[item]), {}, support});
+        }
       }
     }
 

@@ -20,6 +20,23 @@ namespace ossm {
 // and equation (1) can veto the extension for the price of n additions —
 // so the pruner is consulted *before* each intersection. Lossless, as
 // everywhere else.
+
+// How the miner represents the transactions covering each class member.
+enum class EclatRepresentation : uint8_t {
+  // Pick per run: bitmaps once min_support * 64 >= num_transactions — at
+  // that threshold every surviving tid-list already costs at least as much
+  // memory as a bitmap row (8 bytes/tid vs num_transactions/8 bytes
+  // total), and AND+popcount over word runs beats the merge.
+  kAuto = 0,
+  // Sorted tid-lists joined by two-pointer merge with count-based early
+  // abandon (the classic sparse representation).
+  kTidLists = 1,
+  // One vertical bitmap per member, joined by kernel-dispatched
+  // AND+popcount (the dense representation; see data/bitmap_index.h for
+  // the economics).
+  kBitmaps = 2,
+};
+
 struct EclatConfig {
   double min_support_fraction = 0.01;
   uint64_t min_support_count = 0;  // wins when non-zero
@@ -27,12 +44,19 @@ struct EclatConfig {
 
   // Optional equation-(1) pruning of extensions. Not owned; may be null.
   const CandidatePruner* pruner = nullptr;
+
+  // Covering-set representation. Both produce identical patterns and
+  // supports; only the join cost model differs.
+  EclatRepresentation representation = EclatRepresentation::kAuto;
 };
 
 // Mines all frequent itemsets; pattern-identical to Apriori on the same
 // database and threshold. Stats: candidates_generated counts attempted
 // extensions, pruned_by_bound the OSSM vetoes, candidates_counted the
-// tid-list intersections actually performed.
+// intersections actually performed, abandoned_joins the tid-list merges
+// cut short once they provably could not reach min_support (tid-list
+// representation only; abandoned candidates are exactly the infrequent
+// ones, so the result set is unchanged).
 StatusOr<MiningResult> MineEclat(const TransactionDatabase& db,
                                  const EclatConfig& config);
 

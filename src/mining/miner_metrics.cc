@@ -24,6 +24,7 @@ void MinerMetrics::MergeFrom(const MinerMetrics& other) {
     mine.pruned_by_bound += level.pruned_by_bound;
     mine.pruned_by_hash += level.pruned_by_hash;
     mine.candidates_counted += level.candidates_counted;
+    mine.abandoned_joins += level.abandoned_joins;
     mine.frequent += level.frequent;
   }
   database_scans_ += other.database_scans_;
@@ -50,6 +51,8 @@ void MinerMetrics::Finish(MiningStats* stats) {
         .Add(level.pruned_by_hash);
     registry.GetCounter(prefix + "candidates_counted")
         .Add(level.candidates_counted);
+    registry.GetCounter(prefix + "abandoned_joins")
+        .Add(level.abandoned_joins);
     registry.GetCounter(prefix + "frequent").Add(level.frequent);
     patterns += level.frequent;
   }

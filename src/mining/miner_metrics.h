@@ -18,7 +18,7 @@ namespace ossm {
 // publishes the same numbers to the process-wide metrics registry as
 //
 //   <miner>.level<K>.candidates_generated / pruned_by_bound /
-//   pruned_by_hash / candidates_counted / frequent
+//   pruned_by_hash / candidates_counted / abandoned_joins / frequent
 //   <miner>.database_scans, <miner>.runs, <miner>.patterns
 //   span-histogram <miner>.total_us
 //
@@ -41,6 +41,9 @@ class MinerMetrics {
   }
   void CandidatesCounted(uint32_t level, uint64_t n = 1) {
     Level(level).candidates_counted += n;
+  }
+  void AbandonedJoin(uint32_t level, uint64_t n = 1) {
+    Level(level).abandoned_joins += n;
   }
   void Frequent(uint32_t level, uint64_t n = 1) {
     Level(level).frequent += n;

@@ -24,6 +24,12 @@ uint64_t MiningStats::TotalPrunedByBound() const {
   return total;
 }
 
+uint64_t MiningStats::TotalAbandonedJoins() const {
+  uint64_t total = 0;
+  for (const LevelStats& l : levels) total += l.abandoned_joins;
+  return total;
+}
+
 uint64_t MiningStats::CountedAtLevel(uint32_t level) const {
   for (const LevelStats& l : levels) {
     if (l.level == level) return l.candidates_counted;

@@ -25,6 +25,7 @@ struct LevelStats {
   uint64_t pruned_by_bound = 0;       // discarded via equation (1)
   uint64_t pruned_by_hash = 0;        // discarded via DHP bucket counts
   uint64_t candidates_counted = 0;    // survivors that hit the counting pass
+  uint64_t abandoned_joins = 0;       // counts cut short by early abandon
   uint64_t frequent = 0;
 };
 
@@ -36,6 +37,7 @@ struct MiningStats {
   uint64_t TotalCandidatesGenerated() const;
   uint64_t TotalCandidatesCounted() const;
   uint64_t TotalPrunedByBound() const;
+  uint64_t TotalAbandonedJoins() const;
   // Counted candidates at one level (0 if the miner never reached it).
   uint64_t CountedAtLevel(uint32_t level) const;
   uint64_t GeneratedAtLevel(uint32_t level) const;

@@ -363,7 +363,9 @@ MetricDirection DirectionForCounter(std::string_view counter_name) {
   // code under test.
   if (counter_name.starts_with("pool.")) return MetricDirection::kNeutral;
   if (Contains(counter_name, "pruned") ||
-      Contains(counter_name, "cache_hits")) {
+      Contains(counter_name, "cache_hits") ||
+      Contains(counter_name, "abandoned")) {
+    // Abandoned joins are merges cut short — avoided work, like prunes.
     return MetricDirection::kHigherIsBetter;
   }
   // The typical instruments — candidates counted, bytes/pages read, bound
@@ -374,7 +376,9 @@ MetricDirection DirectionForCounter(std::string_view counter_name) {
 MetricDirection DirectionForValue(std::string_view value_name) {
   if (Contains(value_name, "speedup") || Contains(value_name, "throughput") ||
       Contains(value_name, "per_sec") || Contains(value_name, "pruned") ||
-      Contains(value_name, "qps") || Contains(value_name, "hit_ratio")) {
+      Contains(value_name, "qps") || Contains(value_name, "hit_ratio") ||
+      Contains(value_name, "gib_per_s") ||
+      Contains(value_name, "elems_per_s")) {
     return MetricDirection::kHigherIsBetter;
   }
   if (Contains(value_name, "seconds") || Contains(value_name, "_us") ||

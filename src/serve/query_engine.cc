@@ -60,6 +60,26 @@ QueryEngine::QueryEngine(const TransactionDatabase* db, SegmentSupportMap* map,
     OSSM_CHECK_EQ(map_->num_items(), db_->num_items())
         << "OSSM item domain does not match the served database";
   }
+  switch (config_.bitmap_mode) {
+    case BitmapMode::kOn:
+      use_bitmaps_ = true;
+      break;
+    case BitmapMode::kOff:
+      use_bitmaps_ = false;
+      break;
+    case BitmapMode::kAuto: {
+      // Bitmaps when the index would cost at most 4x the CSR store. The
+      // decision is shape-only (FootprintBytesFor); the index itself is
+      // built lazily on the first exact count.
+      uint64_t csr_bytes =
+          db_->total_item_occurrences() * sizeof(ItemId) +
+          (db_->num_transactions() + 1) * sizeof(uint64_t);
+      use_bitmaps_ = BitmapIndex::FootprintBytesFor(
+                         db_->num_items(), db_->num_transactions()) <=
+                     4 * csr_bytes;
+      break;
+    }
+  }
 }
 
 Status QueryEngine::ValidateItemset(std::span<const ItemId> itemset) const {
@@ -114,8 +134,29 @@ bool QueryEngine::TryAnswerWithoutScan(std::span<const ItemId> itemset,
   return false;
 }
 
+std::vector<uint64_t> QueryEngine::BitmapCounts(
+    const std::vector<Itemset>& needed) {
+  OSSM_TRACE_SPAN("serve.bitmap_scan");
+  std::call_once(bitmap_once_, [this] { bitmap_ = BitmapIndex::Build(*db_); });
+  // Fan per itemset: each answer is an index-addressed exact popcount, so
+  // results are bit-identical for any OSSM_THREADS.
+  std::vector<uint64_t> totals(needed.size(), 0);
+  parallel::ParallelForEach(needed.size(), [&](uint64_t q) {
+    thread_local AlignedVector<uint64_t> scratch;
+    totals[q] = bitmap_.Support(
+        std::span<const ItemId>(needed[q].data(), needed[q].size()),
+        &scratch);
+  });
+  exact_counts_.fetch_add(needed.size(), std::memory_order_relaxed);
+  bitmap_counts_.fetch_add(needed.size(), std::memory_order_relaxed);
+  OSSM_COUNTER_ADD("serve.exact_counts", needed.size());
+  OSSM_COUNTER_ADD("serve.bitmap_counts", needed.size());
+  return totals;
+}
+
 std::vector<uint64_t> QueryEngine::ExactCounts(
     const std::vector<Itemset>& needed) {
+  if (use_bitmaps_) return BitmapCounts(needed);
   OSSM_TRACE_SPAN("serve.exact_scan");
   const uint64_t n = db_->num_transactions();
   const uint32_t shards = parallel::NumShards(0, n);
@@ -246,6 +287,7 @@ EngineStats QueryEngine::Stats() const {
   stats.singleton_hits = singleton_hits_.load(std::memory_order_relaxed);
   stats.cache_hits = cache_hits_.load(std::memory_order_relaxed);
   stats.exact_counts = exact_counts_.load(std::memory_order_relaxed);
+  stats.bitmap_counts = bitmap_counts_.load(std::memory_order_relaxed);
   return stats;
 }
 

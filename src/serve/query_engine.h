@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <shared_mutex>
 #include <span>
 #include <string_view>
@@ -11,6 +12,7 @@
 
 #include "common/status.h"
 #include "core/segment_support_map.h"
+#include "data/bitmap_index.h"
 #include "data/item.h"
 #include "data/transaction_database.h"
 #include "serve/support_cache.h"
@@ -43,6 +45,20 @@ struct EngineStats {
   uint64_t singleton_hits = 0;
   uint64_t cache_hits = 0;
   uint64_t exact_counts = 0;
+  // Of the exact counts, how many were answered by the vertical bitmap
+  // index rather than the CSR sweep.
+  uint64_t bitmap_counts = 0;
+};
+
+// Whether tier-3 exact counts run on the vertical bitmap index
+// (data/bitmap_index.h) instead of the CSR containment sweep.
+enum class BitmapMode : uint8_t {
+  // Use bitmaps when their footprint is at most 4x the CSR store —
+  // i.e. average transaction density >= 1/128 of the item domain. Beyond
+  // that the rows are too sparse to be worth the memory.
+  kAuto = 0,
+  kOn = 1,
+  kOff = 2,
 };
 
 struct QueryEngineConfig {
@@ -51,6 +67,7 @@ struct QueryEngineConfig {
   uint64_t min_support = 1;
   uint64_t cache_capacity = 1 << 16;  // entries
   uint32_t cache_shards = 16;
+  BitmapMode bitmap_mode = BitmapMode::kAuto;
 };
 
 // Answers itemset-support queries against an immutable TransactionDatabase,
@@ -62,9 +79,12 @@ struct QueryEngineConfig {
 //   2. cache — exact supports of previously-counted itemsets replay from
 //      the sharded LRU (singletons answer from the map's exact row totals
 //      without entering the cache at all);
-//   3. exact — a CSR containment scan over the database, fanned across the
-//      parallel::ThreadPool in deterministic shards, so a batch costs one
-//      sweep of the collection regardless of batch size.
+//   3. exact — either a CSR containment scan over the database, fanned
+//      across the parallel::ThreadPool in deterministic shards (a batch
+//      costs one sweep of the collection regardless of batch size), or —
+//      when the database is dense enough (BitmapMode) — AND+popcount over
+//      a lazily-built vertical bitmap index, fanned per itemset. Both
+//      produce the same exact supports.
 //
 // Consistency contract: the database is immutable and exact answers are
 // always computed against it. The attached map may be *appended to* while
@@ -114,6 +134,10 @@ class QueryEngine {
   // lock, so it is safe against a concurrent WithMapExclusive.
   uint32_t map_segments() const;
   const SupportCache& cache() const { return cache_; }
+  // True when tier-3 exact counts run on the vertical bitmap index (the
+  // resolved BitmapMode decision; the index itself builds lazily on the
+  // first exact count).
+  bool uses_bitmap_index() const { return use_bitmaps_; }
 
   EngineStats Stats() const;
 
@@ -122,8 +146,12 @@ class QueryEngine {
   // caller owes an exact count.
   bool TryAnswerWithoutScan(std::span<const ItemId> itemset,
                             QueryResult* result);
-  // One deterministic pool-sharded sweep counting every itemset in `needed`.
+  // Exact supports of every itemset in `needed`, via BitmapCounts or the
+  // deterministic pool-sharded CSR sweep.
   std::vector<uint64_t> ExactCounts(const std::vector<Itemset>& needed);
+  // Bitmap tier 3: builds the index on first use (call_once), then
+  // AND+popcounts each itemset, fanned per itemset over the pool.
+  std::vector<uint64_t> BitmapCounts(const std::vector<Itemset>& needed);
 
   const TransactionDatabase* db_;
   SegmentSupportMap* map_;
@@ -131,11 +159,16 @@ class QueryEngine {
   SupportCache cache_;
   mutable std::shared_mutex map_mu_;
 
+  bool use_bitmaps_ = false;
+  std::once_flag bitmap_once_;
+  BitmapIndex bitmap_;
+
   std::atomic<uint64_t> queries_{0};
   std::atomic<uint64_t> bound_rejects_{0};
   std::atomic<uint64_t> singleton_hits_{0};
   std::atomic<uint64_t> cache_hits_{0};
   std::atomic<uint64_t> exact_counts_{0};
+  std::atomic<uint64_t> bitmap_counts_{0};
 };
 
 }  // namespace serve

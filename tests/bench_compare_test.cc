@@ -160,6 +160,21 @@ TEST(BenchCompareTest, PoolCountersAreNeutralAndNeverGate) {
   EXPECT_FALSE(comparison.ShouldFail(true));
 }
 
+TEST(BenchCompareTest, AbandonedJoinCounterIsHigherIsBetter) {
+  // Abandoned joins are merges cut short — avoided work, like prunes.
+  EXPECT_EQ(DirectionForCounter("eclat.level2.abandoned_joins"),
+            MetricDirection::kHigherIsBetter);
+  RunReport baseline = BaseReport();
+  baseline.metrics.counters = {{"eclat.level2.abandoned_joins", 1000}};
+  RunReport candidate = BaseReport();
+  candidate.metrics.counters = {{"eclat.level2.abandoned_joins", 400}};
+  ReportComparison comparison =
+      CompareReports(baseline, candidate, CompareOptions());
+  EXPECT_EQ(FindRow(comparison, "counter.eclat.level2.abandoned_joins")
+                ->verdict,
+            MetricVerdict::kRegression);
+}
+
 TEST(BenchCompareTest, CacheHitCounterIsHigherIsBetter) {
   EXPECT_EQ(DirectionForCounter("serve.cache_hits"),
             MetricDirection::kHigherIsBetter);
@@ -210,6 +225,11 @@ TEST(BenchCompareTest, ValueDirectionHeuristics) {
   EXPECT_EQ(DirectionForValue("queue_wait_us"),
             MetricDirection::kLowerIsBetter);
   EXPECT_EQ(DirectionForValue("n_min.m8"), MetricDirection::kNeutral);
+  // Kernel-bench throughput figures.
+  EXPECT_EQ(DirectionForValue("min_sum_avx2_gib_per_s"),
+            MetricDirection::kHigherIsBetter);
+  EXPECT_EQ(DirectionForValue("and_popcount_scalar_elems_per_s"),
+            MetricDirection::kHigherIsBetter);
 
   // A speedup that halves is a regression even though the raw number fell.
   RunReport baseline = BaseReport();

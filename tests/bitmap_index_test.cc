@@ -1,0 +1,113 @@
+#include "data/bitmap_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.h"
+#include "datagen/quest_generator.h"
+
+namespace ossm {
+namespace {
+
+uint64_t BruteForceSupport(const TransactionDatabase& db,
+                           std::span<const ItemId> itemset) {
+  uint64_t support = 0;
+  for (uint64_t t = 0; t < db.num_transactions(); ++t) {
+    if (db.Contains(t, itemset)) ++support;
+  }
+  return support;
+}
+
+TEST(BitmapIndexTest, TinyDatabaseByHand) {
+  TransactionDatabase db(4);
+  ASSERT_TRUE(db.Append({0, 1}).ok());
+  ASSERT_TRUE(db.Append({0, 2}).ok());
+  ASSERT_TRUE(db.Append({0, 1, 2}).ok());
+  ASSERT_TRUE(db.Append({3}).ok());
+  ASSERT_TRUE(db.Append({}).ok());
+
+  BitmapIndex index = BitmapIndex::Build(db);
+  EXPECT_EQ(index.num_items(), 4u);
+  EXPECT_EQ(index.num_transactions(), 5u);
+  // 5 transactions fit one word; rows pad to 8 words (one cache line).
+  EXPECT_EQ(index.words_per_row(), 8u);
+  EXPECT_EQ(index.row(0)[0], 0b00111u);
+  EXPECT_EQ(index.row(1)[0], 0b00101u);
+  EXPECT_EQ(index.row(2)[0], 0b00110u);
+  EXPECT_EQ(index.row(3)[0], 0b01000u);
+
+  AlignedVector<uint64_t> scratch;
+  ItemId single[] = {0};
+  EXPECT_EQ(index.Support(single, &scratch), 3u);
+  ItemId pair[] = {0, 1};
+  EXPECT_EQ(index.Support(pair, &scratch), 2u);
+  ItemId triple[] = {0, 1, 2};
+  EXPECT_EQ(index.Support(triple, &scratch), 1u);
+  ItemId disjoint[] = {1, 3};
+  EXPECT_EQ(index.Support(disjoint, &scratch), 0u);
+}
+
+TEST(BitmapIndexTest, EmptyDatabaseAndAbsentItems) {
+  TransactionDatabase db(3);
+  BitmapIndex index = BitmapIndex::Build(db);
+  EXPECT_EQ(index.num_transactions(), 0u);
+  EXPECT_EQ(index.words_per_row(), 0u);
+  EXPECT_EQ(index.FootprintBytes(), 0u);
+  AlignedVector<uint64_t> scratch;
+  ItemId single[] = {1};
+  EXPECT_EQ(index.Support(single, &scratch), 0u);
+  ItemId all[] = {0, 1, 2};
+  EXPECT_EQ(index.Support(all, &scratch), 0u);
+}
+
+TEST(BitmapIndexTest, FootprintMatchesStaticAccounting) {
+  QuestConfig gen;
+  gen.num_items = 40;
+  gen.num_transactions = 700;  // 11 words -> pads to 16
+  gen.avg_transaction_size = 6;
+  gen.seed = 3;
+  StatusOr<TransactionDatabase> db = GenerateQuest(gen);
+  ASSERT_TRUE(db.ok());
+  BitmapIndex index = BitmapIndex::Build(*db);
+  EXPECT_EQ(index.FootprintBytes(),
+            BitmapIndex::FootprintBytesFor(db->num_items(),
+                                           db->num_transactions()));
+  EXPECT_EQ(index.words_per_row(), 16u);
+}
+
+// Popcount answers must equal the CSR containment scan for arbitrary
+// itemsets — including word-boundary transaction counts (the generator runs
+// below, at, and above multiples of 64).
+TEST(BitmapIndexTest, AgreesWithContainmentScan) {
+  for (uint64_t num_transactions : {63u, 64u, 65u, 400u}) {
+    QuestConfig gen;
+    gen.num_items = 25;
+    gen.num_transactions = num_transactions;
+    gen.avg_transaction_size = 5;
+    gen.seed = 7 + num_transactions;
+    StatusOr<TransactionDatabase> db = GenerateQuest(gen);
+    ASSERT_TRUE(db.ok());
+    BitmapIndex index = BitmapIndex::Build(*db);
+
+    Rng rng(11);
+    AlignedVector<uint64_t> scratch;
+    for (int trial = 0; trial < 200; ++trial) {
+      size_t k = 1 + rng.UniformInt(5);
+      std::vector<ItemId> itemset;
+      for (size_t j = 0; j < k; ++j) {
+        itemset.push_back(static_cast<ItemId>(rng.UniformInt(gen.num_items)));
+      }
+      std::sort(itemset.begin(), itemset.end());
+      itemset.erase(std::unique(itemset.begin(), itemset.end()),
+                    itemset.end());
+      EXPECT_EQ(index.Support(itemset, &scratch),
+                BruteForceSupport(*db, itemset))
+          << "T=" << num_transactions << " trial " << trial;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ossm

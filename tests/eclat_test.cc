@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/ossm_builder.h"
 #include "datagen/quest_generator.h"
 #include "datagen/skewed_generator.h"
@@ -140,6 +142,72 @@ TEST(EclatTest, SingleScanOnly) {
   StatusOr<MiningResult> result = MineEclat(db, config);
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->stats.database_scans, 1u);  // verticalization only
+}
+
+TEST(EclatTest, RepresentationsProduceIdenticalPatterns) {
+  QuestConfig gen;
+  gen.num_items = 30;
+  gen.num_transactions = 1200;
+  gen.avg_transaction_size = 6;
+  gen.num_patterns = 8;
+  gen.seed = 23;
+  StatusOr<TransactionDatabase> db = GenerateQuest(gen);
+  ASSERT_TRUE(db.ok());
+
+  for (double threshold : {0.01, 0.05, 0.15}) {
+    EclatConfig lists;
+    lists.min_support_fraction = threshold;
+    lists.representation = EclatRepresentation::kTidLists;
+    EclatConfig bitmaps = lists;
+    bitmaps.representation = EclatRepresentation::kBitmaps;
+    StatusOr<MiningResult> l = MineEclat(*db, lists);
+    StatusOr<MiningResult> m = MineEclat(*db, bitmaps);
+    ASSERT_TRUE(l.ok());
+    ASSERT_TRUE(m.ok());
+    EXPECT_EQ(l->itemsets, m->itemsets) << "threshold " << threshold;
+    // Bitmap joins never abandon; list joins may.
+    EXPECT_EQ(m->stats.TotalAbandonedJoins(), 0u);
+  }
+}
+
+TEST(EclatTest, AutoRepresentationPicksByDensity) {
+  // min_support * 64 >= num_transactions -> bitmaps; results must match
+  // the explicitly forced representations either way.
+  TransactionDatabase db = test::TinyDb();
+  EclatConfig automatic;
+  automatic.min_support_count = 2;  // 2 * 64 >= 10 transactions -> dense
+  automatic.representation = EclatRepresentation::kAuto;
+  EclatConfig forced = automatic;
+  forced.representation = EclatRepresentation::kBitmaps;
+  StatusOr<MiningResult> a = MineEclat(db, automatic);
+  StatusOr<MiningResult> f = MineEclat(db, forced);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(a->itemsets, f->itemsets);
+}
+
+TEST(EclatTest, EarlyAbandonCutsJoinsLosslessly) {
+  QuestConfig gen;
+  gen.num_items = 16;  // BruteForceFrequent enumerates <= 16-item domains
+  gen.num_transactions = 3000;
+  gen.avg_transaction_size = 5;
+  gen.num_patterns = 6;
+  gen.seed = 31;
+  StatusOr<TransactionDatabase> db = GenerateQuest(gen);
+  ASSERT_TRUE(db.ok());
+
+  // A high threshold makes most joins infrequent, so abandoned merges must
+  // show up in the accounting while the result set stays exact.
+  EclatConfig config;
+  config.min_support_fraction = 0.08;
+  config.representation = EclatRepresentation::kTidLists;
+  StatusOr<MiningResult> result = MineEclat(*db, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->stats.TotalAbandonedJoins(), 0u);
+  EXPECT_EQ(result->itemsets,
+            test::BruteForceFrequent(
+                *db, static_cast<uint64_t>(std::ceil(
+                         0.08 * static_cast<double>(db->num_transactions())))));
 }
 
 }  // namespace

@@ -1,0 +1,157 @@
+// End-to-end determinism across ISA levels: segmentation, mining, and
+// serving must produce bit-identical outputs whether the kernels run scalar
+// or vectorized. The kernels are exact mod-2^64 integer reductions, so this
+// holds by construction — these tests enforce it on the assembled system,
+// flipping the dispatch level mid-process with ForceIsa.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/ossm_builder.h"
+#include "datagen/quest_generator.h"
+#include "kernels/kernels.h"
+#include "mining/apriori.h"
+#include "mining/candidate_pruner.h"
+#include "mining/eclat.h"
+#include "serve/query_engine.h"
+
+namespace ossm {
+namespace {
+
+TransactionDatabase MakeDb(uint64_t seed) {
+  QuestConfig config;
+  config.num_items = 60;
+  config.num_transactions = 2500;
+  config.avg_transaction_size = 7;
+  config.num_patterns = 10;
+  config.seed = seed;
+  StatusOr<TransactionDatabase> db = GenerateQuest(config);
+  OSSM_CHECK(db.ok());
+  return std::move(*db);
+}
+
+struct PipelineOutput {
+  SegmentSupportMap map;
+  MiningResult apriori;
+  MiningResult eclat_lists;
+  MiningResult eclat_bitmaps;
+  std::vector<serve::QueryResult> answers;
+};
+
+PipelineOutput RunPipeline(const TransactionDatabase& db,
+                           kernels::Isa isa) {
+  kernels::ForceIsa(isa);
+  PipelineOutput out;
+
+  OssmBuildOptions options;
+  options.algorithm = SegmentationAlgorithm::kGreedy;
+  options.target_segments = 12;
+  options.transactions_per_page = 50;
+  StatusOr<OssmBuildResult> build = BuildOssm(db, options);
+  OSSM_CHECK(build.ok());
+  out.map = std::move(build->map);
+
+  OssmPruner pruner(&out.map);
+  AprioriConfig apriori;
+  apriori.min_support_fraction = 0.01;
+  apriori.pruner = &pruner;
+  StatusOr<MiningResult> mined = MineApriori(db, apriori);
+  OSSM_CHECK(mined.ok());
+  out.apriori = std::move(*mined);
+
+  EclatConfig eclat;
+  eclat.min_support_fraction = 0.01;
+  eclat.pruner = &pruner;
+  eclat.representation = EclatRepresentation::kTidLists;
+  StatusOr<MiningResult> lists = MineEclat(db, eclat);
+  OSSM_CHECK(lists.ok());
+  out.eclat_lists = std::move(*lists);
+  eclat.representation = EclatRepresentation::kBitmaps;
+  StatusOr<MiningResult> bitmaps = MineEclat(db, eclat);
+  OSSM_CHECK(bitmaps.ok());
+  out.eclat_bitmaps = std::move(*bitmaps);
+
+  serve::QueryEngineConfig serve_config;
+  serve_config.min_support = 25;
+  serve_config.bitmap_mode = serve::BitmapMode::kOn;
+  SegmentSupportMap map_copy = out.map;
+  serve::QueryEngine engine(&db, &map_copy, serve_config);
+  std::vector<Itemset> queries;
+  for (ItemId a = 0; a < db.num_items(); a += 3) {
+    queries.push_back({a});
+    if (a + 5 < db.num_items()) queries.push_back({a, static_cast<ItemId>(a + 5)});
+    if (a + 9 < db.num_items()) {
+      queries.push_back({a, static_cast<ItemId>(a + 4),
+                         static_cast<ItemId>(a + 9)});
+    }
+  }
+  StatusOr<std::vector<serve::QueryResult>> answers =
+      engine.QueryBatch(queries);
+  OSSM_CHECK(answers.ok());
+  out.answers = std::move(*answers);
+  return out;
+}
+
+void ExpectSameStats(const MiningStats& a, const MiningStats& b) {
+  ASSERT_EQ(a.levels.size(), b.levels.size());
+  for (size_t i = 0; i < a.levels.size(); ++i) {
+    EXPECT_EQ(a.levels[i].candidates_generated,
+              b.levels[i].candidates_generated);
+    EXPECT_EQ(a.levels[i].pruned_by_bound, b.levels[i].pruned_by_bound);
+    EXPECT_EQ(a.levels[i].candidates_counted,
+              b.levels[i].candidates_counted);
+    EXPECT_EQ(a.levels[i].abandoned_joins, b.levels[i].abandoned_joins);
+    EXPECT_EQ(a.levels[i].frequent, b.levels[i].frequent);
+  }
+}
+
+TEST(SimdDeterminismTest, PipelineIsBitIdenticalAcrossIsaLevels) {
+  kernels::Isa original = kernels::ActiveIsa();
+  TransactionDatabase db = MakeDb(42);
+
+  PipelineOutput scalar = RunPipeline(db, kernels::Isa::kScalar);
+  for (kernels::Isa isa : kernels::SupportedIsas()) {
+    if (isa == kernels::Isa::kScalar) continue;
+    PipelineOutput vectored = RunPipeline(db, isa);
+
+    // Same segmentation decisions -> the same map, count for count.
+    EXPECT_TRUE(scalar.map == vectored.map)
+        << "map diverged at " << kernels::IsaName(isa);
+
+    // Same patterns, same supports, same per-level accounting.
+    EXPECT_TRUE(scalar.apriori.SamePatternsAs(vectored.apriori));
+    ExpectSameStats(scalar.apriori.stats, vectored.apriori.stats);
+    EXPECT_TRUE(scalar.eclat_lists.SamePatternsAs(vectored.eclat_lists));
+    ExpectSameStats(scalar.eclat_lists.stats, vectored.eclat_lists.stats);
+    EXPECT_TRUE(scalar.eclat_bitmaps.SamePatternsAs(vectored.eclat_bitmaps));
+    ExpectSameStats(scalar.eclat_bitmaps.stats,
+                    vectored.eclat_bitmaps.stats);
+
+    // Same served answers, tier for tier.
+    ASSERT_EQ(scalar.answers.size(), vectored.answers.size());
+    for (size_t i = 0; i < scalar.answers.size(); ++i) {
+      EXPECT_EQ(scalar.answers[i].support, vectored.answers[i].support);
+      EXPECT_EQ(scalar.answers[i].tier, vectored.answers[i].tier);
+      EXPECT_EQ(scalar.answers[i].frequent, vectored.answers[i].frequent);
+    }
+  }
+  kernels::ForceIsa(original);
+}
+
+// The two Eclat representations are interchangeable: identical pattern
+// sets and supports, whatever the dispatch level.
+TEST(SimdDeterminismTest, EclatRepresentationsAgree) {
+  kernels::Isa original = kernels::ActiveIsa();
+  TransactionDatabase db = MakeDb(7);
+  for (kernels::Isa isa : kernels::SupportedIsas()) {
+    PipelineOutput out = RunPipeline(db, isa);
+    EXPECT_TRUE(out.eclat_lists.SamePatternsAs(out.eclat_bitmaps))
+        << "representations diverged at " << kernels::IsaName(isa);
+    EXPECT_TRUE(out.eclat_lists.SamePatternsAs(out.apriori));
+  }
+  kernels::ForceIsa(original);
+}
+
+}  // namespace
+}  // namespace ossm

@@ -39,6 +39,7 @@ run ablation_skew --transactions=8000 --items=250 --repeats=2
 run ablation_generalized --transactions=8000 --items=250 --repeats=2
 run ablation_pagesize --transactions=8000 --items=300 --repeats=2
 run ablation_theory --transactions=4000
+run kernels --elems=2048
 
 # serve_throughput reports under the name "serve", so its baseline keeps
 # that filename (BENCH_serve.json) rather than the binary's.

@@ -5,6 +5,7 @@
 //   ossm_cli mine    --data=FILE [--ossm=MAP] [--miner=...] [--threshold=F]
 //   ossm_cli rules   --data=FILE [--threshold=F --confidence=F]
 //   ossm_cli inspect --data=FILE | --ossm=MAP
+//   ossm_cli info    [--data=FILE]   (kernel ISA level, bitmap footprint)
 //   ossm_cli serve   --data=FILE [--ossm=MAP --threshold=F --port=N ...]
 //   ossm_cli query   --port=N [--host=ADDR --check-data=FILE]  (stdin)
 //
@@ -35,7 +36,9 @@
 #include "core/ossm_builder.h"
 #include "core/ossm_io.h"
 #include "core/theory.h"
+#include "data/bitmap_index.h"
 #include "data/dataset_io.h"
+#include "kernels/kernels.h"
 #include "datagen/alarm_generator.h"
 #include "datagen/quest_generator.h"
 #include "datagen/skewed_generator.h"
@@ -473,6 +476,45 @@ int CmdInspect(const Args& args) {
   return 2;
 }
 
+int CmdInfo(const Args& args) {
+  if (args.Has("help")) {
+    std::puts(
+        "info [--data=FILE]\n"
+        "prints the dispatched kernel ISA level and, with --data, the\n"
+        "vertical bitmap index footprint for that dataset's shape");
+    return 0;
+  }
+  std::printf("kernel ISA: %s (active)\n",
+              std::string(kernels::IsaName(kernels::ActiveIsa())).c_str());
+  std::printf("supported levels:");
+  for (kernels::Isa isa : kernels::SupportedIsas()) {
+    std::printf(" %s", std::string(kernels::IsaName(isa)).c_str());
+  }
+  std::printf("\noverride with OSSM_SIMD=scalar|avx2|native\n");
+
+  if (args.Has("data")) {
+    StatusOr<TransactionDatabase> db = LoadDataset(args.Get("data", ""));
+    if (!db.ok()) return Fail(db.status());
+    uint64_t bitmap_bytes = BitmapIndex::FootprintBytesFor(
+        db->num_items(), db->num_transactions());
+    uint64_t csr_bytes =
+        db->total_item_occurrences() * sizeof(ItemId) +
+        (db->num_transactions() + 1) * sizeof(uint64_t);
+    // Mirrors QueryEngine's BitmapMode::kAuto rule.
+    bool auto_bitmaps = bitmap_bytes <= 4 * csr_bytes;
+    std::printf(
+        "dataset: %llu transactions, %u items\n"
+        "CSR store: %.1f KB; vertical bitmap index: %.1f KB (%.2fx)\n"
+        "serve tier-3 auto mode would use: %s\n",
+        static_cast<unsigned long long>(db->num_transactions()),
+        db->num_items(), csr_bytes / 1024.0, bitmap_bytes / 1024.0,
+        static_cast<double>(bitmap_bytes) /
+            static_cast<double>(std::max<uint64_t>(csr_bytes, 1)),
+        auto_bitmaps ? "bitmap index" : "CSR scan");
+  }
+  return 0;
+}
+
 // ---- serving ----
 
 int CmdServe(const Args& args) {
@@ -802,7 +844,7 @@ int CmdQuery(const Args& args) {
 int Usage() {
   std::puts(
       "ossm_cli — segment support maps for frequency counting\n"
-      "usage: ossm_cli <gen|build|mine|rules|inspect|serve|query> "
+      "usage: ossm_cli <gen|build|mine|rules|inspect|info|serve|query> "
       "[--flags]\n"
       "run a subcommand with --help for its flags\n"
       "\n"
@@ -824,6 +866,7 @@ int Main(int argc, char** argv) {
   if (command == "mine") return CmdMine(args);
   if (command == "rules") return CmdRules(args);
   if (command == "inspect") return CmdInspect(args);
+  if (command == "info") return CmdInfo(args);
   if (command == "serve") return CmdServe(args);
   if (command == "query") return CmdQuery(args);
   return Usage();
