@@ -9,7 +9,9 @@
 //     request actually takes, minus the socket).
 // Reported values (picked up by bench_compare's direction heuristics):
 // serve_qps / batcher_qps higher-is-better, cache_hit_ratio
-// higher-is-better, bound_reject_ratio informational.
+// higher-is-better, bound_reject_ratio informational. The telemetry block
+// adds windowed (last-1m) p50/p95/p99 per tier plus request and queue-wait
+// percentiles — all *_us, so lower-is-better.
 
 #include <algorithm>
 #include <condition_variable>
@@ -25,6 +27,7 @@
 #include "core/ossm_builder.h"
 #include "serve/batcher.h"
 #include "serve/query_engine.h"
+#include "serve/telemetry.h"
 
 namespace ossm {
 namespace {
@@ -121,9 +124,16 @@ int Run(int argc, char** argv) {
     }
   }
 
+  // Telemetry rides along exactly as in production serving; the slowlog is
+  // parked far above any plausible latency so its mutex stays cold.
+  serve::ServeTelemetry::Config telemetry_config;
+  telemetry_config.slowlog_threshold_us = UINT64_MAX;
+  serve::ServeTelemetry telemetry(telemetry_config);
+
   QueryEngineConfig engine_config;
   engine_config.min_support = min_support;
   engine_config.cache_capacity = cache_capacity;
+  engine_config.telemetry = &telemetry;
   QueryEngine engine(&db, &map, engine_config);
 
   // Drive 1: the engine's batched path, fixed waves.
@@ -147,6 +157,7 @@ int Run(int argc, char** argv) {
   batcher_config.max_delay_us = 200;
   batcher_config.max_queue =
       static_cast<uint32_t>(std::min<uint64_t>(num_queries, 1u << 20));
+  batcher_config.telemetry = &telemetry;
   Batcher batcher(&engine, batcher_config);
   double batcher_seconds = 0;
   {
@@ -189,6 +200,46 @@ int Run(int argc, char** argv) {
   table.AddRow({"cache_hit", TablePrinter::FormatCount(stats.cache_hits)});
   table.AddRow({"exact", TablePrinter::FormatCount(stats.exact_counts)});
   table.Print(std::cout);
+
+  // Windowed latency percentiles over the last minute of the run — the
+  // numbers a Prometheus scrape of a live server would report.
+  constexpr size_t kWin = serve::ServeTelemetry::kLongWindows;
+  struct Lane {
+    const char* key;   // reported value prefix
+    const char* name;  // table label
+    obs::HdrSnapshot snap;
+  };
+  std::vector<Lane> lanes;
+  lanes.push_back({"request", "request", telemetry.RequestWindow(kWin)});
+  lanes.push_back(
+      {"queue_wait", "queue wait", telemetry.QueueWaitWindow(kWin)});
+  constexpr serve::QueryTier kAllTiers[] = {
+      serve::QueryTier::kBoundReject, serve::QueryTier::kSingleton,
+      serve::QueryTier::kCacheHit, serve::QueryTier::kExact};
+  constexpr const char* kTierKeys[] = {"tier_reject", "tier_singleton",
+                                       "tier_cache", "tier_exact"};
+  for (size_t i = 0; i < 4; ++i) {
+    lanes.push_back({kTierKeys[i],
+                     serve::QueryTierName(kAllTiers[i]).data(),
+                     telemetry.TierWindow(kAllTiers[i], kWin)});
+  }
+  TablePrinter latency({"lane", "p50 us", "p95 us", "p99 us", "samples"});
+  for (Lane& lane : lanes) {
+    latency.AddRow({lane.name,
+                    TablePrinter::FormatDouble(lane.snap.Percentile(0.50)),
+                    TablePrinter::FormatDouble(lane.snap.Percentile(0.95)),
+                    TablePrinter::FormatDouble(lane.snap.Percentile(0.99)),
+                    TablePrinter::FormatCount(lane.snap.count())});
+    reporter.AddValue(std::string(lane.key) + "_p50_us",
+                      lane.snap.Percentile(0.50));
+    reporter.AddValue(std::string(lane.key) + "_p95_us",
+                      lane.snap.Percentile(0.95));
+    reporter.AddValue(std::string(lane.key) + "_p99_us",
+                      lane.snap.Percentile(0.99));
+  }
+  std::printf("\nwindowed latency (last %zus of the run):\n",
+              static_cast<size_t>(kWin));
+  latency.Print(std::cout);
   std::printf(
       "\nserve_qps (engine waves): %.0f\n"
       "batcher_qps (window):     %.0f\n"

@@ -29,6 +29,19 @@ void WriteJsonReport(const MetricsSnapshot& snapshot, std::ostream& os);
 void WriteMetricsJsonObject(const MetricsSnapshot& snapshot, std::ostream& os,
                             int indent);
 
+// Prometheus text exposition (version 0.0.4 — the format every scraper
+// accepts). Counters become `ossm_<name>_total` counter families, gauges
+// `ossm_<name>` gauge families, histograms `ossm_<name>` summaries with
+// quantile="0.5|0.95|0.99" series plus _sum/_count. Metric names are
+// sanitized with PrometheusName. Every family gets a # TYPE line; output
+// ends with a newline as the format requires.
+void WritePrometheusReport(const MetricsSnapshot& snapshot, std::ostream& os);
+
+// Maps an instrument name onto the Prometheus metric-name alphabet
+// [a-zA-Z0-9_:] and prefixes "ossm_": "serve.tier.exact_us" ->
+// "ossm_serve_tier_exact_us".
+std::string PrometheusName(std::string_view name);
+
 // Chrome trace-event JSON — load the file in chrome://tracing or Perfetto.
 // Span events are emitted as complete ("ph":"X") slices; flow events as
 // "ph":"s" / "ph":"f" pairs keyed by flow id, which is what draws the

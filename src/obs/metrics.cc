@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 
 namespace ossm {
 namespace obs {
@@ -49,10 +50,11 @@ double Histogram::Percentile(double p) const {
   uint64_t n = count();
   if (n == 0) return 0.0;
   p = std::clamp(p, 0.0, 1.0);
-  // Rank of the quantile sample, 1-based.
-  uint64_t rank = std::max<uint64_t>(
-      1, static_cast<uint64_t>(p * static_cast<double>(n) + 0.5));
-  rank = std::min(rank, n);
+  // Rank of the quantile sample under the sorted-sample convention
+  // (ceil(p*n)), 1-based.
+  uint64_t rank =
+      static_cast<uint64_t>(std::ceil(p * static_cast<double>(n)));
+  rank = std::clamp<uint64_t>(rank, 1, n);
 
   uint64_t seen = 0;
   for (int i = 0; i < kNumBuckets; ++i) {
@@ -61,8 +63,16 @@ double Histogram::Percentile(double p) const {
     if (seen + in_bucket >= rank) {
       double lower = static_cast<double>(BucketLower(i));
       double upper = static_cast<double>(BucketUpper(i));
-      double fraction = static_cast<double>(rank - seen) /
-                        static_cast<double>(in_bucket);
+      // 0-based position of the target among this bucket's samples: the
+      // first sample sits at the lower bound, the last at the upper bound.
+      // (The old fraction (rank - seen) / in_bucket biased every estimate
+      // toward the upper bound — a lone sample in bucket 1 reported the
+      // boundary value instead of the bucket itself.)
+      uint64_t position = rank - seen - 1;
+      double fraction = in_bucket <= 1
+                            ? 0.0
+                            : static_cast<double>(position) /
+                                  static_cast<double>(in_bucket - 1);
       double estimate = lower + (upper - lower) * fraction;
       estimate = std::max(estimate, static_cast<double>(min()));
       estimate = std::min(estimate, static_cast<double>(max()));
@@ -93,12 +103,12 @@ Gauge& MetricsRegistry::GetGauge(std::string_view name) {
   return *it->second;
 }
 
-Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
+HdrHistogram& MetricsRegistry::GetHistogram(std::string_view name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_
-             .emplace(std::string(name), std::make_unique<Histogram>())
+             .emplace(std::string(name), std::make_unique<HdrHistogram>())
              .first;
   }
   return *it->second;

@@ -11,6 +11,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/hdr_histogram.h"
+
 namespace ossm {
 namespace obs {
 
@@ -46,6 +48,10 @@ class Gauge {
 // width i — powers of two cover the whole uint64 range with 65 buckets, and
 // recording is a handful of lock-free atomic operations, so histograms are
 // safe on hot paths and under concurrency.
+//
+// Registry-backed instruments use the finer-grained HdrHistogram
+// (obs/hdr_histogram.h) instead; this class remains the cheap fixed-size
+// option and the comparison baseline in the percentile property tests.
 class Histogram {
  public:
   static constexpr int kNumBuckets = 65;
@@ -58,8 +64,14 @@ class Histogram {
   uint64_t min() const { return min_.load(std::memory_order_relaxed); }
   uint64_t max() const { return max_.load(std::memory_order_relaxed); }
 
-  // The p-quantile (p in [0, 1]), linearly interpolated inside the
-  // power-of-two bucket holding it and clamped to [min, max]. 0 when empty.
+  // The p-quantile (p in [0, 1]) under the sorted-sample convention (rank
+  // ceil(p*n), 1-based): samples inside the holding bucket are assumed
+  // evenly spread from its lower to its upper bound, so a bucket's first
+  // sample reports the lower bound — in particular the boundary between
+  // the single-valued buckets 0 ({0}) and 1 ({1}) is exact, and a
+  // percentile never lands above every sample in its bucket. Clamped to
+  // [min, max]. 0 when empty. The estimate always lies inside the bucket
+  // holding the exact rank-th sample, i.e. within a factor of 2.
   double Percentile(double p) const;
 
  private:
@@ -101,7 +113,9 @@ class MetricsRegistry {
 
   Counter& GetCounter(std::string_view name);
   Gauge& GetGauge(std::string_view name);
-  Histogram& GetHistogram(std::string_view name);
+  // Histogram instruments are HDR log-linear (<= 1/32 relative bucket
+  // error) so exported percentiles are tail-latency grade.
+  HdrHistogram& GetHistogram(std::string_view name);
 
   MetricsSnapshot Snapshot() const;
 
@@ -113,7 +127,8 @@ class MetricsRegistry {
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<HdrHistogram>, std::less<>>
+      histograms_;
 };
 
 }  // namespace obs

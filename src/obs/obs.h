@@ -99,7 +99,7 @@ void EnableMetricsCollection();
 #define OSSM_HISTOGRAM_RECORD(name, sample)                          \
   do {                                                               \
     if (::ossm::obs::MetricsEnabled()) {                             \
-      static ::ossm::obs::Histogram& ossm_obs_histogram =            \
+      static ::ossm::obs::HdrHistogram& ossm_obs_histogram =         \
           ::ossm::obs::MetricsRegistry::Global().GetHistogram(name); \
       ossm_obs_histogram.Record(sample);                             \
     }                                                                \

@@ -374,6 +374,14 @@ MetricDirection DirectionForCounter(std::string_view counter_name) {
 }
 
 MetricDirection DirectionForValue(std::string_view value_name) {
+  // Latency percentiles and queueing metrics measure waiting; they win over
+  // any other token the name carries (e.g. the cache tier's p99 must not
+  // inherit the cache-hit higher-is-better rule).
+  if (Contains(value_name, "_p50_us") || Contains(value_name, "_p95_us") ||
+      Contains(value_name, "_p99_us") || Contains(value_name, "queue_wait") ||
+      Contains(value_name, "queue_depth")) {
+    return MetricDirection::kLowerIsBetter;
+  }
   if (Contains(value_name, "speedup") || Contains(value_name, "throughput") ||
       Contains(value_name, "per_sec") || Contains(value_name, "pruned") ||
       Contains(value_name, "qps") || Contains(value_name, "hit_ratio") ||

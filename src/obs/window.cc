@@ -1,0 +1,121 @@
+#include "obs/window.h"
+
+#include <algorithm>
+
+namespace ossm {
+namespace obs {
+
+WindowedHistogram::WindowedHistogram(const HdrHistogram* source,
+                                     uint64_t window_width,
+                                     size_t num_windows, uint64_t now)
+    : source_(source),
+      window_width_(window_width == 0 ? 1 : window_width),
+      windows_(std::max<size_t>(num_windows, 1)),
+      head_start_(now),
+      first_start_(now) {}
+
+void WindowedHistogram::RotateLocked(uint64_t now) {
+  if (now < head_start_ + window_width_) return;  // head still current
+
+  // Close out the head: everything recorded since the last rotation lands
+  // in it (if several windows elapsed unobserved, intermediate windows
+  // stay empty and the head absorbs the whole delta — see header).
+  HdrSnapshot cumulative = source_->Snapshot();
+  HdrSnapshot delta = cumulative;
+  delta.SubtractBaseline(last_cumulative_);
+  windows_[head_].MergeFrom(delta);
+  last_cumulative_ = std::move(cumulative);
+
+  uint64_t elapsed_windows = (now - head_start_) / window_width_;
+  // Opening more windows than the ring holds just clears the whole ring.
+  const size_t to_open =
+      static_cast<size_t>(std::min<uint64_t>(elapsed_windows, windows_.size()));
+  for (size_t i = 0; i < to_open; ++i) {
+    head_ = (head_ + 1) % windows_.size();
+    windows_[head_] = HdrSnapshot();
+  }
+  head_start_ += elapsed_windows * window_width_;
+}
+
+HdrSnapshot WindowedHistogram::Merged(uint64_t now, size_t last_n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RotateLocked(now);
+  last_n = std::clamp<size_t>(last_n, 1, windows_.size());
+
+  HdrSnapshot merged;
+  for (size_t i = 0; i < last_n; ++i) {
+    const size_t idx = (head_ + windows_.size() - i) % windows_.size();
+    merged.MergeFrom(windows_[idx]);
+  }
+  // Fold in the current window's partial delta so readings are live.
+  HdrSnapshot partial = source_->Snapshot();
+  partial.SubtractBaseline(last_cumulative_);
+  merged.MergeFrom(partial);
+  return merged;
+}
+
+double WindowedHistogram::Rate(uint64_t now, size_t last_n) {
+  last_n = std::clamp<size_t>(last_n, 1, windows_.size());
+  HdrSnapshot merged = Merged(now, last_n);
+  if (merged.count() == 0) return 0.0;
+  // Covered span: last_n - 1 closed windows plus the partial head, but
+  // never more than we have actually been observing.
+  uint64_t span;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const uint64_t head_age = now >= head_start_ ? now - head_start_ : 0;
+    span = static_cast<uint64_t>(last_n - 1) * window_width_ + head_age;
+    if (now >= first_start_) span = std::min(span, now - first_start_);
+  }
+  if (span == 0) span = 1;
+  return static_cast<double>(merged.count()) / static_cast<double>(span);
+}
+
+WindowedRatio::WindowedRatio(uint64_t window_width, size_t num_windows,
+                             uint64_t now)
+    : window_width_(window_width == 0 ? 1 : window_width),
+      windows_(std::max<size_t>(num_windows, 1)),
+      head_start_(now) {}
+
+void WindowedRatio::RotateLocked(uint64_t now) {
+  if (now < head_start_ + window_width_) return;
+  uint64_t elapsed_windows = (now - head_start_) / window_width_;
+  const size_t to_open =
+      static_cast<size_t>(std::min<uint64_t>(elapsed_windows, windows_.size()));
+  for (size_t i = 0; i < to_open; ++i) {
+    head_ = (head_ + 1) % windows_.size();
+    windows_[head_] = Delta{};
+  }
+  head_start_ += elapsed_windows * window_width_;
+}
+
+void WindowedRatio::Observe(uint64_t now, uint64_t numerator,
+                            uint64_t denominator) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RotateLocked(now);
+  // Cumulative inputs are monotone; clamp against restarts/mismatched feeds.
+  const uint64_t dn = numerator - std::min(numerator, last_num_);
+  const uint64_t dd = denominator - std::min(denominator, last_den_);
+  windows_[head_].num += dn;
+  windows_[head_].den += dd;
+  last_num_ = numerator;
+  last_den_ = denominator;
+}
+
+double WindowedRatio::Ratio(uint64_t now, size_t last_n, double fallback) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RotateLocked(now);
+  last_n = std::clamp<size_t>(last_n, 1, windows_.size());
+  uint64_t num = 0;
+  uint64_t den = 0;
+  for (size_t i = 0; i < last_n; ++i) {
+    const size_t idx = (head_ + windows_.size() - i) % windows_.size();
+    num += windows_[idx].num;
+    den += windows_[idx].den;
+  }
+  if (den == 0) return fallback;
+  return static_cast<double>(num) / static_cast<double>(den);
+}
+
+}  // namespace obs
+}  // namespace ossm

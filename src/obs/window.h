@@ -1,0 +1,109 @@
+#ifndef OSSM_OBS_WINDOW_H_
+#define OSSM_OBS_WINDOW_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "obs/hdr_histogram.h"
+
+namespace ossm {
+namespace obs {
+
+// Time-windowed aggregation over an HdrHistogram: a ring of N rotating
+// fixed-width windows, each holding the delta snapshot of samples recorded
+// during its interval. Readers ask for "the last K windows merged" — e.g.
+// with 1-second windows, Merged(10) is the last-10s distribution and
+// Merged(60) the last-1m, from one ring.
+//
+// Rotation is lazy: there is no background thread. Every reader (and,
+// cheaply, every writer would be wrong — writers stay lock-free on the
+// underlying histogram) advances the ring on access using the caller's
+// clock. If more than one window elapsed unobserved, the whole delta since
+// the last rotation is attributed to the window that was open when the gap
+// began (the oldest elapsed window, so stale samples age out no later than
+// they should) — an approximation that only matters when nobody was
+// looking, and is documented as such in DESIGN.md.
+//
+// Writers call the underlying HdrHistogram::Record directly (the windowed
+// wrapper never sits on the hot path); readers go through this class, which
+// snapshots the cumulative histogram and differences it against the ring.
+class WindowedHistogram {
+ public:
+  // `source` must outlive this object. Window width is in the same clock
+  // units the caller passes to the read methods (the serving layer uses
+  // obs::TraceNowMicros()). `now` starts the window clock: samples recorded
+  // between construction and the first read all land in the first window
+  // rather than being silently baselined away.
+  WindowedHistogram(const HdrHistogram* source, uint64_t window_width,
+                    size_t num_windows, uint64_t now);
+
+  size_t num_windows() const { return windows_.size(); }
+  uint64_t window_width() const { return window_width_; }
+
+  // Rotates the ring up to `now`, then returns the merge of the most
+  // recent `last_n` closed-or-current windows (clamped to the ring size).
+  // The current (still-filling) window's partial delta is included so the
+  // numbers never lag by a full window.
+  HdrSnapshot Merged(uint64_t now, size_t last_n);
+
+  // Samples recorded in the merge divided by the covered wall-clock span —
+  // the windowed rate (qps when the histogram records one sample per
+  // request). Covered span is capped at the ring span and at the time
+  // since the first rotation, so early readings aren't diluted by empty
+  // history. 0 before any sample.
+  double Rate(uint64_t now, size_t last_n);
+
+ private:
+  void RotateLocked(uint64_t now);
+
+  const HdrHistogram* source_;
+  const uint64_t window_width_;
+
+  std::mutex mu_;
+  std::vector<HdrSnapshot> windows_;  // ring of per-window deltas
+  size_t head_ = 0;                   // index of the current window
+  uint64_t head_start_;               // clock value when head_ opened
+  const uint64_t first_start_;        // clock value at construction
+  HdrSnapshot last_cumulative_;  // source snapshot at last rotation
+};
+
+// Windowed view over a pair of monotonically increasing tallies — the
+// cache-hit-ratio / error-rate primitive. Callers feed absolute cumulative
+// values (e.g. SupportCache::hits()/misses()); the window reports the
+// ratio of the deltas over the last K windows, rotating lazily like
+// WindowedHistogram.
+class WindowedRatio {
+ public:
+  // `now` starts the window clock, matching WindowedHistogram.
+  WindowedRatio(uint64_t window_width, size_t num_windows, uint64_t now);
+
+  // Advances the ring and folds in the latest cumulative readings.
+  void Observe(uint64_t now, uint64_t numerator, uint64_t denominator);
+
+  // numerator-delta / denominator-delta over the last `last_n` windows
+  // (including the current partial one). `fallback` when the denominator
+  // delta is zero (no traffic in the window).
+  double Ratio(uint64_t now, size_t last_n, double fallback = 0.0);
+
+ private:
+  struct Delta {
+    uint64_t num = 0;
+    uint64_t den = 0;
+  };
+
+  void RotateLocked(uint64_t now);
+
+  const uint64_t window_width_;
+  std::mutex mu_;
+  std::vector<Delta> windows_;
+  size_t head_ = 0;
+  uint64_t head_start_;
+  uint64_t last_num_ = 0;
+  uint64_t last_den_ = 0;
+};
+
+}  // namespace obs
+}  // namespace ossm
+
+#endif  // OSSM_OBS_WINDOW_H_

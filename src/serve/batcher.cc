@@ -6,6 +6,7 @@
 
 #include "obs/obs.h"
 #include "obs/trace.h"
+#include "serve/telemetry.h"
 
 namespace ossm {
 namespace serve {
@@ -44,6 +45,11 @@ Status Batcher::SubmitAsync(Itemset itemset, Callback callback) {
           " pending)");
     }
     pending_.push_back(std::move(pending));
+    queue_depth_.store(pending_.size(), std::memory_order_relaxed);
+  }
+  if (config_.telemetry != nullptr) {
+    config_.telemetry->SetQueueDepth(
+        queue_depth_.load(std::memory_order_relaxed));
   }
   wake_.notify_one();
   return Status::OK();
@@ -93,6 +99,11 @@ void Batcher::DispatchLoop() {
         wave.push_back(std::move(pending_.front()));
         pending_.pop_front();
       }
+      queue_depth_.store(pending_.size(), std::memory_order_relaxed);
+    }
+    if (config_.telemetry != nullptr) {
+      config_.telemetry->SetQueueDepth(
+          queue_depth_.load(std::memory_order_relaxed));
     }
     RunBatch(std::move(wave));
   }
@@ -107,12 +118,23 @@ void Batcher::RunBatch(std::vector<Pending> wave) {
       }
     }
   }
+  ServeTelemetry* telemetry = config_.telemetry;
+  const auto wave_start = std::chrono::steady_clock::now();
+  // Per-query queue wait, captured before the engine call so the request
+  // totals below can split time into waiting vs counting.
+  std::vector<uint64_t> queue_wait_us(wave.size(), 0);
+  for (size_t i = 0; i < wave.size(); ++i) {
+    queue_wait_us[i] = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            wave_start - wave[i].enqueued)
+            .count());
+  }
+  if (telemetry != nullptr) {
+    for (uint64_t wait : queue_wait_us) telemetry->RecordQueueWait(wait);
+    telemetry->RecordWaveSize(wave.size());
+  }
   if (obs::MetricsEnabled()) {
-    auto now = std::chrono::steady_clock::now();
-    uint64_t oldest_wait_us =
-        static_cast<uint64_t>(std::chrono::duration_cast<
-            std::chrono::microseconds>(now - wave.front().enqueued).count());
-    OSSM_HISTOGRAM_RECORD("serve.batch_wait_us", oldest_wait_us);
+    OSSM_HISTOGRAM_RECORD("serve.batch_wait_us", queue_wait_us[0]);
     OSSM_HISTOGRAM_RECORD("serve.batch_size", wave.size());
   }
 
@@ -146,13 +168,26 @@ void Batcher::RunBatch(std::vector<Pending> wave) {
 
   StatusOr<std::vector<QueryResult>> results = engine_->QueryBatch(
       std::span<const Itemset>(unique.data(), unique.size()));
+  const auto wave_end = std::chrono::steady_clock::now();
   for (size_t slot = 0; slot < owners.size(); ++slot) {
     StatusOr<QueryResult> answer =
         results.ok() ? StatusOr<QueryResult>((*results)[slot])
                      : StatusOr<QueryResult>(results.status());
     for (size_t i : owners[slot]) {
       wave[i].callback(answer);
+      if (telemetry != nullptr && answer.ok()) {
+        const uint64_t total_us = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                wave_end - wave[i].enqueued)
+                .count());
+        telemetry->RecordRequest(wave[i].itemset, *answer, queue_wait_us[i],
+                                 total_us);
+      }
     }
+  }
+  if (telemetry != nullptr) {
+    telemetry->ObserveCache(engine_->cache().hits(),
+                            engine_->cache().misses());
   }
 }
 

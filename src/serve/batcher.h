@@ -30,6 +30,10 @@ struct BatcherConfig {
   // client) hears about it immediately, rather than every query slowly
   // timing out behind an unbounded backlog.
   uint32_t max_queue = 4096;
+  // Optional serving telemetry (serve/telemetry.h): queue-depth gauge,
+  // queue-wait / wave-size histograms, end-to-end request records and the
+  // slow-query log. Null disables. Must outlive the batcher.
+  ServeTelemetry* telemetry = nullptr;
 };
 
 // Coalesces single-itemset submissions into QueryEngine::QueryBatch calls:
@@ -76,6 +80,10 @@ class Batcher {
   uint64_t backpressure_rejects() const {
     return backpressure_rejects_.load(std::memory_order_relaxed);
   }
+  // Queries currently waiting for a wave (for STATS; sampled unlocked).
+  uint64_t queue_depth() const {
+    return queue_depth_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Pending {
@@ -100,6 +108,7 @@ class Batcher {
   std::atomic<uint64_t> batches_{0};
   std::atomic<uint64_t> coalesced_{0};
   std::atomic<uint64_t> backpressure_rejects_{0};
+  std::atomic<uint64_t> queue_depth_{0};
 
   std::thread dispatcher_;
 };

@@ -46,20 +46,38 @@ StatusOr<Request> ParseRequest(std::string_view line, uint32_t max_items) {
   }
   std::string_view verb = tokens[0];
   Request request;
-  if (verb == "INFO" || verb == "STATS" || verb == "PING" || verb == "QUIT") {
+  if (verb == "INFO" || verb == "STATS" || verb == "METRICS" ||
+      verb == "PING" || verb == "QUIT") {
     if (tokens.size() != 1) {
       return Status::InvalidArgument(std::string(verb) +
                                      " takes no arguments");
     }
-    request.kind = verb == "INFO"    ? RequestKind::kInfo
-                   : verb == "STATS" ? RequestKind::kStats
-                   : verb == "PING"  ? RequestKind::kPing
-                                     : RequestKind::kQuit;
+    request.kind = verb == "INFO"      ? RequestKind::kInfo
+                   : verb == "STATS"   ? RequestKind::kStats
+                   : verb == "METRICS" ? RequestKind::kMetrics
+                   : verb == "PING"    ? RequestKind::kPing
+                                       : RequestKind::kQuit;
+    return request;
+  }
+  if (verb == "SLOWLOG") {
+    if (tokens.size() > 2) {
+      return Status::InvalidArgument("SLOWLOG takes at most one count");
+    }
+    request.kind = RequestKind::kSlowlog;
+    if (tokens.size() == 2) {
+      ItemId count = 0;  // same uint32 grammar as items
+      if (!ParseItem(tokens[1], &count)) {
+        return Status::InvalidArgument("bad SLOWLOG count '" +
+                                       std::string(tokens[1]) + "'");
+      }
+      request.slowlog_count = count;
+    }
     return request;
   }
   if (verb != "Q") {
-    return Status::InvalidArgument("unknown verb '" + std::string(verb) +
-                                   "' (Q, INFO, STATS, PING, QUIT)");
+    return Status::InvalidArgument(
+        "unknown verb '" + std::string(verb) +
+        "' (Q, INFO, STATS, METRICS, SLOWLOG, PING, QUIT)");
   }
   if (tokens.size() < 2) {
     return Status::InvalidArgument("Q needs at least one item");
@@ -96,8 +114,15 @@ std::string FormatResult(const QueryResult& result) {
 
 std::string FormatError(const Status& status) {
   std::string line = "ERR " + status.ToString();
-  std::replace(line.begin(), line.end(), '\n', ' ');
-  std::replace(line.begin(), line.end(), '\r', ' ');
+  // An error line must stay one printable line no matter what bytes the
+  // client sent (messages echo offending tokens — including NULs, which
+  // would otherwise truncate what C-string consumers see of the line).
+  for (char& c : line) {
+    if (c == '\n' || c == '\r' ||
+        (static_cast<unsigned char>(c) < 0x20 && c != '\t')) {
+      c = ' ';
+    }
+  }
   return line;
 }
 

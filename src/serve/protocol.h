@@ -8,6 +8,8 @@
 //   request  := "Q" SP items        ; itemset-support query
 //             | "INFO"              ; served collection + threshold
 //             | "STATS"             ; engine/batcher tallies
+//             | "METRICS"           ; Prometheus text exposition
+//             | "SLOWLOG" [SP uint] ; newest slow queries (default 16)
 //             | "PING"              ; liveness
 //             | "QUIT"              ; server answers BYE and closes
 //   items    := uint (SP uint)*     ; any order; duplicates collapse
@@ -17,11 +19,32 @@
 //                                         ; sup(X) <= bound, exact count skipped
 //             | "INFO" SP k=v ...         ; items, transactions, minsup, segments
 //             | "STATS" SP k=v ...
+//             | "METRICS" SP n NL body    ; n = body line count (see below)
+//             | "SLOWLOG" SP n NL body    ; n entry lines, newest first
 //             | "PONG"
 //             | "BYE"
 //             | "ERR" SP message          ; malformed line, oversized query,
 //                                         ; or backpressure; connection stays up
 //   tier     := "singleton" | "cache" | "exact"
+//
+// Multi-line responses (METRICS, SLOWLOG) stay inside the one-response-
+// per-request ordering contract: the header line carries the number of
+// body lines that follow, so a pipelining client reads exactly n more
+// lines before the next response. Without serve telemetry configured both
+// verbs answer with n = 0.
+//
+// Introspection verbs (INFO/STATS/METRICS/SLOWLOG) are evaluated when the
+// request line is parsed, not when the response flushes: queries pipelined
+// ahead of them on the same connection may still be in flight and not yet
+// counted. Scrapers that want completed traffic read their query answers
+// first (or scrape on a separate connection, as Prometheus does).
+//
+// STATS keys appear in this order, and new keys are only ever appended:
+//   queries bound_rejects singleton_hits cache_hits exact_counts
+//   cache_size batches coalesced backpressure queue_depth
+//   queue_wait_p50_us queue_wait_p95_us queue_wait_p99_us
+// The queue_* keys report the batcher's live queue depth and the
+// since-boot queue-wait distribution; they read 0 without serve telemetry.
 #include <string>
 #include <string_view>
 
@@ -32,11 +55,20 @@
 namespace ossm {
 namespace serve {
 
-enum class RequestKind { kQuery, kInfo, kStats, kPing, kQuit };
+enum class RequestKind {
+  kQuery,
+  kInfo,
+  kStats,
+  kMetrics,
+  kSlowlog,
+  kPing,
+  kQuit,
+};
 
 struct Request {
   RequestKind kind = RequestKind::kQuery;
   Itemset itemset;  // canonicalized (sorted, deduplicated); kQuery only
+  uint32_t slowlog_count = 16;  // kSlowlog only; capped by the server
 };
 
 // Parses one request line (without the terminating '\n'). Rejects unknown

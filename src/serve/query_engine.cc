@@ -7,6 +7,7 @@
 #include "common/timer.h"
 #include "obs/obs.h"
 #include "parallel/thread_pool.h"
+#include "serve/telemetry.h"
 
 namespace ossm {
 namespace serve {
@@ -200,10 +201,16 @@ StatusOr<QueryResult> QueryEngine::Query(std::span<const ItemId> itemset) {
     result.frequent = counts[0] >= config_.min_support;
     cache_.Insert(itemset, counts[0]);
   }
+  const uint64_t us = static_cast<uint64_t>(timer.ElapsedSeconds() * 1e6);
   if (obs::MetricsEnabled()) {
-    uint64_t us = static_cast<uint64_t>(timer.ElapsedSeconds() * 1e6);
     OSSM_HISTOGRAM_RECORD("serve.query_us", us);
     RecordTierLatency(result.tier, us);
+  }
+  if (config_.telemetry != nullptr) {
+    config_.telemetry->RecordTierLatency(result.tier, us);
+    // A direct Query() is its own end-to-end request (no queue in front).
+    Itemset items(itemset.begin(), itemset.end());
+    config_.telemetry->RecordRequest(items, result, /*queue_wait_us=*/0, us);
   }
   return result;
 }
@@ -235,22 +242,36 @@ StatusOr<std::vector<QueryResult>> QueryEngine::QueryBatch(
   }
 
   // Tiers 1-2 per unique itemset; survivors share one exact sweep.
+  ServeTelemetry* telemetry = config_.telemetry;
   std::vector<Itemset> needed;
   std::vector<size_t> needed_owner;  // index of the unique query it answers
   for (size_t i : unique_order) {
+    WallTimer tier_timer;
     if (!TryAnswerWithoutScan(itemsets[i], &results[i])) {
       needed.push_back(itemsets[i]);
       needed_owner.push_back(i);
+    } else if (telemetry != nullptr) {
+      telemetry->RecordTierLatency(
+          results[i].tier,
+          static_cast<uint64_t>(tier_timer.ElapsedSeconds() * 1e6));
     }
   }
   if (!needed.empty()) {
+    WallTimer sweep_timer;
     std::vector<uint64_t> counts = ExactCounts(needed);
+    // Every survivor experienced the whole shared sweep: that is its
+    // tier-3 latency, so the exact histogram reflects what callers felt.
+    const uint64_t sweep_us =
+        static_cast<uint64_t>(sweep_timer.ElapsedSeconds() * 1e6);
     for (size_t q = 0; q < needed.size(); ++q) {
       QueryResult& result = results[needed_owner[q]];
       result.support = counts[q];
       result.tier = QueryTier::kExact;
       result.frequent = counts[q] >= config_.min_support;
       cache_.Insert(needed[q], counts[q]);
+      if (telemetry != nullptr) {
+        telemetry->RecordTierLatency(QueryTier::kExact, sweep_us);
+      }
     }
   }
   for (size_t i = 0; i < itemsets.size(); ++i) {

@@ -20,6 +20,8 @@
 namespace ossm {
 namespace serve {
 
+class ServeTelemetry;
+
 // Which tier of the serving path produced an answer.
 enum class QueryTier : uint8_t {
   kBoundReject,  // OSSM screen: sup_hat(X) < minsup; support holds the bound
@@ -68,6 +70,10 @@ struct QueryEngineConfig {
   uint64_t cache_capacity = 1 << 16;  // entries
   uint32_t cache_shards = 16;
   BitmapMode bitmap_mode = BitmapMode::kAuto;
+  // Optional serving telemetry (serve/telemetry.h): per-tier latency
+  // histograms recorded on every query, independent of OSSM_METRICS.
+  // Null disables. Must outlive the engine.
+  ServeTelemetry* telemetry = nullptr;
 };
 
 // Answers itemset-support queries against an immutable TransactionDatabase,

@@ -13,12 +13,15 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
 
 #include "obs/obs.h"
+#include "obs/trace.h"
 #include "serve/protocol.h"
+#include "serve/telemetry.h"
 
 namespace ossm {
 namespace serve {
@@ -287,6 +290,16 @@ void SupportServer::DispatchLines(Connection& conn) {
         slot->done.store(true, std::memory_order_release);
         conn.slots.push_back(std::move(slot));
         break;
+      case RequestKind::kMetrics:
+        slot->text = MetricsText();
+        slot->done.store(true, std::memory_order_release);
+        conn.slots.push_back(std::move(slot));
+        break;
+      case RequestKind::kSlowlog:
+        slot->text = SlowlogText(request->slowlog_count);
+        slot->done.store(true, std::memory_order_release);
+        conn.slots.push_back(std::move(slot));
+        break;
       case RequestKind::kQuit:
         slot->text = "BYE";
         slot->done.store(true, std::memory_order_release);
@@ -297,12 +310,21 @@ void SupportServer::DispatchLines(Connection& conn) {
       case RequestKind::kQuery: {
         conn.slots.push_back(slot);
         int wake_fd = wake_fd_;
+        // End-to-end request flow: the arrow spans front-end admission to
+        // the completion callback, bracketing the batcher's own
+        // submit->dispatch flow inside it.
+        uint64_t flow_id = 0;
+        if (obs::TraceEventRetention()) {
+          flow_id = obs::NewFlowId();
+          obs::EmitFlowStart("serve.request", flow_id);
+        }
         Status admitted = batcher_->SubmitAsync(
             std::move(request->itemset),
-            [slot, wake_fd](const StatusOr<QueryResult>& result) {
+            [slot, wake_fd, flow_id](const StatusOr<QueryResult>& result) {
               slot->text = result.ok() ? FormatResult(*result)
                                        : FormatError(result.status());
               slot->done.store(true, std::memory_order_release);
+              if (flow_id != 0) obs::EmitFlowEnd("serve.request", flow_id);
               uint64_t kick = 1;
               ssize_t ignored = ::write(wake_fd, &kick, sizeof(kick));
               (void)ignored;
@@ -367,15 +389,73 @@ std::string SupportServer::InfoLine() const {
 
 std::string SupportServer::StatsLine() const {
   EngineStats stats = engine_->Stats();
-  return "STATS queries=" + std::to_string(stats.queries) +
-         " bound_rejects=" + std::to_string(stats.bound_rejects) +
-         " singleton_hits=" + std::to_string(stats.singleton_hits) +
-         " cache_hits=" + std::to_string(stats.cache_hits) +
-         " exact_counts=" + std::to_string(stats.exact_counts) +
-         " cache_size=" + std::to_string(engine_->cache().size()) +
-         " batches=" + std::to_string(batcher_->batches_dispatched()) +
-         " coalesced=" + std::to_string(batcher_->queries_coalesced()) +
-         " backpressure=" + std::to_string(batcher_->backpressure_rejects());
+  // Key order is a documented contract (serve/protocol.h): existing keys
+  // stay put, new keys append.
+  std::string line =
+      "STATS queries=" + std::to_string(stats.queries) +
+      " bound_rejects=" + std::to_string(stats.bound_rejects) +
+      " singleton_hits=" + std::to_string(stats.singleton_hits) +
+      " cache_hits=" + std::to_string(stats.cache_hits) +
+      " exact_counts=" + std::to_string(stats.exact_counts) +
+      " cache_size=" + std::to_string(engine_->cache().size()) +
+      " batches=" + std::to_string(batcher_->batches_dispatched()) +
+      " coalesced=" + std::to_string(batcher_->queries_coalesced()) +
+      " backpressure=" + std::to_string(batcher_->backpressure_rejects());
+  uint64_t wait_p50 = 0;
+  uint64_t wait_p95 = 0;
+  uint64_t wait_p99 = 0;
+  if (config_.telemetry != nullptr) {
+    const obs::HdrHistogram& waits = config_.telemetry->queue_wait_histogram();
+    wait_p50 = static_cast<uint64_t>(waits.Percentile(0.50));
+    wait_p95 = static_cast<uint64_t>(waits.Percentile(0.95));
+    wait_p99 = static_cast<uint64_t>(waits.Percentile(0.99));
+  }
+  line += " queue_depth=" + std::to_string(batcher_->queue_depth()) +
+          " queue_wait_p50_us=" + std::to_string(wait_p50) +
+          " queue_wait_p95_us=" + std::to_string(wait_p95) +
+          " queue_wait_p99_us=" + std::to_string(wait_p99);
+  return line;
+}
+
+std::string SupportServer::MetricsText() const {
+  if (config_.telemetry == nullptr) return "METRICS 0";
+  ServeCounterInputs inputs;
+  inputs.engine = engine_->Stats();
+  inputs.cache_size = engine_->cache().size();
+  inputs.cache_hits = engine_->cache().hits();
+  inputs.cache_misses = engine_->cache().misses();
+  inputs.batches = batcher_->batches_dispatched();
+  inputs.coalesced = batcher_->queries_coalesced();
+  inputs.backpressure_rejects = batcher_->backpressure_rejects();
+  inputs.connections = connections_accepted();
+  std::string body = config_.telemetry->PrometheusText(inputs);
+  // The body ends with '\n' and FlushConnection appends the slot's own
+  // terminator, so drop the final newline and count the lines.
+  if (!body.empty() && body.back() == '\n') body.pop_back();
+  size_t lines = body.empty() ? 0 : 1;
+  for (char c : body) {
+    if (c == '\n') ++lines;
+  }
+  std::string text = "METRICS " + std::to_string(lines);
+  if (!body.empty()) {
+    text += '\n';
+    text += body;
+  }
+  return text;
+}
+
+std::string SupportServer::SlowlogText(uint32_t count) const {
+  if (config_.telemetry == nullptr) return "SLOWLOG 0";
+  count = std::min(count, config_.max_slowlog_entries);
+  std::vector<SlowQueryEntry> entries =
+      config_.telemetry->slowlog().Tail(count);
+  std::string text = "SLOWLOG " + std::to_string(entries.size());
+  const uint64_t now = obs::TraceNowMicros();
+  for (const SlowQueryEntry& entry : entries) {
+    text += '\n';
+    text += ServeTelemetry::FormatSlowEntry(entry, now);
+  }
+  return text;
 }
 
 }  // namespace serve

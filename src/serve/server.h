@@ -32,6 +32,13 @@ struct ServerConfig {
   // How long Shutdown waits for in-flight batches to complete and response
   // buffers to flush before force-closing what remains.
   uint32_t drain_timeout_ms = 5000;
+  // Optional serving telemetry (serve/telemetry.h) behind the METRICS and
+  // SLOWLOG verbs and the queue_* STATS keys. Null keeps those verbs
+  // answering with empty (n = 0) bodies. Must outlive the server. Usually
+  // the same instance wired into the engine and batcher configs.
+  ServeTelemetry* telemetry = nullptr;
+  // Upper bound on entries one SLOWLOG response returns.
+  uint32_t max_slowlog_entries = 256;
 };
 
 // The epoll front-end (Linux-only, like the CI targets): one event-loop
@@ -99,6 +106,10 @@ class SupportServer {
   bool Drained() const;
   std::string InfoLine() const;
   std::string StatsLine() const;
+  // "METRICS <n>" + n exposition lines in one response slot.
+  std::string MetricsText() const;
+  // "SLOWLOG <n>" + n entry lines, newest first.
+  std::string SlowlogText(uint32_t count) const;
 
   QueryEngine* engine_;
   Batcher* batcher_;

@@ -224,6 +224,18 @@ TEST(BenchCompareTest, ValueDirectionHeuristics) {
             MetricDirection::kLowerIsBetter);
   EXPECT_EQ(DirectionForValue("queue_wait_us"),
             MetricDirection::kLowerIsBetter);
+  // Windowed serving percentiles: always latency, whatever tier token the
+  // name carries (tier_cache must not inherit the cache-hit rule).
+  EXPECT_EQ(DirectionForValue("request_p99_us"),
+            MetricDirection::kLowerIsBetter);
+  EXPECT_EQ(DirectionForValue("tier_cache_p50_us"),
+            MetricDirection::kLowerIsBetter);
+  EXPECT_EQ(DirectionForValue("tier_exact_p95_us"),
+            MetricDirection::kLowerIsBetter);
+  EXPECT_EQ(DirectionForValue("queue_wait_p99_us"),
+            MetricDirection::kLowerIsBetter);
+  EXPECT_EQ(DirectionForValue("queue_depth_max"),
+            MetricDirection::kLowerIsBetter);
   EXPECT_EQ(DirectionForValue("n_min.m8"), MetricDirection::kNeutral);
   // Kernel-bench throughput figures.
   EXPECT_EQ(DirectionForValue("min_sum_avx2_gib_per_s"),

@@ -136,8 +136,8 @@ TEST(MetricsRegistryTest, SameNameSameInstrument) {
   Gauge& g2 = registry.GetGauge("pages");
   EXPECT_EQ(&g1, &g2);
 
-  Histogram& h1 = registry.GetHistogram("span.x");
-  Histogram& h2 = registry.GetHistogram("span.x");
+  HdrHistogram& h1 = registry.GetHistogram("span.x");
+  HdrHistogram& h2 = registry.GetHistogram("span.x");
   EXPECT_EQ(&h1, &h2);
 }
 
@@ -169,7 +169,7 @@ TEST(MetricsRegistryTest, SnapshotIsSortedByName) {
 
 TEST(MetricsRegistryTest, SnapshotComputesHistogramQuantiles) {
   MetricsRegistry registry;
-  Histogram& histogram = registry.GetHistogram("lat");
+  HdrHistogram& histogram = registry.GetHistogram("lat");
   for (uint64_t v = 1; v <= 100; ++v) histogram.Record(v);
   MetricsSnapshot snapshot = registry.Snapshot();
   ASSERT_EQ(snapshot.histograms.size(), 1u);

@@ -1,0 +1,113 @@
+#include "obs/window.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/hdr_histogram.h"
+
+namespace ossm {
+namespace obs {
+namespace {
+
+constexpr uint64_t kWidth = 1000;  // one window per 1000 clock units
+
+TEST(WindowedHistogramTest, SamplesBeforeFirstReadAreNotLost) {
+  // Regression guard: the window clock starts at construction, so traffic
+  // that lands before the first scrape must show up in that scrape rather
+  // than being baselined away.
+  HdrHistogram h;
+  WindowedHistogram win(&h, kWidth, 60, /*now=*/0);
+  h.Record(100);
+  h.Record(200);
+  HdrSnapshot merged = win.Merged(/*now=*/500, /*last_n=*/10);
+  EXPECT_EQ(merged.count(), 2u);
+  EXPECT_EQ(merged.sum(), 300u);
+}
+
+TEST(WindowedHistogramTest, MergedCoversClosedWindowsPlusPartialHead) {
+  HdrHistogram h;
+  WindowedHistogram win(&h, kWidth, 60, 0);
+  h.Record(10);                       // window [0, 1000)
+  win.Merged(100, 1);                 // observe while the head is open
+  h.Record(20);                       // still window [0, 1000)
+  h.Record(30);                       // ...
+  // After one rotation the old head is one slot back: last_n=1 sees only
+  // the new (empty) head plus nothing partial, last_n=2 sees everything.
+  HdrSnapshot head_only = win.Merged(1500, 1);
+  EXPECT_EQ(head_only.count(), 0u);
+  HdrSnapshot both = win.Merged(1500, 2);
+  EXPECT_EQ(both.count(), 3u);
+  EXPECT_EQ(both.sum(), 60u);
+}
+
+TEST(WindowedHistogramTest, PartialHeadKeepsReadingsLive) {
+  HdrHistogram h;
+  WindowedHistogram win(&h, kWidth, 60, 0);
+  win.Merged(1500, 1);  // rotate into window [1000, 2000)
+  h.Record(500);
+  // The sample is in the still-open head; it must be visible immediately.
+  EXPECT_EQ(win.Merged(1600, 1).count(), 1u);
+}
+
+TEST(WindowedHistogramTest, OldWindowsAgeOutOfTheMerge) {
+  HdrHistogram h;
+  WindowedHistogram win(&h, kWidth, 60, 0);
+  h.Record(10);
+  win.Merged(500, 1);  // sample observed into the head window [0, 1000)
+  // 20 windows later the sample is outside a last-10 merge but inside a
+  // last-60 merge.
+  EXPECT_EQ(win.Merged(20500, 10).count(), 0u);
+  EXPECT_EQ(win.Merged(20500, 60).count(), 1u);
+  // Far outside the ring entirely, it is gone.
+  EXPECT_EQ(win.Merged(200500, 60).count(), 0u);
+}
+
+TEST(WindowedHistogramTest, UnobservedGapAttributesDeltaToTheLastWindow) {
+  HdrHistogram h;
+  WindowedHistogram win(&h, kWidth, 60, 0);
+  h.Record(7);  // recorded at "t=100", but nobody was reading
+  // First read happens 5 windows later: the whole delta lands in the most
+  // recent closed window (the documented approximation), so a merge wide
+  // enough to include it still counts the sample.
+  EXPECT_EQ(win.Merged(5500, 10).count(), 1u);
+}
+
+TEST(WindowedHistogramTest, RateUsesTheObservedSpan) {
+  HdrHistogram h;
+  WindowedHistogram win(&h, kWidth, 60, 0);
+  for (int i = 0; i < 100; ++i) h.Record(1);
+  // 100 samples over 500 clock units of observation: the span is capped at
+  // time-since-construction, not padded to last_n windows.
+  double rate = win.Rate(500, 10);
+  EXPECT_NEAR(rate, 100.0 / 500.0, 1e-9);
+  // With no samples the rate is zero.
+  HdrHistogram empty;
+  WindowedHistogram empty_win(&empty, kWidth, 60, 0);
+  EXPECT_EQ(empty_win.Rate(500, 10), 0.0);
+}
+
+TEST(WindowedRatioTest, RatioOverDeltasNotCumulative) {
+  WindowedRatio ratio(kWidth, 60, /*now=*/0);
+  ratio.Observe(100, 50, 100);  // first feed: deltas 50/100
+  EXPECT_NEAR(ratio.Ratio(200, 10, -1.0), 0.5, 1e-9);
+  ratio.Observe(300, 50, 200);  // 0 new hits over 100 new lookups
+  // The window now holds 50 hits over 200 lookups.
+  EXPECT_NEAR(ratio.Ratio(400, 10, -1.0), 0.25, 1e-9);
+}
+
+TEST(WindowedRatioTest, FallsBackWhenWindowHasNoTraffic) {
+  WindowedRatio ratio(kWidth, 60, 0);
+  ratio.Observe(100, 80, 100);
+  // 200 windows later nothing remains in the ring: fallback.
+  EXPECT_EQ(ratio.Ratio(200500, 10, -1.0), -1.0);
+}
+
+TEST(WindowedRatioTest, ClampsNonMonotoneFeeds) {
+  WindowedRatio ratio(kWidth, 60, 0);
+  ratio.Observe(100, 10, 20);
+  ratio.Observe(200, 5, 10);  // a restart: cumulative values went backwards
+  EXPECT_NEAR(ratio.Ratio(300, 10, -1.0), 0.5, 1e-9);  // still 10/20
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace ossm

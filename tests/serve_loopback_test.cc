@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,7 @@
 #include "serve/batcher.h"
 #include "serve/query_engine.h"
 #include "serve/server.h"
+#include "serve/telemetry.h"
 
 namespace ossm {
 namespace serve {
@@ -224,6 +226,196 @@ TEST(ServeLoopbackTest, TwoConnectionsAreIndependent) {
   EXPECT_EQ(from_b[0], "PONG");
   EXPECT_GE(server.connections_accepted(), 2u);
   server.Shutdown();
+  batcher.Shutdown();
+}
+
+// Splits "METRICS <n>" / "SLOWLOG <n>" multi-line responses: asserts the
+// header, then returns the n body lines that follow it in `lines` starting
+// at `index` (which advances past the response).
+std::vector<std::string> TakeBody(const std::vector<std::string>& lines,
+                                  size_t& index, const std::string& verb) {
+  EXPECT_LT(index, lines.size());
+  const std::string& header = lines[index];
+  EXPECT_EQ(header.rfind(verb + " ", 0), 0u) << header;
+  size_t n = std::stoull(header.substr(verb.size() + 1));
+  ++index;
+  std::vector<std::string> body;
+  for (size_t i = 0; i < n && index < lines.size(); ++i, ++index) {
+    body.push_back(lines[index]);
+  }
+  EXPECT_EQ(body.size(), n);
+  return body;
+}
+
+// Minimal Prometheus text-format check shared with the CI smoke: TYPE
+// comments or `series value` lines, nothing else.
+void ExpectValidExposition(const std::vector<std::string>& body) {
+  for (const std::string& line : body) {
+    ASSERT_FALSE(line.empty());
+    if (line.rfind("# TYPE ", 0) == 0) continue;
+    ASSERT_EQ(line[0] == '#', false) << line;
+    size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    char* end = nullptr;
+    std::strtod(line.c_str() + space + 1, &end);
+    EXPECT_TRUE(end != nullptr && *end == '\0') << line;
+  }
+}
+
+double SeriesValue(const std::vector<std::string>& body,
+                   const std::string& series) {
+  for (const std::string& line : body) {
+    if (line.size() > series.size() && line[series.size()] == ' ' &&
+        line.compare(0, series.size(), series) == 0) {
+      return std::strtod(line.c_str() + series.size() + 1, nullptr);
+    }
+  }
+  ADD_FAILURE() << "series not found: " << series;
+  return -1.0;
+}
+
+// The telemetry round: traffic through the full stack with a
+// log-everything slowlog threshold, then STATS key order, a parsing
+// METRICS exposition whose counters match the traffic, and a SLOWLOG tail
+// that captured the queries.
+TEST(ServeLoopbackTest, MetricsSlowlogAndStatsRoundTrip) {
+  Fixture fx = MakeFixture();
+  ServeTelemetry::Config telemetry_config;
+  telemetry_config.slowlog_threshold_us = 0;  // every query is "slow"
+  ServeTelemetry telemetry(telemetry_config);
+
+  QueryEngineConfig engine_config;
+  engine_config.min_support = fx.db.num_transactions() / 20;
+  engine_config.telemetry = &telemetry;
+  QueryEngine engine(&fx.db, &fx.map, engine_config);
+  BatcherConfig batcher_config;
+  batcher_config.max_batch = 8;
+  batcher_config.max_delay_us = 200;
+  batcher_config.telemetry = &telemetry;
+  Batcher batcher(&engine, batcher_config);
+  ServerConfig server_config;
+  server_config.port = 0;
+  server_config.telemetry = &telemetry;
+  SupportServer server(&engine, &batcher, server_config);
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr size_t kQueries = 24;
+  std::string payload;
+  for (size_t i = 0; i < kQueries; ++i) {
+    payload += "Q " + std::to_string(i % 40) + "\n";
+  }
+  int fd = ConnectLoopback(server.port());
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(SendAll(fd, payload));
+  std::vector<std::string> answers = ReadLines(fd, kQueries);
+  ASSERT_EQ(answers.size(), kQueries);
+  for (const std::string& answer : answers) {
+    EXPECT_TRUE(answer.rfind("OK ", 0) == 0 || answer.rfind("RJ ", 0) == 0)
+        << answer;
+  }
+
+  // Scrape after the answers have drained: STATS/METRICS/SLOWLOG are
+  // evaluated when their request line is parsed, so a scraper that wants
+  // to see completed traffic must not race it down the same pipeline.
+  ASSERT_TRUE(SendAll(fd, "STATS\nMETRICS\nSLOWLOG 5\nSLOWLOG\nQUIT\n"));
+  std::vector<std::string> lines = ReadLines(fd, 500);
+  ::close(fd);
+  ASSERT_GE(lines.size(), 4u);
+  EXPECT_EQ(lines.back(), "BYE");
+
+  size_t index = 0;
+  // STATS: the documented key order, existing keys first, new keys after.
+  const std::string& stats = lines[index++];
+  ASSERT_EQ(stats.rfind("STATS ", 0), 0u);
+  size_t cursor = 0;
+  for (const char* key :
+       {"queries=", "bound_rejects=", "singleton_hits=", "cache_hits=",
+        "exact_counts=", "cache_size=", "batches=", "coalesced=",
+        "backpressure=", "queue_depth=", "queue_wait_p50_us=",
+        "queue_wait_p95_us=", "queue_wait_p99_us="}) {
+    size_t at = stats.find(key, cursor);
+    ASSERT_NE(at, std::string::npos) << key << " missing in " << stats;
+    cursor = at;
+  }
+
+  std::vector<std::string> metrics = TakeBody(lines, index, "METRICS");
+  ASSERT_FALSE(metrics.empty());
+  ExpectValidExposition(metrics);
+  EXPECT_EQ(SeriesValue(metrics, "ossm_serve_queries_total"),
+            static_cast<double>(kQueries));
+  EXPECT_EQ(SeriesValue(metrics, "ossm_serve_request_us_count"),
+            static_cast<double>(kQueries));
+  EXPECT_GE(SeriesValue(metrics, "ossm_serve_slowlog_entries_total"),
+            static_cast<double>(kQueries));
+  // Windowed quantiles are ordered like quantiles.
+  double p50 = SeriesValue(
+      metrics, "ossm_serve_request_us{window=\"1m\",quantile=\"0.5\"}");
+  double p99 = SeriesValue(
+      metrics, "ossm_serve_request_us{window=\"1m\",quantile=\"0.99\"}");
+  EXPECT_LE(p50, p99);
+
+  std::vector<std::string> tail = TakeBody(lines, index, "SLOWLOG");
+  ASSERT_EQ(tail.size(), 5u);  // capped by the request count
+  for (const std::string& entry : tail) {
+    EXPECT_EQ(entry.rfind("age_us=", 0), 0u) << entry;
+    EXPECT_NE(entry.find(" total_us="), std::string::npos) << entry;
+    EXPECT_NE(entry.find(" tier="), std::string::npos) << entry;
+    EXPECT_NE(entry.find(" items="), std::string::npos) << entry;
+  }
+  // Bare SLOWLOG returns the default 16 entries.
+  std::vector<std::string> bare = TakeBody(lines, index, "SLOWLOG");
+  EXPECT_EQ(bare.size(), 16u);
+
+  EXPECT_EQ(lines[index], "BYE");
+  server.Shutdown();
+  batcher.Shutdown();
+}
+
+// Without a telemetry instance the new verbs answer with empty bodies, and
+// on a zero-traffic server with telemetry the exposition still parses.
+TEST(ServeLoopbackTest, MetricsAndSlowlogOnQuietServers) {
+  Fixture fx = MakeFixture();
+  QueryEngine engine(&fx.db, &fx.map, QueryEngineConfig{});
+  Batcher batcher(&engine, BatcherConfig{});
+  {
+    ServerConfig config;  // no telemetry wired
+    config.port = 0;
+    SupportServer server(&engine, &batcher, config);
+    ASSERT_TRUE(server.Start().ok());
+    int fd = ConnectLoopback(server.port());
+    ASSERT_GE(fd, 0);
+    ASSERT_TRUE(SendAll(fd, "METRICS\nSLOWLOG\nQUIT\n"));
+    std::vector<std::string> lines = ReadLines(fd, 3);
+    ::close(fd);
+    ASSERT_EQ(lines.size(), 3u);
+    EXPECT_EQ(lines[0], "METRICS 0");
+    EXPECT_EQ(lines[1], "SLOWLOG 0");
+    EXPECT_EQ(lines[2], "BYE");
+    server.Shutdown();
+  }
+  {
+    ServeTelemetry telemetry;
+    ServerConfig config;
+    config.port = 0;
+    config.telemetry = &telemetry;
+    SupportServer server(&engine, &batcher, config);
+    ASSERT_TRUE(server.Start().ok());
+    int fd = ConnectLoopback(server.port());
+    ASSERT_GE(fd, 0);
+    ASSERT_TRUE(SendAll(fd, "METRICS\nSLOWLOG\nQUIT\n"));
+    std::vector<std::string> lines = ReadLines(fd, 200);
+    ::close(fd);
+    ASSERT_GE(lines.size(), 3u);
+    size_t index = 0;
+    std::vector<std::string> metrics = TakeBody(lines, index, "METRICS");
+    ASSERT_FALSE(metrics.empty());  // counters exist even with no traffic
+    ExpectValidExposition(metrics);
+    EXPECT_EQ(SeriesValue(metrics, "ossm_serve_queries_total"), 0.0);
+    std::vector<std::string> tail = TakeBody(lines, index, "SLOWLOG");
+    EXPECT_TRUE(tail.empty());
+    EXPECT_EQ(lines[index], "BYE");
+    server.Shutdown();
+  }
   batcher.Shutdown();
 }
 

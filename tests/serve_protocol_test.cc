@@ -84,6 +84,58 @@ TEST(ServeProtocolTest, ErrorLinesNeverContainNewlines) {
   EXPECT_EQ(line.find('\r'), std::string::npos);
 }
 
+TEST(ServeProtocolTest, ParsesMetricsVerb) {
+  EXPECT_EQ(ParseRequest("METRICS", 0)->kind, RequestKind::kMetrics);
+  EXPECT_EQ(ParseRequest("METRICS now", 0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ServeProtocolTest, ParsesSlowlogVerbWithOptionalCount) {
+  StatusOr<Request> bare = ParseRequest("SLOWLOG", 0);
+  ASSERT_TRUE(bare.ok());
+  EXPECT_EQ(bare->kind, RequestKind::kSlowlog);
+  EXPECT_EQ(bare->slowlog_count, 16u);  // documented default
+
+  StatusOr<Request> counted = ParseRequest("SLOWLOG 3", 0);
+  ASSERT_TRUE(counted.ok());
+  EXPECT_EQ(counted->slowlog_count, 3u);
+
+  EXPECT_EQ(ParseRequest("SLOWLOG 1 2", 0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseRequest("SLOWLOG many", 0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseRequest("SLOWLOG -1", 0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ServeProtocolTest, UnknownVerbErrorListsTheVocabulary) {
+  Status status = ParseRequest("EXPLAIN 1 2", 0).status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  for (const char* verb :
+       {"Q", "INFO", "STATS", "METRICS", "SLOWLOG", "PING", "QUIT"}) {
+    EXPECT_NE(status.message().find(verb), std::string::npos) << verb;
+  }
+}
+
+TEST(ServeProtocolTest, EmbeddedNulBytesNeverSurviveIntoErrorLines) {
+  // A client can embed NUL inside a request line; the echoing error must
+  // not carry it (NUL truncates what C-string consumers see of the line).
+  std::string line("Q 1\0garbage", 11);
+  StatusOr<Request> request = ParseRequest(line, 0);
+  ASSERT_FALSE(request.ok());
+  std::string error = FormatError(request.status());
+  EXPECT_EQ(error.rfind("ERR ", 0), 0u);
+  for (char c : error) {
+    EXPECT_TRUE(static_cast<unsigned char>(c) >= 0x20 || c == '\t')
+        << "control byte " << static_cast<int>(c);
+  }
+  // NUL as its own token gets the same treatment.
+  std::string nul_token("Q \0", 3);
+  StatusOr<Request> second = ParseRequest(nul_token, 0);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(FormatError(second.status()).find('\0'), std::string::npos);
+}
+
 }  // namespace
 }  // namespace serve
 }  // namespace ossm

@@ -1,0 +1,223 @@
+#include "serve/telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace ossm {
+namespace serve {
+namespace {
+
+SlowQueryEntry MakeEntry(uint64_t total_us, uint64_t support) {
+  SlowQueryEntry entry;
+  entry.completed_at_us = 1000;
+  entry.total_us = total_us;
+  entry.queue_wait_us = total_us / 2;
+  entry.tier = QueryTier::kExact;
+  entry.support = support;
+  entry.frequent = support >= 10;
+  entry.itemset = {3, 17};
+  return entry;
+}
+
+TEST(SlowQueryLogTest, TailIsNewestFirst) {
+  SlowQueryLog log(8);
+  for (uint64_t i = 1; i <= 3; ++i) log.Add(MakeEntry(i * 100, i));
+  std::vector<SlowQueryEntry> tail = log.Tail(10);
+  ASSERT_EQ(tail.size(), 3u);
+  EXPECT_EQ(tail[0].support, 3u);
+  EXPECT_EQ(tail[1].support, 2u);
+  EXPECT_EQ(tail[2].support, 1u);
+  EXPECT_EQ(log.total_recorded(), 3u);
+}
+
+TEST(SlowQueryLogTest, RingOverwritesOldestOnceFull) {
+  SlowQueryLog log(4);
+  for (uint64_t i = 1; i <= 10; ++i) log.Add(MakeEntry(i, i));
+  EXPECT_EQ(log.total_recorded(), 10u);
+  std::vector<SlowQueryEntry> tail = log.Tail(100);
+  ASSERT_EQ(tail.size(), 4u);  // only the ring survives
+  EXPECT_EQ(tail[0].support, 10u);
+  EXPECT_EQ(tail[3].support, 7u);
+}
+
+TEST(SlowQueryLogTest, ZeroCapacityIsClampedToOne) {
+  SlowQueryLog log(0);
+  log.Add(MakeEntry(1, 1));
+  log.Add(MakeEntry(2, 2));
+  std::vector<SlowQueryEntry> tail = log.Tail(10);
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_EQ(tail[0].support, 2u);
+}
+
+TEST(ServeTelemetryTest, ConfigFromEnvReadsSlowlogThreshold) {
+  ::setenv("OSSM_SLOWLOG_US", "250", 1);
+  EXPECT_EQ(ServeTelemetry::ConfigFromEnv().slowlog_threshold_us, 250u);
+  ::setenv("OSSM_SLOWLOG_US", "not-a-number", 1);
+  EXPECT_EQ(ServeTelemetry::ConfigFromEnv().slowlog_threshold_us, 10'000u);
+  ::setenv("OSSM_SLOWLOG_US", "12junk", 1);  // partial parses don't count
+  EXPECT_EQ(ServeTelemetry::ConfigFromEnv().slowlog_threshold_us, 10'000u);
+  ::unsetenv("OSSM_SLOWLOG_US");
+  EXPECT_EQ(ServeTelemetry::ConfigFromEnv().slowlog_threshold_us, 10'000u);
+}
+
+TEST(ServeTelemetryTest, RequestsOverThresholdEnterSlowlog) {
+  ServeTelemetry::Config config;
+  config.slowlog_threshold_us = 500;
+  ServeTelemetry telemetry(config, /*now=*/0);
+
+  QueryResult result;
+  result.support = 42;
+  result.tier = QueryTier::kExact;
+  telemetry.RecordRequest({1, 2}, result, 10, 499);   // under: not logged
+  telemetry.RecordRequest({1, 2}, result, 10, 500);   // at: logged
+  telemetry.RecordRequest({7}, result, 300, 9000);    // over: logged
+  EXPECT_EQ(telemetry.slowlog().total_recorded(), 2u);
+  EXPECT_EQ(telemetry.request_histogram().count(), 3u);
+
+  std::vector<SlowQueryEntry> tail = telemetry.slowlog().Tail(1);
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_EQ(tail[0].total_us, 9000u);
+  EXPECT_EQ(tail[0].queue_wait_us, 300u);
+  EXPECT_EQ(tail[0].itemset, (Itemset{7}));
+}
+
+TEST(ServeTelemetryTest, TierLatenciesLandInTheirHistograms) {
+  ServeTelemetry::Config config;
+  ServeTelemetry telemetry(config, 0);
+  telemetry.RecordTierLatency(QueryTier::kExact, 900);
+  telemetry.RecordTierLatency(QueryTier::kCacheHit, 3);
+  EXPECT_EQ(telemetry.tier_histogram(QueryTier::kExact).count(), 1u);
+  EXPECT_EQ(telemetry.tier_histogram(QueryTier::kExact).max(), 900u);
+  EXPECT_EQ(telemetry.tier_histogram(QueryTier::kCacheHit).count(), 1u);
+  EXPECT_EQ(telemetry.tier_histogram(QueryTier::kBoundReject).count(), 0u);
+}
+
+TEST(ServeTelemetryTest, FormatSlowEntryIsOneStableLine) {
+  SlowQueryEntry entry = MakeEntry(800, 12);
+  std::string line = ServeTelemetry::FormatSlowEntry(entry, /*now_us=*/1500);
+  EXPECT_EQ(line,
+            "age_us=500 total_us=800 queue_us=400 tier=exact support=12 "
+            "frequent=1 items=3,17");
+  // A clock that lags the entry (cross-thread reads) never underflows.
+  std::string early = ServeTelemetry::FormatSlowEntry(entry, 0);
+  EXPECT_EQ(early.rfind("age_us=0 ", 0), 0u);
+}
+
+// Minimal Prometheus text-exposition validator: every line is either a
+// `# TYPE <name> <kind>` comment or `<name>[{labels}] <float>`, names are
+// [a-zA-Z_:][a-zA-Z0-9_:]*, label blocks are balanced, and every samples
+// line is preceded (eventually) by a TYPE for its family.
+void ValidateExposition(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  size_t samples = 0;
+  auto valid_name = [](const std::string& name) {
+    if (name.empty()) return false;
+    for (size_t i = 0; i < name.size(); ++i) {
+      char c = name[i];
+      bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                c == '_' || c == ':' || (i > 0 && c >= '0' && c <= '9');
+      if (!ok) return false;
+    }
+    return true;
+  };
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty());
+    if (line[0] == '#') {
+      std::istringstream fields(line);
+      std::string hash, type, name, kind;
+      fields >> hash >> type >> name >> kind;
+      EXPECT_EQ(hash, "#");
+      EXPECT_EQ(type, "TYPE");
+      EXPECT_TRUE(valid_name(name)) << line;
+      EXPECT_TRUE(kind == "counter" || kind == "gauge" || kind == "summary")
+          << line;
+      continue;
+    }
+    size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    std::string series = line.substr(0, space);
+    std::string value = line.substr(space + 1);
+    size_t brace = series.find('{');
+    std::string name =
+        brace == std::string::npos ? series : series.substr(0, brace);
+    EXPECT_TRUE(valid_name(name)) << line;
+    if (brace != std::string::npos) {
+      EXPECT_EQ(series.back(), '}') << line;
+    }
+    char* end = nullptr;
+    std::strtod(value.c_str(), &end);
+    EXPECT_TRUE(end != nullptr && *end == '\0') << line;
+    ++samples;
+  }
+  EXPECT_GT(samples, 0u);
+}
+
+TEST(ServeTelemetryTest, PrometheusTextIsValidExposition) {
+  // Real-clock construction: the windowed reads inside PrometheusText use
+  // obs::TraceNowMicros(), so the ring origin must match.
+  ServeTelemetry::Config config;
+  ServeTelemetry telemetry(config);
+  QueryResult result;
+  result.support = 7;
+  result.tier = QueryTier::kCacheHit;
+  telemetry.RecordRequest({4}, result, 5, 60);
+  telemetry.RecordTierLatency(QueryTier::kCacheHit, 55);
+  telemetry.RecordQueueWait(5);
+  telemetry.RecordWaveSize(16);
+  telemetry.SetQueueDepth(3);
+
+  ServeCounterInputs inputs;
+  inputs.engine.queries = 1;
+  inputs.engine.cache_hits = 1;
+  inputs.cache_hits = 1;
+  inputs.cache_misses = 1;
+  inputs.batches = 1;
+  inputs.connections = 2;
+  inputs.cache_size = 9;
+  std::string text = telemetry.PrometheusText(inputs);
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+  ValidateExposition(text);
+
+  // Spot-check the series the dashboard and scrapers key on.
+  for (const char* needle :
+       {"# TYPE ossm_serve_queries_total counter",
+        "ossm_serve_queries_total 1", "# TYPE ossm_serve_queue_depth gauge",
+        "ossm_serve_queue_depth 3",
+        "ossm_serve_request_us{window=\"10s\",quantile=\"0.5\"}",
+        "ossm_serve_request_us{window=\"1m\",quantile=\"0.99\"}",
+        "ossm_serve_request_us_count 1",
+        "ossm_serve_tier_us{tier=\"cache\",window=\"10s\",quantile=\"0.95\"}",
+        "ossm_serve_tier_us_count{tier=\"cache\"} 1",
+        "ossm_serve_cache_hit_ratio_10s 0.5"}) {
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(ServeTelemetryTest, WindowedViewsSeeRecordedTraffic) {
+  // Real-clock construction, same reason as above.
+  ServeTelemetry::Config config;
+  ServeTelemetry telemetry(config);
+  QueryResult result;
+  result.tier = QueryTier::kExact;
+  telemetry.RecordRequest({1}, result, 0, 120);
+  telemetry.RecordTierLatency(QueryTier::kExact, 120);
+  // The windows run on the real monotonic clock; a sample recorded "now"
+  // is inside every horizon.
+  EXPECT_EQ(telemetry.RequestWindow(ServeTelemetry::kShortWindows).count(),
+            1u);
+  EXPECT_EQ(telemetry
+                .TierWindow(QueryTier::kExact, ServeTelemetry::kLongWindows)
+                .count(),
+            1u);
+  EXPECT_GT(telemetry.Qps(ServeTelemetry::kShortWindows), 0.0);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace ossm

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Scrape METRICS/SLOWLOG from a running support server and validate them.
+
+Usage: check_metrics.py PORT [HOST]
+
+A stand-in for promtool in CI: connects over the line protocol, reads the
+framed METRICS and SLOWLOG bodies, and checks that the METRICS body is
+well-formed Prometheus text exposition (every line is a `# TYPE` comment
+with a known kind or a `series value` sample with a parseable float) and
+that the core serving series are present. Exits non-zero with a message
+on the first violation.
+"""
+
+import re
+import socket
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+TYPE_RE = re.compile(r"^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|summary)$")
+# A sample line: name, optional {labels}, single space, float value.
+SAMPLE_RE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? (\S+)$")
+
+REQUIRED_SERIES = [
+    "ossm_serve_queries_total",
+    "ossm_serve_cache_size",
+    "ossm_serve_queue_depth",
+    'ossm_serve_request_us{window="10s",quantile="0.99"}',
+    'ossm_serve_tier_us{tier="exact",window="1m",quantile="0.5"}',
+    "ossm_serve_request_us_count",
+]
+
+
+def fail(message):
+    print(f"check_metrics: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def read_framed(reader, verb):
+    header = reader.readline().rstrip("\n")
+    parts = header.split(" ")
+    if len(parts) != 2 or parts[0] != verb or not parts[1].isdigit():
+        fail(f"bad {verb} header line: {header!r}")
+    return [reader.readline().rstrip("\n") for _ in range(int(parts[1]))]
+
+
+def validate_exposition(body):
+    declared = set()
+    samples = {}
+    for line in body:
+        type_match = TYPE_RE.match(line)
+        if type_match:
+            name = type_match.group(1)
+            if name in declared:
+                fail(f"duplicate TYPE declaration for {name}")
+            declared.add(name)
+            continue
+        if line.startswith("#"):
+            fail(f"unrecognized comment line: {line!r}")
+        sample = SAMPLE_RE.match(line)
+        if not sample:
+            fail(f"malformed sample line: {line!r}")
+        try:
+            value = float(sample.group(3))
+        except ValueError:
+            fail(f"unparseable value in: {line!r}")
+        samples[sample.group(1) + (sample.group(2) or "")] = value
+    if not declared:
+        fail("no TYPE declarations in METRICS body")
+    return samples
+
+
+def main():
+    if len(sys.argv) < 2:
+        fail("usage: check_metrics.py PORT [HOST]")
+    port = int(sys.argv[1])
+    host = sys.argv[2] if len(sys.argv) > 2 else "127.0.0.1"
+
+    with socket.create_connection((host, port), timeout=10) as sock:
+        sock.sendall(b"METRICS\nSLOWLOG\nQUIT\n")
+        reader = sock.makefile("r", encoding="ascii", newline="\n")
+        metrics = read_framed(reader, "METRICS")
+        slowlog = read_framed(reader, "SLOWLOG")
+        bye = reader.readline().rstrip("\n")
+        if bye != "BYE":
+            fail(f"expected BYE after QUIT, got {bye!r}")
+
+    samples = validate_exposition(metrics)
+    for series in REQUIRED_SERIES:
+        if series not in samples:
+            fail(f"required series missing from METRICS: {series}")
+    if samples["ossm_serve_queries_total"] <= 0:
+        fail("ossm_serve_queries_total is zero after the query smoke")
+    for entry in slowlog:
+        if "total_us=" not in entry or "tier=" not in entry:
+            fail(f"malformed SLOWLOG entry: {entry!r}")
+
+    print(
+        f"check_metrics: OK ({len(metrics)} exposition lines, "
+        f"{len(slowlog)} slowlog entries, "
+        f"queries_total={samples['ossm_serve_queries_total']:.0f})"
+    )
+
+
+if __name__ == "__main__":
+    main()

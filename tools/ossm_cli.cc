@@ -8,6 +8,7 @@
 //   ossm_cli info    [--data=FILE]   (kernel ISA level, bitmap footprint)
 //   ossm_cli serve   --data=FILE [--ossm=MAP --threshold=F --port=N ...]
 //   ossm_cli query   --port=N [--host=ADDR --check-data=FILE]  (stdin)
+//   ossm_cli top     --port=N [--host=ADDR --interval-ms=N ...]  (dashboard)
 //
 // Datasets are FIMI text (one transaction per line) when the path ends in
 // .txt, binary otherwise. Run any subcommand with --help for its flags.
@@ -25,6 +26,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -53,6 +55,7 @@
 #include "serve/protocol.h"
 #include "serve/query_engine.h"
 #include "serve/server.h"
+#include "serve/telemetry.h"
 
 namespace ossm {
 namespace {
@@ -527,6 +530,9 @@ int CmdServe(const Args& args) {
         "      --max-batch=N --max-delay-us=N --max-queue=N\n"
         "      --cache-capacity=N --shards=N\n"
         "      --max-connections=N --max-items=N --drain-timeout-ms=N\n"
+        "serving telemetry is always on: STATS gains queue_* keys, METRICS\n"
+        "returns Prometheus exposition, SLOWLOG the slow-query tail\n"
+        "(threshold OSSM_SLOWLOG_US, default 10000).\n"
         "SIGTERM/SIGINT drain in-flight queries, then exit 0.");
     return 0;
   }
@@ -545,6 +551,10 @@ int CmdServe(const Args& args) {
     }
   }
 
+  // One telemetry instance behind the whole stack (engine tiers, batcher
+  // queue, server verbs); threshold from OSSM_SLOWLOG_US.
+  serve::ServeTelemetry telemetry;
+
   serve::QueryEngineConfig engine_config;
   double threshold = args.GetDouble("threshold", 0.01);
   engine_config.min_support = std::max<uint64_t>(
@@ -553,6 +563,7 @@ int CmdServe(const Args& args) {
   engine_config.cache_capacity = args.GetInt("cache-capacity", 1 << 16);
   engine_config.cache_shards =
       static_cast<uint32_t>(args.GetInt("shards", 16));
+  engine_config.telemetry = &telemetry;
   serve::QueryEngine engine(&*db, has_map ? &map : nullptr, engine_config);
 
   serve::BatcherConfig batcher_config;
@@ -562,9 +573,11 @@ int CmdServe(const Args& args) {
       static_cast<uint32_t>(args.GetInt("max-delay-us", 1000));
   batcher_config.max_queue =
       static_cast<uint32_t>(args.GetInt("max-queue", 4096));
+  batcher_config.telemetry = &telemetry;
   serve::Batcher batcher(&engine, batcher_config);
 
   serve::ServerConfig server_config;
+  server_config.telemetry = &telemetry;
   server_config.bind_address = args.Get("bind", "127.0.0.1");
   server_config.port = static_cast<uint16_t>(args.GetInt("port", 0));
   server_config.max_connections =
@@ -841,10 +854,194 @@ int CmdQuery(const Args& args) {
   return 0;
 }
 
+// ---- `top`: live serving dashboard over STATS / METRICS / SLOWLOG ----
+
+// One Prometheus exposition sample: everything before the last space is the
+// series key (metric name plus its label block), the remainder the value.
+void ParseMetricLine(const std::string& line,
+                     std::map<std::string, double>& series) {
+  if (line.empty() || line[0] == '#') return;
+  size_t space = line.rfind(' ');
+  if (space == std::string::npos || space + 1 >= line.size()) return;
+  series[line.substr(0, space)] =
+      std::strtod(line.c_str() + space + 1, nullptr);
+}
+
+double Series(const std::map<std::string, double>& series,
+              const std::string& key) {
+  auto it = series.find(key);
+  return it == series.end() ? 0.0 : it->second;
+}
+
+// The three windowed quantiles of one summary family as table cells.
+std::vector<std::string> QuantileCells(
+    const std::map<std::string, double>& series, const std::string& name,
+    const std::string& labels) {
+  std::vector<std::string> cells;
+  for (const char* q : {"0.5", "0.95", "0.99"}) {
+    cells.push_back(TablePrinter::FormatDouble(Series(
+        series,
+        name + "{" + labels + "window=\"10s\",quantile=\"" + q + "\"}")));
+  }
+  return cells;
+}
+
+int CmdTop(const Args& args) {
+  if (args.Has("help")) {
+    std::puts(
+        "top --port=N [--host=ADDR] [--interval-ms=N] [--iterations=N]\n"
+        "    [--slowlog=N] [--no-clear]\n"
+        "polls a running `ossm_cli serve` over STATS/METRICS/SLOWLOG and\n"
+        "renders a refreshing dashboard: qps, per-tier latency percentiles\n"
+        "over the last 10s, cache hit ratio, queue depth, and the slow-query\n"
+        "tail. --iterations=N draws N frames and exits (0 = forever);\n"
+        "--no-clear appends frames instead of redrawing (for logs/CI).");
+    return 0;
+  }
+  uint16_t port = static_cast<uint16_t>(args.GetInt("port", 0));
+  if (port == 0) {
+    std::fprintf(stderr, "top needs --port=N\n");
+    return 2;
+  }
+  std::string host = args.Get("host", "127.0.0.1");
+  int64_t interval_ms = args.GetInt("interval-ms", 1000);
+  int64_t iterations = args.GetInt("iterations", 0);
+  int64_t slowlog_rows = std::max<int64_t>(0, args.GetInt("slowlog", 5));
+  bool no_clear = args.Has("no-clear");
+
+  int fd = ConnectTo(host, port);
+  if (fd < 0) {
+    std::fprintf(stderr, "cannot connect to %s:%u\n", host.c_str(), port);
+    return 1;
+  }
+  LineReader reader(fd);
+
+  for (int64_t frame = 0; iterations == 0 || frame < iterations; ++frame) {
+    if (frame > 0 && interval_ms > 0) {
+      ::usleep(static_cast<useconds_t>(interval_ms) * 1000);
+    }
+    std::string payload =
+        "STATS\nMETRICS\nSLOWLOG " + std::to_string(slowlog_rows) + "\n";
+    std::string line;
+    if (!WriteAll(fd, payload) || !reader.ReadLine(&line) ||
+        line.rfind("STATS ", 0) != 0) {
+      std::fprintf(stderr, "lost server at %s:%u\n", host.c_str(), port);
+      ::close(fd);
+      return 1;
+    }
+
+    std::map<std::string, std::string> stats;
+    {
+      std::istringstream tokens(line.substr(6));
+      std::string token;
+      while (tokens >> token) {
+        size_t eq = token.find('=');
+        if (eq != std::string::npos) {
+          stats[token.substr(0, eq)] = token.substr(eq + 1);
+        }
+      }
+    }
+
+    if (!reader.ReadLine(&line) || line.rfind("METRICS ", 0) != 0) {
+      std::fprintf(stderr, "bad METRICS response\n");
+      ::close(fd);
+      return 1;
+    }
+    uint64_t metric_lines = std::strtoull(line.c_str() + 8, nullptr, 10);
+    std::map<std::string, double> series;
+    for (uint64_t i = 0; i < metric_lines; ++i) {
+      if (!reader.ReadLine(&line)) {
+        std::fprintf(stderr, "METRICS body truncated\n");
+        ::close(fd);
+        return 1;
+      }
+      ParseMetricLine(line, series);
+    }
+
+    if (!reader.ReadLine(&line) || line.rfind("SLOWLOG", 0) != 0) {
+      std::fprintf(stderr, "bad SLOWLOG response\n");
+      ::close(fd);
+      return 1;
+    }
+    uint64_t slow_lines =
+        line.size() > 8 ? std::strtoull(line.c_str() + 8, nullptr, 10) : 0;
+    std::vector<std::string> slow;
+    for (uint64_t i = 0; i < slow_lines; ++i) {
+      if (!reader.ReadLine(&line)) {
+        std::fprintf(stderr, "SLOWLOG body truncated\n");
+        ::close(fd);
+        return 1;
+      }
+      slow.push_back(line);
+    }
+
+    std::ostringstream screen;
+    if (!no_clear) screen << "\x1b[2J\x1b[H";
+    char head[256];
+    std::snprintf(head, sizeof(head),
+                  "ossm top — %s:%u   qps 10s/1m: %s / %s   "
+                  "cache hit 10s: %.0f%%   queue depth: %llu\n",
+                  host.c_str(), port,
+                  TablePrinter::FormatDouble(
+                      Series(series, "ossm_serve_qps_10s")).c_str(),
+                  TablePrinter::FormatDouble(
+                      Series(series, "ossm_serve_qps_1m")).c_str(),
+                  Series(series, "ossm_serve_cache_hit_ratio_10s") * 100.0,
+                  static_cast<unsigned long long>(
+                      Series(series, "ossm_serve_queue_depth")));
+    screen << head
+           << "totals: queries=" << stats["queries"]
+           << " batches=" << stats["batches"]
+           << " coalesced=" << stats["coalesced"]
+           << " backpressure=" << stats["backpressure"]
+           << " cache_size=" << stats["cache_size"] << "\n\n";
+
+    TablePrinter table({"lane", "p50 us (10s)", "p95 us (10s)",
+                        "p99 us (10s)", "count (1m)"});
+    auto add_summary = [&](const std::string& lane, const std::string& name,
+                           const std::string& labels) {
+      std::vector<std::string> row{lane};
+      for (std::string& cell : QuantileCells(series, name, labels)) {
+        row.push_back(std::move(cell));
+      }
+      const std::string count_key =
+          labels.empty() ? name + "_count"
+                         : name + "_count{" +
+                               labels.substr(0, labels.size() - 1) + "}";
+      row.push_back(TablePrinter::FormatCount(
+          static_cast<uint64_t>(Series(series, count_key))));
+      table.AddRow(std::move(row));
+    };
+    add_summary("request", "ossm_serve_request_us", "");
+    add_summary("queue wait", "ossm_serve_queue_wait_us", "");
+    for (const char* tier : {"reject", "singleton", "cache", "exact"}) {
+      add_summary(std::string("tier:") + tier, "ossm_serve_tier_us",
+                  "tier=\"" + std::string(tier) + "\",");
+    }
+    table.Print(screen);
+
+    screen << "\nslow queries (newest first, total "
+           << TablePrinter::FormatCount(static_cast<uint64_t>(
+                  Series(series, "ossm_serve_slowlog_entries_total")))
+           << "):\n";
+    if (slow.empty()) {
+      screen << "  (none)\n";
+    } else {
+      for (const std::string& entry : slow) screen << "  " << entry << "\n";
+    }
+
+    std::fputs(screen.str().c_str(), stdout);
+    std::fflush(stdout);
+  }
+  WriteAll(fd, "QUIT\n");  // best-effort goodbye; server closes after BYE
+  ::close(fd);
+  return 0;
+}
+
 int Usage() {
   std::puts(
       "ossm_cli — segment support maps for frequency counting\n"
-      "usage: ossm_cli <gen|build|mine|rules|inspect|info|serve|query> "
+      "usage: ossm_cli <gen|build|mine|rules|inspect|info|serve|query|top> "
       "[--flags]\n"
       "run a subcommand with --help for its flags\n"
       "\n"
@@ -869,6 +1066,7 @@ int Main(int argc, char** argv) {
   if (command == "info") return CmdInfo(args);
   if (command == "serve") return CmdServe(args);
   if (command == "query") return CmdQuery(args);
+  if (command == "top") return CmdTop(args);
   return Usage();
 }
 
