@@ -364,8 +364,10 @@ MetricDirection DirectionForCounter(std::string_view counter_name) {
   if (counter_name.starts_with("pool.")) return MetricDirection::kNeutral;
   if (Contains(counter_name, "pruned") ||
       Contains(counter_name, "cache_hits") ||
-      Contains(counter_name, "abandoned")) {
-    // Abandoned joins are merges cut short — avoided work, like prunes.
+      Contains(counter_name, "abandoned") ||
+      Contains(counter_name, "saved")) {
+    // Abandoned joins are merges cut short — avoided work, like prunes;
+    // saved intersections are the batch planner's avoided ANDs.
     return MetricDirection::kHigherIsBetter;
   }
   // The typical instruments — candidates counted, bytes/pages read, bound
@@ -386,7 +388,8 @@ MetricDirection DirectionForValue(std::string_view value_name) {
       Contains(value_name, "per_sec") || Contains(value_name, "pruned") ||
       Contains(value_name, "qps") || Contains(value_name, "hit_ratio") ||
       Contains(value_name, "gib_per_s") ||
-      Contains(value_name, "elems_per_s")) {
+      Contains(value_name, "elems_per_s") ||
+      Contains(value_name, "saved")) {
     return MetricDirection::kHigherIsBetter;
   }
   if (Contains(value_name, "seconds") || Contains(value_name, "_us") ||

@@ -166,8 +166,11 @@ void Batcher::RunBatch(std::vector<Pending> wave) {
   batches_.fetch_add(1, std::memory_order_relaxed);
   OSSM_COUNTER_INC("serve.batcher.batches");
 
+  // record_requests off: the batcher records each request itself below,
+  // with the real enqueue-to-answer latency and queue-wait split.
   StatusOr<std::vector<QueryResult>> results = engine_->QueryBatch(
-      std::span<const Itemset>(unique.data(), unique.size()));
+      std::span<const Itemset>(unique.data(), unique.size()),
+      QueryBatchOptions{.record_requests = false});
   const auto wave_end = std::chrono::steady_clock::now();
   for (size_t slot = 0; slot < owners.size(); ++slot) {
     StatusOr<QueryResult> answer =

@@ -1,0 +1,360 @@
+#include "serve/planner.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "kernels/kernels.h"
+#include "obs/obs.h"
+#include "parallel/thread_pool.h"
+#include "serve/support_cache.h"
+
+namespace ossm {
+namespace serve {
+
+BatchPlanner::BatchPlanner(const PlannerConfig& config) : config_(config) {}
+
+void BatchPlanner::AttachIndex(const BitmapIndex* index) {
+  OSSM_CHECK(index != nullptr);
+  index_ = index;
+  item_support_.resize(index_->num_items());
+  for (ItemId item = 0; item < index_->num_items(); ++item) {
+    std::span<const uint64_t> row = index_->row(item);
+    item_support_[item] = kernels::PopcountU64(row.data(), row.size());
+  }
+  std::vector<ItemId> order(index_->num_items());
+  for (ItemId item = 0; item < index_->num_items(); ++item) order[item] = item;
+  std::sort(order.begin(), order.end(), [this](ItemId a, ItemId b) {
+    if (item_support_[a] != item_support_[b]) {
+      return item_support_[a] < item_support_[b];
+    }
+    return a < b;
+  });
+  sel_rank_.resize(index_->num_items());
+  for (size_t rank = 0; rank < order.size(); ++rank) {
+    sel_rank_[order[rank]] = static_cast<uint32_t>(rank);
+  }
+}
+
+std::shared_ptr<BatchPlanner::CachedBitmap> BatchPlanner::LookupLocked(
+    const Itemset& key) {
+  auto [begin, end] = lru_index_.equal_range(HashItemset(key));
+  for (auto it = begin; it != end; ++it) {
+    if (it->second->first == key) {
+      // Refresh recency.
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return it->second->second;
+    }
+  }
+  return nullptr;
+}
+
+void BatchPlanner::InsertLocked(const Itemset& key,
+                                std::shared_ptr<CachedBitmap> entry) {
+  uint64_t hash = HashItemset(key);
+  auto [begin, end] = lru_index_.equal_range(hash);
+  for (auto it = begin; it != end; ++it) {
+    if (it->second->first == key) {
+      // A concurrent wave published the same prefix first; keep the
+      // resident entry (both are bit-identical) and refresh its recency.
+      lru_.splice(lru_.begin(), lru_, it->second);
+      if (entry.use_count() == 1 && free_entries_.size() < 8) {
+        free_entries_.push_back(std::move(entry));
+      }
+      return;
+    }
+  }
+  while (lru_.size() >= config_.intermediate_cache_entries && !lru_.empty()) {
+    const Itemset& victim = lru_.back().first;
+    uint64_t victim_hash = HashItemset(victim);
+    auto [vbegin, vend] = lru_index_.equal_range(victim_hash);
+    for (auto it = vbegin; it != vend; ++it) {
+      if (it->second == std::prev(lru_.end())) {
+        lru_index_.erase(it);
+        break;
+      }
+    }
+    --lru_key_sizes_[victim.size()];
+    std::shared_ptr<CachedBitmap> evicted = std::move(lru_.back().second);
+    lru_.pop_back();
+    // Recycle the buffer unless a replay still holds the entry.
+    if (evicted.use_count() == 1 && free_entries_.size() < 8) {
+      free_entries_.push_back(std::move(evicted));
+    }
+  }
+  lru_.emplace_front(key, std::move(entry));
+  lru_index_.emplace(hash, lru_.begin());
+  if (key.size() >= lru_key_sizes_.size()) lru_key_sizes_.resize(key.size() + 1);
+  ++lru_key_sizes_[key.size()];
+}
+
+std::span<const uint64_t> BatchPlanner::NodeWords(
+    const std::vector<PlanNode>& nodes, int32_t id) const {
+  const PlanNode& node = nodes[id];
+  if (node.depth == 1) return index_->row(node.item);
+  if (node.replay) {
+    return std::span<const uint64_t>(node.bitmap->words.data(),
+                                     index_->words_per_row());
+  }
+  return std::span<const uint64_t>(node.buffer.data(),
+                                   index_->words_per_row());
+}
+
+void BatchPlanner::ExecuteInternal(std::vector<PlanNode>& nodes, int32_t id,
+                                   std::span<const uint64_t> parent_words,
+                                   std::span<uint64_t> supports,
+                                   std::atomic<uint64_t>& executed) {
+  PlanNode& node = nodes[id];
+  if (node.depth == 1) {
+    // A bare row: no AND owed, and the popcount was snapshotted at attach.
+    node.count = item_support_[node.item];
+  } else if (node.replay) {
+    // Replayed from the cross-wave LRU: the intersection already exists.
+    node.count = node.bitmap->popcount;
+  } else {
+    node.count = index_->AndRow(
+        parent_words, node.item,
+        std::span<uint64_t>(node.buffer.data(), index_->words_per_row()));
+    executed.fetch_add(1, std::memory_order_relaxed);
+  }
+  for (size_t q : node.queries) supports[q] = node.count;
+  std::span<const uint64_t> node_words = NodeWords(nodes, id);
+  for (const auto& [item, child] : node.children) {
+    if (nodes[child].children.empty()) continue;  // leaves run in phase B
+    ExecuteInternal(nodes, child, node_words, supports, executed);
+  }
+}
+
+std::vector<uint64_t> BatchPlanner::Count(std::span<const Itemset> needed) {
+  OSSM_CHECK(index_ != nullptr) << "Count() before AttachIndex()";
+  std::vector<uint64_t> supports(needed.size(), 0);
+  if (needed.empty()) return supports;
+
+  // Plan: selectivity-order each itemset and fold it into the prefix trie.
+  // The comparator is one global total order (support, then item id), so
+  // any two itemsets sharing a subset of items align on a shared prefix
+  // exactly when that subset is their most selective part.
+  //
+  // The plan's node storage is a thread-local pool reused across waves —
+  // a wave allocates nothing once the pool has warmed up to its working
+  // size (nodes keep their vector capacities and AND buffers), which is
+  // what keeps per-wave planning overhead below the ANDs it saves.
+  thread_local std::vector<PlanNode> nodes_pool;
+  std::vector<PlanNode>& nodes = nodes_pool;
+  size_t pool_used = 0;
+  auto acquire_node = [&]() -> int32_t {
+    if (pool_used == nodes.size()) nodes.emplace_back();
+    PlanNode& node = nodes[pool_used];
+    node.item = kInvalidItem;
+    node.parent = -1;
+    node.depth = 0;
+    node.uses = 0;
+    node.count = 0;
+    node.children.clear();
+    node.queries.clear();
+    node.key.clear();
+    node.bitmap.reset();
+    node.replay = false;
+    node.publish = false;
+    return static_cast<int32_t>(pool_used++);
+  };
+  // Lambdas below capture these by reference; the extra local reference
+  // matters — thread_locals are not captured, and a pool worker would
+  // otherwise read its own (empty) instance.
+  thread_local std::vector<std::pair<ItemId, int32_t>> roots_pool;
+  std::vector<std::pair<ItemId, int32_t>>& roots = roots_pool;
+  roots.clear();
+  uint64_t naive_ands = 0;
+  thread_local std::vector<ItemId> ordered_pool;
+  std::vector<ItemId>& ordered = ordered_pool;
+  for (size_t q = 0; q < needed.size(); ++q) {
+    const Itemset& itemset = needed[q];
+    if (itemset.size() >= 2) naive_ands += itemset.size() - 1;
+    ordered.assign(itemset.begin(), itemset.end());
+    std::sort(ordered.begin(), ordered.end(), [&](ItemId a, ItemId b) {
+      return sel_rank_[a] < sel_rank_[b];
+    });
+    int32_t current = -1;
+    for (ItemId item : ordered) {
+      int32_t next = -1;
+      {
+        const auto& siblings = current < 0 ? roots : nodes[current].children;
+        for (const auto& [sib_item, sib_id] : siblings) {
+          if (sib_item == item) {
+            next = sib_id;
+            break;
+          }
+        }
+      }
+      if (next < 0) {
+        next = acquire_node();
+        nodes[next].item = item;
+        nodes[next].parent = current;
+        nodes[next].depth = current < 0 ? 1 : nodes[current].depth + 1;
+        if (current < 0) {
+          roots.emplace_back(item, next);
+        } else {
+          nodes[current].children.emplace_back(item, next);
+        }
+      }
+      ++nodes[next].uses;
+      current = next;
+    }
+    nodes[current].queries.push_back(q);
+  }
+
+  // Consult the cross-wave LRU once, under one lock hold: every depth>=2
+  // node probes for its prefix set (a leaf hit retires its queries with
+  // zero ANDs); internal misses that are shared hot prefixes are marked
+  // for publication after the wave.
+  const size_t words = index_->words_per_row();
+  if (config_.intermediate_cache_entries > 0) {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    for (size_t id = 0; id < pool_used; ++id) {
+      PlanNode& node = nodes[id];
+      if (node.depth < 2) continue;
+      // Skip the key build + hash + probe entirely when no resident entry
+      // even has a key of this node's size (node.depth IS the key size) —
+      // that is every leaf of a typical wave — unless the node is a
+      // publication candidate, which needs its key regardless.
+      const bool may_hit = LruMayHoldLocked(node.depth);
+      const bool may_publish =
+          !node.children.empty() && node.uses >= config_.min_shared_uses;
+      if (!may_hit && !may_publish) {
+        ++misses;
+        continue;
+      }
+      node.key.clear();
+      for (int32_t walk = static_cast<int32_t>(id); walk >= 0;
+           walk = nodes[walk].parent) {
+        node.key.push_back(nodes[walk].item);
+      }
+      std::sort(node.key.begin(), node.key.end());
+      if (may_hit) {
+        if (auto entry = LookupLocked(node.key)) {
+          node.bitmap = std::move(entry);
+          node.replay = true;
+          ++hits;
+          continue;
+        }
+      }
+      ++misses;
+      if (may_publish) node.publish = true;
+    }
+    intermediate_hits_.fetch_add(hits, std::memory_order_relaxed);
+    intermediate_misses_.fetch_add(misses, std::memory_order_relaxed);
+    OSSM_COUNTER_ADD("serve.planner.intermediate_hits", hits);
+  }
+  // Every internal depth>=2 node that is not a replay materializes into
+  // its pooled buffer (leaves below it read the buffer in phase B;
+  // publish nodes copy theirs into the LRU afterwards). Leaves allocate
+  // nothing.
+  for (size_t id = 0; id < pool_used; ++id) {
+    PlanNode& node = nodes[id];
+    if (node.depth < 2 || node.children.empty() || node.replay) continue;
+    node.buffer.resize(words);
+  }
+
+  // Execute. Phase A materializes the internal (shared) nodes — few by
+  // construction, since they are what prefix sharing collapses — fanned
+  // per root subtree. Phase B fans the leaves: each fuses its final AND
+  // with the popcount against its parent's bitmap, storing nothing, so
+  // even a single-prefix wave spreads across every thread. Every answer
+  // is an exact popcount, bit-identical at any OSSM_THREADS.
+  std::atomic<uint64_t> executed{0};
+  std::span<uint64_t> supports_span(supports.data(), supports.size());
+  uint64_t internal_ands = 0;
+  for (size_t id = 0; id < pool_used; ++id) {
+    const PlanNode& node = nodes[id];
+    if (node.depth >= 2 && !node.children.empty() && !node.replay) {
+      ++internal_ands;
+    }
+  }
+  // A pool dispatch costs more than a handful of ANDs: only fan phase A
+  // when there is real independent internal work to spread. The common
+  // prefix-heavy wave (few shared internal nodes) runs it inline and
+  // spends its one dispatch on the leaves.
+  if (internal_ands >= 32 && roots.size() >= 2) {
+    parallel::ParallelForEach(roots.size(), [&](uint64_t r) {
+      if (nodes[roots[r].second].children.empty()) return;  // leaf root
+      ExecuteInternal(nodes, roots[r].second, std::span<const uint64_t>(),
+                      supports_span, executed);
+    });
+  } else {
+    for (const auto& [item, root] : roots) {
+      if (nodes[root].children.empty()) continue;
+      ExecuteInternal(nodes, root, std::span<const uint64_t>(),
+                      supports_span, executed);
+    }
+  }
+  thread_local std::vector<int32_t> leaves_pool;
+  std::vector<int32_t>& leaves = leaves_pool;
+  leaves.clear();
+  for (int32_t id = 0; id < static_cast<int32_t>(pool_used); ++id) {
+    if (nodes[id].children.empty()) leaves.push_back(id);
+  }
+  parallel::ParallelForEach(leaves.size(), [&](uint64_t l) {
+    PlanNode& node = nodes[leaves[l]];
+    if (node.depth == 1) {
+      node.count = item_support_[node.item];
+    } else if (node.replay) {
+      node.count = node.bitmap->popcount;
+    } else {
+      node.count = kernels::AndPopcount(
+          NodeWords(nodes, node.parent).data(),
+          index_->row(node.item).data(), words);
+      executed.fetch_add(1, std::memory_order_relaxed);
+    }
+    for (size_t q : node.queries) supports_span[q] = node.count;
+  });
+
+  // Publish the hot intermediates the wave materialized: each gets its
+  // own immutable LRU entry (copied out of the pooled buffer, so eviction
+  // and replay never race a later wave reusing the buffer).
+  if (config_.intermediate_cache_entries > 0) {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    for (size_t id = 0; id < pool_used; ++id) {
+      PlanNode& node = nodes[id];
+      if (!node.publish) continue;
+      std::shared_ptr<CachedBitmap> entry;
+      if (!free_entries_.empty()) {
+        entry = std::move(free_entries_.back());
+        free_entries_.pop_back();
+      } else {
+        entry = std::make_shared<CachedBitmap>();
+      }
+      entry->words = node.buffer;
+      entry->popcount = node.count;
+      InsertLocked(node.key, std::move(entry));
+    }
+  }
+
+  const uint64_t ands = executed.load(std::memory_order_relaxed);
+  waves_.fetch_add(1, std::memory_order_relaxed);
+  planned_queries_.fetch_add(needed.size(), std::memory_order_relaxed);
+  nodes_materialized_.fetch_add(ands, std::memory_order_relaxed);
+  intersections_saved_.fetch_add(naive_ands - ands,
+                                 std::memory_order_relaxed);
+  OSSM_COUNTER_ADD("serve.planner.nodes", ands);
+  OSSM_COUNTER_ADD("serve.planner.saved_intersections", naive_ands - ands);
+  return supports;
+}
+
+PlannerStats BatchPlanner::Stats() const {
+  PlannerStats stats;
+  stats.waves = waves_.load(std::memory_order_relaxed);
+  stats.planned_queries = planned_queries_.load(std::memory_order_relaxed);
+  stats.nodes_materialized =
+      nodes_materialized_.load(std::memory_order_relaxed);
+  stats.intersections_saved =
+      intersections_saved_.load(std::memory_order_relaxed);
+  stats.intermediate_hits =
+      intermediate_hits_.load(std::memory_order_relaxed);
+  stats.intermediate_misses =
+      intermediate_misses_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace serve
+}  // namespace ossm

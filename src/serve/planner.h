@@ -1,0 +1,189 @@
+#ifndef OSSM_SERVE_PLANNER_H_
+#define OSSM_SERVE_PLANNER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/aligned.h"
+#include "data/bitmap_index.h"
+#include "data/item.h"
+
+namespace ossm {
+namespace serve {
+
+// Monotonic planner tallies (readable without OSSM_METRICS, like
+// EngineStats; the STATS verb and the bench harness report them).
+struct PlannerStats {
+  uint64_t waves = 0;            // Count() calls that built a plan
+  uint64_t planned_queries = 0;  // itemsets answered through a plan
+  // AND steps actually executed — one per materialized plan node.
+  uint64_t nodes_materialized = 0;
+  // AND steps the per-query path would have run but the plan did not:
+  // prefix sharing within the wave plus LRU replays across waves.
+  uint64_t intersections_saved = 0;
+  uint64_t intermediate_hits = 0;    // prefix bitmaps replayed from the LRU
+  uint64_t intermediate_misses = 0;  // LRU probes that had to materialize
+};
+
+struct PlannerConfig {
+  // Entries in the cross-wave LRU of hot intermediate bitmaps. Each entry
+  // holds one full bitmap row (num_transactions/8 bytes), so this is a
+  // memory knob, not an entry-count nicety: 32 entries over a 1M-row
+  // collection is 4 MiB. 0 disables cross-wave reuse (the wave-internal
+  // sharing still applies).
+  size_t intermediate_cache_entries = 32;
+  // Only prefixes shared by at least this many queries of the wave are
+  // offered to the LRU; single-use intermediates stay wave-local scratch.
+  size_t min_shared_uses = 2;
+};
+
+// Shared-intersection planner for one QueryBatch wave of tier-3 survivors,
+// in the style of RDF-3X's common-subexpression operator DAGs. Each
+// itemset's rows are reordered by ascending singleton support — the most
+// selective intersections run first, and, because the order is a single
+// global total order, queries with common item subsets align on common
+// prefixes. The wave's ordered itemsets then form a prefix trie whose
+// nodes are intermediate bitmaps: every shared prefix is materialized
+// exactly once per wave (one BitmapIndex::AndRow per node) and reused by
+// every query below it, instead of once per query as the per-itemset
+// Support() path does. A small LRU of hot intermediates keyed by the
+// prefix's item set carries materialized bitmaps across waves, so
+// consecutive waves over the same hot prefixes skip even the first AND —
+// and a wave whose whole itemset equals a cached prefix retires without
+// counting at all (the already-materialized-subset trick of Calders &
+// Goethals' non-derivable-itemset bounds, applied to exact counts).
+//
+// Correctness is unconditional: AND is commutative and associative, so the
+// reorder and the sharing change which intermediates exist, never any
+// popcount. Answers are bit-identical to per-itemset BitmapIndex::Support
+// for any OSSM_THREADS and any kernel ISA.
+//
+// Thread safety: Count() may be called concurrently (direct QueryBatch
+// callers race); the LRU is consulted under a mutex at plan time and
+// published to after execution, and cached bitmaps are immutable
+// shared_ptrs, so eviction never invalidates a wave in flight.
+class BatchPlanner {
+ public:
+  explicit BatchPlanner(const PlannerConfig& config);
+
+  BatchPlanner(const BatchPlanner&) = delete;
+  BatchPlanner& operator=(const BatchPlanner&) = delete;
+
+  // Points the planner at a built index and snapshots every singleton
+  // support (one row popcount each) for the selectivity order. Must be
+  // called once, before Count(); the index must outlive the planner.
+  void AttachIndex(const BitmapIndex* index);
+  bool attached() const { return index_ != nullptr; }
+
+  // Exact supports of `needed` (non-empty, strictly increasing itemsets
+  // over the attached index's domain), in input order. Two-phase
+  // execution: the shared internal nodes (few — they are what sharing
+  // collapses) materialize first, fanned over the pool per root subtree;
+  // then every leaf runs one fused AND+popcount against its parent's
+  // bitmap, fanned over the pool per leaf — so a wave dominated by one
+  // hot prefix still spreads its tails across every thread. Results are
+  // exact popcounts, bit-identical for any thread count.
+  std::vector<uint64_t> Count(std::span<const Itemset> needed);
+
+  PlannerStats Stats() const;
+
+  // The snapshotted singleton support used for selectivity ordering (the
+  // exact db support of the item; tests pin ordering assumptions on it).
+  uint64_t singleton_support(ItemId item) const {
+    return item_support_[item];
+  }
+
+ private:
+  // An intermediate bitmap published to (or replayed from) the LRU.
+  // Immutable once published; shared_ptr keeps replays valid across a
+  // concurrent eviction.
+  struct CachedBitmap {
+    AlignedVector<uint64_t> words;
+    uint64_t popcount = 0;
+  };
+
+  // One prefix-trie node of the wave's plan.
+  struct PlanNode {
+    ItemId item = kInvalidItem;
+    int32_t parent = -1;
+    uint32_t depth = 0;   // 1 = bare row, >= 2 owes one AND
+    uint64_t uses = 0;    // queries whose ordered form passes through
+    uint64_t count = 0;   // popcount of the node's bitmap, set at execution
+    // (item, node id) so sibling scans during the trie build stay inside
+    // one contiguous array instead of chasing into the node pool.
+    std::vector<std::pair<ItemId, int32_t>> children;
+    std::vector<size_t> queries;  // indices in `needed` ending here
+    // Depth>=2 internal nodes materialize into `buffer` (reused across
+    // waves — the node pool keeps capacity); an LRU replay instead points
+    // `bitmap` at the immutable cached entry. `publish` copies the buffer
+    // into a fresh LRU entry after the wave. Leaves never materialize —
+    // they fuse the final AND with the popcount and keep nothing.
+    AlignedVector<uint64_t> buffer;
+    std::shared_ptr<CachedBitmap> bitmap;
+    bool replay = false;
+    bool publish = false;
+    Itemset key;  // canonical (ascending item id) prefix set — the LRU key
+  };
+
+  // The materialized words of an executed node (row for depth 1, bitmap
+  // buffer above); valid once the node's phase-A step ran.
+  std::span<const uint64_t> NodeWords(const std::vector<PlanNode>& nodes,
+                                      int32_t id) const;
+  // Phase A: recursively materializes the internal (shared) nodes of one
+  // root subtree — the part of the plan leaves depend on.
+  void ExecuteInternal(std::vector<PlanNode>& nodes, int32_t id,
+                       std::span<const uint64_t> parent_words,
+                       std::span<uint64_t> supports,
+                       std::atomic<uint64_t>& executed);
+
+  std::shared_ptr<CachedBitmap> LookupLocked(const Itemset& key);
+  void InsertLocked(const Itemset& key, std::shared_ptr<CachedBitmap> entry);
+  // Whether any resident entry has a key of `size` items. The consult
+  // pass gates on this before building a node's canonical key at all —
+  // leaf-sized keys are almost never resident, and skipping their key
+  // build + hash + probe is what keeps the consult pass off the wave's
+  // critical path.
+  bool LruMayHoldLocked(size_t size) const {
+    return size < lru_key_sizes_.size() && lru_key_sizes_[size] > 0;
+  }
+
+  PlannerConfig config_;
+  const BitmapIndex* index_ = nullptr;
+  std::vector<uint64_t> item_support_;
+  // sel_rank_[item] = position in the global (support asc, item asc) total
+  // order; the per-query sort compares one int instead of two lookups.
+  std::vector<uint32_t> sel_rank_;
+
+  std::mutex cache_mu_;
+  // Most-recent at the front; eviction pops the back. Keyed by the
+  // canonical item set through an FNV hash (HashItemset), collisions
+  // resolved by comparing the stored key.
+  std::list<std::pair<Itemset, std::shared_ptr<CachedBitmap>>> lru_;
+  std::unordered_multimap<
+      uint64_t,
+      std::list<std::pair<Itemset, std::shared_ptr<CachedBitmap>>>::iterator>
+      lru_index_;
+  // lru_key_sizes_[k] = resident entries whose key has k items.
+  std::vector<uint32_t> lru_key_sizes_;
+  // Evicted entries nobody else still holds, recycled by the publish pass
+  // so steady-state publication reuses buffers instead of allocating.
+  std::vector<std::shared_ptr<CachedBitmap>> free_entries_;
+
+  std::atomic<uint64_t> waves_{0};
+  std::atomic<uint64_t> planned_queries_{0};
+  std::atomic<uint64_t> nodes_materialized_{0};
+  std::atomic<uint64_t> intersections_saved_{0};
+  std::atomic<uint64_t> intermediate_hits_{0};
+  std::atomic<uint64_t> intermediate_misses_{0};
+};
+
+}  // namespace serve
+}  // namespace ossm
+
+#endif  // OSSM_SERVE_PLANNER_H_

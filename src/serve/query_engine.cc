@@ -3,6 +3,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/timer.h"
 #include "obs/obs.h"
@@ -14,10 +15,19 @@ namespace serve {
 
 namespace {
 
-struct ItemsetSpanHash {
-  size_t operator()(const Itemset& items) const {
-    return static_cast<size_t>(
-        HashItemset(std::span<const ItemId>(items.data(), items.size())));
+// Hash/equality over *indices into the batch*, so deduplication never
+// copies an itemset into a map key (the batch outlives the set).
+struct BatchIndexHash {
+  std::span<const Itemset> itemsets;
+  size_t operator()(size_t i) const {
+    return static_cast<size_t>(HashItemset(std::span<const ItemId>(
+        itemsets[i].data(), itemsets[i].size())));
+  }
+};
+struct BatchIndexEq {
+  std::span<const Itemset> itemsets;
+  bool operator()(size_t a, size_t b) const {
+    return itemsets[a] == itemsets[b];
   }
 };
 
@@ -50,12 +60,23 @@ std::string_view QueryTierName(QueryTier tier) {
   return "unknown";
 }
 
+namespace {
+
+PlannerConfig PlannerConfigFor(const QueryEngineConfig& config) {
+  PlannerConfig planner;
+  planner.intermediate_cache_entries = config.planner_cache_entries;
+  return planner;
+}
+
+}  // namespace
+
 QueryEngine::QueryEngine(const TransactionDatabase* db, SegmentSupportMap* map,
                          const QueryEngineConfig& config)
     : db_(db),
       map_(map),
       config_(config),
-      cache_(config.cache_capacity, config.cache_shards) {
+      cache_(config.cache_capacity, config.cache_shards),
+      planner_(PlannerConfigFor(config)) {
   OSSM_CHECK(db_ != nullptr);
   if (map_ != nullptr) {
     OSSM_CHECK_EQ(map_->num_items(), db_->num_items())
@@ -122,6 +143,19 @@ bool QueryEngine::TryAnswerWithoutScan(std::span<const ItemId> itemset,
       OSSM_COUNTER_INC("serve.singleton_hits");
       return true;
     }
+  } else if (itemset.size() == 1) {
+    // Map-free singleton fast path: the immutable database's own row
+    // totals answer exactly, so the query never occupies the LRU cache or
+    // pays for the exact tier. Computed once, on first demand.
+    std::call_once(db_singletons_once_, [this] {
+      db_item_supports_ = db_->ComputeItemSupports();
+    });
+    result->support = db_item_supports_[itemset[0]];
+    result->tier = QueryTier::kSingleton;
+    result->frequent = result->support >= config_.min_support;
+    singleton_hits_.fetch_add(1, std::memory_order_relaxed);
+    OSSM_COUNTER_INC("serve.singleton_hits");
+    return true;
   }
   uint64_t cached = 0;
   if (cache_.Lookup(itemset, &cached)) {
@@ -138,16 +172,27 @@ bool QueryEngine::TryAnswerWithoutScan(std::span<const ItemId> itemset,
 std::vector<uint64_t> QueryEngine::BitmapCounts(
     const std::vector<Itemset>& needed) {
   OSSM_TRACE_SPAN("serve.bitmap_scan");
-  std::call_once(bitmap_once_, [this] { bitmap_ = BitmapIndex::Build(*db_); });
-  // Fan per itemset: each answer is an index-addressed exact popcount, so
-  // results are bit-identical for any OSSM_THREADS.
-  std::vector<uint64_t> totals(needed.size(), 0);
-  parallel::ParallelForEach(needed.size(), [&](uint64_t q) {
-    thread_local AlignedVector<uint64_t> scratch;
-    totals[q] = bitmap_.Support(
-        std::span<const ItemId>(needed[q].data(), needed[q].size()),
-        &scratch);
+  std::call_once(bitmap_once_, [this] {
+    bitmap_ = BitmapIndex::Build(*db_);
+    planner_.AttachIndex(&bitmap_);
   });
+  std::vector<uint64_t> totals;
+  if (config_.enable_planner) {
+    // Shared-intersection plan: common prefixes across the batch cost one
+    // AND per wave; answers are the same exact popcounts either way.
+    totals = planner_.Count(
+        std::span<const Itemset>(needed.data(), needed.size()));
+  } else {
+    // Fan per itemset: each answer is an index-addressed exact popcount,
+    // so results are bit-identical for any OSSM_THREADS.
+    totals.assign(needed.size(), 0);
+    parallel::ParallelForEach(needed.size(), [&](uint64_t q) {
+      thread_local AlignedVector<uint64_t> scratch;
+      totals[q] = bitmap_.Support(
+          std::span<const ItemId>(needed[q].data(), needed[q].size()),
+          &scratch);
+    });
+  }
   exact_counts_.fetch_add(needed.size(), std::memory_order_relaxed);
   bitmap_counts_.fetch_add(needed.size(), std::memory_order_relaxed);
   OSSM_COUNTER_ADD("serve.exact_counts", needed.size());
@@ -217,6 +262,11 @@ StatusOr<QueryResult> QueryEngine::Query(std::span<const ItemId> itemset) {
 
 StatusOr<std::vector<QueryResult>> QueryEngine::QueryBatch(
     std::span<const Itemset> itemsets) {
+  return QueryBatch(itemsets, QueryBatchOptions{});
+}
+
+StatusOr<std::vector<QueryResult>> QueryEngine::QueryBatch(
+    std::span<const Itemset> itemsets, const QueryBatchOptions& options) {
   OSSM_TRACE_SPAN("serve.query_batch");
   WallTimer timer;
   for (size_t i = 0; i < itemsets.size(); ++i) {
@@ -231,35 +281,53 @@ StatusOr<std::vector<QueryResult>> QueryEngine::QueryBatch(
 
   // Dedup to first occurrence; every duplicate replays its twin's answer.
   std::vector<QueryResult> results(itemsets.size());
-  std::unordered_map<Itemset, size_t, ItemsetSpanHash> first_of;
-  first_of.reserve(itemsets.size());
+  std::unordered_set<size_t, BatchIndexHash, BatchIndexEq> first_of(
+      itemsets.size(), BatchIndexHash{itemsets}, BatchIndexEq{itemsets});
   std::vector<size_t> alias(itemsets.size());
   std::vector<size_t> unique_order;
   for (size_t i = 0; i < itemsets.size(); ++i) {
-    auto [it, inserted] = first_of.emplace(itemsets[i], i);
-    alias[i] = it->second;
+    auto [it, inserted] = first_of.insert(i);
+    alias[i] = *it;
     if (inserted) unique_order.push_back(i);
   }
 
-  // Tiers 1-2 per unique itemset; survivors share one exact sweep.
+  // Tiers 1-2 per unique itemset; survivors share one exact pass. Tier
+  // latencies go to both sinks — the OSSM_METRICS histograms and the
+  // serving telemetry — exactly as Query() records them, so batched
+  // traffic is visible in serve.tier.* alongside single-query traffic.
   ServeTelemetry* telemetry = config_.telemetry;
+  const bool metrics = obs::MetricsEnabled();
+  // Per-query clock reads only when a sink consumes them.
+  const bool timing = metrics || telemetry != nullptr;
+  std::vector<uint64_t> latency_us(itemsets.size(), 0);
   std::vector<Itemset> needed;
   std::vector<size_t> needed_owner;  // index of the unique query it answers
   for (size_t i : unique_order) {
+    if (!timing) {
+      if (!TryAnswerWithoutScan(itemsets[i], &results[i])) {
+        needed.push_back(itemsets[i]);
+        needed_owner.push_back(i);
+      }
+      continue;
+    }
     WallTimer tier_timer;
     if (!TryAnswerWithoutScan(itemsets[i], &results[i])) {
       needed.push_back(itemsets[i]);
       needed_owner.push_back(i);
-    } else if (telemetry != nullptr) {
-      telemetry->RecordTierLatency(
-          results[i].tier,
-          static_cast<uint64_t>(tier_timer.ElapsedSeconds() * 1e6));
+    } else {
+      const uint64_t us =
+          static_cast<uint64_t>(tier_timer.ElapsedSeconds() * 1e6);
+      latency_us[i] = us;
+      if (metrics) RecordTierLatency(results[i].tier, us);
+      if (telemetry != nullptr) {
+        telemetry->RecordTierLatency(results[i].tier, us);
+      }
     }
   }
   if (!needed.empty()) {
     WallTimer sweep_timer;
     std::vector<uint64_t> counts = ExactCounts(needed);
-    // Every survivor experienced the whole shared sweep: that is its
+    // Every survivor experienced the whole shared pass: that is its
     // tier-3 latency, so the exact histogram reflects what callers felt.
     const uint64_t sweep_us =
         static_cast<uint64_t>(sweep_timer.ElapsedSeconds() * 1e6);
@@ -269,16 +337,30 @@ StatusOr<std::vector<QueryResult>> QueryEngine::QueryBatch(
       result.tier = QueryTier::kExact;
       result.frequent = counts[q] >= config_.min_support;
       cache_.Insert(needed[q], counts[q]);
+      latency_us[needed_owner[q]] = sweep_us;
+      if (metrics) RecordTierLatency(QueryTier::kExact, sweep_us);
       if (telemetry != nullptr) {
         telemetry->RecordTierLatency(QueryTier::kExact, sweep_us);
       }
     }
   }
   for (size_t i = 0; i < itemsets.size(); ++i) {
-    if (alias[i] != i) results[i] = results[alias[i]];
+    if (alias[i] != i) {
+      results[i] = results[alias[i]];
+      latency_us[i] = latency_us[alias[i]];
+    }
+  }
+  // Direct batch callers are their own end-to-end requests (no queue in
+  // front), one per submitted itemset — duplicates included, since each
+  // was a request even if it rode a twin's answer.
+  if (telemetry != nullptr && options.record_requests) {
+    for (size_t i = 0; i < itemsets.size(); ++i) {
+      telemetry->RecordRequest(itemsets[i], results[i], /*queue_wait_us=*/0,
+                               latency_us[i]);
+    }
   }
 
-  if (obs::MetricsEnabled()) {
+  if (metrics) {
     OSSM_HISTOGRAM_RECORD("serve.batch_queries", itemsets.size());
     OSSM_HISTOGRAM_RECORD("serve.batch_exact", needed.size());
     OSSM_HISTOGRAM_RECORD(
@@ -309,6 +391,10 @@ EngineStats QueryEngine::Stats() const {
   stats.cache_hits = cache_hits_.load(std::memory_order_relaxed);
   stats.exact_counts = exact_counts_.load(std::memory_order_relaxed);
   stats.bitmap_counts = bitmap_counts_.load(std::memory_order_relaxed);
+  PlannerStats planner = planner_.Stats();
+  stats.planner_nodes = planner.nodes_materialized;
+  stats.planner_saved = planner.intersections_saved;
+  stats.planner_cache_hits = planner.intermediate_hits;
   return stats;
 }
 

@@ -15,6 +15,7 @@
 #include "data/bitmap_index.h"
 #include "data/item.h"
 #include "data/transaction_database.h"
+#include "serve/planner.h"
 #include "serve/support_cache.h"
 
 namespace ossm {
@@ -50,6 +51,11 @@ struct EngineStats {
   // Of the exact counts, how many were answered by the vertical bitmap
   // index rather than the CSR sweep.
   uint64_t bitmap_counts = 0;
+  // Batch-planner tallies (serve/planner.h); zero when the planner is off
+  // or tier 3 runs on the CSR sweep.
+  uint64_t planner_nodes = 0;       // intermediate bitmaps materialized
+  uint64_t planner_saved = 0;       // intersections avoided by sharing
+  uint64_t planner_cache_hits = 0;  // cross-wave intermediate LRU replays
 };
 
 // Whether tier-3 exact counts run on the vertical bitmap index
@@ -74,6 +80,28 @@ struct QueryEngineConfig {
   // histograms recorded on every query, independent of OSSM_METRICS.
   // Null disables. Must outlive the engine.
   ServeTelemetry* telemetry = nullptr;
+  // Shared-intersection batch planner over the bitmap index
+  // (serve/planner.h): the tier-3 survivors of a batch are planned as one
+  // common-prefix DAG, each shared intermediate bitmap materialized
+  // exactly once per wave. Only applies when the bitmap index is in use;
+  // the sparse-data CSR sweep is unchanged either way. Answers are
+  // bit-identical with the planner on or off.
+  bool enable_planner = true;
+  // Entries in the planner's cross-wave LRU of hot intermediate bitmaps
+  // (each holds one full bitmap row). 0 keeps sharing wave-local only.
+  size_t planner_cache_entries = 32;
+};
+
+// Per-call knobs for QueryBatch.
+struct QueryBatchOptions {
+  // Record each query of the batch as one end-to-end request in the
+  // serving telemetry (request histogram, qps window, slow-query log;
+  // queue_wait 0, total = the tier latency the caller experienced). This
+  // is what direct QueryBatch callers (the bench, embedded users) want so
+  // batched traffic is visible alongside Query() traffic. The Batcher
+  // passes false: it records requests itself with the real
+  // enqueue-to-answer latency and queue-wait split.
+  bool record_requests = true;
 };
 
 // Answers itemset-support queries against an immutable TransactionDatabase,
@@ -83,14 +111,17 @@ struct QueryEngineConfig {
 //      query is rejected without touching the collection (the admission
 //      role the OSSM plays inside Apriori/DHP, now per query);
 //   2. cache — exact supports of previously-counted itemsets replay from
-//      the sharded LRU (singletons answer from the map's exact row totals
-//      without entering the cache at all);
+//      the sharded LRU (singletons answer from exact row totals — the
+//      map's when one is attached, the database's own otherwise — without
+//      entering the cache at all);
 //   3. exact — either a CSR containment scan over the database, fanned
 //      across the parallel::ThreadPool in deterministic shards (a batch
 //      costs one sweep of the collection regardless of batch size), or —
 //      when the database is dense enough (BitmapMode) — AND+popcount over
-//      a lazily-built vertical bitmap index, fanned per itemset. Both
-//      produce the same exact supports.
+//      a lazily-built vertical bitmap index, planned per batch as a
+//      shared-intersection DAG (serve/planner.h) so common prefixes cost
+//      one AND per wave instead of one per query. All paths produce the
+//      same exact supports.
 //
 // Consistency contract: the database is immutable and exact answers are
 // always computed against it. The attached map may be *appended to* while
@@ -115,12 +146,16 @@ class QueryEngine {
   // item in [0, num_items); otherwise kInvalidArgument.
   StatusOr<QueryResult> Query(std::span<const ItemId> itemset);
 
-  // Answers a batch in one pass: identical itemsets are deduplicated, the
-  // survivors of tiers 1-2 share a single parallel CSR sweep, and results
-  // come back in input order. Results are bit-identical to issuing the
-  // queries one at a time (for any OSSM_THREADS).
+  // Answers a batch in one pass: identical itemsets are deduplicated and
+  // the survivors of tiers 1-2 share one exact tier — a planned
+  // shared-intersection pass over the bitmap index (serve/planner.h), or
+  // a single parallel CSR sweep when the index is off — with results back
+  // in input order. Results are bit-identical to issuing the queries one
+  // at a time (for any OSSM_THREADS, any kernel ISA, planner on or off).
   StatusOr<std::vector<QueryResult>> QueryBatch(
       std::span<const Itemset> itemsets);
+  StatusOr<std::vector<QueryResult>> QueryBatch(
+      std::span<const Itemset> itemsets, const QueryBatchOptions& options);
 
   // Runs `fn` with the attached map locked exclusively against the query
   // path — the single-writer hook through which an OssmUpdater appends
@@ -140,6 +175,8 @@ class QueryEngine {
   // lock, so it is safe against a concurrent WithMapExclusive.
   uint32_t map_segments() const;
   const SupportCache& cache() const { return cache_; }
+  // Planner tallies (also folded into Stats(); tests read the full set).
+  PlannerStats planner_stats() const { return planner_.Stats(); }
   // True when tier-3 exact counts run on the vertical bitmap index (the
   // resolved BitmapMode decision; the index itself builds lazily on the
   // first exact count).
@@ -168,6 +205,12 @@ class QueryEngine {
   bool use_bitmaps_ = false;
   std::once_flag bitmap_once_;
   BitmapIndex bitmap_;
+  BatchPlanner planner_;
+
+  // Map-free singleton fast path: the database's own row totals, computed
+  // once on the first singleton query of an engine without a map.
+  std::once_flag db_singletons_once_;
+  std::vector<uint64_t> db_item_supports_;
 
   std::atomic<uint64_t> queries_{0};
   std::atomic<uint64_t> bound_rejects_{0};

@@ -414,6 +414,8 @@ std::string SupportServer::StatsLine() const {
           " queue_wait_p50_us=" + std::to_string(wait_p50) +
           " queue_wait_p95_us=" + std::to_string(wait_p95) +
           " queue_wait_p99_us=" + std::to_string(wait_p99);
+  line += " planner_nodes=" + std::to_string(stats.planner_nodes) +
+          " planner_saved=" + std::to_string(stats.planner_saved);
   return line;
 }
 

@@ -1,0 +1,256 @@
+#include "serve/planner.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.h"
+#include "data/bitmap_index.h"
+#include "datagen/quest_generator.h"
+#include "kernels/kernels.h"
+#include "parallel/thread_pool.h"
+#include "serve/query_engine.h"
+
+namespace ossm {
+namespace serve {
+namespace {
+
+TransactionDatabase MakeDb(uint64_t seed) {
+  QuestConfig config;
+  config.num_items = 60;
+  config.num_transactions = 3000;
+  config.avg_transaction_size = 8;
+  config.num_patterns = 15;
+  config.seed = seed;
+  StatusOr<TransactionDatabase> db = GenerateQuest(config);
+  OSSM_CHECK(db.ok());
+  return std::move(*db);
+}
+
+// Randomized waves with heavy shared prefixes: pick a handful of 2-item
+// "prefix" pairs, then grow most queries by extending one of them.
+std::vector<Itemset> SharedPrefixWave(Rng& rng, uint32_t num_items,
+                                      size_t wave_size) {
+  std::vector<Itemset> prefixes;
+  for (int p = 0; p < 4; ++p) {
+    ItemId a = static_cast<ItemId>(rng.UniformInt(num_items));
+    ItemId b = static_cast<ItemId>(rng.UniformInt(num_items));
+    if (a == b) b = (b + 1) % num_items;
+    prefixes.push_back({std::min(a, b), std::max(a, b)});
+  }
+  std::vector<Itemset> wave;
+  for (size_t q = 0; q < wave_size; ++q) {
+    Itemset items;
+    if (rng.Bernoulli(0.8)) {
+      items = prefixes[rng.UniformInt(prefixes.size())];
+    }
+    size_t extra = 1 + rng.UniformInt(3);
+    for (size_t e = 0; e < extra; ++e) {
+      items.push_back(static_cast<ItemId>(rng.UniformInt(num_items)));
+    }
+    std::sort(items.begin(), items.end());
+    items.erase(std::unique(items.begin(), items.end()), items.end());
+    wave.push_back(std::move(items));
+  }
+  return wave;
+}
+
+// Items in the planner's global selectivity order (ascending support,
+// ties by id): [0] is the most selective. The exact-stat tests build waves
+// whose shared pair is more selective than every tail, so the ordered
+// forms provably align on that pair as a common prefix.
+std::vector<ItemId> BySelectivity(const TransactionDatabase& db) {
+  std::vector<uint64_t> supports = db.ComputeItemSupports();
+  std::vector<ItemId> items(db.num_items());
+  for (ItemId i = 0; i < db.num_items(); ++i) items[i] = i;
+  std::sort(items.begin(), items.end(), [&](ItemId a, ItemId b) {
+    if (supports[a] != supports[b]) return supports[a] < supports[b];
+    return a < b;
+  });
+  return items;
+}
+
+// An id-sorted itemset of the two most selective items plus one tail
+// drawn from the least selective end.
+Itemset PrefixPlusTail(const std::vector<ItemId>& order, size_t tail_rank) {
+  Itemset items = {order[0], order[1], order[order.size() - 1 - tail_rank]};
+  std::sort(items.begin(), items.end());
+  return items;
+}
+
+std::vector<uint64_t> OracleSupports(const BitmapIndex& index,
+                                     const std::vector<Itemset>& wave) {
+  std::vector<uint64_t> supports;
+  AlignedVector<uint64_t> scratch;
+  for (const Itemset& itemset : wave) {
+    supports.push_back(index.Support(
+        std::span<const ItemId>(itemset.data(), itemset.size()), &scratch));
+  }
+  return supports;
+}
+
+// The tentpole property: planner answers are bit-identical to per-itemset
+// BitmapIndex::Support, for any thread count and any kernel ISA.
+TEST(BatchPlannerTest, BitIdenticalToPerQueryAcrossThreadsAndIsas) {
+  TransactionDatabase db = MakeDb(/*seed=*/29);
+  BitmapIndex index = BitmapIndex::Build(db);
+  kernels::Isa original = kernels::ActiveIsa();
+  for (kernels::Isa isa : kernels::SupportedIsas()) {
+    kernels::ForceIsa(isa);
+    for (uint32_t threads : {1u, 4u}) {
+      parallel::SetDefaultThreadCount(threads);
+      BatchPlanner planner{PlannerConfig{}};
+      planner.AttachIndex(&index);
+      Rng rng(1234);
+      for (int wave_no = 0; wave_no < 8; ++wave_no) {
+        std::vector<Itemset> wave =
+            SharedPrefixWave(rng, db.num_items(), /*wave_size=*/48);
+        std::vector<uint64_t> expected = OracleSupports(index, wave);
+        std::vector<uint64_t> got = planner.Count(
+            std::span<const Itemset>(wave.data(), wave.size()));
+        ASSERT_EQ(got, expected)
+            << "isa=" << kernels::IsaName(isa) << " threads=" << threads
+            << " wave=" << wave_no;
+      }
+      // Sharing must actually happen on a prefix-heavy mix, not just not
+      // break answers.
+      PlannerStats stats = planner.Stats();
+      EXPECT_GT(stats.intersections_saved, 0u);
+      EXPECT_EQ(stats.waves, 8u);
+    }
+  }
+  parallel::SetDefaultThreadCount(parallel::DefaultThreadCount());
+  kernels::ForceIsa(original);
+}
+
+TEST(BatchPlannerTest, SharedPrefixMaterializedOncePerWave) {
+  // Hand-built wave over one hot prefix {a, b}: the naive path runs one
+  // AND per query per extra item; the plan runs the prefix once.
+  TransactionDatabase db = MakeDb(/*seed=*/7);
+  BitmapIndex index = BitmapIndex::Build(db);
+  PlannerConfig config;
+  config.intermediate_cache_entries = 0;  // isolate wave-local sharing
+  BatchPlanner planner{config};
+  planner.AttachIndex(&index);
+
+  std::vector<ItemId> order = BySelectivity(db);
+  std::vector<Itemset> wave;
+  for (size_t tail_rank = 0; tail_rank < 8; ++tail_rank) {
+    wave.push_back(PrefixPlusTail(order, tail_rank));
+  }
+  std::vector<uint64_t> expected = OracleSupports(index, wave);
+  std::vector<uint64_t> got =
+      planner.Count(std::span<const Itemset>(wave.data(), wave.size()));
+  EXPECT_EQ(got, expected);
+
+  // Naive: 8 queries x 2 ANDs = 16. Planned: 1 AND for the shared
+  // most-selective pair + 8 tail ANDs = 9. Saved: 7.
+  PlannerStats stats = planner.Stats();
+  EXPECT_EQ(stats.planned_queries, wave.size());
+  EXPECT_EQ(stats.nodes_materialized, 9u);
+  EXPECT_EQ(stats.intersections_saved, 7u);
+}
+
+TEST(BatchPlannerTest, CrossWaveLruReplaysHotPrefixes) {
+  TransactionDatabase db = MakeDb(/*seed=*/13);
+  BitmapIndex index = BitmapIndex::Build(db);
+  BatchPlanner planner{PlannerConfig{}};
+  planner.AttachIndex(&index);
+
+  std::vector<ItemId> order = BySelectivity(db);
+  std::vector<Itemset> wave;
+  for (size_t tail_rank = 0; tail_rank < 6; ++tail_rank) {
+    wave.push_back(PrefixPlusTail(order, tail_rank));
+  }
+  std::vector<uint64_t> first =
+      planner.Count(std::span<const Itemset>(wave.data(), wave.size()));
+  PlannerStats after_first = planner.Stats();
+  EXPECT_EQ(after_first.intermediate_hits, 0u);
+  EXPECT_GT(after_first.intermediate_misses, 0u);
+
+  // The same prefix next wave: its intermediate replays from the LRU, so
+  // the second wave runs only the tail ANDs.
+  std::vector<uint64_t> second =
+      planner.Count(std::span<const Itemset>(wave.data(), wave.size()));
+  EXPECT_EQ(second, first);
+  PlannerStats after_second = planner.Stats();
+  EXPECT_GT(after_second.intermediate_hits, 0u);
+  EXPECT_EQ(after_second.nodes_materialized,
+            after_first.nodes_materialized + wave.size());
+}
+
+TEST(BatchPlannerTest, QueryEqualToCachedPrefixRetiresWithoutAnd) {
+  // A later query whose whole (ordered) itemset equals an LRU-resident
+  // prefix costs zero ANDs — the already-materialized-subset trick.
+  TransactionDatabase db = MakeDb(/*seed=*/17);
+  BitmapIndex index = BitmapIndex::Build(db);
+  BatchPlanner planner{PlannerConfig{}};
+  planner.AttachIndex(&index);
+
+  std::vector<ItemId> order = BySelectivity(db);
+  std::vector<Itemset> seed_wave;
+  for (size_t tail_rank = 0; tail_rank < 4; ++tail_rank) {
+    seed_wave.push_back(PrefixPlusTail(order, tail_rank));
+  }
+  planner.Count(
+      std::span<const Itemset>(seed_wave.data(), seed_wave.size()));
+  PlannerStats seeded = planner.Stats();
+
+  Itemset prefix = {order[0], order[1]};
+  std::sort(prefix.begin(), prefix.end());
+  std::vector<Itemset> exact_prefix = {prefix};
+  std::vector<uint64_t> got = planner.Count(
+      std::span<const Itemset>(exact_prefix.data(), exact_prefix.size()));
+  EXPECT_EQ(got, OracleSupports(index, exact_prefix));
+  PlannerStats after = planner.Stats();
+  EXPECT_EQ(after.nodes_materialized, seeded.nodes_materialized);
+  EXPECT_EQ(after.intermediate_hits, seeded.intermediate_hits + 1);
+}
+
+// End-to-end: a planner-enabled engine and a planner-disabled engine give
+// identical QueryBatch answers (supports, tiers, frequent flags).
+TEST(BatchPlannerTest, EngineWithAndWithoutPlannerAgree) {
+  TransactionDatabase db = MakeDb(/*seed=*/41);
+  QueryEngineConfig on;
+  on.min_support = 20;
+  on.bitmap_mode = BitmapMode::kOn;
+  on.enable_planner = true;
+  QueryEngineConfig off = on;
+  off.enable_planner = false;
+
+  QueryEngine with_planner(&db, nullptr, on);
+  QueryEngine without_planner(&db, nullptr, off);
+  Rng rng(99);
+  for (int wave_no = 0; wave_no < 4; ++wave_no) {
+    std::vector<Itemset> wave =
+        SharedPrefixWave(rng, db.num_items(), /*wave_size=*/40);
+    StatusOr<std::vector<QueryResult>> a = with_planner.QueryBatch(wave);
+    StatusOr<std::vector<QueryResult>> b = without_planner.QueryBatch(wave);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    for (size_t i = 0; i < wave.size(); ++i) {
+      EXPECT_EQ((*a)[i].support, (*b)[i].support) << "query " << i;
+      EXPECT_EQ((*a)[i].tier, (*b)[i].tier) << "query " << i;
+      EXPECT_EQ((*a)[i].frequent, (*b)[i].frequent) << "query " << i;
+    }
+  }
+  EXPECT_GT(with_planner.Stats().planner_saved, 0u);
+  EXPECT_EQ(without_planner.Stats().planner_saved, 0u);
+}
+
+TEST(BatchPlannerTest, SelectivityOrderUsesSnapshottedSingletons) {
+  TransactionDatabase db = MakeDb(/*seed=*/53);
+  BitmapIndex index = BitmapIndex::Build(db);
+  BatchPlanner planner{PlannerConfig{}};
+  planner.AttachIndex(&index);
+  std::vector<uint64_t> supports = db.ComputeItemSupports();
+  for (ItemId item = 0; item < db.num_items(); ++item) {
+    EXPECT_EQ(planner.singleton_support(item), supports[item])
+        << "item " << item;
+  }
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace ossm

@@ -6,11 +6,25 @@
 
 #include "core/ossm_builder.h"
 #include "datagen/quest_generator.h"
+#include "obs/obs.h"
 #include "parallel/thread_pool.h"
+#include "serve/telemetry.h"
 
 namespace ossm {
 namespace serve {
 namespace {
+
+// Forces OSSM_METRICS on for the test's scope via the mode-cache hook.
+class ScopedMetricsOn {
+ public:
+  ScopedMetricsOn()
+      : saved_(obs::internal::g_mode_cache.exchange(
+            static_cast<int>(obs::ExportMode::kText))) {}
+  ~ScopedMetricsOn() { obs::internal::g_mode_cache.store(saved_); }
+
+ private:
+  int saved_;
+};
 
 struct Fixture {
   TransactionDatabase db;
@@ -125,8 +139,41 @@ TEST(QueryEngineTest, WorksWithoutAMap) {
   Itemset single = {5};
   StatusOr<QueryResult> result = engine.Query(single);
   ASSERT_TRUE(result.ok());
-  EXPECT_EQ(result->tier, QueryTier::kExact);  // no singleton fast path
+  // Even without a map, singletons answer from the database's own row
+  // totals — never from the exact tier.
+  EXPECT_EQ(result->tier, QueryTier::kSingleton);
   EXPECT_EQ(result->support, OracleSupport(fx.db, single));
+  Itemset pair = {5, 9};
+  StatusOr<QueryResult> exact = engine.Query(pair);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(exact->tier, QueryTier::kExact);
+  EXPECT_EQ(exact->support, OracleSupport(fx.db, pair));
+}
+
+TEST(QueryEngineTest, MapFreeSingletonFastPathAttributesTier) {
+  // Regression: singleton queries against a map-free engine used to fall
+  // through to the LRU/exact tiers even though the immutable database's
+  // row totals answer them exactly.
+  Fixture fx = MakeFixture();
+  QueryEngineConfig config;
+  config.min_support = 10;
+  QueryEngine engine(&fx.db, nullptr, config);
+  std::vector<uint64_t> supports = fx.db.ComputeItemSupports();
+  for (ItemId item = 0; item < fx.db.num_items(); ++item) {
+    StatusOr<QueryResult> result = engine.Query(Itemset{item});
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->tier, QueryTier::kSingleton) << "item " << item;
+    EXPECT_EQ(result->support, supports[item]) << "item " << item;
+    // Repeats must stay singleton hits, not turn into cache hits.
+    StatusOr<QueryResult> again = engine.Query(Itemset{item});
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again->tier, QueryTier::kSingleton) << "item " << item;
+  }
+  EngineStats stats = engine.Stats();
+  EXPECT_EQ(stats.singleton_hits, 2u * fx.db.num_items());
+  EXPECT_EQ(stats.exact_counts, 0u);
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_EQ(engine.cache().size(), 0u);  // never occupies the LRU
 }
 
 TEST(QueryEngineTest, BatchMatchesSerialQueries) {
@@ -211,6 +258,76 @@ TEST(QueryEngineTest, StatsTallyEveryTier) {
   EXPECT_EQ(stats.bound_rejects + stats.singleton_hits + stats.cache_hits +
                 stats.exact_counts,
             issued);
+}
+
+TEST(QueryEngineTest, BatchRecordsTierLatenciesInBothSinks) {
+  // Regression: QueryBatch used to feed tier latencies only into the
+  // serving telemetry — the OSSM_METRICS serve.tier.* histograms never saw
+  // batched tier-1/2 answers (or exact ones). Both sinks must record,
+  // exactly as Query() does.
+  ScopedMetricsOn metrics_on;
+  Fixture fx = MakeFixture();
+  ServeTelemetry telemetry{ServeTelemetry::Config{}};
+  QueryEngineConfig config;
+  config.min_support = 40;
+  config.telemetry = &telemetry;
+  QueryEngine engine(&fx.db, &fx.map, config);
+
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  const uint64_t singleton_before =
+      registry.GetHistogram("serve.tier.singleton_us").count();
+  const uint64_t exact_before =
+      registry.GetHistogram("serve.tier.exact_us").count();
+
+  std::vector<Itemset> queries;
+  for (ItemId a = 0; a < 10; ++a) {
+    queries.push_back({a});                                // tier singleton
+    queries.push_back({a, static_cast<ItemId>(a + 13)});   // reject or exact
+  }
+  StatusOr<std::vector<QueryResult>> results = engine.QueryBatch(queries);
+  ASSERT_TRUE(results.ok());
+
+  uint64_t singletons = 0;
+  uint64_t exacts = 0;
+  for (const QueryResult& r : *results) {
+    singletons += r.tier == QueryTier::kSingleton ? 1 : 0;
+    exacts += r.tier == QueryTier::kExact ? 1 : 0;
+  }
+  ASSERT_GT(singletons, 0u);
+  ASSERT_GT(exacts, 0u);
+  // OSSM_METRICS sink: one record per answered query, per tier.
+  EXPECT_EQ(registry.GetHistogram("serve.tier.singleton_us").count() -
+                singleton_before,
+            singletons);
+  EXPECT_EQ(registry.GetHistogram("serve.tier.exact_us").count() -
+                exact_before,
+            exacts);
+  // Serving-telemetry sink: same tallies.
+  EXPECT_EQ(telemetry.tier_histogram(QueryTier::kSingleton).count(),
+            singletons);
+  EXPECT_EQ(telemetry.tier_histogram(QueryTier::kExact).count(), exacts);
+}
+
+TEST(QueryEngineTest, BatchRecordsRequestsForDirectCallers) {
+  // Regression: direct QueryBatch callers never reached RecordRequest, so
+  // batched traffic was invisible to the request histogram/qps window. The
+  // default options record one request per submitted itemset (duplicates
+  // included); the Batcher opts out and records its own.
+  Fixture fx = MakeFixture();
+  ServeTelemetry telemetry{ServeTelemetry::Config{}};
+  QueryEngineConfig config;
+  config.min_support = 40;
+  config.telemetry = &telemetry;
+  QueryEngine engine(&fx.db, &fx.map, config);
+
+  std::vector<Itemset> queries = {{1}, {2, 7}, {2, 7}, {3, 9, 21}};
+  ASSERT_TRUE(engine.QueryBatch(queries).ok());
+  EXPECT_EQ(telemetry.request_histogram().count(), queries.size());
+
+  QueryBatchOptions opt_out;
+  opt_out.record_requests = false;
+  ASSERT_TRUE(engine.QueryBatch(queries, opt_out).ok());
+  EXPECT_EQ(telemetry.request_histogram().count(), queries.size());
 }
 
 }  // namespace
