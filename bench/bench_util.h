@@ -19,6 +19,8 @@
 #include "common/timer.h"
 #include "data/transaction_database.h"
 #include "obs/obs.h"
+#include "obs/perf/perf_counters.h"
+#include "obs/perf/resource_usage.h"
 #include "obs/report.h"
 #include "datagen/quest_generator.h"
 #include "datagen/skewed_generator.h"
@@ -217,12 +219,45 @@ class BenchReporter {
 
   // Times a stretch of the harness as a named phase:
   //   { BenchReporter::ScopedPhase phase(reporter, "build"); ... }
+  // When hardware counters are available the phase also records its
+  // cycles/instructions/IPC/LLC-miss deltas (report values
+  // perf_<phase>_cycles etc. plus perf.<phase>.* registry counters) and
+  // its page-fault/context-switch deltas (res.<phase>.* counters); with no
+  // PMU those keys are simply absent and the phase costs two empty reads.
   class ScopedPhase {
    public:
     ScopedPhase(BenchReporter& reporter, std::string name)
-        : reporter_(reporter), name_(std::move(name)) {}
+        : reporter_(reporter),
+          name_(std::move(name)),
+          resources_(obs::perf::SampleResourceUsage()) {}
     ~ScopedPhase() {
       reporter_.AddPhaseSeconds(name_, timer_.ElapsedSeconds());
+      obs::perf::PerfReading delta = perf_.Finish();
+      if (delta.AnyAvailable()) {
+        obs::perf::RecordPhasePerf(name_, delta);
+        using obs::perf::PerfCounter;
+        if (delta.Has(PerfCounter::kCycles)) {
+          reporter_.AddValue(
+              "perf_" + name_ + "_cycles",
+              static_cast<double>(delta.Value(PerfCounter::kCycles)));
+        }
+        if (delta.Has(PerfCounter::kInstructions)) {
+          reporter_.AddValue(
+              "perf_" + name_ + "_instructions",
+              static_cast<double>(delta.Value(PerfCounter::kInstructions)));
+        }
+        if (delta.HasIpc()) {
+          reporter_.AddValue("perf_" + name_ + "_ipc", delta.Ipc());
+        }
+        if (delta.Has(PerfCounter::kLlcMisses)) {
+          reporter_.AddValue(
+              "perf_" + name_ + "_llc_misses",
+              static_cast<double>(delta.Value(PerfCounter::kLlcMisses)));
+        }
+      }
+      obs::perf::RecordPhaseResources(
+          name_, obs::perf::ResourceDelta(resources_,
+                                          obs::perf::SampleResourceUsage()));
     }
     ScopedPhase(const ScopedPhase&) = delete;
     ScopedPhase& operator=(const ScopedPhase&) = delete;
@@ -231,12 +266,18 @@ class BenchReporter {
     BenchReporter& reporter_;
     std::string name_;
     WallTimer timer_;
+    obs::perf::PerfPhase perf_;
+    obs::perf::ResourceUsage resources_;
   };
 
   // Snapshots the metrics registry and writes the report. Returns the exit
   // code for main() so harnesses can `return reporter.Finish();`.
   int Finish() {
     if (path_ == "none") return 0;
+    report_.SetWorkload("perf_counters", obs::perf::PerfCountersAvailable()
+                                             ? std::string("available")
+                                             : std::string("unavailable"));
+    obs::perf::RecordProcessResourceMetrics();
     report_.metrics = obs::MetricsRegistry::Global().Snapshot();
     if (Status save = obs::SaveRunReportFile(report_, path_); !save.ok()) {
       std::fprintf(stderr, "error: %s\n", save.ToString().c_str());

@@ -57,6 +57,8 @@ struct Measurement {
   double elems_per_s = 0.0;
   double gib_per_s = 0.0;
   uint64_t checksum = 0;  // defeats dead-code elimination; printed nowhere
+  uint64_t elems_processed = 0;  // repeats * n, for per-element miss rates
+  obs::perf::PerfReading perf;   // hardware counters over the timed loop
 };
 
 template <typename Fn>
@@ -67,16 +69,19 @@ Measurement Drive(size_t n, double bytes_per_elem, Fn&& fn) {
   double once = std::max(calibrate.ElapsedSeconds(), 1e-9);
   uint64_t repeats = std::max<uint64_t>(1, static_cast<uint64_t>(0.03 / once));
 
+  obs::perf::PerfPhase perf;
   WallTimer timer;
   for (uint64_t r = 0; r < repeats; ++r) {
     checksum += fn();
   }
   double elapsed = std::max(timer.ElapsedSeconds(), 1e-9);
   Measurement m;
+  m.perf = perf.Finish();
   m.elems_per_s =
       static_cast<double>(repeats) * static_cast<double>(n) / elapsed;
   m.gib_per_s = m.elems_per_s * bytes_per_elem / (1024.0 * 1024.0 * 1024.0);
   m.checksum = checksum;
+  m.elems_processed = repeats * n;
   return m;
 }
 
@@ -174,6 +179,23 @@ int Run(int argc, char** argv) {
                         m.gib_per_s);
       reporter.AddValue(kernel.name + "_" + isa_name + "_elems_per_s",
                         m.elems_per_s);
+      // Microarchitectural evidence when the PMU is available: IPC per
+      // kernel/ISA and LLC misses amortized per element. Absent keys (no
+      // PMU, or that counter denied) are skipped by bench_compare.
+      if (m.perf.HasIpc()) {
+        reporter.AddValue(kernel.name + "_" + isa_name + "_ipc",
+                          m.perf.Ipc());
+      }
+      if (m.perf.Has(obs::perf::PerfCounter::kLlcMisses) &&
+          m.elems_processed > 0) {
+        reporter.AddValue(
+            kernel.name + "_" + isa_name + "_llc_miss_per_elem",
+            static_cast<double>(
+                m.perf.Value(obs::perf::PerfCounter::kLlcMisses)) /
+                static_cast<double>(m.elems_processed));
+      }
+      obs::perf::RecordPhasePerf("kernels." + kernel.name + "_" + isa_name,
+                                 m.perf);
     }
     if (isas.size() > 1) {
       reporter.AddValue(kernel.name + "_speedup", best_speedup);
@@ -181,6 +203,10 @@ int Run(int argc, char** argv) {
   }
   table.Print(std::cout);
   if (sink == 0x6f73736d) std::printf("\n");  // keep `sink` observable
+  if (!obs::perf::PerfCountersAvailable()) {
+    std::printf("(perf counters unavailable: %s)\n",
+                obs::perf::PerfUnavailableReason().c_str());
+  }
 
   bench::ReportMetrics();
   return reporter.Finish();

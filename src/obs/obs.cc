@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "obs/export.h"
+#include "obs/perf/profiler.h"
 
 namespace ossm {
 namespace obs {
@@ -55,6 +56,9 @@ void ReportAtExit() { ReportNow(); }
 
 const ObsConfig& Config() {
   static const ObsConfig* config = [] {
+    // OSSM_PROFILE is honoured by every binary that touches the obs layer,
+    // independent of whether OSSM_METRICS selected an export mode.
+    perf::StartProfilerFromEnv();
     ObsConfig* parsed = ParseConfigFromEnv();
     if (parsed->mode != ExportMode::kDisabled) {
       if (parsed->mode == ExportMode::kChromeTrace) {

@@ -1,0 +1,383 @@
+#include "obs/perf/perf_counters.h"
+
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "obs/metrics.h"
+#include "obs/obs.h"
+
+namespace ossm {
+namespace obs {
+namespace perf {
+
+namespace {
+
+std::atomic<bool> g_force_unavailable{false};
+
+struct CounterSpec {
+  uint32_t type;
+  uint64_t config;
+};
+
+// Indexed by PerfCounter. Hardware first (cycles leads the hw group),
+// software last (task-clock leads the sw group).
+constexpr CounterSpec kSpecs[kNumPerfCounters] = {
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES},
+    {PERF_TYPE_HW_CACHE,
+     PERF_COUNT_HW_CACHE_DTLB | (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+         (PERF_COUNT_HW_CACHE_RESULT_MISS << 16)},
+    {PERF_TYPE_SOFTWARE, PERF_COUNT_SW_CONTEXT_SWITCHES},
+    {PERF_TYPE_SOFTWARE, PERF_COUNT_SW_TASK_CLOCK},
+};
+
+constexpr std::string_view kNames[kNumPerfCounters] = {
+    "cycles",        "instructions", "branch_misses",   "llc_misses",
+    "dtlb_misses",   "ctx_switches", "task_clock_ns",
+};
+
+int PerfEventOpen(perf_event_attr* attr, pid_t pid, int cpu, int group_fd,
+                  unsigned long flags) {
+  if (g_force_unavailable.load(std::memory_order_relaxed)) {
+    errno = EPERM;  // simulate the locked-down-container failure mode
+    return -1;
+  }
+  return static_cast<int>(
+      ::syscall(SYS_perf_event_open, attr, pid, cpu, group_fd, flags));
+}
+
+perf_event_attr MakeAttr(const CounterSpec& spec, bool leader) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = spec.type;
+  attr.config = spec.config;
+  // Groups start disabled (only the leader's bit matters) and are enabled
+  // with one ioctl; exclude kernel/hypervisor so the unprivileged
+  // perf_event_paranoid=2 default still admits us.
+  attr.disabled = leader ? 1 : 0;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+                     PERF_FORMAT_TOTAL_TIME_RUNNING;
+  return attr;
+}
+
+// Env kill switch, parsed once.
+enum class EnvMode { kAuto, kOff, kSpans };
+
+EnvMode EnvModeValue() {
+  static const EnvMode mode = [] {
+    const char* raw = std::getenv("OSSM_PERF");
+    if (raw == nullptr || raw[0] == '\0') return EnvMode::kAuto;
+    std::string value(raw);
+    if (value == "off" || value == "0" || value == "none") return EnvMode::kOff;
+    if (value == "spans") return EnvMode::kSpans;
+    return EnvMode::kAuto;
+  }();
+  return mode;
+}
+
+std::mutex g_reason_mu;
+std::string g_unavailable_reason;  // guarded by g_reason_mu
+
+void NoteUnavailable(const char* what, int saved_errno) {
+  std::lock_guard<std::mutex> lock(g_reason_mu);
+  if (!g_unavailable_reason.empty()) return;
+  g_unavailable_reason =
+      std::string(what) + ": " + std::strerror(saved_errno);
+}
+
+// One grouped read: { nr, time_enabled, time_running, values[nr] }.
+struct GroupReadBuffer {
+  uint64_t nr = 0;
+  uint64_t time_enabled = 0;
+  uint64_t time_running = 0;
+  uint64_t values[kNumPerfCounters] = {};
+};
+
+// Reads a group leader and scatters the scaled member values into
+// `reading` following `members` (fd-attach order).
+void ReadGroupInto(int leader_fd, const size_t* members, size_t num_members,
+                   PerfReading* reading) {
+  if (leader_fd < 0 || num_members == 0) return;
+  GroupReadBuffer buffer;
+  ssize_t want = static_cast<ssize_t>(3 * sizeof(uint64_t) +
+                                      num_members * sizeof(uint64_t));
+  ssize_t n = ::read(leader_fd, &buffer, static_cast<size_t>(want));
+  if (n < want || buffer.nr != num_members) return;
+  double scale = 1.0;
+  if (buffer.time_running > 0 && buffer.time_running < buffer.time_enabled) {
+    scale = static_cast<double>(buffer.time_enabled) /
+            static_cast<double>(buffer.time_running);
+  }
+  for (size_t i = 0; i < num_members; ++i) {
+    size_t slot = members[i];
+    reading->value[slot] = buffer.time_running == 0
+                               ? 0
+                               : static_cast<uint64_t>(
+                                     static_cast<double>(buffer.values[i]) *
+                                     scale);
+    reading->available[slot] = true;
+  }
+  reading->time_enabled_ns += buffer.time_enabled;
+  reading->time_running_ns += buffer.time_running;
+}
+
+}  // namespace
+
+std::string_view PerfCounterName(PerfCounter counter) {
+  return kNames[static_cast<size_t>(counter)];
+}
+
+bool PerfReading::AnyAvailable() const {
+  for (bool a : available) {
+    if (a) return true;
+  }
+  return false;
+}
+
+double PerfReading::MultiplexScale() const {
+  if (time_running_ns == 0) return 1.0;
+  return static_cast<double>(time_enabled_ns) /
+         static_cast<double>(time_running_ns);
+}
+
+bool PerfReading::HasIpc() const {
+  return Has(PerfCounter::kCycles) && Has(PerfCounter::kInstructions) &&
+         Value(PerfCounter::kCycles) > 0;
+}
+
+double PerfReading::Ipc() const {
+  if (!HasIpc()) return 0.0;
+  return static_cast<double>(Value(PerfCounter::kInstructions)) /
+         static_cast<double>(Value(PerfCounter::kCycles));
+}
+
+PerfReading Delta(const PerfReading& start, const PerfReading& end) {
+  PerfReading delta;
+  for (size_t i = 0; i < kNumPerfCounters; ++i) {
+    if (!start.available[i] || !end.available[i]) continue;
+    delta.available[i] = true;
+    delta.value[i] =
+        end.value[i] >= start.value[i] ? end.value[i] - start.value[i] : 0;
+  }
+  delta.time_enabled_ns = end.time_enabled_ns >= start.time_enabled_ns
+                              ? end.time_enabled_ns - start.time_enabled_ns
+                              : 0;
+  delta.time_running_ns = end.time_running_ns >= start.time_running_ns
+                              ? end.time_running_ns - start.time_running_ns
+                              : 0;
+  return delta;
+}
+
+PerfCounterGroup::PerfCounterGroup() {
+  fd_.fill(-1);
+  if (EnvModeValue() == EnvMode::kOff ||
+      g_force_unavailable.load(std::memory_order_relaxed)) {
+    NoteUnavailable("perf_event_open", EPERM);
+    return;
+  }
+  OpenAll();
+}
+
+void PerfCounterGroup::OpenAll() {
+  // Hardware group: cycles leads; siblings degrade individually (a VM with
+  // no LLC event still counts cycles/instructions).
+  for (size_t i = 0; i < kNumPerfCounters; ++i) {
+    const bool software = kSpecs[i].type == PERF_TYPE_SOFTWARE;
+    int* leader = software ? &sw_leader_ : &hw_leader_;
+    const bool is_leader = *leader < 0;
+    perf_event_attr attr = MakeAttr(kSpecs[i], is_leader);
+    int fd = PerfEventOpen(&attr, /*pid=*/0, /*cpu=*/-1,
+                           /*group_fd=*/is_leader ? -1 : *leader,
+                           PERF_FLAG_FD_CLOEXEC);
+    if (fd < 0) {
+      if (is_leader) NoteUnavailable("perf_event_open", errno);
+      continue;
+    }
+    if (is_leader) *leader = fd;
+    fd_[i] = fd;
+    opened_[i] = true;
+    available_ = true;
+  }
+}
+
+PerfCounterGroup::~PerfCounterGroup() {
+  for (int fd : fd_) {
+    if (fd >= 0) ::close(fd);
+  }
+}
+
+void PerfCounterGroup::Start() {
+  for (int leader : {hw_leader_, sw_leader_}) {
+    if (leader < 0) continue;
+    ::ioctl(leader, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+    ::ioctl(leader, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+  }
+}
+
+PerfReading PerfCounterGroup::ReadNow() const {
+  PerfReading reading;
+  for (int leader : {hw_leader_, sw_leader_}) {
+    if (leader < 0) continue;
+    const bool software = leader == sw_leader_;
+    size_t members[kNumPerfCounters];
+    size_t num_members = 0;
+    for (size_t i = 0; i < kNumPerfCounters; ++i) {
+      if (!opened_[i]) continue;
+      if ((kSpecs[i].type == PERF_TYPE_SOFTWARE) != software) continue;
+      members[num_members++] = i;
+    }
+    ReadGroupInto(leader, members, num_members, &reading);
+  }
+  return reading;
+}
+
+PerfReading PerfCounterGroup::Stop() {
+  for (int leader : {hw_leader_, sw_leader_}) {
+    if (leader < 0) continue;
+    ::ioctl(leader, PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+  }
+  return ReadNow();
+}
+
+InheritedPerfCounters::InheritedPerfCounters() {
+  if (EnvModeValue() == EnvMode::kOff ||
+      g_force_unavailable.load(std::memory_order_relaxed)) {
+    return;
+  }
+  constexpr CounterSpec kInheritSpecs[3] = {
+      {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+      {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+      {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES},
+  };
+  for (size_t i = 0; i < 3; ++i) {
+    perf_event_attr attr = MakeAttr(kInheritSpecs[i], /*leader=*/false);
+    attr.disabled = 0;  // count from open
+    attr.inherit = 1;   // cover threads spawned after this open
+    // inherit is incompatible with PERF_FORMAT_GROUP reads; each counter
+    // stands alone with its own scaling fields.
+    attr.read_format =
+        PERF_FORMAT_TOTAL_TIME_ENABLED | PERF_FORMAT_TOTAL_TIME_RUNNING;
+    int fd = PerfEventOpen(&attr, /*pid=*/0, /*cpu=*/-1, /*group_fd=*/-1,
+                           PERF_FLAG_FD_CLOEXEC);
+    if (fd < 0) continue;
+    fd_[i] = fd;
+    available_ = true;
+  }
+}
+
+InheritedPerfCounters::~InheritedPerfCounters() {
+  for (int fd : fd_) {
+    if (fd >= 0) ::close(fd);
+  }
+}
+
+PerfReading InheritedPerfCounters::ReadNow() const {
+  constexpr PerfCounter kSlots[3] = {PerfCounter::kCycles,
+                                     PerfCounter::kInstructions,
+                                     PerfCounter::kLlcMisses};
+  PerfReading reading;
+  for (size_t i = 0; i < 3; ++i) {
+    if (fd_[i] < 0) continue;
+    uint64_t buffer[3] = {0, 0, 0};  // value, time_enabled, time_running
+    ssize_t n = ::read(fd_[i], buffer, sizeof(buffer));
+    if (n < static_cast<ssize_t>(sizeof(buffer))) continue;
+    double scale = 1.0;
+    if (buffer[2] > 0 && buffer[2] < buffer[1]) {
+      scale = static_cast<double>(buffer[1]) / static_cast<double>(buffer[2]);
+    }
+    size_t slot = static_cast<size_t>(kSlots[i]);
+    reading.value[slot] =
+        static_cast<uint64_t>(static_cast<double>(buffer[0]) * scale);
+    reading.available[slot] = true;
+    reading.time_enabled_ns =
+        std::max(reading.time_enabled_ns, buffer[1]);
+    reading.time_running_ns =
+        std::max(reading.time_running_ns, buffer[2]);
+  }
+  return reading;
+}
+
+bool PerfCountersAvailable() {
+  if (g_force_unavailable.load(std::memory_order_relaxed)) return false;
+  if (EnvModeValue() == EnvMode::kOff) return false;
+  // One real probe: open a throwaway group and see whether anything sticks.
+  // Not cached across the force flag so tests can flip availability.
+  static const bool probed = [] {
+    PerfCounterGroup group;
+    return group.available();
+  }();
+  return probed;
+}
+
+std::string PerfUnavailableReason() {
+  if (PerfCountersAvailable()) return "";
+  std::lock_guard<std::mutex> lock(g_reason_mu);
+  return g_unavailable_reason.empty() ? "perf_event_open unavailable"
+                                      : g_unavailable_reason;
+}
+
+void ForcePerfUnavailableForTest(bool force) {
+  g_force_unavailable.store(force, std::memory_order_relaxed);
+}
+
+bool PerfSpansEnabled() { return EnvModeValue() == EnvMode::kSpans; }
+
+PerfCounterGroup* ThreadPerfGroup() {
+  if (!PerfCountersAvailable()) return nullptr;
+  thread_local PerfCounterGroup* group = [] {
+    // Leaked deliberately, like the metrics registry: phase scopes may
+    // read during thread teardown, after thread_local destructors ran.
+    auto* g = new PerfCounterGroup();
+    if (!g->available()) {
+      delete g;
+      return static_cast<PerfCounterGroup*>(nullptr);
+    }
+    g->Start();
+    return g;
+  }();
+  return group;
+}
+
+PerfPhase::PerfPhase() {
+  PerfCounterGroup* group = ThreadPerfGroup();
+  if (group == nullptr) return;
+  start_ = group->ReadNow();
+  active_ = true;
+}
+
+PerfReading PerfPhase::Finish() const {
+  if (!active_) return PerfReading{};
+  PerfCounterGroup* group = ThreadPerfGroup();
+  if (group == nullptr) return PerfReading{};
+  return Delta(start_, group->ReadNow());
+}
+
+void RecordPhasePerf(std::string_view phase, const PerfReading& delta) {
+  if (!MetricsEnabled() || !delta.AnyAvailable()) return;
+  for (size_t i = 0; i < kNumPerfCounters; ++i) {
+    if (!delta.available[i] || delta.value[i] == 0) continue;
+    std::string name = "perf.";
+    name += phase;
+    name += '.';
+    name += kNames[i];
+    MetricsRegistry::Global().GetCounter(name).Add(delta.value[i]);
+  }
+}
+
+}  // namespace perf
+}  // namespace obs
+}  // namespace ossm

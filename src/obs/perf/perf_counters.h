@@ -1,0 +1,175 @@
+#ifndef OSSM_OBS_PERF_PERF_COUNTERS_H_
+#define OSSM_OBS_PERF_PERF_COUNTERS_H_
+
+// Hardware performance-counter groups over Linux perf_event_open(2).
+//
+// A PerfCounterGroup opens the standard microarchitectural set — cycles,
+// instructions, branch misses, LLC misses, dTLB misses — as one hardware
+// event group plus a software group (task-clock, context-switches), all
+// read with one grouped read() per group (PERF_FORMAT_GROUP) and scaled
+// for kernel multiplexing via TOTAL_TIME_ENABLED / TOTAL_TIME_RUNNING.
+// Counters are per-thread (pid=0, cpu=-1, no inherit): a group measures
+// the thread that opened it, which is exact for the single-threaded bench
+// drives and documented thread-scoped everywhere else.
+//
+// Availability is per counter, probed at open: CI containers and VMs
+// routinely deny perf_event_open (EPERM/EACCES) or expose no PMU (ENOENT
+// for hardware events while software events still work). Nothing here ever
+// fails because a counter is unavailable — readings simply report which
+// slots are live, and the env kill switch OSSM_PERF=off forces the whole
+// subsystem into the unavailable path (the same path an EPERM container
+// takes), which is how CI exercises the fallback deliberately.
+//
+//   OSSM_PERF=off|0|none   force "unavailable" (simulated EPERM)
+//   OSSM_PERF=spans        additionally attach counters to every TraceSpan
+//                          (per-span perf.span.<name>.* registry counters)
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ossm {
+namespace obs {
+namespace perf {
+
+// Fixed counter slots; the order is the wire order of the grouped reads.
+enum class PerfCounter : size_t {
+  kCycles = 0,
+  kInstructions,
+  kBranchMisses,
+  kLlcMisses,
+  kDtlbMisses,
+  kContextSwitches,
+  kTaskClockNs,
+  kCount,
+};
+inline constexpr size_t kNumPerfCounters =
+    static_cast<size_t>(PerfCounter::kCount);
+
+// Stable lowercase names ("cycles", "llc_misses", ...) used as registry
+// counter suffixes and report keys.
+std::string_view PerfCounterName(PerfCounter counter);
+
+// One multiplexing-scaled reading of a group (or a delta of two readings).
+struct PerfReading {
+  std::array<uint64_t, kNumPerfCounters> value{};
+  std::array<bool, kNumPerfCounters> available{};
+  uint64_t time_enabled_ns = 0;
+  uint64_t time_running_ns = 0;
+
+  bool Has(PerfCounter counter) const {
+    return available[static_cast<size_t>(counter)];
+  }
+  uint64_t Value(PerfCounter counter) const {
+    return value[static_cast<size_t>(counter)];
+  }
+  // True when at least one counter is live.
+  bool AnyAvailable() const;
+  // time_enabled / time_running — 1.0 means the group was never
+  // multiplexed off the PMU; values are already scaled by this.
+  double MultiplexScale() const;
+  // Instructions per cycle; requires both counters, else 0.
+  bool HasIpc() const;
+  double Ipc() const;
+};
+
+// end - start, per available-in-both counter. Wall-clock style fields
+// (time_enabled/time_running) are differenced too.
+PerfReading Delta(const PerfReading& start, const PerfReading& end);
+
+// A scoped set of perf fds for the calling thread. Construction opens the
+// counters (degrading per counter); destruction closes them. Not movable:
+// the fds count the constructing thread.
+class PerfCounterGroup {
+ public:
+  PerfCounterGroup();
+  ~PerfCounterGroup();
+  PerfCounterGroup(const PerfCounterGroup&) = delete;
+  PerfCounterGroup& operator=(const PerfCounterGroup&) = delete;
+
+  // True when at least one counter opened.
+  bool available() const { return available_; }
+
+  // Resets and enables both groups. Readings then accumulate until Stop().
+  void Start();
+  // Disables the groups and returns the scaled totals since Start().
+  PerfReading Stop();
+  // Reads without disabling (for delta-based scopes).
+  PerfReading ReadNow() const;
+
+ private:
+  void OpenAll();
+
+  std::array<int, kNumPerfCounters> fd_;
+  std::array<bool, kNumPerfCounters> opened_{};
+  int hw_leader_ = -1;  // fd of the cycles leader, -1 when the group failed
+  int sw_leader_ = -1;  // fd of the task-clock leader
+  bool available_ = false;
+};
+
+// Process-level cycles/instructions/LLC-miss counters with inherit=1 (each
+// its own fd — inherit is incompatible with grouped reads), covering the
+// opening thread and every thread created after. Backs the live IPC gauge
+// in the serving telemetry.
+class InheritedPerfCounters {
+ public:
+  InheritedPerfCounters();
+  ~InheritedPerfCounters();
+  InheritedPerfCounters(const InheritedPerfCounters&) = delete;
+  InheritedPerfCounters& operator=(const InheritedPerfCounters&) = delete;
+
+  bool available() const { return available_; }
+  // Cumulative scaled reading since construction (counters start enabled).
+  PerfReading ReadNow() const;
+
+ private:
+  std::array<int, 3> fd_{{-1, -1, -1}};  // cycles, instructions, llc_misses
+  bool available_ = false;
+};
+
+// Capability probe, cached after the first real open attempt. False when
+// the kernel denies perf_event_open for both a hardware and a software
+// event, when OSSM_PERF=off, or when tests forced unavailability.
+bool PerfCountersAvailable();
+
+// Why the probe failed, e.g. "perf_event_open: Operation not permitted";
+// empty while available. For reports and logs.
+std::string PerfUnavailableReason();
+
+// Test/CI hook: behave exactly as if every perf_event_open returned EPERM.
+// Affects groups constructed after the call.
+void ForcePerfUnavailableForTest(bool force);
+
+// True when OSSM_PERF=spans: trace spans attach per-span counters.
+bool PerfSpansEnabled();
+
+// Lazily-opened per-thread shared group for span/phase deltas; null when
+// perf is unavailable. The group is enabled once and read for deltas, so
+// concurrent scopes on the same thread nest correctly.
+PerfCounterGroup* ThreadPerfGroup();
+
+// Snapshot of ThreadPerfGroup() for delta-based phase scopes. Zero-cost
+// (reading stays empty) when perf is unavailable.
+class PerfPhase {
+ public:
+  PerfPhase();
+  // Scaled delta since construction; empty (no counters available) when
+  // the thread group is unavailable.
+  PerfReading Finish() const;
+
+ private:
+  PerfReading start_;
+  bool active_ = false;
+};
+
+// Records a delta into the global metrics registry as dynamic counters
+// perf.<phase>.<counter> (only the available slots). No-op when metrics
+// are disabled.
+void RecordPhasePerf(std::string_view phase, const PerfReading& delta);
+
+}  // namespace perf
+}  // namespace obs
+}  // namespace ossm
+
+#endif  // OSSM_OBS_PERF_PERF_COUNTERS_H_

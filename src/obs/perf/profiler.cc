@@ -1,0 +1,266 @@
+#include "obs/perf/profiler.h"
+
+#include <cxxabi.h>
+#include <execinfo.h>
+#include <signal.h>
+#include <sys/time.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <vector>
+
+namespace ossm {
+namespace obs {
+namespace perf {
+
+namespace {
+
+// Fixed preallocated sample store: the signal handler may not allocate.
+// 8192 samples at the default 97 Hz cover ~84 s of CPU time; overflow is
+// counted, not fatal. The arrays live in BSS (zero pages until touched).
+constexpr uint32_t kMaxSamples = 8192;
+constexpr int kMaxFrames = 32;
+
+struct RawSample {
+  int depth;
+  void* frames[kMaxFrames];
+};
+
+RawSample g_sample_store[kMaxSamples];
+std::atomic<uint64_t> g_next_slot{0};   // total SIGPROF fires since Start
+std::atomic<uint64_t> g_dropped{0};     // fires after the store filled
+std::atomic<bool> g_running{false};
+
+std::mutex g_control_mu;  // serializes Start/Stop
+struct sigaction g_previous_action;
+
+void ProfilerSignalHandler(int /*signo*/) {
+  // Async-signal-safe: one fetch_add, one backtrace into preallocated
+  // storage. backtrace() was warmed in Start() so libgcc is already
+  // loaded and no lazy initialization happens here.
+  if (!g_running.load(std::memory_order_relaxed)) return;
+  uint64_t slot = g_next_slot.fetch_add(1, std::memory_order_relaxed);
+  if (slot >= kMaxSamples) {
+    g_dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  RawSample& sample = g_sample_store[slot];
+  sample.depth = ::backtrace(sample.frames, kMaxFrames);
+}
+
+// "binary(_ZN4ossm4MineEv+0x1a) [0x55..]" -> demangled symbol, falling
+// back to the raw mangled name, the module, or the address.
+std::string FrameName(const char* symbolized, void* address) {
+  if (symbolized != nullptr) {
+    const char* open = std::strchr(symbolized, '(');
+    if (open != nullptr && open[1] != '\0' && open[1] != ')' &&
+        open[1] != '+') {
+      const char* end = open + 1;
+      while (*end != '\0' && *end != '+' && *end != ')') ++end;
+      std::string mangled(open + 1, static_cast<size_t>(end - (open + 1)));
+      int status = 0;
+      char* demangled =
+          abi::__cxa_demangle(mangled.c_str(), nullptr, nullptr, &status);
+      if (status == 0 && demangled != nullptr) {
+        std::string name(demangled);
+        std::free(demangled);
+        // Folded format separators must not appear inside a frame.
+        for (char& c : name) {
+          if (c == ';') c = ':';
+          if (c == ' ') c = '_';
+        }
+        return name;
+      }
+      if (demangled != nullptr) std::free(demangled);
+      return mangled;
+    }
+    // No symbol: fall back to the module basename.
+    if (open != nullptr || symbolized[0] != '\0') {
+      std::string module(symbolized,
+                         open != nullptr
+                             ? static_cast<size_t>(open - symbolized)
+                             : std::strlen(symbolized));
+      size_t slash = module.rfind('/');
+      if (slash != std::string::npos) module = module.substr(slash + 1);
+      size_t space = module.find(' ');
+      if (space != std::string::npos) module = module.substr(0, space);
+      if (!module.empty()) return module;
+    }
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "0x%llx",
+                static_cast<unsigned long long>(
+                    reinterpret_cast<uintptr_t>(address)));
+  return buffer;
+}
+
+std::string FoldSamples() {
+  uint64_t total = g_next_slot.load(std::memory_order_relaxed);
+  uint32_t kept = static_cast<uint32_t>(
+      total < kMaxSamples ? total : kMaxSamples);
+  if (kept == 0) return "";
+
+  // Aggregate identical raw stacks first so each unique stack is
+  // symbolized once.
+  std::map<std::vector<void*>, uint64_t> raw_counts;
+  for (uint32_t i = 0; i < kept; ++i) {
+    const RawSample& sample = g_sample_store[i];
+    if (sample.depth <= 0) continue;
+    // frames[0] is the handler itself and frames[1] the kernel signal
+    // trampoline; the interrupted code starts below them.
+    int first = sample.depth > 2 ? 2 : 0;
+    std::vector<void*> stack(sample.frames + first,
+                             sample.frames + sample.depth);
+    ++raw_counts[stack];
+  }
+
+  std::map<std::string, uint64_t> folded;
+  for (const auto& [stack, count] : raw_counts) {
+    char** symbols = ::backtrace_symbols(
+        const_cast<void* const*>(stack.data()),
+        static_cast<int>(stack.size()));
+    std::string line;
+    // backtrace is innermost-first; folded format wants root-first.
+    for (size_t i = stack.size(); i-- > 0;) {
+      std::string name =
+          FrameName(symbols != nullptr ? symbols[i] : nullptr, stack[i]);
+      if (name == "__restore_rt") continue;  // leftover trampoline frame
+      if (!line.empty()) line += ';';
+      line += name;
+    }
+    if (symbols != nullptr) std::free(symbols);
+    if (!line.empty()) folded[line] += count;
+  }
+
+  std::string out;
+  char count_buffer[32];
+  for (const auto& [line, count] : folded) {
+    out += line;
+    std::snprintf(count_buffer, sizeof(count_buffer), " %llu\n",
+                  static_cast<unsigned long long>(count));
+    out += count_buffer;
+  }
+  return out;
+}
+
+// OSSM_PROFILE exit hook state.
+std::string* g_profile_path = nullptr;
+
+void WriteProfileAtExit() {
+  if (g_profile_path == nullptr) return;
+  std::string folded = SamplingProfiler::Global().Stop();
+  FILE* f = std::fopen(g_profile_path->c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "ossm: cannot write OSSM_PROFILE output to %s\n",
+                 g_profile_path->c_str());
+    return;
+  }
+  std::fputs(folded.c_str(), f);
+  std::fclose(f);
+}
+
+}  // namespace
+
+SamplingProfiler& SamplingProfiler::Global() {
+  static SamplingProfiler* instance = new SamplingProfiler();
+  return *instance;
+}
+
+bool SamplingProfiler::Start(int hz) {
+  std::lock_guard<std::mutex> lock(g_control_mu);
+  if (g_running.load(std::memory_order_relaxed)) return false;
+  if (hz < 1) hz = 1;
+  if (hz > 1000) hz = 1000;
+
+  // Warm backtrace(): its first call lazily loads libgcc, which is not
+  // async-signal-safe, so do it before any signal can fire.
+  void* warm[4];
+  ::backtrace(warm, 4);
+
+  g_next_slot.store(0, std::memory_order_relaxed);
+  g_dropped.store(0, std::memory_order_relaxed);
+
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = &ProfilerSignalHandler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_RESTART;
+  if (::sigaction(SIGPROF, &action, &g_previous_action) != 0) return false;
+
+  g_running.store(true, std::memory_order_relaxed);
+
+  // ITIMER_PROF counts process CPU time, so idle threads are never
+  // sampled and the kernel delivers SIGPROF to a running thread.
+  struct itimerval timer;
+  const long interval_us = 1000000 / hz;
+  // tv_usec must stay below one second or setitimer rejects the interval
+  // with EINVAL (hz=1 is exactly the boundary).
+  timer.it_interval.tv_sec = interval_us / 1000000;
+  timer.it_interval.tv_usec = interval_us % 1000000;
+  timer.it_value = timer.it_interval;
+  if (::setitimer(ITIMER_PROF, &timer, nullptr) != 0) {
+    g_running.store(false, std::memory_order_relaxed);
+    ::sigaction(SIGPROF, &g_previous_action, nullptr);
+    return false;
+  }
+  return true;
+}
+
+std::string SamplingProfiler::Stop() {
+  std::lock_guard<std::mutex> lock(g_control_mu);
+  if (!g_running.load(std::memory_order_relaxed)) return "";
+
+  struct itimerval disarm;
+  std::memset(&disarm, 0, sizeof(disarm));
+  ::setitimer(ITIMER_PROF, &disarm, nullptr);
+  g_running.store(false, std::memory_order_relaxed);
+  ::sigaction(SIGPROF, &g_previous_action, nullptr);
+
+  return FoldSamples();
+}
+
+bool SamplingProfiler::running() const {
+  return g_running.load(std::memory_order_relaxed);
+}
+
+uint64_t SamplingProfiler::samples() const {
+  return g_next_slot.load(std::memory_order_relaxed);
+}
+
+uint64_t SamplingProfiler::dropped() const {
+  return g_dropped.load(std::memory_order_relaxed);
+}
+
+bool StartProfilerFromEnv() {
+  static const bool armed = [] {
+    const char* raw = std::getenv("OSSM_PROFILE");
+    if (raw == nullptr || raw[0] == '\0') return false;
+    std::string value(raw);
+    int hz = 97;
+    // FILE[:hz] — only split on a trailing :<digits> so paths with
+    // colons elsewhere still work.
+    size_t colon = value.rfind(':');
+    if (colon != std::string::npos && colon + 1 < value.size()) {
+      char* end = nullptr;
+      long parsed = std::strtol(value.c_str() + colon + 1, &end, 10);
+      if (end != nullptr && *end == '\0' && parsed > 0) {
+        hz = static_cast<int>(parsed);
+        value = value.substr(0, colon);
+      }
+    }
+    if (value.empty()) return false;
+    if (!SamplingProfiler::Global().Start(hz)) return false;
+    g_profile_path = new std::string(value);
+    std::atexit(&WriteProfileAtExit);
+    return true;
+  }();
+  return armed;
+}
+
+}  // namespace perf
+}  // namespace obs
+}  // namespace ossm

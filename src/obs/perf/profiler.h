@@ -1,0 +1,68 @@
+#ifndef OSSM_OBS_PERF_PROFILER_H_
+#define OSSM_OBS_PERF_PROFILER_H_
+
+// Signal-based sampling stack profiler emitting folded stacks.
+//
+// SamplingProfiler arms SIGPROF via setitimer(ITIMER_PROF): the kernel
+// delivers the signal to whichever thread is consuming CPU, the handler
+// captures a raw backtrace() into a preallocated slot (async-signal-safe:
+// no allocation, no locks, drop-on-full), and Stop() symbolizes off the
+// hot path and aggregates identical stacks into flamegraph.pl-compatible
+// folded lines:
+//
+//   main;RunBench;ossm::MinePass;ossm::HashTree::Count 42
+//
+// One profiler per process (SIGPROF is process-global). Two entry points:
+//
+//   OSSM_PROFILE=FILE[:hz]  profile the whole process lifetime, write the
+//                           folded stacks to FILE at exit (default 97 Hz —
+//                           prime, so sampling does not alias periodic
+//                           work). Hooked from obs::Config() so every
+//                           binary honours it with no code.
+//   PROFILE [ms]            serving verb: profile the running server for a
+//                           bounded window, return the folded stacks over
+//                           the wire (src/serve/server.cc).
+
+#include <cstdint>
+#include <string>
+
+namespace ossm {
+namespace obs {
+namespace perf {
+
+class SamplingProfiler {
+ public:
+  // The process-wide instance (SIGPROF can only have one disposition).
+  static SamplingProfiler& Global();
+
+  // Installs the handler and arms the timer. Returns false when a profile
+  // is already running or the timer cannot be armed. hz is clamped to
+  // [1, 1000].
+  bool Start(int hz = 97);
+
+  // Disarms the timer, symbolizes and folds the captured stacks, and
+  // returns them as "frame;frame;frame count" lines (sorted, one per
+  // unique stack). Empty string when never started or nothing captured.
+  std::string Stop();
+
+  bool running() const;
+
+  // Samples captured (incl. kept) and dropped-on-full since Start().
+  uint64_t samples() const;
+  uint64_t dropped() const;
+
+ private:
+  SamplingProfiler() = default;
+};
+
+// Parses OSSM_PROFILE=FILE[:hz]; when set, starts the global profiler and
+// registers an atexit hook that stops it and writes the folded stacks to
+// FILE. Safe to call more than once (first call wins). Returns true when a
+// profile was armed.
+bool StartProfilerFromEnv();
+
+}  // namespace perf
+}  // namespace obs
+}  // namespace ossm
+
+#endif  // OSSM_OBS_PERF_PROFILER_H_

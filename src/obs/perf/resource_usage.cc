@@ -1,0 +1,173 @@
+#include "obs/perf/resource_usage.h"
+
+#include <dirent.h>
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/obs.h"
+
+namespace ossm {
+namespace obs {
+namespace perf {
+
+namespace {
+
+// Resident pages from /proc/self/statm (second field).
+uint64_t ReadRssBytes() {
+  FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  unsigned long long size = 0, resident = 0;
+  int matched = std::fscanf(f, "%llu %llu", &size, &resident);
+  std::fclose(f);
+  if (matched != 2) return 0;
+  static const long page = ::sysconf(_SC_PAGESIZE);
+  return static_cast<uint64_t>(resident) *
+         static_cast<uint64_t>(page > 0 ? page : 4096);
+}
+
+uint64_t ReadThreadCount() {
+  FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  uint64_t threads = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "Threads:", 8) == 0) {
+      threads = std::strtoull(line + 8, nullptr, 10);
+      break;
+    }
+  }
+  std::fclose(f);
+  return threads;
+}
+
+uint64_t ReadOpenFds() {
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) return 0;
+  uint64_t count = 0;
+  while (struct dirent* entry = ::readdir(dir)) {
+    if (entry->d_name[0] == '.') continue;
+    ++count;
+  }
+  ::closedir(dir);
+  // The opendir fd itself is counted; subtract it back out.
+  return count > 0 ? count - 1 : 0;
+}
+
+// Process start in clock ticks since boot: field 22 of /proc/self/stat,
+// counted after the last ')' so an exotic comm string cannot shift fields.
+double ReadUptimeSeconds() {
+  FILE* f = std::fopen("/proc/self/stat", "r");
+  if (f == nullptr) return 0.0;
+  char buffer[1024];
+  size_t n = std::fread(buffer, 1, sizeof(buffer) - 1, f);
+  std::fclose(f);
+  buffer[n] = '\0';
+  const char* paren = std::strrchr(buffer, ')');
+  if (paren == nullptr) return 0.0;
+  // After ')' come fields 3..52; starttime is field 22, i.e. the 20th
+  // space-separated token after the parenthesis.
+  const char* p = paren + 1;
+  unsigned long long starttime_ticks = 0;
+  int field = 2;
+  while (*p != '\0') {
+    while (*p == ' ') ++p;
+    ++field;
+    if (field == 22) {
+      starttime_ticks = std::strtoull(p, nullptr, 10);
+      break;
+    }
+    while (*p != '\0' && *p != ' ') ++p;
+  }
+  if (field != 22) return 0.0;
+
+  FILE* uf = std::fopen("/proc/uptime", "r");
+  if (uf == nullptr) return 0.0;
+  double boot_uptime = 0.0;
+  int matched = std::fscanf(uf, "%lf", &boot_uptime);
+  std::fclose(uf);
+  if (matched != 1) return 0.0;
+
+  static const long hz = ::sysconf(_SC_CLK_TCK);
+  double start_seconds =
+      static_cast<double>(starttime_ticks) / static_cast<double>(hz > 0 ? hz : 100);
+  double uptime = boot_uptime - start_seconds;
+  return uptime > 0.0 ? uptime : 0.0;
+}
+
+}  // namespace
+
+ResourceUsage SampleResourceUsage() {
+  ResourceUsage usage;
+  struct rusage ru;
+  if (::getrusage(RUSAGE_SELF, &ru) == 0) {
+    // ru_maxrss is kilobytes on Linux.
+    usage.peak_rss_bytes = static_cast<uint64_t>(ru.ru_maxrss) * 1024;
+    usage.minor_faults = static_cast<uint64_t>(ru.ru_minflt);
+    usage.major_faults = static_cast<uint64_t>(ru.ru_majflt);
+    usage.voluntary_ctx_switches = static_cast<uint64_t>(ru.ru_nvcsw);
+    usage.involuntary_ctx_switches = static_cast<uint64_t>(ru.ru_nivcsw);
+  }
+  usage.rss_bytes = ReadRssBytes();
+  usage.open_fds = ReadOpenFds();
+  usage.threads = ReadThreadCount();
+  usage.uptime_seconds = ReadUptimeSeconds();
+  return usage;
+}
+
+ResourceUsage ResourceDelta(const ResourceUsage& start,
+                            const ResourceUsage& end) {
+  auto sub = [](uint64_t a, uint64_t b) { return a >= b ? a - b : 0; };
+  ResourceUsage delta = end;  // point-in-time fields carry over
+  delta.minor_faults = sub(end.minor_faults, start.minor_faults);
+  delta.major_faults = sub(end.major_faults, start.major_faults);
+  delta.voluntary_ctx_switches =
+      sub(end.voluntary_ctx_switches, start.voluntary_ctx_switches);
+  delta.involuntary_ctx_switches =
+      sub(end.involuntary_ctx_switches, start.involuntary_ctx_switches);
+  return delta;
+}
+
+void RecordProcessResourceMetrics() {
+  if (!MetricsEnabled()) return;
+  ResourceUsage usage = SampleResourceUsage();
+  auto& registry = MetricsRegistry::Global();
+  registry.GetGauge("process.rss_bytes")
+      .Set(static_cast<int64_t>(usage.rss_bytes));
+  registry.GetGauge("process.peak_rss_bytes")
+      .Set(static_cast<int64_t>(usage.peak_rss_bytes));
+  registry.GetGauge("process.open_fds")
+      .Set(static_cast<int64_t>(usage.open_fds));
+  registry.GetGauge("process.threads")
+      .Set(static_cast<int64_t>(usage.threads));
+}
+
+void RecordPhaseResources(std::string_view phase, const ResourceUsage& delta) {
+  if (!MetricsEnabled()) return;
+  struct Field {
+    const char* name;
+    uint64_t value;
+  };
+  const Field fields[] = {
+      {"minor_faults", delta.minor_faults},
+      {"major_faults", delta.major_faults},
+      {"vol_ctx_switches", delta.voluntary_ctx_switches},
+      {"invol_ctx_switches", delta.involuntary_ctx_switches},
+  };
+  for (const Field& field : fields) {
+    if (field.value == 0) continue;
+    std::string name = "res.";
+    name += phase;
+    name += '.';
+    name += field.name;
+    MetricsRegistry::Global().GetCounter(name).Add(field.value);
+  }
+}
+
+}  // namespace perf
+}  // namespace obs
+}  // namespace ossm

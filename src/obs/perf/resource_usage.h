@@ -1,0 +1,59 @@
+#ifndef OSSM_OBS_PERF_RESOURCE_USAGE_H_
+#define OSSM_OBS_PERF_RESOURCE_USAGE_H_
+
+// Process resource accounting over getrusage(2) and /proc/self.
+//
+// A ResourceUsage snapshot captures memory pressure (current and peak RSS,
+// minor/major page faults) and scheduling pressure (voluntary/involuntary
+// context switches) plus process shape (open fds, threads, uptime). Deltas
+// of two snapshots attribute faults and switches to a phase; absolute
+// fields (RSS, fds, threads) are point-in-time reads.
+//
+// Everything degrades gracefully: a field that cannot be read (no /proc,
+// exotic container) stays at its zero value and the snapshot still works.
+
+#include <cstdint>
+#include <string_view>
+
+namespace ossm {
+namespace obs {
+namespace perf {
+
+struct ResourceUsage {
+  // Point-in-time (not meaningful as deltas).
+  uint64_t rss_bytes = 0;       // current resident set (/proc/self/statm)
+  uint64_t peak_rss_bytes = 0;  // high-water mark (getrusage ru_maxrss)
+  uint64_t open_fds = 0;        // entries in /proc/self/fd
+  uint64_t threads = 0;         // Threads: in /proc/self/status
+  double uptime_seconds = 0.0;  // since process start (/proc clocks)
+
+  // Cumulative since process start (meaningful as deltas).
+  uint64_t minor_faults = 0;  // getrusage ru_minflt
+  uint64_t major_faults = 0;  // getrusage ru_majflt
+  uint64_t voluntary_ctx_switches = 0;    // ru_nvcsw
+  uint64_t involuntary_ctx_switches = 0;  // ru_nivcsw
+};
+
+// Reads all fields now. Never fails; unreadable fields stay zero.
+ResourceUsage SampleResourceUsage();
+
+// The cumulative-field difference end - start (saturating at 0), with
+// end's point-in-time fields carried over.
+ResourceUsage ResourceDelta(const ResourceUsage& start,
+                            const ResourceUsage& end);
+
+// Sets the process-level gauges (process.rss_bytes, process.peak_rss_bytes,
+// process.open_fds, process.threads) in the global metrics registry from a
+// fresh sample. No-op when metrics are disabled.
+void RecordProcessResourceMetrics();
+
+// Records a phase delta as dynamic counters res.<phase>.<field>
+// (minor_faults, major_faults, vol_ctx_switches, invol_ctx_switches; only
+// nonzero fields). No-op when metrics are disabled.
+void RecordPhaseResources(std::string_view phase, const ResourceUsage& delta);
+
+}  // namespace perf
+}  // namespace obs
+}  // namespace ossm
+
+#endif  // OSSM_OBS_PERF_RESOURCE_USAGE_H_

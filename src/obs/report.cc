@@ -358,10 +358,24 @@ bool Contains(std::string_view name, std::string_view needle) {
 
 }  // namespace
 
+bool IsPerfMetric(std::string_view metric_name) {
+  return metric_name.starts_with("perf.") ||
+         metric_name.starts_with("perf_") ||
+         metric_name.starts_with("res.") ||
+         Contains(metric_name, "_ipc") || Contains(metric_name, "llc_miss");
+}
+
 MetricDirection DirectionForCounter(std::string_view counter_name) {
   // Scheduling-dependent pool counters move with machine load, not with the
   // code under test.
   if (counter_name.starts_with("pool.")) return MetricDirection::kNeutral;
+  // Raw hardware-counter and resource accumulations (perf.<phase>.cycles,
+  // res.<phase>.minor_faults, ...) scale with how long the phase ran on
+  // this machine today; gating happens on the derived report values (ipc,
+  // llc_miss_per_elem) instead.
+  if (counter_name.starts_with("perf.") || counter_name.starts_with("res.")) {
+    return MetricDirection::kNeutral;
+  }
   if (Contains(counter_name, "pruned") ||
       Contains(counter_name, "cache_hits") ||
       Contains(counter_name, "abandoned") ||
@@ -384,12 +398,18 @@ MetricDirection DirectionForValue(std::string_view value_name) {
       Contains(value_name, "queue_depth")) {
     return MetricDirection::kLowerIsBetter;
   }
+  // Hardware-counter rates: misses and faults are waste (checked before
+  // the higher-is-better block so llc_miss_per_elem never reads as a
+  // throughput); IPC is useful work per cycle.
+  if (Contains(value_name, "miss") || Contains(value_name, "fault")) {
+    return MetricDirection::kLowerIsBetter;
+  }
   if (Contains(value_name, "speedup") || Contains(value_name, "throughput") ||
       Contains(value_name, "per_sec") || Contains(value_name, "pruned") ||
       Contains(value_name, "qps") || Contains(value_name, "hit_ratio") ||
       Contains(value_name, "gib_per_s") ||
       Contains(value_name, "elems_per_s") ||
-      Contains(value_name, "saved")) {
+      Contains(value_name, "_ipc") || Contains(value_name, "saved")) {
     return MetricDirection::kHigherIsBetter;
   }
   if (Contains(value_name, "seconds") || Contains(value_name, "_us") ||
@@ -442,7 +462,11 @@ MetricComparison ClassifyDirected(std::string metric, double baseline,
   row.metric = std::move(metric);
   row.baseline = baseline;
   row.candidate = candidate;
-  double base = std::max(std::abs(baseline), 1.0);
+  // Relative to the baseline's own magnitude: ratio-scale metrics (IPC,
+  // misses per element, hit ratios) live well below 1.0, and a 1.0 floor
+  // would mute even a 5x swing in them into noise. The floor only guards
+  // a zero baseline.
+  double base = std::abs(baseline) > 0.0 ? std::abs(baseline) : 1.0;
   row.rel_delta = (candidate - baseline) / base;
   if (baseline == candidate) {
     row.verdict = MetricVerdict::kNoise;
@@ -510,16 +534,27 @@ ReportComparison CompareReports(const RunReport& baseline,
       case MetricVerdict::kRegression: ++comparison.regressions; break;
       case MetricVerdict::kImprovement: ++comparison.improvements; break;
       case MetricVerdict::kMissing: ++comparison.missing; break;
+      case MetricVerdict::kNew: ++comparison.new_metrics; break;
       default: break;
     }
     comparison.rows.push_back(std::move(row));
   };
-  auto missing_row = [](std::string metric, double base) {
+  // Perf-counter metrics vanish whenever the candidate ran somewhere the
+  // PMU is denied (most CI containers); that is the documented degraded
+  // mode, not a regression, so those rows never count as missing even
+  // under --fail-on-missing.
+  auto missing_row = [](std::string metric, std::string_view raw_name,
+                        double base) {
     MetricComparison row;
     row.metric = std::move(metric);
     row.baseline = base;
-    row.verdict = MetricVerdict::kMissing;
-    row.detail = "absent from the candidate";
+    if (IsPerfMetric(raw_name)) {
+      row.verdict = MetricVerdict::kNoise;
+      row.detail = "perf counters unavailable in the candidate";
+    } else {
+      row.verdict = MetricVerdict::kMissing;
+      row.detail = "absent from the candidate";
+    }
     return row;
   };
   auto new_row = [](std::string metric, double cand) {
@@ -535,7 +570,7 @@ ReportComparison CompareReports(const RunReport& baseline,
   for (const auto& [name, seconds] : baseline.phases) {
     const double* other = FindMetric(candidate.phases, name);
     if (other == nullptr) {
-      add_row(missing_row("phase." + name, seconds));
+      add_row(missing_row("phase." + name, name, seconds));
     } else {
       add_row(ClassifyTime("phase." + name, seconds, *other, options));
     }
@@ -550,7 +585,7 @@ ReportComparison CompareReports(const RunReport& baseline,
   for (const auto& [name, value] : baseline.values) {
     const double* other = FindMetric(candidate.values, name);
     if (other == nullptr) {
-      add_row(missing_row("value." + name, value));
+      add_row(missing_row("value." + name, name, value));
     } else {
       add_row(ClassifyDirected("value." + name, value, *other,
                                options.value_rel_threshold,
@@ -574,7 +609,8 @@ ReportComparison CompareReports(const RunReport& baseline,
   for (const auto& [name, value] : baseline.metrics.counters) {
     const uint64_t* other = find_counter(candidate.metrics, name);
     if (other == nullptr) {
-      add_row(missing_row("counter." + name, static_cast<double>(value)));
+      add_row(missing_row("counter." + name, name,
+                          static_cast<double>(value)));
     } else {
       add_row(ClassifyDirected("counter." + name, static_cast<double>(value),
                                static_cast<double>(*other),
@@ -602,7 +638,8 @@ ReportComparison CompareReports(const RunReport& baseline,
       std::string metric = name + ".total_us";
       const HistogramSnapshot* other = find_histogram(candidate.metrics, name);
       if (other == nullptr) {
-        add_row(missing_row(std::move(metric), static_cast<double>(h.sum)));
+        add_row(missing_row(std::move(metric), name,
+                            static_cast<double>(h.sum)));
       } else {
         add_row(ClassifyTime(std::move(metric),
                              static_cast<double>(h.sum) * 1e-6,
@@ -638,7 +675,11 @@ void PrintComparison(const ReportComparison& comparison, std::ostream& os) {
   os << "\n"
      << comparison.rows.size() << " metrics compared: "
      << comparison.regressions << " regressions, " << comparison.improvements
-     << " improvements, " << comparison.missing << " missing\n";
+     << " improvements, " << comparison.missing << " missing";
+  if (comparison.new_metrics > 0) {
+    os << ", " << comparison.new_metrics << " new (not gated)";
+  }
+  os << "\n";
 }
 
 }  // namespace obs

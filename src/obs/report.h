@@ -101,6 +101,15 @@ enum class MetricDirection { kLowerIsBetter, kHigherIsBetter, kNeutral };
 MetricDirection DirectionForCounter(std::string_view counter_name);
 MetricDirection DirectionForValue(std::string_view value_name);
 
+// True for hardware-counter and resource-accounting metrics (perf.* / res.*
+// registry counters, perf_* report values, *_ipc, *llc_miss*). These are
+// environment-dependent: they disappear entirely when a run lands on a
+// machine that denies perf_event_open, so a baseline-present/candidate-
+// absent perf metric is classified as noise ("perf counters unavailable"),
+// never as MISSING — committed baselines made on PMU machines must not
+// fail --fail-on-missing gates in locked-down CI containers.
+bool IsPerfMetric(std::string_view metric_name);
+
 struct CompareOptions {
   // Relative thresholds: |candidate - baseline| / baseline beyond which a
   // time / counter / value difference is not noise.
@@ -134,6 +143,9 @@ struct ReportComparison {
   int regressions = 0;
   int improvements = 0;
   int missing = 0;
+  // Candidate-only metrics: informational, never gate (a freshly added
+  // instrument must not fail against an older committed baseline).
+  int new_metrics = 0;
 
   bool ShouldFail(bool fail_on_missing) const {
     return regressions > 0 || (fail_on_missing && missing > 0);

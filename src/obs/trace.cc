@@ -7,6 +7,7 @@
 
 #include "obs/metrics.h"
 #include "obs/obs.h"
+#include "obs/perf/perf_counters.h"
 
 namespace ossm {
 namespace obs {
@@ -56,6 +57,14 @@ ThreadHandle& LocalHandle() {
 
 bool SpansActive() {
   return State().retain.load(std::memory_order_relaxed) || MetricsEnabled();
+}
+
+// Per-thread stack of counter snapshots for OSSM_PERF=spans: a span pushes
+// the thread group's reading at open and diffs against it at close, so
+// nested spans each see their own (inclusive) delta.
+std::vector<perf::PerfReading>& PerfSpanStack() {
+  thread_local std::vector<perf::PerfReading> stack;
+  return stack;
 }
 
 }  // namespace
@@ -134,6 +143,13 @@ TraceSpan::TraceSpan(std::string_view name) {
   ThreadHandle& handle = LocalHandle();
   depth_ = handle.depth++;
   start_us_ = TraceNowMicros();
+  if (MetricsEnabled() && perf::PerfSpansEnabled()) {
+    perf::PerfCounterGroup* group = perf::ThreadPerfGroup();
+    if (group != nullptr) {
+      PerfSpanStack().push_back(group->ReadNow());
+      perf_attached_ = true;
+    }
+  }
 }
 
 TraceSpan::~TraceSpan() {
@@ -141,6 +157,20 @@ TraceSpan::~TraceSpan() {
   uint64_t duration = TraceNowMicros() - start_us_;
   ThreadHandle& handle = LocalHandle();
   if (handle.depth > 0) --handle.depth;
+
+  if (perf_attached_) {
+    std::vector<perf::PerfReading>& stack = PerfSpanStack();
+    if (!stack.empty()) {
+      perf::PerfCounterGroup* group = perf::ThreadPerfGroup();
+      if (group != nullptr) {
+        perf::PerfReading delta = perf::Delta(stack.back(), group->ReadNow());
+        std::string phase = "span.";
+        phase += name_;
+        perf::RecordPhasePerf(phase, delta);
+      }
+      stack.pop_back();
+    }
+  }
 
   if (TraceEventRetention()) {
     TraceEvent event;

@@ -37,6 +37,11 @@ struct TraceEvent {
 // retention is on (OSSM_METRICS=trace:... or SetTraceEventRetention) the
 // full event is additionally kept for the Chrome trace exporter. With both
 // off, constructing a span costs one relaxed atomic load.
+//
+// With OSSM_PERF=spans (and metrics enabled), each span additionally reads
+// the thread's hardware counter group at open and close and accumulates
+// the delta into perf.span.<name>.<counter> registry counters — per-phase
+// cycles, instructions, and cache misses with no per-site code.
 class TraceSpan {
  public:
   explicit TraceSpan(std::string_view name);
@@ -49,6 +54,7 @@ class TraceSpan {
   std::string name_;  // empty when the span is inactive
   uint64_t start_us_ = 0;
   uint32_t depth_ = 0;
+  bool perf_attached_ = false;  // a perf reading was pushed for this span
 };
 
 // Whether full TraceEvents are buffered (beyond the histogram aggregation).

@@ -74,10 +74,26 @@ StatusOr<Request> ParseRequest(std::string_view line, uint32_t max_items) {
     }
     return request;
   }
+  if (verb == "PROFILE") {
+    if (tokens.size() > 2) {
+      return Status::InvalidArgument(
+          "PROFILE takes at most one duration (ms)");
+    }
+    request.kind = RequestKind::kProfile;
+    if (tokens.size() == 2) {
+      ItemId ms = 0;  // same uint32 grammar as items
+      if (!ParseItem(tokens[1], &ms) || ms == 0) {
+        return Status::InvalidArgument("bad PROFILE duration '" +
+                                       std::string(tokens[1]) + "'");
+      }
+      request.profile_ms = ms;
+    }
+    return request;
+  }
   if (verb != "Q") {
     return Status::InvalidArgument(
         "unknown verb '" + std::string(verb) +
-        "' (Q, INFO, STATS, METRICS, SLOWLOG, PING, QUIT)");
+        "' (Q, INFO, STATS, METRICS, SLOWLOG, PROFILE, PING, QUIT)");
   }
   if (tokens.size() < 2) {
     return Status::InvalidArgument("Q needs at least one item");

@@ -10,6 +10,9 @@
 //             | "STATS"             ; engine/batcher tallies
 //             | "METRICS"           ; Prometheus text exposition
 //             | "SLOWLOG" [SP uint] ; newest slow queries (default 16)
+//             | "PROFILE" [SP uint] ; sample CPU stacks for [ms] (default
+//                                   ; 200, capped by the server), answer
+//                                   ; folded flamegraph lines
 //             | "PING"              ; liveness
 //             | "QUIT"              ; server answers BYE and closes
 //   items    := uint (SP uint)*     ; any order; duplicates collapse
@@ -21,17 +24,22 @@
 //             | "STATS" SP k=v ...
 //             | "METRICS" SP n NL body    ; n = body line count (see below)
 //             | "SLOWLOG" SP n NL body    ; n entry lines, newest first
+//             | "PROFILE" SP n NL body    ; n folded-stack lines
+//                                         ; ("frame;frame;... count")
 //             | "PONG"
 //             | "BYE"
 //             | "ERR" SP message          ; malformed line, oversized query,
 //                                         ; or backpressure; connection stays up
 //   tier     := "singleton" | "cache" | "exact"
 //
-// Multi-line responses (METRICS, SLOWLOG) stay inside the one-response-
-// per-request ordering contract: the header line carries the number of
-// body lines that follow, so a pipelining client reads exactly n more
-// lines before the next response. Without serve telemetry configured both
-// verbs answer with n = 0.
+// Multi-line responses (METRICS, SLOWLOG, PROFILE) stay inside the one-
+// response-per-request ordering contract: the header line carries the
+// number of body lines that follow, so a pipelining client reads exactly
+// n more lines before the next response. Without serve telemetry
+// configured METRICS and SLOWLOG answer with n = 0. PROFILE blocks its
+// own connection for the sampling window (other connections keep being
+// served) and answers ERR when a profile is already in flight anywhere in
+// the process — the SIGPROF sampler is process-global.
 //
 // Introspection verbs (INFO/STATS/METRICS/SLOWLOG) are evaluated when the
 // request line is parsed, not when the response flushes: queries pipelined
@@ -61,6 +69,7 @@ enum class RequestKind {
   kStats,
   kMetrics,
   kSlowlog,
+  kProfile,
   kPing,
   kQuit,
 };
@@ -69,6 +78,7 @@ struct Request {
   RequestKind kind = RequestKind::kQuery;
   Itemset itemset;  // canonicalized (sorted, deduplicated); kQuery only
   uint32_t slowlog_count = 16;  // kSlowlog only; capped by the server
+  uint32_t profile_ms = 200;    // kProfile only; capped by the server
 };
 
 // Parses one request line (without the terminating '\n'). Rejects unknown

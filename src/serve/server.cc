@@ -19,6 +19,7 @@
 #include <cstring>
 
 #include "obs/obs.h"
+#include "obs/perf/profiler.h"
 #include "obs/trace.h"
 #include "serve/protocol.h"
 #include "serve/telemetry.h"
@@ -108,6 +109,9 @@ void SupportServer::Shutdown() {
           reinterpret_cast<const char*>(&kick), sizeof(kick)));
     }
     if (loop_.joinable()) loop_.join();
+    // The loop is gone, so no new profile can start; wait out an in-flight
+    // window (bounded by max_profile_ms).
+    if (profile_thread_.joinable()) profile_thread_.join();
   });
 }
 
@@ -300,6 +304,11 @@ void SupportServer::DispatchLines(Connection& conn) {
         slot->done.store(true, std::memory_order_release);
         conn.slots.push_back(std::move(slot));
         break;
+      case RequestKind::kProfile:
+        conn.slots.push_back(slot);
+        StartProfile(std::move(slot),
+                     std::min(request->profile_ms, config_.max_profile_ms));
+        break;
       case RequestKind::kQuit:
         slot->text = "BYE";
         slot->done.store(true, std::memory_order_release);
@@ -370,6 +379,52 @@ bool SupportServer::FlushConnection(Connection& conn) {
     return false;
   }
   return true;
+}
+
+void SupportServer::StartProfile(std::shared_ptr<Slot> slot, uint32_t ms) {
+  // One profile at a time, across every connection: SIGPROF and its
+  // sample store are process-global.
+  if (profiling_.exchange(true, std::memory_order_acq_rel)) {
+    slot->text = FormatError(
+        Status::ResourceExhausted("a PROFILE is already running"));
+    slot->done.store(true, std::memory_order_release);
+    return;
+  }
+  // The previous worker (if any) already cleared profiling_, so it has
+  // finished its slot; reclaim it before reusing the member.
+  if (profile_thread_.joinable()) profile_thread_.join();
+  int wake_fd = wake_fd_;
+  profile_thread_ =
+      std::thread([this, slot = std::move(slot), ms, wake_fd] {
+        std::string folded;
+        bool started = obs::perf::SamplingProfiler::Global().Start();
+        if (started) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+          folded = obs::perf::SamplingProfiler::Global().Stop();
+        }
+        if (!started) {
+          slot->text = FormatError(Status::FailedPrecondition(
+              "profiler unavailable (another profile is active in this "
+              "process, e.g. OSSM_PROFILE)"));
+        } else {
+          size_t lines = 0;
+          for (char c : folded) {
+            if (c == '\n') ++lines;
+          }
+          std::string text = "PROFILE " + std::to_string(lines);
+          if (!folded.empty()) {
+            text += '\n';
+            text += folded;
+            if (text.back() == '\n') text.pop_back();  // slot adds the '\n'
+          }
+          slot->text = std::move(text);
+        }
+        slot->done.store(true, std::memory_order_release);
+        profiling_.store(false, std::memory_order_release);
+        uint64_t kick = 1;
+        BestEffortWrite(wake_fd, std::string_view(
+            reinterpret_cast<const char*>(&kick), sizeof(kick)));
+      });
 }
 
 void SupportServer::CloseConnection(int fd) {

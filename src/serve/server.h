@@ -39,6 +39,9 @@ struct ServerConfig {
   ServeTelemetry* telemetry = nullptr;
   // Upper bound on entries one SLOWLOG response returns.
   uint32_t max_slowlog_entries = 256;
+  // Upper bound on one PROFILE sampling window; requests asking for more
+  // are clamped, never rejected.
+  uint32_t max_profile_ms = 2000;
 };
 
 // The epoll front-end (Linux-only, like the CI targets): one event-loop
@@ -110,6 +113,11 @@ class SupportServer {
   std::string MetricsText() const;
   // "SLOWLOG <n>" + n entry lines, newest first.
   std::string SlowlogText(uint32_t count) const;
+  // Runs the process-global sampling profiler for `ms` on a detached-from-
+  // the-loop worker thread, then completes `slot` with "PROFILE <n>" + n
+  // folded-stack lines and kicks the eventfd. The event loop keeps serving
+  // other connections during the window; only this request's slot waits.
+  void StartProfile(std::shared_ptr<Slot> slot, uint32_t ms);
 
   QueryEngine* engine_;
   Batcher* batcher_;
@@ -123,6 +131,12 @@ class SupportServer {
   std::atomic<bool> shutting_down_{false};
   std::once_flag shutdown_once_;
   std::atomic<uint64_t> connections_accepted_{0};
+
+  // PROFILE worker: at most one in flight (the SIGPROF sampler is
+  // process-global); `profiling_` is the busy guard, the thread is joined
+  // lazily before reuse and finally in Shutdown().
+  std::thread profile_thread_;
+  std::atomic<bool> profiling_{false};
 
   std::map<int, std::unique_ptr<Connection>> connections_;
 };

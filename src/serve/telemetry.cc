@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "obs/export.h"
+#include "obs/perf/resource_usage.h"
 #include "obs/trace.h"
 
 namespace ossm {
@@ -228,6 +229,25 @@ std::string ServeTelemetry::PrometheusText(const ServeCounterInputs& inputs) {
               FormatDouble(CacheHitRatio(kShortWindows)));
   AppendGauge(out, "ossm_serve_cache_hit_ratio_1m",
               FormatDouble(CacheHitRatio(kLongWindows)));
+
+  // Process-level gauges: present on every scrape, traffic or not.
+  obs::perf::ResourceUsage usage = obs::perf::SampleResourceUsage();
+  AppendGauge(out, "ossm_process_rss_bytes", FormatUint(usage.rss_bytes));
+  AppendGauge(out, "ossm_process_uptime_seconds",
+              FormatDouble(usage.uptime_seconds));
+  AppendGauge(out, "ossm_process_open_fds", FormatUint(usage.open_fds));
+  AppendGauge(out, "ossm_process_threads", FormatUint(usage.threads));
+  AppendGauge(out, "ossm_process_perf_available",
+              process_perf_.available() ? "1" : "0");
+  if (process_perf_.available()) {
+    std::lock_guard<std::mutex> lock(perf_mu_);
+    obs::perf::PerfReading now_reading = process_perf_.ReadNow();
+    obs::perf::PerfReading delta = obs::perf::Delta(last_perf_, now_reading);
+    last_perf_ = now_reading;
+    if (delta.HasIpc()) {
+      AppendGauge(out, "ossm_process_ipc", FormatDouble(delta.Ipc()));
+    }
+  }
 
   AppendWindowedSummary(out, "ossm_serve_request_us",
                         RequestWindow(kShortWindows),

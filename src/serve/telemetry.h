@@ -9,6 +9,7 @@
 
 #include "data/item.h"
 #include "obs/hdr_histogram.h"
+#include "obs/perf/perf_counters.h"
 #include "obs/window.h"
 #include "serve/query_engine.h"
 
@@ -147,7 +148,12 @@ class ServeTelemetry {
   // The full Prometheus text exposition for the serving stack: counter
   // families from `inputs`, windowed summary families ({window="10s"|"1m"},
   // quantiles 0.5/0.95/0.99) for request/queue-wait/wave/tier latencies,
-  // and gauges for qps, cache hit ratio, and queue depth. Ends with '\n'.
+  // gauges for qps, cache hit ratio, and queue depth, plus process-level
+  // gauges (ossm_process_rss_bytes / uptime_seconds / open_fds / threads)
+  // and — when the PMU admits inherited counters — the process IPC over
+  // the interval since the previous scrape (ossm_process_ipc;
+  // ossm_process_perf_available says which mode the scrape ran in).
+  // Ends with '\n'.
   std::string PrometheusText(const ServeCounterInputs& inputs);
 
   // Renders one slow-query entry as the SLOWLOG line body (no newline):
@@ -174,6 +180,13 @@ class ServeTelemetry {
 
   std::atomic<uint64_t> queue_depth_{0};
   SlowQueryLog slowlog_;
+
+  // Process-wide inherited counters for the live IPC gauge; last_perf_
+  // holds the previous scrape's reading so each scrape reports the IPC of
+  // the interval between scrapes, not the lifetime average.
+  obs::perf::InheritedPerfCounters process_perf_;
+  std::mutex perf_mu_;  // guards last_perf_ across concurrent scrapes
+  obs::perf::PerfReading last_perf_;
 };
 
 }  // namespace serve

@@ -294,6 +294,111 @@ TEST(BenchCompareTest, MismatchedIdentityProducesNotes) {
   EXPECT_FALSE(comparison.ShouldFail(false));
 }
 
+TEST(BenchCompareTest, PerfMetricClassification) {
+  EXPECT_TRUE(IsPerfMetric("perf.mine.cycles"));
+  EXPECT_TRUE(IsPerfMetric("perf_mine_instructions"));
+  EXPECT_TRUE(IsPerfMetric("res.mine.minor_faults"));
+  EXPECT_TRUE(IsPerfMetric("and_popcount_avx2_ipc"));
+  EXPECT_TRUE(IsPerfMetric("min_sum_scalar_llc_miss_per_elem"));
+  EXPECT_FALSE(IsPerfMetric("speedup.t4"));
+  EXPECT_FALSE(IsPerfMetric("serve_qps"));
+}
+
+TEST(BenchCompareTest, PerfValueDirectionHeuristics) {
+  // Derived per-element/ratio figures gate; raw counters stay neutral
+  // (absolute cycle counts shift with host load and multiplexing).
+  EXPECT_EQ(DirectionForValue("kernels_ipc"),
+            MetricDirection::kHigherIsBetter);
+  EXPECT_EQ(DirectionForValue("and_popcount_avx2_llc_miss_per_elem"),
+            MetricDirection::kLowerIsBetter);
+  EXPECT_EQ(DirectionForValue("res_mine_major_faults"),
+            MetricDirection::kLowerIsBetter);
+  EXPECT_EQ(DirectionForCounter("perf.mine.cycles"),
+            MetricDirection::kNeutral);
+  EXPECT_EQ(DirectionForCounter("perf.span.count_pass.llc_misses"),
+            MetricDirection::kNeutral);
+  EXPECT_EQ(DirectionForCounter("res.mine.minor_faults"),
+            MetricDirection::kNeutral);
+}
+
+TEST(BenchCompareTest, IpcDropIsARegression) {
+  RunReport baseline = BaseReport();
+  baseline.AddValue("count_pass_avx2_ipc", 2.0);
+  RunReport candidate = BaseReport();
+  candidate.AddValue("count_pass_avx2_ipc", 1.0);  // half the IPC
+  ReportComparison comparison =
+      CompareReports(baseline, candidate, CompareOptions());
+  EXPECT_EQ(FindRow(comparison, "value.count_pass_avx2_ipc")->verdict,
+            MetricVerdict::kRegression);
+  EXPECT_TRUE(comparison.ShouldFail(false));
+
+  // The unchanged direction sanity check: identical IPC never gates.
+  ReportComparison same =
+      CompareReports(baseline, baseline, CompareOptions());
+  EXPECT_FALSE(same.ShouldFail(true));
+}
+
+TEST(BenchCompareTest, LlcMissPerElemGrowthIsARegression) {
+  RunReport baseline = BaseReport();
+  baseline.AddValue("count_pass_avx2_llc_miss_per_elem", 0.01);
+  RunReport candidate = BaseReport();
+  candidate.AddValue("count_pass_avx2_llc_miss_per_elem", 0.05);
+  ReportComparison comparison =
+      CompareReports(baseline, candidate, CompareOptions());
+  EXPECT_EQ(FindRow(comparison,
+                    "value.count_pass_avx2_llc_miss_per_elem")->verdict,
+            MetricVerdict::kRegression);
+}
+
+TEST(BenchCompareTest, PerfMetricsAbsentFromCandidateAreNoiseNotMissing) {
+  // Baseline machine had a PMU, the candidate container does not: the
+  // perf-derived metrics vanish. That asymmetry is environmental, so it
+  // must not trip --fail-on-missing the way losing a real metric does.
+  RunReport baseline = BaseReport();
+  baseline.AddValue("count_pass_avx2_ipc", 2.0);
+  baseline.metrics.counters = {{"perf.mine.cycles", 1000000}};
+  RunReport candidate = BaseReport();  // no perf anywhere
+  ReportComparison comparison =
+      CompareReports(baseline, candidate, CompareOptions());
+  const MetricComparison* value_row =
+      FindRow(comparison, "value.count_pass_avx2_ipc");
+  ASSERT_NE(value_row, nullptr);
+  EXPECT_EQ(value_row->verdict, MetricVerdict::kNoise);
+  const MetricComparison* counter_row =
+      FindRow(comparison, "counter.perf.mine.cycles");
+  ASSERT_NE(counter_row, nullptr);
+  EXPECT_EQ(counter_row->verdict, MetricVerdict::kNoise);
+  EXPECT_EQ(comparison.missing, 0);
+  EXPECT_FALSE(comparison.ShouldFail(/*fail_on_missing=*/true));
+}
+
+TEST(BenchCompareTest, NonPerfMissingStillGatesAlongsidePerfNoise) {
+  // The perf exemption is surgical: a genuinely lost metric in the same
+  // comparison still counts as missing.
+  RunReport baseline = BaseReport();
+  baseline.AddValue("count_pass_avx2_ipc", 2.0);
+  baseline.AddValue("speedup", 3.0);
+  RunReport candidate = BaseReport();
+  ReportComparison comparison =
+      CompareReports(baseline, candidate, CompareOptions());
+  EXPECT_EQ(comparison.missing, 1);
+  EXPECT_TRUE(comparison.ShouldFail(/*fail_on_missing=*/true));
+}
+
+TEST(BenchCompareTest, NewMetricsAreCountedButNeverGate) {
+  RunReport baseline = BaseReport();
+  RunReport candidate = BaseReport();
+  candidate.AddValue("count_pass_avx2_ipc", 2.0);  // PMU only on candidate
+  candidate.AddValue("footprint_kb", 512);
+  ReportComparison comparison =
+      CompareReports(baseline, candidate, CompareOptions());
+  EXPECT_EQ(comparison.new_metrics, 2);
+  EXPECT_FALSE(comparison.ShouldFail(true));
+  std::ostringstream out;
+  PrintComparison(comparison, out);
+  EXPECT_NE(out.str().find("2 new (not gated)"), std::string::npos);
+}
+
 TEST(BenchCompareTest, PrintComparisonRendersSummaryLine) {
   RunReport baseline = BaseReport();
   RunReport candidate = BaseReport();

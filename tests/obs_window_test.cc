@@ -108,6 +108,55 @@ TEST(WindowedRatioTest, ClampsNonMonotoneFeeds) {
   EXPECT_NEAR(ratio.Ratio(300, 10, -1.0), 0.5, 1e-9);  // still 10/20
 }
 
+TEST(WindowedHistogramTest, MultiWindowIdleGapAgesExactlyByGapStart) {
+  // A sample recorded before a 5-window idle gap is attributed to the
+  // window open when the gap began, so after the first post-gap read it
+  // sits exactly 5 slots back: a 5-window merge misses it, a 6-window
+  // merge still sees it. This pins the aging boundary, not just "wide
+  // enough finds it".
+  HdrHistogram h;
+  WindowedHistogram win(&h, kWidth, 60, /*now=*/0);
+  h.Record(42);  // conceptually at t=100, unobserved
+  EXPECT_EQ(win.Merged(5500, 5).count(), 0u);
+  EXPECT_EQ(win.Merged(5500, 6).count(), 1u);
+}
+
+TEST(WindowedHistogramTest, GapLongerThanTheRingClearsEveryWindow) {
+  // An idle gap that laps the whole ring leaves nothing behind: the head
+  // absorbs the pre-gap delta, then the lap clears every slot including
+  // that one. Even a full-ring merge reads empty afterwards.
+  HdrHistogram h;
+  WindowedHistogram win(&h, kWidth, /*num_windows=*/4, 0);
+  h.Record(7);
+  EXPECT_EQ(win.Merged(10500, 4).count(), 0u);
+  // The ring keeps working after the lap: new traffic is visible.
+  h.Record(8);
+  EXPECT_EQ(win.Merged(10600, 4).count(), 1u);
+}
+
+TEST(WindowedRatioTest, GapDeltaLandsInTheNewHeadWindow) {
+  // WindowedRatio rotates before folding the feed, so a delta observed
+  // after an idle gap lands in the freshly-opened head — not in the stale
+  // window that was open when the previous feed arrived.
+  WindowedRatio ratio(kWidth, /*num_windows=*/8, 0);
+  ratio.Observe(100, 10, 20);   // head [0,1000): 10/20
+  ratio.Observe(3500, 11, 60);  // 3-window gap; delta 1/40 -> head [3000,4000)
+  // The head alone holds only the post-gap delta...
+  EXPECT_NEAR(ratio.Ratio(3600, 1, -1.0), 1.0 / 40.0, 1e-9);
+  // ...while a merge spanning the gap still sees both feeds.
+  EXPECT_NEAR(ratio.Ratio(3600, 8, -1.0), 11.0 / 60.0, 1e-9);
+}
+
+TEST(WindowedRatioTest, FullRingLapDropsOldDeltasFromTheRatio) {
+  // When the gap laps the ring, the pre-gap delta's window is cleared
+  // before the new feed folds in: the ratio reflects only post-gap
+  // traffic, not the cumulative totals.
+  WindowedRatio ratio(kWidth, /*num_windows=*/4, 0);
+  ratio.Observe(100, 9, 10);      // 0.9 hit rate before the gap
+  ratio.Observe(10000, 10, 30);   // lap; delta 1/20 = 0.05
+  EXPECT_NEAR(ratio.Ratio(10100, 4, -1.0), 1.0 / 20.0, 1e-9);
+}
+
 }  // namespace
 }  // namespace obs
 }  // namespace ossm

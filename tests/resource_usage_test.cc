@@ -1,0 +1,91 @@
+#include "obs/perf/resource_usage.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/obs.h"
+
+namespace ossm {
+namespace obs {
+namespace perf {
+namespace {
+
+TEST(ResourceUsageTest, SampleReadsSaneProcessShape) {
+  ResourceUsage usage = SampleResourceUsage();
+  // Any Linux process has resident memory, at least this thread, and at
+  // least stdin/stdout/stderr open.
+  EXPECT_GT(usage.rss_bytes, 0u);
+  EXPECT_GT(usage.peak_rss_bytes, 0u);
+  EXPECT_GE(usage.peak_rss_bytes, usage.rss_bytes / 2);  // same unit scale
+  EXPECT_GE(usage.threads, 1u);
+  EXPECT_GE(usage.open_fds, 3u);
+  EXPECT_GE(usage.uptime_seconds, 0.0);
+  EXPECT_LT(usage.uptime_seconds, 3600.0);  // a test binary, not a daemon
+}
+
+TEST(ResourceUsageTest, FaultCountersGrowWithTouchedMemory) {
+  ResourceUsage before = SampleResourceUsage();
+  // Touch a few MB page by page: minor faults must move.
+  std::vector<char> pages(4 << 20);
+  for (size_t i = 0; i < pages.size(); i += 4096) pages[i] = 1;
+  ResourceUsage after = SampleResourceUsage();
+  EXPECT_GE(after.minor_faults, before.minor_faults);
+  ResourceUsage delta = ResourceDelta(before, after);
+  EXPECT_EQ(delta.minor_faults, after.minor_faults - before.minor_faults);
+}
+
+TEST(ResourceUsageTest, DeltaSaturatesAndCarriesPointInTimeFields) {
+  ResourceUsage start, end;
+  start.minor_faults = 100;
+  end.minor_faults = 40;  // end < start: saturate to 0, never wrap
+  end.rss_bytes = 1234;
+  end.threads = 5;
+  ResourceUsage delta = ResourceDelta(start, end);
+  EXPECT_EQ(delta.minor_faults, 0u);
+  EXPECT_EQ(delta.rss_bytes, 1234u);  // point-in-time: end's value
+  EXPECT_EQ(delta.threads, 5u);
+}
+
+TEST(ResourceUsageTest, ProcessGaugesLandInTheRegistry) {
+  EnableMetricsCollection();
+  RecordProcessResourceMetrics();
+  MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  bool saw_rss = false, saw_threads = false;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (name == "process.rss_bytes") {
+      saw_rss = true;
+      EXPECT_GT(value, 0);
+    }
+    if (name == "process.threads") {
+      saw_threads = true;
+      EXPECT_GE(value, 1);
+    }
+  }
+  EXPECT_TRUE(saw_rss);
+  EXPECT_TRUE(saw_threads);
+}
+
+TEST(ResourceUsageTest, PhaseCountersSkipZeroFields) {
+  EnableMetricsCollection();
+  ResourceUsage delta;
+  delta.minor_faults = 17;
+  delta.major_faults = 0;  // must not create a counter
+  RecordPhaseResources("unit_res_phase", delta);
+  MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  bool saw_minor = false;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (name == "res.unit_res_phase.minor_faults") {
+      saw_minor = true;
+      EXPECT_EQ(value, 17u);
+    }
+    EXPECT_NE(name, "res.unit_res_phase.major_faults");
+  }
+  EXPECT_TRUE(saw_minor);
+}
+
+}  // namespace
+}  // namespace perf
+}  // namespace obs
+}  // namespace ossm

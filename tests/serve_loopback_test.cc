@@ -419,6 +419,68 @@ TEST(ServeLoopbackTest, MetricsAndSlowlogOnQuietServers) {
   batcher.Shutdown();
 }
 
+TEST(ServeLoopbackTest, ProfileVerbAnswersFramedFoldedStacks) {
+  Fixture fx = MakeFixture();
+  QueryEngine engine(&fx.db, &fx.map, QueryEngineConfig{});
+  Batcher batcher(&engine, BatcherConfig{});
+  ServerConfig server_config;
+  server_config.port = 0;
+  SupportServer server(&engine, &batcher, server_config);
+  ASSERT_TRUE(server.Start().ok());
+
+  int fd = ConnectLoopback(server.port());
+  ASSERT_GE(fd, 0);
+  // A short window on a quiet server: the frame must come back well-formed
+  // whether or not any SIGPROF fired (an idle process burns no CPU time,
+  // so zero samples is the common case here).
+  ASSERT_TRUE(SendAll(fd, "PROFILE 50\nPING\nQUIT\n"));
+  std::vector<std::string> lines = ReadLines(fd, 200);
+  ::close(fd);
+  ASSERT_GE(lines.size(), 3u);
+  size_t index = 0;
+  std::vector<std::string> body = TakeBody(lines, index, "PROFILE");
+  for (const std::string& folded : body) {
+    // "frame(;frame)* count"
+    size_t space = folded.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << folded;
+    EXPECT_GT(std::stoull(folded.substr(space + 1)), 0u) << folded;
+  }
+  // The profile blocked only its own slot: the pipelined PING still
+  // answered, in order, after it.
+  EXPECT_EQ(lines[index++], "PONG");
+  EXPECT_EQ(lines[index], "BYE");
+  server.Shutdown();
+  batcher.Shutdown();
+}
+
+TEST(ServeLoopbackTest, ConcurrentProfileIsRejectedNotQueued) {
+  Fixture fx = MakeFixture();
+  QueryEngine engine(&fx.db, &fx.map, QueryEngineConfig{});
+  Batcher batcher(&engine, BatcherConfig{});
+  ServerConfig server_config;
+  server_config.port = 0;
+  SupportServer server(&engine, &batcher, server_config);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Two pipelined PROFILEs: the second is dispatched while the first's
+  // sampling window is open, so it must fail fast with ERR instead of
+  // serializing behind the first (the sampler is process-global).
+  int fd = ConnectLoopback(server.port());
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(SendAll(fd, "PROFILE 300\nPROFILE 300\nQUIT\n"));
+  std::vector<std::string> lines = ReadLines(fd, 200);
+  ::close(fd);
+  ASSERT_GE(lines.size(), 3u);
+  size_t index = 0;
+  TakeBody(lines, index, "PROFILE");  // first one completes normally
+  EXPECT_EQ(lines[index].rfind("ERR", 0), 0u) << lines[index];
+  EXPECT_NE(lines[index].find("already"), std::string::npos) << lines[index];
+  ++index;
+  EXPECT_EQ(lines[index], "BYE");
+  server.Shutdown();
+  batcher.Shutdown();
+}
+
 TEST(ServeLoopbackTest, OversizedRequestLineClosesConnection) {
   Fixture fx = MakeFixture();
   QueryEngine engine(&fx.db, &fx.map, QueryEngineConfig{});

@@ -108,11 +108,33 @@ TEST(ServeProtocolTest, ParsesSlowlogVerbWithOptionalCount) {
             StatusCode::kInvalidArgument);
 }
 
+TEST(ServeProtocolTest, ParsesProfileVerbWithOptionalDuration) {
+  StatusOr<Request> bare = ParseRequest("PROFILE", 0);
+  ASSERT_TRUE(bare.ok());
+  EXPECT_EQ(bare->kind, RequestKind::kProfile);
+  EXPECT_EQ(bare->profile_ms, 200u);  // documented default
+
+  StatusOr<Request> timed = ParseRequest("PROFILE 50", 0);
+  ASSERT_TRUE(timed.ok());
+  EXPECT_EQ(timed->profile_ms, 50u);
+
+  // A zero-length window is meaningless; the server clamp handles the
+  // upper bound, the parser rejects the degenerate lower one.
+  EXPECT_EQ(ParseRequest("PROFILE 0", 0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseRequest("PROFILE 100 200", 0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseRequest("PROFILE forever", 0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseRequest("PROFILE -5", 0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
 TEST(ServeProtocolTest, UnknownVerbErrorListsTheVocabulary) {
   Status status = ParseRequest("EXPLAIN 1 2", 0).status();
   EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
-  for (const char* verb :
-       {"Q", "INFO", "STATS", "METRICS", "SLOWLOG", "PING", "QUIT"}) {
+  for (const char* verb : {"Q", "INFO", "STATS", "METRICS", "SLOWLOG",
+                           "PROFILE", "PING", "QUIT"}) {
     EXPECT_NE(status.message().find(verb), std::string::npos) << verb;
   }
 }

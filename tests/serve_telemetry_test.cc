@@ -3,9 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <cstring>
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include "obs/perf/perf_counters.h"
 
 namespace ossm {
 namespace serve {
@@ -197,6 +200,36 @@ TEST(ServeTelemetryTest, PrometheusTextIsValidExposition) {
         "ossm_serve_cache_hit_ratio_10s 0.5"}) {
     EXPECT_NE(text.find(needle), std::string::npos) << needle;
   }
+}
+
+TEST(ServeTelemetryTest, PrometheusTextCarriesProcessGauges) {
+  ServeTelemetry::Config config;
+  ServeTelemetry telemetry(config);
+  std::string text = telemetry.PrometheusText(ServeCounterInputs{});
+  ValidateExposition(text);
+  // The resource gauges are unconditional — they read from getrusage and
+  // /proc, which exist everywhere the server runs. ossm_process_ipc is
+  // PMU-dependent and intentionally not asserted.
+  for (const char* needle :
+       {"# TYPE ossm_process_rss_bytes gauge", "ossm_process_rss_bytes ",
+        "ossm_process_uptime_seconds ", "ossm_process_open_fds ",
+        "ossm_process_threads ", "ossm_process_perf_available "}) {
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+  }
+  // The flag is strictly boolean (it tracks the inherited process-wide
+  // counters, which containers may deny independently of the per-thread
+  // probe), and an RSS of zero would mean the /proc parse silently broke.
+  // The "\n" prefixes skip the "# TYPE ..." declaration lines.
+  EXPECT_TRUE(text.find("\nossm_process_perf_available 1\n") !=
+                  std::string::npos ||
+              text.find("\nossm_process_perf_available 0\n") !=
+                  std::string::npos);
+  const char* rss_sample = "\nossm_process_rss_bytes ";
+  size_t rss_pos = text.find(rss_sample);
+  ASSERT_NE(rss_pos, std::string::npos);
+  double rss = std::strtod(
+      text.c_str() + rss_pos + std::strlen(rss_sample), nullptr);
+  EXPECT_GT(rss, 0.0);
 }
 
 TEST(ServeTelemetryTest, WindowedViewsSeeRecordedTraffic) {

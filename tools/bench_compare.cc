@@ -109,6 +109,14 @@ int Main(int argc, char** argv) {
       obs::CompareReports(*baseline, *candidate, options);
   obs::PrintComparison(comparison, std::cout);
 
+  if (comparison.new_metrics > 0) {
+    std::fprintf(stderr,
+                 "warning: %d metric(s) present in the candidate but absent "
+                 "from the baseline were skipped, not gated; regenerate the "
+                 "baseline (tools/make_baselines.sh) to cover them\n",
+                 comparison.new_metrics);
+  }
+
   if (report_only) {
     if (comparison.ShouldFail(fail_on_missing)) {
       std::printf("(--report-only: regressions reported, gate not applied)\n");

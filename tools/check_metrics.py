@@ -27,6 +27,13 @@ REQUIRED_SERIES = [
     'ossm_serve_request_us{window="10s",quantile="0.99"}',
     'ossm_serve_tier_us{tier="exact",window="1m",quantile="0.5"}',
     "ossm_serve_request_us_count",
+    # Process gauges are unconditional; ossm_process_ipc is intentionally
+    # absent here (it only appears when the PMU grants inherited counters).
+    "ossm_process_rss_bytes",
+    "ossm_process_uptime_seconds",
+    "ossm_process_open_fds",
+    "ossm_process_threads",
+    "ossm_process_perf_available",
 ]
 
 

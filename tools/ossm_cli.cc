@@ -26,6 +26,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -893,8 +894,10 @@ int CmdTop(const Args& args) {
         "    [--slowlog=N] [--no-clear]\n"
         "polls a running `ossm_cli serve` over STATS/METRICS/SLOWLOG and\n"
         "renders a refreshing dashboard: qps, per-tier latency percentiles\n"
-        "over the last 10s, cache hit ratio, queue depth, and the slow-query\n"
-        "tail. --iterations=N draws N frames and exits (0 = forever);\n"
+        "over the last 10s, cache hit ratio, queue depth, process RSS/IPC,\n"
+        "and the slow-query tail. A dropped connection is retried with\n"
+        "bounded backoff (5 attempts, 250ms doubling to 4s) before giving\n"
+        "up. --iterations=N draws N frames and exits (0 = forever);\n"
         "--no-clear appends frames instead of redrawing (for logs/CI).");
     return 0;
   }
@@ -909,71 +912,107 @@ int CmdTop(const Args& args) {
   int64_t slowlog_rows = std::max<int64_t>(0, args.GetInt("slowlog", 5));
   bool no_clear = args.Has("no-clear");
 
-  int fd = ConnectTo(host, port);
-  if (fd < 0) {
-    std::fprintf(stderr, "cannot connect to %s:%u\n", host.c_str(), port);
-    return 1;
-  }
-  LineReader reader(fd);
+  int fd = -1;
+  std::unique_ptr<LineReader> reader;  // rebuilt on every (re)connect
+
+  // A monitoring session should survive a server restart: every connect —
+  // initial or after a drop — gets a bounded exponential backoff (5
+  // attempts, 250ms doubling, 4s cap) before `top` gives up for good.
+  constexpr int kConnectAttempts = 5;
+  auto connect_with_backoff = [&]() {
+    int64_t delay_ms = 250;
+    for (int attempt = 1; attempt <= kConnectAttempts; ++attempt) {
+      fd = ConnectTo(host, port);
+      if (fd >= 0) {
+        reader = std::make_unique<LineReader>(fd);
+        return true;
+      }
+      if (attempt < kConnectAttempts) {
+        std::fprintf(stderr,
+                     "cannot connect to %s:%u (attempt %d/%d), retrying in "
+                     "%lld ms\n",
+                     host.c_str(), port, attempt, kConnectAttempts,
+                     static_cast<long long>(delay_ms));
+        ::usleep(static_cast<useconds_t>(delay_ms) * 1000);
+        delay_ms = std::min<int64_t>(delay_ms * 2, 4000);
+      }
+    }
+    std::fprintf(stderr, "cannot connect to %s:%u after %d attempts\n",
+                 host.c_str(), port, kConnectAttempts);
+    return false;
+  };
+  auto drop_connection = [&]() {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+    reader.reset();
+  };
+
+  if (!connect_with_backoff()) return 1;
 
   for (int64_t frame = 0; iterations == 0 || frame < iterations; ++frame) {
     if (frame > 0 && interval_ms > 0) {
       ::usleep(static_cast<useconds_t>(interval_ms) * 1000);
     }
-    std::string payload =
-        "STATS\nMETRICS\nSLOWLOG " + std::to_string(slowlog_rows) + "\n";
-    std::string line;
-    if (!WriteAll(fd, payload) || !reader.ReadLine(&line) ||
-        line.rfind("STATS ", 0) != 0) {
-      std::fprintf(stderr, "lost server at %s:%u\n", host.c_str(), port);
-      ::close(fd);
-      return 1;
-    }
 
     std::map<std::string, std::string> stats;
-    {
-      std::istringstream tokens(line.substr(6));
-      std::string token;
-      while (tokens >> token) {
-        size_t eq = token.find('=');
-        if (eq != std::string::npos) {
-          stats[token.substr(0, eq)] = token.substr(eq + 1);
+    std::map<std::string, double> series;
+    std::vector<std::string> slow;
+
+    // One STATS/METRICS/SLOWLOG round trip. Any short read or malformed
+    // frame means the connection is unusable (mid-body desync cannot be
+    // resynchronized on a pipelined stream), so the caller reconnects.
+    auto poll_frame = [&]() {
+      stats.clear();
+      series.clear();
+      slow.clear();
+      std::string payload =
+          "STATS\nMETRICS\nSLOWLOG " + std::to_string(slowlog_rows) + "\n";
+      std::string line;
+      if (!WriteAll(fd, payload) || !reader->ReadLine(&line) ||
+          line.rfind("STATS ", 0) != 0) {
+        return false;
+      }
+      {
+        std::istringstream tokens(line.substr(6));
+        std::string token;
+        while (tokens >> token) {
+          size_t eq = token.find('=');
+          if (eq != std::string::npos) {
+            stats[token.substr(0, eq)] = token.substr(eq + 1);
+          }
         }
       }
-    }
-
-    if (!reader.ReadLine(&line) || line.rfind("METRICS ", 0) != 0) {
-      std::fprintf(stderr, "bad METRICS response\n");
-      ::close(fd);
-      return 1;
-    }
-    uint64_t metric_lines = std::strtoull(line.c_str() + 8, nullptr, 10);
-    std::map<std::string, double> series;
-    for (uint64_t i = 0; i < metric_lines; ++i) {
-      if (!reader.ReadLine(&line)) {
-        std::fprintf(stderr, "METRICS body truncated\n");
-        ::close(fd);
-        return 1;
+      if (!reader->ReadLine(&line) || line.rfind("METRICS ", 0) != 0) {
+        return false;
       }
-      ParseMetricLine(line, series);
-    }
-
-    if (!reader.ReadLine(&line) || line.rfind("SLOWLOG", 0) != 0) {
-      std::fprintf(stderr, "bad SLOWLOG response\n");
-      ::close(fd);
-      return 1;
-    }
-    uint64_t slow_lines =
-        line.size() > 8 ? std::strtoull(line.c_str() + 8, nullptr, 10) : 0;
-    std::vector<std::string> slow;
-    for (uint64_t i = 0; i < slow_lines; ++i) {
-      if (!reader.ReadLine(&line)) {
-        std::fprintf(stderr, "SLOWLOG body truncated\n");
-        ::close(fd);
-        return 1;
+      uint64_t metric_lines = std::strtoull(line.c_str() + 8, nullptr, 10);
+      for (uint64_t i = 0; i < metric_lines; ++i) {
+        if (!reader->ReadLine(&line)) return false;
+        ParseMetricLine(line, series);
       }
-      slow.push_back(line);
+      if (!reader->ReadLine(&line) || line.rfind("SLOWLOG", 0) != 0) {
+        return false;
+      }
+      uint64_t slow_lines =
+          line.size() > 8 ? std::strtoull(line.c_str() + 8, nullptr, 10) : 0;
+      for (uint64_t i = 0; i < slow_lines; ++i) {
+        if (!reader->ReadLine(&line)) return false;
+        slow.push_back(line);
+      }
+      return true;
+    };
+
+    bool polled = false;
+    for (int attempt = 0; attempt < 2 && !polled; ++attempt) {
+      if (fd < 0 && !connect_with_backoff()) return 1;
+      polled = poll_frame();
+      if (!polled) {
+        std::fprintf(stderr, "lost server at %s:%u; reconnecting\n",
+                     host.c_str(), port);
+        drop_connection();
+      }
     }
+    if (!polled) return 1;
 
     std::ostringstream screen;
     if (!no_clear) screen << "\x1b[2J\x1b[H";
@@ -989,7 +1028,28 @@ int CmdTop(const Args& args) {
                   Series(series, "ossm_serve_cache_hit_ratio_10s") * 100.0,
                   static_cast<unsigned long long>(
                       Series(series, "ossm_serve_queue_depth")));
-    screen << head
+    // Process resources ride along in the same METRICS scrape. IPC is a
+    // delta between scrapes and only exported when the PMU grants
+    // inherited counters, so it reads "n/a" in containers.
+    char resources[192];
+    double rss_mb =
+        Series(series, "ossm_process_rss_bytes") / (1024.0 * 1024.0);
+    bool perf_on = Series(series, "ossm_process_perf_available") > 0.0;
+    if (perf_on && series.count("ossm_process_ipc") > 0) {
+      std::snprintf(resources, sizeof(resources),
+                    "process: rss %.1f MB   ipc %.2f   threads %llu\n",
+                    rss_mb, Series(series, "ossm_process_ipc"),
+                    static_cast<unsigned long long>(
+                        Series(series, "ossm_process_threads")));
+    } else {
+      std::snprintf(resources, sizeof(resources),
+                    "process: rss %.1f MB   ipc n/a (perf counters "
+                    "unavailable)   threads %llu\n",
+                    rss_mb,
+                    static_cast<unsigned long long>(
+                        Series(series, "ossm_process_threads")));
+    }
+    screen << head << resources
            << "totals: queries=" << stats["queries"]
            << " batches=" << stats["batches"]
            << " coalesced=" << stats["coalesced"]
@@ -1033,8 +1093,10 @@ int CmdTop(const Args& args) {
     std::fputs(screen.str().c_str(), stdout);
     std::fflush(stdout);
   }
-  WriteAll(fd, "QUIT\n");  // best-effort goodbye; server closes after BYE
-  ::close(fd);
+  if (fd >= 0) {
+    WriteAll(fd, "QUIT\n");  // best-effort goodbye; server closes after BYE
+    ::close(fd);
+  }
   return 0;
 }
 
