@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <cstdio>
 #include <memory>
+#include <utility>
+
+#include "storage/pager.h"
+#include "storage/storage_env.h"
 
 namespace ossm {
 
@@ -59,12 +63,12 @@ Status OssmIo::Save(const SegmentSupportMap& map, const std::string& path) {
     return Status::IOError("short write to " + path);
   }
   uint64_t checksum = Fnv1a(header, sizeof(header), kFnvOffset);
-  size_t payload = map.data_.size() * sizeof(uint64_t);
+  size_t payload = static_cast<size_t>(map.data_size_) * sizeof(uint64_t);
   if (payload != 0 &&
-      std::fwrite(map.data_.data(), 1, payload, file.get()) != payload) {
+      std::fwrite(map.data_view_, 1, payload, file.get()) != payload) {
     return Status::IOError("short write to " + path);
   }
-  checksum = Fnv1a(map.data_.data(), payload, checksum);
+  checksum = Fnv1a(map.data_view_, payload, checksum);
   if (std::fwrite(&checksum, 1, sizeof(checksum), file.get()) !=
       sizeof(checksum)) {
     return Status::IOError("short write to " + path);
@@ -115,17 +119,49 @@ StatusOr<SegmentSupportMap> OssmIo::Load(const std::string& path) {
     return Status::Corruption("implausible dimensions in " + path);
   }
   uint64_t checksum = Fnv1a(header, sizeof(header), kFnvOffset);
+  size_t matrix = static_cast<size_t>(header[0]) * header[1];
+  size_t payload = matrix * sizeof(uint64_t);
+
+  // Destination for the payload: a mapped kOssmCounts segment under
+  // OSSM_STORAGE=mmap (the file itself cannot be mapped directly — its
+  // payload starts at byte 28, misaligned for uint64 access), the heap
+  // otherwise. A store-creation failure falls back to the heap; the load
+  // result is bit-identical either way.
+  std::shared_ptr<storage::Pager> store;
+  storage::SegmentId counts_segment = 0;
+  uint64_t* dest = nullptr;
+  if (storage::ActiveBackend() == storage::Backend::kMmap) {
+    storage::Pager::Options store_options;
+    store_options.delete_on_close = true;  // rebuildable from `path`
+    auto pager = storage::Pager::Create(storage::NewStorePath("ossmmap"),
+                                        store_options);
+    if (pager.ok()) {
+      auto seg = pager.value()->AllocateSegment(
+          storage::SegmentKind::kOssmCounts, std::max<size_t>(payload, 1));
+      if (seg.ok()) {
+        store = std::move(pager).value();
+        counts_segment = seg.value();
+        store->SetSegmentAux(counts_segment, 0, header[0]);
+        store->SetSegmentAux(counts_segment, 1, header[1]);
+        store->SetSegmentFlags(counts_segment, 1);  // active slot
+        dest = reinterpret_cast<uint64_t*>(store->SegmentData(counts_segment));
+      }
+    }
+  }
 
   SegmentSupportMap map;
-  map.num_items_ = static_cast<uint32_t>(header[0]);
-  map.num_segments_ = static_cast<uint32_t>(header[1]);
-  map.data_.assign(static_cast<size_t>(header[0]) * header[1], 0);
-  size_t payload = map.data_.size() * sizeof(uint64_t);
-  if (payload != 0 &&
-      std::fread(map.data_.data(), 1, payload, file.get()) != payload) {
+  if (dest == nullptr) {
+    store.reset();
+    map.num_items_ = static_cast<uint32_t>(header[0]);
+    map.num_segments_ = static_cast<uint32_t>(header[1]);
+    map.data_.assign(matrix, 0);
+    map.RepointToHeap();
+    dest = map.data_.data();
+  }
+  if (payload != 0 && std::fread(dest, 1, payload, file.get()) != payload) {
     return Status::InvalidArgument(path + " is truncated in the payload");
   }
-  checksum = Fnv1a(map.data_.data(), payload, checksum);
+  checksum = Fnv1a(dest, payload, checksum);
 
   uint64_t stored = 0;
   if (std::fread(&stored, 1, sizeof(stored), file.get()) != sizeof(stored)) {
@@ -133,6 +169,13 @@ StatusOr<SegmentSupportMap> OssmIo::Load(const std::string& path) {
   }
   if (stored != checksum) {
     return Status::Corruption("checksum mismatch in " + path);
+  }
+  if (store != nullptr) {
+    store->MarkDirty(store->SegmentOffset(counts_segment),
+                     std::max<size_t>(payload, 1));
+    Status committed = store->Commit();
+    if (!committed.ok()) return committed;
+    return SegmentSupportMap::AttachToStore(std::move(store), counts_segment);
   }
   map.RecomputeTotals();
   return map;

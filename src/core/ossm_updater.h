@@ -52,6 +52,15 @@ class OssmUpdater {
   StatusOr<uint32_t> AppendPage(std::span<const uint64_t> counts,
                                 AppendPolicy policy);
 
+  // The kRoundRobin assignment of page p is (cursor at construction + p)
+  // mod num_segments. Crash-recovery replay (storage::StreamingIngest)
+  // re-seeds the cursor to the number of pages already folded into a
+  // checkpointed map so the replayed assignment matches the original run.
+  void set_round_robin_cursor(uint64_t pages_folded) {
+    round_robin_next_ = pages_folded;
+  }
+  uint64_t round_robin_cursor() const { return round_robin_next_; }
+
  private:
   SegmentSupportMap* map_;
   uint64_t round_robin_next_ = 0;

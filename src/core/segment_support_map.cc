@@ -1,6 +1,7 @@
 #include "core/segment_support_map.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace ossm {
 
@@ -12,6 +13,78 @@ namespace {
 constexpr uint32_t kTransposeBlock = 32;
 
 }  // namespace
+
+void SegmentSupportMap::RepointToHeap() {
+  data_view_ = data_.data();
+  data_size_ = data_.size();
+}
+
+// Copies always land on the heap, even from a mapped source: two views
+// over one writable mapped matrix would alias mutations.
+SegmentSupportMap::SegmentSupportMap(const SegmentSupportMap& other)
+    : num_items_(other.num_items_),
+      num_segments_(other.num_segments_),
+      totals_(other.totals_) {
+  data_.assign(other.data_view_, other.data_view_ + other.data_size_);
+  RepointToHeap();
+}
+
+SegmentSupportMap& SegmentSupportMap::operator=(
+    const SegmentSupportMap& other) {
+  if (this != &other) {
+    *this = SegmentSupportMap(other);
+  }
+  return *this;
+}
+
+SegmentSupportMap::SegmentSupportMap(SegmentSupportMap&& other) noexcept
+    : num_items_(other.num_items_),
+      num_segments_(other.num_segments_),
+      data_(std::move(other.data_)),
+      totals_(std::move(other.totals_)),
+      data_view_(other.data_view_),
+      data_size_(other.data_size_),
+      store_(std::move(other.store_)) {
+  if (store_ == nullptr) RepointToHeap();
+}
+
+SegmentSupportMap& SegmentSupportMap::operator=(
+    SegmentSupportMap&& other) noexcept {
+  if (this != &other) {
+    num_items_ = other.num_items_;
+    num_segments_ = other.num_segments_;
+    data_ = std::move(other.data_);
+    totals_ = std::move(other.totals_);
+    data_view_ = other.data_view_;
+    data_size_ = other.data_size_;
+    store_ = std::move(other.store_);
+    if (store_ == nullptr) RepointToHeap();
+  }
+  return *this;
+}
+
+StatusOr<SegmentSupportMap> SegmentSupportMap::AttachToStore(
+    std::shared_ptr<storage::Pager> store,
+    storage::SegmentId counts_segment) {
+  const storage::SegmentEntry entry = store->segment(counts_segment);
+  uint64_t num_items = entry.aux[0];
+  uint64_t num_segments = entry.aux[1];
+  if (num_segments == 0 || num_items > 0xFFFFFFFFULL ||
+      num_segments > 0xFFFFFFFFULL ||
+      num_items * num_segments * sizeof(uint64_t) > entry.used_bytes) {
+    return Status::Corruption("implausible map dimensions in " +
+                              store->path());
+  }
+  SegmentSupportMap map;
+  map.num_items_ = static_cast<uint32_t>(num_items);
+  map.num_segments_ = static_cast<uint32_t>(num_segments);
+  map.data_view_ =
+      reinterpret_cast<uint64_t*>(store->SegmentData(counts_segment));
+  map.data_size_ = num_items * num_segments;
+  map.store_ = std::move(store);
+  map.RecomputeTotals();
+  return map;
+}
 
 SegmentSupportMap SegmentSupportMap::FromSegments(
     std::span<const Segment> segments) {
@@ -43,6 +116,7 @@ SegmentSupportMap SegmentSupportMap::FromSegments(
       }
     }
   }
+  map.RepointToHeap();
   map.RecomputeTotals();
   return map;
 }
@@ -53,6 +127,34 @@ SegmentSupportMap SegmentSupportMap::SingleSegment(
   map.num_items_ = static_cast<uint32_t>(item_supports.size());
   map.num_segments_ = 1;
   map.data_.assign(item_supports.begin(), item_supports.end());
+  map.RepointToHeap();
+  map.RecomputeTotals();
+  return map;
+}
+
+SegmentSupportMap SegmentSupportMap::Zero(uint32_t num_items,
+                                          uint32_t num_segments) {
+  OSSM_CHECK(num_segments > 0);
+  SegmentSupportMap map;
+  map.num_items_ = num_items;
+  map.num_segments_ = num_segments;
+  map.data_.assign(static_cast<size_t>(num_items) * num_segments, 0);
+  map.totals_.assign(num_items, 0);
+  map.RepointToHeap();
+  return map;
+}
+
+SegmentSupportMap SegmentSupportMap::FromRaw(
+    uint32_t num_items, uint32_t num_segments,
+    std::span<const uint64_t> counts) {
+  OSSM_CHECK(num_segments > 0);
+  OSSM_CHECK_EQ(counts.size(),
+                static_cast<size_t>(num_items) * num_segments);
+  SegmentSupportMap map;
+  map.num_items_ = num_items;
+  map.num_segments_ = num_segments;
+  map.data_.assign(counts.begin(), counts.end());
+  map.RepointToHeap();
   map.RecomputeTotals();
   return map;
 }
@@ -61,7 +163,7 @@ void SegmentSupportMap::RecomputeTotals() {
   totals_.assign(num_items_, 0);
   for (uint32_t i = 0; i < num_items_; ++i) {
     totals_[i] = kernels::SumU64(
-        data_.data() + static_cast<size_t>(i) * num_segments_,
+        data_view_ + static_cast<size_t>(i) * num_segments_,
         num_segments_);
   }
 }
@@ -71,7 +173,7 @@ void SegmentSupportMap::AccumulateSegment(uint32_t segment,
   OSSM_CHECK_LT(segment, num_segments_);
   OSSM_CHECK_EQ(delta.size(), num_items_);
   for (uint32_t i = 0; i < num_items_; ++i) {
-    data_[static_cast<size_t>(i) * num_segments_ + segment] += delta[i];
+    data_view_[static_cast<size_t>(i) * num_segments_ + segment] += delta[i];
     totals_[i] += delta[i];
   }
 }
@@ -81,7 +183,7 @@ void SegmentSupportMap::ExtractSegment(uint32_t segment,
   OSSM_CHECK_LT(segment, num_segments_);
   out->resize(num_items_);
   for (uint32_t i = 0; i < num_items_; ++i) {
-    (*out)[i] = data_[static_cast<size_t>(i) * num_segments_ + segment];
+    (*out)[i] = data_view_[static_cast<size_t>(i) * num_segments_ + segment];
   }
 }
 
@@ -98,15 +200,21 @@ uint64_t SegmentSupportMap::UpperBound(
   thread_local AlignedVector<uint64_t> scratch;
   scratch.resize(num_segments_);
   const uint64_t* first =
-      data_.data() + static_cast<size_t>(itemset[0]) * num_segments_;
+      data_view_ + static_cast<size_t>(itemset[0]) * num_segments_;
   std::copy(first, first + num_segments_, scratch.data());
   for (size_t k = 1; k < itemset.size(); ++k) {
     kernels::MinAccumulateU64(
         scratch.data(),
-        data_.data() + static_cast<size_t>(itemset[k]) * num_segments_,
+        data_view_ + static_cast<size_t>(itemset[k]) * num_segments_,
         num_segments_);
   }
   return kernels::SumU64(scratch.data(), num_segments_);
+}
+
+bool operator==(const SegmentSupportMap& a, const SegmentSupportMap& b) {
+  return a.num_items_ == b.num_items_ &&
+         a.num_segments_ == b.num_segments_ &&
+         std::equal(a.data_view_, a.data_view_ + a.data_size_, b.data_view_);
 }
 
 }  // namespace ossm

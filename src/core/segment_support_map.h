@@ -2,14 +2,17 @@
 #define OSSM_CORE_SEGMENT_SUPPORT_MAP_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "common/aligned.h"
 #include "common/logging.h"
+#include "common/status.h"
 #include "core/segment.h"
 #include "data/item.h"
 #include "kernels/kernels.h"
+#include "storage/pager.h"
 
 namespace ossm {
 
@@ -31,10 +34,27 @@ namespace ossm {
 // kernel layer: the pair bound is one MinSumU64 over the two rows, the
 // k-ary bound is row-run min-accumulation into a scratch row followed by
 // one sum — contiguous, vectorizable, and bit-identical at every ISA level.
+// Under OSSM_STORAGE=mmap the count matrix can live in a kOssmCounts
+// segment of a mapped store (AttachToStore / OssmIo::Load); the totals and
+// every bound computation read through the same view either way, so bounds
+// are bit-identical across backings. Copies always deep-copy to the heap —
+// a mapped matrix has exactly one owner-view per store.
 class SegmentSupportMap {
  public:
   // An empty map (0 items, 0 segments); assign from a factory result.
   SegmentSupportMap() = default;
+
+  SegmentSupportMap(const SegmentSupportMap& other);
+  SegmentSupportMap& operator=(const SegmentSupportMap& other);
+  SegmentSupportMap(SegmentSupportMap&& other) noexcept;
+  SegmentSupportMap& operator=(SegmentSupportMap&& other) noexcept;
+
+  // Wires a map over a count-matrix segment (item-major, dimensions in the
+  // segment's aux[0]/aux[1]); totals are recomputed into the heap. The
+  // store stays alive for the map's lifetime.
+  static StatusOr<SegmentSupportMap> AttachToStore(
+      std::shared_ptr<storage::Pager> store,
+      storage::SegmentId counts_segment);
 
   // Builds the map from finished segments (all over the same item domain,
   // at least one segment).
@@ -44,13 +64,31 @@ class SegmentSupportMap {
   // at all (its bound collapses to min of global supports).
   static SegmentSupportMap SingleSegment(std::vector<uint64_t> item_supports);
 
+  // An all-zero map of the given shape. The seed of a streaming ingest:
+  // OssmUpdater folds arriving pages into it one at a time.
+  static SegmentSupportMap Zero(uint32_t num_items, uint32_t num_segments);
+
+  // Rebuilds a map from its raw item-major count matrix (num_items *
+  // num_segments values, exactly the layout raw_counts() exposes). Used to
+  // restore a checkpointed map from a storage segment.
+  static SegmentSupportMap FromRaw(uint32_t num_items, uint32_t num_segments,
+                                   std::span<const uint64_t> counts);
+
+  // The full item-major count matrix, for checkpointing.
+  std::span<const uint64_t> raw_counts() const {
+    return std::span<const uint64_t>(data_view_, data_size_);
+  }
+
+  // Non-null when the matrix lives in a mapped store.
+  const std::shared_ptr<storage::Pager>& store() const { return store_; }
+
   uint32_t num_items() const { return num_items_; }
   uint32_t num_segments() const { return num_segments_; }
 
   // Per-segment support run of one item: counts(i)[s] = sup_s({i}).
   std::span<const uint64_t> item_row(ItemId item) const {
     OSSM_DCHECK(item < num_items_);
-    return std::span<const uint64_t>(data_.data() + item * num_segments_,
+    return std::span<const uint64_t>(data_view_ + item * num_segments_,
                                      num_segments_);
   }
 
@@ -70,15 +108,15 @@ class SegmentSupportMap {
     OSSM_DCHECK(a < num_items_);
     OSSM_DCHECK(b < num_items_);
     return kernels::MinSumU64(
-        data_.data() + static_cast<size_t>(a) * num_segments_,
-        data_.data() + static_cast<size_t>(b) * num_segments_,
+        data_view_ + static_cast<size_t>(a) * num_segments_,
+        data_view_ + static_cast<size_t>(b) * num_segments_,
         num_segments_);
   }
 
   // Size of the count matrix — the paper's "0.2 megabytes for 100 segments
   // and 1000 items" accounting.
   uint64_t MemoryFootprintBytes() const {
-    return data_.size() * sizeof(uint64_t);
+    return data_size_ * sizeof(uint64_t);
   }
 
   // Adds `delta` (a per-item count vector) into one segment's column and
@@ -103,27 +141,34 @@ class SegmentSupportMap {
   };
   SegmentColumn segment_column(uint32_t segment) const {
     OSSM_DCHECK(segment < num_segments_);
-    return {data_.data() + segment, num_segments_, num_items_};
+    return {data_view_ + segment, num_segments_, num_items_};
   }
 
   friend bool operator==(const SegmentSupportMap& a,
-                         const SegmentSupportMap& b) {
-    return a.num_items_ == b.num_items_ &&
-           a.num_segments_ == b.num_segments_ && a.data_ == b.data_;
-  }
+                         const SegmentSupportMap& b);
 
  private:
   friend class OssmIo;
 
   uint32_t num_items_ = 0;
   uint32_t num_segments_ = 0;
-  // 64-byte aligned for the kernel layer; layout stays item-major and
-  // unpadded, so OssmIo's on-disk payload is unchanged.
+  // Heap backing (empty when store-backed); 64-byte aligned for the kernel
+  // layer; layout stays item-major and unpadded, so OssmIo's on-disk
+  // payload is unchanged.
   AlignedVector<uint64_t> data_;    // item-major: data_[i * n + s]
   AlignedVector<uint64_t> totals_;  // per-item exact supports
+  // Mutable view over the matrix (heap vector or mapped segment); the
+  // fold path (AccumulateSegment) writes through it.
+  uint64_t* data_view_ = nullptr;
+  uint64_t data_size_ = 0;
+  // Keep-alive for the mapped backing; null for heap maps.
+  std::shared_ptr<storage::Pager> store_;
 
+  void RepointToHeap();
   void RecomputeTotals();
 };
+
+bool operator==(const SegmentSupportMap& a, const SegmentSupportMap& b);
 
 }  // namespace ossm
 

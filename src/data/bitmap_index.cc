@@ -1,39 +1,122 @@
 #include "data/bitmap_index.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "kernels/kernels.h"
+#include "storage/storage_env.h"
 
 namespace ossm {
 
 namespace {
 
 // Rows padded to a 64-byte (8-word) multiple so each row is cache-line
-// aligned given the 64-byte base alignment of the backing vector.
+// aligned given the 64-byte base alignment of the backing vector (pager
+// segments are page-aligned, which subsumes it).
 constexpr uint32_t kRowWordAlign = 8;
+
+uint64_t WordsPerRow(uint64_t num_transactions) {
+  uint64_t words = (num_transactions + 63) / 64;
+  return (words + kRowWordAlign - 1) / kRowWordAlign * kRowWordAlign;
+}
 
 }  // namespace
 
 uint64_t BitmapIndex::FootprintBytesFor(uint32_t num_items,
                                         uint64_t num_transactions) {
-  uint64_t words = (num_transactions + 63) / 64;
-  words = (words + kRowWordAlign - 1) / kRowWordAlign * kRowWordAlign;
-  return num_items * words * sizeof(uint64_t);
+  return num_items * WordsPerRow(num_transactions) * sizeof(uint64_t);
+}
+
+void BitmapIndex::RepointToHeap() { words_view_ = words_.data(); }
+
+BitmapIndex::BitmapIndex(const BitmapIndex& other)
+    : num_items_(other.num_items_),
+      num_transactions_(other.num_transactions_),
+      words_per_row_(other.words_per_row_),
+      num_words_(other.num_words_),
+      words_(other.words_),
+      words_view_(other.words_view_),
+      store_(other.store_) {
+  // Mapped copies share the (immutable) rows; heap copies re-point at
+  // their own vector.
+  if (store_ == nullptr) RepointToHeap();
+}
+
+BitmapIndex& BitmapIndex::operator=(const BitmapIndex& other) {
+  if (this != &other) {
+    *this = BitmapIndex(other);
+  }
+  return *this;
+}
+
+BitmapIndex::BitmapIndex(BitmapIndex&& other) noexcept
+    : num_items_(other.num_items_),
+      num_transactions_(other.num_transactions_),
+      words_per_row_(other.words_per_row_),
+      num_words_(other.num_words_),
+      words_(std::move(other.words_)),
+      words_view_(other.words_view_),
+      store_(std::move(other.store_)) {
+  if (store_ == nullptr) RepointToHeap();
+}
+
+BitmapIndex& BitmapIndex::operator=(BitmapIndex&& other) noexcept {
+  if (this != &other) {
+    num_items_ = other.num_items_;
+    num_transactions_ = other.num_transactions_;
+    words_per_row_ = other.words_per_row_;
+    num_words_ = other.num_words_;
+    words_ = std::move(other.words_);
+    words_view_ = other.words_view_;
+    store_ = std::move(other.store_);
+    if (store_ == nullptr) RepointToHeap();
+  }
+  return *this;
 }
 
 BitmapIndex BitmapIndex::Build(const TransactionDatabase& db) {
   BitmapIndex index;
   index.num_items_ = db.num_items();
   index.num_transactions_ = db.num_transactions();
-  uint64_t words = (index.num_transactions_ + 63) / 64;
-  words = (words + kRowWordAlign - 1) / kRowWordAlign * kRowWordAlign;
-  index.words_per_row_ = static_cast<uint32_t>(words);
-  index.words_.assign(
-      static_cast<size_t>(index.num_items_) * index.words_per_row_, 0);
+  index.words_per_row_ = static_cast<uint32_t>(
+      WordsPerRow(index.num_transactions_));
+  index.num_words_ =
+      static_cast<uint64_t>(index.num_items_) * index.words_per_row_;
+
+  uint64_t* out = nullptr;
+  if (storage::ActiveBackend() == storage::Backend::kMmap) {
+    storage::Pager::Options store_options;
+    store_options.delete_on_close = true;  // rebuildable cache
+    auto pager =
+        storage::Pager::Create(storage::NewStorePath("bitmap"), store_options);
+    if (pager.ok()) {
+      auto rows = pager.value()->AllocateSegment(
+          storage::SegmentKind::kBitmapRows,
+          std::max<uint64_t>(index.num_words_ * sizeof(uint64_t), 1));
+      if (rows.ok()) {
+        index.store_ = std::move(pager).value();
+        index.store_->SetSegmentAux(rows.value(), 0, index.num_items_);
+        index.store_->SetSegmentAux(rows.value(), 1,
+                                    index.num_transactions_);
+        out = reinterpret_cast<uint64_t*>(
+            index.store_->SegmentData(rows.value()));
+        index.words_view_ = out;
+      }
+    }
+    // On any failure fall through to the heap: the index is a cache and
+    // the mmap backend only changes where bytes live, never the answer.
+  }
+  if (out == nullptr) {
+    index.words_.assign(static_cast<size_t>(index.num_words_), 0);
+    index.RepointToHeap();
+    out = index.words_.data();
+  }
+
   for (uint64_t t = 0; t < index.num_transactions_; ++t) {
     uint64_t word = t >> 6;
     uint64_t bit = uint64_t{1} << (t & 63);
     for (ItemId item : db.transaction(t)) {
-      index.words_[static_cast<size_t>(item) * index.words_per_row_ + word] |=
-          bit;
+      out[static_cast<size_t>(item) * index.words_per_row_ + word] |= bit;
     }
   }
   return index;

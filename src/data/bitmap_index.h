@@ -2,12 +2,14 @@
 #define OSSM_DATA_BITMAP_INDEX_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 
 #include "common/aligned.h"
 #include "common/logging.h"
 #include "data/item.h"
 #include "data/transaction_database.h"
+#include "storage/pager.h"
 
 namespace ossm {
 
@@ -29,12 +31,24 @@ namespace ossm {
 // num_transactions/32 bytes against the merge's 8*(|a|+|b|). Built on
 // demand from the CSR store in one pass; the database is immutable, so the
 // index never goes stale.
+//
+// Under OSSM_STORAGE=mmap the rows live in a kBitmapRows segment of a
+// mapped store instead of the heap (identical word layout, so every count
+// is bit-identical); readers go through the same row() view either way.
 class BitmapIndex {
  public:
   // An empty index (0 items); assign from Build.
   BitmapIndex() = default;
 
+  BitmapIndex(const BitmapIndex& other);
+  BitmapIndex& operator=(const BitmapIndex& other);
+  BitmapIndex(BitmapIndex&& other) noexcept;
+  BitmapIndex& operator=(BitmapIndex&& other) noexcept;
+
   // One CSR pass: O(total_item_occurrences + num_items * words_per_row).
+  // Heap- or store-backed per storage::ActiveBackend(); a store-creation
+  // failure falls back to the heap (the index is a cache, not a source of
+  // truth).
   static BitmapIndex Build(const TransactionDatabase& db);
 
   // Index memory for a hypothetical database of this shape, without
@@ -45,13 +59,15 @@ class BitmapIndex {
   uint32_t num_items() const { return num_items_; }
   uint64_t num_transactions() const { return num_transactions_; }
   uint32_t words_per_row() const { return words_per_row_; }
-  uint64_t FootprintBytes() const { return words_.size() * sizeof(uint64_t); }
+  uint64_t FootprintBytes() const { return num_words_ * sizeof(uint64_t); }
+  // Non-null when the rows live in a mapped store.
+  const std::shared_ptr<storage::Pager>& store() const { return store_; }
 
   // Item i's bitmap as a word run.
   std::span<const uint64_t> row(ItemId item) const {
     OSSM_DCHECK(item < num_items_);
     return std::span<const uint64_t>(
-        words_.data() + static_cast<size_t>(item) * words_per_row_,
+        words_view_ + static_cast<size_t>(item) * words_per_row_,
         words_per_row_);
   }
 
@@ -72,10 +88,18 @@ class BitmapIndex {
                   std::span<uint64_t> out) const;
 
  private:
+  void RepointToHeap();
+
   uint32_t num_items_ = 0;
   uint64_t num_transactions_ = 0;
   uint32_t words_per_row_ = 0;
+  uint64_t num_words_ = 0;
+  // Heap backing (empty when store-backed).
   AlignedVector<uint64_t> words_;
+  // Read view over heap or mapped rows.
+  const uint64_t* words_view_ = nullptr;
+  // Keep-alive for the mapped backing; null for heap indexes.
+  std::shared_ptr<storage::Pager> store_;
 };
 
 }  // namespace ossm

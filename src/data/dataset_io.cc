@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "obs/obs.h"
+#include "storage/pager.h"
+#include "storage/storage_env.h"
 
 namespace ossm {
 
@@ -52,6 +54,71 @@ Status ReadAll(std::FILE* f, void* data, size_t size,
   return Status::OK();
 }
 
+// Streams the file in 64 KiB chunks and invokes `line_fn` for every
+// newline-terminated line plus a final unterminated one. Peak memory is
+// one chunk plus the longest line, independent of file size.
+template <typename Fn>
+Status StreamLines(std::FILE* f, Fn&& line_fn) {
+  std::string buffer;
+  buffer.resize(1 << 16);
+  std::string pending;
+  for (;;) {
+    size_t n = std::fread(buffer.data(), 1, buffer.size(), f);
+    if (n == 0) break;
+    OSSM_COUNTER_ADD("io.bytes_read", n);
+    size_t start = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (buffer[i] == '\n') {
+        pending.append(buffer, start, i - start);
+        OSSM_RETURN_IF_ERROR(line_fn(pending));
+        pending.clear();
+        start = i + 1;
+      }
+    }
+    pending.append(buffer, start, n - start);
+  }
+  if (!pending.empty()) {
+    OSSM_RETURN_IF_ERROR(line_fn(pending));
+  }
+  return Status::OK();
+}
+
+// Parses one text line into sorted, de-duplicated items. Accepts CRLF line
+// endings and trailing spaces/tabs: '\r' and other whitespace just
+// terminate the number in progress, wherever they sit. `line_number` is
+// 1-based, for parse-error messages.
+Status ParseLine(const std::string& line, uint64_t line_number,
+                 const std::string& path, std::vector<ItemId>* out) {
+  out->clear();
+  uint64_t value = 0;
+  bool in_number = false;
+  for (char c : line) {
+    if (c >= '0' && c <= '9') {
+      value = value * 10 + static_cast<uint64_t>(c - '0');
+      if (value > 0xFFFFFFFFULL) {
+        return Status::Corruption("item id overflows 32 bits at line " +
+                                  std::to_string(line_number) + " of " +
+                                  path);
+      }
+      in_number = true;
+    } else if (c == ' ' || c == '\t' || c == '\r') {
+      if (in_number) {
+        out->push_back(static_cast<ItemId>(value));
+        value = 0;
+        in_number = false;
+      }
+    } else {
+      return Status::Corruption(
+          "unexpected character '" + std::string(1, c) + "' at line " +
+          std::to_string(line_number) + " of " + path);
+    }
+  }
+  if (in_number) out->push_back(static_cast<ItemId>(value));
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+  return Status::OK();
+}
+
 }  // namespace
 
 Status DatasetIo::SaveText(const TransactionDatabase& db,
@@ -76,6 +143,10 @@ Status DatasetIo::SaveText(const TransactionDatabase& db,
   return Status::OK();
 }
 
+// Two streaming passes, so peak RSS is one chunk + one line + the final
+// arrays (heap) or nothing but the mapping (mmap backend) — never a
+// parsed copy of the whole file. Pass 1 validates and sizes; pass 2
+// writes items straight into their final resting place.
 StatusOr<TransactionDatabase> DatasetIo::LoadText(const std::string& path,
                                                   uint32_t num_items_hint) {
   OSSM_TRACE_SPAN("io.load_text");
@@ -84,83 +155,97 @@ StatusOr<TransactionDatabase> DatasetIo::LoadText(const std::string& path,
     return Status::IOError("cannot open " + path + " for reading");
   }
 
-  // First pass: parse all transactions, tracking the max item id.
-  std::vector<std::vector<ItemId>> transactions;
   std::vector<ItemId> current;
+  uint64_t line_number = 0;
+  uint64_t num_transactions = 0;
+  uint64_t total_items = 0;
   uint32_t max_item_plus_one = num_items_hint;
-
-  std::string buffer;
-  buffer.resize(1 << 16);
-  std::string pending;
-  bool saw_any = false;
-  uint64_t line_number = 0;  // 1-based, for parse-error messages
-
-  // Accepts CRLF line endings and trailing spaces/tabs: '\r' and other
-  // whitespace just terminate the number in progress, wherever they sit.
-  auto flush_line = [&](const std::string& line) -> Status {
-    ++line_number;
-    current.clear();
-    uint64_t value = 0;
-    bool in_number = false;
-    for (char c : line) {
-      if (c >= '0' && c <= '9') {
-        value = value * 10 + static_cast<uint64_t>(c - '0');
-        if (value > 0xFFFFFFFFULL) {
-          return Status::Corruption("item id overflows 32 bits at line " +
-                                    std::to_string(line_number) + " of " +
-                                    path);
+  OSSM_RETURN_IF_ERROR(
+      StreamLines(file.get(), [&](const std::string& line) -> Status {
+        ++line_number;
+        OSSM_RETURN_IF_ERROR(ParseLine(line, line_number, path, &current));
+        if (!current.empty()) {
+          max_item_plus_one = std::max(max_item_plus_one, current.back() + 1);
         }
-        in_number = true;
-      } else if (c == ' ' || c == '\t' || c == '\r') {
-        if (in_number) {
-          current.push_back(static_cast<ItemId>(value));
-          value = 0;
-          in_number = false;
-        }
-      } else {
-        return Status::Corruption(
-            "unexpected character '" + std::string(1, c) + "' at line " +
-            std::to_string(line_number) + " of " + path);
-      }
-    }
-    if (in_number) current.push_back(static_cast<ItemId>(value));
-    std::sort(current.begin(), current.end());
-    current.erase(std::unique(current.begin(), current.end()), current.end());
-    if (!current.empty()) {
-      uint32_t needed = current.back() + 1;
-      max_item_plus_one = std::max(max_item_plus_one, needed);
-    }
-    transactions.push_back(current);
-    saw_any = true;
-    return Status::OK();
-  };
-
-  for (;;) {
-    size_t n = std::fread(buffer.data(), 1, buffer.size(), file.get());
-    if (n == 0) break;
-    OSSM_COUNTER_ADD("io.bytes_read", n);
-    size_t start = 0;
-    for (size_t i = 0; i < n; ++i) {
-      if (buffer[i] == '\n') {
-        pending.append(buffer, start, i - start);
-        OSSM_RETURN_IF_ERROR(flush_line(pending));
-        pending.clear();
-        start = i + 1;
-      }
-    }
-    pending.append(buffer, start, n - start);
-  }
-  if (!pending.empty()) {
-    OSSM_RETURN_IF_ERROR(flush_line(pending));
-  }
-  if (!saw_any) {
+        ++num_transactions;
+        total_items += current.size();
+        return Status::OK();
+      }));
+  if (num_transactions == 0) {
     return Status::InvalidArgument("dataset file " + path + " is empty");
   }
 
+  // Destination arrays: heap vectors, or CSR segments of a fresh mapped
+  // store (unlinked on release — the text file is the source of truth).
   TransactionDatabase db(max_item_plus_one);
-  for (const auto& txn : transactions) {
-    OSSM_RETURN_IF_ERROR(db.Append(std::span<const ItemId>(txn)));
+  std::shared_ptr<storage::Pager> store;
+  storage::SegmentId offsets_segment = 0;
+  storage::SegmentId items_segment = 0;
+  uint64_t* offsets_out = nullptr;
+  ItemId* items_out = nullptr;
+  uint64_t offsets_bytes = (num_transactions + 1) * sizeof(uint64_t);
+  uint64_t items_bytes = std::max<uint64_t>(total_items * sizeof(ItemId), 1);
+  if (storage::ActiveBackend() == storage::Backend::kMmap) {
+    storage::Pager::Options store_options;
+    store_options.delete_on_close = true;
+    auto pager =
+        storage::Pager::Create(storage::NewStorePath("dataset"), store_options);
+    OSSM_RETURN_IF_ERROR(pager.status());
+    store = std::move(pager).value();
+    auto offsets_id =
+        store->AllocateSegment(storage::SegmentKind::kCsrOffsets,
+                               offsets_bytes);
+    OSSM_RETURN_IF_ERROR(offsets_id.status());
+    auto items_id =
+        store->AllocateSegment(storage::SegmentKind::kCsrItems, items_bytes);
+    OSSM_RETURN_IF_ERROR(items_id.status());
+    offsets_segment = offsets_id.value();
+    items_segment = items_id.value();
+    store->SetSegmentAux(offsets_segment, 0, max_item_plus_one);
+    store->SetSegmentAux(offsets_segment, 1, num_transactions);
+    offsets_out = reinterpret_cast<uint64_t*>(store->SegmentData(offsets_segment));
+    items_out = reinterpret_cast<ItemId*>(store->SegmentData(items_segment));
+  } else {
+    db.offsets_.assign(num_transactions + 1, 0);
+    db.items_.assign(total_items, 0);
+    offsets_out = db.offsets_.data();
+    items_out = db.items_.data();
   }
+
+  // Pass 2: re-stream and emit. The bounds checks catch a file mutated
+  // between the passes rather than scribbling past the arrays.
+  if (std::fseek(file.get(), 0, SEEK_SET) != 0) {
+    return Status::IOError("cannot rewind " + path);
+  }
+  line_number = 0;
+  uint64_t txn_index = 0;
+  uint64_t item_index = 0;
+  offsets_out[0] = 0;
+  OSSM_RETURN_IF_ERROR(
+      StreamLines(file.get(), [&](const std::string& line) -> Status {
+        ++line_number;
+        OSSM_RETURN_IF_ERROR(ParseLine(line, line_number, path, &current));
+        if (txn_index >= num_transactions ||
+            item_index + current.size() > total_items ||
+            (!current.empty() && current.back() >= max_item_plus_one)) {
+          return Status::IOError(path + " changed while being loaded");
+        }
+        for (ItemId item : current) items_out[item_index++] = item;
+        offsets_out[++txn_index] = item_index;
+        return Status::OK();
+      }));
+  if (txn_index != num_transactions || item_index != total_items) {
+    return Status::IOError(path + " changed while being loaded");
+  }
+
+  if (store != nullptr) {
+    store->MarkDirty(store->SegmentOffset(offsets_segment), offsets_bytes);
+    store->MarkDirty(store->SegmentOffset(items_segment), items_bytes);
+    OSSM_RETURN_IF_ERROR(store->Commit());
+    return TransactionDatabase::AttachToStore(std::move(store),
+                                              offsets_segment, items_segment);
+  }
+  db.RepointToHeap();
   return db;
 }
 
@@ -179,15 +264,15 @@ Status DatasetIo::SaveBinary(const TransactionDatabase& db,
 
   uint64_t checksum = Fnv1a(header, sizeof(header), kFnvOffset);
 
-  OSSM_RETURN_IF_ERROR(WriteAll(file.get(), db.offsets_.data(),
-                                db.offsets_.size() * sizeof(uint64_t), path));
-  checksum = Fnv1a(db.offsets_.data(), db.offsets_.size() * sizeof(uint64_t),
-                   checksum);
+  uint64_t offsets_bytes = (db.num_transactions() + 1) * sizeof(uint64_t);
+  OSSM_RETURN_IF_ERROR(
+      WriteAll(file.get(), db.offsets_view_, offsets_bytes, path));
+  checksum = Fnv1a(db.offsets_view_, offsets_bytes, checksum);
 
-  OSSM_RETURN_IF_ERROR(WriteAll(file.get(), db.items_.data(),
-                                db.items_.size() * sizeof(ItemId), path));
-  checksum =
-      Fnv1a(db.items_.data(), db.items_.size() * sizeof(ItemId), checksum);
+  uint64_t items_bytes = db.total_item_occurrences() * sizeof(ItemId);
+  OSSM_RETURN_IF_ERROR(
+      WriteAll(file.get(), db.items_view_, items_bytes, path));
+  checksum = Fnv1a(db.items_view_, items_bytes, checksum);
 
   OSSM_RETURN_IF_ERROR(
       WriteAll(file.get(), &checksum, sizeof(checksum), path));
@@ -218,6 +303,54 @@ StatusOr<TransactionDatabase> DatasetIo::LoadBinary(const std::string& path) {
   }
   uint64_t checksum = Fnv1a(header, sizeof(header), kFnvOffset);
 
+  if (storage::ActiveBackend() == storage::Backend::kMmap) {
+    // Stream the payload straight into CSR segments of a mapped store —
+    // the arrays never pass through the heap.
+    storage::Pager::Options store_options;
+    store_options.delete_on_close = true;
+    auto pager =
+        storage::Pager::Create(storage::NewStorePath("dataset"), store_options);
+    OSSM_RETURN_IF_ERROR(pager.status());
+    std::shared_ptr<storage::Pager> store = std::move(pager).value();
+    uint64_t offsets_bytes = (num_transactions + 1) * sizeof(uint64_t);
+    auto offsets_id = store->AllocateSegment(
+        storage::SegmentKind::kCsrOffsets, offsets_bytes);
+    OSSM_RETURN_IF_ERROR(offsets_id.status());
+    store->SetSegmentAux(offsets_id.value(), 0, num_items);
+    store->SetSegmentAux(offsets_id.value(), 1, num_transactions);
+    uint64_t* offsets =
+        reinterpret_cast<uint64_t*>(store->SegmentData(offsets_id.value()));
+    OSSM_RETURN_IF_ERROR(ReadAll(file.get(), offsets, offsets_bytes, path));
+    checksum = Fnv1a(offsets, offsets_bytes, checksum);
+    if (offsets[0] != 0) {
+      return Status::Corruption("offset table must start at 0 in " + path);
+    }
+    for (uint64_t t = 0; t < num_transactions; ++t) {
+      if (offsets[t + 1] < offsets[t]) {
+        return Status::Corruption("non-monotonic offset table in " + path);
+      }
+    }
+    uint64_t items_bytes = offsets[num_transactions] * sizeof(ItemId);
+    auto items_id = store->AllocateSegment(
+        storage::SegmentKind::kCsrItems, std::max<uint64_t>(items_bytes, 1));
+    OSSM_RETURN_IF_ERROR(items_id.status());
+    ItemId* items =
+        reinterpret_cast<ItemId*>(store->SegmentData(items_id.value()));
+    OSSM_RETURN_IF_ERROR(ReadAll(file.get(), items, items_bytes, path));
+    checksum = Fnv1a(items, items_bytes, checksum);
+    uint64_t stored_checksum = 0;
+    OSSM_RETURN_IF_ERROR(
+        ReadAll(file.get(), &stored_checksum, sizeof(stored_checksum), path));
+    if (stored_checksum != checksum) {
+      return Status::Corruption("checksum mismatch in " + path);
+    }
+    store->MarkDirty(store->SegmentOffset(offsets_id.value()), offsets_bytes);
+    store->MarkDirty(store->SegmentOffset(items_id.value()), items_bytes);
+    OSSM_RETURN_IF_ERROR(store->Commit());
+    return TransactionDatabase::AttachToStore(
+        std::move(store), offsets_id.value(), items_id.value());
+  }
+
   TransactionDatabase db(static_cast<uint32_t>(num_items));
   db.offsets_.assign(num_transactions + 1, 0);
   OSSM_RETURN_IF_ERROR(ReadAll(file.get(), db.offsets_.data(),
@@ -247,6 +380,7 @@ StatusOr<TransactionDatabase> DatasetIo::LoadBinary(const std::string& path) {
   if (stored_checksum != checksum) {
     return Status::Corruption("checksum mismatch in " + path);
   }
+  db.RepointToHeap();
 
   // Structural validation of the payload itself.
   for (uint64_t t = 0; t < num_transactions; ++t) {

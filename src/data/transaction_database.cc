@@ -2,15 +2,125 @@
 
 #include <algorithm>
 #include <string>
+#include <utility>
 
 #include "parallel/thread_pool.h"
 
 namespace ossm {
 
 TransactionDatabase::TransactionDatabase(uint32_t num_items)
-    : num_items_(num_items), offsets_{0} {}
+    : num_items_(num_items), offsets_{0} {
+  RepointToHeap();
+}
+
+void TransactionDatabase::RepointToHeap() {
+  offsets_view_ = offsets_.data();
+  items_view_ = items_.data();
+  num_transactions_ = offsets_.size() - 1;
+}
+
+TransactionDatabase::TransactionDatabase(const TransactionDatabase& other)
+    : num_items_(other.num_items_),
+      num_transactions_(other.num_transactions_),
+      offsets_(other.offsets_),
+      items_(other.items_),
+      offsets_view_(other.offsets_view_),
+      items_view_(other.items_view_),
+      store_(other.store_) {
+  // Mapped copies share the store and read the same segments; heap copies
+  // must re-point the views at their own vectors.
+  if (store_ == nullptr) RepointToHeap();
+}
+
+TransactionDatabase& TransactionDatabase::operator=(
+    const TransactionDatabase& other) {
+  if (this != &other) {
+    *this = TransactionDatabase(other);
+  }
+  return *this;
+}
+
+TransactionDatabase::TransactionDatabase(TransactionDatabase&& other) noexcept
+    : num_items_(other.num_items_),
+      num_transactions_(other.num_transactions_),
+      offsets_(std::move(other.offsets_)),
+      items_(std::move(other.items_)),
+      offsets_view_(other.offsets_view_),
+      items_view_(other.items_view_),
+      store_(std::move(other.store_)) {
+  if (store_ == nullptr) RepointToHeap();
+}
+
+TransactionDatabase& TransactionDatabase::operator=(
+    TransactionDatabase&& other) noexcept {
+  if (this != &other) {
+    num_items_ = other.num_items_;
+    num_transactions_ = other.num_transactions_;
+    offsets_ = std::move(other.offsets_);
+    items_ = std::move(other.items_);
+    offsets_view_ = other.offsets_view_;
+    items_view_ = other.items_view_;
+    store_ = std::move(other.store_);
+    if (store_ == nullptr) RepointToHeap();
+  }
+  return *this;
+}
+
+StatusOr<TransactionDatabase> TransactionDatabase::AttachToStore(
+    std::shared_ptr<storage::Pager> store, storage::SegmentId offsets_segment,
+    storage::SegmentId items_segment) {
+  const storage::SegmentEntry offsets_entry = store->segment(offsets_segment);
+  const storage::SegmentEntry items_entry = store->segment(items_segment);
+  uint64_t num_items = offsets_entry.aux[0];
+  uint64_t num_transactions = offsets_entry.aux[1];
+  const std::string& path = store->path();
+  if (num_items > 0xFFFFFFFFULL ||
+      (num_transactions + 1) * sizeof(uint64_t) > offsets_entry.used_bytes) {
+    return Status::Corruption("implausible CSR dimensions in " + path);
+  }
+  const uint64_t* offsets =
+      reinterpret_cast<const uint64_t*>(store->SegmentData(offsets_segment));
+  if (offsets[0] != 0) {
+    return Status::Corruption("offset table must start at 0 in " + path);
+  }
+  for (uint64_t t = 0; t < num_transactions; ++t) {
+    if (offsets[t + 1] < offsets[t]) {
+      return Status::Corruption("non-monotonic offset table in " + path);
+    }
+  }
+  if (offsets[num_transactions] * sizeof(ItemId) > items_entry.used_bytes) {
+    return Status::Corruption("item array shorter than offsets claim in " +
+                              path);
+  }
+
+  TransactionDatabase db(static_cast<uint32_t>(num_items));
+  db.offsets_.clear();
+  db.items_.clear();
+  db.num_transactions_ = num_transactions;
+  db.offsets_view_ = offsets;
+  db.items_view_ =
+      reinterpret_cast<const ItemId*>(store->SegmentData(items_segment));
+  db.store_ = std::move(store);
+
+  // Structural validation of the payload, as LoadBinary does for heap.
+  for (uint64_t t = 0; t < num_transactions; ++t) {
+    std::span<const ItemId> txn = db.transaction(t);
+    for (size_t i = 0; i < txn.size(); ++i) {
+      if (txn[i] >= num_items || (i > 0 && txn[i] <= txn[i - 1])) {
+        return Status::Corruption("malformed transaction " +
+                                  std::to_string(t) + " in " + path);
+      }
+    }
+  }
+  return db;
+}
 
 Status TransactionDatabase::Append(std::span<const ItemId> items) {
+  if (store_ != nullptr) {
+    return Status::FailedPrecondition(
+        "mapped transaction database is frozen; append through "
+        "storage::StreamingIngest instead");
+  }
   for (size_t i = 0; i < items.size(); ++i) {
     if (items[i] >= num_items_) {
       return Status::InvalidArgument(
@@ -24,16 +134,19 @@ Status TransactionDatabase::Append(std::span<const ItemId> items) {
   }
   items_.insert(items_.end(), items.begin(), items.end());
   offsets_.push_back(items_.size());
+  RepointToHeap();
   return Status::OK();
 }
 
 std::vector<uint64_t> TransactionDatabase::ComputeItemSupports() const {
   std::vector<uint64_t> counts(num_items_, 0);
+  const ItemId* items = items_view_;
+  const uint64_t total = total_item_occurrences();
   // Below this the per-shard count vectors cost more than they save.
-  constexpr size_t kParallelFloor = 1 << 16;
-  uint32_t shards = parallel::NumShards(0, items_.size());
-  if (items_.size() < kParallelFloor || shards <= 1) {
-    for (ItemId item : items_) ++counts[item];
+  constexpr uint64_t kParallelFloor = 1 << 16;
+  uint32_t shards = parallel::NumShards(0, total);
+  if (total < kParallelFloor || shards <= 1) {
+    for (uint64_t i = 0; i < total; ++i) ++counts[items[i]];
     return counts;
   }
   // Shard the flat item array; per-shard histograms sum-merge in shard
@@ -41,9 +154,9 @@ std::vector<uint64_t> TransactionDatabase::ComputeItemSupports() const {
   std::vector<std::vector<uint64_t>> shard_counts(
       shards, std::vector<uint64_t>(num_items_, 0));
   parallel::ParallelFor(
-      0, items_.size(), [&](uint32_t shard, uint64_t begin, uint64_t end) {
+      0, total, [&](uint32_t shard, uint64_t begin, uint64_t end) {
         std::vector<uint64_t>& local = shard_counts[shard];
-        for (uint64_t i = begin; i < end; ++i) ++local[items_[i]];
+        for (uint64_t i = begin; i < end; ++i) ++local[items[i]];
       });
   for (const std::vector<uint64_t>& local : shard_counts) {
     for (uint32_t i = 0; i < num_items_; ++i) counts[i] += local[i];
@@ -56,6 +169,20 @@ bool TransactionDatabase::Contains(uint64_t t,
   std::span<const ItemId> txn = transaction(t);
   return std::includes(txn.begin(), txn.end(), candidate.begin(),
                        candidate.end());
+}
+
+bool operator==(const TransactionDatabase& a, const TransactionDatabase& b) {
+  if (a.num_items_ != b.num_items_ ||
+      a.num_transactions_ != b.num_transactions_) {
+    return false;
+  }
+  if (!std::equal(a.offsets_view_, a.offsets_view_ + a.num_transactions_ + 1,
+                  b.offsets_view_)) {
+    return false;
+  }
+  return std::equal(a.items_view_,
+                    a.items_view_ + a.total_item_occurrences(),
+                    b.items_view_);
 }
 
 }  // namespace ossm

@@ -2,11 +2,13 @@
 #define OSSM_DATA_TRANSACTION_DATABASE_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "common/status.h"
 #include "data/item.h"
+#include "storage/pager.h"
 
 namespace ossm {
 
@@ -17,20 +19,37 @@ namespace ossm {
 // The database is immutable once built (use the builder API: Append +
 // Finalize, or DatasetIo loaders). All mining passes iterate it sequentially,
 // matching the disk-scan access pattern the paper's algorithms assume.
+//
+// Two backings behind one read API (OSSM_STORAGE, storage/storage_env.h):
+// the heap backing owns the arrays in std::vectors; the mapped backing
+// reads them in place from two segments of a storage::Pager file, held
+// alive by a shared reference. Every accessor goes through the view
+// pointers, so miners and the serving engine never see the difference and
+// results are bit-identical across backends. Mapped databases are frozen:
+// Append returns kFailedPrecondition.
 class TransactionDatabase {
  public:
-  // Creates an empty database over a fixed item domain [0, num_items).
+  // Creates an empty heap database over a fixed item domain [0, num_items).
   explicit TransactionDatabase(uint32_t num_items);
 
-  TransactionDatabase(const TransactionDatabase&) = default;
-  TransactionDatabase& operator=(const TransactionDatabase&) = default;
-  TransactionDatabase(TransactionDatabase&&) = default;
-  TransactionDatabase& operator=(TransactionDatabase&&) = default;
+  TransactionDatabase(const TransactionDatabase& other);
+  TransactionDatabase& operator=(const TransactionDatabase& other);
+  TransactionDatabase(TransactionDatabase&& other) noexcept;
+  TransactionDatabase& operator=(TransactionDatabase&& other) noexcept;
+
+  // Wires a database over CSR segments of a mapped store: `offsets_segment`
+  // holds num_transactions + 1 uint64 offsets (count in its aux[0]),
+  // `items_segment` the flat item array. The store stays alive for the
+  // database's lifetime. Validates the CSR structure like LoadBinary does.
+  static StatusOr<TransactionDatabase> AttachToStore(
+      std::shared_ptr<storage::Pager> store, storage::SegmentId offsets_segment,
+      storage::SegmentId items_segment);
 
   // Appends one transaction. `items` must be strictly increasing and every
   // item must be < num_items(); otherwise the database is unchanged and an
   // InvalidArgument status is returned. Empty transactions are allowed (they
-  // support nothing but still occupy a slot, as in real logs).
+  // support nothing but still occupy a slot, as in real logs). Only valid
+  // on heap databases; a mapped database returns kFailedPrecondition.
   Status Append(std::span<const ItemId> items);
 
   // Convenience overload for literals: Append({1, 4, 7}).
@@ -39,14 +58,18 @@ class TransactionDatabase {
   }
 
   uint32_t num_items() const { return num_items_; }
-  uint64_t num_transactions() const { return offsets_.size() - 1; }
-  uint64_t total_item_occurrences() const { return items_.size(); }
+  uint64_t num_transactions() const { return num_transactions_; }
+  uint64_t total_item_occurrences() const {
+    return offsets_view_[num_transactions_];
+  }
+  // Non-null when the database reads from a mapped store.
+  const std::shared_ptr<storage::Pager>& store() const { return store_; }
 
   // The t-th transaction as a sorted span. t < num_transactions().
   std::span<const ItemId> transaction(uint64_t t) const {
-    OSSM_DCHECK(t + 1 < offsets_.size());
-    return std::span<const ItemId>(items_.data() + offsets_[t],
-                                   offsets_[t + 1] - offsets_[t]);
+    OSSM_DCHECK(t < num_transactions_);
+    return std::span<const ItemId>(items_view_ + offsets_view_[t],
+                                   offsets_view_[t + 1] - offsets_view_[t]);
   }
 
   // Global support of every singleton item: counts[i] = sup({i}).
@@ -57,18 +80,27 @@ class TransactionDatabase {
   bool Contains(uint64_t t, std::span<const ItemId> candidate) const;
 
   friend bool operator==(const TransactionDatabase& a,
-                         const TransactionDatabase& b) {
-    return a.num_items_ == b.num_items_ && a.offsets_ == b.offsets_ &&
-           a.items_ == b.items_;
-  }
+                         const TransactionDatabase& b);
 
  private:
   friend class DatasetIo;
 
+  // Points the views at the heap vectors (after any vector mutation/copy).
+  void RepointToHeap();
+
   uint32_t num_items_;
+  uint64_t num_transactions_ = 0;
+  // Heap backing (empty when mapped).
   std::vector<uint64_t> offsets_;  // size = num_transactions + 1
   std::vector<ItemId> items_;      // concatenated sorted transactions
+  // Read views: heap vectors or mapped segments.
+  const uint64_t* offsets_view_ = nullptr;
+  const ItemId* items_view_ = nullptr;
+  // Keep-alive for the mapped backing; null for heap databases.
+  std::shared_ptr<storage::Pager> store_;
 };
+
+bool operator==(const TransactionDatabase& a, const TransactionDatabase& b);
 
 }  // namespace ossm
 

@@ -6,6 +6,7 @@
 
 #include "common/aligned.h"
 #include "common/timer.h"
+#include "data/bitmap_index.h"
 #include "kernels/kernels.h"
 #include "mining/miner_metrics.h"
 #include "obs/obs.h"
@@ -36,8 +37,16 @@ struct ClassMember {
   ItemId item;
   TidList tids;
   AlignedVector<uint64_t> bits;
+  // Level-1 members in bitmap mode view their row in the shared
+  // BitmapIndex (heap- or store-backed) instead of owning a copy; deeper
+  // members own `bits`.
+  const uint64_t* row = nullptr;
   uint64_t support = 0;
 };
+
+const uint64_t* RowOf(const ClassMember& m) {
+  return m.row != nullptr ? m.row : m.bits.data();
+}
 
 struct SearchState {
   uint64_t min_support;
@@ -93,6 +102,9 @@ void ExpandMember(SearchState& state, Itemset& prefix,
                   const std::vector<ClassMember>& members, size_t i) {
   uint32_t next_level = static_cast<uint32_t>(prefix.size() + 2);
   if (state.max_level != 0 && next_level > state.max_level) return;
+  // At the frontier level the class produced here would be discarded
+  // unexpanded, so don't materialize its covering sets at all.
+  bool at_frontier = state.max_level != 0 && next_level == state.max_level;
 
   Itemset candidate;
   TidList intersection;
@@ -112,15 +124,20 @@ void ExpandMember(SearchState& state, Itemset& prefix,
     }
     state.metrics->CandidatesCounted(next_level);
     if (state.use_bitmaps) {
-      uint64_t support = kernels::AndCount(
-          members[i].bits.data(), members[j].bits.data(), bits.data(),
-          state.bitmap_words);
+      uint64_t support =
+          at_frontier
+              ? kernels::AndPopcount(RowOf(members[i]), RowOf(members[j]),
+                                     state.bitmap_words)
+              : kernels::AndCount(RowOf(members[i]), RowOf(members[j]),
+                                  bits.data(), state.bitmap_words);
       if (support >= state.min_support) {
         state.metrics->Frequent(next_level);
         Itemset found = prefix;
         found.push_back(members[j].item);
         state.out->push_back({std::move(found), support});
-        next_class.push_back({members[j].item, {}, bits, support});
+        if (!at_frontier) {
+          next_class.push_back({members[j].item, {}, bits, nullptr, support});
+        }
       }
     } else {
       if (!Intersect(members[i].tids, members[j].tids, state.min_support,
@@ -133,8 +150,10 @@ void ExpandMember(SearchState& state, Itemset& prefix,
         Itemset found = prefix;
         found.push_back(members[j].item);
         state.out->push_back({std::move(found), intersection.size()});
-        next_class.push_back(
-            {members[j].item, intersection, {}, intersection.size()});
+        if (!at_frontier) {
+          next_class.push_back({members[j].item, intersection, {}, nullptr,
+                                intersection.size()});
+        }
       }
     }
   }
@@ -152,16 +171,6 @@ void Expand(SearchState& state, Itemset& prefix,
   for (size_t i = 0; i < members.size(); ++i) {
     ExpandMember(state, prefix, members, i);
   }
-}
-
-// Converts a sorted tid-list into a 64-byte-aligned bitmap row of `words`
-// words (tail bits zero, so popcounts never need masking).
-AlignedVector<uint64_t> TidsToBitmap(const TidList& tids, uint32_t words) {
-  AlignedVector<uint64_t> bits(words, 0);
-  for (uint64_t t : tids) {
-    bits[t >> 6] |= uint64_t{1} << (t & 63);
-  }
-  return bits;
 }
 
 }  // namespace
@@ -200,18 +209,25 @@ StatusOr<MiningResult> MineEclat(const TransactionDatabase& db,
         use_bitmaps = min_support * 64 >= db.num_transactions();
         break;
     }
-    // Rows padded to 8 words so every row is a whole number of cache lines.
-    uint32_t bitmap_words = static_cast<uint32_t>(
-        (db.num_transactions() + 63) / 64);
-    bitmap_words = (bitmap_words + 7) / 8 * 8;
-
-    // Verticalize: one scan builds every item's tid-list.
-    std::vector<TidList> tid_lists(db.num_items());
+    // Verticalize in the chosen representation, one CSR scan either way.
+    // Bitmap mode goes through BitmapIndex::Build, so the rows live in a
+    // kBitmapRows segment of a mapped store under OSSM_STORAGE=mmap (heap
+    // otherwise) with an identical word layout — level-1 covering sets
+    // never consume heap proportional to the database.
+    BitmapIndex index;
+    std::vector<TidList> tid_lists;
+    uint32_t bitmap_words = 0;
     {
       OSSM_TRACE_SPAN("eclat.verticalize");
-      for (uint64_t t = 0; t < db.num_transactions(); ++t) {
-        for (ItemId item : db.transaction(t)) {
-          tid_lists[item].push_back(t);
+      if (use_bitmaps) {
+        index = BitmapIndex::Build(db);
+        bitmap_words = index.words_per_row();
+      } else {
+        tid_lists.resize(db.num_items());
+        for (uint64_t t = 0; t < db.num_transactions(); ++t) {
+          for (ItemId item : db.transaction(t)) {
+            tid_lists[item].push_back(t);
+          }
         }
       }
       metrics.DatabaseScan();
@@ -230,19 +246,24 @@ StatusOr<MiningResult> MineEclat(const TransactionDatabase& db,
     metrics.CandidatesCounted(1, db.num_items());
 
     std::vector<ClassMember> root_class;
-    for (ItemId item = 0; item < db.num_items(); ++item) {
-      if (tid_lists[item].size() >= min_support) {
-        metrics.Frequent(1);
-        uint64_t support = tid_lists[item].size();
-        result.itemsets.push_back({{item}, support});
-        if (use_bitmaps) {
+    if (use_bitmaps) {
+      for (ItemId item = 0; item < db.num_items(); ++item) {
+        const uint64_t* row = index.row(item).data();
+        uint64_t support = kernels::PopcountU64(row, bitmap_words);
+        if (support >= min_support) {
+          metrics.Frequent(1);
+          result.itemsets.push_back({{item}, support});
+          root_class.push_back({item, {}, {}, row, support});
+        }
+      }
+    } else {
+      for (ItemId item = 0; item < db.num_items(); ++item) {
+        if (tid_lists[item].size() >= min_support) {
+          metrics.Frequent(1);
+          uint64_t support = tid_lists[item].size();
+          result.itemsets.push_back({{item}, support});
           root_class.push_back(
-              {item, {}, TidsToBitmap(tid_lists[item], bitmap_words),
-               support});
-          TidList().swap(tid_lists[item]);
-        } else {
-          root_class.push_back(
-              {item, std::move(tid_lists[item]), {}, support});
+              {item, std::move(tid_lists[item]), {}, nullptr, support});
         }
       }
     }

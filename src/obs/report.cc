@@ -376,6 +376,23 @@ MetricDirection DirectionForCounter(std::string_view counter_name) {
   if (counter_name.starts_with("perf.") || counter_name.starts_with("res.")) {
     return MetricDirection::kNeutral;
   }
+  // Storage counters measure IO work — commits, msync calls, bytes synced,
+  // torn tails repaired, WAL pages replayed; fewer is better. Mapping and
+  // residency gauges only say where bytes live: an mmap run legitimately
+  // maps more while keeping less resident, so they never gate.
+  if (counter_name.starts_with("storage.")) {
+    if (Contains(counter_name, "resident") ||
+        Contains(counter_name, "mapped") ||
+        Contains(counter_name, "live_stores")) {
+      return MetricDirection::kNeutral;
+    }
+    return MetricDirection::kLowerIsBetter;
+  }
+  // Page faults (major or minor) outside the neutral res.* namespace are
+  // IO stalls.
+  if (Contains(counter_name, "fault")) {
+    return MetricDirection::kLowerIsBetter;
+  }
   if (Contains(counter_name, "pruned") ||
       Contains(counter_name, "cache_hits") ||
       Contains(counter_name, "abandoned") ||
@@ -397,6 +414,11 @@ MetricDirection DirectionForValue(std::string_view value_name) {
       Contains(value_name, "_p99_us") || Contains(value_name, "queue_wait") ||
       Contains(value_name, "queue_depth")) {
     return MetricDirection::kLowerIsBetter;
+  }
+  // Mapping and residency sizes are descriptive, not work: heap-vs-mmap
+  // runs differ here by design.
+  if (Contains(value_name, "resident") || Contains(value_name, "mapped")) {
+    return MetricDirection::kNeutral;
   }
   // Hardware-counter rates: misses and faults are waste (checked before
   // the higher-is-better block so llc_miss_per_elem never reads as a

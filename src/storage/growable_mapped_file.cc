@@ -1,0 +1,251 @@
+#include "storage/growable_mapped_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace ossm {
+namespace storage {
+
+namespace {
+
+uint64_t OsPageSize() {
+  static const uint64_t size = static_cast<uint64_t>(sysconf(_SC_PAGESIZE));
+  return size;
+}
+
+uint64_t RoundUp(uint64_t value, uint64_t multiple) {
+  return (value + multiple - 1) / multiple * multiple;
+}
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::IOError(what + " failed for " + path + ": " +
+                         std::strerror(errno));
+}
+
+}  // namespace
+
+GrowableMappedFile::~GrowableMappedFile() { Close(); }
+
+GrowableMappedFile::GrowableMappedFile(GrowableMappedFile&& other) noexcept {
+  *this = std::move(other);
+}
+
+GrowableMappedFile& GrowableMappedFile::operator=(
+    GrowableMappedFile&& other) noexcept {
+  if (this != &other) {
+    Close();
+    path_ = std::move(other.path_);
+    fd_ = std::exchange(other.fd_, -1);
+    base_ = std::exchange(other.base_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    mapped_bytes_ = std::exchange(other.mapped_bytes_, 0);
+    capacity_ = std::exchange(other.capacity_, 0);
+    chunk_bytes_ = other.chunk_bytes_;
+    reserved_ = other.reserved_;
+    read_only_ = other.read_only_;
+  }
+  return *this;
+}
+
+StatusOr<GrowableMappedFile> GrowableMappedFile::Create(
+    const std::string& path, const Options& options) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Errno("open(create)", path);
+
+  GrowableMappedFile file;
+  file.path_ = path;
+  file.fd_ = fd;
+  file.chunk_bytes_ = RoundUp(options.chunk_bytes, OsPageSize());
+  file.read_only_ = false;
+  file.capacity_ = RoundUp(options.capacity_bytes, file.chunk_bytes_);
+
+  void* reservation =
+      ::mmap(nullptr, file.capacity_, PROT_NONE,
+             MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  if (reservation != MAP_FAILED) {
+    file.base_ = static_cast<char*>(reservation);
+    file.reserved_ = true;
+  } else {
+    // mremap fallback: no address-space reservation available. The base
+    // pointer is only established at the first Grow.
+    file.base_ = nullptr;
+    file.reserved_ = false;
+  }
+  return file;
+}
+
+StatusOr<GrowableMappedFile> GrowableMappedFile::Open(const std::string& path,
+                                                      const Options& options) {
+  int fd = ::open(path.c_str(), options.read_only ? O_RDONLY : O_RDWR);
+  if (fd < 0) return Errno("open", path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Errno("fstat", path);
+  }
+
+  GrowableMappedFile file;
+  file.path_ = path;
+  file.fd_ = fd;
+  file.chunk_bytes_ = RoundUp(options.chunk_bytes, OsPageSize());
+  file.read_only_ = options.read_only;
+  uint64_t size = static_cast<uint64_t>(st.st_size);
+  file.capacity_ =
+      RoundUp(std::max(options.capacity_bytes, size), file.chunk_bytes_);
+
+  void* reservation =
+      ::mmap(nullptr, file.capacity_, PROT_NONE,
+             MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  if (reservation != MAP_FAILED) {
+    file.base_ = static_cast<char*>(reservation);
+    file.reserved_ = true;
+  } else {
+    file.base_ = nullptr;
+    file.reserved_ = false;
+  }
+  if (size != 0) {
+    if (Status mapped = file.MapThrough(size); !mapped.ok()) {
+      file.Close();
+      return mapped;
+    }
+  }
+  file.size_ = size;
+  return file;
+}
+
+// Maps file bytes [mapped_bytes_, round_up(new_size, chunk)) into the
+// address range. In reservation mode each chunk lands MAP_FIXED inside the
+// reservation; in fallback mode the single mapping is created or mremap'd.
+Status GrowableMappedFile::MapThrough(uint64_t new_size) {
+  uint64_t want_mapped = RoundUp(new_size, chunk_bytes_);
+  if (want_mapped <= mapped_bytes_) return Status::OK();
+  int prot = read_only_ ? PROT_READ : (PROT_READ | PROT_WRITE);
+
+  if (reserved_) {
+    if (want_mapped > capacity_) {
+      return Status::ResourceExhausted(
+          path_ + ": mapped store needs " + std::to_string(want_mapped) +
+          " bytes but the address-space reservation is " +
+          std::to_string(capacity_) +
+          " (raise GrowableMappedFile::Options::capacity_bytes)");
+    }
+    // Chunked growth: every mmap covers [mapped_bytes_, want_mapped) in
+    // chunk-sized steps so a failed call leaves a clean boundary.
+    for (uint64_t off = mapped_bytes_; off < want_mapped;
+         off += chunk_bytes_) {
+      void* chunk = ::mmap(base_ + off, chunk_bytes_, prot,
+                           MAP_SHARED | MAP_FIXED, fd_,
+                           static_cast<off_t>(off));
+      if (chunk == MAP_FAILED) return Errno("mmap(chunk)", path_);
+      mapped_bytes_ = off + chunk_bytes_;
+      OSSM_COUNTER_ADD("storage.bytes_mapped", chunk_bytes_);
+    }
+    return Status::OK();
+  }
+
+  // Fallback: one mapping, grown with mremap. The pointer may move; the
+  // Pager guards this with its pin count.
+  if (base_ == nullptr) {
+    void* mapping = ::mmap(nullptr, want_mapped, prot, MAP_SHARED, fd_, 0);
+    if (mapping == MAP_FAILED) return Errno("mmap", path_);
+    base_ = static_cast<char*>(mapping);
+  } else {
+    void* mapping =
+        ::mremap(base_, mapped_bytes_, want_mapped, MREMAP_MAYMOVE);
+    if (mapping == MAP_FAILED) return Errno("mremap", path_);
+    base_ = static_cast<char*>(mapping);
+  }
+  OSSM_COUNTER_ADD("storage.bytes_mapped", want_mapped - mapped_bytes_);
+  mapped_bytes_ = want_mapped;
+  capacity_ = std::max(capacity_, mapped_bytes_);
+  return Status::OK();
+}
+
+Status GrowableMappedFile::Grow(uint64_t new_size) {
+  if (!valid()) return Status::FailedPrecondition("file is closed");
+  if (read_only_) {
+    return Status::FailedPrecondition(path_ + " is mapped read-only");
+  }
+  if (new_size <= size_) return Status::OK();
+  if (::ftruncate(fd_, static_cast<off_t>(new_size)) != 0) {
+    return Errno("ftruncate", path_);
+  }
+  OSSM_COUNTER_INC("storage.grow_calls");
+  OSSM_RETURN_IF_ERROR(MapThrough(new_size));
+  size_ = new_size;
+  return Status::OK();
+}
+
+Status GrowableMappedFile::TruncateTo(uint64_t new_size) {
+  if (!valid()) return Status::FailedPrecondition("file is closed");
+  if (read_only_) {
+    return Status::FailedPrecondition(path_ + " is mapped read-only");
+  }
+  if (new_size > size_) {
+    return Status::InvalidArgument("TruncateTo cannot grow " + path_);
+  }
+  if (::ftruncate(fd_, static_cast<off_t>(new_size)) != 0) {
+    return Errno("ftruncate", path_);
+  }
+  size_ = new_size;
+  return Status::OK();
+}
+
+Status GrowableMappedFile::Sync(uint64_t offset, uint64_t length) {
+  if (!valid()) return Status::FailedPrecondition("file is closed");
+  if (length == 0) return Status::OK();
+  uint64_t page = OsPageSize();
+  uint64_t begin = offset / page * page;
+  uint64_t end = RoundUp(offset + length, page);
+  end = std::min(end, mapped_bytes_);
+  if (begin >= end) return Status::OK();
+  if (::msync(base_ + begin, end - begin, MS_SYNC) != 0) {
+    return Errno("msync", path_);
+  }
+  OSSM_COUNTER_INC("storage.msync_calls");
+  OSSM_COUNTER_ADD("storage.bytes_synced", end - begin);
+  return Status::OK();
+}
+
+uint64_t GrowableMappedFile::ResidentBytes() const {
+  if (!valid() || base_ == nullptr || size_ == 0) return 0;
+  uint64_t page = OsPageSize();
+  uint64_t pages = (size_ + page - 1) / page;
+  std::vector<unsigned char> present(pages);
+  if (::mincore(base_, pages * page, present.data()) != 0) return 0;
+  uint64_t resident = 0;
+  for (unsigned char flags : present) resident += (flags & 1u) ? page : 0;
+  return std::min(resident, size_);
+}
+
+Status GrowableMappedFile::Close(bool unlink_file) {
+  Status result = Status::OK();
+  if (base_ != nullptr) {
+    uint64_t extent = reserved_ ? capacity_ : mapped_bytes_;
+    if (extent != 0 && ::munmap(base_, extent) != 0) {
+      result = Errno("munmap", path_);
+    }
+    base_ = nullptr;
+  }
+  if (fd_ >= 0) {
+    if (::close(fd_) != 0 && result.ok()) result = Errno("close", path_);
+    fd_ = -1;
+    if (unlink_file) ::unlink(path_.c_str());
+  }
+  size_ = 0;
+  mapped_bytes_ = 0;
+  capacity_ = 0;
+  return result;
+}
+
+}  // namespace storage
+}  // namespace ossm

@@ -1,0 +1,113 @@
+#ifndef OSSM_STORAGE_GROWABLE_MAPPED_FILE_H_
+#define OSSM_STORAGE_GROWABLE_MAPPED_FILE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace ossm {
+namespace storage {
+
+// A file that is memory-mapped as ONE contiguous virtual range and grown in
+// place, in the spirit of RDF-3X's GrowableMappedFile: the file is extended
+// with ftruncate and the new bytes become addressable without ever moving
+// the bytes already handed out. Readers therefore hold stable pointers
+// across growth, which is what lets the CSR store, the bitmap rows, and the
+// OSSM count matrix be consumed as flat arrays by code that never knows it
+// is reading a file.
+//
+// Two growth strategies, picked at open time:
+//
+//  * Reservation (the default): one PROT_NONE, MAP_NORESERVE anonymous
+//    mapping of `capacity_bytes` of address space is made up front —
+//    address space is free on 64-bit — and growth MAP_FIXEDs file-backed
+//    chunks of `chunk_bytes` over it. Pointers are stable by construction;
+//    growing past the reservation is kResourceExhausted.
+//  * mremap fallback: when the reservation cannot be made (strict
+//    overcommit, address-space ulimits), the file is mapped as a single
+//    mapping that growth extends with mremap(MREMAP_MAYMOVE). The base
+//    address may then change, so the owning Pager refuses to grow while
+//    any page is pinned (see pager.h).
+//
+// Durability is explicit: writes land in the shared mapping (the kernel's
+// page cache) and Sync() msyncs a byte range through to the file. The
+// Pager's commit header protocol is built on that primitive.
+//
+// Instances are movable, not copyable. All methods are single-writer: the
+// owning Pager serializes growth; concurrent *reads* of mapped bytes need
+// no coordination.
+class GrowableMappedFile {
+ public:
+  struct Options {
+    // Virtual address space reserved per file in reservation mode. Only
+    // address space: untouched pages cost nothing.
+    uint64_t capacity_bytes = uint64_t{64} << 30;  // 64 GiB
+    // Growth granularity; each chunk is one mmap call. Must be a multiple
+    // of the OS page size.
+    uint64_t chunk_bytes = uint64_t{16} << 20;  // 16 MiB
+    bool read_only = false;
+  };
+
+  GrowableMappedFile() = default;
+  ~GrowableMappedFile();
+  GrowableMappedFile(GrowableMappedFile&& other) noexcept;
+  GrowableMappedFile& operator=(GrowableMappedFile&& other) noexcept;
+  GrowableMappedFile(const GrowableMappedFile&) = delete;
+  GrowableMappedFile& operator=(const GrowableMappedFile&) = delete;
+
+  // Creates (truncating any existing file) or opens. Open maps the current
+  // file size; both leave the instance ready for Grow().
+  static StatusOr<GrowableMappedFile> Create(const std::string& path,
+                                             const Options& options);
+  static StatusOr<GrowableMappedFile> Open(const std::string& path,
+                                           const Options& options);
+
+  bool valid() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+  uint64_t size() const { return size_; }
+  uint64_t capacity() const { return capacity_; }
+  bool using_reservation() const { return reserved_; }
+
+  // Base of the contiguous mapping. Stable across Grow() in reservation
+  // mode; may change across Grow() in mremap-fallback mode.
+  char* data() { return base_; }
+  const char* data() const { return base_; }
+
+  // Extends the file to `new_size` bytes (no-op when already that large).
+  // New bytes read as zero. kResourceExhausted past the reservation.
+  Status Grow(uint64_t new_size);
+
+  // Shrinks the file to `new_size` bytes (torn-tail repair). Mappings are
+  // left in place; callers must not read past the new size.
+  Status TruncateTo(uint64_t new_size);
+
+  // msync(MS_SYNC) of the byte range, rounded out to page boundaries.
+  Status Sync(uint64_t offset, uint64_t length);
+
+  // Bytes of the mapped range currently resident in memory (mincore).
+  // Best-effort: returns 0 when the probe fails.
+  uint64_t ResidentBytes() const;
+
+  // Unmaps and closes; optionally unlinks the file (for cache-style stores
+  // whose contents are rebuildable). Idempotent.
+  Status Close(bool unlink_file = false);
+
+ private:
+  Status MapThrough(uint64_t new_size);
+
+  std::string path_;
+  int fd_ = -1;
+  char* base_ = nullptr;
+  uint64_t size_ = 0;          // current file size (logical bytes)
+  uint64_t mapped_bytes_ = 0;  // bytes covered by file-backed mappings
+  uint64_t capacity_ = 0;      // reservation size (reservation mode)
+  uint64_t chunk_bytes_ = 0;
+  bool reserved_ = false;  // reservation mode vs mremap fallback
+  bool read_only_ = false;
+};
+
+}  // namespace storage
+}  // namespace ossm
+
+#endif  // OSSM_STORAGE_GROWABLE_MAPPED_FILE_H_

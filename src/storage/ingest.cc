@@ -1,0 +1,349 @@
+#include "storage/ingest.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "obs/obs.h"
+
+namespace ossm {
+namespace storage {
+
+namespace {
+
+constexpr uint64_t kPageHeaderBytes = 8;  // u32 txn count + u32 used bytes
+
+// Segment aux conventions. WAL: committed pages / committed transactions.
+// Map slots: item-domain shape plus how many WAL pages the checkpointed
+// matrix covers.
+constexpr int kWalAuxPages = 0;
+constexpr int kWalAuxTxns = 1;
+constexpr int kMapAuxItems = 0;
+constexpr int kMapAuxSegments = 1;
+constexpr int kMapAuxCoversPages = 2;
+constexpr uint32_t kMapFlagActive = 1;
+
+}  // namespace
+
+StatusOr<StreamingIngest> StreamingIngest::Create(const std::string& path,
+                                                  uint32_t num_items,
+                                                  uint32_t num_segments,
+                                                  const Options& options) {
+  if (num_segments == 0) {
+    return Status::InvalidArgument("ingest needs at least one OSSM segment");
+  }
+  uint64_t matrix_bytes =
+      uint64_t{num_items} * num_segments * sizeof(uint64_t);
+  if (kPageHeaderBytes + sizeof(uint32_t) * 2 > options.page_size) {
+    return Status::InvalidArgument("page_size too small for WAL records");
+  }
+
+  Pager::Options pager_options;
+  pager_options.page_size = options.page_size;
+  pager_options.capacity_bytes = options.capacity_bytes;
+  auto pager = Pager::Create(path, pager_options);
+  OSSM_RETURN_IF_ERROR(pager.status());
+
+  StreamingIngest ingest;
+  ingest.pager_ = std::move(pager).value();
+  ingest.num_items_ = num_items;
+  ingest.num_segments_ = num_segments;
+  ingest.policy_ = options.policy;
+  ingest.map_ = SegmentSupportMap::Zero(num_items, num_segments);
+
+  // Fixed-size checkpoint slots first, the growing WAL extent last (only
+  // the tail segment of a store can grow).
+  for (uint32_t slot = 0; slot < 2; ++slot) {
+    auto id = ingest.pager_->AllocateSegment(
+        slot == 0 ? SegmentKind::kOssmCounts : SegmentKind::kOssmCountsAlt,
+        std::max<uint64_t>(matrix_bytes, 1));
+    OSSM_RETURN_IF_ERROR(id.status());
+    ingest.map_slots_[slot] = id.value();
+    ingest.pager_->SetSegmentAux(id.value(), kMapAuxItems, num_items);
+    ingest.pager_->SetSegmentAux(id.value(), kMapAuxSegments, num_segments);
+    ingest.pager_->SetSegmentAux(id.value(), kMapAuxCoversPages, 0);
+    ingest.pager_->SetSegmentFlags(id.value(),
+                                   slot == 0 ? kMapFlagActive : 0);
+  }
+  ingest.active_slot_ = 0;
+  auto wal = ingest.pager_->AllocateSegment(SegmentKind::kWal,
+                                            options.page_size);
+  OSSM_RETURN_IF_ERROR(wal.status());
+  ingest.wal_slot_ = wal.value();
+  ingest.pager_->SetSegmentAux(ingest.wal_slot_, kWalAuxPages, 0);
+  ingest.pager_->SetSegmentAux(ingest.wal_slot_, kWalAuxTxns, 0);
+  // The empty state (zero matrix in slot A, zero WAL pages) is fully
+  // described by zero-filled pages, so one commit makes it durable.
+  OSSM_RETURN_IF_ERROR(ingest.pager_->Commit());
+  return ingest;
+}
+
+StatusOr<StreamingIngest> StreamingIngest::Open(const std::string& path,
+                                                const Options& options) {
+  Pager::Options pager_options;
+  pager_options.capacity_bytes = options.capacity_bytes;
+  auto pager = Pager::Open(path, pager_options);
+  OSSM_RETURN_IF_ERROR(pager.status());
+
+  StreamingIngest ingest;
+  ingest.pager_ = std::move(pager).value();
+  ingest.policy_ = options.policy;
+
+  auto counts_a = ingest.pager_->FindSegment(SegmentKind::kOssmCounts);
+  auto counts_b = ingest.pager_->FindSegment(SegmentKind::kOssmCountsAlt);
+  auto wal = ingest.pager_->FindSegment(SegmentKind::kWal);
+  if (!counts_a || !counts_b || !wal) {
+    return Status::Corruption(path + " is not an OSSM ingest store");
+  }
+  ingest.map_slots_[0] = *counts_a;
+  ingest.map_slots_[1] = *counts_b;
+  ingest.wal_slot_ = *wal;
+
+  const SegmentEntry slot_a = ingest.pager_->segment(*counts_a);
+  const SegmentEntry slot_b = ingest.pager_->segment(*counts_b);
+  if ((slot_a.flags & kMapFlagActive) != 0) {
+    ingest.active_slot_ = 0;
+  } else if ((slot_b.flags & kMapFlagActive) != 0) {
+    ingest.active_slot_ = 1;
+  } else {
+    return Status::Corruption(path + " has no active OSSM checkpoint slot");
+  }
+  const SegmentEntry& active =
+      ingest.active_slot_ == 0 ? slot_a : slot_b;
+  uint64_t num_items = active.aux[kMapAuxItems];
+  uint64_t num_segments = active.aux[kMapAuxSegments];
+  uint64_t covers_pages = active.aux[kMapAuxCoversPages];
+  uint64_t matrix_bytes = num_items * num_segments * sizeof(uint64_t);
+  if (num_segments == 0 || num_items > UINT32_MAX ||
+      num_segments > UINT32_MAX ||
+      matrix_bytes >
+          active.num_pages * uint64_t{ingest.pager_->page_size()}) {
+    return Status::Corruption(path + " has a corrupt OSSM checkpoint shape");
+  }
+  ingest.num_items_ = static_cast<uint32_t>(num_items);
+  ingest.num_segments_ = static_cast<uint32_t>(num_segments);
+  const uint64_t* matrix = reinterpret_cast<const uint64_t*>(
+      ingest.pager_->SegmentData(ingest.map_slots_[ingest.active_slot_]));
+  ingest.map_ = SegmentSupportMap::FromRaw(
+      ingest.num_items_, ingest.num_segments_,
+      std::span<const uint64_t>(matrix,
+                                static_cast<size_t>(num_items * num_segments)));
+
+  const SegmentEntry wal_entry = ingest.pager_->segment(*wal);
+  uint64_t committed_pages = wal_entry.aux[kWalAuxPages];
+  uint64_t committed_txns = wal_entry.aux[kWalAuxTxns];
+  uint32_t page_size = ingest.pager_->page_size();
+  if (committed_pages * page_size >
+          wal_entry.num_pages * uint64_t{page_size} ||
+      covers_pages > committed_pages) {
+    return Status::Corruption(path + " has a corrupt WAL extent");
+  }
+  ingest.sealed_pages_ = committed_pages;
+  ingest.committed_pages_ = committed_pages;
+  ingest.sealed_txns_ = committed_txns;
+  ingest.committed_txns_ = committed_txns;
+
+  // Replay committed pages the checkpoint does not cover. The round-robin
+  // cursor is re-seeded to the covered page count and closest-fit sees
+  // exactly the checkpointed matrix, so the fold is the one the crashed
+  // writer would have produced.
+  if (covers_pages < committed_pages) {
+    OssmUpdater updater(&ingest.map_);
+    updater.set_round_robin_cursor(covers_pages);
+    for (uint64_t page = covers_pages; page < committed_pages; ++page) {
+      std::vector<uint64_t> page_counts(ingest.num_items_, 0);
+      auto txns = ingest.VisitPage(
+          page, [&page_counts](std::span<const ItemId> txn) {
+            for (ItemId item : txn) page_counts[item]++;
+          });
+      OSSM_RETURN_IF_ERROR(txns.status());
+      auto assigned = updater.AppendPage(
+          std::span<const uint64_t>(page_counts.data(), page_counts.size()),
+          ingest.policy_);
+      OSSM_RETURN_IF_ERROR(assigned.status());
+    }
+    ingest.replayed_on_open_ = true;
+    OSSM_COUNTER_ADD("storage.ingest_replayed_pages",
+                     committed_pages - covers_pages);
+  }
+  ingest.folded_pages_ = committed_pages;
+  return ingest;
+}
+
+Status StreamingIngest::Append(std::span<const ItemId> items) {
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (items[i] >= num_items_) {
+      return Status::InvalidArgument(
+          "item " + std::to_string(items[i]) +
+          " outside the ingest domain [0, " + std::to_string(num_items_) +
+          ")");
+    }
+    if (i > 0 && items[i] <= items[i - 1]) {
+      return Status::InvalidArgument(
+          "transaction items must be strictly increasing");
+    }
+  }
+  uint64_t record_words = 1 + items.size();
+  uint64_t capacity_words =
+      (pager_->page_size() - kPageHeaderBytes) / sizeof(uint32_t);
+  if (record_words > capacity_words) {
+    return Status::InvalidArgument(
+        "transaction of " + std::to_string(items.size()) +
+        " items does not fit a " + std::to_string(pager_->page_size()) +
+        "-byte WAL page");
+  }
+  if (staging_.size() + record_words > capacity_words) {
+    OSSM_RETURN_IF_ERROR(SealPage());
+  }
+  staging_.push_back(static_cast<uint32_t>(items.size()));
+  staging_.insert(staging_.end(), items.begin(), items.end());
+  ++staged_txns_;
+  return Status::OK();
+}
+
+// Writes the staged page into the WAL extent. The bytes are dirty in the
+// mapping only — durability comes from the caller's SyncDirty/Commit.
+Status StreamingIngest::SealPage() {
+  if (staged_txns_ == 0) return Status::OK();
+  uint32_t page_size = pager_->page_size();
+  OSSM_RETURN_IF_ERROR(
+      pager_->GrowSegment(wal_slot_, (sealed_pages_ + 1) * page_size));
+  char* page = pager_->SegmentData(wal_slot_) + sealed_pages_ * page_size;
+  uint32_t used_bytes = static_cast<uint32_t>(
+      kPageHeaderBytes + staging_.size() * sizeof(uint32_t));
+  std::memcpy(page, &staged_txns_, sizeof(uint32_t));
+  std::memcpy(page + sizeof(uint32_t), &used_bytes, sizeof(uint32_t));
+  std::memcpy(page + kPageHeaderBytes, staging_.data(),
+              staging_.size() * sizeof(uint32_t));
+  pager_->MarkDirty(
+      pager_->SegmentOffset(wal_slot_) + sealed_pages_ * page_size,
+      used_bytes);
+  ++sealed_pages_;
+  sealed_txns_ += staged_txns_;
+  staging_.clear();
+  staged_txns_ = 0;
+  OSSM_COUNTER_INC("storage.ingest_pages_sealed");
+  return Status::OK();
+}
+
+Status StreamingIngest::Flush() {
+  OSSM_RETURN_IF_ERROR(SealPage());
+  return pager_->SyncDirty();
+}
+
+Status StreamingIngest::Commit() {
+  OSSM_RETURN_IF_ERROR(SealPage());
+  if (sealed_pages_ == committed_pages_) return Status::OK();
+  // Phase 1: commit the WAL extent — the durability point. A crash after
+  // this reopens with these transactions committed (healed by replay).
+  pager_->SetSegmentAux(wal_slot_, kWalAuxPages, sealed_pages_);
+  pager_->SetSegmentAux(wal_slot_, kWalAuxTxns, sealed_txns_);
+  OSSM_RETURN_IF_ERROR(pager_->Commit());
+  committed_pages_ = sealed_pages_;
+  committed_txns_ = sealed_txns_;
+  // Phase 2: fold and checkpoint into the inactive slot.
+  return FoldAndCheckpoint();
+}
+
+Status StreamingIngest::FoldAndCheckpoint() {
+  OssmUpdater updater(&map_);
+  updater.set_round_robin_cursor(folded_pages_);
+  for (uint64_t page = folded_pages_; page < committed_pages_; ++page) {
+    std::vector<uint64_t> page_counts(num_items_, 0);
+    auto txns =
+        VisitPage(page, [&page_counts](std::span<const ItemId> txn) {
+          for (ItemId item : txn) page_counts[item]++;
+        });
+    OSSM_RETURN_IF_ERROR(txns.status());
+    auto assigned = updater.AppendPage(
+        std::span<const uint64_t>(page_counts.data(), page_counts.size()),
+        policy_);
+    OSSM_RETURN_IF_ERROR(assigned.status());
+  }
+  folded_pages_ = committed_pages_;
+
+  uint32_t inactive = 1 - active_slot_;
+  SegmentId slot = map_slots_[inactive];
+  std::span<const uint64_t> matrix = map_.raw_counts();
+  std::memcpy(pager_->SegmentData(slot), matrix.data(),
+              matrix.size_bytes());
+  pager_->MarkDirty(pager_->SegmentOffset(slot), matrix.size_bytes());
+  pager_->SetSegmentAux(slot, kMapAuxCoversPages, folded_pages_);
+  pager_->SetSegmentFlags(slot, kMapFlagActive);
+  pager_->SetSegmentFlags(map_slots_[active_slot_], 0);
+  OSSM_RETURN_IF_ERROR(pager_->Commit());
+  active_slot_ = inactive;
+  OSSM_COUNTER_INC("storage.ingest_checkpoints");
+  return Status::OK();
+}
+
+StatusOr<uint64_t> StreamingIngest::VisitPage(
+    uint64_t page,
+    const std::function<void(std::span<const ItemId>)>& visitor) const {
+  uint32_t page_size = pager_->page_size();
+  const char* bytes = pager_->SegmentData(wal_slot_) + page * page_size;
+  uint32_t txn_count;
+  uint32_t used_bytes;
+  std::memcpy(&txn_count, bytes, sizeof(uint32_t));
+  std::memcpy(&used_bytes, bytes + sizeof(uint32_t), sizeof(uint32_t));
+  if (used_bytes < kPageHeaderBytes || used_bytes > page_size ||
+      (used_bytes - kPageHeaderBytes) % sizeof(uint32_t) != 0) {
+    return Status::Corruption(path() + ": WAL page " + std::to_string(page) +
+                              " has a corrupt size header");
+  }
+  const uint32_t* words =
+      reinterpret_cast<const uint32_t*>(bytes + kPageHeaderBytes);
+  uint64_t num_words = (used_bytes - kPageHeaderBytes) / sizeof(uint32_t);
+  uint64_t cursor = 0;
+  for (uint32_t t = 0; t < txn_count; ++t) {
+    if (cursor >= num_words) {
+      return Status::Corruption(path() + ": WAL page " +
+                                std::to_string(page) +
+                                " is shorter than its transaction count");
+    }
+    uint32_t n = words[cursor++];
+    if (cursor + n > num_words) {
+      return Status::Corruption(path() + ": WAL page " +
+                                std::to_string(page) +
+                                " has a transaction past its used bytes");
+    }
+    for (uint32_t i = 0; i < n; ++i) {
+      if (words[cursor + i] >= num_items_) {
+        return Status::Corruption(path() + ": WAL page " +
+                                  std::to_string(page) +
+                                  " references an out-of-domain item");
+      }
+    }
+    if (visitor) {
+      visitor(std::span<const ItemId>(words + cursor, n));
+    }
+    cursor += n;
+  }
+  if (cursor != num_words) {
+    return Status::Corruption(path() + ": WAL page " + std::to_string(page) +
+                              " has trailing bytes inside used_bytes");
+  }
+  return uint64_t{txn_count};
+}
+
+Status StreamingIngest::ForEachCommitted(
+    const std::function<void(std::span<const ItemId>)>& visitor) const {
+  for (uint64_t page = 0; page < committed_pages_; ++page) {
+    OSSM_RETURN_IF_ERROR(VisitPage(page, visitor).status());
+  }
+  return Status::OK();
+}
+
+StatusOr<TransactionDatabase> StreamingIngest::MaterializeDatabase() const {
+  TransactionDatabase db(num_items_);
+  Status append_status = Status::OK();
+  Status visit_status =
+      ForEachCommitted([&db, &append_status](std::span<const ItemId> txn) {
+        if (append_status.ok()) append_status = db.Append(txn);
+      });
+  OSSM_RETURN_IF_ERROR(visit_status);
+  OSSM_RETURN_IF_ERROR(append_status);
+  return db;
+}
+
+}  // namespace storage
+}  // namespace ossm

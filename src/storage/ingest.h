@@ -1,0 +1,152 @@
+#ifndef OSSM_STORAGE_INGEST_H_
+#define OSSM_STORAGE_INGEST_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/ossm_updater.h"
+#include "core/segment_support_map.h"
+#include "data/item.h"
+#include "data/transaction_database.h"
+#include "storage/pager.h"
+
+namespace ossm {
+namespace storage {
+
+// Crash-safe streaming ingest: transactions are appended into write-ahead
+// pages inside a Pager store and folded into a live SegmentSupportMap by
+// OssmUpdater, so the OSSM stays query-ready while the collection grows —
+// the paper's compile-once story extended to an append-mostly workload
+// that must survive being killed mid-append.
+//
+// Store layout (one Pager file):
+//   segment kOssmCounts     checkpoint slot A of the count matrix
+//   segment kOssmCountsAlt  checkpoint slot B
+//   segment kWal            write-ahead transaction pages (tail, grows)
+//
+// Each WAL page: u32 transaction count, u32 used bytes (including this
+// 8-byte header), then per transaction u32 n followed by n u32 item ids.
+//
+// Commit() is a two-phase protocol on top of Pager::Commit():
+//   1. seal the open page, sync the WAL bytes, and flip the store header
+//      with the new WAL extent — this is the durability point for the
+//      appended transactions;
+//   2. fold the newly committed pages into the in-memory map, write the
+//      matrix into the INACTIVE checkpoint slot together with the number
+//      of WAL pages it covers, and flip the header again to activate it.
+// A crash between 1 and 2 (or a reopen of a store whose checkpoint lags
+// its WAL) is healed by deterministic replay: pages [covered, committed)
+// are re-folded against the checkpointed map with the updater's
+// round-robin cursor re-seeded, reproducing the original fold exactly for
+// either append policy. A crash before 1 leaves a torn tail that
+// Pager::Open truncates away.
+//
+// Flush() seals and syncs WAL bytes WITHOUT committing — it exists to
+// create a real on-disk uncommitted tail, which the crash tests truncate
+// at every byte offset.
+//
+// Single-writer, like OssmUpdater. Reads of map() follow the updater's
+// concurrency contract (ossm_updater.h).
+class StreamingIngest {
+ public:
+  struct Options {
+    uint32_t page_size = 64 << 10;
+    uint64_t capacity_bytes = uint64_t{16} << 30;
+    AppendPolicy policy = AppendPolicy::kRoundRobin;
+  };
+
+  // Creates a new store / reopens an existing one (replaying any committed
+  // WAL pages past the checkpoint). Open validates the store shape and
+  // returns Corruption/InvalidArgument in the ossm_io taxonomy.
+  static StatusOr<StreamingIngest> Create(const std::string& path,
+                                          uint32_t num_items,
+                                          uint32_t num_segments,
+                                          const Options& options);
+  static StatusOr<StreamingIngest> Create(const std::string& path,
+                                          uint32_t num_items,
+                                          uint32_t num_segments) {
+    return Create(path, num_items, num_segments, Options());
+  }
+  static StatusOr<StreamingIngest> Open(const std::string& path,
+                                        const Options& options);
+  static StatusOr<StreamingIngest> Open(const std::string& path) {
+    return Open(path, Options());
+  }
+
+  StreamingIngest(StreamingIngest&&) = default;
+  StreamingIngest& operator=(StreamingIngest&&) = default;
+
+  // Stages one transaction (strictly increasing items < num_items()).
+  // Staged transactions are in memory only until Flush/Commit.
+  Status Append(std::span<const ItemId> items);
+
+  // Seals the open page and syncs WAL bytes without committing them.
+  Status Flush();
+
+  // Durably commits everything appended so far and folds it into the map.
+  Status Commit();
+
+  // The live map. Folding happens at Commit, so this reflects exactly the
+  // committed transactions.
+  const SegmentSupportMap& map() const { return map_; }
+
+  uint32_t num_items() const { return num_items_; }
+  uint32_t num_segments() const { return num_segments_; }
+  uint64_t committed_transactions() const { return committed_txns_; }
+  // Appended after the last Commit (staged + sealed-but-uncommitted).
+  uint64_t pending_transactions() const {
+    return sealed_txns_ - committed_txns_ + staged_txns_;
+  }
+  uint64_t committed_wal_pages() const { return committed_pages_; }
+  const std::string& path() const { return pager_->path(); }
+  const std::shared_ptr<Pager>& pager() const { return pager_; }
+  // True when Open had to replay committed WAL pages past the checkpoint.
+  bool replayed_on_open() const { return replayed_on_open_; }
+
+  // Visits every committed transaction in append order.
+  Status ForEachCommitted(
+      const std::function<void(std::span<const ItemId>)>& visitor) const;
+
+  // Builds a heap TransactionDatabase of the committed transactions.
+  StatusOr<TransactionDatabase> MaterializeDatabase() const;
+
+ private:
+  StreamingIngest() = default;
+  Status SealPage();
+  Status FoldAndCheckpoint();
+  StatusOr<uint64_t> VisitPage(
+      uint64_t page,
+      const std::function<void(std::span<const ItemId>)>& visitor) const;
+
+  std::shared_ptr<Pager> pager_;
+  SegmentId map_slots_[2] = {0, 0};
+  SegmentId wal_slot_ = 0;
+  uint32_t active_slot_ = 0;
+  uint32_t num_items_ = 0;
+  uint32_t num_segments_ = 0;
+  AppendPolicy policy_ = AppendPolicy::kRoundRobin;
+  SegmentSupportMap map_;
+
+  // WAL progress. sealed >= committed >= folded-at-checkpoint; the
+  // in-memory map always covers folded_pages_ pages.
+  uint64_t sealed_pages_ = 0;
+  uint64_t committed_pages_ = 0;
+  uint64_t folded_pages_ = 0;
+  uint64_t sealed_txns_ = 0;
+  uint64_t committed_txns_ = 0;
+  bool replayed_on_open_ = false;
+
+  // Open page being staged: payload words after the 8-byte page header.
+  std::vector<uint32_t> staging_;
+  uint32_t staged_txns_ = 0;
+};
+
+}  // namespace storage
+}  // namespace ossm
+
+#endif  // OSSM_STORAGE_INGEST_H_

@@ -1,0 +1,132 @@
+#include "storage/storage_env.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <unordered_set>
+
+#include "obs/obs.h"
+#include "storage/pager.h"
+
+namespace ossm {
+namespace storage {
+
+namespace {
+
+// -1 = no override (use the environment); else a Backend value.
+std::atomic<int> g_backend_override{-1};
+
+Backend EnvBackend() {
+  static const Backend backend = [] {
+    const char* value = std::getenv("OSSM_STORAGE");
+    if (value == nullptr || *value == '\0' ||
+        std::strcmp(value, "heap") == 0) {
+      return Backend::kHeap;
+    }
+    if (std::strcmp(value, "mmap") == 0) return Backend::kMmap;
+    std::fprintf(stderr,
+                 "ossm: unknown OSSM_STORAGE=%s (expected heap|mmap); "
+                 "using heap\n",
+                 value);
+    return Backend::kHeap;
+  }();
+  return backend;
+}
+
+std::mutex g_pagers_mu;
+std::unordered_set<Pager*>& LivePagers() {
+  static std::unordered_set<Pager*>* pagers = new std::unordered_set<Pager*>();
+  return *pagers;
+}
+
+}  // namespace
+
+Backend ActiveBackend() {
+  int override_value = g_backend_override.load(std::memory_order_acquire);
+  if (override_value >= 0) return static_cast<Backend>(override_value);
+  return EnvBackend();
+}
+
+const char* BackendName(Backend backend) {
+  return backend == Backend::kMmap ? "mmap" : "heap";
+}
+
+std::string StoreDir() {
+  const char* dir = std::getenv("OSSM_STORAGE_DIR");
+  if (dir != nullptr && *dir != '\0') return dir;
+  dir = std::getenv("TMPDIR");
+  if (dir != nullptr && *dir != '\0') return dir;
+  return "/tmp";
+}
+
+std::string NewStorePath(std::string_view tag) {
+  static std::atomic<uint64_t> counter{0};
+  uint64_t serial = counter.fetch_add(1, std::memory_order_relaxed);
+  std::string path = StoreDir();
+  path += "/ossm-";
+  path.append(tag);
+  path += '-';
+  path += std::to_string(static_cast<long>(::getpid()));
+  path += '-';
+  path += std::to_string(serial);
+  path += ".pgstore";
+  return path;
+}
+
+ScopedBackendForTest::ScopedBackendForTest(Backend backend)
+    : saved_(g_backend_override.exchange(static_cast<int>(backend),
+                                         std::memory_order_acq_rel)) {}
+
+ScopedBackendForTest::~ScopedBackendForTest() {
+  g_backend_override.store(saved_, std::memory_order_release);
+}
+
+std::vector<StoreInfo> LiveStores() {
+  std::lock_guard<std::mutex> lock(g_pagers_mu);
+  std::vector<StoreInfo> stores;
+  stores.reserve(LivePagers().size());
+  for (Pager* pager : LivePagers()) {
+    StoreInfo info;
+    info.path = pager->path();
+    info.page_size = pager->page_size();
+    info.file_bytes = pager->file_bytes();
+    info.resident_bytes = pager->ResidentBytes();
+    info.pinned_pages = pager->pinned_pages();
+    stores.push_back(std::move(info));
+  }
+  return stores;
+}
+
+void PublishStorageGauges() {
+  uint64_t mapped = 0;
+  uint64_t resident = 0;
+  std::vector<StoreInfo> stores = LiveStores();
+  for (const StoreInfo& store : stores) {
+    mapped += store.file_bytes;
+    resident += store.resident_bytes;
+  }
+  OSSM_GAUGE_SET("storage.live_stores", stores.size());
+  OSSM_GAUGE_SET("storage.live_bytes_mapped", mapped);
+  OSSM_GAUGE_SET("storage.live_bytes_resident", resident);
+}
+
+namespace internal {
+
+void RegisterPager(Pager* pager) {
+  std::lock_guard<std::mutex> lock(g_pagers_mu);
+  LivePagers().insert(pager);
+}
+
+void UnregisterPager(Pager* pager) {
+  std::lock_guard<std::mutex> lock(g_pagers_mu);
+  LivePagers().erase(pager);
+}
+
+}  // namespace internal
+
+}  // namespace storage
+}  // namespace ossm

@@ -1,0 +1,71 @@
+#ifndef OSSM_STORAGE_STORAGE_ENV_H_
+#define OSSM_STORAGE_STORAGE_ENV_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ossm {
+namespace storage {
+
+class Pager;
+
+// Which backing the data stores use. Selected once per process from
+// OSSM_STORAGE (heap|mmap, default heap); tests and benches can override
+// in-process with ScopedBackendForTest. Results are bit-identical across
+// backends — the choice only moves bytes between the heap and mapped
+// files.
+enum class Backend {
+  kHeap,  // plain std::vector storage (the default)
+  kMmap,  // Pager-backed mapped files
+};
+
+Backend ActiveBackend();
+const char* BackendName(Backend backend);
+
+// Directory for backing files: OSSM_STORAGE_DIR, else TMPDIR, else /tmp.
+std::string StoreDir();
+
+// A fresh, collision-free backing-file path under StoreDir(), tagged so a
+// directory listing is self-describing (e.g. ossm-dataset-1234-7.pgstore).
+std::string NewStorePath(std::string_view tag);
+
+// RAII backend override, nestable; used by tests and by bench/storage to
+// run both backends in one process regardless of the environment.
+class ScopedBackendForTest {
+ public:
+  explicit ScopedBackendForTest(Backend backend);
+  ~ScopedBackendForTest();
+  ScopedBackendForTest(const ScopedBackendForTest&) = delete;
+  ScopedBackendForTest& operator=(const ScopedBackendForTest&) = delete;
+
+ private:
+  int saved_;
+};
+
+// Snapshot of one live mapped store, for `ossm_cli info` and metrics.
+struct StoreInfo {
+  std::string path;
+  uint32_t page_size = 0;
+  uint64_t file_bytes = 0;
+  uint64_t resident_bytes = 0;
+  uint64_t pinned_pages = 0;
+};
+
+// All pagers currently alive in this process.
+std::vector<StoreInfo> LiveStores();
+
+// Publishes storage.live_stores / storage.live_bytes_mapped /
+// storage.live_bytes_resident gauges from the live set.
+void PublishStorageGauges();
+
+namespace internal {
+void RegisterPager(Pager* pager);
+void UnregisterPager(Pager* pager);
+}  // namespace internal
+
+}  // namespace storage
+}  // namespace ossm
+
+#endif  // OSSM_STORAGE_STORAGE_ENV_H_

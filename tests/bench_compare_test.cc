@@ -188,6 +188,69 @@ TEST(BenchCompareTest, CacheHitCounterIsHigherIsBetter) {
             MetricVerdict::kRegression);
 }
 
+TEST(BenchCompareTest, StorageCounterDirectionHeuristics) {
+  // storage.* counters measure IO work: commits, msync calls, bytes
+  // synced, WAL pages replayed, torn tails repaired — fewer is better.
+  EXPECT_EQ(DirectionForCounter("storage.commits"),
+            MetricDirection::kLowerIsBetter);
+  EXPECT_EQ(DirectionForCounter("storage.bytes_synced"),
+            MetricDirection::kLowerIsBetter);
+  EXPECT_EQ(DirectionForCounter("storage.wal_pages_replayed"),
+            MetricDirection::kLowerIsBetter);
+  // Mapping/residency gauges only say where bytes live — an mmap run
+  // legitimately maps more while keeping less resident — so they never
+  // gate; neither does the live-store count.
+  EXPECT_EQ(DirectionForCounter("storage.live_bytes_mapped"),
+            MetricDirection::kNeutral);
+  EXPECT_EQ(DirectionForCounter("storage.live_bytes_resident"),
+            MetricDirection::kNeutral);
+  EXPECT_EQ(DirectionForCounter("storage.live_stores"),
+            MetricDirection::kNeutral);
+
+  RunReport baseline = BaseReport();
+  baseline.metrics.counters = {{"storage.bytes_synced", 1000}};
+  RunReport candidate = BaseReport();
+  candidate.metrics.counters = {{"storage.bytes_synced", 2000}};
+  ReportComparison comparison =
+      CompareReports(baseline, candidate, CompareOptions());
+  EXPECT_EQ(FindRow(comparison, "counter.storage.bytes_synced")->verdict,
+            MetricVerdict::kRegression);
+
+  // An 8x swing in mapped bytes is noise, not a gate.
+  RunReport base2 = BaseReport();
+  base2.metrics.counters = {{"storage.live_bytes_mapped", 1 << 20}};
+  RunReport cand2 = BaseReport();
+  cand2.metrics.counters = {{"storage.live_bytes_mapped", 8 << 20}};
+  ReportComparison comparison2 =
+      CompareReports(base2, cand2, CompareOptions());
+  EXPECT_EQ(FindRow(comparison2, "counter.storage.live_bytes_mapped")->verdict,
+            MetricVerdict::kNoise);
+  EXPECT_FALSE(comparison2.ShouldFail(true));
+}
+
+TEST(BenchCompareTest, FaultCounterIsLowerIsBetter) {
+  // Page faults outside the neutral res.* namespace are IO stalls (the
+  // storage bench's paging story).
+  EXPECT_EQ(DirectionForCounter("bench.major_faults"),
+            MetricDirection::kLowerIsBetter);
+  // But the raw per-phase res.* accumulations stay neutral: they scale
+  // with machine load, and gating happens on derived values.
+  EXPECT_EQ(DirectionForCounter("res.mmap_load.major_faults"),
+            MetricDirection::kNeutral);
+}
+
+TEST(BenchCompareTest, StorageValueDirectionHeuristics) {
+  // Descriptive mapping/residency sizes never gate; fault values do.
+  EXPECT_EQ(DirectionForValue("mmap_bytes_mapped"),
+            MetricDirection::kNeutral);
+  EXPECT_EQ(DirectionForValue("mmap_bytes_resident"),
+            MetricDirection::kNeutral);
+  EXPECT_EQ(DirectionForValue("major_faults_per_query"),
+            MetricDirection::kLowerIsBetter);
+  EXPECT_EQ(DirectionForValue("mmap_serve_qps"),
+            MetricDirection::kHigherIsBetter);
+}
+
 TEST(BenchCompareTest, ServingValueDirectionHeuristics) {
   EXPECT_EQ(DirectionForValue("serve_qps"),
             MetricDirection::kHigherIsBetter);

@@ -1,0 +1,139 @@
+#include "storage/growable_mapped_file.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+namespace ossm {
+namespace storage {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(GrowableMappedFileTest, CreateGrowWriteReopen) {
+  std::string path = TempPath("gmf_basic.bin");
+  GrowableMappedFile::Options options;
+  options.capacity_bytes = 1 << 20;
+  options.chunk_bytes = 64 << 10;
+  auto created = GrowableMappedFile::Create(path, options);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  GrowableMappedFile file = std::move(created).value();
+  EXPECT_EQ(file.size(), 0u);
+
+  ASSERT_TRUE(file.Grow(8192).ok());
+  EXPECT_EQ(file.size(), 8192u);
+  // New bytes read as zero.
+  for (uint64_t i = 0; i < 8192; ++i) {
+    ASSERT_EQ(file.data()[i], 0) << i;
+  }
+  std::memcpy(file.data(), "hello", 5);
+  std::memcpy(file.data() + 8000, "tail", 4);
+  ASSERT_TRUE(file.Sync(0, file.size()).ok());
+  ASSERT_TRUE(file.Close().ok());
+
+  auto reopened = GrowableMappedFile::Open(path, options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened->size(), 8192u);
+  EXPECT_EQ(std::memcmp(reopened->data(), "hello", 5), 0);
+  EXPECT_EQ(std::memcmp(reopened->data() + 8000, "tail", 4), 0);
+  ASSERT_TRUE(reopened->Close(/*unlink_file=*/true).ok());
+}
+
+TEST(GrowableMappedFileTest, PointersStableAcrossGrowthInReservationMode) {
+  std::string path = TempPath("gmf_stable.bin");
+  GrowableMappedFile::Options options;
+  options.capacity_bytes = 256 << 20;
+  options.chunk_bytes = 64 << 10;
+  auto created = GrowableMappedFile::Create(path, options);
+  ASSERT_TRUE(created.ok());
+  GrowableMappedFile file = std::move(created).value();
+  if (!file.using_reservation()) {
+    GTEST_SKIP() << "reservation mode unavailable on this machine";
+  }
+  ASSERT_TRUE(file.Grow(4096).ok());
+  char* base = file.data();
+  std::memcpy(base, "anchor", 6);
+  // Grow far past the first chunk; the base pointer must not move and the
+  // early bytes must remain addressable through it.
+  ASSERT_TRUE(file.Grow(32 << 20).ok());
+  EXPECT_EQ(file.data(), base);
+  EXPECT_EQ(std::memcmp(base, "anchor", 6), 0);
+  ASSERT_TRUE(file.Close(/*unlink_file=*/true).ok());
+}
+
+TEST(GrowableMappedFileTest, GrowPastReservationIsResourceExhausted) {
+  std::string path = TempPath("gmf_cap.bin");
+  GrowableMappedFile::Options options;
+  options.capacity_bytes = 128 << 10;
+  options.chunk_bytes = 64 << 10;
+  auto created = GrowableMappedFile::Create(path, options);
+  ASSERT_TRUE(created.ok());
+  GrowableMappedFile file = std::move(created).value();
+  if (!file.using_reservation()) {
+    GTEST_SKIP() << "reservation mode unavailable on this machine";
+  }
+  ASSERT_TRUE(file.Grow(128 << 10).ok());
+  Status status = file.Grow(256 << 10);
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted)
+      << status.ToString();
+  ASSERT_TRUE(file.Close(/*unlink_file=*/true).ok());
+}
+
+TEST(GrowableMappedFileTest, TruncateToShrinksTheFile) {
+  std::string path = TempPath("gmf_trunc.bin");
+  GrowableMappedFile::Options options;
+  options.capacity_bytes = 1 << 20;
+  options.chunk_bytes = 64 << 10;
+  auto created = GrowableMappedFile::Create(path, options);
+  ASSERT_TRUE(created.ok());
+  GrowableMappedFile file = std::move(created).value();
+  ASSERT_TRUE(file.Grow(16384).ok());
+  ASSERT_TRUE(file.TruncateTo(4096).ok());
+  EXPECT_EQ(file.size(), 4096u);
+  ASSERT_TRUE(file.Close().ok());
+
+  auto reopened = GrowableMappedFile::Open(path, options);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened->size(), 4096u);
+  ASSERT_TRUE(reopened->Close(/*unlink_file=*/true).ok());
+}
+
+TEST(GrowableMappedFileTest, ResidentBytesIsBestEffortAndBounded) {
+  std::string path = TempPath("gmf_resident.bin");
+  GrowableMappedFile::Options options;
+  options.capacity_bytes = 1 << 20;
+  options.chunk_bytes = 64 << 10;
+  auto created = GrowableMappedFile::Create(path, options);
+  ASSERT_TRUE(created.ok());
+  GrowableMappedFile file = std::move(created).value();
+  ASSERT_TRUE(file.Grow(256 << 10).ok());
+  std::memset(file.data(), 0x5A, 256 << 10);
+  // Touched pages are resident right after the write; the probe may
+  // legitimately return 0 (it is best-effort) but never more than the
+  // mapping.
+  EXPECT_LE(file.ResidentBytes(), file.size() + (64 << 10));
+  ASSERT_TRUE(file.Close(/*unlink_file=*/true).ok());
+}
+
+TEST(GrowableMappedFileTest, MoveTransfersOwnership) {
+  std::string path = TempPath("gmf_move.bin");
+  GrowableMappedFile::Options options;
+  options.capacity_bytes = 1 << 20;
+  auto created = GrowableMappedFile::Create(path, options);
+  ASSERT_TRUE(created.ok());
+  GrowableMappedFile a = std::move(created).value();
+  ASSERT_TRUE(a.Grow(4096).ok());
+  a.data()[0] = 'x';
+  GrowableMappedFile b = std::move(a);
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(b.valid());
+  EXPECT_EQ(b.data()[0], 'x');
+  ASSERT_TRUE(b.Close(/*unlink_file=*/true).ok());
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace ossm

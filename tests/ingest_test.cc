@@ -1,0 +1,331 @@
+#include "storage/ingest.h"
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/segment_support_map.h"
+#include "storage/pager.h"
+
+namespace ossm {
+namespace storage {
+namespace {
+
+// ctest runs every gtest case (including each TEST_P instance) as its own
+// process; a shared file name would let one process truncate a store another
+// still has mapped (SIGBUS). The pid keeps paths process-unique.
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + std::to_string(::getpid()) + "." + name;
+}
+
+StreamingIngest::Options SmallPages(AppendPolicy policy) {
+  StreamingIngest::Options options;
+  options.page_size = 4096;
+  options.capacity_bytes = 64 << 20;
+  options.policy = policy;
+  return options;
+}
+
+// Deterministic transaction stream: transaction t holds 1-4 items drawn
+// from a 16-item domain by a fixed LCG, strictly increasing.
+std::vector<std::vector<ItemId>> SampleTransactions(size_t count) {
+  std::vector<std::vector<ItemId>> txns;
+  uint64_t state = 0x9E3779B97F4A7C15ULL;
+  for (size_t t = 0; t < count; ++t) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    size_t n = 1 + (state >> 33) % 4;
+    std::vector<ItemId> items;
+    ItemId next = static_cast<ItemId>((state >> 13) % 4);
+    for (size_t i = 0; i < n && next < 16; ++i) {
+      items.push_back(next);
+      state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+      next += 1 + static_cast<ItemId>((state >> 27) % 5);
+    }
+    txns.push_back(std::move(items));
+  }
+  return txns;
+}
+
+void AppendAll(StreamingIngest* ingest,
+               const std::vector<std::vector<ItemId>>& txns, size_t first,
+               size_t last) {
+  for (size_t t = first; t < last; ++t) {
+    ASSERT_TRUE(ingest->Append(txns[t]).ok()) << "transaction " << t;
+  }
+}
+
+TEST(IngestTest, CommitFoldsIntoTheMapAndSingletonSupportsAreExact) {
+  std::string path = TempPath("ingest_basic.pgstore");
+  auto created = StreamingIngest::Create(
+      path, 16, 4, SmallPages(AppendPolicy::kRoundRobin));
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  StreamingIngest ingest = std::move(created).value();
+
+  auto txns = SampleTransactions(500);
+  std::vector<uint64_t> expected(16, 0);
+  for (const auto& txn : txns) {
+    for (ItemId item : txn) expected[item]++;
+  }
+  AppendAll(&ingest, txns, 0, txns.size());
+  EXPECT_EQ(ingest.pending_transactions(), txns.size());
+  ASSERT_TRUE(ingest.Commit().ok());
+  EXPECT_EQ(ingest.committed_transactions(), txns.size());
+  EXPECT_EQ(ingest.pending_transactions(), 0u);
+  EXPECT_GT(ingest.committed_wal_pages(), 1u);  // multiple 4K pages
+
+  // Row sums of the folded map are the exact singleton supports, whatever
+  // the per-page segment assignment was.
+  for (ItemId item = 0; item < 16; ++item) {
+    EXPECT_EQ(ingest.map().Support(item), expected[item]) << "item " << item;
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(IngestTest, AppendValidatesDomainAndOrder) {
+  std::string path = TempPath("ingest_validate.pgstore");
+  auto created = StreamingIngest::Create(
+      path, 8, 2, SmallPages(AppendPolicy::kRoundRobin));
+  ASSERT_TRUE(created.ok());
+  StreamingIngest ingest = std::move(created).value();
+
+  std::vector<ItemId> out_of_domain = {3, 9};
+  Status status = ingest.Append(out_of_domain);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("outside the ingest domain"),
+            std::string::npos);
+
+  std::vector<ItemId> unsorted = {5, 2};
+  status = ingest.Append(unsorted);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("strictly increasing"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+class IngestPolicyTest : public ::testing::TestWithParam<AppendPolicy> {};
+
+TEST_P(IngestPolicyTest, ReopenReproducesTheCommittedMapExactly) {
+  std::string path = TempPath("ingest_reopen.pgstore");
+  auto txns = SampleTransactions(800);
+  SegmentSupportMap committed_map;
+  {
+    auto created =
+        StreamingIngest::Create(path, 16, 5, SmallPages(GetParam()));
+    ASSERT_TRUE(created.ok());
+    StreamingIngest ingest = std::move(created).value();
+    AppendAll(&ingest, txns, 0, 300);
+    ASSERT_TRUE(ingest.Commit().ok());
+    AppendAll(&ingest, txns, 300, 800);
+    ASSERT_TRUE(ingest.Commit().ok());
+    committed_map = ingest.map();
+  }
+  auto reopened = StreamingIngest::Open(path, SmallPages(GetParam()));
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_FALSE(reopened->replayed_on_open());
+  EXPECT_EQ(reopened->committed_transactions(), 800u);
+  EXPECT_EQ(reopened->map(), committed_map);
+  std::filesystem::remove(path);
+}
+
+TEST_P(IngestPolicyTest, FlushedButUncommittedTailIsDiscardedOnReopen) {
+  std::string path = TempPath("ingest_flush.pgstore");
+  auto txns = SampleTransactions(400);
+  SegmentSupportMap committed_map;
+  {
+    auto created =
+        StreamingIngest::Create(path, 16, 3, SmallPages(GetParam()));
+    ASSERT_TRUE(created.ok());
+    StreamingIngest ingest = std::move(created).value();
+    AppendAll(&ingest, txns, 0, 250);
+    ASSERT_TRUE(ingest.Commit().ok());
+    committed_map = ingest.map();
+    // Synced to disk but never committed: a torn tail by construction.
+    AppendAll(&ingest, txns, 250, 400);
+    ASSERT_TRUE(ingest.Flush().ok());
+  }
+  auto reopened = StreamingIngest::Open(path, SmallPages(GetParam()));
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened->committed_transactions(), 250u);
+  EXPECT_EQ(reopened->map(), committed_map);
+  std::filesystem::remove(path);
+}
+
+// Simulates a crash between Commit's two phases: the WAL extent is
+// committed but the active checkpoint slot still covers the previous
+// commit. Open must replay the gap and land on the exact map the
+// uncrashed writer produced — for either append policy.
+TEST_P(IngestPolicyTest, ReplayAfterCheckpointLagReproducesTheMap) {
+  std::string path = TempPath("ingest_replay.pgstore");
+  auto txns = SampleTransactions(600);
+  SegmentSupportMap final_map;
+  {
+    auto created =
+        StreamingIngest::Create(path, 16, 4, SmallPages(GetParam()));
+    ASSERT_TRUE(created.ok());
+    StreamingIngest ingest = std::move(created).value();
+    AppendAll(&ingest, txns, 0, 200);
+    ASSERT_TRUE(ingest.Commit().ok());
+    AppendAll(&ingest, txns, 200, 600);
+    ASSERT_TRUE(ingest.Commit().ok());
+    final_map = ingest.map();
+  }
+  // Rewind the checkpoint flip: the second commit wrote its matrix into
+  // the inactive slot and flipped; un-flip so the slot from commit 1 is
+  // active again, exactly the on-disk state if the writer had died after
+  // phase 1 of commit 2.
+  {
+    Pager::Options options;
+    auto pager = Pager::Open(path, options);
+    ASSERT_TRUE(pager.ok());
+    auto slot_a = pager.value()->FindSegment(SegmentKind::kOssmCounts);
+    auto slot_b = pager.value()->FindSegment(SegmentKind::kOssmCountsAlt);
+    ASSERT_TRUE(slot_a.has_value());
+    ASSERT_TRUE(slot_b.has_value());
+    SegmentId active = (pager.value()->segment(*slot_a).flags & 1) != 0
+                           ? *slot_a
+                           : *slot_b;
+    SegmentId stale = active == *slot_a ? *slot_b : *slot_a;
+    ASSERT_LT(pager.value()->segment(stale).aux[2],
+              pager.value()->segment(active).aux[2]);
+    pager.value()->SetSegmentFlags(active, 0);
+    pager.value()->SetSegmentFlags(stale, 1);
+    ASSERT_TRUE(pager.value()->Commit().ok());
+  }
+  auto reopened = StreamingIngest::Open(path, SmallPages(GetParam()));
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_TRUE(reopened->replayed_on_open());
+  EXPECT_EQ(reopened->committed_transactions(), 600u);
+  EXPECT_EQ(reopened->map(), final_map);
+  std::filesystem::remove(path);
+}
+
+TEST_P(IngestPolicyTest, MaterializeDatabaseRoundTripsTheTransactions) {
+  std::string path = TempPath("ingest_materialize.pgstore");
+  auto txns = SampleTransactions(300);
+  auto created =
+      StreamingIngest::Create(path, 16, 3, SmallPages(GetParam()));
+  ASSERT_TRUE(created.ok());
+  StreamingIngest ingest = std::move(created).value();
+  AppendAll(&ingest, txns, 0, txns.size());
+  ASSERT_TRUE(ingest.Commit().ok());
+
+  auto db = ingest.MaterializeDatabase();
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  ASSERT_EQ(db->num_transactions(), txns.size());
+  for (size_t t = 0; t < txns.size(); ++t) {
+    auto row = db->transaction(t);
+    ASSERT_EQ(std::vector<ItemId>(row.begin(), row.end()), txns[t])
+        << "transaction " << t;
+  }
+  std::filesystem::remove(path);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, IngestPolicyTest,
+                         ::testing::Values(AppendPolicy::kRoundRobin,
+                                           AppendPolicy::kClosestFit));
+
+// The every-byte truncation property at the ingest level: cut the store
+// anywhere inside the flushed-but-uncommitted tail and reopen must land on
+// the committed state; a cut inside the committed region must be refused
+// as kInvalidArgument (the ossm_io v2 taxonomy).
+TEST(IngestTest, TruncationAtEveryTailByteReopensOnCommittedState) {
+  std::string path = TempPath("ingest_trunc.pgstore");
+  auto txns = SampleTransactions(300);
+  uint64_t committed_bytes = 0;
+  SegmentSupportMap committed_map;
+  {
+    auto created = StreamingIngest::Create(
+        path, 16, 3, SmallPages(AppendPolicy::kRoundRobin));
+    ASSERT_TRUE(created.ok());
+    StreamingIngest ingest = std::move(created).value();
+    AppendAll(&ingest, txns, 0, 200);
+    ASSERT_TRUE(ingest.Commit().ok());
+    committed_map = ingest.map();
+    committed_bytes = ingest.pager()->committed_bytes();
+    AppendAll(&ingest, txns, 200, 300);
+    ASSERT_TRUE(ingest.Flush().ok());
+  }
+  uint64_t file_size = std::filesystem::file_size(path);
+  ASSERT_GT(file_size, committed_bytes);
+
+  std::string scratch = TempPath("ingest_trunc_cut.pgstore");
+  for (uint64_t cut = committed_bytes; cut <= file_size; ++cut) {
+    std::filesystem::copy_file(
+        path, scratch, std::filesystem::copy_options::overwrite_existing);
+    ASSERT_EQ(::truncate(scratch.c_str(), static_cast<off_t>(cut)), 0);
+    SCOPED_TRACE("truncated at byte " + std::to_string(cut));
+    auto reopened = StreamingIngest::Open(
+        scratch, SmallPages(AppendPolicy::kRoundRobin));
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    ASSERT_EQ(reopened->committed_transactions(), 200u);
+    ASSERT_EQ(reopened->map(), committed_map);
+  }
+
+  // Inside the committed region: tampering, refused.
+  std::filesystem::copy_file(
+      path, scratch, std::filesystem::copy_options::overwrite_existing);
+  ASSERT_EQ(::truncate(scratch.c_str(),
+                       static_cast<off_t>(committed_bytes - 1)),
+            0);
+  auto tampered = StreamingIngest::Open(
+      scratch, SmallPages(AppendPolicy::kRoundRobin));
+  ASSERT_FALSE(tampered.ok());
+  EXPECT_EQ(tampered.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(
+      tampered.status().message().find("truncated in the committed region"),
+      std::string::npos);
+  std::filesystem::remove(path);
+  std::filesystem::remove(scratch);
+}
+
+// Kill -9 semantics via fork + _exit: the child commits a prefix, appends
+// and flushes more, then dies without running any destructor or commit.
+// The parent must reopen on exactly the committed prefix.
+TEST(IngestTest, KillMidAppendReopensCrashSafe) {
+  std::string path = TempPath("ingest_kill.pgstore");
+  auto txns = SampleTransactions(500);
+
+  pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    auto created = StreamingIngest::Create(
+        path, 16, 4, SmallPages(AppendPolicy::kRoundRobin));
+    if (!created.ok()) _exit(2);
+    StreamingIngest ingest = std::move(created).value();
+    for (size_t t = 0; t < 350; ++t) {
+      if (!ingest.Append(txns[t]).ok()) _exit(3);
+    }
+    if (!ingest.Commit().ok()) _exit(4);
+    for (size_t t = 350; t < 500; ++t) {
+      if (!ingest.Append(txns[t]).ok()) _exit(5);
+    }
+    if (!ingest.Flush().ok()) _exit(6);
+    _exit(0);  // no destructors, no final commit: the crash
+  }
+  int wstatus = 0;
+  ASSERT_EQ(waitpid(pid, &wstatus, 0), pid);
+  ASSERT_TRUE(WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 0)
+      << "child failed with status " << wstatus;
+
+  auto reopened = StreamingIngest::Open(
+      path, SmallPages(AppendPolicy::kRoundRobin));
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened->committed_transactions(), 350u);
+  std::vector<uint64_t> expected(16, 0);
+  for (size_t t = 0; t < 350; ++t) {
+    for (ItemId item : txns[t]) expected[item]++;
+  }
+  for (ItemId item = 0; item < 16; ++item) {
+    EXPECT_EQ(reopened->map().Support(item), expected[item])
+        << "item " << item;
+  }
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace ossm

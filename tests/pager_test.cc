@@ -1,0 +1,262 @@
+#include "storage/pager.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+namespace ossm {
+namespace storage {
+namespace {
+
+// ctest runs every gtest case as its own process; a shared file name would
+// let one process truncate a file another still has mapped (SIGBUS). The
+// pid keeps paths process-unique.
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + std::to_string(::getpid()) + "." + name;
+}
+
+Pager::Options SmallPages() {
+  Pager::Options options;
+  options.page_size = 4096;
+  options.capacity_bytes = 64 << 20;
+  return options;
+}
+
+TEST(PagerTest, CreateAllocateCommitReopen) {
+  std::string path = TempPath("pager_basic.pgstore");
+  auto created = Pager::Create(path, SmallPages());
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  std::shared_ptr<Pager> pager = std::move(created).value();
+
+  auto seg = pager->AllocateSegment(SegmentKind::kCsrItems, 6000);
+  ASSERT_TRUE(seg.ok());
+  const SegmentEntry& entry = pager->segment(seg.value());
+  EXPECT_EQ(entry.kind, static_cast<uint32_t>(SegmentKind::kCsrItems));
+  EXPECT_EQ(entry.num_pages, 2u);  // ceil(6000 / 4096)
+  EXPECT_EQ(entry.used_bytes, 6000u);
+
+  char* data = pager->SegmentData(seg.value());
+  std::memset(data, 0x7E, 6000);
+  pager->SetSegmentAux(seg.value(), 0, 42);
+  pager->MarkDirty(pager->SegmentOffset(seg.value()), 6000);
+  ASSERT_TRUE(pager->Commit().ok());
+  pager.reset();
+
+  auto reopened = Pager::Open(path, SmallPages());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  std::shared_ptr<Pager> back = std::move(reopened).value();
+  EXPECT_FALSE(back->torn_tail_repaired());
+  EXPECT_EQ(back->page_size(), 4096u);
+  ASSERT_EQ(back->num_segments(), 1u);
+  auto found = back->FindSegment(SegmentKind::kCsrItems);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(back->segment(*found).aux[0], 42u);
+  const char* bytes = back->SegmentData(*found);
+  for (int i = 0; i < 6000; ++i) {
+    ASSERT_EQ(static_cast<unsigned char>(bytes[i]), 0x7E) << i;
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(PagerTest, OnlyTailSegmentGrows) {
+  std::string path = TempPath("pager_grow.pgstore");
+  auto created = Pager::Create(path, SmallPages());
+  ASSERT_TRUE(created.ok());
+  std::shared_ptr<Pager> pager = std::move(created).value();
+  auto first = pager->AllocateSegment(SegmentKind::kCsrOffsets, 100);
+  auto second = pager->AllocateSegment(SegmentKind::kCsrItems, 100);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  // Growing the non-tail segment would shift its neighbour.
+  EXPECT_EQ(pager->GrowSegment(first.value(), 10000).code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(pager->GrowSegment(second.value(), 10000).ok());
+  EXPECT_EQ(pager->segment(second.value()).used_bytes, 10000u);
+  pager.reset();
+  std::filesystem::remove(path);
+}
+
+TEST(PagerTest, RejectsNonStoreFiles) {
+  std::string path = TempPath("pager_notastore.pgstore");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::string junk(8192, 'j');
+    std::fwrite(junk.data(), 1, junk.size(), f);
+    std::fclose(f);
+  }
+  auto opened = Pager::Open(path, SmallPages());
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(opened.status().message().find("not an OSSM page store"),
+            std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(PagerTest, ShortFileIsInvalidArgument) {
+  std::string path = TempPath("pager_short.pgstore");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite("OSSMPG1\n", 1, 8, f);
+    std::fclose(f);
+  }
+  auto opened = Pager::Open(path, SmallPages());
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kInvalidArgument);
+  std::filesystem::remove(path);
+}
+
+// Builds a store with one committed data segment, then a second synced but
+// UNCOMMITTED segment, leaving real uncommitted bytes on disk past the
+// committed length. Returns the committed length via *committed.
+std::string BuildStoreWithUncommittedTail(const std::string& name,
+                                          uint64_t* committed) {
+  std::string path = TempPath(name);
+  auto created = Pager::Create(path, SmallPages());
+  EXPECT_TRUE(created.ok());
+  std::shared_ptr<Pager> pager = std::move(created).value();
+  auto seg = pager->AllocateSegment(SegmentKind::kCsrItems, 4096);
+  EXPECT_TRUE(seg.ok());
+  std::memset(pager->SegmentData(seg.value()), 0x11, 4096);
+  pager->MarkDirty(pager->SegmentOffset(seg.value()), 4096);
+  EXPECT_TRUE(pager->Commit().ok());
+  *committed = pager->committed_bytes();
+
+  // Uncommitted growth: synced to disk, but the header still points at the
+  // state above — exactly what a writer killed before Commit leaves behind.
+  auto tail = pager->AllocateSegment(SegmentKind::kWal, 2 * 4096);
+  EXPECT_TRUE(tail.ok());
+  std::memset(pager->SegmentData(tail.value()), 0x22, 2 * 4096);
+  pager->MarkDirty(pager->SegmentOffset(tail.value()), 2 * 4096);
+  EXPECT_TRUE(pager->SyncDirty().ok());
+  pager.reset();
+  return path;
+}
+
+// Opens once and checks everything on that pager: Open REPAIRS a torn tail
+// on disk, so a second Open would see a clean file and report no repair.
+void ExpectCommittedStateIntact(const std::string& path, uint64_t committed,
+                                bool expect_torn) {
+  auto reopened = Pager::Open(path, SmallPages());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  std::shared_ptr<Pager> pager = std::move(reopened).value();
+  EXPECT_EQ(pager->torn_tail_repaired(), expect_torn);
+  EXPECT_EQ(pager->committed_bytes(), committed);
+  EXPECT_EQ(pager->file_bytes(), committed);
+  ASSERT_EQ(pager->num_segments(), 1u);
+  const char* bytes = pager->SegmentData(0);
+  for (int i = 0; i < 4096; ++i) {
+    ASSERT_EQ(static_cast<unsigned char>(bytes[i]), 0x11) << i;
+  }
+}
+
+// The satellite property test: truncating anywhere inside the uncommitted
+// tail must reopen cleanly with the committed prefix intact (the tail is
+// torn and cut away), at EVERY byte offset.
+TEST(PagerTest, TruncationAtEveryByteOfUncommittedTailReopensClean) {
+  uint64_t committed = 0;
+  std::string path =
+      BuildStoreWithUncommittedTail("pager_tail.pgstore", &committed);
+  uint64_t file_size = std::filesystem::file_size(path);
+  ASSERT_GT(file_size, committed);
+
+  std::string scratch = TempPath("pager_tail_cut.pgstore");
+  for (uint64_t cut = committed; cut <= file_size; ++cut) {
+    std::filesystem::copy_file(
+        path, scratch, std::filesystem::copy_options::overwrite_existing);
+    ASSERT_EQ(::truncate(scratch.c_str(), static_cast<off_t>(cut)), 0);
+    SCOPED_TRACE("truncated at byte " + std::to_string(cut));
+    ExpectCommittedStateIntact(scratch, committed,
+                               /*expect_torn=*/cut > committed);
+  }
+  std::filesystem::remove(path);
+  std::filesystem::remove(scratch);
+}
+
+// Truncation INSIDE the committed region is tampering, not a torn tail:
+// refused as kInvalidArgument, mirroring ossm_io v2's taxonomy.
+TEST(PagerTest, TruncationInsideCommittedRegionIsInvalidArgument) {
+  uint64_t committed = 0;
+  std::string path =
+      BuildStoreWithUncommittedTail("pager_tamper.pgstore", &committed);
+  std::string scratch = TempPath("pager_tamper_cut.pgstore");
+  // Probe several cut points strictly inside the committed region but past
+  // the header pages (cutting into the header itself degrades to "pick the
+  // other slot" or a header-truncation error, which other tests cover).
+  for (uint64_t cut = committed - 1; cut >= committed - 4096;
+       cut -= 1337) {
+    std::filesystem::copy_file(
+        path, scratch, std::filesystem::copy_options::overwrite_existing);
+    ASSERT_EQ(::truncate(scratch.c_str(), static_cast<off_t>(cut)), 0);
+    auto reopened = Pager::Open(scratch, SmallPages());
+    SCOPED_TRACE("truncated at byte " + std::to_string(cut));
+    ASSERT_FALSE(reopened.ok());
+    EXPECT_EQ(reopened.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(
+        reopened.status().message().find("truncated in the committed region"),
+        std::string::npos)
+        << reopened.status().ToString();
+  }
+  std::filesystem::remove(path);
+  std::filesystem::remove(scratch);
+}
+
+TEST(PagerTest, CommitAlternatesHeaderSlotsAndSurvivesRepeatedReopen) {
+  std::string path = TempPath("pager_pingpong.pgstore");
+  auto created = Pager::Create(path, SmallPages());
+  ASSERT_TRUE(created.ok());
+  std::shared_ptr<Pager> pager = std::move(created).value();
+  auto seg = pager->AllocateSegment(SegmentKind::kOssmCounts, 4096);
+  ASSERT_TRUE(seg.ok());
+  char* data = pager->SegmentData(seg.value());
+  for (int round = 0; round < 5; ++round) {
+    std::memset(data, round + 1, 4096);
+    pager->MarkDirty(pager->SegmentOffset(seg.value()), 4096);
+    ASSERT_TRUE(pager->Commit().ok());
+    pager.reset();
+    auto reopened = Pager::Open(path, SmallPages());
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    pager = std::move(reopened).value();
+    data = pager->SegmentData(0);
+    ASSERT_EQ(data[100], round + 1) << "round " << round;
+  }
+  pager.reset();
+  std::filesystem::remove(path);
+}
+
+TEST(PagerTest, DeleteOnCloseUnlinksTheFile) {
+  std::string path = TempPath("pager_cache.pgstore");
+  Pager::Options options = SmallPages();
+  options.delete_on_close = true;
+  auto created = Pager::Create(path, options);
+  ASSERT_TRUE(created.ok());
+  ASSERT_TRUE(std::filesystem::exists(path));
+  created.value().reset();
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+TEST(PagerTest, PinAccountingIsBalanced) {
+  std::string path = TempPath("pager_pin.pgstore");
+  auto created = Pager::Create(path, SmallPages());
+  ASSERT_TRUE(created.ok());
+  std::shared_ptr<Pager> pager = std::move(created).value();
+  auto seg = pager->AllocateSegment(SegmentKind::kBitmapRows, 4096);
+  ASSERT_TRUE(seg.ok());
+  {
+    SegmentPin pin(pager, seg.value());
+    EXPECT_EQ(pager->pinned_pages(), 1u);
+    SegmentPin moved = std::move(pin);
+    EXPECT_EQ(pager->pinned_pages(), 1u);
+  }
+  EXPECT_EQ(pager->pinned_pages(), 0u);
+  pager.reset();
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace ossm

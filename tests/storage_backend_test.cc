@@ -1,0 +1,271 @@
+#include "storage/storage_env.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+
+#include "core/ossm_builder.h"
+#include "core/ossm_io.h"
+#include "data/bitmap_index.h"
+#include "data/dataset_io.h"
+#include "datagen/quest_generator.h"
+#include "mining/apriori.h"
+#include "mining/eclat.h"
+
+namespace ossm {
+namespace {
+
+using storage::Backend;
+using storage::ScopedBackendForTest;
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+// A synthetic dataset shared by the bit-identity tests: big enough that a
+// heap/mmap divergence in CSR layout, bitmap words, or fold order would
+// change some support.
+std::string WriteSampleDataset(const std::string& name) {
+  QuestConfig config;
+  config.num_items = 60;
+  config.num_transactions = 2000;
+  config.avg_transaction_size = 8;
+  config.num_patterns = 15;
+  StatusOr<TransactionDatabase> db = GenerateQuest(config);
+  EXPECT_TRUE(db.ok());
+  std::string path = TempPath(name);
+  EXPECT_TRUE(DatasetIo::SaveText(*db, path).ok());
+  return path;
+}
+
+TEST(StorageBackendTest, ActiveBackendIsOverridableAndNamed) {
+  Backend ambient = storage::ActiveBackend();
+  {
+    ScopedBackendForTest mmap(Backend::kMmap);
+    EXPECT_EQ(storage::ActiveBackend(), Backend::kMmap);
+    {
+      ScopedBackendForTest heap(Backend::kHeap);
+      EXPECT_EQ(storage::ActiveBackend(), Backend::kHeap);
+    }
+    EXPECT_EQ(storage::ActiveBackend(), Backend::kMmap);
+  }
+  EXPECT_EQ(storage::ActiveBackend(), ambient);
+  EXPECT_STREQ(storage::BackendName(Backend::kHeap), "heap");
+  EXPECT_STREQ(storage::BackendName(Backend::kMmap), "mmap");
+}
+
+TEST(StorageBackendTest, TextLoadIsBitIdenticalAcrossBackends) {
+  std::string path = WriteSampleDataset("backend_text.txt");
+
+  StatusOr<TransactionDatabase> heap_db = [&] {
+    ScopedBackendForTest heap(Backend::kHeap);
+    return DatasetIo::LoadText(path);
+  }();
+  StatusOr<TransactionDatabase> mmap_db = [&] {
+    ScopedBackendForTest mmap(Backend::kMmap);
+    return DatasetIo::LoadText(path);
+  }();
+  ASSERT_TRUE(heap_db.ok()) << heap_db.status().ToString();
+  ASSERT_TRUE(mmap_db.ok()) << mmap_db.status().ToString();
+  EXPECT_EQ(heap_db->store(), nullptr);
+  EXPECT_NE(mmap_db->store(), nullptr);
+  EXPECT_EQ(*heap_db, *mmap_db);
+  // Derived supports go through the same view plumbing.
+  auto heap_supports = heap_db->ComputeItemSupports();
+  auto mmap_supports = mmap_db->ComputeItemSupports();
+  EXPECT_EQ(heap_supports, mmap_supports);
+  std::remove(path.c_str());
+}
+
+TEST(StorageBackendTest, BinaryRoundTripIsBitIdenticalAcrossBackends) {
+  std::string text = WriteSampleDataset("backend_bin.txt");
+  StatusOr<TransactionDatabase> db = DatasetIo::LoadText(text);
+  ASSERT_TRUE(db.ok());
+  std::string binary = TempPath("backend_bin.db");
+  ASSERT_TRUE(DatasetIo::SaveBinary(*db, binary).ok());
+
+  StatusOr<TransactionDatabase> heap_db = [&] {
+    ScopedBackendForTest heap(Backend::kHeap);
+    return DatasetIo::LoadBinary(binary);
+  }();
+  StatusOr<TransactionDatabase> mmap_db = [&] {
+    ScopedBackendForTest mmap(Backend::kMmap);
+    return DatasetIo::LoadBinary(binary);
+  }();
+  ASSERT_TRUE(heap_db.ok()) << heap_db.status().ToString();
+  ASSERT_TRUE(mmap_db.ok()) << mmap_db.status().ToString();
+  EXPECT_EQ(*heap_db, *db);
+  EXPECT_EQ(*mmap_db, *db);
+  std::remove(text.c_str());
+  std::remove(binary.c_str());
+}
+
+TEST(StorageBackendTest, MappedDatabaseRefusesAppend) {
+  std::string path = WriteSampleDataset("backend_frozen.txt");
+  ScopedBackendForTest mmap(Backend::kMmap);
+  StatusOr<TransactionDatabase> db = DatasetIo::LoadText(path);
+  ASSERT_TRUE(db.ok());
+  ASSERT_NE(db->store(), nullptr);
+  std::vector<ItemId> txn = {1, 2, 3};
+  Status status = db->Append(txn);
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+TEST(StorageBackendTest, CopiesOfMappedStructuresBehaveLikeHeapOnes) {
+  std::string path = WriteSampleDataset("backend_copies.txt");
+  ScopedBackendForTest mmap(Backend::kMmap);
+  StatusOr<TransactionDatabase> db = DatasetIo::LoadText(path);
+  ASSERT_TRUE(db.ok());
+  // Mapped CSR is immutable, so a copy shares the store.
+  TransactionDatabase copy = *db;
+  EXPECT_EQ(copy, *db);
+  EXPECT_EQ(copy.store(), db->store());
+
+  // The mutable OSSM matrix must NOT be shared: copies deep-copy to heap.
+  OssmBuildOptions options;
+  options.algorithm = SegmentationAlgorithm::kRandom;
+  options.target_segments = 6;
+  options.transactions_per_page = 100;
+  StatusOr<OssmBuildResult> build = BuildOssm(*db, options);
+  ASSERT_TRUE(build.ok());
+  std::string map_path = TempPath("backend_copies.ossm");
+  ASSERT_TRUE(OssmIo::Save(build->map, map_path).ok());
+  StatusOr<SegmentSupportMap> mapped = OssmIo::Load(map_path);
+  ASSERT_TRUE(mapped.ok());
+  ASSERT_NE(mapped->store(), nullptr);
+  SegmentSupportMap map_copy = *mapped;
+  EXPECT_EQ(map_copy.store(), nullptr);
+  EXPECT_EQ(map_copy, *mapped);
+  std::remove(path.c_str());
+  std::remove(map_path.c_str());
+}
+
+TEST(StorageBackendTest, OssmMapLoadsBitIdenticalAcrossBackends) {
+  std::string path = WriteSampleDataset("backend_ossm.txt");
+  StatusOr<TransactionDatabase> db = DatasetIo::LoadText(path);
+  ASSERT_TRUE(db.ok());
+  OssmBuildOptions options;
+  options.algorithm = SegmentationAlgorithm::kRandom;
+  options.target_segments = 8;
+  options.transactions_per_page = 100;
+  StatusOr<OssmBuildResult> build = BuildOssm(*db, options);
+  ASSERT_TRUE(build.ok());
+  std::string map_path = TempPath("backend_ossm.ossm");
+  ASSERT_TRUE(OssmIo::Save(build->map, map_path).ok());
+
+  StatusOr<SegmentSupportMap> heap_map = [&] {
+    ScopedBackendForTest heap(Backend::kHeap);
+    return OssmIo::Load(map_path);
+  }();
+  StatusOr<SegmentSupportMap> mmap_map = [&] {
+    ScopedBackendForTest mmap(Backend::kMmap);
+    return OssmIo::Load(map_path);
+  }();
+  ASSERT_TRUE(heap_map.ok()) << heap_map.status().ToString();
+  ASSERT_TRUE(mmap_map.ok()) << mmap_map.status().ToString();
+  EXPECT_EQ(heap_map->store(), nullptr);
+  ASSERT_NE(mmap_map->store(), nullptr);
+  EXPECT_EQ(*heap_map, *mmap_map);
+  EXPECT_EQ(*heap_map, build->map);
+  // Bounds evaluate bit-identically through the mapped matrix.
+  Itemset probe = {2, 11, 23};
+  EXPECT_EQ(heap_map->UpperBound(probe), mmap_map->UpperBound(probe));
+  std::remove(path.c_str());
+  std::remove(map_path.c_str());
+}
+
+TEST(StorageBackendTest, BitmapIndexRowsMatchAcrossBackends) {
+  std::string path = WriteSampleDataset("backend_bitmap.txt");
+  StatusOr<TransactionDatabase> db = DatasetIo::LoadText(path);
+  ASSERT_TRUE(db.ok());
+
+  BitmapIndex heap_index = [&] {
+    ScopedBackendForTest heap(Backend::kHeap);
+    return BitmapIndex::Build(*db);
+  }();
+  BitmapIndex mmap_index = [&] {
+    ScopedBackendForTest mmap(Backend::kMmap);
+    return BitmapIndex::Build(*db);
+  }();
+  EXPECT_EQ(heap_index.store(), nullptr);
+  ASSERT_NE(mmap_index.store(), nullptr);
+  ASSERT_EQ(heap_index.words_per_row(), mmap_index.words_per_row());
+  for (ItemId item = 0; item < db->num_items(); ++item) {
+    auto heap_row = heap_index.row(item);
+    auto mmap_row = mmap_index.row(item);
+    ASSERT_TRUE(std::equal(heap_row.begin(), heap_row.end(),
+                           mmap_row.begin()))
+        << "item " << item;
+  }
+  std::remove(path.c_str());
+}
+
+// The acceptance property: mining answers must be bit-identical across
+// backends, for both miner families, end to end through a mapped load.
+TEST(StorageBackendTest, MiningIsBitIdenticalAcrossBackends) {
+  std::string path = WriteSampleDataset("backend_mine.txt");
+
+  auto mine = [&](Backend backend) {
+    ScopedBackendForTest scoped(backend);
+    StatusOr<TransactionDatabase> db = DatasetIo::LoadText(path);
+    EXPECT_TRUE(db.ok());
+    AprioriConfig apriori;
+    apriori.min_support_fraction = 0.02;
+    StatusOr<MiningResult> apriori_result = MineApriori(*db, apriori);
+    EXPECT_TRUE(apriori_result.ok());
+    EclatConfig eclat;
+    eclat.min_support_fraction = 0.02;
+    StatusOr<MiningResult> eclat_tids = [&] {
+      EclatConfig config = eclat;
+      config.representation = EclatRepresentation::kTidLists;
+      return MineEclat(*db, config);
+    }();
+    StatusOr<MiningResult> eclat_bits = [&] {
+      EclatConfig config = eclat;
+      config.representation = EclatRepresentation::kBitmaps;
+      return MineEclat(*db, config);
+    }();
+    EXPECT_TRUE(eclat_tids.ok());
+    EXPECT_TRUE(eclat_bits.ok());
+    return std::make_tuple(std::move(apriori_result).value().itemsets,
+                           std::move(eclat_tids).value().itemsets,
+                           std::move(eclat_bits).value().itemsets);
+  };
+
+  auto heap = mine(Backend::kHeap);
+  auto mmap = mine(Backend::kMmap);
+  ASSERT_FALSE(std::get<0>(heap).empty());
+  EXPECT_EQ(std::get<0>(heap), std::get<0>(mmap));  // Apriori
+  EXPECT_EQ(std::get<1>(heap), std::get<1>(mmap));  // Eclat tid-lists
+  EXPECT_EQ(std::get<2>(heap), std::get<2>(mmap));  // Eclat bitmaps
+  // The two Eclat representations agree with Apriori on both backends.
+  EXPECT_EQ(std::get<0>(heap), std::get<1>(heap));
+  EXPECT_EQ(std::get<0>(heap), std::get<2>(heap));
+  EXPECT_EQ(std::get<0>(mmap), std::get<1>(mmap));
+  EXPECT_EQ(std::get<0>(mmap), std::get<2>(mmap));
+  std::remove(path.c_str());
+}
+
+TEST(StorageBackendTest, LiveStoresReportsMappedStores) {
+  std::string path = WriteSampleDataset("backend_live.txt");
+  ScopedBackendForTest mmap(Backend::kMmap);
+  StatusOr<TransactionDatabase> db = DatasetIo::LoadText(path);
+  ASSERT_TRUE(db.ok());
+  ASSERT_NE(db->store(), nullptr);
+  bool found = false;
+  for (const storage::StoreInfo& info : storage::LiveStores()) {
+    if (info.path == db->store()->path()) {
+      found = true;
+      EXPECT_EQ(info.page_size, db->store()->page_size());
+      EXPECT_GT(info.file_bytes, 0u);
+    }
+  }
+  EXPECT_TRUE(found);
+  storage::PublishStorageGauges();  // must not crash with live stores
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ossm

@@ -40,6 +40,9 @@ run ablation_generalized --transactions=8000 --items=250 --repeats=2
 run ablation_pagesize --transactions=8000 --items=300 --repeats=2
 run ablation_theory --transactions=4000
 run kernels --elems=2048
+# Smoke scale: --transactions pins the collection instead of auto-sizing it
+# to 4x the memory cap (the flagless acceptance run takes minutes).
+run storage --transactions=20000 --items=200 --mem-cap-mb=24
 
 # serve_throughput reports under the name "serve", so its baseline keeps
 # that filename (BENCH_serve.json) rather than the binary's.

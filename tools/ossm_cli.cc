@@ -53,6 +53,7 @@
 #include "mining/fp_growth.h"
 #include "mining/partition.h"
 #include "serve/batcher.h"
+#include "storage/storage_env.h"
 #include "serve/protocol.h"
 #include "serve/query_engine.h"
 #include "serve/server.h"
@@ -484,8 +485,9 @@ int CmdInfo(const Args& args) {
   if (args.Has("help")) {
     std::puts(
         "info [--data=FILE]\n"
-        "prints the dispatched kernel ISA level and, with --data, the\n"
-        "vertical bitmap index footprint for that dataset's shape");
+        "prints the dispatched kernel ISA level, the active storage\n"
+        "backend, and, with --data, the vertical bitmap index footprint\n"
+        "for that dataset's shape plus per-store mapped/resident bytes");
     return 0;
   }
   std::printf("kernel ISA: %s (active)\n",
@@ -495,6 +497,8 @@ int CmdInfo(const Args& args) {
     std::printf(" %s", std::string(kernels::IsaName(isa)).c_str());
   }
   std::printf("\noverride with OSSM_SIMD=scalar|avx2|native\n");
+  std::printf("storage backend: %s (override with OSSM_STORAGE=heap|mmap)\n",
+              storage::BackendName(storage::ActiveBackend()));
 
   if (args.Has("data")) {
     StatusOr<TransactionDatabase> db = LoadDataset(args.Get("data", ""));
@@ -515,6 +519,16 @@ int CmdInfo(const Args& args) {
         static_cast<double>(bitmap_bytes) /
             static_cast<double>(std::max<uint64_t>(csr_bytes, 1)),
         auto_bitmaps ? "bitmap index" : "CSR scan");
+    // Under OSSM_STORAGE=mmap the CSR just loaded lives in a mapped store;
+    // show where the bytes actually are (mapped file size vs resident).
+    for (const storage::StoreInfo& info : storage::LiveStores()) {
+      std::printf(
+          "mapped store %s: %.1f KB file (%llu-byte pages), "
+          "%.1f KB resident\n",
+          info.path.c_str(), info.file_bytes / 1024.0,
+          static_cast<unsigned long long>(info.page_size),
+          info.resident_bytes / 1024.0);
+    }
   }
   return 0;
 }
