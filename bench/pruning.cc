@@ -1,0 +1,275 @@
+// Bound-combinator sweep: Apriori over the same low-support workload with
+// no pruner, the OSSM's equation-(1) bound, the deduction rules alone
+// (non-derivable-itemset bounds), and the fused CombinedPruner. The fused
+// configuration must avoid strictly more counting work than the OSSM alone:
+// it eliminates every candidate the OSSM eliminates (its upper bound is the
+// min of the two), the rules catch infrequent candidates the segment bound
+// misses, and candidates whose interval collapses to a point are *derived*
+// — emitted with exact support, never scanned.
+//
+// The workload layers three structures onto seasonal synthetic data, each
+// of which exercises one mechanism:
+//  - sharp seasonality: cross-season pairs have tiny per-segment overlap,
+//    the regime where equation (1) eliminates candidates;
+//  - a mirrored item (a duplicate present in exactly the same transactions
+//    as the most frequent item), the canonical structure that makes its
+//    supersets derivable — real data earns this from correlated items;
+//  - "staple rotations": substitutable dense items where every transaction
+//    carries one of three staples and sometimes a second, never all three.
+//    Each pair is frequent but the triple's depth-3 rule gives upper = 0
+//    (no transaction avoids the whole rotation, so the inclusion-exclusion
+//    residue vanishes), which only the deduction rules can see.
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "core/ossm_builder.h"
+#include "mining/apriori.h"
+#include "mining/candidate_pruner.h"
+#include "mining/deduction_rules.h"
+
+namespace ossm {
+namespace {
+
+enum class PrunerMode { kNone, kOssm, kNdi, kCombined };
+
+const char* ModeName(PrunerMode mode) {
+  switch (mode) {
+    case PrunerMode::kNone:
+      return "none";
+    case PrunerMode::kOssm:
+      return "OSSM";
+    case PrunerMode::kNdi:
+      return "NDI";
+    case PrunerMode::kCombined:
+      return "combined";
+  }
+  return "?";
+}
+
+constexpr uint32_t kRotations = 2;
+constexpr uint32_t kStaplesPerRotation = 3;
+
+// Augments `db` with the mirror of its most frequent item (id = num_items)
+// and kRotations independent staple rotations (ids num_items + 1 onward).
+TransactionDatabase AugmentWorkload(const TransactionDatabase& db) {
+  std::vector<uint64_t> supports(db.num_items(), 0);
+  for (uint64_t t = 0; t < db.num_transactions(); ++t) {
+    for (ItemId item : db.transaction(t)) ++supports[item];
+  }
+  ItemId heaviest = 0;
+  for (ItemId item = 1; item < db.num_items(); ++item) {
+    if (supports[item] > supports[heaviest]) heaviest = item;
+  }
+
+  TransactionDatabase augmented(db.num_items() + 1 +
+                                kRotations * kStaplesPerRotation);
+  Itemset txn;
+  for (uint64_t t = 0; t < db.num_transactions(); ++t) {
+    std::span<const ItemId> items = db.transaction(t);
+    txn.assign(items.begin(), items.end());
+    bool has = false;
+    for (ItemId item : txn) has |= item == heaviest;
+    if (has) txn.push_back(db.num_items());
+    uint64_t h = (t + 1) * 0x9E3779B97F4A7C15ull;
+    for (uint32_t r = 0; r < kRotations; ++r) {
+      ItemId base = db.num_items() + 1 + r * kStaplesPerRotation;
+      uint32_t idx = static_cast<uint32_t>((h >> (8 * r)) % 3);
+      txn.push_back(base + idx);
+      if (((h >> (16 + 8 * r)) & 1) == 0) {
+        txn.push_back(base + (idx + 1) % 3);
+      }
+    }
+    std::sort(txn.begin(), txn.end());
+    OSSM_CHECK(augmented.Append(txn).ok());
+  }
+  return augmented;
+}
+
+struct Outcome {
+  double seconds = 1e100;
+  MiningResult result;
+};
+
+Outcome Measure(const TransactionDatabase& db, PrunerMode mode,
+                const OssmPruner* ossm, double threshold, int repeats) {
+  Outcome outcome;
+  for (int r = 0; r < repeats; ++r) {
+    // Fresh per repeat: the combined pruner accumulates observed supports.
+    CombinedPruner combined(mode == PrunerMode::kCombined ? ossm : nullptr,
+                            db.num_transactions());
+    AprioriConfig config;
+    config.min_support_fraction = threshold;
+    switch (mode) {
+      case PrunerMode::kNone:
+        break;
+      case PrunerMode::kOssm:
+        config.pruner = ossm;
+        break;
+      case PrunerMode::kNdi:
+      case PrunerMode::kCombined:
+        config.pruner = &combined;
+        break;
+    }
+    WallTimer timer;
+    StatusOr<MiningResult> result = MineApriori(db, config);
+    double elapsed = timer.ElapsedSeconds();
+    OSSM_CHECK(result.ok()) << result.status().ToString();
+    if (elapsed < outcome.seconds) {
+      outcome.seconds = elapsed;
+      outcome.result = std::move(*result);
+    }
+  }
+  return outcome;
+}
+
+int Run(int argc, char** argv) {
+  bench::Flags flags(argc, argv,
+                     {"scale", "seed", "transactions", "items", "repeats",
+                      "support-permille", "txn-size", "report"});
+  bench::BenchReporter reporter("pruning", flags);
+  bool paper = flags.PaperScale();
+  uint64_t num_transactions =
+      flags.GetInt("transactions", paper ? 100000 : 30000);
+  uint32_t num_items =
+      static_cast<uint32_t>(flags.GetInt("items", paper ? 1000 : 400));
+  uint64_t seed = flags.GetInt("seed", 1);
+  int repeats = static_cast<int>(flags.GetInt("repeats", 2));
+  // Low support is where bound pruning matters: the candidate space is
+  // widest and every eliminated or derived candidate saves a counting pass.
+  double threshold =
+      static_cast<double>(flags.GetInt("support-permille", 8)) / 1000.0;
+
+  std::printf(
+      "Bound-combinator pruning — Apriori, %llu transactions, %u items\n"
+      "(+ mirrored heaviest item + staple rotations), threshold %.1f%%;\n"
+      "OSSM: Random-RC, 40 segments; deduction rules: depth 3\n\n",
+      static_cast<unsigned long long>(num_transactions), num_items,
+      threshold * 100.0);
+
+  // Denser than the other harnesses' workloads on purpose: deduction rules
+  // only bite from level 3 up (rules over singleton supports can never
+  // eliminate a pair of frequent items), so the lattice must be deep enough
+  // that triples and beyond are actually generated at this threshold.
+  double txn_size =
+      static_cast<double>(flags.GetInt("txn-size", num_items / 25));
+  SkewedConfig gen;
+  gen.num_items = num_items;
+  gen.num_transactions = num_transactions;
+  gen.avg_transaction_size = txn_size;
+  gen.in_season_boost = 20.0;
+  gen.seed = seed;
+  StatusOr<TransactionDatabase> skewed = GenerateSkewed(gen);
+  OSSM_CHECK(skewed.ok()) << skewed.status().ToString();
+  TransactionDatabase db = AugmentWorkload(*skewed);
+
+  reporter.SetWorkload("data", "skewed+mirror+staples");
+  reporter.SetWorkload("transactions", num_transactions);
+  reporter.SetWorkload("items", static_cast<uint64_t>(num_items));
+  reporter.SetWorkload("seed", seed);
+  reporter.SetWorkload("repeats", static_cast<uint64_t>(repeats));
+  reporter.SetWorkload("support_permille",
+                       flags.GetInt("support-permille", 8));
+
+  OssmBuildOptions build_options;
+  build_options.algorithm = SegmentationAlgorithm::kRandomRc;
+  build_options.target_segments = 40;
+  build_options.intermediate_segments = 200;
+  build_options.transactions_per_page = 100;
+  build_options.seed = seed;
+  StatusOr<OssmBuildResult> build = BuildOssm(db, build_options);
+  OSSM_CHECK(build.ok()) << build.status().ToString();
+  OssmPruner ossm(&build->map);
+
+  TablePrinter table({"pruner", "runtime (s)", "counted", "eliminated",
+                      "by OSSM", "by NDI", "derived free"});
+  Outcome reference;
+  Outcome outcomes[4];
+  for (PrunerMode mode : {PrunerMode::kNone, PrunerMode::kOssm,
+                          PrunerMode::kNdi, PrunerMode::kCombined}) {
+    Outcome outcome = Measure(db, mode, &ossm, threshold, repeats);
+    const MiningStats& stats = outcome.result.stats;
+    table.AddRow({ModeName(mode),
+                  TablePrinter::FormatDouble(outcome.seconds, 3),
+                  TablePrinter::FormatCount(stats.TotalCandidatesCounted()),
+                  TablePrinter::FormatCount(stats.TotalPrunedByBound()),
+                  TablePrinter::FormatCount(stats.TotalEliminatedByOssm()),
+                  TablePrinter::FormatCount(stats.TotalEliminatedByNdi()),
+                  TablePrinter::FormatCount(
+                      stats.TotalDerivedWithoutCounting())});
+    if (mode == PrunerMode::kNone) {
+      reference.seconds = outcome.seconds;
+      reference.result = outcome.result;
+    } else {
+      OSSM_CHECK(outcome.result.SamePatternsAs(reference.result))
+          << ModeName(mode) << " pruning must be lossless";
+    }
+    outcomes[static_cast<int>(mode)] = std::move(outcome);
+  }
+  table.Print(std::cout);
+
+  const MiningStats& none = outcomes[0].result.stats;
+  const MiningStats& ossm_only = outcomes[1].result.stats;
+  const MiningStats& ndi_only = outcomes[2].result.stats;
+  const MiningStats& fused = outcomes[3].result.stats;
+
+  // The acceptance bar: fusing the bounds avoids strictly more counting
+  // work than equation (1) alone, and derivation actually fires.
+  uint64_t ossm_avoided = ossm_only.TotalPrunedByBound() +
+                          ossm_only.TotalDerivedWithoutCounting();
+  uint64_t fused_avoided =
+      fused.TotalPrunedByBound() + fused.TotalDerivedWithoutCounting();
+  OSSM_CHECK(fused.TotalPrunedByBound() > ossm_only.TotalPrunedByBound())
+      << "the fused upper bound is a min of the two, so it can never prune "
+         "less — and the staple rotations guarantee candidates only the "
+         "rules can eliminate";
+  OSSM_CHECK(fused.TotalEliminatedByNdi() > 0)
+      << "the staple-rotation triples must be eliminated by the rules";
+  OSSM_CHECK(fused_avoided > ossm_avoided)
+      << "fused pruning should beat the OSSM alone at low support";
+  OSSM_CHECK(fused.TotalDerivedWithoutCounting() > 0)
+      << "the mirrored item must make some candidate derivable";
+
+  reporter.AddPhaseSeconds("mine_none", outcomes[0].seconds);
+  reporter.AddPhaseSeconds("mine_ossm", outcomes[1].seconds);
+  reporter.AddPhaseSeconds("mine_ndi", outcomes[2].seconds);
+  reporter.AddPhaseSeconds("mine_combined", outcomes[3].seconds);
+  reporter.AddValue("speedup_combined",
+                    outcomes[3].seconds > 0.0
+                        ? outcomes[0].seconds / outcomes[3].seconds
+                        : 0.0);
+  reporter.AddValue("candidates_unpruned",
+                    static_cast<double>(none.TotalCandidatesCounted()));
+  reporter.AddValue("ossm_eliminated",
+                    static_cast<double>(ossm_only.TotalPrunedByBound()));
+  reporter.AddValue("ndi_eliminated",
+                    static_cast<double>(ndi_only.TotalPrunedByBound()));
+  reporter.AddValue("combined_eliminated",
+                    static_cast<double>(fused.TotalPrunedByBound()));
+  reporter.AddValue("combined_eliminated_by_ossm",
+                    static_cast<double>(fused.TotalEliminatedByOssm()));
+  reporter.AddValue("combined_eliminated_by_ndi",
+                    static_cast<double>(fused.TotalEliminatedByNdi()));
+  reporter.AddValue(
+      "derived_without_counting",
+      static_cast<double>(fused.TotalDerivedWithoutCounting()));
+
+  std::printf(
+      "\ncounting work avoided: OSSM %llu, fused %llu (+%llu); "
+      "%llu candidates derived for free\npatterns identical across all "
+      "pruner configurations: yes\n",
+      static_cast<unsigned long long>(ossm_avoided),
+      static_cast<unsigned long long>(fused_avoided),
+      static_cast<unsigned long long>(fused_avoided - ossm_avoided),
+      static_cast<unsigned long long>(fused.TotalDerivedWithoutCounting()));
+  bench::ReportMetrics();
+  return reporter.Finish();
+}
+
+}  // namespace
+}  // namespace ossm
+
+int main(int argc, char** argv) { return ossm::Run(argc, argv); }

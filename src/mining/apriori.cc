@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_set>
 
 #include "common/timer.h"
+#include "mining/deduction_rules.h"
 #include "mining/hash_tree.h"
 #include "mining/itemset.h"
 #include "mining/miner_metrics.h"
@@ -33,37 +33,6 @@ Status Validate(const AprioriConfig& config) {
         "given");
   }
   return Status::OK();
-}
-
-// Generates C_{k+1} from L_k: prefix join followed by the all-subsets
-// pruning step. `frequent` must be canonically sorted.
-std::vector<Itemset> GenerateCandidates(const std::vector<Itemset>& frequent) {
-  std::vector<Itemset> candidates;
-  if (frequent.empty()) return candidates;
-
-  std::unordered_set<Itemset, ItemsetHasher> frequent_set(frequent.begin(),
-                                                          frequent.end());
-  Itemset joined;
-  std::vector<Itemset> subsets;
-  // The canonical sort groups equal prefixes contiguously, so the join only
-  // needs to look at runs.
-  for (size_t i = 0; i < frequent.size(); ++i) {
-    for (size_t j = i + 1; j < frequent.size(); ++j) {
-      if (!JoinPrefix(frequent[i], frequent[j], &joined)) break;
-      // Subset pruning: all k-subsets of the joined (k+1)-set must be
-      // frequent. The two join parents trivially are; check the rest.
-      AllOneSmallerSubsets(joined, &subsets);
-      bool all_frequent = true;
-      for (const Itemset& subset : subsets) {
-        if (!frequent_set.contains(subset)) {
-          all_frequent = false;
-          break;
-        }
-      }
-      if (all_frequent) candidates.push_back(joined);
-    }
-  }
-  return candidates;
 }
 
 }  // namespace
@@ -101,6 +70,10 @@ StatusOr<MiningResult> MineApriori(const TransactionDatabase& db,
         result.itemsets.push_back({{item}, item_supports[item]});
         frequent.push_back({item});
         metrics.Frequent(1);
+        if (config.pruner != nullptr) {
+          config.pruner->ObserveSupport(frequent.back(),
+                                        item_supports[item]);
+        }
       }
     }
 
@@ -109,19 +82,41 @@ StatusOr<MiningResult> MineApriori(const TransactionDatabase& db,
          (config.max_level == 0 || level <= config.max_level) &&
          frequent.size() >= 2;
          ++level) {
-      std::vector<Itemset> candidates = GenerateCandidates(frequent);
+      // Kruskal-Katona cap on how many candidates the join can possibly
+      // emit from |L_{k}| frequent sets: skip the join when zero, stop the
+      // scan once the cap many exist (the emitted set is still complete).
+      uint64_t cap =
+          GeertsCandidateCap(frequent.size(), level - 1);
+      if (cap == 0) break;
+      std::vector<Itemset> candidates =
+          GenerateLevelCandidates(frequent, cap);
       metrics.CandidatesGenerated(level, candidates.size());
       if (candidates.empty()) break;
 
-      // Equation-(1) pruning before any counting work.
+      // Bound pruning before any counting work. An admitted candidate whose
+      // interval is exact is *derived*: its support is already known (and
+      // >= min_support, since admitted means upper >= threshold), so it
+      // goes straight to the frequent set without ever being scanned.
+      std::vector<FrequentItemset> derived;
       if (config.pruner != nullptr) {
         std::vector<Itemset> survivors;
         survivors.reserve(candidates.size());
         for (Itemset& candidate : candidates) {
-          if (config.pruner->Admits(candidate, min_support)) {
-            survivors.push_back(std::move(candidate));
-          } else {
+          PruneOutcome outcome =
+              config.pruner->EvaluateCandidate(candidate, min_support);
+          if (!outcome.admitted) {
             metrics.PrunedByBound(level);
+            if (outcome.eliminated_by == BoundSource::kNdi) {
+              metrics.EliminatedByNdi(level);
+            } else {
+              metrics.EliminatedByOssm(level);
+            }
+          } else if (outcome.interval.Exact()) {
+            metrics.DerivedWithoutCounting(level);
+            derived.push_back(
+                {std::move(candidate), outcome.interval.lower});
+          } else {
+            survivors.push_back(std::move(candidate));
           }
         }
         candidates = std::move(survivors);
@@ -168,8 +163,23 @@ StatusOr<MiningResult> MineApriori(const TransactionDatabase& db,
                 {tree.candidates()[c], tree.counts()[c]});
             next_frequent.push_back(tree.candidates()[c]);
             metrics.Frequent(level);
+            if (config.pruner != nullptr) {
+              config.pruner->ObserveSupport(tree.candidates()[c],
+                                            tree.counts()[c]);
+            }
           }
         }
+      }
+      // Derived candidates join the frequent set alongside the counted
+      // ones; observation makes their exact supports available to the next
+      // level's deduction rules too.
+      for (FrequentItemset& d : derived) {
+        if (config.pruner != nullptr) {
+          config.pruner->ObserveSupport(d.items, d.support);
+        }
+        next_frequent.push_back(d.items);
+        metrics.Frequent(level);
+        result.itemsets.push_back(std::move(d));
       }
       frequent = std::move(next_frequent);
       std::sort(frequent.begin(), frequent.end(), ItemsetLess);

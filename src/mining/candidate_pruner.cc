@@ -9,8 +9,12 @@ namespace ossm {
 
 bool CandidatePruner::Admits(std::span<const ItemId> itemset,
                              uint64_t min_support) const {
-  uint64_t bound = UpperBound(itemset);
-  bool admitted = bound >= min_support;
+  return EvaluateCandidate(itemset, min_support).admitted;
+}
+
+PruneOutcome CandidatePruner::EvaluateCandidate(
+    std::span<const ItemId> itemset, uint64_t min_support) const {
+  PruneOutcome outcome = Evaluate(itemset, min_support);
   if (obs::MetricsEnabled()) {
     std::call_once(counters_once_, [this] {
       std::string prefix = "pruner.";
@@ -21,9 +25,9 @@ bool CandidatePruner::Admits(std::span<const ItemId> itemset,
       pruned_counter_ = &registry.GetCounter(prefix + ".pruned");
     });
     evaluations_counter_->Add(1);
-    if (!admitted) pruned_counter_->Add(1);
+    if (!outcome.admitted) pruned_counter_->Add(1);
   }
-  return admitted;
+  return outcome;
 }
 
 OssmPruner::OssmPruner(const SegmentSupportMap* map) : map_(map) {

@@ -1,0 +1,200 @@
+#include "mining/deduction_rules.h"
+
+#include <algorithm>
+#include <bit>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace ossm {
+
+namespace {
+
+// Sentinel for "subset support not recorded" in the per-candidate memo.
+constexpr uint64_t kUnknown = UINT64_MAX;
+
+// C(n, r) saturating at UINT64_MAX. Exact while it fits: the running
+// product is divided stepwise (C(n, i) is always integral).
+uint64_t SaturatingBinomial(uint64_t n, uint32_t r) {
+  if (r > n) return 0;
+  if (r > n - r) r = static_cast<uint32_t>(n - r);
+  unsigned __int128 result = 1;
+  for (uint32_t i = 1; i <= r; ++i) {
+    result = result * (n - r + i) / i;
+    if (result > UINT64_MAX) return UINT64_MAX;
+  }
+  return static_cast<uint64_t>(result);
+}
+
+uint64_t SaturatingAdd(uint64_t a, uint64_t b) {
+  return a > UINT64_MAX - b ? UINT64_MAX : a + b;
+}
+
+// Advances `mask` to the next-larger bit pattern with the same popcount
+// (Gosper's hack). Returns 0 on wraparound.
+uint64_t NextSamePopcount(uint64_t mask) {
+  uint64_t c = mask & (~mask + 1);
+  uint64_t r = mask + c;
+  if (r == 0) return 0;  // mask occupied the top bits already
+  return (((r ^ mask) >> 2) / c) | r;
+}
+
+}  // namespace
+
+DeductionRules::DeductionRules(uint64_t total_transactions, uint32_t max_depth)
+    : total_(total_transactions), max_depth_(max_depth) {}
+
+void DeductionRules::Record(std::span<const ItemId> itemset,
+                            uint64_t support) {
+  OSSM_DCHECK(IsCanonicalItemset(itemset));
+  supports_[Itemset(itemset.begin(), itemset.end())] = support;
+}
+
+SupportInterval DeductionRules::Bounds(std::span<const ItemId> itemset) const {
+  const uint32_t k = static_cast<uint32_t>(itemset.size());
+  if (k == 0) return {total_, total_};
+  // Masks index drop-sets over the candidate's positions; cap the width so
+  // the bit tricks stay in one word (itemsets this wide never occur — the
+  // interval width halves per level, so non-derivable sets stay small).
+  if (k > 63) return {0, total_};
+  const uint32_t depth = max_depth_ == 0
+                             ? k
+                             : std::min(max_depth_, k);
+
+  // Memoize sup(I \ S) for every drop mask S with popcount(S) <= depth, so
+  // each subset is hash-looked-up once even though it appears in many
+  // rules. The full drop (S = all of I) is sup(empty) = total.
+  const uint64_t full = (k == 63) ? ~0ull >> 1 : (1ull << k) - 1;
+  std::unordered_map<uint64_t, uint64_t> drop_support;
+  Itemset scratch;
+  scratch.reserve(k);
+  for (uint32_t d = 1; d <= depth; ++d) {
+    for (uint64_t mask = (1ull << d) - 1; mask != 0 && mask <= full;
+         mask = NextSamePopcount(mask)) {
+      if (mask == full) {
+        drop_support.emplace(mask, total_);
+        continue;
+      }
+      scratch.clear();
+      for (uint32_t i = 0; i < k; ++i) {
+        if ((mask & (1ull << i)) == 0) scratch.push_back(itemset[i]);
+      }
+      auto it = supports_.find(scratch);
+      drop_support.emplace(mask,
+                           it == supports_.end() ? kUnknown : it->second);
+    }
+  }
+
+  SupportInterval interval{0, total_};
+  // One rule per drop set D (J = I \ D): delta = sum over nonempty S <= D
+  // of (-1)^(|S|+1) sup(I \ S). Odd |D| upper-bounds sup(I), even |D|
+  // lower-bounds it. A rule is usable only when every subset it references
+  // is recorded.
+  for (uint32_t d = 1; d <= depth; ++d) {
+    for (uint64_t rule = (1ull << d) - 1; rule != 0 && rule <= full;
+         rule = NextSamePopcount(rule)) {
+      __int128 delta = 0;
+      bool usable = true;
+      // Enumerate nonempty submasks S of the rule's drop set.
+      for (uint64_t s = rule; s != 0; s = (s - 1) & rule) {
+        uint64_t sup = drop_support.at(s);
+        if (sup == kUnknown) {
+          usable = false;
+          break;
+        }
+        if (std::popcount(s) % 2 == 1) {
+          delta += sup;
+        } else {
+          delta -= sup;
+        }
+      }
+      if (!usable) continue;
+      if (d % 2 == 1) {
+        // Upper bound; a negative delta proves the candidate absent.
+        uint64_t upper =
+            delta <= 0 ? 0
+                       : static_cast<uint64_t>(
+                             std::min<__int128>(delta, interval.upper));
+        interval.upper = std::min(interval.upper, upper);
+      } else {
+        if (delta > 0) {
+          interval.lower = std::max(
+              interval.lower,
+              static_cast<uint64_t>(std::min<__int128>(delta, total_)));
+        }
+      }
+    }
+  }
+  return interval;
+}
+
+uint64_t GeertsCandidateCap(uint64_t num_frequent, uint32_t k) {
+  OSSM_CHECK(k >= 1);
+  // Cascade (Macaulay) representation of num_frequent at rank k:
+  //   n = C(a_k, k) + C(a_{k-1}, k-1) + ... + C(a_s, s),
+  // a_k > a_{k-1} > ... > a_s >= s >= 1; the Kruskal-Katona cap on the
+  // number of (k+1)-sets whose k-subsets all lie in the collection is then
+  //   C(a_k, k+1) + C(a_{k-1}, k) + ... + C(a_s, s+1).
+  uint64_t cap = 0;
+  uint64_t remaining = num_frequent;
+  uint32_t r = k;
+  while (remaining > 0 && r >= 1) {
+    uint64_t a;
+    if (r == 1) {
+      a = remaining;  // C(a, 1) = a
+    } else {
+      a = r - 1;  // C(r-1, r) = 0
+      while (SaturatingBinomial(a + 1, r) <= remaining) ++a;
+    }
+    cap = SaturatingAdd(cap, SaturatingBinomial(a, r + 1));
+    remaining -= SaturatingBinomial(a, r);
+    --r;
+  }
+  return cap;
+}
+
+CombinedPruner::CombinedPruner(const CandidatePruner* base,
+                               uint64_t total_transactions,
+                               uint32_t max_depth)
+    : base_(base), rules_(total_transactions, max_depth) {}
+
+uint64_t CombinedPruner::UpperBound(std::span<const ItemId> itemset) const {
+  uint64_t upper = base_ != nullptr ? base_->UpperBound(itemset) : UINT64_MAX;
+  return std::min(upper, rules_.Bounds(itemset).upper);
+}
+
+SupportInterval CombinedPruner::Bounds(std::span<const ItemId> itemset) const {
+  SupportInterval interval = rules_.Bounds(itemset);
+  if (base_ != nullptr) {
+    interval.upper = std::min(interval.upper, base_->UpperBound(itemset));
+  }
+  return interval;
+}
+
+PruneOutcome CombinedPruner::Evaluate(std::span<const ItemId> itemset,
+                                      uint64_t min_support) const {
+  PruneOutcome outcome;
+  uint64_t base_upper =
+      base_ != nullptr ? base_->UpperBound(itemset) : UINT64_MAX;
+  SupportInterval ndi = rules_.Bounds(itemset);
+  outcome.interval.lower = ndi.lower;
+  outcome.interval.upper = std::min(base_upper, ndi.upper);
+  outcome.admitted = outcome.interval.upper >= min_support;
+  if (!outcome.admitted) {
+    outcome.eliminated_by =
+        base_upper < min_support ? BoundSource::kOssm : BoundSource::kNdi;
+  }
+  return outcome;
+}
+
+void CombinedPruner::ObserveSupport(std::span<const ItemId> itemset,
+                                    uint64_t support) const {
+  rules_.Record(itemset, support);
+}
+
+std::span<const uint64_t> CombinedPruner::ExactSingletonSupports() const {
+  return base_ != nullptr ? base_->ExactSingletonSupports()
+                          : std::span<const uint64_t>();
+}
+
+}  // namespace ossm

@@ -1,0 +1,113 @@
+#ifndef OSSM_MINING_DEDUCTION_RULES_H_
+#define OSSM_MINING_DEDUCTION_RULES_H_
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <unordered_map>
+
+#include "core/support_interval.h"
+#include "data/item.h"
+#include "mining/candidate_pruner.h"
+#include "mining/itemset.h"
+
+namespace ossm {
+
+// Calders & Goethals' deduction rules ("Mining All Non-Derivable Frequent
+// Itemsets"): for a candidate I and any J subset-of I, inclusion-exclusion
+// over the supports of the sets between J and I yields
+//
+//   delta_J(I) = sum over J <= X < I of (-1)^(|I\X|+1) * sup(X)
+//
+// which is an UPPER bound on sup(I) when |I\J| is odd and a LOWER bound
+// when |I\J| is even (|I\J| = 1 is the familiar monotone bound
+// sup(I) <= sup(I\{i})). The tightest pair over all J gives an interval
+// [l, u] containing sup(I); when l == u the candidate is *derivable* — its
+// support is known exactly without any counting work.
+//
+// This engine holds a table of exactly-known supports (fed by miners as
+// levels complete) and evaluates the rules for a candidate, skipping any
+// rule whose required subset supports are not all in the table — which is
+// what keeps the interval sound for partially-filled tables (DepthProject
+// only ever knows the supports discovered so far in its DFS order).
+//
+// `max_depth` limits rules to |I\J| <= max_depth (0 = unlimited). Depth d
+// touches sum_{i<=d} C(|I|, i) subsets and costs O(2^d) additions per rule;
+// depth 1 reproduces Apriori's monotone bound (never prunes a generated
+// candidate, whose subsets are all frequent), depth 2 adds the first lower
+// bounds (hence derivation), depth 3 adds the first upper bounds that can
+// genuinely beat monotonicity. Rules are exact at every depth, so any limit
+// is conservative — shallower just means wider intervals.
+class DeductionRules {
+ public:
+  // `total_transactions` is sup(empty set) — the |D| anchor every
+  // even-depth rule ultimately leans on.
+  explicit DeductionRules(uint64_t total_transactions, uint32_t max_depth = 3);
+
+  // Records an exactly-known support. Call for level-1 singletons and for
+  // every counted or derived frequent itemset as its level completes. Not
+  // thread-safe against Bounds(); callers record at level barriers.
+  void Record(std::span<const ItemId> itemset, uint64_t support);
+
+  // The deduction-rule interval for `itemset` given everything recorded so
+  // far. Always sound: [0, total] when nothing applies.
+  SupportInterval Bounds(std::span<const ItemId> itemset) const;
+
+  uint64_t total_transactions() const { return total_; }
+  uint32_t max_depth() const { return max_depth_; }
+  size_t num_recorded() const { return supports_.size(); }
+
+ private:
+  uint64_t total_;
+  uint32_t max_depth_;
+  std::unordered_map<Itemset, uint64_t, ItemsetHasher> supports_;
+};
+
+// Geerts, Goethals & Van den Bussche's tight cap ("A Tight Upper Bound on
+// the Number of Candidate Patterns"): given |L_k| = num_frequent frequent
+// k-itemsets, the Kruskal-Katona cascade bound on how many (k+1)-itemsets
+// can have ALL their k-subsets frequent — i.e. on how many candidates the
+// join+prune generation step can possibly emit. Exact combinatorics, so a
+// miner may stop generating as soon as the cap many candidates exist, and
+// skip the O(|L_k|^2) join entirely when the cap is zero. Saturates at
+// UINT64_MAX.
+uint64_t GeertsCandidateCap(uint64_t num_frequent, uint32_t k);
+
+// A bound combinator: the min of a base pruner's upper bound (OSSM or
+// generalized OSSM; may be null for a rules-only "NDI" pruner) and the
+// deduction-rule interval, exposed through the widened interval interface.
+// Owns its DeductionRules table and populates it from ObserveSupport — so
+// a miner wired for observation gets monotonically tighter bounds as it
+// descends levels, plus derived (lower == upper) candidates it never has
+// to count. Rejections are attributed to the OSSM when the base bound
+// alone falls below threshold, to the NDI side only when the deduction
+// rules caught what the OSSM missed.
+class CombinedPruner : public CandidatePruner {
+ public:
+  CombinedPruner(const CandidatePruner* base, uint64_t total_transactions,
+                 uint32_t max_depth = 3);
+
+  std::string_view name() const override {
+    return base_ != nullptr ? "combined" : "NDI";
+  }
+  uint64_t UpperBound(std::span<const ItemId> itemset) const override;
+  SupportInterval Bounds(std::span<const ItemId> itemset) const override;
+  PruneOutcome Evaluate(std::span<const ItemId> itemset,
+                        uint64_t min_support) const override;
+  void ObserveSupport(std::span<const ItemId> itemset,
+                      uint64_t support) const override;
+  std::span<const uint64_t> ExactSingletonSupports() const override;
+
+  const DeductionRules& rules() const { return rules_; }
+
+ private:
+  const CandidatePruner* base_;  // not owned; may be null
+  // Mutable because ObserveSupport is a const channel on the pruner
+  // interface; the no-race contract documented there is what makes this
+  // safe (observation only ever happens at level barriers).
+  mutable DeductionRules rules_;
+};
+
+}  // namespace ossm
+
+#endif  // OSSM_MINING_DEDUCTION_RULES_H_

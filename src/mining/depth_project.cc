@@ -46,39 +46,77 @@ void Expand(SearchState& state, Itemset& prefix,
   if (first_extension >= state.db->num_items()) return;
 
   // Which extensions are worth counting? Bound-check each candidate item
-  // before the projection scan (the Section 7 integration).
+  // before the projection scan (the Section 7 integration). An extension
+  // whose interval is exact is *derived*: its support is known (and above
+  // threshold, since it was admitted), so the tally skips it entirely.
   std::vector<char> countable(state.db->num_items(), 0);
+  std::vector<char> derived(state.db->num_items(), 0);
+  std::vector<uint64_t> support(state.db->num_items(), 0);
   Itemset candidate = prefix;
   candidate.push_back(0);
+  bool any_countable = false;
   bool any = false;
   for (ItemId e = first_extension; e < state.db->num_items(); ++e) {
     state.metrics->CandidatesGenerated(next_level);
     if (state.pruner != nullptr) {
       candidate.back() = e;
-      if (!state.pruner->Admits(candidate, state.min_support)) {
+      PruneOutcome outcome =
+          state.pruner->EvaluateCandidate(candidate, state.min_support);
+      if (!outcome.admitted) {
         state.metrics->PrunedByBound(next_level);
+        if (outcome.eliminated_by == BoundSource::kNdi) {
+          state.metrics->EliminatedByNdi(next_level);
+        } else {
+          state.metrics->EliminatedByOssm(next_level);
+        }
+        continue;
+      }
+      if (outcome.interval.Exact()) {
+        derived[e] = 1;
+        support[e] = outcome.interval.lower;
+        state.metrics->DerivedWithoutCounting(next_level);
+        any = true;
         continue;
       }
     }
     countable[e] = 1;
     state.metrics->CandidatesCounted(next_level);
+    any_countable = true;
     any = true;
   }
   if (!any) return;
 
   // One pass over the projection: tally every countable extension. The
   // counter lives on this node's frame because the recursion below re-enters
-  // Expand for child nodes.
-  std::vector<uint64_t> support(state.db->num_items(), 0);
-  for (uint64_t t : transactions) {
-    for (ItemId item : state.db->transaction(t)) {
-      if (item >= first_extension && countable[item]) ++support[item];
+  // Expand for child nodes. `transactions` is exactly the supporting set of
+  // `prefix`, so the tally is the extension's global support.
+  if (any_countable) {
+    for (uint64_t t : transactions) {
+      for (ItemId item : state.db->transaction(t)) {
+        if (item >= first_extension && countable[item]) ++support[item];
+      }
+    }
+  }
+
+  // Observe every frequent extension's exact support BEFORE recursing: the
+  // DFS descends into prefix+e while later siblings' supports would
+  // otherwise still be unknown, and the deduction rules for deeper
+  // candidates lean exactly on those sibling supports.
+  if (state.pruner != nullptr) {
+    for (ItemId e = first_extension; e < state.db->num_items(); ++e) {
+      if ((countable[e] || derived[e]) &&
+          support[e] >= state.min_support) {
+        candidate.back() = e;
+        state.pruner->ObserveSupport(candidate, support[e]);
+      }
     }
   }
 
   // Recurse on the frequent extensions in lexicographic order.
   for (ItemId e = first_extension; e < state.db->num_items(); ++e) {
-    if (!countable[e] || support[e] < state.min_support) continue;
+    if (!(countable[e] || derived[e]) || support[e] < state.min_support) {
+      continue;
+    }
 
     prefix.push_back(e);
     state.out->push_back({prefix, support[e]});

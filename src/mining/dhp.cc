@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_set>
 #include <vector>
 
 #include "common/timer.h"
 #include "mining/apriori.h"
+#include "mining/deduction_rules.h"
 #include "mining/hash_tree.h"
 #include "mining/itemset.h"
 #include "mining/miner_metrics.h"
@@ -57,31 +57,6 @@ void HashAllSubsets(std::span<const ItemId> txn, uint32_t k,
     HashAllSubsets(txn, k, scratch, buckets, num_buckets, i + 1);
     scratch.pop_back();
   }
-}
-
-// Same candidate generation as Apriori (join + subset prune).
-std::vector<Itemset> GenerateCandidates(const std::vector<Itemset>& frequent) {
-  std::vector<Itemset> candidates;
-  if (frequent.empty()) return candidates;
-  std::unordered_set<Itemset, ItemsetHasher> frequent_set(frequent.begin(),
-                                                          frequent.end());
-  Itemset joined;
-  std::vector<Itemset> subsets;
-  for (size_t i = 0; i < frequent.size(); ++i) {
-    for (size_t j = i + 1; j < frequent.size(); ++j) {
-      if (!JoinPrefix(frequent[i], frequent[j], &joined)) break;
-      AllOneSmallerSubsets(joined, &subsets);
-      bool all_frequent = true;
-      for (const Itemset& subset : subsets) {
-        if (!frequent_set.contains(subset)) {
-          all_frequent = false;
-          break;
-        }
-      }
-      if (all_frequent) candidates.push_back(joined);
-    }
-  }
-  return candidates;
 }
 
 }  // namespace
@@ -146,6 +121,10 @@ StatusOr<MiningResult> MineDhp(const TransactionDatabase& db,
         result.itemsets.push_back({{item}, item_supports[item]});
         frequent.push_back({item});
         metrics.Frequent(1);
+        if (config.pruner != nullptr) {
+          config.pruner->ObserveSupport(frequent.back(),
+                                        item_supports[item]);
+        }
       }
     }
 
@@ -156,20 +135,40 @@ StatusOr<MiningResult> MineDhp(const TransactionDatabase& db,
          (config.max_level == 0 || level <= config.max_level) &&
          frequent.size() >= 2;
          ++level) {
-      std::vector<Itemset> candidates = GenerateCandidates(frequent);
+      // Kruskal-Katona cap on the join's possible output; zero means no
+      // (level+1)-set can have all subsets frequent, so stop.
+      uint64_t cap =
+          GeertsCandidateCap(frequent.size(), level - 1);
+      if (cap == 0) break;
+      std::vector<Itemset> candidates =
+          GenerateLevelCandidates(frequent, cap);
       metrics.CandidatesGenerated(level, candidates.size());
 
-      // OSSM pruning first: known-infrequent candidates are never even
+      // Bound pruning first: known-infrequent candidates are never even
       // hashed (Section 7: "known infrequent k-itemsets are not generated
-      // in the first place").
+      // in the first place"), and *derived* candidates — admitted with an
+      // exact interval — are frequent with known support, so they skip
+      // hashing AND counting.
+      std::vector<FrequentItemset> derived;
       if (config.pruner != nullptr) {
         std::vector<Itemset> survivors;
         survivors.reserve(candidates.size());
         for (Itemset& candidate : candidates) {
-          if (config.pruner->Admits(candidate, min_support)) {
-            survivors.push_back(std::move(candidate));
-          } else {
+          PruneOutcome outcome =
+              config.pruner->EvaluateCandidate(candidate, min_support);
+          if (!outcome.admitted) {
             metrics.PrunedByBound(level);
+            if (outcome.eliminated_by == BoundSource::kNdi) {
+              metrics.EliminatedByNdi(level);
+            } else {
+              metrics.EliminatedByOssm(level);
+            }
+          } else if (outcome.interval.Exact()) {
+            metrics.DerivedWithoutCounting(level);
+            derived.push_back(
+                {std::move(candidate), outcome.interval.lower});
+          } else {
+            survivors.push_back(std::move(candidate));
           }
         }
         candidates = std::move(survivors);
@@ -193,127 +192,169 @@ StatusOr<MiningResult> MineDhp(const TransactionDatabase& db,
       }
       metrics.CandidatesCounted(level, candidates.size());
 
-      if (candidates.empty()) break;
-
-      OSSM_TRACE_SPAN("dhp.count_pass");
-
-      // --- Counting pass over the working database, with trimming and the
-      // next level's bucket table built on the fly ---
-      HashTree tree(std::move(candidates), config.hash_tree_fanout,
-                    config.hash_tree_leaf_capacity);
-      TransactionDatabase trimmed(db.num_items());
-      std::vector<uint64_t> next_buckets(config.num_buckets, 0);
-
-      // Per-shard trimming scratch and outputs. Shards are contiguous
-      // transaction ranges, so concatenating the per-shard trimmed
-      // databases in shard order reproduces the serial trimmed database
-      // exactly; counts and bucket tallies sum-merge.
-      struct TrimShard {
-        HashTree::CountingState counts;
-        TransactionDatabase trimmed;
-        std::vector<uint64_t> buckets;
-
-        explicit TrimShard(uint32_t num_items, uint32_t num_buckets)
-            : trimmed(num_items), buckets(num_buckets, 0) {}
-      };
-
-      // DHP trimming: an item can only contribute to a frequent
-      // (level+1)-itemset in this transaction if it occurs in at least
-      // `level` matched candidates (every (level+1)-itemset has `level`
-      // level-subsets through each of its items, all of which are
-      // candidates by closure).
-      auto trim_transaction = [&](std::span<const uint32_t> matched,
-                                  std::vector<uint32_t>& occurrence,
-                                  std::vector<ItemId>& kept,
-                                  std::vector<ItemId>& scratch,
-                                  TransactionDatabase& out_trimmed,
-                                  std::vector<uint64_t>& out_buckets) {
-        kept.clear();
-        for (uint32_t candidate_id : matched) {
-          for (ItemId item : tree.candidates()[candidate_id]) {
-            ++occurrence[item];
-          }
-        }
-        for (uint32_t candidate_id : matched) {
-          for (ItemId item : tree.candidates()[candidate_id]) {
-            if (occurrence[item] >= level) kept.push_back(item);
-            occurrence[item] = 0;  // reset as we go (items revisited get 0)
-          }
-        }
-        std::sort(kept.begin(), kept.end());
-        kept.erase(std::unique(kept.begin(), kept.end()), kept.end());
-        if (kept.size() >= level + 1) {
-          Status append = out_trimmed.Append(std::span<const ItemId>(kept));
-          OSSM_CHECK(append.ok()) << append.ToString();
-          scratch.clear();
-          HashAllSubsets(std::span<const ItemId>(out_trimmed.transaction(
-                             out_trimmed.num_transactions() - 1)),
-                         level + 1, scratch, out_buckets,
-                         config.num_buckets, 0);
-        }
-      };
-
-      uint32_t shards =
-          parallel::NumShards(0, working.num_transactions());
-      if (shards <= 1) {
-        std::vector<uint32_t> matched;
-        std::vector<uint32_t> occurrence(db.num_items(), 0);
-        std::vector<ItemId> kept;
-        std::vector<ItemId> scratch;
-        for (uint64_t t = 0; t < working.num_transactions(); ++t) {
-          tree.CountTransaction(working.transaction(t), &matched);
-          trim_transaction(matched, occurrence, kept, scratch, trimmed,
-                           next_buckets);
-        }
-      } else {
-        std::vector<TrimShard> shard_states;
-        shard_states.reserve(shards);
-        for (uint32_t s = 0; s < shards; ++s) {
-          shard_states.emplace_back(db.num_items(), config.num_buckets);
-          shard_states.back().counts = tree.MakeCountingState();
-        }
-        parallel::ParallelFor(
-            0, working.num_transactions(),
-            [&](uint32_t shard, uint64_t begin, uint64_t end) {
-              TrimShard& state = shard_states[shard];
-              std::vector<uint32_t> matched;
-              std::vector<uint32_t> occurrence(db.num_items(), 0);
-              std::vector<ItemId> kept;
-              std::vector<ItemId> scratch;
-              for (uint64_t t = begin; t < end; ++t) {
-                tree.CountTransaction(working.transaction(t), &state.counts,
-                                      &matched);
-                trim_transaction(matched, occurrence, kept, scratch,
-                                 state.trimmed, state.buckets);
-              }
-            });
-        for (const TrimShard& state : shard_states) {
-          tree.MergeCounts(state.counts);
-          for (uint64_t t = 0; t < state.trimmed.num_transactions(); ++t) {
-            Status append = trimmed.Append(state.trimmed.transaction(t));
-            OSSM_CHECK(append.ok()) << append.ToString();
-          }
-          for (uint32_t b = 0; b < config.num_buckets; ++b) {
-            next_buckets[b] += state.buckets[b];
-          }
-        }
-      }
-      metrics.DatabaseScan();
+      if (candidates.empty() && derived.empty()) break;
 
       std::vector<Itemset> next_frequent;
-      for (size_t c = 0; c < tree.num_candidates(); ++c) {
-        if (tree.counts()[c] >= min_support) {
-          result.itemsets.push_back(
-              {tree.candidates()[c], tree.counts()[c]});
-          next_frequent.push_back(tree.candidates()[c]);
-          metrics.Frequent(level);
+      if (candidates.empty()) {
+        // Every admitted candidate at this level was derived: no counting
+        // pass runs, so there is no matched-candidate information to trim
+        // with and no (level+1)-subset tally. Keep the working database as
+        // is and saturate the bucket table — a maxed-out bucket count is a
+        // trivially sound upper bound, so the next level's filter simply
+        // passes everything through.
+        std::fill(buckets.begin(), buckets.end(), UINT64_MAX);
+      } else {
+        OSSM_TRACE_SPAN("dhp.count_pass");
+
+        // --- Counting pass over the working database, with trimming and
+        // the next level's bucket table built on the fly ---
+        HashTree tree(std::move(candidates), config.hash_tree_fanout,
+                      config.hash_tree_leaf_capacity);
+        TransactionDatabase trimmed(db.num_items());
+        std::vector<uint64_t> next_buckets(config.num_buckets, 0);
+
+        // Derived frequent level-itemsets never reach the hash tree, so
+        // their occurrences are invisible to the matched-candidate lists
+        // the trimmer sees. Credit every item with the number of derived
+        // sets containing it — an over-count for transactions that lack
+        // those sets, which only over-keeps items (classic DHP would trim
+        // harder; supports are preserved either way).
+        std::vector<uint32_t> derived_credit(db.num_items(), 0);
+        for (const FrequentItemset& d : derived) {
+          for (ItemId item : d.items) ++derived_credit[item];
         }
+
+        // Per-shard trimming scratch and outputs. Shards are contiguous
+        // transaction ranges, so concatenating the per-shard trimmed
+        // databases in shard order reproduces the serial trimmed database
+        // exactly; counts and bucket tallies sum-merge.
+        struct TrimShard {
+          HashTree::CountingState counts;
+          TransactionDatabase trimmed;
+          std::vector<uint64_t> buckets;
+
+          explicit TrimShard(uint32_t num_items, uint32_t num_buckets)
+              : trimmed(num_items), buckets(num_buckets, 0) {}
+        };
+
+        // DHP trimming: an item can only contribute to a frequent
+        // (level+1)-itemset in this transaction if it occurs in at least
+        // `level` frequent level-subsets (every (level+1)-itemset has
+        // `level` level-subsets through each of its items, all frequent by
+        // closure) — counted candidates via `matched`, derived ones via
+        // the credit table. The transaction itself is iterated because an
+        // item may earn its keep entirely from derived credit.
+        auto trim_transaction = [&](std::span<const ItemId> txn,
+                                    std::span<const uint32_t> matched,
+                                    std::vector<uint32_t>& occurrence,
+                                    std::vector<ItemId>& kept,
+                                    std::vector<ItemId>& scratch,
+                                    TransactionDatabase& out_trimmed,
+                                    std::vector<uint64_t>& out_buckets) {
+          kept.clear();
+          for (uint32_t candidate_id : matched) {
+            for (ItemId item : tree.candidates()[candidate_id]) {
+              ++occurrence[item];
+            }
+          }
+          for (ItemId item : txn) {
+            if (occurrence[item] + derived_credit[item] >= level) {
+              kept.push_back(item);
+            }
+          }
+          for (uint32_t candidate_id : matched) {
+            for (ItemId item : tree.candidates()[candidate_id]) {
+              occurrence[item] = 0;
+            }
+          }
+          // `kept` inherits the transaction's sorted-unique order.
+          if (kept.size() >= level + 1) {
+            Status append = out_trimmed.Append(std::span<const ItemId>(kept));
+            OSSM_CHECK(append.ok()) << append.ToString();
+            scratch.clear();
+            HashAllSubsets(std::span<const ItemId>(out_trimmed.transaction(
+                               out_trimmed.num_transactions() - 1)),
+                           level + 1, scratch, out_buckets,
+                           config.num_buckets, 0);
+          }
+        };
+
+        uint32_t shards =
+            parallel::NumShards(0, working.num_transactions());
+        if (shards <= 1) {
+          std::vector<uint32_t> matched;
+          std::vector<uint32_t> occurrence(db.num_items(), 0);
+          std::vector<ItemId> kept;
+          std::vector<ItemId> scratch;
+          for (uint64_t t = 0; t < working.num_transactions(); ++t) {
+            tree.CountTransaction(working.transaction(t), &matched);
+            trim_transaction(working.transaction(t), matched, occurrence,
+                             kept, scratch, trimmed, next_buckets);
+          }
+        } else {
+          std::vector<TrimShard> shard_states;
+          shard_states.reserve(shards);
+          for (uint32_t s = 0; s < shards; ++s) {
+            shard_states.emplace_back(db.num_items(), config.num_buckets);
+            shard_states.back().counts = tree.MakeCountingState();
+          }
+          parallel::ParallelFor(
+              0, working.num_transactions(),
+              [&](uint32_t shard, uint64_t begin, uint64_t end) {
+                TrimShard& state = shard_states[shard];
+                std::vector<uint32_t> matched;
+                std::vector<uint32_t> occurrence(db.num_items(), 0);
+                std::vector<ItemId> kept;
+                std::vector<ItemId> scratch;
+                for (uint64_t t = begin; t < end; ++t) {
+                  tree.CountTransaction(working.transaction(t),
+                                        &state.counts, &matched);
+                  trim_transaction(working.transaction(t), matched,
+                                   occurrence, kept, scratch, state.trimmed,
+                                   state.buckets);
+                }
+              });
+          for (const TrimShard& state : shard_states) {
+            tree.MergeCounts(state.counts);
+            for (uint64_t t = 0; t < state.trimmed.num_transactions(); ++t) {
+              Status append = trimmed.Append(state.trimmed.transaction(t));
+              OSSM_CHECK(append.ok()) << append.ToString();
+            }
+            for (uint32_t b = 0; b < config.num_buckets; ++b) {
+              next_buckets[b] += state.buckets[b];
+            }
+          }
+        }
+        metrics.DatabaseScan();
+
+        for (size_t c = 0; c < tree.num_candidates(); ++c) {
+          if (tree.counts()[c] >= min_support) {
+            result.itemsets.push_back(
+                {tree.candidates()[c], tree.counts()[c]});
+            next_frequent.push_back(tree.candidates()[c]);
+            metrics.Frequent(level);
+            if (config.pruner != nullptr) {
+              config.pruner->ObserveSupport(tree.candidates()[c],
+                                            tree.counts()[c]);
+            }
+          }
+        }
+
+        working = std::move(trimmed);
+        buckets = std::move(next_buckets);
+      }
+
+      for (FrequentItemset& d : derived) {
+        if (config.pruner != nullptr) {
+          config.pruner->ObserveSupport(d.items, d.support);
+        }
+        next_frequent.push_back(d.items);
+        metrics.Frequent(level);
+        result.itemsets.push_back(std::move(d));
       }
 
       frequent = std::move(next_frequent);
       std::sort(frequent.begin(), frequent.end(), ItemsetLess);
-      working = std::move(trimmed);
-      buckets = std::move(next_buckets);
     }
 
     result.Canonicalize();

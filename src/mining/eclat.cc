@@ -117,8 +117,15 @@ void ExpandMember(SearchState& state, Itemset& prefix,
     if (state.pruner != nullptr) {
       candidate = prefix;
       candidate.push_back(members[j].item);
-      if (!state.pruner->Admits(candidate, state.min_support)) {
+      PruneOutcome outcome =
+          state.pruner->EvaluateCandidate(candidate, state.min_support);
+      if (!outcome.admitted) {
         state.metrics->PrunedByBound(next_level);
+        if (outcome.eliminated_by == BoundSource::kNdi) {
+          state.metrics->EliminatedByNdi(next_level);
+        } else {
+          state.metrics->EliminatedByOssm(next_level);
+        }
         continue;
       }
     }
@@ -265,6 +272,18 @@ StatusOr<MiningResult> MineEclat(const TransactionDatabase& db,
           root_class.push_back(
               {item, std::move(tid_lists[item]), {}, nullptr, support});
         }
+      }
+    }
+
+    // Feed the singleton supports to deduction-rule pruners before any
+    // worker starts: ObserveSupport must not race the read-only
+    // Evaluate calls made from the parallel subtree expansions below, and
+    // this is the last single-threaded point. Deeper supports are never
+    // observed here — a depth-first miner has no level barrier to observe
+    // them at — so rules reach at most monotone/level-2 strength in Eclat.
+    if (config.pruner != nullptr) {
+      for (const FrequentItemset& f : result.itemsets) {
+        config.pruner->ObserveSupport(f.items, f.support);
       }
     }
 

@@ -1,6 +1,7 @@
 #include "mining/itemset.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 namespace ossm {
 
@@ -41,6 +42,39 @@ void AllOneSmallerSubsets(std::span<const ItemId> items,
     }
     out->push_back(std::move(subset));
   }
+}
+
+std::vector<Itemset> GenerateLevelCandidates(
+    const std::vector<Itemset>& frequent, uint64_t max_candidates) {
+  std::vector<Itemset> candidates;
+  if (frequent.empty() || max_candidates == 0) return candidates;
+
+  std::unordered_set<Itemset, ItemsetHasher> frequent_set(frequent.begin(),
+                                                          frequent.end());
+  Itemset joined;
+  std::vector<Itemset> subsets;
+  // The canonical sort groups equal prefixes contiguously, so the join only
+  // needs to look at runs.
+  for (size_t i = 0; i < frequent.size(); ++i) {
+    for (size_t j = i + 1; j < frequent.size(); ++j) {
+      if (!JoinPrefix(frequent[i], frequent[j], &joined)) break;
+      // Subset pruning: all k-subsets of the joined (k+1)-set must be
+      // frequent. The two join parents trivially are; check the rest.
+      AllOneSmallerSubsets(joined, &subsets);
+      bool all_frequent = true;
+      for (const Itemset& subset : subsets) {
+        if (!frequent_set.contains(subset)) {
+          all_frequent = false;
+          break;
+        }
+      }
+      if (all_frequent) {
+        candidates.push_back(joined);
+        if (candidates.size() >= max_candidates) return candidates;
+      }
+    }
+  }
+  return candidates;
 }
 
 size_t ItemsetHasher::operator()(const Itemset& items) const {

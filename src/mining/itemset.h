@@ -29,6 +29,17 @@ bool JoinPrefix(std::span<const ItemId> a, std::span<const ItemId> b,
 void AllOneSmallerSubsets(std::span<const ItemId> items,
                           std::vector<Itemset>* out);
 
+// Generates C_{k+1} from L_k: prefix join followed by the all-subsets
+// pruning step. `frequent` must be canonically sorted; emits candidates in
+// canonical order. The join+prune step emits exactly the sets whose every
+// k-subset is frequent, so a combinatorial cap on that family
+// (GeertsCandidateCap) lets callers pass `max_candidates` and the scan
+// stops — deterministically, with the identical complete set — as soon as
+// the cap many candidates exist. Pass 0 to skip the join entirely.
+std::vector<Itemset> GenerateLevelCandidates(
+    const std::vector<Itemset>& frequent,
+    uint64_t max_candidates = UINT64_MAX);
+
 // Order and hashing so itemsets can key hash containers and be sorted
 // canonically (by size, then lexicographically).
 struct ItemsetHasher {

@@ -26,6 +26,9 @@ void MinerMetrics::MergeFrom(const MinerMetrics& other) {
     mine.candidates_counted += level.candidates_counted;
     mine.abandoned_joins += level.abandoned_joins;
     mine.frequent += level.frequent;
+    mine.eliminated_by_ossm += level.eliminated_by_ossm;
+    mine.eliminated_by_ndi += level.eliminated_by_ndi;
+    mine.derived_without_counting += level.derived_without_counting;
   }
   database_scans_ += other.database_scans_;
 }
@@ -54,6 +57,18 @@ void MinerMetrics::Finish(MiningStats* stats) {
     registry.GetCounter(prefix + "abandoned_joins")
         .Add(level.abandoned_joins);
     registry.GetCounter(prefix + "frequent").Add(level.frequent);
+    if (level.eliminated_by_ossm != 0) {
+      registry.GetCounter(prefix + "eliminated_by_ossm")
+          .Add(level.eliminated_by_ossm);
+    }
+    if (level.eliminated_by_ndi != 0) {
+      registry.GetCounter(prefix + "eliminated_by_ndi")
+          .Add(level.eliminated_by_ndi);
+    }
+    if (level.derived_without_counting != 0) {
+      registry.GetCounter(prefix + "derived_without_counting")
+          .Add(level.derived_without_counting);
+    }
     patterns += level.frequent;
   }
   registry.GetCounter(miner_ + ".database_scans").Add(database_scans_);

@@ -48,6 +48,15 @@ class MinerMetrics {
   void Frequent(uint32_t level, uint64_t n = 1) {
     Level(level).frequent += n;
   }
+  void EliminatedByOssm(uint32_t level, uint64_t n = 1) {
+    Level(level).eliminated_by_ossm += n;
+  }
+  void EliminatedByNdi(uint32_t level, uint64_t n = 1) {
+    Level(level).eliminated_by_ndi += n;
+  }
+  void DerivedWithoutCounting(uint32_t level, uint64_t n = 1) {
+    Level(level).derived_without_counting += n;
+  }
   void DatabaseScan() { ++database_scans_; }
   // Bulk form for miners that fold in sub-runs (e.g. Partition's local
   // Apriori passes).

@@ -30,6 +30,24 @@ uint64_t MiningStats::TotalAbandonedJoins() const {
   return total;
 }
 
+uint64_t MiningStats::TotalEliminatedByOssm() const {
+  uint64_t total = 0;
+  for (const LevelStats& l : levels) total += l.eliminated_by_ossm;
+  return total;
+}
+
+uint64_t MiningStats::TotalEliminatedByNdi() const {
+  uint64_t total = 0;
+  for (const LevelStats& l : levels) total += l.eliminated_by_ndi;
+  return total;
+}
+
+uint64_t MiningStats::TotalDerivedWithoutCounting() const {
+  uint64_t total = 0;
+  for (const LevelStats& l : levels) total += l.derived_without_counting;
+  return total;
+}
+
 uint64_t MiningStats::CountedAtLevel(uint32_t level) const {
   for (const LevelStats& l : levels) {
     if (l.level == level) return l.candidates_counted;

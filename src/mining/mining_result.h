@@ -22,11 +22,18 @@ struct FrequentItemset {
 struct LevelStats {
   uint32_t level = 0;
   uint64_t candidates_generated = 0;  // after the join+prune step
-  uint64_t pruned_by_bound = 0;       // discarded via equation (1)
+  uint64_t pruned_by_bound = 0;       // discarded via any upper bound
   uint64_t pruned_by_hash = 0;        // discarded via DHP bucket counts
   uint64_t candidates_counted = 0;    // survivors that hit the counting pass
   uint64_t abandoned_joins = 0;       // counts cut short by early abandon
   uint64_t frequent = 0;
+  // Attribution of pruned_by_bound between bound sources, plus candidates
+  // whose support the deduction rules pinned exactly (lower == upper) so no
+  // counting pass ever touched them. eliminated_by_ossm + eliminated_by_ndi
+  // == pruned_by_bound for miners wired through EvaluateCandidate.
+  uint64_t eliminated_by_ossm = 0;       // equation-(1) bound was decisive
+  uint64_t eliminated_by_ndi = 0;        // deduction rule caught what OSSM missed
+  uint64_t derived_without_counting = 0; // exact support deduced, scan skipped
 };
 
 struct MiningStats {
@@ -38,6 +45,9 @@ struct MiningStats {
   uint64_t TotalCandidatesCounted() const;
   uint64_t TotalPrunedByBound() const;
   uint64_t TotalAbandonedJoins() const;
+  uint64_t TotalEliminatedByOssm() const;
+  uint64_t TotalEliminatedByNdi() const;
+  uint64_t TotalDerivedWithoutCounting() const;
   // Counted candidates at one level (0 if the miner never reached it).
   uint64_t CountedAtLevel(uint32_t level) const;
   uint64_t GeneratedAtLevel(uint32_t level) const;

@@ -175,6 +175,31 @@ TEST(BenchCompareTest, AbandonedJoinCounterIsHigherIsBetter) {
             MetricVerdict::kRegression);
 }
 
+TEST(BenchCompareTest, EliminationAndDerivationCountersAreHigherIsBetter) {
+  // Candidates a bound eliminated and supports the deduction rules pinned
+  // exactly are counting passes never paid for.
+  EXPECT_EQ(DirectionForCounter("apriori.level3.eliminated_by_ossm"),
+            MetricDirection::kHigherIsBetter);
+  EXPECT_EQ(DirectionForCounter("apriori.level3.eliminated_by_ndi"),
+            MetricDirection::kHigherIsBetter);
+  EXPECT_EQ(DirectionForCounter("apriori.level3.derived_without_counting"),
+            MetricDirection::kHigherIsBetter);
+  EXPECT_EQ(DirectionForValue("combined_eliminated_by_ndi"),
+            MetricDirection::kHigherIsBetter);
+  EXPECT_EQ(DirectionForValue("derived_without_counting"),
+            MetricDirection::kHigherIsBetter);
+
+  RunReport baseline = BaseReport();
+  baseline.metrics.counters = {{"ndi.level3.eliminated_by_ndi", 200}};
+  RunReport candidate = BaseReport();
+  candidate.metrics.counters = {{"ndi.level3.eliminated_by_ndi", 40}};
+  ReportComparison comparison =
+      CompareReports(baseline, candidate, CompareOptions());
+  EXPECT_EQ(FindRow(comparison, "counter.ndi.level3.eliminated_by_ndi")
+                ->verdict,
+            MetricVerdict::kRegression);
+}
+
 TEST(BenchCompareTest, CacheHitCounterIsHigherIsBetter) {
   EXPECT_EQ(DirectionForCounter("serve.cache_hits"),
             MetricDirection::kHigherIsBetter);

@@ -1,0 +1,286 @@
+// The deduction-rule engine's contract is soundness: every interval it
+// produces must contain the true support, for any rule depth and any
+// (possibly partial) table of recorded subset supports. These tests check
+// that property against brute-force supports on small randomized databases,
+// plus the Kruskal-Katona candidate cap and the CombinedPruner combinator.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "data/transaction_database.h"
+#include "datagen/skewed_generator.h"
+#include "mining/apriori.h"
+#include "mining/candidate_pruner.h"
+#include "mining/deduction_rules.h"
+
+namespace ossm {
+namespace {
+
+uint64_t BruteSupport(const TransactionDatabase& db,
+                      std::span<const ItemId> items) {
+  uint64_t support = 0;
+  for (uint64_t t = 0; t < db.num_transactions(); ++t) {
+    if (db.Contains(t, items)) ++support;
+  }
+  return support;
+}
+
+Itemset ItemsOfMask(uint32_t mask, uint32_t num_items) {
+  Itemset items;
+  for (uint32_t i = 0; i < num_items; ++i) {
+    if (mask & (1u << i)) items.push_back(i);
+  }
+  return items;
+}
+
+TransactionDatabase SmallRandomDb(uint64_t seed) {
+  SkewedConfig gen;
+  gen.num_items = 8;
+  gen.num_transactions = 60;
+  gen.avg_transaction_size = 4.0;
+  gen.in_season_boost = 6.0;
+  gen.seed = seed;
+  StatusOr<TransactionDatabase> db = GenerateSkewed(gen);
+  EXPECT_TRUE(db.ok());
+  return std::move(*db);
+}
+
+TEST(GeertsCandidateCapTest, HandComputedValues) {
+  // |L_1| = n frequent items can yield at most C(n, 2) pairs.
+  EXPECT_EQ(GeertsCandidateCap(4, 1), 6u);
+  EXPECT_EQ(GeertsCandidateCap(10, 1), 45u);
+  // One frequent singleton cannot join with anything.
+  EXPECT_EQ(GeertsCandidateCap(1, 1), 0u);
+  // 3 = C(3,2) frequent pairs cap the triples at C(3,3) = 1.
+  EXPECT_EQ(GeertsCandidateCap(3, 2), 1u);
+  // 2 = C(2,2) + C(1,1) pairs: cap = C(2,3) + C(1,2) = 0.
+  EXPECT_EQ(GeertsCandidateCap(2, 2), 0u);
+  // 6 = C(4,2) pairs cap the triples at C(4,3) = 4.
+  EXPECT_EQ(GeertsCandidateCap(6, 2), 4u);
+  // 7 = C(4,2) + C(1,1): cap = C(4,3) + C(1,2) = 4.
+  EXPECT_EQ(GeertsCandidateCap(7, 2), 4u);
+  // 20 = C(6,3) triples cap the 4-sets at C(6,4) = 15.
+  EXPECT_EQ(GeertsCandidateCap(20, 3), 15u);
+  EXPECT_EQ(GeertsCandidateCap(0, 3), 0u);
+}
+
+TEST(GeertsCandidateCapTest, NeverBelowActualGeneration) {
+  // In real Apriori runs, the candidates actually generated at level k+1
+  // can never exceed the cap computed from |L_k| — the cap is exactly the
+  // maximum size of a family of (k+1)-sets whose k-subsets all lie in a
+  // |L_k|-sized collection.
+  for (uint64_t seed : {3u, 11u, 29u}) {
+    SkewedConfig gen;
+    gen.num_items = 20;
+    gen.num_transactions = 400;
+    gen.avg_transaction_size = 6.0;
+    gen.in_season_boost = 8.0;
+    gen.seed = seed;
+    StatusOr<TransactionDatabase> db = GenerateSkewed(gen);
+    ASSERT_TRUE(db.ok());
+
+    AprioriConfig config;
+    config.min_support_fraction = 0.03;
+    StatusOr<MiningResult> result = MineApriori(*db, config);
+    ASSERT_TRUE(result.ok());
+    for (const LevelStats& level : result->stats.levels) {
+      if (level.level == 1) continue;
+      uint64_t prior_frequent = 0;
+      for (const LevelStats& l : result->stats.levels) {
+        if (l.level == level.level - 1) prior_frequent = l.frequent;
+      }
+      EXPECT_LE(level.candidates_generated,
+                GeertsCandidateCap(prior_frequent, level.level - 1))
+          << "level " << level.level << " seed " << seed;
+    }
+  }
+}
+
+TEST(DeductionRulesTest, EmptyItemsetIsPinnedToTheTotal) {
+  DeductionRules rules(42, 0);
+  SupportInterval interval = rules.Bounds({});
+  EXPECT_EQ(interval.lower, 42u);
+  EXPECT_EQ(interval.upper, 42u);
+}
+
+TEST(DeductionRulesTest, NothingRecordedMeansNoInformation) {
+  DeductionRules rules(100, 0);
+  Itemset pair = {1, 2};
+  SupportInterval interval = rules.Bounds(pair);
+  EXPECT_EQ(interval.lower, 0u);
+  EXPECT_EQ(interval.upper, 100u);
+}
+
+// The core soundness property: with every proper-subset support recorded,
+// the interval contains the true support at every depth, intervals nest as
+// depth grows, and a point interval equals the true support exactly.
+TEST(DeductionRulesTest, BoundsContainTrueSupportOnRandomDatabases) {
+  for (uint64_t seed : {1u, 7u, 13u, 21u, 35u}) {
+    TransactionDatabase db = SmallRandomDb(seed);
+    const uint32_t num_items = db.num_items();
+    const uint32_t num_masks = 1u << num_items;
+
+    std::vector<uint64_t> support(num_masks, 0);
+    for (uint32_t mask = 1; mask < num_masks; ++mask) {
+      support[mask] = BruteSupport(db, ItemsOfMask(mask, num_items));
+    }
+
+    std::vector<DeductionRules> at_depth;
+    for (uint32_t depth : {1u, 2u, 3u, 0u}) {
+      at_depth.emplace_back(db.num_transactions(), depth);
+    }
+    for (DeductionRules& rules : at_depth) {
+      for (uint32_t mask = 1; mask < num_masks; ++mask) {
+        rules.Record(ItemsOfMask(mask, num_items), support[mask]);
+      }
+    }
+
+    for (uint32_t mask = 1; mask < num_masks; ++mask) {
+      Itemset items = ItemsOfMask(mask, num_items);
+      SupportInterval previous{0, db.num_transactions()};
+      for (DeductionRules& rules : at_depth) {
+        SupportInterval interval = rules.Bounds(items);
+        EXPECT_TRUE(interval.Contains(support[mask]))
+            << "seed " << seed << " mask " << mask << " depth "
+            << rules.max_depth() << ": [" << interval.lower << ", "
+            << interval.upper << "] vs " << support[mask];
+        // Deeper rule sets only ever tighten.
+        EXPECT_GE(interval.lower, previous.lower);
+        EXPECT_LE(interval.upper, previous.upper);
+        if (interval.Exact()) {
+          EXPECT_EQ(interval.lower, support[mask]);
+        }
+        previous = interval;
+      }
+    }
+  }
+}
+
+// Partial tables must stay sound: a rule referencing any unrecorded subset
+// is skipped, never guessed.
+TEST(DeductionRulesTest, PartialSupportTablesStaySound) {
+  for (uint64_t seed : {5u, 17u}) {
+    TransactionDatabase db = SmallRandomDb(seed);
+    const uint32_t num_items = db.num_items();
+    const uint32_t num_masks = 1u << num_items;
+
+    DeductionRules rules(db.num_transactions(), 0);
+    // Record an arbitrary half of the subset lattice (every second mask).
+    for (uint32_t mask = 1; mask < num_masks; mask += 2) {
+      rules.Record(ItemsOfMask(mask, num_items),
+                   BruteSupport(db, ItemsOfMask(mask, num_items)));
+    }
+
+    for (uint32_t mask = 1; mask < num_masks; ++mask) {
+      Itemset items = ItemsOfMask(mask, num_items);
+      SupportInterval interval = rules.Bounds(items);
+      EXPECT_TRUE(interval.Contains(BruteSupport(db, items)))
+          << "seed " << seed << " mask " << mask;
+    }
+  }
+}
+
+// A mirrored item (B present exactly where A is) makes {A, B, c} derivable:
+// the rule dropping {B, c} gives lower = sup(Ac) + sup(AB) - sup(A) =
+// sup(Ac), and the rule dropping {B} gives upper = sup(Ac).
+TEST(DeductionRulesTest, MirroredItemsCollapseToAPoint) {
+  TransactionDatabase db(3);  // A=0, B=1, c=2
+  ASSERT_TRUE(db.Append({0, 1}).ok());
+  ASSERT_TRUE(db.Append({0, 1, 2}).ok());
+  ASSERT_TRUE(db.Append({2}).ok());
+
+  DeductionRules rules(db.num_transactions(), 2);
+  for (uint32_t mask = 1; mask < 8; ++mask) {
+    Itemset items = ItemsOfMask(mask, 3);
+    if (items.size() < 3) {
+      rules.Record(items, BruteSupport(db, items));
+    }
+  }
+
+  Itemset abc = {0, 1, 2};
+  SupportInterval interval = rules.Bounds(abc);
+  EXPECT_TRUE(interval.Exact());
+  EXPECT_EQ(interval.lower, 1u);
+}
+
+// A fixed-bound fake for exercising the combinator without a real OSSM.
+class FakePruner : public CandidatePruner {
+ public:
+  explicit FakePruner(uint64_t upper) : upper_(upper) {}
+  std::string_view name() const override { return "fake"; }
+  uint64_t UpperBound(std::span<const ItemId>) const override {
+    return upper_;
+  }
+
+ private:
+  uint64_t upper_;
+};
+
+TEST(CombinedPrunerTest, TakesTheMinOfBothUpperBounds) {
+  FakePruner base(7);
+  CombinedPruner combined(&base, 100, 0);
+  Itemset pair = {0, 1};
+  // Rules know nothing: the base bound wins.
+  EXPECT_EQ(combined.UpperBound(pair), 7u);
+  // Teach the rules sup(0) = 3: now the monotone rule is tighter.
+  Itemset a = {0};
+  combined.ObserveSupport(a, 3);
+  EXPECT_EQ(combined.UpperBound(pair), 3u);
+}
+
+TEST(CombinedPrunerTest, AttributesRejectionsToTheDecisiveSource) {
+  // Base bound alone below threshold -> attributed to the OSSM side.
+  {
+    FakePruner base(2);
+    CombinedPruner combined(&base, 100, 0);
+    Itemset pair = {0, 1};
+    PruneOutcome outcome = combined.Evaluate(pair, 10);
+    EXPECT_FALSE(outcome.admitted);
+    EXPECT_EQ(outcome.eliminated_by, BoundSource::kOssm);
+  }
+  // Base bound passes but a deduction rule kills it -> the NDI side, which
+  // makes eliminated_by_ndi the rules' marginal contribution.
+  {
+    FakePruner base(50);
+    CombinedPruner combined(&base, 100, 0);
+    Itemset a = {0};
+    combined.ObserveSupport(a, 4);
+    Itemset pair = {0, 1};
+    PruneOutcome outcome = combined.Evaluate(pair, 10);
+    EXPECT_FALSE(outcome.admitted);
+    EXPECT_EQ(outcome.eliminated_by, BoundSource::kNdi);
+  }
+}
+
+TEST(CombinedPrunerTest, DerivedCandidatesComeOutExact) {
+  // Mirrored-pair database from above: {A, B, c} is derivable once the
+  // pair supports are observed.
+  CombinedPruner combined(nullptr, 3, 0);
+  EXPECT_EQ(combined.name(), "NDI");
+  TransactionDatabase db(3);
+  ASSERT_TRUE(db.Append({0, 1}).ok());
+  ASSERT_TRUE(db.Append({0, 1, 2}).ok());
+  ASSERT_TRUE(db.Append({2}).ok());
+  for (uint32_t mask = 1; mask < 8; ++mask) {
+    Itemset items = ItemsOfMask(mask, 3);
+    if (items.size() < 3) {
+      combined.ObserveSupport(items, BruteSupport(db, items));
+    }
+  }
+
+  Itemset abc = {0, 1, 2};
+  PruneOutcome outcome = combined.Evaluate(abc, 1);
+  EXPECT_TRUE(outcome.admitted);
+  EXPECT_TRUE(outcome.interval.Exact());
+  EXPECT_EQ(outcome.interval.lower, 1u);
+}
+
+TEST(CombinedPrunerTest, NullBaseForwardsNoSingletonSupports) {
+  CombinedPruner combined(nullptr, 10, 3);
+  EXPECT_TRUE(combined.ExactSingletonSupports().empty());
+}
+
+}  // namespace
+}  // namespace ossm

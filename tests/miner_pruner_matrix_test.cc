@@ -1,6 +1,7 @@
 // The full losslessness matrix: every candidate-generation miner crossed
-// with every pruner configuration must mine the identical pattern set —
-// the library's single most important contract, in one parameterized sweep.
+// with every pruner configuration and thread count must mine the identical
+// pattern set — the library's single most important contract, in one
+// parameterized sweep.
 
 #include <gtest/gtest.h>
 
@@ -12,15 +13,17 @@
 #include "datagen/skewed_generator.h"
 #include "mining/apriori.h"
 #include "mining/candidate_pruner.h"
+#include "mining/deduction_rules.h"
 #include "mining/depth_project.h"
 #include "mining/dhp.h"
 #include "mining/eclat.h"
+#include "parallel/thread_pool.h"
 
 namespace ossm {
 namespace {
 
 enum class MinerKind { kApriori, kDhp, kDepthProject, kEclat };
-enum class PrunerKind { kNone, kOssm, kGeneralized };
+enum class PrunerKind { kNone, kOssm, kGeneralized, kCombined };
 
 std::string MinerName(MinerKind kind) {
   switch (kind) {
@@ -44,11 +47,13 @@ std::string PrunerName(PrunerKind kind) {
       return "Ossm";
     case PrunerKind::kGeneralized:
       return "GeneralizedOssm";
+    case PrunerKind::kCombined:
+      return "Combined";
   }
   return "Unknown";
 }
 
-using MatrixParams = std::tuple<MinerKind, PrunerKind>;
+using MatrixParams = std::tuple<MinerKind, PrunerKind, uint32_t>;
 
 class MinerPrunerMatrixTest : public testing::TestWithParam<MatrixParams> {
  protected:
@@ -95,6 +100,10 @@ class MinerPrunerMatrixTest : public testing::TestWithParam<MatrixParams> {
     db_ = nullptr;
   }
 
+  void TearDown() override {
+    parallel::SetDefaultThreadCount(parallel::DefaultThreadCount());
+  }
+
   static TransactionDatabase* db_;
   static OssmBuildResult* build_;
   static GeneralizedOssm* generalized_;
@@ -107,10 +116,13 @@ GeneralizedOssm* MinerPrunerMatrixTest::generalized_ = nullptr;
 MiningResult* MinerPrunerMatrixTest::reference_ = nullptr;
 
 TEST_P(MinerPrunerMatrixTest, EveryCellMinesTheSamePatterns) {
-  auto [miner, pruner_kind] = GetParam();
+  auto [miner, pruner_kind, threads] = GetParam();
+  parallel::SetDefaultThreadCount(threads);
 
   OssmPruner ossm_pruner(&build_->map);
   GeneralizedOssmPruner generalized_pruner(generalized_);
+  // Fresh per run: the combined pruner accumulates observed supports.
+  CombinedPruner combined_pruner(&ossm_pruner, db_->num_transactions());
   const CandidatePruner* pruner = nullptr;
   switch (pruner_kind) {
     case PrunerKind::kNone:
@@ -120,6 +132,9 @@ TEST_P(MinerPrunerMatrixTest, EveryCellMinesTheSamePatterns) {
       break;
     case PrunerKind::kGeneralized:
       pruner = &generalized_pruner;
+      break;
+    case PrunerKind::kCombined:
+      pruner = &combined_pruner;
       break;
   }
 
@@ -161,11 +176,31 @@ TEST_P(MinerPrunerMatrixTest, EveryCellMinesTheSamePatterns) {
   if (pruner != nullptr) {
     EXPECT_GT(result->stats.TotalPrunedByBound(), 0u);
   }
+
+  // The combined pruner's upper bound is the min of the OSSM's and the
+  // deduction rules', so it can never prune less than the OSSM alone; and
+  // every rejection is attributed to exactly one source.
+  if (pruner_kind == PrunerKind::kCombined) {
+    AprioriConfig ossm_only;
+    ossm_only.min_support_fraction = 0.05;
+    ossm_only.pruner = &ossm_pruner;
+    StatusOr<MiningResult> baseline = MineApriori(*db_, ossm_only);
+    ASSERT_TRUE(baseline.ok());
+    if (miner == MinerKind::kApriori) {
+      EXPECT_GE(result->stats.TotalPrunedByBound() +
+                    result->stats.TotalDerivedWithoutCounting(),
+                baseline->stats.TotalPrunedByBound());
+    }
+    EXPECT_EQ(result->stats.TotalEliminatedByOssm() +
+                  result->stats.TotalEliminatedByNdi(),
+              result->stats.TotalPrunedByBound());
+  }
 }
 
 std::string MatrixName(const testing::TestParamInfo<MatrixParams>& info) {
   return MinerName(std::get<0>(info.param)) +
-         PrunerName(std::get<1>(info.param));
+         PrunerName(std::get<1>(info.param)) + "Threads" +
+         std::to_string(std::get<2>(info.param));
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -174,7 +209,9 @@ INSTANTIATE_TEST_SUITE_P(
                                      MinerKind::kDepthProject,
                                      MinerKind::kEclat),
                      testing::Values(PrunerKind::kNone, PrunerKind::kOssm,
-                                     PrunerKind::kGeneralized)),
+                                     PrunerKind::kGeneralized,
+                                     PrunerKind::kCombined),
+                     testing::Values(1u, 4u)),
     MatrixName);
 
 }  // namespace

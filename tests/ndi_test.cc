@@ -1,0 +1,219 @@
+// The NDI miner's contract: its output is a subset of the frequent
+// itemsets (with identical supports) that is a *lossless condensed
+// representation* — every frequent itemset left out is derivable, i.e. the
+// full-depth deduction rules pin its support exactly from the supports of
+// its proper subsets.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/ossm_builder.h"
+#include "data/transaction_database.h"
+#include "datagen/skewed_generator.h"
+#include "mining/apriori.h"
+#include "mining/candidate_pruner.h"
+#include "mining/deduction_rules.h"
+#include "mining/itemset.h"
+#include "mining/ndi.h"
+
+namespace ossm {
+namespace {
+
+TransactionDatabase SkewedDb(uint64_t seed) {
+  SkewedConfig gen;
+  gen.num_items = 25;
+  gen.num_transactions = 1500;
+  gen.avg_transaction_size = 6.0;
+  gen.in_season_boost = 8.0;
+  gen.seed = seed;
+  StatusOr<TransactionDatabase> db = GenerateSkewed(gen);
+  EXPECT_TRUE(db.ok());
+  return std::move(*db);
+}
+
+// Duplicates item `source` as a new item (id = num_items) present in
+// exactly the same transactions — the classic way to force derivability.
+TransactionDatabase Mirror(const TransactionDatabase& db, ItemId source) {
+  TransactionDatabase mirrored(db.num_items() + 1);
+  Itemset txn;
+  for (uint64_t t = 0; t < db.num_transactions(); ++t) {
+    std::span<const ItemId> items = db.transaction(t);
+    txn.assign(items.begin(), items.end());
+    if (std::find(txn.begin(), txn.end(), source) != txn.end()) {
+      txn.push_back(db.num_items());  // largest id: stays sorted
+    }
+    EXPECT_TRUE(mirrored.Append(txn).ok());
+  }
+  return mirrored;
+}
+
+using SupportTable = std::unordered_map<Itemset, uint64_t, ItemsetHasher>;
+
+SupportTable TableOf(const MiningResult& result) {
+  SupportTable table;
+  for (const FrequentItemset& f : result.itemsets) {
+    table[f.items] = f.support;
+  }
+  return table;
+}
+
+// Checks the representation contract of `ndi` against the full frequent
+// set `all`: containment with equal supports, and derivability of every
+// set left out (given the supports of all its proper subsets, which the
+// full frequent set supplies — subsets of a frequent set are frequent).
+void CheckRepresentation(const TransactionDatabase& db,
+                         const MiningResult& ndi, const MiningResult& all) {
+  SupportTable rep = TableOf(ndi);
+  SupportTable frequent = TableOf(all);
+
+  for (const FrequentItemset& f : ndi.itemsets) {
+    auto it = frequent.find(f.items);
+    ASSERT_TRUE(it != frequent.end())
+        << "representation contains a non-frequent set";
+    EXPECT_EQ(it->second, f.support);
+  }
+
+  DeductionRules rules(db.num_transactions(), 0);
+  for (const FrequentItemset& f : all.itemsets) {
+    rules.Record(f.items, f.support);
+  }
+  for (const FrequentItemset& f : all.itemsets) {
+    if (rep.contains(f.items)) continue;
+    SupportInterval interval = rules.Bounds(f.items);
+    EXPECT_TRUE(interval.Exact() && interval.lower == f.support)
+        << "left-out frequent set is not derivable (interval ["
+        << interval.lower << ", " << interval.upper << "], support "
+        << f.support << ")";
+  }
+}
+
+TEST(NdiTest, RepresentationIsLosslessOnSkewedData) {
+  for (uint64_t seed : {9u, 23u}) {
+    TransactionDatabase db = SkewedDb(seed);
+
+    AprioriConfig reference;
+    reference.min_support_fraction = 0.04;
+    StatusOr<MiningResult> all = MineApriori(db, reference);
+    ASSERT_TRUE(all.ok());
+
+    NdiConfig config;
+    config.min_support_fraction = 0.04;
+    StatusOr<MiningResult> ndi = MineNdi(db, config);
+    ASSERT_TRUE(ndi.ok());
+
+    CheckRepresentation(db, *ndi, *all);
+  }
+}
+
+TEST(NdiTest, MirroredItemShrinksTheRepresentation) {
+  TransactionDatabase db = Mirror(SkewedDb(41), 0);
+
+  AprioriConfig reference;
+  reference.min_support_fraction = 0.04;
+  StatusOr<MiningResult> all = MineApriori(db, reference);
+  ASSERT_TRUE(all.ok());
+
+  NdiConfig config;
+  config.min_support_fraction = 0.04;
+  StatusOr<MiningResult> ndi = MineNdi(db, config);
+  ASSERT_TRUE(ndi.ok());
+
+  CheckRepresentation(db, *ndi, *all);
+  // Any frequent superset of the mirrored pair beyond the pair itself is
+  // derivable, so the representation must be strictly smaller. (On mirrored
+  // data the shrink comes from the exact-at-bound shortcut: the pair sits on
+  // its own upper bound, so its supersets are never even generated.)
+  EXPECT_LT(ndi->itemsets.size(), all->itemsets.size());
+}
+
+TEST(NdiTest, DerivableCandidatesAreDroppedWithoutCounting) {
+  // Hand-built so that {A, B, C} is derivable while every pair stays
+  // strictly inside its own bounds (hence extendable, hence the triple is
+  // generated): every AB-transaction has C (tight upper, rule dropping {C})
+  // and every C-transaction has A or B (tight lower, rule dropping {A, B}).
+  // sup(AB) = 2, sup(AC) = sup(BC) = 4, sup(A) = sup(B) = 5, sup(C) = 6,
+  // total = 9: both rules give 2, so the interval is the point [2, 2].
+  TransactionDatabase db(4);  // A=0, B=1, C=2, filler D=3
+  for (int i = 0; i < 2; ++i) ASSERT_TRUE(db.Append({0, 1, 2}).ok());
+  for (int i = 0; i < 2; ++i) ASSERT_TRUE(db.Append({0, 2}).ok());
+  for (int i = 0; i < 2; ++i) ASSERT_TRUE(db.Append({1, 2}).ok());
+  ASSERT_TRUE(db.Append({0}).ok());
+  ASSERT_TRUE(db.Append({1}).ok());
+  ASSERT_TRUE(db.Append({3}).ok());
+
+  NdiConfig config;
+  config.min_support_count = 2;
+  StatusOr<MiningResult> ndi = MineNdi(db, config);
+  ASSERT_TRUE(ndi.ok());
+  EXPECT_GT(ndi->stats.TotalDerivedWithoutCounting(), 0u);
+
+  SupportTable rep = TableOf(*ndi);
+  EXPECT_FALSE(rep.contains(Itemset{0, 1, 2}));
+
+  AprioriConfig reference;
+  reference.min_support_count = 2;
+  StatusOr<MiningResult> all = MineApriori(db, reference);
+  ASSERT_TRUE(all.ok());
+  EXPECT_TRUE(TableOf(*all).contains(Itemset{0, 1, 2}));
+  CheckRepresentation(db, *ndi, *all);
+}
+
+TEST(NdiTest, DepthLimitYieldsASupersetRepresentation) {
+  TransactionDatabase db = Mirror(SkewedDb(57), 1);
+
+  NdiConfig full;
+  full.min_support_fraction = 0.04;
+  StatusOr<MiningResult> exact_rep = MineNdi(db, full);
+  ASSERT_TRUE(exact_rep.ok());
+
+  NdiConfig limited = full;
+  limited.max_depth = 2;
+  StatusOr<MiningResult> shallow_rep = MineNdi(db, limited);
+  ASSERT_TRUE(shallow_rep.ok());
+
+  // Shallower rules detect fewer derivable sets, never more: the limited
+  // representation contains the exact one, support for support.
+  SupportTable shallow = TableOf(*shallow_rep);
+  for (const FrequentItemset& f : exact_rep->itemsets) {
+    auto it = shallow.find(f.items);
+    ASSERT_TRUE(it != shallow.end());
+    EXPECT_EQ(it->second, f.support);
+  }
+
+  // And the limited representation is still lossless under full-depth
+  // reconstruction.
+  AprioriConfig reference;
+  reference.min_support_fraction = 0.04;
+  StatusOr<MiningResult> all = MineApriori(db, reference);
+  ASSERT_TRUE(all.ok());
+  CheckRepresentation(db, *shallow_rep, *all);
+}
+
+TEST(NdiTest, OssmBoundDoesNotChangeTheRepresentation) {
+  TransactionDatabase db = SkewedDb(73);
+
+  OssmBuildOptions build_options;
+  build_options.algorithm = SegmentationAlgorithm::kGreedy;
+  build_options.target_segments = 8;
+  build_options.transactions_per_page = 50;
+  StatusOr<OssmBuildResult> build = BuildOssm(db, build_options);
+  ASSERT_TRUE(build.ok());
+  OssmPruner pruner(&build->map);
+
+  NdiConfig plain;
+  plain.min_support_fraction = 0.04;
+  StatusOr<MiningResult> without = MineNdi(db, plain);
+  ASSERT_TRUE(without.ok());
+
+  NdiConfig fused = plain;
+  fused.pruner = &pruner;
+  StatusOr<MiningResult> with = MineNdi(db, fused);
+  ASSERT_TRUE(with.ok());
+
+  EXPECT_TRUE(with->SamePatternsAs(*without));
+}
+
+}  // namespace
+}  // namespace ossm

@@ -35,6 +35,7 @@ run fig4_speedup --transactions=8000 --items=300 --repeats=2
 run fig5_segmentation_cost --items=300 --repeats=2
 run fig6_bubble_list --pages=200 --items=300 --repeats=2
 run sec7_dhp --transactions=8000 --items=300 --repeats=2
+run pruning --transactions=8000 --items=250 --repeats=3
 run ablation_skew --transactions=8000 --items=250 --repeats=2
 run ablation_generalized --transactions=8000 --items=250 --repeats=2
 run ablation_pagesize --transactions=8000 --items=300 --repeats=2

@@ -48,9 +48,12 @@
 #include "mining/apriori.h"
 #include "mining/association_rules.h"
 #include "mining/candidate_pruner.h"
+#include "mining/deduction_rules.h"
 #include "mining/depth_project.h"
 #include "mining/dhp.h"
+#include "mining/eclat.h"
 #include "mining/fp_growth.h"
+#include "mining/ndi.h"
 #include "mining/partition.h"
 #include "serve/batcher.h"
 #include "storage/storage_env.h"
@@ -282,10 +285,19 @@ int CmdMine(const Args& args) {
   if (args.Has("help")) {
     std::puts(
         "mine --data=FILE [--ossm=MAP]\n"
-        "     --miner=apriori|dhp|partition|fpgrowth|depthproject\n"
+        "     --miner=apriori|dhp|partition|fpgrowth|depthproject|eclat|ndi\n"
+        "     --pruner=none|ossm|ndi|combined\n"
+        "                     candidate bound source; `ossm` (the default\n"
+        "                     with --ossm) uses equation (1) alone, `ndi`\n"
+        "                     the deduction rules alone, `combined` fuses\n"
+        "                     both (min of the upper bounds + derivation)\n"
+        "     --ndi-depth=N   deduction-rule depth limit (0 = unlimited;\n"
+        "                     default 3 for --pruner, 0 for --miner=ndi)\n"
         "     --threshold=FRACTION --max-level=N --top=N\n"
         "     --report=FILE   write a RunReport JSON (env, workload,\n"
-        "                     phases, per-level counters)");
+        "                     phases, per-level counters)\n"
+        "  --miner=ndi mines the condensed non-derivable representation\n"
+        "  instead of all frequent itemsets.");
     return 0;
   }
   if (args.Has("report")) obs::EnableMetricsCollection();
@@ -296,7 +308,7 @@ int CmdMine(const Args& args) {
 
   SegmentSupportMap map;
   OssmPruner pruner(&map);
-  const CandidatePruner* pruner_ptr = nullptr;
+  const CandidatePruner* ossm_ptr = nullptr;
   if (args.Has("ossm")) {
     StatusOr<SegmentSupportMap> loaded = OssmIo::Load(args.Get("ossm", ""));
     if (!loaded.ok()) return Fail(loaded.status());
@@ -305,12 +317,38 @@ int CmdMine(const Args& args) {
       return Fail(Status::InvalidArgument(
           "OSSM item domain does not match the dataset"));
     }
-    pruner_ptr = &pruner;
+    ossm_ptr = &pruner;
   }
 
   double threshold = args.GetDouble("threshold", 0.01);
   uint32_t max_level = static_cast<uint32_t>(args.GetInt("max-level", 0));
   std::string miner = args.Get("miner", "apriori");
+  uint32_t ndi_depth = static_cast<uint32_t>(args.GetInt("ndi-depth", 3));
+
+  // Resolve the candidate bound source. "combined" and "ndi" wrap the
+  // deduction-rule engine (with or without an equation-(1) base) in the
+  // interval interface; miners wired for observation feed exact supports
+  // back into it as levels complete.
+  std::string pruner_kind =
+      args.Get("pruner", ossm_ptr != nullptr ? "ossm" : "none");
+  CombinedPruner combined(pruner_kind == "combined" ? ossm_ptr : nullptr,
+                          db->num_transactions(), ndi_depth);
+  const CandidatePruner* pruner_ptr = nullptr;
+  if (pruner_kind == "none") {
+    pruner_ptr = nullptr;
+  } else if (pruner_kind == "ossm") {
+    if (ossm_ptr == nullptr) {
+      return Fail(Status::InvalidArgument(
+          "--pruner=ossm needs an --ossm=MAP to load the bound from"));
+    }
+    pruner_ptr = ossm_ptr;
+  } else if (pruner_kind == "ndi" || pruner_kind == "combined") {
+    pruner_ptr = &combined;
+  } else {
+    std::fprintf(stderr, "unknown --pruner=%s (none, ossm, ndi, combined)\n",
+                 pruner_kind.c_str());
+    return 2;
+  }
 
   StatusOr<MiningResult> result = Status::Unimplemented("");
   if (miner == "apriori") {
@@ -342,22 +380,52 @@ int CmdMine(const Args& args) {
     config.max_level = max_level;
     config.pruner = pruner_ptr;
     result = MineDepthProject(*db, config);
+  } else if (miner == "eclat") {
+    EclatConfig config;
+    config.min_support_fraction = threshold;
+    config.max_level = max_level;
+    config.pruner = pruner_ptr;
+    result = MineEclat(*db, config);
+  } else if (miner == "ndi") {
+    NdiConfig config;
+    config.min_support_fraction = threshold;
+    config.max_level = max_level;
+    config.max_depth = static_cast<uint32_t>(args.GetInt("ndi-depth", 0));
+    // The NDI miner runs its own deduction rules; the equation-(1) bound
+    // (when an --ossm is loaded) rides along as the cheap first filter.
+    config.pruner = ossm_ptr;
+    result = MineNdi(*db, config);
   } else {
     std::fprintf(stderr,
                  "unknown --miner=%s (apriori, dhp, partition, fpgrowth, "
-                 "depthproject)\n",
+                 "depthproject, eclat, ndi)\n",
                  miner.c_str());
     return 2;
   }
   if (!result.ok()) return Fail(result.status());
 
-  std::printf(
-      "%zu frequent itemsets in %.3f s (%llu candidates counted, %llu "
-      "pruned by the OSSM bound)\n",
-      result->itemsets.size(), result->stats.total_seconds,
-      static_cast<unsigned long long>(
-          result->stats.TotalCandidatesCounted()),
-      static_cast<unsigned long long>(result->stats.TotalPrunedByBound()));
+  if (miner == "ndi") {
+    std::printf(
+        "%zu non-derivable frequent itemsets (condensed representation) in "
+        "%.3f s (%llu candidates counted, %llu pruned by bounds, %llu "
+        "derivable skipped)\n",
+        result->itemsets.size(), result->stats.total_seconds,
+        static_cast<unsigned long long>(
+            result->stats.TotalCandidatesCounted()),
+        static_cast<unsigned long long>(result->stats.TotalPrunedByBound()),
+        static_cast<unsigned long long>(
+            result->stats.TotalDerivedWithoutCounting()));
+  } else {
+    std::printf(
+        "%zu frequent itemsets in %.3f s (%llu candidates counted, %llu "
+        "pruned by bounds, %llu derived without counting)\n",
+        result->itemsets.size(), result->stats.total_seconds,
+        static_cast<unsigned long long>(
+            result->stats.TotalCandidatesCounted()),
+        static_cast<unsigned long long>(result->stats.TotalPrunedByBound()),
+        static_cast<unsigned long long>(
+            result->stats.TotalDerivedWithoutCounting()));
+  }
 
   uint64_t top = args.GetInt("top", 20);
   uint64_t shown = 0;
@@ -376,6 +444,7 @@ int CmdMine(const Args& args) {
     obs::RunReport report = obs::MakeRunReport("ossm_cli.mine");
     report.SetWorkload("dataset", args.Get("data", ""));
     report.SetWorkload("miner", miner);
+    report.SetWorkload("pruner", pruner_kind);
     report.SetWorkload("threshold", threshold);
     report.SetWorkload("max_level", static_cast<uint64_t>(max_level));
     report.SetWorkload("ossm",
@@ -389,6 +458,15 @@ int CmdMine(const Args& args) {
         static_cast<double>(result->stats.TotalCandidatesCounted()));
     report.AddValue("pruned_by_bound",
                     static_cast<double>(result->stats.TotalPrunedByBound()));
+    report.AddValue(
+        "eliminated_by_ossm",
+        static_cast<double>(result->stats.TotalEliminatedByOssm()));
+    report.AddValue(
+        "eliminated_by_ndi",
+        static_cast<double>(result->stats.TotalEliminatedByNdi()));
+    report.AddValue(
+        "derived_without_counting",
+        static_cast<double>(result->stats.TotalDerivedWithoutCounting()));
     return WriteCliReport(std::move(report), args.Get("report", ""));
   }
   return 0;
